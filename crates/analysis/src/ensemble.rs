@@ -1,0 +1,269 @@
+//! Multi-seed, multi-threaded experiment ensembles.
+//!
+//! An ensemble pairs a *protocol factory* with a *pattern generator*, both
+//! keyed by a run index, executes `runs` independent simulations across
+//! worker threads (`std::thread::scope` — no extra dependencies), and
+//! aggregates latency and energy.
+//!
+//! Factories are indexed rather than shared so that deterministic protocols
+//! can vary their combinatorial seed per run (a fixed deterministic protocol
+//! on a fixed pattern would measure the same run `R` times).
+
+use mac_sim::metrics::{EnergyStats, LatencySample};
+use mac_sim::{FeedbackModel, Protocol, SimConfig, Simulator, WakePattern};
+use wakeup_core as _; // semantic dependency: ensembles drive core protocols
+
+/// Parameters of an ensemble run.
+#[derive(Clone, Debug)]
+pub struct EnsembleSpec {
+    /// Universe size.
+    pub n: u32,
+    /// Number of independent runs.
+    pub runs: u64,
+    /// Slot cap per run (`None`: the simulator default for `n`).
+    pub max_slots: Option<u64>,
+    /// Channel feedback model.
+    pub feedback: FeedbackModel,
+    /// Base seed; run `i` uses seed `base_seed + i`.
+    pub base_seed: u64,
+    /// Worker threads (default: available parallelism).
+    pub threads: usize,
+}
+
+impl EnsembleSpec {
+    /// A spec with `runs` runs on `n` stations and sensible defaults.
+    pub fn new(n: u32, runs: u64) -> Self {
+        EnsembleSpec {
+            n,
+            runs,
+            max_slots: None,
+            feedback: FeedbackModel::NoCollisionDetection,
+            base_seed: 0,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+        }
+    }
+
+    /// Override the per-run slot cap.
+    pub fn with_max_slots(mut self, cap: u64) -> Self {
+        self.max_slots = Some(cap);
+        self
+    }
+
+    /// Override the base seed.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Override the feedback model.
+    pub fn with_feedback(mut self, fb: FeedbackModel) -> Self {
+        self.feedback = fb;
+        self
+    }
+
+    /// Override the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::new(self.n).with_feedback(self.feedback);
+        if let Some(cap) = self.max_slots {
+            cfg = cfg.with_max_slots(cap);
+        }
+        cfg
+    }
+}
+
+/// Aggregated results of an ensemble.
+#[derive(Clone, Debug)]
+pub struct EnsembleResult {
+    /// One latency sample per run, in run order.
+    pub samples: Vec<LatencySample>,
+    /// Energy (transmission) statistics over all runs.
+    pub energy: EnergyStats,
+}
+
+impl EnsembleResult {
+    /// Latencies of the solved runs.
+    pub fn solved_latencies(&self) -> Vec<u64> {
+        self.samples.iter().filter_map(|s| s.solved()).collect()
+    }
+
+    /// Number of censored (cap-hit) runs.
+    pub fn censored(&self) -> usize {
+        self.samples.len() - self.solved_latencies().len()
+    }
+
+    /// Worst observed latency, counting censored runs pessimistically.
+    pub fn worst(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| s.pessimistic())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Summary statistics of the solved latencies.
+    pub fn summary(&self) -> Option<crate::stats::Summary> {
+        crate::stats::Summary::of_u64(&self.solved_latencies())
+    }
+}
+
+/// Run an ensemble: run `i ∈ [0, spec.runs)` simulates
+/// `protocol_for(base_seed + i)` against `pattern_for(base_seed + i)`.
+///
+/// Panics if any run fails validation (a bug in the generator, not a
+/// measurement outcome).
+pub fn run_ensemble<P, G>(spec: &EnsembleSpec, protocol_for: P, pattern_for: G) -> EnsembleResult
+where
+    P: Fn(u64) -> Box<dyn Protocol> + Sync,
+    G: Fn(u64) -> WakePattern + Sync,
+{
+    let cfg = spec.sim_config();
+    let runs: Vec<u64> = (0..spec.runs).map(|i| spec.base_seed + i).collect();
+    let threads = spec.threads.min(runs.len().max(1));
+    let chunk = runs.len().div_ceil(threads);
+    let mut results: Vec<Option<(LatencySample, mac_sim::Outcome)>> = vec![None; runs.len()];
+
+    std::thread::scope(|scope| {
+        for (chunk_idx, (seeds, out_chunk)) in runs
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            let cfg = cfg.clone();
+            let protocol_for = &protocol_for;
+            let pattern_for = &pattern_for;
+            let _ = chunk_idx;
+            scope.spawn(move || {
+                let sim = Simulator::new(cfg);
+                for (seed, slot) in seeds.iter().zip(out_chunk.iter_mut()) {
+                    let protocol = protocol_for(*seed);
+                    let pattern = pattern_for(*seed);
+                    let outcome = sim
+                        .run(protocol.as_ref(), &pattern, *seed)
+                        .expect("ensemble run failed validation");
+                    *slot = Some((LatencySample::from_outcome(&outcome), outcome));
+                }
+            });
+        }
+    });
+
+    let mut samples = Vec::with_capacity(runs.len());
+    let mut energy = EnergyStats::new();
+    for r in results.into_iter() {
+        let (sample, outcome) = r.expect("worker thread left a hole");
+        samples.push(sample);
+        energy.absorb(&outcome);
+    }
+    EnsembleResult { samples, energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_sim::pattern::IdChoice;
+    use mac_sim::StationId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wakeup_core::prelude::*;
+
+    fn k_pattern(n: u32, k: usize, seed: u64) -> WakePattern {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ids = IdChoice::Random.pick(n, k, &mut rng);
+        WakePattern::uniform_window(&ids, 0, 16, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn ensemble_runs_and_aggregates() {
+        let n = 64u32;
+        let spec = EnsembleSpec::new(n, 16).with_threads(4);
+        let res = run_ensemble(
+            &spec,
+            |seed| Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+            |seed| k_pattern(n, 4, seed),
+        );
+        assert_eq!(res.samples.len(), 16);
+        assert_eq!(res.censored(), 0, "wakeup(n) should solve all runs");
+        let summary = res.summary().unwrap();
+        assert_eq!(summary.count, 16);
+        assert!(summary.max >= summary.median);
+        assert!(res.energy.runs == 16);
+        assert!(res.energy.total_transmissions > 0);
+    }
+
+    #[test]
+    fn ensemble_is_deterministic_given_base_seed() {
+        let n = 32u32;
+        let spec = EnsembleSpec::new(n, 8).with_base_seed(99).with_threads(2);
+        let run = || {
+            run_ensemble(
+                &spec,
+                |seed| Box::new(WakeupWithK::new(n, 4, FamilyProvider::random_with_seed(seed))),
+                |seed| k_pattern(n, 4, seed),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn different_base_seeds_differ() {
+        let n = 32u32;
+        let mk = |base: u64| {
+            run_ensemble(
+                &EnsembleSpec::new(n, 8).with_base_seed(base),
+                |seed| Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+                |seed| k_pattern(n, 3, seed),
+            )
+        };
+        let a = mk(0);
+        let b = mk(1_000_000);
+        // Extremely likely to differ somewhere.
+        assert_ne!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn censored_runs_are_counted() {
+        // A protocol that never transmits gets censored on every run.
+        struct Silent;
+        struct SilentStation;
+        impl mac_sim::Station for SilentStation {
+            fn wake(&mut self, _s: mac_sim::Slot) {}
+            fn act(&mut self, _t: mac_sim::Slot) -> mac_sim::Action {
+                mac_sim::Action::Listen
+            }
+        }
+        impl mac_sim::Protocol for Silent {
+            fn station(&self, _id: StationId, _seed: u64) -> Box<dyn mac_sim::Station> {
+                Box::new(SilentStation)
+            }
+            fn name(&self) -> String {
+                "silent".into()
+            }
+        }
+        let spec = EnsembleSpec::new(8, 4).with_max_slots(50);
+        let res = run_ensemble(&spec, |_| Box::new(Silent), |seed| k_pattern(8, 2, seed));
+        assert_eq!(res.censored(), 4);
+        assert!(res.summary().is_none());
+        assert_eq!(res.worst(), 50);
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread() {
+        let n = 32u32;
+        let mk = |threads: usize| {
+            run_ensemble(
+                &EnsembleSpec::new(n, 10).with_threads(threads),
+                |seed| Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+                |seed| k_pattern(n, 3, seed),
+            )
+        };
+        assert_eq!(mk(1).samples, mk(8).samples);
+    }
+}

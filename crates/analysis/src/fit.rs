@@ -1,0 +1,242 @@
+//! Least-squares fits of measured latency against the paper's model shapes.
+//!
+//! Absolute constants are implementation artifacts; what the reproduction
+//! must get right is the *shape* — who grows like what. [`fit_model`] fits
+//! `y ≈ a·f(n,k) + b` for a model function `f` by simple linear regression
+//! and reports `R²`; experiments fit every candidate shape and report which
+//! explains the data best.
+
+/// The model shapes from the paper's bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Model {
+    /// `k·log₂(n/k) + 1` — the optimal deterministic bound (Scenarios A/B).
+    KLogNOverK,
+    /// `k·log₂ n·log₂ log₂ n` — the Scenario C upper bound.
+    KLogNLogLogN,
+    /// `k·log₂² n` — the locally-synchronized baseline bound (ref. 9).
+    KLog2N,
+    /// `log₂ n` — RPD expected time.
+    LogN,
+    /// `log₂ k` — RPD-k expected time / Kushilevitz–Mansour lower bound.
+    LogK,
+    /// `n − k + 1` — round-robin / the large-`k` lower bound.
+    NMinusKPlus1,
+    /// `k` — linear-in-contention reference.
+    K,
+    /// `n` — linear-in-universe reference.
+    N,
+}
+
+impl Model {
+    /// Evaluate the model function at `(n, k)`.
+    pub fn eval(&self, n: f64, k: f64) -> f64 {
+        let log2 = |x: f64| x.max(2.0).log2();
+        match self {
+            Model::KLogNOverK => k * log2(n / k.max(1.0)).max(1.0) + 1.0,
+            Model::KLogNLogLogN => k * log2(n) * log2(log2(n)).max(1.0),
+            Model::KLog2N => k * log2(n) * log2(n),
+            Model::LogN => log2(n),
+            Model::LogK => log2(k),
+            Model::NMinusKPlus1 => n - k + 1.0,
+            Model::K => k,
+            Model::N => n,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::KLogNOverK => "k·log(n/k)+1",
+            Model::KLogNLogLogN => "k·log n·log log n",
+            Model::KLog2N => "k·log² n",
+            Model::LogN => "log n",
+            Model::LogK => "log k",
+            Model::NMinusKPlus1 => "n−k+1",
+            Model::K => "k",
+            Model::N => "n",
+        }
+    }
+
+    /// All models, for "which shape explains this best" sweeps.
+    pub fn all() -> &'static [Model] {
+        &[
+            Model::KLogNOverK,
+            Model::KLogNLogLogN,
+            Model::KLog2N,
+            Model::LogN,
+            Model::LogK,
+            Model::NMinusKPlus1,
+            Model::K,
+            Model::N,
+        ]
+    }
+}
+
+/// The result of fitting `y ≈ a·f(n,k) + b`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FitResult {
+    /// The fitted model.
+    pub model: Model,
+    /// Slope `a`.
+    pub a: f64,
+    /// Intercept `b`.
+    pub b: f64,
+    /// Coefficient of determination `R² ∈ (-∞, 1]`.
+    pub r2: f64,
+}
+
+impl FitResult {
+    /// Compact rendering for experiment output.
+    pub fn render(&self) -> String {
+        format!(
+            "y ≈ {:.3}·[{}] + {:.1}   (R² = {:.4})",
+            self.a,
+            self.model.name(),
+            self.b
+        , self.r2)
+    }
+}
+
+/// Fit `y ≈ a·model(n,k) + b` by ordinary least squares over the points
+/// `(n, k, y)`. Returns `None` for fewer than 2 points or a degenerate
+/// (constant) model column.
+pub fn fit_model(model: Model, points: &[(f64, f64, f64)]) -> Option<FitResult> {
+    if points.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = points.iter().map(|&(n, k, _)| model.eval(n, k)).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, _, y)| y).collect();
+    let m = xs.len() as f64;
+    let x_mean = xs.iter().sum::<f64>() / m;
+    let y_mean = ys.iter().sum::<f64>() / m;
+    let sxx: f64 = xs.iter().map(|x| (x - x_mean).powi(2)).sum();
+    if sxx < 1e-12 {
+        return None; // model column is constant over these points
+    }
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - x_mean) * (y - y_mean))
+        .sum();
+    let a = sxy / sxx;
+    let b = y_mean - a * x_mean;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (y - (a * x + b)).powi(2))
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - y_mean).powi(2)).sum();
+    let r2 = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(FitResult { model, a, b, r2 })
+}
+
+/// Fit all candidate models and return them sorted by descending `R²`.
+pub fn rank_models(points: &[(f64, f64, f64)]) -> Vec<FitResult> {
+    let mut fits: Vec<FitResult> = Model::all()
+        .iter()
+        .filter_map(|&m| fit_model(m, points))
+        .collect();
+    fits.sort_by(|a, b| b.r2.partial_cmp(&a.r2).expect("NaN R²"));
+    fits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_eval_values() {
+        assert_eq!(Model::K.eval(100.0, 5.0), 5.0);
+        assert_eq!(Model::N.eval(100.0, 5.0), 100.0);
+        assert_eq!(Model::NMinusKPlus1.eval(100.0, 5.0), 96.0);
+        assert!((Model::LogN.eval(1024.0, 5.0) - 10.0).abs() < 1e-12);
+        assert!((Model::LogK.eval(1024.0, 16.0) - 4.0).abs() < 1e-12);
+        // k·log(n/k)+1 at n=1024, k=16: 16·6+1 = 97.
+        assert!((Model::KLogNOverK.eval(1024.0, 16.0) - 97.0).abs() < 1e-12);
+        // k·log n·log log n at n=1024, k=2: 2·10·log2(10) ≈ 66.4.
+        let v = Model::KLogNLogLogN.eval(1024.0, 2.0);
+        assert!((v - 2.0 * 10.0 * 10f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_linear_data_fits_exactly() {
+        // y = 3·k + 2 exactly.
+        let points: Vec<(f64, f64, f64)> = (1..20)
+            .map(|k| (1024.0, k as f64, 3.0 * k as f64 + 2.0))
+            .collect();
+        let fit = fit_model(Model::K, &points).unwrap();
+        assert!((fit.a - 3.0).abs() < 1e-9);
+        assert!((fit.b - 2.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_model_wins_the_ranking() {
+        // Synthesize y = 2·k·log(n/k)+1 data over a (n,k) grid and check the
+        // matching model ranks first.
+        let mut points = Vec::new();
+        for n in [256.0, 1024.0, 4096.0] {
+            for k in [2.0, 4.0, 8.0, 16.0, 32.0] {
+                points.push((n, k, 2.0 * Model::KLogNOverK.eval(n, k)));
+            }
+        }
+        let ranked = rank_models(&points);
+        assert_eq!(ranked[0].model, Model::KLogNOverK, "{ranked:?}");
+        assert!(ranked[0].r2 > 0.999);
+    }
+
+    #[test]
+    fn scenario_c_shape_distinguishable_from_log2() {
+        // k·log n·log log n grows measurably slower than k·log² n across a
+        // wide n sweep with fixed k; the correct model must win.
+        let mut points = Vec::new();
+        for exp in 6..=20 {
+            let n = f64::from(1u32 << exp);
+            points.push((n, 4.0, 1.5 * Model::KLogNLogLogN.eval(n, 4.0)));
+        }
+        let ranked = rank_models(&points);
+        assert_eq!(ranked[0].model, Model::KLogNLogLogN);
+        let log2_fit = ranked.iter().find(|f| f.model == Model::KLog2N).unwrap();
+        assert!(ranked[0].r2 > log2_fit.r2);
+    }
+
+    #[test]
+    fn too_few_points_or_degenerate_column() {
+        assert!(fit_model(Model::K, &[(10.0, 1.0, 5.0)]).is_none());
+        // Constant k ⇒ Model::K column is constant ⇒ no fit.
+        let points = [(10.0, 3.0, 5.0), (20.0, 3.0, 9.0)];
+        assert!(fit_model(Model::K, &points).is_none());
+        // But Model::N still fits.
+        assert!(fit_model(Model::N, &points).is_some());
+    }
+
+    #[test]
+    fn noisy_data_gets_reasonable_r2() {
+        // y = 5·log n with ±2% deterministic "noise".
+        let points: Vec<(f64, f64, f64)> = (6..=16)
+            .map(|e| {
+                let n = f64::from(1u32 << e);
+                let noise = 1.0 + 0.02 * if e % 2 == 0 { 1.0 } else { -1.0 };
+                (n, 2.0, 5.0 * n.log2() * noise)
+            })
+            .collect();
+        let fit = fit_model(Model::LogN, &points).unwrap();
+        assert!(fit.r2 > 0.99, "R² = {}", fit.r2);
+        assert!((fit.a - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn render_contains_model_name() {
+        let fit = FitResult {
+            model: Model::LogN,
+            a: 1.0,
+            b: 0.0,
+            r2: 0.5,
+        };
+        assert!(fit.render().contains("log n"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # wakeup-analysis — measurement harness for the reproduction experiments
+//!
+//! Tools to turn simulator runs into the tables of `EXPERIMENTS.md`:
+//!
+//! * [`ensemble`] — a multi-seed, multi-threaded experiment runner pairing a
+//!   protocol factory with a wake-pattern generator;
+//! * [`stats`] — summary statistics (mean/sd/median/quantiles/max, normal
+//!   95% confidence intervals) over latency samples;
+//! * [`fit`] — least-squares fits of measured latency against the paper's
+//!   model shapes (`k·log(n/k)+1`, `k·log n·log log n`, `k·log² n`,
+//!   `log n`, `log k`, `n−k+1`) with `R²`, used to check *shape* agreement
+//!   rather than absolute constants;
+//! * [`table`] — Markdown and CSV rendering of experiment tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod fit;
+pub mod stats;
+pub mod table;
+
+pub use ensemble::{run_ensemble, EnsembleResult, EnsembleSpec};
+pub use fit::{fit_model, FitResult, Model};
+pub use stats::Summary;
+pub use table::Table;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::ensemble::{run_ensemble, EnsembleResult, EnsembleSpec};
+    pub use crate::fit::{fit_model, FitResult, Model};
+    pub use crate::stats::Summary;
+    pub use crate::table::Table;
+}

@@ -1,0 +1,166 @@
+//! Summary statistics over latency samples.
+
+/// Summary statistics of a sample of non-negative measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for count < 2).
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarize `values`. Returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count >= 2 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Some(Summary {
+            count,
+            mean,
+            sd: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
+            p99: percentile(&sorted, 0.99),
+        })
+    }
+
+    /// Summarize integer samples (convenience for slot counts).
+    pub fn of_u64(values: &[u64]) -> Option<Summary> {
+        let v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+        Summary::of(&v)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval for
+    /// the mean (`1.96·sd/√count`).
+    pub fn ci95(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.sd / (self.count as f64).sqrt()
+    }
+
+    /// Compact one-line rendering used in experiment output.
+    pub fn render(&self) -> String {
+        format!(
+            "mean {:.1} ±{:.1} | median {:.1} | p90 {:.1} | max {:.0} (N={})",
+            self.mean,
+            self.ci95(),
+            self.median,
+            self.p90,
+            self.max,
+            self.count
+        )
+    }
+}
+
+/// Percentile by linear interpolation on a pre-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of_u64(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        // Sample sd of 1..5 = sqrt(2.5).
+        assert!((s.sd - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.5), 5.0);
+        assert_eq!(percentile(&sorted, 0.9), 9.0);
+        let s = Summary::of(&[0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0])
+            .unwrap();
+        assert_eq!(s.p90, 90.0);
+        assert!((s.p99 - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        let b = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn of_u64_matches_of() {
+        let a = Summary::of_u64(&[1, 2, 3]).unwrap();
+        let b = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Summary::of(&[1.0, 5.0, 9.0, 2.0]).unwrap();
+        let values: Vec<f64> = (0..400).map(|i| (i % 9) as f64 + 1.0).collect();
+        let large = Summary::of(&values).unwrap();
+        assert!(large.ci95() < small.ci95());
+    }
+
+    #[test]
+    fn render_mentions_all_fields() {
+        let s = Summary::of(&[1.0, 2.0]).unwrap();
+        let r = s.render();
+        assert!(r.contains("mean") && r.contains("median") && r.contains("N=2"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Criterion micro-benchmarks of the hot kernels behind every experiment:
+//!
+//! * `family_construction` — building selective families (random explicit,
+//!   random oracle, Kautz–Singleton) at the sizes EXP-A/B consume;
+//! * `matrix_oracle` — waking-matrix membership evaluation, the inner loop
+//!   of Scenario C (EXP-C);
+//! * `simulator_throughput` — slots/second of the channel engine (all
+//!   experiments);
+//! * `protocol_latency` — end-to-end wake-up for each algorithm at a fixed
+//!   configuration (the per-row cost of TAB-SUMMARY).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mac_sim::prelude::*;
+use selectors::prelude::*;
+use std::hint::black_box;
+use wakeup_core::prelude::*;
+
+fn family_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("family_construction");
+    for &(n, k) in &[(1024u32, 8u32), (4096, 32)] {
+        group.bench_with_input(
+            BenchmarkId::new("random_explicit", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| {
+                    black_box(
+                        RandomFamilyBuilder::new(n, k)
+                            .seed(1)
+                            .build_explicit()
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random_oracle", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| black_box(RandomFamilyBuilder::new(n, k).seed(1).build_oracle().len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kautz_singleton", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| b.iter(|| black_box(KautzSingleton::new(n, k).len())),
+        );
+    }
+    group.finish();
+}
+
+fn matrix_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_oracle");
+    for &n in &[1024u32, 65536] {
+        let matrix = WakingMatrix::new(MatrixParams::new(n));
+        group.bench_with_input(BenchmarkId::new("member", n), &matrix, |b, m| {
+            let mut j = 0u64;
+            b.iter(|| {
+                j = j.wrapping_add(0x9E37_79B9);
+                black_box(m.member(1 + (j % u64::from(m.rows())) as u32, j, (j % u64::from(n)) as u32))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("transmits", n), &matrix, |b, m| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 17;
+                black_box(m.transmits((t % u64::from(n)) as u32, 0, t))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    // A never-succeeding workload isolates the engine cost per slot.
+    struct Listeners;
+    struct L;
+    impl Station for L {
+        fn wake(&mut self, _s: Slot) {}
+        fn act(&mut self, _t: Slot) -> Action {
+            Action::Listen
+        }
+    }
+    impl Protocol for Listeners {
+        fn station(&self, _id: StationId, _seed: u64) -> Box<dyn Station> {
+            Box::new(L)
+        }
+        fn name(&self) -> String {
+            "listeners".into()
+        }
+    }
+    for &k in &[4usize, 64] {
+        group.bench_with_input(BenchmarkId::new("slots_10k", k), &k, |b, &k| {
+            let n = 1024u32;
+            let ids: Vec<StationId> = (0..k as u32).map(StationId).collect();
+            let pattern = WakePattern::simultaneous(&ids, 0).unwrap();
+            let sim = Simulator::new(SimConfig::new(n).with_max_slots(10_000));
+            b.iter(|| black_box(sim.run(&Listeners, &pattern, 0).unwrap().slots_simulated))
+        });
+    }
+    group.finish();
+}
+
+fn protocol_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_latency");
+    let n = 1024u32;
+    let k = 8usize;
+    let ids: Vec<StationId> = (0..k as u32).map(|i| StationId(i * 100)).collect();
+    let pattern = WakePattern::simultaneous(&ids, 0).unwrap();
+    let sim = Simulator::new(SimConfig::new(n));
+
+    let protocols: Vec<(&str, Box<dyn Protocol>)> = vec![
+        ("round_robin", Box::new(RoundRobin::new(n))),
+        (
+            "wakeup_with_s",
+            Box::new(WakeupWithS::new(n, 0, FamilyProvider::default())),
+        ),
+        (
+            "wakeup_with_k",
+            Box::new(WakeupWithK::new(n, k as u32, FamilyProvider::default())),
+        ),
+        ("wakeup_n", Box::new(WakeupN::new(MatrixParams::new(n)))),
+        ("rpd", Box::new(Rpd::new(n))),
+    ];
+    for (name, proto) in &protocols {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                black_box(
+                    sim.run(proto.as_ref(), &pattern, 1)
+                        .unwrap()
+                        .first_success,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn adversary_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_kernels");
+    // The Theorem 2.1 swap chain against round-robin (EXP-LB's kernel).
+    for &(n, k) in &[(64u32, 8u32), (256, 32)] {
+        group.bench_with_input(
+            BenchmarkId::new("swap_chain_rr", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let adv = SwapChainAdversary::new(n, k);
+                let sched = selectors::schedule::RoundRobinSchedule::new(n);
+                b.iter(|| black_box(adv.run(&sched).forced_rounds))
+            },
+        );
+    }
+    // The spoiler local search against wakeup(n) (EXP-ABL-ADV's kernel).
+    group.bench_function("spoiler_wakeup_n_n128_k6", |b| {
+        let n = 128u32;
+        let sim = Simulator::new(SimConfig::new(n));
+        let protocol = WakeupN::new(MatrixParams::new(n));
+        let ids: Vec<StationId> = (0..6).map(|i| StationId(i * 20)).collect();
+        let start = WakePattern::simultaneous(&ids, 0).unwrap();
+        let spoiler = SpoilerSearch::new(8, 100_000);
+        b.iter(|| {
+            black_box(
+                spoiler
+                    .search(&sim, &protocol, start.clone(), 1)
+                    .unwrap()
+                    .moves,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn verification_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification_kernels");
+    // Exhaustive selectivity verification (EXP-SEL ground truth).
+    group.bench_function("exhaustive_n14_k3", |b| {
+        let fam = RandomFamilyBuilder::new(14, 3).seed(7).build_explicit();
+        b.iter(|| black_box(verify::selective_exhaustive(&fam).is_ok()))
+    });
+    // Monte-Carlo falsification at scale.
+    group.bench_function("monte_carlo_n1024_k16_200trials", |b| {
+        let fam = RandomFamilyBuilder::new(1024, 16).seed(7).build_explicit();
+        b.iter(|| black_box(verify::selective_monte_carlo(&fam, 200, 3).is_ok()))
+    });
+    // Bounded waking-matrix certification (EXP-CERT's kernel).
+    group.bench_function("certify_n6_k2_w3", |b| {
+        let matrix = WakingMatrix::new(MatrixParams::new(6));
+        let cfg = CertifyConfig {
+            k_max: 2,
+            window: 3,
+            horizon_scale: 2,
+        };
+        b.iter(|| black_box(wakeup_core::certify::certify(&matrix, cfg).is_ok()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    family_construction,
+    matrix_oracle,
+    simulator_throughput,
+    protocol_latency,
+    adversary_kernels,
+    verification_kernels
+);
+criterion_main!(benches);

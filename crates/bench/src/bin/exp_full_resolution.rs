@@ -1,0 +1,101 @@
+//! EXP-KG — the Komlós–Greenberg predecessor problem (§1, reference \[25\]):
+//! all `k` awake stations must transmit successfully, in
+//! `O(k + k·log(n/k))` (their existential bound).
+//!
+//! Measures the selective-family resolver with retirement against retiring
+//! round-robin (`Θ(n)`) and fits the measured full-resolution latency
+//! against `k·log(n/k)+1` and `n`.
+
+use mac_sim::prelude::*;
+use wakeup_analysis::prelude::*;
+use wakeup_bench::{banner, burst_pattern, Scale};
+use wakeup_core::prelude::*;
+
+fn main() {
+    banner(
+        "EXP-KG — full conflict resolution (every station transmits)",
+        "Komlós–Greenberg: O(k + k·log(n/k)); time-division baseline: Θ(n)",
+    );
+    let scale = Scale::from_env();
+    let runs = scale.runs();
+    let mut table = Table::new([
+        "n",
+        "k",
+        "selective (mean)",
+        "selective (max)",
+        "retiring RR (mean)",
+        "unresolved",
+    ]);
+    let mut points = Vec::new();
+
+    for &n in &scale.n_sweep() {
+        for &k in &scale.k_sweep(64.min(n)) {
+            let spec = EnsembleSpec::new(n, runs).with_base_seed(8000);
+            let sel = run_ensemble_full(&spec, n, k, true);
+            let rr = run_ensemble_full(&spec, n, k, false);
+            let sel_summary = Summary::of_u64(&sel.0).expect("selective must resolve");
+            let rr_summary = Summary::of_u64(&rr.0).expect("round-robin must resolve");
+            points.push((f64::from(n), f64::from(k), sel_summary.mean));
+            table.push_row([
+                n.to_string(),
+                k.to_string(),
+                format!("{:.1}", sel_summary.mean),
+                format!("{:.0}", sel_summary.max),
+                format!("{:.1}", rr_summary.mean),
+                (sel.1 + rr.1).to_string(),
+            ]);
+        }
+    }
+    table.print();
+
+    println!("\nmodel ranking over selective-resolver means (best R² first):");
+    for fit in wakeup_analysis::fit::rank_models(&points).iter().take(4) {
+        println!("  {}", fit.render());
+    }
+    let target = fit_model(Model::KLogNOverK, &points).expect("fit");
+    let linear = fit_model(Model::K, &points).expect("fit");
+    println!("\nKG-shape fit: {}", target.render());
+    // KG's bound is O(k + k·log(n/k)) — an upper bound with an additive
+    // Θ(k) term. Measured growth of Θ(k) (each resolution needs its own
+    // success slot) sits *inside* the bound; either shape fitting well
+    // confirms it.
+    if target.r2 >= 0.85 || linear.r2 >= 0.85 {
+        println!(
+            "UPPER BOUND CONSISTENT: growth is Θ(k)·const (R² = {:.3}) \
+             within O(k + k·log(n/k)); the log factor is subdominant at \
+             these sizes",
+            linear.r2.max(target.r2)
+        );
+    } else {
+        println!("shape unclear — see EXPERIMENTS.md notes");
+    }
+}
+
+/// Returns (full-resolution latencies, unresolved count).
+fn run_ensemble_full(spec: &EnsembleSpec, n: u32, k: u32, selective: bool) -> (Vec<u64>, usize) {
+    let cfg = SimConfig::new(n)
+        .with_max_slots(4 * u64::from(n) * 64)
+        .until_all_resolved();
+    let sim = Simulator::new(cfg);
+    let mut latencies = Vec::new();
+    let mut unresolved = 0usize;
+    for i in 0..spec.runs {
+        let seed = spec.base_seed + i;
+        let pattern = burst_pattern(n, k as usize, 3, seed);
+        let protocol: Box<dyn Protocol> = if selective {
+            Box::new(FullResolution::new(
+                n,
+                k,
+                FamilyProvider::Random { seed, delta: 1e-4 },
+            ))
+        } else {
+            Box::new(RetiringRoundRobin::new(n))
+        };
+        let out = sim.run(protocol.as_ref(), &pattern, seed).unwrap();
+        match out.full_resolution_latency() {
+            Some(l) => latencies.push(l),
+            None => unresolved += 1,
+        }
+    }
+    (latencies, unresolved)
+}

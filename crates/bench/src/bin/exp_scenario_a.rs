@@ -1,0 +1,69 @@
+//! EXP-A — §3: `wakeup_with_s` resolves contention in `Θ(k·log(n/k) + 1)`
+//! when the first wake-up slot `s` is known.
+//!
+//! Workload: simultaneous bursts at a known `s` (the hardest case for the
+//! selective component — every awake station participates), with the
+//! *adversarial* station block (the IDs owning round-robin's last turns),
+//! so the measurement reflects the worst case the theorem bounds rather
+//! than round-robin's lucky `n/k` average on random IDs. Reports mean/max
+//! latency per `(n, k)` and fits the measured means against the candidate
+//! model shapes; the paper's bound must rank at the top and the absolute
+//! latency must stay below the round-robin envelope `2n`.
+
+use mac_sim::Protocol;
+use wakeup_analysis::prelude::*;
+use wakeup_bench::{banner, worst_rr_pattern, Scale};
+use wakeup_core::prelude::*;
+
+fn main() {
+    banner(
+        "EXP-A — Scenario A (s known): wakeup_with_s",
+        "Θ(k·log(n/k) + 1), optimal (Thm 2.1 + Clementi et al.)",
+    );
+    let scale = Scale::from_env();
+    let runs = scale.runs();
+    let mut table = Table::new(["n", "k", "mean", "ci95", "max", "2n envelope", "censored"]);
+    let mut points = Vec::new();
+
+    for &n in &scale.n_sweep() {
+        for &k in &scale.k_sweep(n) {
+            let spec = EnsembleSpec::new(n, runs).with_base_seed(1000);
+            let res = run_ensemble(
+                &spec,
+                |seed| -> Box<dyn Protocol> {
+                    let s = (seed % 97) * 13;
+                    Box::new(WakeupWithS::new(n, s, FamilyProvider::Random { seed, delta: 1e-4 }))
+                },
+                |seed| {
+                    let s = (seed % 97) * 13;
+                    worst_rr_pattern(n, k as usize, s)
+                },
+            );
+            let summary = res.summary().expect("scenario A must solve");
+            assert_eq!(res.censored(), 0);
+            assert!(
+                summary.max <= 2.0 * f64::from(n) + 1.0,
+                "latency beyond round-robin envelope at n={n}, k={k}"
+            );
+            points.push((f64::from(n), f64::from(k), summary.mean));
+            table.push_row([
+                n.to_string(),
+                k.to_string(),
+                format!("{:.1}", summary.mean),
+                format!("{:.1}", summary.ci95()),
+                format!("{:.0}", summary.max),
+                (2 * n).to_string(),
+                res.censored().to_string(),
+            ]);
+        }
+    }
+    table.print();
+
+    println!("\nmodel ranking over measured means (best R² first):");
+    for fit in wakeup_analysis::fit::rank_models(&points).iter().take(4) {
+        println!("  {}", fit.render());
+    }
+    let target = fit_model(Model::KLogNOverK, &points).expect("fit");
+    println!("\npaper-shape fit: {}", target.render());
+    println!("{}", wakeup_bench::shape_verdict(&points, Model::KLogNOverK));
+}

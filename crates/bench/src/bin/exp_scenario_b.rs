@@ -1,0 +1,78 @@
+//! EXP-B — §4: `wakeup_with_k` resolves contention in `Θ(k·log(n/k) + 1)`
+//! when the contention bound `k` is known, under *staggered* wake-ups.
+//!
+//! Workload: the non-synchronized patterns Scenario B is designed for —
+//! uniform windows, staggered arithmetic arrivals and bursts. Reports
+//! per-pattern-family latency and the model-shape fit.
+
+use mac_sim::{Protocol, WakePattern};
+use wakeup_analysis::prelude::*;
+use wakeup_bench::{banner, random_pattern, worst_rr_pattern, Scale};
+use wakeup_core::prelude::*;
+
+fn staggered_pattern(n: u32, k: usize, seed: u64) -> WakePattern {
+    use mac_sim::pattern::IdChoice;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let ids = IdChoice::Random.pick(n, k, &mut rng);
+    WakePattern::staggered(&ids, seed % 53, 1 + seed % 11).unwrap()
+}
+
+fn main() {
+    banner(
+        "EXP-B — Scenario B (k known): wakeup_with_k",
+        "Θ(k·log(n/k) + 1) under arbitrary wake-up patterns",
+    );
+    let scale = Scale::from_env();
+    let runs = scale.runs();
+    type PatternFn = fn(u32, usize, u64) -> WakePattern;
+    let patterns: [(&str, PatternFn); 3] = [
+        ("uniform-window", |n, k, seed| random_pattern(n, k, 64, seed)),
+        ("staggered", staggered_pattern),
+        ("worst-block burst", |n, k, _seed| worst_rr_pattern(n, k, 7)),
+    ];
+
+    let mut table = Table::new(["pattern", "n", "k", "mean", "max", "censored"]);
+    let mut points = Vec::new();
+
+    for &n in &scale.n_sweep() {
+        for &k in &scale.k_sweep(n) {
+            for (pname, pfn) in &patterns {
+                let spec = EnsembleSpec::new(n, runs).with_base_seed(2000);
+                let res = run_ensemble(
+                    &spec,
+                    |seed| -> Box<dyn Protocol> {
+                        Box::new(WakeupWithK::new(n, k, FamilyProvider::Random { seed, delta: 1e-4 }))
+                    },
+                    |seed| pfn(n, k as usize, seed),
+                );
+                let summary = res.summary().expect("scenario B must solve");
+                assert_eq!(res.censored(), 0, "{pname} n={n} k={k}");
+                assert!(
+                    summary.max <= 2.0 * f64::from(n) + 1.0,
+                    "beyond round-robin envelope: {pname} n={n} k={k}"
+                );
+                if *pname == "worst-block burst" {
+                    points.push((f64::from(n), f64::from(k), summary.mean));
+                }
+                table.push_row([
+                    pname.to_string(),
+                    n.to_string(),
+                    k.to_string(),
+                    format!("{:.1}", summary.mean),
+                    format!("{:.0}", summary.max),
+                    res.censored().to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+
+    println!("\nmodel ranking over burst means (best R² first):");
+    for fit in wakeup_analysis::fit::rank_models(&points).iter().take(4) {
+        println!("  {}", fit.render());
+    }
+    let target = fit_model(Model::KLogNOverK, &points).expect("fit");
+    println!("\npaper-shape fit: {}", target.render());
+    println!("{}", wakeup_bench::shape_verdict(&points, Model::KLogNOverK));
+}

@@ -1,0 +1,183 @@
+//! # wakeup-bench — experiment regenerators and micro-benchmarks
+//!
+//! One binary per experiment of `DESIGN.md` §3 / `EXPERIMENTS.md`:
+//!
+//! | binary | experiment |
+//! |--------|------------|
+//! | `exp_lower_bound` | EXP-LB — Theorem 2.1 swap-chain adversary |
+//! | `exp_scenario_a`  | EXP-A — `wakeup_with_s` scaling |
+//! | `exp_scenario_b`  | EXP-B — `wakeup_with_k` scaling |
+//! | `exp_scenario_c`  | EXP-C — `wakeup(n)` scaling |
+//! | `exp_vs_chlebus`  | EXP-CHL — Scenario C vs locally-synchronized baseline |
+//! | `exp_randomized`  | EXP-RAND — RPD / RPD-k / ALOHA / BEB |
+//! | `exp_figures`     | EXP-FIG1/2 — matrix walk and column snapshot |
+//! | `exp_balance`     | EXP-BAL — §5.2 well-balancedness and isolation |
+//! | `exp_selective`   | EXP-SEL — selective-family sizes and verification |
+//! | `exp_crossover`   | EXP-CROSS — round-robin vs selective crossover |
+//! | `exp_summary`     | TAB-SUMMARY — the three-scenario bound table |
+//! | `exp_ablations`   | EXP-ABL — CD feedback, energy, ρ-sweep, spoiler |
+//! | `exp_full_resolution` | EXP-KG — Komlós–Greenberg full conflict resolution |
+//! | `exp_certify`     | EXP-CERT — bounded waking-matrix certification |
+//!
+//! All binaries accept the environment variable `WAKEUP_SCALE`:
+//! `quick` (default, seconds) or `full` (minutes, larger sweeps). Seeds are
+//! printed so every table is exactly reproducible.
+//!
+//! Criterion micro-benches live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mac_sim::pattern::IdChoice;
+use mac_sim::{StationId, WakePattern};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Experiment scale, from `WAKEUP_SCALE` (`quick` | `full`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale sweeps (CI-friendly). The default.
+    Quick,
+    /// Minutes-scale sweeps matching EXPERIMENTS.md's recorded tables.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("WAKEUP_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// The `n` sweep for scaling experiments.
+    pub fn n_sweep(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![256, 1024, 4096],
+            Scale::Full => vec![256, 1024, 4096, 16384, 65536],
+        }
+    }
+
+    /// The `k` sweep (powers of two up to `n`).
+    pub fn k_sweep(self, n: u32) -> Vec<u32> {
+        let cap = match self {
+            Scale::Quick => 64.min(n),
+            Scale::Full => n,
+        };
+        let mut ks = vec![1u32];
+        let mut k = 2u32;
+        while k <= cap {
+            ks.push(k);
+            k = k.saturating_mul(2);
+        }
+        ks
+    }
+
+    /// Runs per configuration.
+    pub fn runs(self) -> u64 {
+        match self {
+            Scale::Quick => 10,
+            Scale::Full => 50,
+        }
+    }
+}
+
+/// A random wake pattern: `k` random stations, wake times uniform in a
+/// window of `window` slots starting at a random `s` (first waker pinned to
+/// `s`).
+pub fn random_pattern(n: u32, k: usize, window: u64, seed: u64) -> WakePattern {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ids = IdChoice::Random.pick(n, k, &mut rng);
+    let s = (seed % 97) * 13; // vary s across runs
+    WakePattern::uniform_window(&ids, s, window.max(1), &mut rng).unwrap()
+}
+
+/// A simultaneous-burst pattern at slot `s` with `k` random stations.
+pub fn burst_pattern(n: u32, k: usize, s: u64, seed: u64) -> WakePattern {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ids = IdChoice::Random.pick(n, k, &mut rng);
+    WakePattern::simultaneous(&ids, s).unwrap()
+}
+
+/// The adversarial block pattern for round-robin: the `k` stations owning
+/// the *last* turns of the cycle, waking together.
+pub fn worst_rr_pattern(n: u32, k: usize, s: u64) -> WakePattern {
+    let ids: Vec<StationId> = (n - k as u32..n).map(StationId).collect();
+    WakePattern::simultaneous(&ids, s).unwrap()
+}
+
+/// Shape verdict: the paper's model must rank #1 by R² among all candidate
+/// shapes and explain most of the variance. Returns a human-readable line.
+pub fn shape_verdict(
+    points: &[(f64, f64, f64)],
+    target: wakeup_analysis::Model,
+) -> String {
+    let ranked = wakeup_analysis::fit::rank_models(points);
+    let Some(best) = ranked.first() else {
+        return "no fit possible (too few points)".into();
+    };
+    let target_fit = ranked.iter().find(|f| f.model == target);
+    match target_fit {
+        Some(f) if best.model == target && f.r2 >= 0.85 => format!(
+            "SHAPE CONFIRMED: {} ranks #1 of {} candidates (R² = {:.3})",
+            target.name(),
+            ranked.len(),
+            f.r2
+        ),
+        Some(f) => format!(
+            "shape NOT confirmed: {} has R² = {:.3}, best was {} (R² = {:.3})",
+            target.name(),
+            f.r2,
+            best.model.name(),
+            best.r2
+        ),
+        None => "target model not fittable on these points".into(),
+    }
+}
+
+/// Print a standard experiment banner.
+pub fn banner(id: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{id}");
+    println!("paper claim: {paper_claim}");
+    println!("scale: {:?} (set WAKEUP_SCALE=full for the big sweep)", Scale::from_env());
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_sweeps_are_nontrivial() {
+        assert!(Scale::Quick.n_sweep().len() >= 3);
+        assert!(Scale::Full.n_sweep().len() > Scale::Quick.n_sweep().len());
+        let ks = Scale::Quick.k_sweep(1024);
+        assert_eq!(ks[0], 1);
+        assert!(ks.contains(&64));
+        assert!(ks.iter().all(|&k| k <= 1024));
+        // Full scale reaches k = n.
+        assert!(Scale::Full.k_sweep(256).contains(&256));
+    }
+
+    #[test]
+    fn random_pattern_is_reproducible_and_valid() {
+        let a = random_pattern(128, 8, 32, 7);
+        let b = random_pattern(128, 8, 32, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.k(), 8);
+        assert!(a.last_wake() - a.s() < 32);
+    }
+
+    #[test]
+    fn burst_and_worst_patterns() {
+        let b = burst_pattern(64, 4, 10, 1);
+        assert!(b.wakes().iter().all(|&(_, t)| t == 10));
+        let w = worst_rr_pattern(64, 4, 0);
+        assert_eq!(
+            w.wakes().iter().map(|&(id, _)| id.0).collect::<Vec<_>>(),
+            vec![60, 61, 62, 63]
+        );
+    }
+}

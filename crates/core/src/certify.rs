@@ -1,0 +1,257 @@
+//! Bounded certification of waking matrices.
+//!
+//! Theorem 5.2 proves a waking matrix *exists*; §7 leaves the explicit
+//! construction open, and full certification is exponential (the proof's
+//! union bound ranges over `(3cn⁴)^{x*}` wake-pattern families). What *is*
+//! tractable is **bounded certification**: exhaustively enumerate every
+//! wake-up pattern with at most `k_max` stations and wake times inside a
+//! window of `w` slots, and check that the matrix isolates a station within
+//! the Theorem 5.3 horizon for each. For toy universes (`n ≤ 10`,
+//! `k_max ≤ 3`, `w ≤ 8`) this is millions of cheap checks — a machine-checked
+//! certificate that a concrete seeded matrix is a waking matrix *for that
+//! bounded adversary class*.
+//!
+//! [`certify`] either returns the [`Certificate`] (patterns checked, worst
+//! isolation latency observed) or the exact [`FailingPattern`] — which makes
+//! it double as a *seed search*: iterate seeds until one certifies
+//! ([`search_certified_seed`]).
+
+use crate::waking_matrix::WakingMatrix;
+use mac_sim::Slot;
+
+/// Parameters of a bounded certification sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct CertifyConfig {
+    /// Check patterns with `1..=k_max` stations.
+    pub k_max: u32,
+    /// Wake times range over `[0, window)`.
+    pub window: Slot,
+    /// Isolation must occur within `horizon_scale ×` the Theorem 5.3
+    /// horizon `2c·k·log n·log log n` (counted from each pattern's `s`).
+    pub horizon_scale: u64,
+}
+
+impl CertifyConfig {
+    /// Default bounded adversary: `k_max = 3`, window 6, horizon scale 1.
+    pub fn new() -> Self {
+        CertifyConfig {
+            k_max: 3,
+            window: 6,
+            horizon_scale: 1,
+        }
+    }
+}
+
+impl Default for CertifyConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A successful bounded certificate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Number of wake patterns exhaustively checked.
+    pub patterns_checked: u64,
+    /// The worst isolation latency (`t − s`) observed over all patterns.
+    pub worst_latency: u64,
+}
+
+/// A counterexample: a pattern the matrix fails to isolate in time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailingPattern {
+    /// The `(station, wake slot)` pairs of the failing pattern.
+    pub wakes: Vec<(u32, Slot)>,
+    /// The horizon that was searched without finding an isolation slot.
+    pub horizon: u64,
+}
+
+/// Does the matrix isolate some station for this wake assignment within
+/// `horizon` slots of `s`? Returns the isolation latency if so.
+///
+/// Transmission semantics are exactly the `wakeup(u, σ)` protocol's
+/// ([`WakingMatrix::transmits`]): waiting until `µ(σ)`, walking rows,
+/// silent after the scan.
+pub fn isolation_latency(
+    matrix: &WakingMatrix,
+    wakes: &[(u32, Slot)],
+    horizon: u64,
+) -> Option<u64> {
+    let s = wakes.iter().map(|&(_, t)| t).min()?;
+    for t in s..=s + horizon {
+        let mut txs = 0u32;
+        for &(u, sigma) in wakes {
+            if sigma <= t && matrix.transmits(u, sigma, t) {
+                txs += 1;
+                if txs > 1 {
+                    break;
+                }
+            }
+        }
+        if txs == 1 {
+            return Some(t - s);
+        }
+    }
+    None
+}
+
+/// Exhaustively certify `matrix` against every pattern of the bounded
+/// adversary class described by `cfg`.
+pub fn certify(matrix: &WakingMatrix, cfg: CertifyConfig) -> Result<Certificate, FailingPattern> {
+    let n = matrix.n();
+    let horizon_for = |k: u32| -> u64 {
+        cfg.horizon_scale
+            * 2
+            * u64::from(matrix.c())
+            * u64::from(k)
+            * u64::from(matrix.rows())
+            * u64::from(matrix.window())
+    };
+
+    let mut checked = 0u64;
+    let mut worst = 0u64;
+    let mut failure: Option<FailingPattern> = None;
+
+    for k in 1..=cfg.k_max.min(n) {
+        let horizon = horizon_for(k);
+        selectors::math::for_each_subset(n, k, |subset| {
+            // Enumerate wake-time assignments in [0, window)^k by counting.
+            let k = subset.len();
+            let total: u64 = cfg.window.pow(k as u32);
+            let mut wakes: Vec<(u32, Slot)> = subset.iter().map(|&u| (u, 0)).collect();
+            for code in 0..total {
+                let mut rest = code;
+                for (slot_ref, _) in wakes.iter_mut().map(|w| (&mut w.1, ())) {
+                    *slot_ref = rest % cfg.window;
+                    rest /= cfg.window;
+                }
+                checked += 1;
+                match isolation_latency(matrix, &wakes, horizon) {
+                    Some(lat) => worst = worst.max(lat),
+                    None => {
+                        failure = Some(FailingPattern {
+                            wakes: wakes.clone(),
+                            horizon,
+                        });
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        if failure.is_some() {
+            break;
+        }
+    }
+
+    match failure {
+        Some(f) => Err(f),
+        None => Ok(Certificate {
+            patterns_checked: checked,
+            worst_latency: worst,
+        }),
+    }
+}
+
+/// Search seeds `0..max_seeds` for a matrix that certifies under `cfg`;
+/// returns the first certified seed with its certificate.
+///
+/// Theorem 5.2 says a random matrix works with probability `1 − n^{-Ω(1)}`,
+/// so the expected number of seeds tried is ≈ 1.
+pub fn search_certified_seed(
+    mut params: crate::waking_matrix::MatrixParams,
+    cfg: CertifyConfig,
+    max_seeds: u64,
+) -> Option<(u64, Certificate)> {
+    for seed in 0..max_seeds {
+        params.seed = seed;
+        let matrix = WakingMatrix::new(params);
+        if let Ok(cert) = certify(&matrix, cfg) {
+            return Some((seed, cert));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waking_matrix::MatrixParams;
+
+    #[test]
+    fn default_matrix_certifies_on_a_toy_universe() {
+        let matrix = WakingMatrix::new(MatrixParams::new(8));
+        let cfg = CertifyConfig {
+            k_max: 2,
+            window: 4,
+            horizon_scale: 1,
+        };
+        let cert = certify(&matrix, cfg).expect("seed 0 should certify n=8, k≤2");
+        // Patterns: C(8,1)·4 + C(8,2)·16 = 32 + 448 = 480.
+        assert_eq!(cert.patterns_checked, 480);
+        // Worst latency within the k=2 horizon.
+        let horizon = 2 * u64::from(matrix.c()) * 2 * u64::from(matrix.rows()) * u64::from(matrix.window());
+        assert!(cert.worst_latency <= horizon);
+    }
+
+    #[test]
+    fn isolation_latency_matches_simulation() {
+        use mac_sim::prelude::*;
+        let matrix = WakingMatrix::new(MatrixParams::new(16).with_seed(3));
+        let wakes = [(2u32, 5u64), (9, 7), (14, 5)];
+        let horizon = 10_000;
+        let expected = isolation_latency(&matrix, &wakes, horizon);
+
+        let protocol = crate::wakeup_n::WakeupN::with_matrix(std::sync::Arc::new(matrix));
+        let pattern = WakePattern::new(
+            wakes.iter().map(|&(u, t)| (StationId(u), t)).collect(),
+        )
+        .unwrap();
+        let out = Simulator::new(SimConfig::new(16).with_max_slots(horizon + 1))
+            .run(&protocol, &pattern, 0)
+            .unwrap();
+        assert_eq!(expected, out.latency());
+    }
+
+    #[test]
+    fn failing_patterns_are_reported_exactly() {
+        // A matrix with an absurdly small horizon must fail, and the failing
+        // pattern must genuinely not isolate within that horizon.
+        let matrix = WakingMatrix::new(MatrixParams::new(8));
+        // Scale the horizon down to zero slots by using a custom check.
+        let wakes = [(0u32, 0u64), (1, 0)];
+        // Find the true latency, then certify with a horizon one below it.
+        let true_lat =
+            isolation_latency(&matrix, &wakes, 100_000).expect("matrix must isolate eventually");
+        if true_lat > 0 {
+            assert_eq!(isolation_latency(&matrix, &wakes, true_lat - 1), None);
+        }
+    }
+
+    #[test]
+    fn search_finds_a_seed_quickly() {
+        let params = MatrixParams::new(6);
+        let cfg = CertifyConfig {
+            k_max: 2,
+            window: 3,
+            horizon_scale: 2,
+        };
+        let (seed, cert) = search_certified_seed(params, cfg, 16).expect("some seed certifies");
+        assert!(seed < 16);
+        assert!(cert.patterns_checked > 0);
+    }
+
+    #[test]
+    fn k1_patterns_always_isolate_fast() {
+        // A lone station is isolated at its first own transmission; row 1
+        // has density ≥ 2^{-(1+W-1)} so within a few windows.
+        let matrix = WakingMatrix::new(MatrixParams::new(8));
+        for u in 0..8u32 {
+            for sigma in 0..6u64 {
+                let lat = isolation_latency(&matrix, &[(u, sigma)], 500)
+                    .unwrap_or_else(|| panic!("station {u} at σ={sigma} never isolated"));
+                assert!(lat <= 200, "u={u} σ={sigma}: latency {lat}");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Knowledge scenarios and the unified protocol facade.
+//!
+//! The paper's three scenarios differ only in what stations know beyond
+//! their own ID and `n`:
+//!
+//! * [`Scenario::A`] — the first wake-up slot `s` is known;
+//! * [`Scenario::B`] — the contention bound `k` is known;
+//! * [`Scenario::C`] — nothing else is known.
+//!
+//! [`scenario_protocol`] instantiates the paper's algorithm for a scenario —
+//! the function a downstream user calls when they just want "the right
+//! protocol".
+
+use crate::family_provider::FamilyProvider;
+use crate::wakeup_n::WakeupN;
+use crate::wakeup_with_k::WakeupWithK;
+use crate::wakeup_with_s::WakeupWithS;
+use crate::waking_matrix::MatrixParams;
+use mac_sim::{Protocol, Slot};
+
+/// The knowledge available to every station (beyond its ID and `n`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Scenario A: the first wake-up slot `s` is known to all stations.
+    A {
+        /// The known first wake-up slot.
+        s: Slot,
+    },
+    /// Scenario B: the maximum number `k` of awake stations is known.
+    B {
+        /// The known contention bound.
+        k: u32,
+    },
+    /// Scenario C: neither `s` nor `k` is known.
+    C,
+}
+
+impl Scenario {
+    /// The asymptotic worst-case bound the paper proves for this scenario,
+    /// as a human-readable string (used in experiment tables).
+    pub fn bound(&self) -> &'static str {
+        match self {
+            Scenario::A { .. } | Scenario::B { .. } => "Θ(k·log(n/k) + 1)",
+            Scenario::C => "O(k·log n·log log n)",
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::A { .. } => "A (s known)",
+            Scenario::B { .. } => "B (k known)",
+            Scenario::C => "C (nothing known)",
+        }
+    }
+}
+
+/// Instantiate the paper's algorithm for `scenario` on `n` stations.
+///
+/// `seed` drives the combinatorial constructions (selective families /
+/// waking matrix); runs are reproducible given `(scenario, n, seed)`.
+pub fn scenario_protocol(scenario: Scenario, n: u32, seed: u64) -> Box<dyn Protocol> {
+    match scenario {
+        Scenario::A { s } => Box::new(WakeupWithS::new(
+            n,
+            s,
+            FamilyProvider::random_with_seed(seed),
+        )),
+        Scenario::B { k } => Box::new(WakeupWithK::new(
+            n,
+            k,
+            FamilyProvider::random_with_seed(seed),
+        )),
+        Scenario::C => Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_sim::prelude::*;
+
+    #[test]
+    fn labels_and_bounds() {
+        assert_eq!(Scenario::A { s: 0 }.label(), "A (s known)");
+        assert_eq!(Scenario::B { k: 4 }.bound(), "Θ(k·log(n/k) + 1)");
+        assert_eq!(Scenario::C.bound(), "O(k·log n·log log n)");
+    }
+
+    #[test]
+    fn all_three_scenarios_solve_the_same_instance() {
+        let n = 64u32;
+        let s = 20u64;
+        let ids: Vec<StationId> = [4u32, 30, 55].map(StationId).into();
+        let sim = Simulator::new(SimConfig::new(n));
+        for scenario in [Scenario::A { s }, Scenario::B { k: 3 }, Scenario::C] {
+            let p = scenario_protocol(scenario, n, 7);
+            let pattern = WakePattern::simultaneous(&ids, s).unwrap();
+            let out = sim.run(&p, &pattern, 0).unwrap();
+            assert!(out.solved(), "{} failed", p.name());
+        }
+    }
+
+    #[test]
+    fn scenario_c_handles_what_it_cannot_know() {
+        // Same protocol object (no s, no k) across different instances.
+        let n = 64u32;
+        let p = scenario_protocol(Scenario::C, n, 3);
+        let sim = Simulator::new(SimConfig::new(n));
+        for (s, k) in [(0u64, 1usize), (100, 4), (9999, 8)] {
+            let ids: Vec<StationId> = (0..k as u32).map(|i| StationId(i * 7)).collect();
+            let pattern = WakePattern::simultaneous(&ids, s).unwrap();
+            assert!(sim.run(&p, &pattern, 0).unwrap().solved(), "s={s} k={k}");
+        }
+    }
+}

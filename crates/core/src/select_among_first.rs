@@ -1,0 +1,284 @@
+//! `select_among_the_first` — the Scenario A component (§3).
+//!
+//! Only stations woken **exactly at `s`** participate; every station can
+//! decide participation locally because `s` is known. Participants transmit
+//! according to the sequential composition `⟨F₁, F₂, …⟩` of
+//! `(n, 2^j)`-selective families for `j = 1, 2, …, ⌈log n⌉` (cycled for
+//! robustness), with schedule positions counted from `s`.
+//!
+//! *Correctness.* The participant set `X` (stations with `σ = s`) is fixed
+//! from slot `s` on and non-empty. Let `i` be such that
+//! `2^{i-1} ≤ |X| ≤ 2^i`; the selectivity property of `Fᵢ` yields a slot
+//! where exactly one member of `X` transmits — non-participants are silent,
+//! so that slot is a success. Time: reaching and finishing `Fᵢ` costs
+//! `O(Σ_{j ≤ i} 2^j log(n/2^j)) = O(|X| log(n/|X|) + |X|) ⊆ O(k log(n/k) + k)`.
+//!
+//! This component alone is **not** a complete algorithm for Scenario A: it
+//! ignores stations woken after `s` (they may be the only chance of success
+//! if… no, `X ≠ ∅` always — it *is* complete, but not optimal for
+//! `k > n/c`). [`WakeupWithS`](crate::wakeup_with_s::WakeupWithS)
+//! interleaves it with round-robin to cover the large-`k` regime.
+
+use crate::family_provider::{DynFamily, FamilyProvider};
+use mac_sim::{Action, Protocol, Slot, Station, StationId};
+use selectors::math::log_n;
+use std::sync::Arc;
+
+/// The concatenated doubling-family schedule `⟨F₁, F₂, …⟩` shared by the
+/// Scenario A and Scenario B algorithms: family `Fᵢ` is `(n, 2^i)`-selective.
+#[derive(Debug)]
+pub struct DoublingSchedule {
+    families: Vec<DynFamily>,
+    /// Start offset of each family within one period.
+    offsets: Vec<u64>,
+    /// Total period length `z`.
+    period: u64,
+}
+
+impl DoublingSchedule {
+    /// Build from `provider` the families `F₁ … F_top` (`top = 0` degenerates
+    /// to the single trivial `(n,1)` family).
+    pub fn new(provider: &FamilyProvider, n: u32, top: u32) -> Self {
+        let families = provider.doubling_sequence(n, top);
+        let mut offsets = Vec::with_capacity(families.len());
+        let mut period = 0u64;
+        for f in &families {
+            offsets.push(period);
+            period += f.len();
+        }
+        assert!(period > 0, "doubling schedule must be non-empty");
+        DoublingSchedule {
+            families,
+            offsets,
+            period,
+        }
+    }
+
+    /// Total period `z = z₁ + … + z_top`.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Family start offsets within a period — the boundaries `wait_and_go`
+    /// waits for.
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Does station `u` transmit at position `p` (taken mod the period)?
+    pub fn transmits(&self, u: u32, p: u64) -> bool {
+        let p = p % self.period;
+        // Find the family containing p.
+        let i = match self.offsets.binary_search(&p) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.families[i].member(u, p - self.offsets[i])
+    }
+
+    /// The families in order.
+    pub fn families(&self) -> &[DynFamily] {
+        &self.families
+    }
+
+    /// Smallest position `p' ≥ p` that is a family boundary (mod period).
+    pub fn next_boundary(&self, p: u64) -> u64 {
+        let r = p % self.period;
+        for &off in &self.offsets {
+            if off >= r {
+                return p + (off - r);
+            }
+        }
+        // Wrap to the start of the next period.
+        p + (self.period - r)
+    }
+}
+
+/// The `select_among_the_first` protocol (Scenario A component).
+#[derive(Clone, Debug)]
+pub struct SelectAmongFirst {
+    n: u32,
+    s: Slot,
+    schedule: Arc<DoublingSchedule>,
+}
+
+impl SelectAmongFirst {
+    /// Build for `n` stations with known first-wake-up slot `s`.
+    pub fn new(n: u32, s: Slot, provider: FamilyProvider) -> Self {
+        assert!(n >= 1);
+        let top = log_n(u64::from(n));
+        SelectAmongFirst {
+            n,
+            s,
+            schedule: Arc::new(DoublingSchedule::new(&provider, n, top)),
+        }
+    }
+
+    /// The known starting slot `s`.
+    pub fn s(&self) -> Slot {
+        self.s
+    }
+
+    /// Total length of one pass over all families.
+    pub fn schedule_period(&self) -> u64 {
+        self.schedule.period()
+    }
+}
+
+struct SafStation {
+    id: StationId,
+    s: Slot,
+    participates: bool,
+    schedule: Arc<DoublingSchedule>,
+}
+
+impl Station for SafStation {
+    fn wake(&mut self, sigma: Slot) {
+        // Participation is decidable locally: compare own wake time with s.
+        self.participates = sigma == self.s;
+    }
+
+    fn act(&mut self, t: Slot) -> Action {
+        if !self.participates || t < self.s {
+            return Action::Listen;
+        }
+        Action::from_bool(self.schedule.transmits(self.id.0, t - self.s))
+    }
+}
+
+impl Protocol for SelectAmongFirst {
+    fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
+        Box::new(SafStation {
+            id,
+            s: self.s,
+            participates: false,
+            schedule: Arc::clone(&self.schedule),
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("select-among-the-first(n={}, s={})", self.n, self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_sim::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<StationId> {
+        v.iter().copied().map(StationId).collect()
+    }
+
+    fn sim(n: u32) -> Simulator {
+        Simulator::new(SimConfig::new(n))
+    }
+
+    #[test]
+    fn solves_simultaneous_wakeups() {
+        let n = 64;
+        for k in [1usize, 2, 3, 5, 8, 16] {
+            let p = SelectAmongFirst::new(n, 50, FamilyProvider::default());
+            let chosen: Vec<StationId> = (0..k as u32).map(|i| StationId(i * 3)).collect();
+            let pattern = WakePattern::simultaneous(&chosen, 50).unwrap();
+            let out = sim(n).run(&p, &pattern, 0).unwrap();
+            assert!(out.solved(), "k={k} failed");
+        }
+    }
+
+    #[test]
+    fn late_wakers_stay_silent() {
+        let n = 32;
+        let p = SelectAmongFirst::new(n, 10, FamilyProvider::default());
+        // One station at s = 10, three latecomers.
+        let pattern = WakePattern::new(vec![
+            (StationId(4), 10),
+            (StationId(9), 11),
+            (StationId(20), 11),
+            (StationId(31), 12),
+        ])
+        .unwrap();
+        let cfg = SimConfig::new(n).with_transcript();
+        let out = Simulator::new(cfg).run(&p, &pattern, 0).unwrap();
+        assert!(out.solved());
+        assert_eq!(out.winner, Some(StationId(4)));
+        // No slot may contain a transmission from a latecomer.
+        let tr = out.transcript.unwrap();
+        for r in tr.records() {
+            for &tx in &r.transmitters {
+                assert_eq!(tx, StationId(4), "latecomer {tx} transmitted");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_grows_sublinearly_in_n_for_fixed_k() {
+        // For fixed k, latency should scale like k·log(n/k) — far below n.
+        let mut latencies = Vec::new();
+        for n in [64u32, 256, 1024] {
+            let p = SelectAmongFirst::new(n, 0, FamilyProvider::default());
+            let pattern =
+                WakePattern::simultaneous(&ids(&[1, n / 2, n - 2]), 0).unwrap();
+            let out = sim(n).run(&p, &pattern, 0).unwrap();
+            let lat = out.latency().expect("must solve");
+            assert!(
+                lat < u64::from(n),
+                "latency {lat} not sublinear at n={n}"
+            );
+            latencies.push(lat);
+        }
+    }
+
+    #[test]
+    fn requires_exact_s_to_participate() {
+        // If the protocol's s is wrong (earlier than any wake), nobody
+        // participates and the component never succeeds on its own.
+        let n = 16;
+        let p = SelectAmongFirst::new(n, 5, FamilyProvider::default());
+        let pattern = WakePattern::simultaneous(&ids(&[2, 7]), 6).unwrap();
+        let cfg = SimConfig::new(n).with_max_slots(500);
+        let out = Simulator::new(cfg).run(&p, &pattern, 0).unwrap();
+        assert!(!out.solved());
+        assert_eq!(out.transmissions, 0);
+    }
+
+    #[test]
+    fn deterministic_given_provider_seed() {
+        let n = 64;
+        let mk = || SelectAmongFirst::new(n, 0, FamilyProvider::random_with_seed(33));
+        let pattern = WakePattern::simultaneous(&ids(&[0, 5, 9, 13]), 0).unwrap();
+        let a = sim(n).run(&mk(), &pattern, 0).unwrap();
+        let b = sim(n).run(&mk(), &pattern, 0).unwrap();
+        assert_eq!(a.first_success, b.first_success);
+        assert_eq!(a.winner, b.winner);
+    }
+
+    #[test]
+    fn doubling_schedule_boundaries() {
+        let sched = DoublingSchedule::new(&FamilyProvider::default(), 64, 3);
+        assert_eq!(sched.offsets()[0], 0);
+        assert_eq!(sched.families().len(), 3);
+        // next_boundary at a boundary is the boundary itself.
+        assert_eq!(sched.next_boundary(0), 0);
+        let second = sched.offsets()[1];
+        assert_eq!(sched.next_boundary(1), second.max(1));
+        // Past the last family start, the next boundary is the period wrap.
+        let last_off = *sched.offsets().last().unwrap();
+        assert_eq!(sched.next_boundary(last_off + 1) % sched.period(), 0);
+        // next_boundary is monotone and ≥ its argument.
+        for p in 0..(2 * sched.period()) {
+            let b = sched.next_boundary(p);
+            assert!(b >= p);
+            assert!(sched.offsets().contains(&(b % sched.period())));
+        }
+    }
+
+    #[test]
+    fn works_with_kautz_singleton_provider() {
+        let n = 32;
+        let p = SelectAmongFirst::new(n, 0, FamilyProvider::KautzSingleton);
+        let pattern = WakePattern::simultaneous(&ids(&[3, 19, 27]), 0).unwrap();
+        let out = sim(n).run(&p, &pattern, 0).unwrap();
+        assert!(out.solved());
+    }
+}

@@ -1,0 +1,288 @@
+//! `wakeup(n)` — the Scenario C algorithm (§5): contention resolution with
+//! no knowledge of `s` or `k`, in `O(k log n log log n)` slots.
+//!
+//! Every station is provided with the same [`WakingMatrix`]; a station `u`
+//! woken at slot `σ` executes protocol `wakeup(u, σ)` (§5.1):
+//!
+//! ```text
+//! t' ← µ(σ)                        // wait for the next window boundary
+//! for i = 1 to log n:              // walk the rows top-down
+//!     for t = t' to t' + m_i − 1:  // dwell m_i slots in row i
+//!         j ← t mod ℓ              // circular column scan
+//!         if u ∈ M_{i,j}: transmit at t
+//!     t' ← t' + m_i
+//! ```
+//!
+//! Stations woken at different times occupy different rows of the same
+//! column (the paper's Figure 2); the window wait `µ(σ)` enforces property
+//! P1 (row sets constant within a window), which the density sweep `ρ(j)`
+//! converts into a guaranteed low-contention slot per window (Lemma 5.4).
+//!
+//! Theorem 5.3: success within `O(k log n log log n)` slots of `s`.
+//!
+//! The paper's protocol *ends* after the last row (`i = log n`); the
+//! analysis guarantees success long before. Because our matrix is a sampled
+//! ensemble member rather than a certified waking matrix, a run can in
+//! principle exhaust the scan; [`WakeupN::with_restart`] optionally makes
+//! stations restart the walk (off by default to match the paper — capped
+//! runs surface as censored samples in the experiments instead).
+
+use crate::waking_matrix::{MatrixParams, WakingMatrix};
+use mac_sim::{Action, Protocol, Slot, Station, StationId};
+use std::sync::Arc;
+
+/// The Scenario C protocol `wakeup(n)`.
+#[derive(Clone, Debug)]
+pub struct WakeupN {
+    matrix: Arc<WakingMatrix>,
+    restart: bool,
+}
+
+impl WakeupN {
+    /// Build from matrix parameters.
+    pub fn new(params: MatrixParams) -> Self {
+        WakeupN {
+            matrix: Arc::new(WakingMatrix::new(params)),
+            restart: false,
+        }
+    }
+
+    /// Build over an existing (shared) matrix.
+    pub fn with_matrix(matrix: Arc<WakingMatrix>) -> Self {
+        WakeupN {
+            matrix,
+            restart: false,
+        }
+    }
+
+    /// Make stations restart the row walk after exhausting the matrix
+    /// (liveness extension beyond the paper's protocol).
+    pub fn with_restart(mut self, restart: bool) -> Self {
+        self.restart = restart;
+        self
+    }
+
+    /// The shared waking matrix.
+    pub fn matrix(&self) -> &Arc<WakingMatrix> {
+        &self.matrix
+    }
+}
+
+struct WakeupNStation {
+    id: StationId,
+    matrix: Arc<WakingMatrix>,
+    restart: bool,
+    /// Slot at which the station becomes operative (µ(σ)).
+    mu: Slot,
+    /// Current row (1-based); rows() + 1 once the scan is done.
+    row: u32,
+    /// First slot after the current row's dwell.
+    row_end: Slot,
+}
+
+impl Station for WakeupNStation {
+    fn wake(&mut self, sigma: Slot) {
+        self.mu = self.matrix.mu(sigma);
+        self.row = 1;
+        self.row_end = self.mu + self.matrix.dwell(1);
+    }
+
+    fn act(&mut self, t: Slot) -> Action {
+        if t < self.mu {
+            return Action::Listen; // waiting for the window boundary
+        }
+        // Advance rows (amortized O(1): each row advances once).
+        while t >= self.row_end {
+            if self.row >= self.matrix.rows() {
+                if self.restart {
+                    // Re-enter the walk at the next window boundary.
+                    self.mu = self.matrix.mu(self.row_end);
+                    self.row = 1;
+                    self.row_end = self.mu + self.matrix.dwell(1);
+                    if t < self.mu {
+                        return Action::Listen;
+                    }
+                    continue;
+                }
+                self.row = self.matrix.rows() + 1;
+                return Action::Listen; // scan over (paper's protocol ends)
+            }
+            self.row += 1;
+            self.row_end += self.matrix.dwell(self.row);
+        }
+        Action::from_bool(self.matrix.member(self.row, t, self.id.0))
+    }
+}
+
+impl Protocol for WakeupN {
+    fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
+        Box::new(WakeupNStation {
+            id,
+            matrix: Arc::clone(&self.matrix),
+            restart: self.restart,
+            mu: 0,
+            row: 1,
+            row_end: 0,
+        })
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "wakeup(n={}, c={}, seed={})",
+            self.matrix.n(),
+            self.matrix.c(),
+            self.matrix.seed()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_sim::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<StationId> {
+        v.iter().copied().map(StationId).collect()
+    }
+
+    fn sim(n: u32) -> Simulator {
+        Simulator::new(SimConfig::new(n))
+    }
+
+    #[test]
+    fn station_follows_the_matrix_walk_exactly() {
+        // The stateful station must agree with the stateless predicate
+        // WakingMatrix::transmits on every slot.
+        let p = WakeupN::new(MatrixParams::new(64).with_seed(5));
+        let m = Arc::clone(p.matrix());
+        let sigma = 7u64;
+        let mut st = p.station(StationId(9), 0);
+        st.wake(sigma);
+        for t in sigma..sigma + 2_000 {
+            let expected = m.transmits(9, sigma, t);
+            assert_eq!(
+                st.act(t).is_transmit(),
+                expected,
+                "divergence at t={t} (σ={sigma})"
+            );
+        }
+    }
+
+    #[test]
+    fn solves_simultaneous_wakeups() {
+        let n = 64u32;
+        for k in [1usize, 2, 4, 8] {
+            let p = WakeupN::new(MatrixParams::new(n));
+            let chosen: Vec<StationId> =
+                (0..k as u32).map(|i| StationId(i * (n / k as u32))).collect();
+            let pattern = WakePattern::simultaneous(&chosen, 0).unwrap();
+            let out = sim(n).run(&p, &pattern, 0).unwrap();
+            assert!(out.solved(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn solves_staggered_and_burst_arrivals() {
+        let n = 128u32;
+        let p = WakeupN::new(MatrixParams::new(n));
+        let chosen = ids(&[3, 17, 40, 63, 90, 101, 115, 127]);
+        for gap in [1u64, 9, 77] {
+            let pattern = WakePattern::staggered(&chosen, 5, gap).unwrap();
+            let out = sim(n).run(&p, &pattern, 0).unwrap();
+            assert!(out.solved(), "staggered gap={gap}");
+        }
+        let pattern = WakePattern::batches(&chosen, 0, 50, &[4, 4]).unwrap();
+        let out = sim(n).run(&p, &pattern, 0).unwrap();
+        assert!(out.solved(), "batches");
+    }
+
+    #[test]
+    fn latency_scales_with_k_log_n_log_log_n_not_n() {
+        // For k = 2 on n = 1024, the bound is O(2 · 10 · 4) ≈ hundreds of
+        // slots; assert we stay well below n (which round-robin would need).
+        let n = 1024u32;
+        let p = WakeupN::new(MatrixParams::new(n));
+        let pattern = WakePattern::simultaneous(&ids(&[77, 901]), 0).unwrap();
+        let out = sim(n).run(&p, &pattern, 0).unwrap();
+        let lat = out.latency().expect("must solve");
+        assert!(lat < u64::from(n) / 2, "latency {lat} too large");
+    }
+
+    #[test]
+    fn solves_from_arbitrary_start_slots() {
+        let n = 64u32;
+        let p = WakeupN::new(MatrixParams::new(n));
+        for s in [0u64, 1, 13, 1000, 54_321] {
+            let pattern = WakePattern::simultaneous(&ids(&[2, 33, 60]), s).unwrap();
+            let out = sim(n).run(&p, &pattern, 0).unwrap();
+            assert!(out.solved(), "s={s}");
+        }
+    }
+
+    #[test]
+    fn no_transmission_during_window_wait() {
+        let n = 256u32;
+        let p = WakeupN::new(MatrixParams::new(n));
+        let m = Arc::clone(p.matrix());
+        // σ chosen strictly inside a window.
+        let sigma = 1u64;
+        assert!(m.mu(sigma) > sigma);
+        let mut st = p.station(StationId(0), 0);
+        st.wake(sigma);
+        for t in sigma..m.mu(sigma) {
+            assert_eq!(st.act(t), Action::Listen, "transmitted while waiting at {t}");
+        }
+    }
+
+    #[test]
+    fn restart_keeps_station_active_after_scan() {
+        let n = 4u32; // tiny matrix so the scan ends quickly
+        let params = MatrixParams::new(n).with_c(1);
+        let m = WakingMatrix::new(params);
+        let total = m.total_scan();
+
+        let p_norestart = WakeupN::new(params);
+        let mut st = p_norestart.station(StationId(1), 0);
+        st.wake(0);
+        // After the scan, a non-restarting station is permanently silent.
+        let mut any_tx = false;
+        for t in 0..total + 200 {
+            if st.act(t).is_transmit() && t >= total {
+                any_tx = true;
+            }
+        }
+        assert!(!any_tx, "non-restarting station transmitted after its scan");
+
+        let p_restart = WakeupN::new(params).with_restart(true);
+        let mut st = p_restart.station(StationId(1), 0);
+        st.wake(0);
+        let mut post_scan_tx = false;
+        for t in 0..4 * total {
+            if st.act(t).is_transmit() && t >= total {
+                post_scan_tx = true;
+            }
+        }
+        assert!(post_scan_tx, "restarting station stayed silent after scan");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let n = 128u32;
+        let mk = || WakeupN::new(MatrixParams::new(n).with_seed(77));
+        let pattern = WakePattern::staggered(&ids(&[5, 55, 105]), 3, 21).unwrap();
+        let a = sim(n).run(&mk(), &pattern, 0).unwrap();
+        let b = sim(n).run(&mk(), &pattern, 0).unwrap();
+        assert_eq!(a.first_success, b.first_success);
+        assert_eq!(a.winner, b.winner);
+    }
+
+    #[test]
+    fn works_on_degenerate_universes() {
+        for n in [1u32, 2, 3] {
+            let p = WakeupN::new(MatrixParams::new(n));
+            let pattern = WakePattern::simultaneous(&ids(&[0]), 0).unwrap();
+            let out = sim(n).run(&p, &pattern, 0).unwrap();
+            assert!(out.solved(), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! `wakeup_with_s` — the complete Scenario A algorithm (§3):
+//! interleave round-robin with `select_among_the_first`.
+//!
+//! With a global clock, interleaving is parity-based: **even** global slots
+//! run round-robin (position `t/2`), **odd** global slots run
+//! `select_among_the_first` (position = number of odd slots since `s`).
+//! Interleaving needs no knowledge of `k` and costs a factor 2.
+//!
+//! The resulting worst-case time is the minimum of the two components:
+//! `Θ(min{n − k + 1, k log(n/k) + k}) = Θ(k log(n/k) + 1)`, which is optimal
+//! (Theorem 2.1 for `k > n/c`; Clementi–Monti–Silvestri for `k ≤ n/64`).
+
+use crate::family_provider::FamilyProvider;
+use crate::select_among_first::DoublingSchedule;
+use mac_sim::{Action, Protocol, Slot, Station, StationId};
+use selectors::math::log_n;
+use std::sync::Arc;
+
+/// The Scenario A algorithm: round-robin ⊕ select-among-the-first.
+#[derive(Clone, Debug)]
+pub struct WakeupWithS {
+    n: u32,
+    s: Slot,
+    schedule: Arc<DoublingSchedule>,
+}
+
+impl WakeupWithS {
+    /// Build for `n` stations with known first-wake-up slot `s`.
+    pub fn new(n: u32, s: Slot, provider: FamilyProvider) -> Self {
+        assert!(n >= 1);
+        let top = log_n(u64::from(n));
+        WakeupWithS {
+            n,
+            s,
+            schedule: Arc::new(DoublingSchedule::new(&provider, n, top)),
+        }
+    }
+
+    /// The known starting slot.
+    pub fn s(&self) -> Slot {
+        self.s
+    }
+}
+
+struct WwsStation {
+    id: StationId,
+    n: u32,
+    s: Slot,
+    participates_saf: bool,
+    schedule: Arc<DoublingSchedule>,
+}
+
+impl WwsStation {
+    /// Number of odd global slots in `[s, t]` minus one — the SAF schedule
+    /// position of odd slot `t ≥ s`. All participants woke at `s`, so they
+    /// agree on this position.
+    fn saf_position(&self, t: Slot) -> u64 {
+        debug_assert!(t % 2 == 1 && t >= self.s);
+        let first_odd = self.s + (self.s + 1) % 2; // s if odd, s+1 if even
+        debug_assert!(first_odd % 2 == 1);
+        (t - first_odd) / 2
+    }
+}
+
+impl Station for WwsStation {
+    fn wake(&mut self, sigma: Slot) {
+        self.participates_saf = sigma == self.s;
+    }
+
+    fn act(&mut self, t: Slot) -> Action {
+        if t.is_multiple_of(2) {
+            // Even slots: round-robin on position t/2.
+            Action::from_bool((t / 2) % u64::from(self.n) == u64::from(self.id.0))
+        } else if self.participates_saf && t >= self.s {
+            Action::from_bool(self.schedule.transmits(self.id.0, self.saf_position(t)))
+        } else {
+            Action::Listen
+        }
+    }
+}
+
+impl Protocol for WakeupWithS {
+    fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
+        Box::new(WwsStation {
+            id,
+            n: self.n,
+            s: self.s,
+            participates_saf: false,
+            schedule: Arc::clone(&self.schedule),
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("wakeup-with-s(n={}, s={})", self.n, self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_sim::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<StationId> {
+        v.iter().copied().map(StationId).collect()
+    }
+
+    fn sim(n: u32) -> Simulator {
+        Simulator::new(SimConfig::new(n))
+    }
+
+    #[test]
+    fn solves_for_all_k_regimes() {
+        let n = 64u32;
+        for k in [1u32, 2, 4, 8, 16, 32, 64] {
+            let p = WakeupWithS::new(n, 0, FamilyProvider::default());
+            let chosen: Vec<StationId> = (0..k).map(StationId).collect();
+            let pattern = WakePattern::simultaneous(&chosen, 0).unwrap();
+            let out = sim(n).run(&p, &pattern, 0).unwrap();
+            assert!(out.solved(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn solves_with_late_arrivals_via_round_robin() {
+        // Adversary wakes one station at s, the rest later: SAF only has the
+        // first station (succeeds quickly), but even if SAF were broken,
+        // round-robin on even slots guarantees completion within 2n.
+        let n = 32u32;
+        let p = WakeupWithS::new(n, 7, FamilyProvider::default());
+        let pattern = WakePattern::staggered(&ids(&[30, 1, 16]), 7, 5).unwrap();
+        let out = sim(n).run(&p, &pattern, 0).unwrap();
+        assert!(out.solved());
+        assert!(out.latency().unwrap() <= 2 * u64::from(n));
+    }
+
+    #[test]
+    fn odd_s_even_s_alignment() {
+        // The SAF position computation must agree for odd and even s.
+        let n = 16u32;
+        for s in [0u64, 1, 2, 3, 10, 11] {
+            let p = WakeupWithS::new(n, s, FamilyProvider::default());
+            let pattern = WakePattern::simultaneous(&ids(&[3, 9, 14]), s).unwrap();
+            let out = sim(n).run(&p, &pattern, 0).unwrap();
+            assert!(out.solved(), "s={s}");
+        }
+    }
+
+    #[test]
+    fn worst_case_latency_bounded_by_2n() {
+        // Round-robin component: within 2n slots every station owns an even
+        // slot, so any pattern solves by then.
+        let n = 24u32;
+        let p = WakeupWithS::new(n, 0, FamilyProvider::default());
+        for seed in 0..5u64 {
+            let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed);
+            let chosen = IdChoice::Random.pick(n, 6, &mut rng);
+            let pattern =
+                WakePattern::uniform_window(&chosen, 0, 40, &mut rng).unwrap();
+            let out = sim(n).run(&p, &pattern, seed).unwrap();
+            assert!(out.solved());
+            assert!(
+                out.latency().unwrap() <= 2 * u64::from(n),
+                "latency {} > 2n",
+                out.latency().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn small_k_beats_round_robin_alone() {
+        // For k = 2 on a large n, wakeup_with_s should finish much faster
+        // than n/2 slots (where round-robin alone would average).
+        let n = 1024u32;
+        let p = WakeupWithS::new(n, 0, FamilyProvider::default());
+        let pattern = WakePattern::simultaneous(&ids(&[100, 900]), 0).unwrap();
+        let out = sim(n).run(&p, &pattern, 0).unwrap();
+        let lat = out.latency().unwrap();
+        assert!(lat < u64::from(n) / 2, "latency {lat} not sublinear");
+    }
+
+    #[test]
+    fn no_transmissions_before_s() {
+        // Stations only act once awake; latency is measured from s.
+        let n = 16u32;
+        let p = WakeupWithS::new(n, 100, FamilyProvider::default());
+        let pattern = WakePattern::simultaneous(&ids(&[5]), 100).unwrap();
+        let cfg = SimConfig::new(n).with_transcript();
+        let out = Simulator::new(cfg).run(&p, &pattern, 0).unwrap();
+        let tr = out.transcript.as_ref().unwrap();
+        assert!(tr.records().first().unwrap().slot >= 100);
+        assert!(out.solved());
+    }
+}

@@ -1,0 +1,177 @@
+//! A greedy *spoiler* adversary: local search for bad wake-up patterns.
+//!
+//! The paper measures worst-case latency over all wake-up patterns. For a
+//! concrete protocol, the exact worst pattern is intractable to compute in
+//! general, but a simple and effective adversarial heuristic exists for
+//! wake-up protocols: **delay the winner**. Starting from a simultaneous
+//! pattern, repeatedly run the protocol, find the station `w` that first
+//! transmits alone at slot `t`, and reschedule `w`'s wake-up to `t + 1` — so
+//! that at slot `t` station `w` is not yet awake and cannot win there. This
+//! mirrors the structure of the Theorem 2.1 adversary (replace the selected
+//! station, forcing the schedule to spend another selection round) adapted to
+//! the dynamic-arrival setting.
+//!
+//! The search is bounded (`max_moves`) and monotone in practice: each move
+//! either strictly increases the first-success slot or is rejected. The
+//! pattern found is a certified *lower bound witness* on the protocol's
+//! worst-case latency — experiments report it alongside random patterns.
+
+use crate::engine::{Outcome, SimError, Simulator};
+use crate::ids::Slot;
+use crate::pattern::WakePattern;
+use crate::station::Protocol;
+
+/// Greedy delay-the-winner adversary.
+#[derive(Clone, Debug)]
+pub struct SpoilerSearch {
+    /// Maximum number of reschedule moves to attempt.
+    pub max_moves: usize,
+    /// Never delay a wake-up beyond `s + horizon` (keeps the search inside
+    /// the simulated window).
+    pub horizon: Slot,
+}
+
+/// The result of a spoiler search.
+#[derive(Clone, Debug)]
+pub struct SpoiledPattern {
+    /// The worst pattern found.
+    pub pattern: WakePattern,
+    /// The outcome of the protocol under that pattern.
+    pub outcome: Outcome,
+    /// Number of accepted moves.
+    pub moves: usize,
+}
+
+impl SpoilerSearch {
+    /// A search allowing `max_moves` moves within `horizon` slots of `s`.
+    pub fn new(max_moves: usize, horizon: Slot) -> Self {
+        SpoilerSearch { max_moves, horizon }
+    }
+
+    /// Search for a bad pattern for `protocol`, starting from `start`
+    /// (typically a simultaneous pattern with the target `k` stations).
+    ///
+    /// Runs are deterministic given `run_seed`, so for deterministic
+    /// protocols the returned pattern is a reproducible worst-case witness.
+    pub fn search(
+        &self,
+        sim: &Simulator,
+        protocol: &dyn Protocol,
+        start: WakePattern,
+        run_seed: u64,
+    ) -> Result<SpoiledPattern, SimError> {
+        let s = start.s();
+        let mut pattern = start;
+        let mut outcome = sim.run(protocol, &pattern, run_seed)?;
+        let mut moves = 0usize;
+
+        while moves < self.max_moves {
+            let (Some(t), Some(w)) = (outcome.first_success, outcome.winner) else {
+                // Already unsolved within the cap: cannot do better.
+                break;
+            };
+            // Never move the last station anchored at `s`: some station must
+            // define `s` for the latency measure to stay comparable.
+            let anchored = pattern.wakes().iter().filter(|&&(_, ts)| ts == s).count();
+            let w_at_s = pattern.wake_of(w) == Some(s);
+            if w_at_s && anchored <= 1 {
+                break;
+            }
+            if t + 1 > s + self.horizon {
+                break;
+            }
+            let mut candidate = pattern.clone();
+            candidate.reschedule(w, t + 1);
+            let cand_outcome = sim.run(protocol, &candidate, run_seed)?;
+            let improved = match (cand_outcome.first_success, outcome.first_success) {
+                (None, _) => true,
+                (Some(ct), Some(pt)) => ct > pt,
+                (Some(_), None) => false,
+            };
+            if improved {
+                pattern = candidate;
+                outcome = cand_outcome;
+                moves += 1;
+            } else {
+                break;
+            }
+        }
+
+        Ok(SpoiledPattern {
+            pattern,
+            outcome,
+            moves,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimConfig;
+    use crate::ids::StationId;
+    use crate::station::FnProtocol;
+
+    fn ids(v: &[u32]) -> Vec<StationId> {
+        v.iter().copied().map(StationId).collect()
+    }
+
+    fn round_robin(n: u32) -> FnProtocol<impl Fn(StationId, u64, Slot, Slot) -> bool + Sync + Send>
+    {
+        FnProtocol::new(format!("rr{n}"), move |id: StationId, _s, _sig, t: Slot| {
+            t % u64::from(n) == u64::from(id.0)
+        })
+    }
+
+    #[test]
+    fn spoiler_delays_round_robin_winner() {
+        // Round-robin over n=8 with stations {0, 1} waking at slot 0:
+        // baseline success at slot 0 (station 0 alone). The spoiler should
+        // delay station 0's wake past slot 0, pushing the success later.
+        let sim = Simulator::new(SimConfig::new(8).with_max_slots(64));
+        let start = WakePattern::simultaneous(&ids(&[0, 1]), 0).unwrap();
+        let baseline = sim.run(&round_robin(8), &start, 1).unwrap();
+        assert_eq!(baseline.first_success, Some(0));
+
+        let spoiled = SpoilerSearch::new(16, 64)
+            .search(&sim, &round_robin(8), start, 1)
+            .unwrap();
+        let spoiled_t = spoiled.outcome.first_success.unwrap();
+        assert!(spoiled_t > 0, "spoiler failed to delay success");
+        assert!(spoiled.moves >= 1);
+    }
+
+    #[test]
+    fn spoiler_keeps_an_anchor_at_s() {
+        let sim = Simulator::new(SimConfig::new(4).with_max_slots(64));
+        let start = WakePattern::simultaneous(&ids(&[0, 1, 2]), 5).unwrap();
+        let spoiled = SpoilerSearch::new(32, 64)
+            .search(&sim, &round_robin(4), start, 0)
+            .unwrap();
+        assert_eq!(spoiled.pattern.s(), 5, "the first wake-up must stay at s");
+    }
+
+    #[test]
+    fn spoiler_is_monotone_not_worse_than_baseline() {
+        let sim = Simulator::new(SimConfig::new(16).with_max_slots(256));
+        let start = WakePattern::simultaneous(&ids(&[0, 3, 7, 12]), 0).unwrap();
+        let baseline = sim.run(&round_robin(16), &start, 2).unwrap();
+        let spoiled = SpoilerSearch::new(64, 256)
+            .search(&sim, &round_robin(16), start, 2)
+            .unwrap();
+        let b = baseline.first_success.unwrap();
+        let sp = spoiled.outcome.first_success.unwrap_or(u64::MAX);
+        assert!(sp >= b);
+    }
+
+    #[test]
+    fn spoiler_with_zero_moves_returns_start() {
+        let sim = Simulator::new(SimConfig::new(4).with_max_slots(64));
+        let start = WakePattern::simultaneous(&ids(&[1, 2]), 0).unwrap();
+        let spoiled = SpoilerSearch::new(0, 64)
+            .search(&sim, &round_robin(4), start.clone(), 0)
+            .unwrap();
+        assert_eq!(spoiled.pattern, start);
+        assert_eq!(spoiled.moves, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Channel resolution and feedback models.
+//!
+//! The ground truth of a slot is a [`SlotOutcome`]: silence, a successful
+//! solo transmission, or a collision. What a *station* perceives is a
+//! [`Feedback`], which depends on the [`FeedbackModel`]:
+//!
+//! * [`FeedbackModel::NoCollisionDetection`] — the model of the paper. "No
+//!   feedback signal is supplied by the channel in the case of collision,
+//!   making it consequently impossible to distinguish between an occurred
+//!   collision and the case where no station transmits" (§1). Collisions are
+//!   perceived as [`Feedback::Silence`].
+//! * [`FeedbackModel::CollisionDetection`] — the stronger classical model in
+//!   which stations hear interference noise on collision
+//!   ([`Feedback::Noise`]). Provided for baselines and ablation experiments
+//!   (the Greenberg–Winograd lower bound holds even with collision
+//!   detection).
+
+use crate::ids::StationId;
+
+/// What actually happened on the channel in one slot (ground truth,
+/// recorded in transcripts; *not* directly observable by stations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// No station transmitted.
+    Silence,
+    /// Exactly one station transmitted: the transmission is successful and
+    /// every station receives the message.
+    Success(StationId),
+    /// Two or more stations transmitted; all messages are lost.
+    Collision(Vec<StationId>),
+}
+
+impl SlotOutcome {
+    /// Resolve a slot from the set of transmitters.
+    ///
+    /// `transmitters` need not be sorted; collisions record the transmitter
+    /// set in sorted order for deterministic transcripts.
+    pub fn resolve(mut transmitters: Vec<StationId>) -> Self {
+        match transmitters.len() {
+            0 => SlotOutcome::Silence,
+            1 => SlotOutcome::Success(transmitters[0]),
+            _ => {
+                transmitters.sort_unstable();
+                SlotOutcome::Collision(transmitters)
+            }
+        }
+    }
+
+    /// `true` iff the slot was a successful solo transmission.
+    #[inline]
+    pub fn is_success(&self) -> bool {
+        matches!(self, SlotOutcome::Success(_))
+    }
+
+    /// The number of stations that transmitted in this slot.
+    pub fn transmitter_count(&self) -> usize {
+        match self {
+            SlotOutcome::Silence => 0,
+            SlotOutcome::Success(_) => 1,
+            SlotOutcome::Collision(v) => v.len(),
+        }
+    }
+}
+
+/// How much information the channel reveals to listening stations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum FeedbackModel {
+    /// The paper's model: a collision is indistinguishable from silence.
+    #[default]
+    NoCollisionDetection,
+    /// Stations hear interference noise on collision (ternary feedback).
+    CollisionDetection,
+}
+
+impl FeedbackModel {
+    /// The feedback perceived by a station under this model.
+    ///
+    /// `transmitted` is whether the *perceiving* station itself transmitted
+    /// in the slot. A transmitting station without collision detection learns
+    /// nothing from the channel in that slot beyond what everybody hears —
+    /// except that, as the paper notes, a successful sender "possesses the
+    /// message by default", which is modelled by `Feedback::Heard` carrying
+    /// the sender's own ID.
+    pub fn perceive(self, outcome: &SlotOutcome, _transmitted: bool) -> Feedback {
+        match (self, outcome) {
+            (_, SlotOutcome::Silence) => Feedback::Silence,
+            (_, SlotOutcome::Success(w)) => Feedback::Heard(*w),
+            (FeedbackModel::NoCollisionDetection, SlotOutcome::Collision(_)) => Feedback::Silence,
+            (FeedbackModel::CollisionDetection, SlotOutcome::Collision(_)) => Feedback::Noise,
+        }
+    }
+}
+
+/// What a single station perceives at the end of a slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Feedback {
+    /// Nothing heard. Under [`FeedbackModel::NoCollisionDetection`] this
+    /// covers both true silence and collisions.
+    Silence,
+    /// A successful transmission by the given station was heard (every
+    /// station receives it, including the sender itself).
+    Heard(StationId),
+    /// Interference noise: a collision, only distinguishable under
+    /// [`FeedbackModel::CollisionDetection`].
+    Noise,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_silence() {
+        assert_eq!(SlotOutcome::resolve(vec![]), SlotOutcome::Silence);
+        assert_eq!(SlotOutcome::Silence.transmitter_count(), 0);
+        assert!(!SlotOutcome::Silence.is_success());
+    }
+
+    #[test]
+    fn resolve_success() {
+        let o = SlotOutcome::resolve(vec![StationId(4)]);
+        assert_eq!(o, SlotOutcome::Success(StationId(4)));
+        assert!(o.is_success());
+        assert_eq!(o.transmitter_count(), 1);
+    }
+
+    #[test]
+    fn resolve_collision_sorts_transmitters() {
+        let o = SlotOutcome::resolve(vec![StationId(9), StationId(2), StationId(5)]);
+        assert_eq!(
+            o,
+            SlotOutcome::Collision(vec![StationId(2), StationId(5), StationId(9)])
+        );
+        assert!(!o.is_success());
+        assert_eq!(o.transmitter_count(), 3);
+    }
+
+    #[test]
+    fn no_cd_makes_collision_look_like_silence() {
+        let collision = SlotOutcome::Collision(vec![StationId(0), StationId(1)]);
+        let fb = FeedbackModel::NoCollisionDetection.perceive(&collision, false);
+        assert_eq!(fb, Feedback::Silence);
+        // ... indistinguishable from true silence:
+        let fb2 = FeedbackModel::NoCollisionDetection.perceive(&SlotOutcome::Silence, false);
+        assert_eq!(fb, fb2);
+    }
+
+    #[test]
+    fn cd_distinguishes_collision_from_silence() {
+        let collision = SlotOutcome::Collision(vec![StationId(0), StationId(1)]);
+        assert_eq!(
+            FeedbackModel::CollisionDetection.perceive(&collision, false),
+            Feedback::Noise
+        );
+        assert_eq!(
+            FeedbackModel::CollisionDetection.perceive(&SlotOutcome::Silence, false),
+            Feedback::Silence
+        );
+    }
+
+    #[test]
+    fn success_is_heard_by_everyone_in_both_models() {
+        let success = SlotOutcome::Success(StationId(3));
+        for model in [
+            FeedbackModel::NoCollisionDetection,
+            FeedbackModel::CollisionDetection,
+        ] {
+            for transmitted in [false, true] {
+                assert_eq!(
+                    model.perceive(&success, transmitted),
+                    Feedback::Heard(StationId(3))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_model_is_the_papers() {
+        assert_eq!(
+            FeedbackModel::default(),
+            FeedbackModel::NoCollisionDetection
+        );
+    }
+}

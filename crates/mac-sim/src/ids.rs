@@ -1,0 +1,87 @@
+//! Identifier types shared across the simulator.
+//!
+//! The paper gives each station a unique integer ID from `[n] = {1, …, n}`.
+//! We use zero-based IDs `{0, …, n-1}` internally (idiomatic for array
+//! indexing); rendered output that wants to match the paper's notation adds 1.
+
+use std::fmt;
+
+/// A global time slot (round number ticked by the global clock).
+///
+/// Slots start at 0 and are visible to every station — this is the *globally
+/// synchronous* model of the paper. 64 bits comfortably cover every schedule
+/// length that appears in the paper (the Scenario C matrix has length
+/// `2c·n·log n·log log n`, far below `2^64` for any realistic `n`).
+pub type Slot = u64;
+
+/// A station identifier in `{0, …, n-1}`.
+///
+/// `StationId` is a transparent newtype so transcripts, schedules and
+/// selective families cannot accidentally mix IDs with slot numbers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StationId(pub u32);
+
+impl StationId {
+    /// The ID as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The 1-based ID used by the paper's notation (`[n] = {1, …, n}`).
+    #[inline]
+    pub fn paper_id(self) -> u32 {
+        self.0 + 1
+    }
+}
+
+impl fmt::Debug for StationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for StationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for StationId {
+    fn from(v: u32) -> Self {
+        StationId(v)
+    }
+}
+
+impl From<StationId> for u32 {
+    fn from(v: StationId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn station_id_roundtrip() {
+        let id = StationId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.paper_id(), 8);
+        assert_eq!(u32::from(id), 7);
+        assert_eq!(StationId::from(7u32), id);
+    }
+
+    #[test]
+    fn station_id_ordering_matches_numeric() {
+        let mut v = vec![StationId(5), StationId(0), StationId(3)];
+        v.sort();
+        assert_eq!(v, vec![StationId(0), StationId(3), StationId(5)]);
+    }
+
+    #[test]
+    fn debug_and_display_are_compact() {
+        assert_eq!(format!("{:?}", StationId(4)), "u4");
+        assert_eq!(format!("{}", StationId(4)), "4");
+    }
+}

@@ -1,0 +1,154 @@
+//! Latency and energy accounting across runs.
+//!
+//! A single [`Outcome`] describes one run; this
+//! module aggregates many runs into the quantities the experiments report:
+//! latency samples (the paper's `t − s` cost) and energy statistics
+//! (transmission counts — the cost measure of the authors' power-sensitive
+//! line of work, implemented here as an extension metric).
+
+use crate::engine::Outcome;
+
+/// One latency observation, possibly censored by the slot cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencySample {
+    /// The run solved wake-up with this latency (`t − s`).
+    Solved(u64),
+    /// The run hit the cap after this many slots without a success.
+    Censored(u64),
+}
+
+impl LatencySample {
+    /// Extract the sample from an outcome.
+    pub fn from_outcome(out: &Outcome) -> Self {
+        match out.latency() {
+            Some(l) => LatencySample::Solved(l),
+            None => LatencySample::Censored(out.slots_simulated),
+        }
+    }
+
+    /// The latency if solved.
+    pub fn solved(self) -> Option<u64> {
+        match self {
+            LatencySample::Solved(l) => Some(l),
+            LatencySample::Censored(_) => None,
+        }
+    }
+
+    /// A pessimistic value usable in worst-case maxima: the latency if
+    /// solved, otherwise the censoring bound (a lower bound on the truth).
+    pub fn pessimistic(self) -> u64 {
+        match self {
+            LatencySample::Solved(l) | LatencySample::Censored(l) => l,
+        }
+    }
+}
+
+/// Aggregated energy (transmission-count) statistics over runs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EnergyStats {
+    /// Number of runs aggregated.
+    pub runs: u64,
+    /// Total transmissions over all runs.
+    pub total_transmissions: u64,
+    /// Maximum transmissions by any single station in any run.
+    pub max_per_station: u64,
+    /// Total collision slots over all runs.
+    pub total_collisions: u64,
+}
+
+impl EnergyStats {
+    /// Create empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one outcome into the statistics.
+    pub fn absorb(&mut self, out: &Outcome) {
+        self.runs += 1;
+        self.total_transmissions += out.transmissions;
+        self.total_collisions += out.collisions;
+        let station_max = out
+            .per_station_tx
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(0);
+        self.max_per_station = self.max_per_station.max(station_max);
+    }
+
+    /// Mean transmissions per run.
+    pub fn mean_transmissions(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.total_transmissions as f64 / self.runs as f64
+        }
+    }
+
+    /// Mean collision slots per run.
+    pub fn mean_collisions(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.total_collisions as f64 / self.runs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::StationId;
+
+    fn outcome(latency: Option<u64>, slots: u64, tx: u64, collisions: u64) -> Outcome {
+        Outcome {
+            s: 10,
+            first_success: latency.map(|l| 10 + l),
+            winner: latency.map(|_| StationId(0)),
+            slots_simulated: slots,
+            transmissions: tx,
+            per_station_tx: vec![(StationId(0), tx)],
+            collisions,
+            silent_slots: slots - collisions,
+            transcript: None,
+            resolved: latency.map(|l| (StationId(0), 10 + l)).into_iter().collect(),
+            all_resolved_at: None,
+        }
+    }
+
+    #[test]
+    fn latency_sample_solved() {
+        let s = LatencySample::from_outcome(&outcome(Some(5), 6, 3, 1));
+        assert_eq!(s, LatencySample::Solved(5));
+        assert_eq!(s.solved(), Some(5));
+        assert_eq!(s.pessimistic(), 5);
+    }
+
+    #[test]
+    fn latency_sample_censored() {
+        let s = LatencySample::from_outcome(&outcome(None, 100, 7, 50));
+        assert_eq!(s, LatencySample::Censored(100));
+        assert_eq!(s.solved(), None);
+        assert_eq!(s.pessimistic(), 100);
+    }
+
+    #[test]
+    fn energy_stats_aggregate() {
+        let mut e = EnergyStats::new();
+        e.absorb(&outcome(Some(3), 4, 10, 2));
+        e.absorb(&outcome(None, 50, 30, 20));
+        assert_eq!(e.runs, 2);
+        assert_eq!(e.total_transmissions, 40);
+        assert_eq!(e.max_per_station, 30);
+        assert_eq!(e.total_collisions, 22);
+        assert!((e.mean_transmissions() - 20.0).abs() < 1e-12);
+        assert!((e.mean_collisions() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let e = EnergyStats::new();
+        assert_eq!(e.mean_transmissions(), 0.0);
+        assert_eq!(e.mean_collisions(), 0.0);
+    }
+}

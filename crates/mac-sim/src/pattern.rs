@@ -1,0 +1,376 @@
+//! Wake-up patterns: which stations wake, and when.
+//!
+//! The paper's adversary chooses, for each run, a set of at most `k` stations
+//! and a spontaneous wake-up slot for each ("the worst-case scenario over all
+//! possible patterns of spontaneous wake up times"). A [`WakePattern`] is one
+//! such choice; this module also provides the standard families of patterns
+//! used by the experiments:
+//!
+//! * [`WakePattern::simultaneous`] — all `k` stations wake at `s` (the
+//!   classical Komlós–Greenberg setting, and the only pattern in which
+//!   `select_among_the_first` participates);
+//! * [`WakePattern::staggered`] — arithmetic wake times `s, s+g, s+2g, …`;
+//! * [`WakePattern::uniform_window`] — independent uniform times in a window;
+//! * [`WakePattern::batches`] — bursts of simultaneous wakers separated by
+//!   gaps (models Ethernet-style load spikes);
+//! * [`WakePattern::trickle`] — geometric inter-arrival times (models sparse
+//!   sensor traffic).
+//!
+//! ID selection is factored out into [`IdChoice`] so experiments can control
+//! whether the adversary picks IDs adversarially (e.g. a contiguous block is
+//! bad for round-robin) or at random.
+
+use crate::ids::{Slot, StationId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A complete wake-up pattern: the (station, wake slot) pairs of the at most
+/// `k` stations that ever wake. Stations not listed never wake.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WakePattern {
+    wakes: Vec<(StationId, Slot)>,
+}
+
+/// Errors constructing a [`WakePattern`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternError {
+    /// The same station appears twice.
+    DuplicateStation(StationId),
+    /// The pattern contains no stations (the problem requires `k ≥ 1`).
+    Empty,
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::DuplicateStation(id) => {
+                write!(f, "station {id} appears more than once in the wake pattern")
+            }
+            PatternError::Empty => write!(f, "wake pattern contains no stations"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl WakePattern {
+    /// Build a pattern from explicit `(station, wake slot)` pairs.
+    ///
+    /// Pairs are sorted by wake slot (ties by ID) for deterministic engine
+    /// behaviour. Fails on duplicate stations or an empty list.
+    pub fn new(mut wakes: Vec<(StationId, Slot)>) -> Result<Self, PatternError> {
+        if wakes.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        wakes.sort_by_key(|&(id, t)| (t, id));
+        let mut seen = std::collections::HashSet::with_capacity(wakes.len());
+        for &(id, _) in &wakes {
+            if !seen.insert(id) {
+                return Err(PatternError::DuplicateStation(id));
+            }
+        }
+        Ok(WakePattern { wakes })
+    }
+
+    /// All `ids` wake at the same slot `s`.
+    pub fn simultaneous(ids: &[StationId], s: Slot) -> Result<Self, PatternError> {
+        Self::new(ids.iter().map(|&id| (id, s)).collect())
+    }
+
+    /// Station `i` (in the given order) wakes at `s + i·gap`.
+    pub fn staggered(ids: &[StationId], s: Slot, gap: Slot) -> Result<Self, PatternError> {
+        Self::new(
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| (id, s + i as Slot * gap))
+                .collect(),
+        )
+    }
+
+    /// Each station wakes at an independent uniform slot in `[s, s+window)`;
+    /// at least one station is forced to wake exactly at `s` so that `s`
+    /// really is the first wake-up (the paper measures latency from `s`).
+    pub fn uniform_window<R: Rng>(
+        ids: &[StationId],
+        s: Slot,
+        window: Slot,
+        rng: &mut R,
+    ) -> Result<Self, PatternError> {
+        let window = window.max(1);
+        let mut wakes: Vec<(StationId, Slot)> = ids
+            .iter()
+            .map(|&id| (id, s + rng.gen_range(0..window)))
+            .collect();
+        if let Some(first) = wakes.iter_mut().min_by_key(|(_, t)| *t) {
+            first.1 = s;
+        }
+        Self::new(wakes)
+    }
+
+    /// Bursts: `sizes[j]` stations wake simultaneously at `s + j·gap`.
+    /// `ids` must contain at least `sizes.iter().sum()` stations.
+    pub fn batches(
+        ids: &[StationId],
+        s: Slot,
+        gap: Slot,
+        sizes: &[usize],
+    ) -> Result<Self, PatternError> {
+        let total: usize = sizes.iter().sum();
+        assert!(
+            ids.len() >= total,
+            "batches: need {total} ids, got {}",
+            ids.len()
+        );
+        let mut wakes = Vec::with_capacity(total);
+        let mut next = 0usize;
+        for (j, &sz) in sizes.iter().enumerate() {
+            for _ in 0..sz {
+                wakes.push((ids[next], s + j as Slot * gap));
+                next += 1;
+            }
+        }
+        Self::new(wakes)
+    }
+
+    /// Trickle arrivals: the first station wakes at `s`, each next station
+    /// wakes after a geometric gap with success probability `p` (expected gap
+    /// `1/p` slots).
+    pub fn trickle<R: Rng>(
+        ids: &[StationId],
+        s: Slot,
+        p: f64,
+        rng: &mut R,
+    ) -> Result<Self, PatternError> {
+        assert!(p > 0.0 && p <= 1.0, "trickle: p must be in (0, 1]");
+        let mut t = s;
+        let mut wakes = Vec::with_capacity(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            if i > 0 {
+                // Geometric(p) ≥ 1, sampled by inversion.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let gap = ((1.0 - u).ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).ceil();
+                let gap = if p >= 1.0 { 1 } else { gap.max(1.0) as Slot };
+                t = t.saturating_add(gap);
+            }
+            wakes.push((id, t));
+        }
+        Self::new(wakes)
+    }
+
+    /// The `(station, wake slot)` pairs, sorted by wake slot then ID.
+    #[inline]
+    pub fn wakes(&self) -> &[(StationId, Slot)] {
+        &self.wakes
+    }
+
+    /// Number of stations that ever wake (the pattern's `k`).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.wakes.len()
+    }
+
+    /// The first slot at which some station is awake — the paper's `s`.
+    #[inline]
+    pub fn s(&self) -> Slot {
+        self.wakes[0].1
+    }
+
+    /// The last wake-up slot in the pattern.
+    #[inline]
+    pub fn last_wake(&self) -> Slot {
+        self.wakes.iter().map(|&(_, t)| t).max().unwrap()
+    }
+
+    /// The wake slot of `id`, if it ever wakes.
+    pub fn wake_of(&self, id: StationId) -> Option<Slot> {
+        self.wakes.iter().find(|&&(i, _)| i == id).map(|&(_, t)| t)
+    }
+
+    /// Replace the wake slot of `id` (used by the spoiler adversary).
+    /// Returns `false` if `id` is not in the pattern.
+    pub fn reschedule(&mut self, id: StationId, new_slot: Slot) -> bool {
+        let Some(pos) = self.wakes.iter().position(|&(i, _)| i == id) else {
+            return false;
+        };
+        self.wakes[pos].1 = new_slot;
+        self.wakes.sort_by_key(|&(id, t)| (t, id));
+        true
+    }
+
+    /// The set of stations awake at slot `t` (woken at or before `t`).
+    pub fn awake_at(&self, t: Slot) -> Vec<StationId> {
+        self.wakes
+            .iter()
+            .filter(|&&(_, w)| w <= t)
+            .map(|&(id, _)| id)
+            .collect()
+    }
+}
+
+/// Strategies for choosing *which* `k` of the `n` stations wake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdChoice {
+    /// IDs `0, 1, …, k-1` (a contiguous block — adversarial for round-robin
+    /// when combined with a wake just after each turn passes).
+    FirstK,
+    /// IDs `n-k, …, n-1` (the block round-robin reaches last).
+    LastK,
+    /// `k` IDs evenly spread over `[0, n)`.
+    Spread,
+    /// A uniformly random `k`-subset of `[0, n)`.
+    Random,
+}
+
+impl IdChoice {
+    /// Materialize the choice of `k` station IDs out of `n`.
+    ///
+    /// Panics if `k > n` (a pattern may not wake more stations than exist).
+    pub fn pick<R: Rng>(self, n: u32, k: usize, rng: &mut R) -> Vec<StationId> {
+        assert!(k as u64 <= n as u64, "IdChoice: k={k} > n={n}");
+        match self {
+            IdChoice::FirstK => (0..k as u32).map(StationId).collect(),
+            IdChoice::LastK => (n - k as u32..n).map(StationId).collect(),
+            IdChoice::Spread => (0..k)
+                .map(|i| StationId(((i as u64 * n as u64) / k.max(1) as u64) as u32))
+                .collect(),
+            IdChoice::Random => {
+                let mut all: Vec<u32> = (0..n).collect();
+                all.shuffle(rng);
+                all.truncate(k);
+                all.sort_unstable();
+                all.into_iter().map(StationId).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ids(v: &[u32]) -> Vec<StationId> {
+        v.iter().copied().map(StationId).collect()
+    }
+
+    #[test]
+    fn new_rejects_duplicates_and_empty() {
+        assert_eq!(WakePattern::new(vec![]), Err(PatternError::Empty));
+        let err = WakePattern::new(vec![(StationId(1), 0), (StationId(1), 3)]);
+        assert_eq!(err, Err(PatternError::DuplicateStation(StationId(1))));
+    }
+
+    #[test]
+    fn new_sorts_by_slot_then_id() {
+        let p = WakePattern::new(vec![
+            (StationId(9), 5),
+            (StationId(1), 2),
+            (StationId(3), 2),
+        ])
+        .unwrap();
+        assert_eq!(
+            p.wakes(),
+            &[(StationId(1), 2), (StationId(3), 2), (StationId(9), 5)]
+        );
+        assert_eq!(p.s(), 2);
+        assert_eq!(p.last_wake(), 5);
+        assert_eq!(p.k(), 3);
+    }
+
+    #[test]
+    fn simultaneous_all_wake_at_s() {
+        let p = WakePattern::simultaneous(&ids(&[4, 2, 7]), 11).unwrap();
+        assert!(p.wakes().iter().all(|&(_, t)| t == 11));
+        assert_eq!(p.s(), 11);
+    }
+
+    #[test]
+    fn staggered_is_arithmetic() {
+        let p = WakePattern::staggered(&ids(&[0, 1, 2]), 10, 4).unwrap();
+        assert_eq!(p.wake_of(StationId(0)), Some(10));
+        assert_eq!(p.wake_of(StationId(1)), Some(14));
+        assert_eq!(p.wake_of(StationId(2)), Some(18));
+        assert_eq!(p.wake_of(StationId(9)), None);
+    }
+
+    #[test]
+    fn uniform_window_pins_first_wake_to_s() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..20 {
+            let p = WakePattern::uniform_window(&ids(&[0, 1, 2, 3]), 100, 50, &mut rng).unwrap();
+            assert_eq!(p.s(), 100);
+            assert!(p.last_wake() < 150);
+        }
+    }
+
+    #[test]
+    fn batches_layout() {
+        let p = WakePattern::batches(&ids(&[0, 1, 2, 3, 4]), 0, 10, &[2, 3]).unwrap();
+        assert_eq!(p.awake_at(0), ids(&[0, 1]));
+        assert_eq!(p.awake_at(9), ids(&[0, 1]));
+        assert_eq!(p.awake_at(10).len(), 5);
+    }
+
+    #[test]
+    fn trickle_is_strictly_increasing_with_p_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = WakePattern::trickle(&ids(&[0, 1, 2]), 5, 1.0, &mut rng).unwrap();
+        assert_eq!(
+            p.wakes(),
+            &[(StationId(0), 5), (StationId(1), 6), (StationId(2), 7)]
+        );
+    }
+
+    #[test]
+    fn trickle_gaps_scale_with_inverse_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = WakePattern::trickle(&ids(&(0..50).collect::<Vec<_>>()), 0, 0.1, &mut rng).unwrap();
+        let span = p.last_wake() - p.s();
+        // 49 gaps of expected length 10 ⇒ span ≈ 490; allow generous slack.
+        assert!(span > 150, "span {span} suspiciously small");
+        assert!(span < 2000, "span {span} suspiciously large");
+    }
+
+    #[test]
+    fn reschedule_moves_and_resorts() {
+        let mut p = WakePattern::simultaneous(&ids(&[0, 1]), 0).unwrap();
+        assert!(p.reschedule(StationId(0), 100));
+        assert_eq!(p.wakes(), &[(StationId(1), 0), (StationId(0), 100)]);
+        assert!(!p.reschedule(StationId(9), 5));
+    }
+
+    #[test]
+    fn awake_at_respects_wake_times() {
+        let p = WakePattern::staggered(&ids(&[0, 1]), 10, 5).unwrap();
+        assert!(p.awake_at(9).is_empty());
+        assert_eq!(p.awake_at(10), ids(&[0]));
+        assert_eq!(p.awake_at(15), ids(&[0, 1]));
+    }
+
+    #[test]
+    fn id_choice_first_last_spread() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(IdChoice::FirstK.pick(10, 3, &mut rng), ids(&[0, 1, 2]));
+        assert_eq!(IdChoice::LastK.pick(10, 3, &mut rng), ids(&[7, 8, 9]));
+        let spread = IdChoice::Spread.pick(12, 4, &mut rng);
+        assert_eq!(spread, ids(&[0, 3, 6, 9]));
+    }
+
+    #[test]
+    fn id_choice_random_is_a_k_subset() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let picked = IdChoice::Random.pick(100, 10, &mut rng);
+        assert_eq!(picked.len(), 10);
+        let set: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(picked.iter().all(|id| id.0 < 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "k=11 > n=10")]
+    fn id_choice_panics_when_k_exceeds_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        IdChoice::FirstK.pick(10, 11, &mut rng);
+    }
+}

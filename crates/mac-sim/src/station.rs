@@ -1,0 +1,255 @@
+//! Station behaviour ([`Station`]) and protocol factories ([`Protocol`]).
+//!
+//! A *protocol* in the sense of the paper is "a collection of n transmission
+//! schedules, one for each station" — here a [`Protocol`] is a factory that
+//! instantiates the per-station behaviour for any ID. The engine creates a
+//! [`Station`] lazily when its wake-up slot arrives and then drives it slot
+//! by slot.
+//!
+//! All of the paper's deterministic algorithms are *oblivious*: the decision
+//! to transmit at global slot `t` depends only on `(id, n, σ, t)` and never on
+//! channel feedback. Such protocols ignore [`Station::feedback`]. Randomized
+//! protocols (§6) additionally consume the per-station seed handed to
+//! [`Protocol::station`].
+
+use crate::channel::Feedback;
+use crate::ids::{Slot, StationId};
+
+/// A station's decision for one slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit a message in this slot.
+    Transmit,
+    /// Listen to the channel in this slot.
+    Listen,
+}
+
+impl Action {
+    /// Convenience: `true` ↦ [`Action::Transmit`].
+    #[inline]
+    pub fn from_bool(transmit: bool) -> Self {
+        if transmit {
+            Action::Transmit
+        } else {
+            Action::Listen
+        }
+    }
+
+    /// `true` iff this is [`Action::Transmit`].
+    #[inline]
+    pub fn is_transmit(self) -> bool {
+        matches!(self, Action::Transmit)
+    }
+}
+
+/// The behaviour of one station, driven by the engine.
+///
+/// Lifecycle (all slots are global round numbers):
+///
+/// 1. [`wake`](Station::wake) is called exactly once, at the station's
+///    spontaneous wake-up slot `σ`.
+/// 2. For every slot `t ≥ σ` until the run ends, [`act`](Station::act) is
+///    called exactly once; returning [`Action::Transmit`] puts the station on
+///    the channel for that slot.
+/// 3. After the channel resolves, [`feedback`](Station::feedback) delivers
+///    what this station perceived (model-dependent).
+pub trait Station {
+    /// The station spontaneously wakes up at global slot `sigma`.
+    fn wake(&mut self, sigma: Slot);
+
+    /// Decide the action for global slot `t` (`t ≥ σ`; called exactly once
+    /// per slot, in increasing slot order).
+    fn act(&mut self, t: Slot) -> Action;
+
+    /// Channel feedback for slot `t`, as perceived under the configured
+    /// feedback model. Default: ignore (oblivious protocols).
+    fn feedback(&mut self, t: Slot, fb: Feedback) {
+        let _ = (t, fb);
+    }
+}
+
+/// A factory for per-station behaviour: "a collection of `n` transmission
+/// schedules, one for each station".
+///
+/// `seed` is a per-run, per-station deterministic seed (derived by the engine
+/// from the run seed and the station ID); deterministic protocols ignore it.
+pub trait Protocol {
+    /// Instantiate the behaviour of station `id`.
+    fn station(&self, id: StationId, seed: u64) -> Box<dyn Station>;
+
+    /// Human-readable protocol name (used in tables and transcripts).
+    fn name(&self) -> String;
+}
+
+impl<P: Protocol + ?Sized> Protocol for &P {
+    fn station(&self, id: StationId, seed: u64) -> Box<dyn Station> {
+        (**self).station(id, seed)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<P: Protocol + ?Sized> Protocol for Box<P> {
+    fn station(&self, id: StationId, seed: u64) -> Box<dyn Station> {
+        (**self).station(id, seed)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapter stations (useful for tests, baselines and composition).
+// ---------------------------------------------------------------------------
+
+/// A station that transmits in every slot once awake.
+///
+/// With `k = 1` this is the optimal protocol; with `k ≥ 2` simultaneous
+/// wakers it never succeeds — tests use it to pin collision semantics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysTransmit;
+
+impl Station for AlwaysTransmit {
+    fn wake(&mut self, _sigma: Slot) {}
+    fn act(&mut self, _t: Slot) -> Action {
+        Action::Transmit
+    }
+}
+
+/// A station that never transmits (pure listener).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeverTransmit;
+
+impl Station for NeverTransmit {
+    fn wake(&mut self, _sigma: Slot) {}
+    fn act(&mut self, _t: Slot) -> Action {
+        Action::Listen
+    }
+}
+
+/// An oblivious station driven by a predicate on `(σ, t)`.
+///
+/// This is the bridge between *transmission schedules* (pure functions, the
+/// object the paper's combinatorics talks about) and engine-driven stations.
+pub struct ObliviousStation<F: FnMut(Slot, Slot) -> bool> {
+    sigma: Slot,
+    decide: F,
+}
+
+impl<F: FnMut(Slot, Slot) -> bool> ObliviousStation<F> {
+    /// Create a station whose action at global slot `t` is
+    /// `decide(sigma, t)`.
+    pub fn new(decide: F) -> Self {
+        ObliviousStation { sigma: 0, decide }
+    }
+}
+
+impl<F: FnMut(Slot, Slot) -> bool> Station for ObliviousStation<F> {
+    fn wake(&mut self, sigma: Slot) {
+        self.sigma = sigma;
+    }
+    fn act(&mut self, t: Slot) -> Action {
+        Action::from_bool((self.decide)(self.sigma, t))
+    }
+}
+
+/// A protocol built from a plain function `f(id, n_seed, σ, t) -> transmit?`.
+///
+/// Useful in tests and for wrapping schedule objects without a bespoke type.
+pub struct FnProtocol<F>
+where
+    F: Fn(StationId, u64, Slot, Slot) -> bool + Sync,
+{
+    name: String,
+    f: std::sync::Arc<F>,
+}
+
+impl<F> FnProtocol<F>
+where
+    F: Fn(StationId, u64, Slot, Slot) -> bool + Sync + Send + 'static,
+{
+    /// Wrap `f(id, seed, sigma, t)` as a protocol named `name`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnProtocol {
+            name: name.into(),
+            f: std::sync::Arc::new(f),
+        }
+    }
+}
+
+impl<F> Protocol for FnProtocol<F>
+where
+    F: Fn(StationId, u64, Slot, Slot) -> bool + Sync + Send + 'static,
+{
+    fn station(&self, id: StationId, seed: u64) -> Box<dyn Station> {
+        let f = std::sync::Arc::clone(&self.f);
+        Box::new(ObliviousStation::new(move |sigma, t| f(id, seed, sigma, t)))
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_from_bool() {
+        assert_eq!(Action::from_bool(true), Action::Transmit);
+        assert_eq!(Action::from_bool(false), Action::Listen);
+        assert!(Action::Transmit.is_transmit());
+        assert!(!Action::Listen.is_transmit());
+    }
+
+    #[test]
+    fn always_and_never() {
+        let mut a = AlwaysTransmit;
+        let mut n = NeverTransmit;
+        a.wake(5);
+        n.wake(5);
+        for t in 5..10 {
+            assert_eq!(a.act(t), Action::Transmit);
+            assert_eq!(n.act(t), Action::Listen);
+        }
+    }
+
+    #[test]
+    fn oblivious_station_sees_its_wake_slot() {
+        // Transmit exactly `3` slots after waking.
+        let mut s = ObliviousStation::new(|sigma, t| t == sigma + 3);
+        s.wake(10);
+        assert_eq!(s.act(10), Action::Listen);
+        assert_eq!(s.act(12), Action::Listen);
+        assert_eq!(s.act(13), Action::Transmit);
+        assert_eq!(s.act(14), Action::Listen);
+    }
+
+    #[test]
+    fn fn_protocol_constructs_station_per_id() {
+        let p = FnProtocol::new("diag", |id: StationId, _seed, _sigma, t: Slot| {
+            t % 4 == id.0 as u64
+        });
+        assert_eq!(p.name(), "diag");
+        let mut s2 = p.station(StationId(2), 0);
+        s2.wake(0);
+        assert_eq!(s2.act(0), Action::Listen);
+        assert_eq!(s2.act(2), Action::Transmit);
+        assert_eq!(s2.act(6), Action::Transmit);
+        assert_eq!(s2.act(7), Action::Listen);
+    }
+
+    #[test]
+    fn protocol_is_usable_through_references_and_boxes() {
+        fn takes_protocol(p: impl Protocol) -> String {
+            p.name()
+        }
+        let p = FnProtocol::new("x", |_, _, _, _| false);
+        assert_eq!(takes_protocol(&p), "x");
+        let b: Box<dyn Protocol> = Box::new(p);
+        assert_eq!(takes_protocol(&b), "x");
+        assert_eq!(takes_protocol(b), "x");
+    }
+}

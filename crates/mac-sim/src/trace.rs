@@ -1,0 +1,256 @@
+//! Per-slot transcripts of a simulation run, plus model-invariant checkers.
+//!
+//! Transcripts record the ground truth of every simulated slot (who
+//! transmitted, how the channel resolved). They are optional (recording can
+//! be disabled for large ensemble runs) and are consumed by:
+//!
+//! * tests, via [`Transcript::check_invariants`] — a machine-checkable
+//!   statement of the channel model's rules;
+//! * the waking-matrix analysis experiments (EXP-BAL), which need to know the
+//!   exact contention at each slot;
+//! * the rendered figures (EXP-FIG1/2).
+
+use crate::channel::SlotOutcome;
+use crate::ids::{Slot, StationId};
+
+/// What happened in one simulated slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotRecord {
+    /// The global slot number.
+    pub slot: Slot,
+    /// IDs of all stations that transmitted (sorted).
+    pub transmitters: Vec<StationId>,
+    /// How the channel resolved.
+    pub outcome: SlotOutcome,
+}
+
+/// A complete per-slot record of a run, from the first wake-up `s` onwards.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transcript {
+    records: Vec<SlotRecord>,
+}
+
+/// A violation of the channel model found by [`Transcript::check_invariants`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Slot numbers are not strictly increasing and contiguous.
+    NonContiguousSlots {
+        /// Index into the transcript where the gap occurs.
+        at: usize,
+    },
+    /// The recorded outcome does not match the recorded transmitter set.
+    OutcomeMismatch {
+        /// The offending slot.
+        slot: Slot,
+    },
+    /// A success appears before the final record (the wake-up problem stops
+    /// at the first success).
+    SuccessNotTerminal {
+        /// The premature success slot.
+        slot: Slot,
+    },
+    /// A transmitter list is not sorted or contains duplicates.
+    MalformedTransmitters {
+        /// The offending slot.
+        slot: Slot,
+    },
+}
+
+impl Transcript {
+    /// Create an empty transcript.
+    pub fn new() -> Self {
+        Transcript::default()
+    }
+
+    /// Append a slot record. The engine records slots in increasing order.
+    pub fn push(&mut self, record: SlotRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in slot order.
+    pub fn records(&self) -> &[SlotRecord] {
+        &self.records
+    }
+
+    /// Number of recorded slots.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record of the successful slot, if the run succeeded.
+    pub fn success(&self) -> Option<&SlotRecord> {
+        self.records.last().filter(|r| r.outcome.is_success())
+    }
+
+    /// Count slots with the given number of transmitters
+    /// (0 = silence, 1 = success, ≥2 = collision).
+    pub fn count_by_contention(&self, transmitters: usize) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.transmitters.len() == transmitters)
+            .count()
+    }
+
+    /// Check the channel-model invariants; returns all violations found.
+    ///
+    /// Invariants:
+    /// 1. slots are contiguous and increasing;
+    /// 2. outcome matches the transmitter multiset (0 ⇒ Silence, 1 ⇒
+    ///    Success of that station, ≥2 ⇒ Collision of exactly that set);
+    /// 3. at most one success, and only in the final record (the engine
+    ///    stops a wake-up run at the first success);
+    /// 4. transmitter lists are sorted and duplicate-free.
+    ///
+    /// For full-conflict-resolution runs (`StopRule::AllResolved`, where
+    /// many successes occur mid-run) use
+    /// [`check_invariants_multi_success`](Self::check_invariants_multi_success).
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        self.check(true)
+    }
+
+    /// Channel-model invariants without the success-is-terminal rule —
+    /// for conflict-resolution runs in which every station must eventually
+    /// transmit successfully.
+    pub fn check_invariants_multi_success(&self) -> Vec<InvariantViolation> {
+        self.check(false)
+    }
+
+    fn check(&self, success_must_be_terminal: bool) -> Vec<InvariantViolation> {
+        let mut violations = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 && r.slot != self.records[i - 1].slot + 1 {
+                violations.push(InvariantViolation::NonContiguousSlots { at: i });
+            }
+            if r.transmitters.windows(2).any(|w| w[0] >= w[1]) {
+                violations.push(InvariantViolation::MalformedTransmitters { slot: r.slot });
+            }
+            let expected = SlotOutcome::resolve(r.transmitters.clone());
+            if expected != r.outcome {
+                violations.push(InvariantViolation::OutcomeMismatch { slot: r.slot });
+            }
+            if success_must_be_terminal
+                && r.outcome.is_success()
+                && i + 1 != self.records.len()
+            {
+                violations.push(InvariantViolation::SuccessNotTerminal { slot: r.slot });
+            }
+        }
+        violations
+    }
+
+    /// Slots of all successful transmissions, with their winners.
+    pub fn successes(&self) -> Vec<(Slot, StationId)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r.outcome {
+                SlotOutcome::Success(w) => Some((r.slot, w)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render a compact ASCII strip of the run: `.` silence, `!` success,
+    /// `x` collision — handy in failure messages and examples.
+    pub fn ascii_strip(&self) -> String {
+        self.records
+            .iter()
+            .map(|r| match r.outcome {
+                SlotOutcome::Silence => '.',
+                SlotOutcome::Success(_) => '!',
+                SlotOutcome::Collision(_) => 'x',
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(slot: Slot, tx: &[u32]) -> SlotRecord {
+        let transmitters: Vec<StationId> = tx.iter().copied().map(StationId).collect();
+        let outcome = SlotOutcome::resolve(transmitters.clone());
+        SlotRecord {
+            slot,
+            transmitters,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn clean_transcript_has_no_violations() {
+        let mut t = Transcript::new();
+        t.push(rec(10, &[]));
+        t.push(rec(11, &[1, 2]));
+        t.push(rec(12, &[3]));
+        assert!(t.check_invariants().is_empty());
+        assert_eq!(t.ascii_strip(), ".x!");
+        assert_eq!(t.success().unwrap().slot, 12);
+        assert_eq!(t.count_by_contention(0), 1);
+        assert_eq!(t.count_by_contention(2), 1);
+        assert_eq!(t.count_by_contention(1), 1);
+    }
+
+    #[test]
+    fn detects_gap_in_slots() {
+        let mut t = Transcript::new();
+        t.push(rec(0, &[]));
+        t.push(rec(2, &[]));
+        assert_eq!(
+            t.check_invariants(),
+            vec![InvariantViolation::NonContiguousSlots { at: 1 }]
+        );
+    }
+
+    #[test]
+    fn detects_outcome_mismatch() {
+        let mut t = Transcript::new();
+        t.push(SlotRecord {
+            slot: 0,
+            transmitters: vec![StationId(1), StationId(2)],
+            outcome: SlotOutcome::Silence, // lie: this was a collision
+        });
+        assert_eq!(
+            t.check_invariants(),
+            vec![InvariantViolation::OutcomeMismatch { slot: 0 }]
+        );
+    }
+
+    #[test]
+    fn detects_premature_success() {
+        let mut t = Transcript::new();
+        t.push(rec(0, &[4]));
+        t.push(rec(1, &[]));
+        assert_eq!(
+            t.check_invariants(),
+            vec![InvariantViolation::SuccessNotTerminal { slot: 0 }]
+        );
+    }
+
+    #[test]
+    fn detects_unsorted_transmitters() {
+        let mut t = Transcript::new();
+        t.push(SlotRecord {
+            slot: 0,
+            transmitters: vec![StationId(2), StationId(1)],
+            outcome: SlotOutcome::Collision(vec![StationId(1), StationId(2)]),
+        });
+        let v = t.check_invariants();
+        assert!(v.contains(&InvariantViolation::MalformedTransmitters { slot: 0 }));
+    }
+
+    #[test]
+    fn empty_transcript() {
+        let t = Transcript::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.success().is_none());
+        assert!(t.check_invariants().is_empty());
+        assert_eq!(t.ascii_strip(), "");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the channel model and engine.
+
+use mac_sim::prelude::*;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+const N: u32 = 48;
+
+fn arb_pattern() -> impl Strategy<Value = WakePattern> {
+    btree_set(0..N, 1..=6usize).prop_flat_map(|ids| {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        let len = ids.len();
+        (Just(ids), proptest::collection::vec(0u64..150, len)).prop_map(|(ids, times)| {
+            WakePattern::new(ids.into_iter().map(StationId).zip(times).collect()).unwrap()
+        })
+    })
+}
+
+/// A protocol whose stations transmit per a seeded pseudo-random predicate —
+/// enough variety to exercise every channel outcome.
+struct Jitter;
+struct JitterStation {
+    seed: u64,
+    sigma: Slot,
+}
+impl Station for JitterStation {
+    fn wake(&mut self, sigma: Slot) {
+        self.sigma = sigma;
+    }
+    fn act(&mut self, t: Slot) -> Action {
+        let h = mac_sim::rng::derive_seed(self.seed, t - self.sigma + 1);
+        Action::from_bool(h.is_multiple_of(3))
+    }
+}
+impl Protocol for Jitter {
+    fn station(&self, _id: StationId, seed: u64) -> Box<dyn Station> {
+        Box::new(JitterStation { seed, sigma: 0 })
+    }
+    fn name(&self) -> String {
+        "jitter".into()
+    }
+}
+
+proptest! {
+    #[test]
+    fn pattern_invariants(pattern in arb_pattern()) {
+        // s is the minimum wake; last_wake the maximum; wakes sorted.
+        let wakes = pattern.wakes();
+        prop_assert!(wakes.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert_eq!(pattern.s(), wakes.iter().map(|&(_, t)| t).min().unwrap());
+        prop_assert_eq!(pattern.last_wake(), wakes.iter().map(|&(_, t)| t).max().unwrap());
+        // awake_at is monotone in t.
+        let mid = (pattern.s() + pattern.last_wake()) / 2;
+        let a = pattern.awake_at(mid).len();
+        let b = pattern.awake_at(pattern.last_wake()).len();
+        prop_assert!(a <= b);
+        prop_assert_eq!(b, pattern.k());
+    }
+
+    #[test]
+    fn engine_accounting_identity(pattern in arb_pattern(), seed in 0u64..500) {
+        let cfg = SimConfig::new(N).with_max_slots(2_000).with_transcript();
+        let out = Simulator::new(cfg).run(&Jitter, &pattern, seed).unwrap();
+        let successes = u64::from(out.first_success.is_some());
+        prop_assert_eq!(
+            out.slots_simulated,
+            out.collisions + out.silent_slots + successes
+        );
+        let per_station: u64 = out.per_station_tx.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(per_station, out.transmissions);
+        let tr = out.transcript.unwrap();
+        prop_assert!(tr.check_invariants().is_empty());
+        // Transcript transmission count equals the engine's counter.
+        let tr_tx: u64 = tr.records().iter().map(|r| r.transmitters.len() as u64).sum();
+        prop_assert_eq!(tr_tx, out.transmissions);
+    }
+
+    #[test]
+    fn engine_is_a_pure_function_of_inputs(pattern in arb_pattern(), seed in 0u64..200) {
+        let cfg = SimConfig::new(N).with_max_slots(1_000);
+        let sim = Simulator::new(cfg);
+        let a = sim.run(&Jitter, &pattern, seed).unwrap();
+        let b = sim.run(&Jitter, &pattern, seed).unwrap();
+        prop_assert_eq!(a.first_success, b.first_success);
+        prop_assert_eq!(a.transmissions, b.transmissions);
+        prop_assert_eq!(a.collisions, b.collisions);
+    }
+
+    #[test]
+    fn no_event_before_s(pattern in arb_pattern(), seed in 0u64..100) {
+        let cfg = SimConfig::new(N).with_max_slots(500).with_transcript();
+        let out = Simulator::new(cfg).run(&Jitter, &pattern, seed).unwrap();
+        prop_assert_eq!(out.s, pattern.s());
+        if let Some(tr) = out.transcript {
+            if let Some(first) = tr.records().first() {
+                prop_assert!(first.slot >= pattern.s());
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_models_agree_on_noncollision_slots(
+        pattern in arb_pattern(),
+        seed in 0u64..100,
+    ) {
+        // The ground-truth transcript is feedback-independent for oblivious
+        // protocols; CD vs no-CD runs must produce identical transcripts.
+        let mk = |fb: FeedbackModel| {
+            let cfg = SimConfig::new(N)
+                .with_max_slots(500)
+                .with_feedback(fb)
+                .with_transcript();
+            Simulator::new(cfg).run(&Jitter, &pattern, seed).unwrap()
+        };
+        let a = mk(FeedbackModel::NoCollisionDetection);
+        let b = mk(FeedbackModel::CollisionDetection);
+        prop_assert_eq!(a.transcript, b.transcript);
+    }
+
+    #[test]
+    fn latency_sample_roundtrip(pattern in arb_pattern(), seed in 0u64..100) {
+        use mac_sim::metrics::LatencySample;
+        let cfg = SimConfig::new(N).with_max_slots(300);
+        let out = Simulator::new(cfg).run(&Jitter, &pattern, seed).unwrap();
+        let sample = LatencySample::from_outcome(&out);
+        match sample {
+            LatencySample::Solved(l) => prop_assert_eq!(Some(l), out.latency()),
+            LatencySample::Censored(c) => {
+                prop_assert!(out.latency().is_none());
+                prop_assert_eq!(c, out.slots_simulated);
+            }
+        }
+    }
+
+    #[test]
+    fn spoiler_never_reduces_latency(
+        ids in btree_set(0..N, 2..=5usize),
+        seed in 0u64..50,
+    ) {
+        let ids: Vec<StationId> = ids.into_iter().map(StationId).collect();
+        let start = WakePattern::simultaneous(&ids, 0).unwrap();
+        let sim = Simulator::new(SimConfig::new(N).with_max_slots(5_000));
+        // Deterministic-ish protocol for the adversary to probe.
+        struct Rr(u32);
+        struct RrS(StationId, u32);
+        impl Station for RrS {
+            fn wake(&mut self, _s: Slot) {}
+            fn act(&mut self, t: Slot) -> Action {
+                Action::from_bool(t % u64::from(self.1) == u64::from(self.0 .0))
+            }
+        }
+        impl Protocol for Rr {
+            fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
+                Box::new(RrS(id, self.0))
+            }
+            fn name(&self) -> String {
+                "rr".into()
+            }
+        }
+        let baseline = sim.run(&Rr(N), &start, seed).unwrap().latency().unwrap();
+        let spoiled = mac_sim::adversary::SpoilerSearch::new(16, 5_000)
+            .search(&sim, &Rr(N), start, seed)
+            .unwrap();
+        let spoiled_lat = spoiled
+            .outcome
+            .latency()
+            .unwrap_or(u64::MAX);
+        prop_assert!(spoiled_lat >= baseline);
+    }
+}

@@ -1,0 +1,96 @@
+//! The folklore explicit `(n,2)`-selective family of size `2⌈log n⌉ + 1`.
+//!
+//! For every bit position `b < ⌈log n⌉`, include the two sets
+//! `B_{b,0} = {u : bit b of u is 0}` and `B_{b,1} = {u : bit b of u is 1}`;
+//! finally include the full set `[n]`.
+//!
+//! *Why it works.* A target set `X` with `|X| = 2`, say `X = {x, y}` with
+//! `x ≠ y`, differs in some bit `b`; then `B_{b, bit_b(x)}` contains `x` but
+//! not `y`, so it intersects `X` exactly once. A target with `|X| = 1` is
+//! isolated by the full set. (The size range of `(n,2)`-selectivity is
+//! `1 ≤ |X| ≤ 2`.)
+//!
+//! This is the smallest explicit construction in the repository and doubles
+//! as a readable worked example of the selectivity property.
+
+use crate::bitset::BitSet;
+use crate::family::SelectiveFamily;
+use crate::math::ceil_log2;
+
+/// Build the explicit `(n,2)`-selective family of size `2⌈log₂ n⌉ + 1`.
+pub fn bitsplit_family(n: u32) -> SelectiveFamily {
+    assert!(n >= 1);
+    let bits = ceil_log2(u64::from(n).max(2)).max(1);
+    let mut sets = Vec::with_capacity(2 * bits as usize + 1);
+    for b in 0..bits {
+        for v in [0u32, 1u32] {
+            sets.push(BitSet::from_iter_members(
+                n,
+                (0..n).filter(|&u| (u >> b) & 1 == v),
+            ));
+        }
+    }
+    sets.push(BitSet::full(n));
+    SelectiveFamily::new(n, 2, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn sizes_match_formula() {
+        for n in [2u32, 3, 4, 8, 9, 16, 33] {
+            let fam = bitsplit_family(n);
+            let bits = ceil_log2(u64::from(n).max(2)).max(1);
+            assert_eq!(fam.len(), 2 * bits as usize + 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn exhaustively_selective_for_small_n() {
+        for n in [2u32, 3, 5, 8, 13, 16, 20] {
+            let fam = bitsplit_family(n);
+            assert!(
+                verify::selective_exhaustive(&fam).is_ok(),
+                "bitsplit not (n,2)-selective for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_are_split_by_some_bit_set() {
+        let fam = bitsplit_family(16);
+        // For any distinct pair, some set contains exactly one of them.
+        for x in 0..16u32 {
+            for y in (x + 1)..16 {
+                assert!(
+                    fam.sets()
+                        .iter()
+                        .any(|f| f.intersection_size_with_slice(&[x, y]) == 1),
+                    "pair ({x},{y}) not split"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn n1_degenerate_universe() {
+        let fam = bitsplit_family(1);
+        // Only target is X = {0}; the full set isolates it.
+        assert!(verify::selective_exhaustive(&fam).is_ok());
+    }
+
+    #[test]
+    fn complement_structure() {
+        // B_{b,0} and B_{b,1} partition the universe.
+        let fam = bitsplit_family(8);
+        for b in 0..3 {
+            let s0 = fam.set(2 * b);
+            let s1 = fam.set(2 * b + 1);
+            assert_eq!(s0.len() + s1.len(), 8);
+            assert_eq!(s0.intersection_size(s1), 0);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! [`SelectiveFamily`]: an ordered family of transmission sets with its
+//! `(n, k)` parameters.
+//!
+//! The *order* of the sets matters: a family doubles as a transmission
+//! schedule ("a station `x ∈ X` transmitting according to a selective family
+//! `F = {F₁, …, F_{|F|}}` will transmit at time `j` iff `x ∈ F_j`", §3), and
+//! its length is exactly the time the schedule takes.
+
+use crate::bitset::BitSet;
+
+/// An ordered family of transmission sets over the universe `{0, …, n-1}`,
+/// annotated with the `(n, k)` parameters it claims to be selective for.
+///
+/// The claim is *not* checked on construction (checking is exponential in
+/// general); the [`verify`](crate::verify) module provides exhaustive and
+/// Monte-Carlo checkers, and each construction documents its guarantee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectiveFamily {
+    n: u32,
+    k: u32,
+    sets: Vec<BitSet>,
+}
+
+impl SelectiveFamily {
+    /// Wrap an ordered list of transmission sets as an `(n,k)` family.
+    ///
+    /// Panics if any set has a universe different from `n`.
+    pub fn new(n: u32, k: u32, sets: Vec<BitSet>) -> Self {
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(
+                s.universe(),
+                n,
+                "set {i} has universe {} but family claims n={n}",
+                s.universe()
+            );
+        }
+        SelectiveFamily { n, k, sets }
+    }
+
+    /// Universe size `n`.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Target contention bound `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of transmission sets (= schedule length), the paper's `|F|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` iff the family has no sets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The `j`-th transmission set.
+    #[inline]
+    pub fn set(&self, j: usize) -> &BitSet {
+        &self.sets[j]
+    }
+
+    /// All sets in order.
+    #[inline]
+    pub fn sets(&self) -> &[BitSet] {
+        &self.sets
+    }
+
+    /// Does station `id` transmit at schedule position `j`?
+    #[inline]
+    pub fn transmits(&self, id: u32, j: usize) -> bool {
+        self.sets[j].contains(id)
+    }
+
+    /// Concatenate families over the same universe: `⟨self, other⟩`.
+    ///
+    /// The result claims the *larger* `k` (the weaker of the two claims; the
+    /// concatenation is selective for any `X` either component handles).
+    pub fn concat(mut self, other: SelectiveFamily) -> SelectiveFamily {
+        assert_eq!(self.n, other.n, "concat: universe mismatch");
+        self.k = self.k.max(other.k);
+        self.sets.extend(other.sets);
+        self
+    }
+
+    /// Total number of station-slots (sum of set sizes) — a measure of the
+    /// family's *energy* (how often stations transmit when running it).
+    pub fn total_weight(&self) -> u64 {
+        self.sets.iter().map(|s| u64::from(s.len())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(n: u32, members: &[u32]) -> BitSet {
+        BitSet::from_iter_members(n, members.iter().copied())
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let fam = SelectiveFamily::new(8, 2, vec![set(8, &[0, 1]), set(8, &[2])]);
+        assert_eq!(fam.n(), 8);
+        assert_eq!(fam.k(), 2);
+        assert_eq!(fam.len(), 2);
+        assert!(!fam.is_empty());
+        assert!(fam.transmits(0, 0));
+        assert!(fam.transmits(1, 0));
+        assert!(!fam.transmits(2, 0));
+        assert!(fam.transmits(2, 1));
+        assert_eq!(fam.total_weight(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn construction_rejects_universe_mismatch() {
+        SelectiveFamily::new(8, 2, vec![set(9, &[0])]);
+    }
+
+    #[test]
+    fn concat_appends_and_takes_max_k() {
+        let a = SelectiveFamily::new(8, 2, vec![set(8, &[0])]);
+        let b = SelectiveFamily::new(8, 4, vec![set(8, &[1]), set(8, &[2])]);
+        let c = a.concat(b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.k(), 4);
+        assert!(c.transmits(0, 0));
+        assert!(c.transmits(1, 1));
+        assert!(c.transmits(2, 2));
+    }
+
+    #[test]
+    fn empty_family() {
+        let fam = SelectiveFamily::new(4, 2, vec![]);
+        assert!(fam.is_empty());
+        assert_eq!(fam.len(), 0);
+        assert_eq!(fam.total_weight(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Small number-theoretic and combinatorial helpers.
+
+/// `⌈log₂ x⌉` for `x ≥ 1`; `ceil_log2(1) = 0`.
+///
+/// This is the paper's `log x` (the paper omits floors and ceilings; we
+/// always round up so that schedule lengths are sufficient).
+#[inline]
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x >= 1, "ceil_log2 of 0");
+    64 - (x - 1).leading_zeros().min(64)
+}
+
+/// `⌊log₂ x⌋` for `x ≥ 1`.
+#[inline]
+pub fn floor_log2(x: u64) -> u32 {
+    assert!(x >= 1, "floor_log2 of 0");
+    63 - x.leading_zeros()
+}
+
+/// The paper's `log n`, made total: `max(1, ⌈log₂ n⌉)`.
+///
+/// Returning at least 1 keeps row counts, window lengths and family indices
+/// positive for the degenerate universes `n ∈ {1, 2}`.
+#[inline]
+pub fn log_n(n: u64) -> u32 {
+    ceil_log2(n.max(2)).max(1)
+}
+
+/// The paper's `log log n`, made total: `max(2, ⌈log₂(log n)⌉)`.
+///
+/// Section 5 needs windows of `log log n` *consecutive* slots over which a
+/// density sweep `ρ(j) = j mod log log n` runs; a window of length < 2 would
+/// degenerate the sweep, so we clamp from below at 2.
+#[inline]
+pub fn log_log_n(n: u64) -> u32 {
+    ceil_log2(u64::from(log_n(n)).max(2)).max(2)
+}
+
+/// Deterministic primality test by trial division (sufficient for the sizes
+/// used by Kautz–Singleton parameters, which are at most a few thousand).
+pub fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x.is_multiple_of(2) {
+        return x == 2;
+    }
+    if x.is_multiple_of(3) {
+        return x == 3;
+    }
+    let mut d = 5u64;
+    while d.saturating_mul(d) <= x {
+        if x.is_multiple_of(d) || x.is_multiple_of(d + 2) {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// The smallest prime `≥ x`.
+pub fn next_prime(x: u64) -> u64 {
+    let mut p = x.max(2);
+    while !is_prime(p) {
+        p += 1;
+    }
+    p
+}
+
+/// `ln C(n, k)` (natural log of the binomial coefficient), exact summation.
+///
+/// Used to size randomized constructions from union bounds without
+/// overflowing; `ln_choose(n, 0) = 0`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose: k={k} > n={n}");
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// Iterator over all `k`-subsets of `{0, …, n-1}` in lexicographic order,
+/// yielding each subset as a sorted `&[u32]` via a visitor to avoid
+/// allocation.
+///
+/// Returns the number of subsets visited. The visitor may return `false` to
+/// stop early (e.g. when a counterexample is found).
+pub fn for_each_subset<F: FnMut(&[u32]) -> bool>(n: u32, k: u32, mut visit: F) -> u64 {
+    if k > n {
+        return 0;
+    }
+    if k == 0 {
+        visit(&[]);
+        return 1;
+    }
+    let k = k as usize;
+    let mut idx: Vec<u32> = (0..k as u32).collect();
+    let mut count = 0u64;
+    loop {
+        count += 1;
+        if !visit(&idx) {
+            return count;
+        }
+        // Advance to the next combination in lexicographic order.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return count;
+            }
+            i -= 1;
+            if idx[i] != n - (k - i) as u32 {
+                break;
+            }
+            if i == 0 {
+                return count;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Exact binomial coefficient as `u128`, saturating at `u128::MAX`.
+pub fn choose(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+        assert_eq!(ceil_log2(u64::MAX), 64);
+    }
+
+    #[test]
+    fn floor_log2_values() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(1023), 9);
+    }
+
+    #[test]
+    fn log_helpers_are_total_and_clamped() {
+        assert_eq!(log_n(1), 1);
+        assert_eq!(log_n(2), 1);
+        assert_eq!(log_n(3), 2);
+        assert_eq!(log_n(1024), 10);
+        assert_eq!(log_log_n(1), 2);
+        assert_eq!(log_log_n(4), 2);
+        assert_eq!(log_log_n(1024), 4); // ceil(log2(10)) = 4
+        assert_eq!(log_log_n(1 << 16), 4);
+        assert_eq!(log_log_n(1 << 20), 5);
+    }
+
+    #[test]
+    fn primality_small() {
+        let primes: Vec<u64> = (0..30).filter(|&x| is_prime(x)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+        assert!(is_prime(7919));
+        assert!(!is_prime(7917));
+        assert!(!is_prime(1));
+        assert!(!is_prime(0));
+    }
+
+    #[test]
+    fn next_prime_values() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(17), 17);
+        assert_eq!(next_prime(90), 97);
+    }
+
+    #[test]
+    fn ln_choose_matches_exact() {
+        for (n, k) in [(10u64, 3u64), (20, 10), (52, 5), (100, 2)] {
+            let exact = choose(n, k) as f64;
+            let approx = ln_choose(n, k).exp();
+            assert!(
+                (approx - exact).abs() / exact < 1e-9,
+                "n={n} k={k}: {approx} vs {exact}"
+            );
+        }
+        assert_eq!(ln_choose(5, 0), 0.0);
+    }
+
+    #[test]
+    fn choose_values() {
+        assert_eq!(choose(5, 2), 10);
+        assert_eq!(choose(10, 0), 1);
+        assert_eq!(choose(10, 10), 1);
+        assert_eq!(choose(10, 11), 0);
+        assert_eq!(choose(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        for (n, k) in [(5u32, 2u32), (6, 3), (8, 1), (4, 4), (7, 0)] {
+            let mut seen = Vec::new();
+            let visited = for_each_subset(n, k, |s| {
+                seen.push(s.to_vec());
+                true
+            });
+            assert_eq!(visited as u128, choose(n as u64, k as u64));
+            // All distinct, sorted, within range.
+            for s in &seen {
+                assert!(s.windows(2).all(|w| w[0] < w[1]));
+                assert!(s.iter().all(|&x| x < n));
+            }
+            let set: std::collections::HashSet<_> = seen.iter().collect();
+            assert_eq!(set.len(), seen.len());
+        }
+    }
+
+    #[test]
+    fn subset_enumeration_lexicographic_order() {
+        let mut seen = Vec::new();
+        for_each_subset(4, 2, |s| {
+            seen.push(s.to_vec());
+            true
+        });
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+
+    #[test]
+    fn subset_enumeration_early_stop() {
+        let mut calls = 0;
+        let visited = for_each_subset(10, 3, |_| {
+            calls += 1;
+            calls < 5
+        });
+        assert_eq!(visited, 5);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn subset_k_greater_than_n_is_empty() {
+        let visited = for_each_subset(3, 5, |_| true);
+        assert_eq!(visited, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! A deterministic pseudo-random membership function.
+//!
+//! Oracle-represented families (and the waking matrices built on top of them
+//! in `wakeup-core`) need a function
+//! `member(seed, row, column, station) -> bool` with a prescribed density
+//! `2^{-d}` such that *all* stations agree on it while none stores the
+//! matrix. We implement it as a SplitMix64-style mixing cascade: each of the
+//! inputs is diffused through the finalizer with distinct round constants,
+//! then the 64-bit output is compared against a threshold.
+//!
+//! This mirrors exactly how the paper's probabilistic-method object is used:
+//! the proof draws each entry `M_{i,j}` independently with probability
+//! `2^{-(i+ρ(j))}`; we replace "independent coins" with "PRF evaluations
+//! under a shared seed", which is the standard practical derandomization
+//! (every station can evaluate its own entries in O(1) without
+//! communication).
+
+/// SplitMix64 finalizer (same construction as `mac_sim::rng::split_mix64`;
+/// duplicated so the combinatorial crate stays dependency-free).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform 64-bit hash of `(seed, a, b, c)`.
+///
+/// Used as the source of "independent" coins: distinct argument tuples give
+/// decorrelated outputs; equal tuples always give equal outputs.
+#[inline]
+pub fn hash4(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    // Feed each input through the mixer with a distinct additive constant so
+    // that permutations of (a, b, c) yield unrelated outputs.
+    let mut h = mix(seed ^ 0x243F_6A88_85A3_08D3);
+    h = mix(h ^ a ^ 0x1319_8A2E_0370_7344);
+    h = mix(h ^ b ^ 0xA409_3822_299F_31D0);
+    h = mix(h ^ c ^ 0x082E_FA98_EC4E_6C89);
+    mix(h)
+}
+
+/// A Bernoulli coin with probability exactly `2^{-d}`:
+/// `true` iff the top `d` bits of the hash are all zero.
+///
+/// For `d = 0` the coin is always `true`; for `d ≥ 64` it is always `false`
+/// (probability `2^{-64}` is rounded to zero — far below anything the
+/// constructions use).
+#[inline]
+pub fn coin_pow2(seed: u64, a: u64, b: u64, c: u64, d: u32) -> bool {
+    if d == 0 {
+        return true;
+    }
+    if d >= 64 {
+        return false;
+    }
+    hash4(seed, a, b, c) >> (64 - d) == 0
+}
+
+/// A Bernoulli coin with arbitrary probability `p ∈ [0, 1]`.
+#[inline]
+pub fn coin(seed: u64, a: u64, b: u64, c: u64, p: f64) -> bool {
+    if p >= 1.0 {
+        return true;
+    }
+    if p <= 0.0 {
+        return false;
+    }
+    // Compare the hash against p·2^64 without losing precision at the top.
+    let threshold = (p * (u64::MAX as f64)) as u64;
+    hash4(seed, a, b, c) <= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash4_deterministic_and_argument_sensitive() {
+        assert_eq!(hash4(1, 2, 3, 4), hash4(1, 2, 3, 4));
+        let base = hash4(1, 2, 3, 4);
+        assert_ne!(base, hash4(0, 2, 3, 4));
+        assert_ne!(base, hash4(1, 3, 2, 4));
+        assert_ne!(base, hash4(1, 2, 4, 3));
+        assert_ne!(base, hash4(1, 2, 3, 5));
+    }
+
+    #[test]
+    fn coin_pow2_extremes() {
+        assert!(coin_pow2(9, 1, 2, 3, 0));
+        assert!(!coin_pow2(9, 1, 2, 3, 64));
+        assert!(!coin_pow2(9, 1, 2, 3, 200));
+    }
+
+    #[test]
+    fn coin_pow2_density_matches_2_to_minus_d() {
+        // Empirical density over many evaluations must track 2^{-d}.
+        for d in [1u32, 2, 3, 5] {
+            let trials = 200_000u64;
+            let hits = (0..trials)
+                .filter(|&i| coin_pow2(42, i, 7, 13, d))
+                .count() as f64;
+            let expected = trials as f64 / f64::from(1u32 << d);
+            let sd = (trials as f64 * 2f64.powi(-(d as i32)) * (1.0 - 2f64.powi(-(d as i32))))
+                .sqrt();
+            assert!(
+                (hits - expected).abs() < 6.0 * sd,
+                "d={d}: {hits} hits vs expected {expected} (sd {sd})"
+            );
+        }
+    }
+
+    #[test]
+    fn coin_density_matches_p() {
+        for p in [0.1f64, 0.5, 0.9] {
+            let trials = 100_000u64;
+            let hits = (0..trials).filter(|&i| coin(7, i, 0, 0, p)).count() as f64;
+            let expected = trials as f64 * p;
+            let sd = (trials as f64 * p * (1.0 - p)).sqrt();
+            assert!(
+                (hits - expected).abs() < 6.0 * sd,
+                "p={p}: {hits} vs {expected}"
+            );
+        }
+        assert!(coin(1, 2, 3, 4, 1.0));
+        assert!(!coin(1, 2, 3, 4, 0.0));
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        // Agreement fraction between two seeds at density 1/2 should be ~1/2.
+        let trials = 50_000u64;
+        let agree = (0..trials)
+            .filter(|&i| coin_pow2(1, i, 0, 0, 1) == coin_pow2(2, i, 0, 0, 1))
+            .count() as f64;
+        assert!(
+            (agree - trials as f64 / 2.0).abs() < 6.0 * (trials as f64 / 4.0).sqrt(),
+            "agreement {agree}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Adversarial showdown: the delay-the-winner spoiler hunts for bad wake-up
+//! patterns against every protocol in the repository, and the Theorem 2.1
+//! swap-chain adversary certifies how many rounds any schedule must spend.
+//!
+//! ```sh
+//! cargo run --release --example adversarial_showdown
+//! ```
+
+use mac_wakeup::prelude::*;
+use selectors::schedule::RoundRobinSchedule;
+
+fn main() {
+    let n = 128u32;
+    let k = 8usize;
+    println!("arena: n = {n}, k = {k}\n");
+
+    // --- Part 1: the spoiler vs live protocols ---------------------------
+    println!("spoiler adversary (delay-the-winner local search, 64 moves):");
+    let sim = Simulator::new(SimConfig::new(n));
+    let spoiler = SpoilerSearch::new(64, 1_000_000);
+    let ids: Vec<StationId> = (0..k as u32).map(|i| StationId(i * 16 + 1)).collect();
+    let start = WakePattern::simultaneous(&ids, 0).unwrap();
+
+    let mut table = Table::new(["protocol", "burst latency", "spoiled latency", "moves"]);
+    let protocols: Vec<Box<dyn Protocol>> = vec![
+        Box::new(RoundRobin::new(n)),
+        Box::new(WakeupWithS::new(n, 0, FamilyProvider::default())),
+        Box::new(WakeupWithK::new(n, k as u32, FamilyProvider::default())),
+        Box::new(WakeupN::new(MatrixParams::new(n))),
+    ];
+    for protocol in &protocols {
+        let baseline = sim
+            .run(protocol.as_ref(), &start, 1)
+            .unwrap()
+            .latency()
+            .expect("must solve");
+        let spoiled = spoiler
+            .search(&sim, protocol.as_ref(), start.clone(), 1)
+            .unwrap();
+        table.push_row([
+            protocol.name(),
+            baseline.to_string(),
+            spoiled
+                .outcome
+                .latency()
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "censored".into()),
+            spoiled.moves.to_string(),
+        ]);
+    }
+    table.print();
+
+    // --- Part 2: the Theorem 2.1 certificate ----------------------------
+    println!("\nTheorem 2.1 swap-chain certificate (simultaneous start):");
+    let mut cert = Table::new(["schedule", "k", "bound min{k,n-k+1}", "forced rounds"]);
+    for kk in [4u32, 16, 64, 120] {
+        let adv = SwapChainAdversary::new(n, kk);
+        let res = adv.run(&RoundRobinSchedule::new(n));
+        cert.push_row([
+            "round-robin".to_string(),
+            kk.to_string(),
+            adv.bound().to_string(),
+            res.forced_rounds.to_string(),
+        ]);
+        let fam = FamilyProvider::default().family(n, kk.max(2));
+        let res = adv.run(&selectors::schedule::ScheduleExt::cycle(fam));
+        cert.push_row([
+            format!("(n,{})-selective cycle", kk.max(2)),
+            kk.to_string(),
+            adv.bound().to_string(),
+            res.forced_rounds.to_string(),
+        ]);
+    }
+    cert.print();
+    println!(
+        "\nEvery schedule is forced to at least the bound — the executable \
+         form of the\npaper's lower-bound proof."
+    );
+}

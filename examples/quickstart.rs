@@ -1,0 +1,48 @@
+//! Quickstart: solve the wake-up problem under all three knowledge
+//! scenarios on the same instance.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mac_wakeup::prelude::*;
+
+fn main() {
+    let n = 256; // stations attached to the channel
+    let sim = Simulator::new(SimConfig::new(n));
+
+    // The adversary's choice: four stations, staggered wake-ups, first at
+    // slot 1000. Nobody told the stations any of this.
+    let ids: Vec<StationId> = [17u32, 64, 133, 250].map(StationId).into();
+    let pattern = WakePattern::staggered(&ids, 1000, 25).unwrap();
+    let s = pattern.s();
+    let k = pattern.k() as u32;
+
+    println!("instance: n = {n}, k = {k} stations, first wake-up at s = {s}");
+    println!("pattern:  {:?}\n", pattern.wakes());
+
+    for scenario in [Scenario::A { s }, Scenario::B { k }, Scenario::C] {
+        let protocol = scenario_protocol(scenario, n, 42);
+        let outcome = sim.run(&protocol, &pattern, 0).expect("valid instance");
+        println!(
+            "{:<20} bound {:<22} → latency {:>4} slots, winner station {}",
+            scenario.label(),
+            scenario.bound(),
+            outcome.latency().expect("paper's algorithms solve this"),
+            outcome.winner.unwrap(),
+        );
+    }
+
+    println!("\nFor comparison, two classical baselines on the same instance:");
+    for (name, protocol) in [
+        ("round-robin", Box::new(RoundRobin::new(n)) as Box<dyn Protocol>),
+        ("RPD (randomized)", Box::new(Rpd::new(n))),
+    ] {
+        let outcome = sim.run(&protocol, &pattern, 0).unwrap();
+        println!(
+            "{:<20} → latency {:>4} slots",
+            name,
+            outcome.latency().unwrap()
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Cross-crate integration: every algorithm of the paper, on every wake-up
+//! pattern family, solves the wake-up problem with a valid channel
+//! transcript and within its guaranteed envelope.
+
+use mac_wakeup::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: u32 = 128;
+
+fn protocols(n: u32, k: u32, s: u64) -> Vec<Box<dyn Protocol>> {
+    vec![
+        Box::new(RoundRobin::new(n)),
+        Box::new(WakeupWithS::new(n, s, FamilyProvider::default())),
+        Box::new(WakeupWithK::new(n, k, FamilyProvider::default())),
+        Box::new(WakeupN::new(MatrixParams::new(n))),
+        Box::new(Rpd::new(n)),
+        Box::new(RpdK::new(n, k)),
+        Box::new(Aloha::new(n, k)),
+        Box::new(BinaryExponentialBackoff::new(n)),
+        Box::new(LocalDoubling::new(n)),
+    ]
+}
+
+fn patterns(n: u32, k: usize, s: u64, seed: u64) -> Vec<(&'static str, WakePattern)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ids = mac_sim::pattern::IdChoice::Random.pick(n, k, &mut rng);
+    vec![
+        ("simultaneous", WakePattern::simultaneous(&ids, s).unwrap()),
+        ("staggered", WakePattern::staggered(&ids, s, 7).unwrap()),
+        (
+            "uniform-window",
+            WakePattern::uniform_window(&ids, s, 64, &mut rng).unwrap(),
+        ),
+        (
+            "batches",
+            WakePattern::batches(&ids, s, 31, &[k / 2, k - k / 2]).unwrap(),
+        ),
+        (
+            "trickle",
+            WakePattern::trickle(&ids, s, 0.2, &mut rng).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn every_protocol_solves_every_pattern_family() {
+    let (k, s) = (6u32, 40u64);
+    let sim = Simulator::new(SimConfig::new(N).with_max_slots(300_000));
+    for seed in 0..3u64 {
+        for (pname, pattern) in patterns(N, k as usize, s, seed) {
+            for protocol in protocols(N, k, s) {
+                let out = sim.run(protocol.as_ref(), &pattern, seed).unwrap();
+                assert!(
+                    out.solved(),
+                    "{} failed on {pname} (seed {seed})",
+                    protocol.name()
+                );
+                // Latency is measured from the pattern's s.
+                assert_eq!(out.s, pattern.s());
+                assert!(out.first_success.unwrap() >= out.s);
+                // The winner is one of the woken stations.
+                let winner = out.winner.unwrap();
+                assert!(
+                    pattern.wake_of(winner).is_some(),
+                    "winner {winner} never woke"
+                );
+                // ... and had already woken by the success slot.
+                assert!(pattern.wake_of(winner).unwrap() <= out.first_success.unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn transcripts_satisfy_channel_invariants_for_all_protocols() {
+    let (k, s) = (5u32, 13u64);
+    let cfg = SimConfig::new(N).with_max_slots(300_000).with_transcript();
+    let sim = Simulator::new(cfg);
+    for (pname, pattern) in patterns(N, k as usize, s, 1) {
+        for protocol in protocols(N, k, s) {
+            let out = sim.run(protocol.as_ref(), &pattern, 1).unwrap();
+            let tr = out.transcript.expect("transcript requested");
+            let violations = tr.check_invariants();
+            assert!(
+                violations.is_empty(),
+                "{} on {pname}: {violations:?}",
+                protocol.name()
+            );
+            // The success slot record matches the outcome.
+            if let Some(rec) = tr.success() {
+                assert_eq!(Some(rec.slot), out.first_success);
+                assert_eq!(rec.transmitters.len(), 1);
+                assert_eq!(Some(rec.transmitters[0]), out.winner);
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_algorithms_respect_their_envelopes() {
+    // Round-robin ≤ n; interleaved algorithms ≤ 2n; wakeup(n) ≤ Theorem 5.3
+    // horizon (for bursts).
+    let sim = Simulator::new(SimConfig::new(N).with_max_slots(300_000));
+    let matrix = WakingMatrix::new(MatrixParams::new(N));
+    for k in [1u32, 2, 4, 8, 16] {
+        for seed in 0..3u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let ids = mac_sim::pattern::IdChoice::Random.pick(N, k as usize, &mut rng);
+            let s = u64::from(k) * 11;
+            let burst = WakePattern::simultaneous(&ids, s).unwrap();
+
+            let rr = sim.run(&RoundRobin::new(N), &burst, seed).unwrap();
+            assert!(rr.latency().unwrap() < u64::from(N));
+
+            let a = sim
+                .run(&WakeupWithS::new(N, s, FamilyProvider::default()), &burst, seed)
+                .unwrap();
+            assert!(a.latency().unwrap() <= 2 * u64::from(N));
+
+            let b = sim
+                .run(
+                    &WakeupWithK::new(N, k, FamilyProvider::default()),
+                    &burst,
+                    seed,
+                )
+                .unwrap();
+            assert!(b.latency().unwrap() <= 2 * u64::from(N));
+
+            let c = sim
+                .run(&WakeupN::new(MatrixParams::new(N)), &burst, seed)
+                .unwrap();
+            let horizon = 2
+                * u64::from(matrix.c())
+                * u64::from(k)
+                * u64::from(matrix.rows())
+                * u64::from(matrix.window());
+            assert!(
+                c.latency().unwrap() <= horizon,
+                "wakeup(n) exceeded Theorem 5.3 horizon: {} > {horizon}",
+                c.latency().unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_facade_matches_direct_construction() {
+    let s = 100u64;
+    let k = 4u32;
+    let ids: Vec<StationId> = [9u32, 40, 77, 120].map(StationId).into();
+    let pattern = WakePattern::simultaneous(&ids, s).unwrap();
+    let sim = Simulator::new(SimConfig::new(N));
+
+    let via_facade = sim
+        .run(&scenario_protocol(Scenario::B { k }, N, 5), &pattern, 2)
+        .unwrap();
+    let direct = sim
+        .run(
+            &WakeupWithK::new(N, k, FamilyProvider::random_with_seed(5)),
+            &pattern,
+            2,
+        )
+        .unwrap();
+    assert_eq!(via_facade.first_success, direct.first_success);
+    assert_eq!(via_facade.winner, direct.winner);
+}
+
+#[test]
+fn single_station_instances_resolve_quickly_everywhere() {
+    let sim = Simulator::new(SimConfig::new(N).with_max_slots(300_000));
+    for id in [0u32, 63, 127] {
+        for s in [0u64, 999] {
+            let pattern = WakePattern::simultaneous(&[StationId(id)], s).unwrap();
+            for protocol in protocols(N, 1, s) {
+                let out = sim.run(protocol.as_ref(), &pattern, 3).unwrap();
+                assert!(out.solved(), "{} failed k=1", protocol.name());
+                assert_eq!(out.winner, Some(StationId(id)));
+            }
+        }
+    }
+}

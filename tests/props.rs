@@ -1,0 +1,153 @@
+//! Property-based end-to-end tests (proptest): randomized instances of the
+//! whole stack must uphold the model's invariants.
+
+use mac_wakeup::prelude::*;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+const N: u32 = 64;
+
+/// Strategy: a valid wake pattern over `N` stations with 1..=8 stations and
+/// wake times in [0, 200).
+fn wake_pattern() -> impl Strategy<Value = WakePattern> {
+    btree_set(0..N, 1..=8usize).prop_flat_map(|ids| {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        let len = ids.len();
+        (Just(ids), proptest::collection::vec(0u64..200, len))
+            .prop_map(|(ids, times)| {
+                let wakes: Vec<(StationId, u64)> = ids
+                    .into_iter()
+                    .map(StationId)
+                    .zip(times)
+                    .collect();
+                WakePattern::new(wakes).expect("distinct ids")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wakeup_n_always_solves_with_valid_transcript(
+        pattern in wake_pattern(),
+        matrix_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+    ) {
+        let cfg = SimConfig::new(N).with_transcript();
+        let sim = Simulator::new(cfg);
+        let protocol = WakeupN::new(MatrixParams::new(N).with_seed(matrix_seed));
+        let out = sim.run(&protocol, &pattern, run_seed).unwrap();
+        prop_assert!(out.solved(), "unsolved for pattern {:?}", pattern.wakes());
+        let tr = out.transcript.unwrap();
+        prop_assert!(tr.check_invariants().is_empty());
+        // Winner woke before winning.
+        let winner = out.winner.unwrap();
+        prop_assert!(pattern.wake_of(winner).unwrap() <= out.first_success.unwrap());
+    }
+
+    #[test]
+    fn wakeup_with_k_honours_any_true_promise(
+        pattern in wake_pattern(),
+        seed in 0u64..500,
+    ) {
+        // Build the protocol with the exact k of the pattern (a true promise).
+        let k = pattern.k() as u32;
+        let sim = Simulator::new(SimConfig::new(N));
+        let protocol = WakeupWithK::new(N, k, FamilyProvider::random_with_seed(seed));
+        let out = sim.run(&protocol, &pattern, seed).unwrap();
+        prop_assert!(out.solved());
+        // The interleaved round-robin envelope.
+        prop_assert!(out.latency().unwrap() <= 2 * u64::from(N));
+    }
+
+    #[test]
+    fn wakeup_with_s_solves_when_s_is_truthful(
+        pattern in wake_pattern(),
+        seed in 0u64..500,
+    ) {
+        let s = pattern.s();
+        let sim = Simulator::new(SimConfig::new(N));
+        let protocol = WakeupWithS::new(N, s, FamilyProvider::random_with_seed(seed));
+        let out = sim.run(&protocol, &pattern, seed).unwrap();
+        prop_assert!(out.solved());
+        prop_assert!(out.latency().unwrap() <= 2 * u64::from(N));
+    }
+
+    #[test]
+    fn round_robin_latency_below_n_and_collision_free(
+        pattern in wake_pattern(),
+    ) {
+        let cfg = SimConfig::new(N).with_transcript();
+        let out = Simulator::new(cfg)
+            .run(&RoundRobin::new(N), &pattern, 0)
+            .unwrap();
+        prop_assert!(out.solved());
+        prop_assert!(out.latency().unwrap() < u64::from(N));
+        prop_assert_eq!(out.collisions, 0);
+    }
+
+    #[test]
+    fn outcome_accounting_is_consistent(
+        pattern in wake_pattern(),
+        seed in 0u64..200,
+    ) {
+        let cfg = SimConfig::new(N).with_transcript();
+        let out = Simulator::new(cfg)
+            .run(&Rpd::new(N), &pattern, seed)
+            .unwrap();
+        // slots = collisions + silence + successes
+        let successes = u64::from(out.first_success.is_some());
+        prop_assert_eq!(
+            out.slots_simulated,
+            out.collisions + out.silent_slots + successes
+        );
+        // Per-station transmissions sum to the total.
+        let sum: u64 = out.per_station_tx.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(sum, out.transmissions);
+        // Transcript totals agree with counters.
+        let tr = out.transcript.unwrap();
+        prop_assert_eq!(tr.count_by_contention(0) as u64, out.silent_slots);
+        let collision_slots = tr
+            .records()
+            .iter()
+            .filter(|r| r.transmitters.len() >= 2)
+            .count() as u64;
+        prop_assert_eq!(collision_slots, out.collisions);
+    }
+
+    #[test]
+    fn latency_is_invariant_under_time_translation_for_global_protocols(
+        ids in btree_set(0..N, 2..=5usize),
+        shift in prop::sample::select(vec![0u64, 64, 128]),
+        seed in 0u64..100,
+    ) {
+        // Shifting a burst by a multiple of every relevant period (round
+        // robin: 2n; matrix: ℓ and window) must not change the latency of
+        // the deterministic global-clock protocols.
+        let ids: Vec<StationId> = ids.into_iter().map(StationId).collect();
+        let matrix = WakingMatrix::new(MatrixParams::new(N).with_seed(seed));
+        // A shift that is a common multiple of 2n, window and ℓ:
+        let period = lcm(2 * u64::from(N), lcm(u64::from(matrix.window()), matrix.ell()));
+        let sim = Simulator::new(SimConfig::new(N));
+        let p1 = WakePattern::simultaneous(&ids, shift).unwrap();
+        let p2 = WakePattern::simultaneous(&ids, shift + period).unwrap();
+        let proto = WakeupN::new(MatrixParams::new(N).with_seed(seed));
+        let a = sim.run(&proto, &p1, 0).unwrap();
+        let b = sim.run(&proto, &p2, 0).unwrap();
+        prop_assert_eq!(a.latency(), b.latency());
+        prop_assert_eq!(a.winner, b.winner);
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}

@@ -1,0 +1,133 @@
+//! Consistency between the paper's theorems, as measured end-to-end:
+//! the lower bound can never exceed a correct algorithm's worst case, the
+//! Corollary 2.1 identity holds numerically, and the §6 randomized bounds
+//! bracket the measured expectations.
+
+use mac_wakeup::prelude::*;
+use selectors::schedule::RoundRobinSchedule;
+
+#[test]
+fn lower_bound_is_below_every_upper_bound() {
+    // For each (n, k): the Theorem 2.1 forced rounds (a lower bound on any
+    // algorithm) must not exceed the measured worst latency (+1 slot→round
+    // conversion) of the paper's own algorithms on the adversary's favourite
+    // pattern — otherwise either the adversary or an algorithm is broken.
+    let n = 64u32;
+    let sim = Simulator::new(SimConfig::new(n).with_max_slots(100_000));
+    for k in [2u32, 4, 8, 32, 60] {
+        let adv = SwapChainAdversary::new(n, k);
+        let forced = adv.run(&RoundRobinSchedule::new(n)).forced_rounds;
+        // forced is a lower bound certificate for round-robin specifically;
+        // compare against round-robin's worst measured latency over the
+        // chain's own target sets.
+        let chain = adv.run(&RoundRobinSchedule::new(n)).chain;
+        let mut worst = 0u64;
+        for step in &chain {
+            let ids: Vec<StationId> = step.x.iter().map(|&u| StationId(u)).collect();
+            let pattern = WakePattern::simultaneous(&ids, 0).unwrap();
+            let out = sim.run(&RoundRobin::new(n), &pattern, 0).unwrap();
+            worst = worst.max(out.latency().unwrap() + 1);
+        }
+        assert!(
+            forced <= worst,
+            "k={k}: adversary claims {forced} rounds but worst measured was {worst}"
+        );
+        assert!(worst >= adv.bound(), "k={k}: round-robin beat Theorem 2.1?!");
+    }
+}
+
+#[test]
+fn corollary_identity_numerically() {
+    // For k > n/c (constant c), n−k+1 = Θ(k·log(n/k)+1): the ratio is
+    // bounded above and below by constants over a wide range.
+    for n in [1u32 << 10, 1 << 14, 1 << 18] {
+        for frac in [2u32, 4, 8] {
+            let k = n - n / frac; // k ∈ {n/2, 3n/4, 7n/8}
+            let lhs = f64::from(n - k + 1);
+            let rhs = f64::from(k) * (f64::from(n) / f64::from(k)).log2() + 1.0;
+            let ratio = lhs / rhs;
+            assert!(
+                (0.3..=1.5).contains(&ratio),
+                "n={n}, k={k}: ratio {ratio}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_c_pays_at_most_the_loglog_premium_over_b() {
+    // §1: Scenario C's bound exceeds the optimal Θ(k log(n/k)) by at most
+    // O(log log n)·(log n / log(n/k)). Measured on bursts, C must never be
+    // more than that premium above B (with constant slack).
+    let n = 1024u32;
+    let sim = Simulator::new(SimConfig::new(n));
+    let k = 16u32;
+    let ids: Vec<StationId> = (0..k).map(|i| StationId(i * 64 + 7)).collect();
+    let pattern = WakePattern::simultaneous(&ids, 0).unwrap();
+
+    let mut b_total = 0u64;
+    let mut c_total = 0u64;
+    for seed in 0..8u64 {
+        let b = sim
+            .run(
+                &WakeupWithK::new(n, k, FamilyProvider::random_with_seed(seed)),
+                &pattern,
+                seed,
+            )
+            .unwrap();
+        let c = sim
+            .run(&WakeupN::new(MatrixParams::new(n).with_seed(seed)), &pattern, seed)
+            .unwrap();
+        b_total += b.latency().unwrap();
+        c_total += c.latency().unwrap();
+    }
+    // Generous structural envelope: C ≤ 32 × B on this configuration
+    // (in practice C is often *faster* on bursts thanks to the ρ sweep).
+    assert!(
+        c_total <= 32 * b_total.max(8),
+        "Scenario C ({c_total}) implausibly slower than B ({b_total})"
+    );
+}
+
+#[test]
+fn rpd_k_expectation_tracks_log_k_not_k() {
+    // Kushilevitz–Mansour: Ω(log k); Jurdziński–Stachowiak: O(log k).
+    // Measured means across k must grow far slower than linearly.
+    let n = 1u32 << 12;
+    let sim = Simulator::new(SimConfig::new(n).with_max_slots(1_000_000));
+    let mean_for = |k: u32| -> f64 {
+        let ids: Vec<StationId> = (0..k).map(|i| StationId(i * (n / k))).collect();
+        let pattern = WakePattern::simultaneous(&ids, 0).unwrap();
+        let runs = 60u64;
+        let total: u64 = (0..runs)
+            .map(|seed| {
+                sim.run(&RpdK::new(n, k), &pattern, seed)
+                    .unwrap()
+                    .latency()
+                    .unwrap()
+            })
+            .sum();
+        total as f64 / runs as f64
+    };
+    let m4 = mean_for(4);
+    let m64 = mean_for(64);
+    // k grew 16×; log k grew 3×. Allow up to 6× for noise — far below 16×.
+    assert!(
+        m64 < 6.0 * m4.max(1.0),
+        "RPD-k scaling looks linear: mean(k=4)={m4:.1}, mean(k=64)={m64:.1}"
+    );
+}
+
+#[test]
+fn selective_family_lengths_beat_strongly_selective() {
+    // The Komlós–Greenberg bound O(k log(n/k)) is polynomially smaller than
+    // Kautz–Singleton's O(k² log² n) — check the concrete numbers.
+    for (n, k) in [(1u32 << 10, 16u32), (1 << 14, 32)] {
+        let random = FamilyProvider::default().family(n, k).len();
+        let ks = FamilyProvider::KautzSingleton.family(n, k).len();
+        assert!(
+            random < ks,
+            "(n={n}, k={k}): random {random} ≥ KS {ks}"
+        );
+    }
+}
