@@ -10,7 +10,7 @@
 //! on a fixed pattern would measure the same run `R` times).
 
 use mac_sim::metrics::{EnergyStats, LatencySample};
-use mac_sim::{FeedbackModel, Protocol, SimConfig, Simulator, WakePattern};
+use mac_sim::{EngineMode, FeedbackModel, Protocol, SimConfig, Simulator, WakePattern};
 use wakeup_core as _; // semantic dependency: ensembles drive core protocols
 
 /// Parameters of an ensemble run.
@@ -28,6 +28,10 @@ pub struct EnsembleSpec {
     pub base_seed: u64,
     /// Worker threads (default: available parallelism).
     pub threads: usize,
+    /// Engine path ([`EngineMode::Auto`] skips silent slots when the
+    /// protocol allows; [`EngineMode::Dense`] forces per-slot polling, e.g.
+    /// for speedup measurements).
+    pub engine: EngineMode,
 }
 
 impl EnsembleSpec {
@@ -42,6 +46,7 @@ impl EnsembleSpec {
             threads: std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(4),
+            engine: EngineMode::Auto,
         }
     }
 
@@ -69,12 +74,62 @@ impl EnsembleSpec {
         self
     }
 
+    /// Override the engine path.
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
     fn sim_config(&self) -> SimConfig {
-        let mut cfg = SimConfig::new(self.n).with_feedback(self.feedback);
+        let mut cfg = SimConfig::new(self.n)
+            .with_feedback(self.feedback)
+            .with_engine(self.engine);
         if let Some(cap) = self.max_slots {
             cfg = cfg.with_max_slots(cap);
         }
         cfg
+    }
+}
+
+/// Aggregated engine-work counters over an ensemble — the measurement
+/// behind the dense-vs-sparse speedup claims. Slots tell how much simulated
+/// time was covered; polls tell how much work the engine actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Total slots covered (`Outcome::slots_simulated` summed over runs).
+    pub slots: u64,
+    /// Total `Station::act` calls (`Outcome::polls` summed over runs).
+    pub polls: u64,
+    /// Total slots skipped in bulk by the sparse engine
+    /// (`Outcome::skipped_slots` summed over runs).
+    pub skipped: u64,
+}
+
+impl WorkStats {
+    /// Fold one outcome into the counters.
+    pub fn absorb(&mut self, out: &mac_sim::Outcome) {
+        self.slots += out.slots_simulated;
+        self.polls += out.polls;
+        self.skipped += out.skipped_slots;
+    }
+
+    /// Polls per covered slot — `≈ k` on the dense path, `≪ 1` when the
+    /// sparse engine is skipping well.
+    pub fn polls_per_slot(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.polls as f64 / self.slots as f64
+        }
+    }
+
+    /// Fraction of covered slots that were skipped in bulk.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.slots as f64
+        }
     }
 }
 
@@ -85,6 +140,8 @@ pub struct EnsembleResult {
     pub samples: Vec<LatencySample>,
     /// Energy (transmission) statistics over all runs.
     pub energy: EnergyStats,
+    /// Engine-work counters (slots vs polls vs skipped) over all runs.
+    pub work: WorkStats,
 }
 
 impl EnsembleResult {
@@ -155,12 +212,18 @@ where
 
     let mut samples = Vec::with_capacity(runs.len());
     let mut energy = EnergyStats::new();
+    let mut work = WorkStats::default();
     for r in results.into_iter() {
         let (sample, outcome) = r.expect("worker thread left a hole");
         samples.push(sample);
         energy.absorb(&outcome);
+        work.absorb(&outcome);
     }
-    EnsembleResult { samples, energy }
+    EnsembleResult {
+        samples,
+        energy,
+        work,
+    }
 }
 
 #[cfg(test)]
@@ -197,13 +260,53 @@ mod tests {
     }
 
     #[test]
+    fn work_stats_track_sparse_savings() {
+        // Round-robin gives O(1) hints, so the sparse engine polls far less
+        // than once per slot, while a dense run polls k times per slot.
+        use mac_sim::EngineMode;
+        let n = 256u32;
+        let spec = EnsembleSpec::new(n, 8).with_threads(2);
+        let sparse = run_ensemble(
+            &spec,
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 6, seed),
+        );
+        let dense = run_ensemble(
+            &spec.clone().with_engine(EngineMode::Dense),
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 6, seed),
+        );
+        assert_eq!(sparse.samples, dense.samples, "outcomes must be identical");
+        assert_eq!(
+            sparse.work.slots, dense.work.slots,
+            "paths must cover the same slots"
+        );
+        assert!(sparse.work.skipped > 0);
+        assert_eq!(dense.work.skipped, 0);
+        assert!(
+            sparse.work.polls * 10 < dense.work.polls,
+            "sparse polls {} not ≪ dense polls {}",
+            sparse.work.polls,
+            dense.work.polls
+        );
+        assert!(sparse.work.polls_per_slot() < 1.0);
+        assert!(sparse.work.skip_fraction() > 0.5);
+    }
+
+    #[test]
     fn ensemble_is_deterministic_given_base_seed() {
         let n = 32u32;
         let spec = EnsembleSpec::new(n, 8).with_base_seed(99).with_threads(2);
         let run = || {
             run_ensemble(
                 &spec,
-                |seed| Box::new(WakeupWithK::new(n, 4, FamilyProvider::random_with_seed(seed))),
+                |seed| {
+                    Box::new(WakeupWithK::new(
+                        n,
+                        4,
+                        FamilyProvider::random_with_seed(seed),
+                    ))
+                },
                 |seed| k_pattern(n, 4, seed),
             )
         };

@@ -92,8 +92,9 @@ impl FitResult {
             "y ≈ {:.3}·[{}] + {:.1}   (R² = {:.4})",
             self.a,
             self.model.name(),
-            self.b
-        , self.r2)
+            self.b,
+            self.r2
+        )
     }
 }
 

@@ -20,14 +20,14 @@ pub mod fit;
 pub mod stats;
 pub mod table;
 
-pub use ensemble::{run_ensemble, EnsembleResult, EnsembleSpec};
+pub use ensemble::{run_ensemble, EnsembleResult, EnsembleSpec, WorkStats};
 pub use fit::{fit_model, FitResult, Model};
 pub use stats::Summary;
 pub use table::Table;
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::ensemble::{run_ensemble, EnsembleResult, EnsembleSpec};
+    pub use crate::ensemble::{run_ensemble, EnsembleResult, EnsembleSpec, WorkStats};
     pub use crate::fit::{fit_model, FitResult, Model};
     pub use crate::stats::Summary;
     pub use crate::table::Table;

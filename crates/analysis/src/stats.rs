@@ -129,8 +129,10 @@ mod tests {
         let sorted = [0.0, 10.0];
         assert_eq!(percentile(&sorted, 0.5), 5.0);
         assert_eq!(percentile(&sorted, 0.9), 9.0);
-        let s = Summary::of(&[0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0])
-            .unwrap();
+        let s = Summary::of(&[
+            0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+        ])
+        .unwrap();
         assert_eq!(s.p90, 90.0);
         assert!((s.p99 - 99.0).abs() < 1e-9);
     }

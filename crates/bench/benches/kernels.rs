@@ -7,7 +7,10 @@
 //! * `simulator_throughput` — slots/second of the channel engine (all
 //!   experiments);
 //! * `protocol_latency` — end-to-end wake-up for each algorithm at a fixed
-//!   configuration (the per-row cost of TAB-SUMMARY).
+//!   configuration (the per-row cost of TAB-SUMMARY);
+//! * `engine_dense_vs_sparse` — the same deterministic protocol run under
+//!   forced dense polling vs the sparse slot-skipping path, at n = 4096
+//!   with sparse wake patterns (the headline speedup of the sparse engine).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mac_sim::prelude::*;
@@ -56,7 +59,11 @@ fn matrix_oracle(c: &mut Criterion) {
             let mut j = 0u64;
             b.iter(|| {
                 j = j.wrapping_add(0x9E37_79B9);
-                black_box(m.member(1 + (j % u64::from(m.rows())) as u32, j, (j % u64::from(n)) as u32))
+                black_box(m.member(
+                    1 + (j % u64::from(m.rows())) as u32,
+                    j,
+                    (j % u64::from(n)) as u32,
+                ))
             })
         });
         group.bench_with_input(BenchmarkId::new("transmits", n), &matrix, |b, m| {
@@ -124,14 +131,68 @@ fn protocol_latency(c: &mut Criterion) {
     ];
     for (name, proto) in &protocols {
         group.bench_function(*name, |b| {
-            b.iter(|| {
-                black_box(
-                    sim.run(proto.as_ref(), &pattern, 1)
-                        .unwrap()
-                        .first_success,
-                )
-            })
+            b.iter(|| black_box(sim.run(proto.as_ref(), &pattern, 1).unwrap().first_success))
         });
+    }
+    group.finish();
+}
+
+fn engine_dense_vs_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_dense_vs_sparse");
+    let n = 4096u32;
+    let k = 8usize;
+
+    // Adversarial-for-round-robin sparse pattern: the k stations owning the
+    // last turns of the cycle wake together, so the dense engine grinds
+    // through ~n silent slots polling k stations each, while the sparse
+    // engine jumps straight to the first owned turn.
+    let rr_ids: Vec<StationId> = (n - k as u32..n).map(StationId).collect();
+    let rr_pattern = WakePattern::simultaneous(&rr_ids, 0).unwrap();
+    for (label, mode) in [("dense", EngineMode::Dense), ("sparse", EngineMode::Auto)] {
+        group.bench_with_input(
+            BenchmarkId::new("round_robin_n4096_k8", label),
+            &mode,
+            |b, &mode| {
+                let sim = Simulator::new(SimConfig::new(n).with_engine(mode));
+                b.iter(|| {
+                    black_box(
+                        sim.run(&RoundRobin::new(n), &rr_pattern, 0)
+                            .unwrap()
+                            .first_success,
+                    )
+                })
+            },
+        );
+    }
+
+    // The complete Scenario B algorithm on a staggered sparse pattern.
+    let ids: Vec<StationId> = (0..k as u32).map(|i| StationId(i * 512 + 300)).collect();
+    let pattern = WakePattern::staggered(&ids, 3, 97).unwrap();
+    for (label, mode) in [("dense", EngineMode::Dense), ("sparse", EngineMode::Auto)] {
+        group.bench_with_input(
+            BenchmarkId::new("wakeup_with_k_n4096_k8", label),
+            &mode,
+            |b, &mode| {
+                let sim = Simulator::new(SimConfig::new(n).with_engine(mode));
+                let proto = WakeupWithK::new(n, k as u32, FamilyProvider::default());
+                b.iter(|| black_box(sim.run(&proto, &pattern, 0).unwrap().first_success))
+            },
+        );
+    }
+
+    // Scenario C (waking matrix) on a simultaneous sparse burst.
+    let c_ids: Vec<StationId> = (0..k as u32).map(|i| StationId(i * 500 + 17)).collect();
+    let c_pattern = WakePattern::simultaneous(&c_ids, 11).unwrap();
+    for (label, mode) in [("dense", EngineMode::Dense), ("sparse", EngineMode::Auto)] {
+        group.bench_with_input(
+            BenchmarkId::new("wakeup_n_n4096_k8", label),
+            &mode,
+            |b, &mode| {
+                let sim = Simulator::new(SimConfig::new(n).with_engine(mode));
+                let proto = WakeupN::new(MatrixParams::new(n));
+                b.iter(|| black_box(sim.run(&proto, &c_pattern, 0).unwrap().first_success))
+            },
+        );
     }
     group.finish();
 }
@@ -201,6 +262,7 @@ criterion_group!(
     matrix_oracle,
     simulator_throughput,
     protocol_latency,
+    engine_dense_vs_sparse,
     adversary_kernels,
     verification_kernels
 );

@@ -36,7 +36,11 @@ fn main() {
         (
             "wakeup_with_k",
             Box::new(|seed: u64| -> Box<dyn mac_sim::Protocol> {
-                Box::new(WakeupWithK::new(256, 8, FamilyProvider::random_with_seed(seed)))
+                Box::new(WakeupWithK::new(
+                    256,
+                    8,
+                    FamilyProvider::random_with_seed(seed),
+                ))
             }),
         ),
         (
@@ -120,16 +124,32 @@ fn main() {
 
     // --- ABL-ENERGY ---------------------------------------------------------
     println!("\nABL-ENERGY: mean transmissions per run (energy cost)");
-    let mut e_tab = Table::new(["protocol", "mean latency", "mean transmissions", "mean collisions"]);
+    let mut e_tab = Table::new([
+        "protocol",
+        "mean latency",
+        "mean transmissions",
+        "mean collisions",
+    ]);
     type Factory = Box<dyn Fn(u64) -> Box<dyn mac_sim::Protocol> + Sync>;
     let protos: Vec<(&str, Factory)> = vec![
-        ("round-robin", Box::new(move |_| Box::new(RoundRobin::new(n)))),
-        ("wakeup_with_k", Box::new(move |seed| {
-            Box::new(WakeupWithK::new(n, k as u32, FamilyProvider::random_with_seed(seed)))
-        })),
-        ("wakeup(n)", Box::new(move |seed| {
-            Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed)))
-        })),
+        (
+            "round-robin",
+            Box::new(move |_| Box::new(RoundRobin::new(n))),
+        ),
+        (
+            "wakeup_with_k",
+            Box::new(move |seed| {
+                Box::new(WakeupWithK::new(
+                    n,
+                    k as u32,
+                    FamilyProvider::random_with_seed(seed),
+                ))
+            }),
+        ),
+        (
+            "wakeup(n)",
+            Box::new(move |seed| Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed)))),
+        ),
         ("RPD", Box::new(move |_| Box::new(Rpd::new(n)))),
     ];
     for (name, factory) in &protos {
@@ -180,7 +200,9 @@ fn main() {
             ),
         ] {
             let res = run_ensemble(
-                &EnsembleSpec::new(n, runs).with_base_seed(7500).with_max_slots(20_000),
+                &EnsembleSpec::new(n, runs)
+                    .with_base_seed(7500)
+                    .with_max_slots(20_000),
                 mk.as_ref(),
                 |seed| burst_pattern(n, k, 0, seed),
             );

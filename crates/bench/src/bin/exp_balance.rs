@@ -6,8 +6,8 @@
 //! * Lemma 5.3: on such slots, a station is isolated with probability
 //!   ≥ 1/128 (we measure the empirical isolation frequency).
 
-use mac_sim::WakePattern;
 use mac_sim::pattern::IdChoice;
+use mac_sim::WakePattern;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use wakeup_analysis::Table;
@@ -24,7 +24,10 @@ fn main() {
     let n = 256u32;
     let matrix = WakingMatrix::new(MatrixParams::new(n));
     let (rows, window) = (matrix.rows(), matrix.window());
-    println!("matrix: n={n}, rows={rows}, window={window}, ℓ={}\n", matrix.ell());
+    println!(
+        "matrix: n={n}, rows={rows}, window={window}, ℓ={}\n",
+        matrix.ell()
+    );
 
     let mut table = Table::new([
         "k",
@@ -50,8 +53,7 @@ fn main() {
             let pattern = WakePattern::uniform_window(&ids, 0, 16, &mut rng).unwrap();
             let m = WakingMatrix::new(MatrixParams::new(n).with_seed(seed));
             let analysis = MatrixAnalysis::new(&m, &pattern);
-            let horizon =
-                2 * u64::from(m.c()) * u64::from(k) * u64::from(rows) * u64::from(window);
+            let horizon = 2 * u64::from(m.c()) * u64::from(k) * u64::from(rows) * u64::from(window);
 
             let mut first_isolation = None;
             for j in 0..horizon {
@@ -89,7 +91,8 @@ fn main() {
             }
         }
 
-        let horizon = 2 * u64::from(matrix.c()) * u64::from(k) * u64::from(rows) * u64::from(window);
+        let horizon =
+            2 * u64::from(matrix.c()) * u64::from(k) * u64::from(rows) * u64::from(window);
         let mean_first = if first_isolations.is_empty() {
             "none".to_string()
         } else {

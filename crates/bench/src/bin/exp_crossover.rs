@@ -51,11 +51,7 @@ fn main() {
         // min(round-robin column, wait-and-go column) · O(1).
         let burst = worst_rr_pattern(n, k as usize, 0);
         let wag = sim
-            .run(
-                &WaitAndGo::new(n, k, FamilyProvider::default()),
-                &burst,
-                0,
-            )
+            .run(&WaitAndGo::new(n, k, FamilyProvider::default()), &burst, 0)
             .unwrap();
         let wag_str = wag
             .latency()

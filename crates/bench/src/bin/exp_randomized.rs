@@ -26,12 +26,16 @@ fn main() {
     let mut table = Table::new(["n", "k", "RPD mean", "log2 n", "RPD-k mean", "log2 k"]);
     for &n in &scale.n_sweep() {
         let rpd = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(5000).with_max_slots(1_000_000),
+            &EnsembleSpec::new(n, runs)
+                .with_base_seed(5000)
+                .with_max_slots(1_000_000),
             |_| -> Box<dyn Protocol> { Box::new(Rpd::new(n)) },
             |seed| random_pattern(n, k, 16, seed),
         );
         let rpdk = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(5000).with_max_slots(1_000_000),
+            &EnsembleSpec::new(n, runs)
+                .with_base_seed(5000)
+                .with_max_slots(1_000_000),
             |_| -> Box<dyn Protocol> { Box::new(RpdK::new(n, k as u32)) },
             |seed| random_pattern(n, k, 16, seed),
         );
@@ -58,7 +62,9 @@ fn main() {
     let mut k_points = Vec::new();
     for kk in [2u32, 4, 8, 16, 32, 64] {
         let res = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(5100).with_max_slots(1_000_000),
+            &EnsembleSpec::new(n, runs)
+                .with_base_seed(5100)
+                .with_max_slots(1_000_000),
             |_| -> Box<dyn Protocol> { Box::new(RpdK::new(n, kk)) },
             |seed| burst_pattern(n, kk as usize, 3, seed),
         );
@@ -83,11 +89,16 @@ fn main() {
         ("RPD", Box::new(move |_| Box::new(Rpd::new(n)))),
         ("RPD-k", Box::new(move |_| Box::new(RpdK::new(n, 8)))),
         ("ALOHA 1/k", Box::new(move |_| Box::new(Aloha::new(n, 8)))),
-        ("BEB", Box::new(move |_| Box::new(BinaryExponentialBackoff::new(n)))),
+        (
+            "BEB",
+            Box::new(move |_| Box::new(BinaryExponentialBackoff::new(n))),
+        ),
     ];
     for (name, factory) in &protocols {
         let res = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(5200).with_max_slots(1_000_000),
+            &EnsembleSpec::new(n, runs)
+                .with_base_seed(5200)
+                .with_max_slots(1_000_000),
             factory.as_ref(),
             |seed| burst_pattern(n, 8, 0, seed),
         );

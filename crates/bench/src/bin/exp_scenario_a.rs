@@ -32,7 +32,11 @@ fn main() {
                 &spec,
                 |seed| -> Box<dyn Protocol> {
                     let s = (seed % 97) * 13;
-                    Box::new(WakeupWithS::new(n, s, FamilyProvider::Random { seed, delta: 1e-4 }))
+                    Box::new(WakeupWithS::new(
+                        n,
+                        s,
+                        FamilyProvider::Random { seed, delta: 1e-4 },
+                    ))
                 },
                 |seed| {
                     let s = (seed % 97) * 13;
@@ -65,5 +69,8 @@ fn main() {
     }
     let target = fit_model(Model::KLogNOverK, &points).expect("fit");
     println!("\npaper-shape fit: {}", target.render());
-    println!("{}", wakeup_bench::shape_verdict(&points, Model::KLogNOverK));
+    println!(
+        "{}",
+        wakeup_bench::shape_verdict(&points, Model::KLogNOverK)
+    );
 }

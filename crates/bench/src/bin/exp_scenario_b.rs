@@ -27,7 +27,9 @@ fn main() {
     let runs = scale.runs();
     type PatternFn = fn(u32, usize, u64) -> WakePattern;
     let patterns: [(&str, PatternFn); 3] = [
-        ("uniform-window", |n, k, seed| random_pattern(n, k, 64, seed)),
+        ("uniform-window", |n, k, seed| {
+            random_pattern(n, k, 64, seed)
+        }),
         ("staggered", staggered_pattern),
         ("worst-block burst", |n, k, _seed| worst_rr_pattern(n, k, 7)),
     ];
@@ -42,7 +44,11 @@ fn main() {
                 let res = run_ensemble(
                     &spec,
                     |seed| -> Box<dyn Protocol> {
-                        Box::new(WakeupWithK::new(n, k, FamilyProvider::Random { seed, delta: 1e-4 }))
+                        Box::new(WakeupWithK::new(
+                            n,
+                            k,
+                            FamilyProvider::Random { seed, delta: 1e-4 },
+                        ))
                     },
                     |seed| pfn(n, k as usize, seed),
                 );
@@ -74,5 +80,8 @@ fn main() {
     }
     let target = fit_model(Model::KLogNOverK, &points).expect("fit");
     println!("\npaper-shape fit: {}", target.render());
-    println!("{}", wakeup_bench::shape_verdict(&points, Model::KLogNOverK));
+    println!(
+        "{}",
+        wakeup_bench::shape_verdict(&points, Model::KLogNOverK)
+    );
 }

@@ -90,7 +90,10 @@ fn main() {
             claim.r2
         );
     } else {
-        println!("upper bound holds but the shape fit is weak (R² = {:.3})", claim.r2);
+        println!(
+            "upper bound holds but the shape fit is weak (R² = {:.3})",
+            claim.r2
+        );
     }
 
     // Spoiler adversary probe at a fixed configuration.
@@ -113,6 +116,10 @@ fn main() {
         spoiled.moves
     );
     let matrix = WakingMatrix::new(MatrixParams::new(n));
-    let horizon = 2 * u64::from(matrix.c()) * k as u64 * u64::from(matrix.rows()) * u64::from(matrix.window());
+    let horizon = 2
+        * u64::from(matrix.c())
+        * k as u64
+        * u64::from(matrix.rows())
+        * u64::from(matrix.window());
     println!("  Theorem 5.3 horizon for this configuration: {horizon} slots");
 }

@@ -54,8 +54,14 @@ fn main() {
             n.to_string(),
             k.to_string(),
             "random".into(),
-            res.as_ref().map(|r| r.targets_checked.to_string()).unwrap_or_default(),
-            if res.is_ok() { "selective ✓".into() } else { format!("FAILS: {res:?}") },
+            res.as_ref()
+                .map(|r| r.targets_checked.to_string())
+                .unwrap_or_default(),
+            if res.is_ok() {
+                "selective ✓".into()
+            } else {
+                format!("FAILS: {res:?}")
+            },
         ]);
         let ksf = KautzSingleton::new(n, k).materialize();
         let res = selectors::verify::strongly_selective_exhaustive(&ksf);
@@ -63,8 +69,14 @@ fn main() {
             n.to_string(),
             k.to_string(),
             "kautz-singleton".into(),
-            res.as_ref().map(|r| r.targets_checked.to_string()).unwrap_or_default(),
-            if res.is_ok() { "STRONGLY selective ✓".into() } else { format!("FAILS: {res:?}") },
+            res.as_ref()
+                .map(|r| r.targets_checked.to_string())
+                .unwrap_or_default(),
+            if res.is_ok() {
+                "STRONGLY selective ✓".into()
+            } else {
+                format!("FAILS: {res:?}")
+            },
         ]);
         let greedy = GreedyBuilder::new(n, k).build().expect("greedy");
         vtab.push_row([
@@ -88,7 +100,11 @@ fn main() {
             n.to_string(),
             k.to_string(),
             trials.to_string(),
-            if res.is_ok() { "no counterexample".into() } else { format!("FAILS: {res:?}") },
+            if res.is_ok() {
+                "no counterexample".into()
+            } else {
+                format!("FAILS: {res:?}")
+            },
         ]);
     }
     mtab.print();

@@ -52,7 +52,11 @@ fn main() {
                 (
                     Scenario::B { k },
                     Box::new(move |seed| -> Box<dyn Protocol> {
-                        Box::new(WakeupWithK::new(n, k, FamilyProvider::random_with_seed(seed)))
+                        Box::new(WakeupWithK::new(
+                            n,
+                            k,
+                            FamilyProvider::random_with_seed(seed),
+                        ))
                     }),
                 ),
                 (

@@ -109,10 +109,7 @@ pub fn worst_rr_pattern(n: u32, k: usize, s: u64) -> WakePattern {
 
 /// Shape verdict: the paper's model must rank #1 by R² among all candidate
 /// shapes and explain most of the variance. Returns a human-readable line.
-pub fn shape_verdict(
-    points: &[(f64, f64, f64)],
-    target: wakeup_analysis::Model,
-) -> String {
+pub fn shape_verdict(points: &[(f64, f64, f64)], target: wakeup_analysis::Model) -> String {
     let ranked = wakeup_analysis::fit::rank_models(points);
     let Some(best) = ranked.first() else {
         return "no fit possible (too few points)".into();
@@ -141,7 +138,10 @@ pub fn banner(id: &str, paper_claim: &str) {
     println!("================================================================");
     println!("{id}");
     println!("paper claim: {paper_claim}");
-    println!("scale: {:?} (set WAKEUP_SCALE=full for the big sweep)", Scale::from_env());
+    println!(
+        "scale: {:?} (set WAKEUP_SCALE=full for the big sweep)",
+        Scale::from_env()
+    );
     println!("================================================================");
 }
 

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter` and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple adaptive wall-clock timer instead of criterion's full
+//! statistical machinery.
+//!
+//! Each benchmark is warmed up once, then run in batches sized so the
+//! measurement takes roughly [`MEASURE_TARGET`]; the mean per-iteration time
+//! is printed in a criterion-like one-line format. Set the environment
+//! variable `BENCH_QUICK=1` to run every benchmark exactly once (smoke mode).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark measurement.
+pub const MEASURE_TARGET: Duration = Duration::from_millis(200);
+
+/// Cap on the measured iterations of one benchmark.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// The benchmark driver handed to registered benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An identifier `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { last_mean: None }
+    }
+
+    /// Run `f` repeatedly and record its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if std::env::var_os("BENCH_QUICK").is_some() {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.last_mean = Some(start.elapsed());
+            return;
+        }
+        // Warm-up and calibration: time a single iteration.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (MEASURE_TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let total = start.elapsed();
+        self.last_mean = Some(total / iters as u32);
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    match b.last_mean {
+        Some(mean) => println!("{label:<55} time: [{mean:?}]"),
+        None => println!("{label:<55} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&id.to_string(), |b| f(b));
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b));
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+    }
+
+    /// End the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new();
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.last_mean.is_some());
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| std::hint::black_box(7u32)));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| std::hint::black_box(1u8)));
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", "n4096").to_string(), "f/n4096");
+    }
+}

@@ -1,0 +1,501 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API that this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range
+//! and tuple strategies, [`Just`], `any::<bool>()`, the `collection::vec` and
+//! `collection::btree_set` strategies, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are generated from a seed derived from the test name, so every
+//!   run of a given test explores the same inputs (fully reproducible);
+//! * there is no shrinking — a failing case panics with the ordinary
+//!   assertion message (the deterministic seed makes reruns exact);
+//! * `prop_assert*` are plain assertions rather than early returns.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// Deterministic case generator.
+// ---------------------------------------------------------------------------
+
+/// The per-test deterministic random source driving strategy sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator seeded from the test name (stable across runs).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name bytes.
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    /// Next 64 pseudo-random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators.
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `bool`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// The canonical strategy for `T` (subset of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies.
+// ---------------------------------------------------------------------------
+
+/// Size specifications accepted by collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{BTreeSet, SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate sets whose elements come from `element` and whose size is
+    /// drawn from `size` (best effort: duplicates are retried a bounded
+    /// number of times, like real proptest's rejection sampling).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 64 + 32 * target {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner configuration and macros.
+// ---------------------------------------------------------------------------
+
+/// Choosing among explicit values (subset of `proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding one of a fixed list of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Uniformly select one of `items` per generated case.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select: empty choice list");
+        Select(items)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Define property tests: each named function runs `config.cases` times with
+/// fresh inputs drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __proptest_case in 0..config.cases {
+                    let _ = __proptest_case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::collection::{btree_set, vec};
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let x = Strategy::generate(&(5u32..10), &mut rng);
+            assert!((5..10).contains(&x));
+            let y = Strategy::generate(&(1usize..=4), &mut rng);
+            assert!((1..=4).contains(&y));
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::deterministic("collections");
+        for _ in 0..200 {
+            let v = Strategy::generate(&vec(0u64..100, 3..7), &mut rng);
+            assert!((3..7).contains(&v.len()));
+            let s = Strategy::generate(&btree_set(0u32..1000, 2..=5usize), &mut rng);
+            assert!((2..=5).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_values() {
+        let strat = (1usize..4).prop_flat_map(|len| vec(0u32..10, len));
+        let mut rng = TestRng::deterministic("flat_map");
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_runs_and_asserts(x in 0u32..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flip {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn macro_with_config(x in 0u64..5) {
+            prop_assume!(x > 0);
+            prop_assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instantiations() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

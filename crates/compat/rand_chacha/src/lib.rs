@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rand_chacha` crate: a genuine ChaCha8 keystream
+//! generator implementing the local `rand` traits.
+//!
+//! The keystream is a faithful ChaCha permutation with 8 double-rounds
+//! (Bernstein's design), keyed from a 64-bit seed expanded through
+//! SplitMix64. Streams are deterministic under a fixed seed but are **not**
+//! bit-compatible with crates.io `rand_chacha` (nothing in this workspace
+//! depends on upstream streams).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 double-rounds over the local `rand` traits.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word of `block` (16 = exhausted).
+    cursor: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[inline]
+fn split_mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    /// The ChaCha "expand 32-byte k" constants.
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds (column then diagonal).
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // Advance the 64-bit block counter (words 12–13).
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        // Expand the seed into the 256-bit key via SplitMix64.
+        for i in 0..4 {
+            let w = split_mix64(seed.wrapping_add(i as u64));
+            state[4 + 2 * i] = w as u32;
+            state[5 + 2 * i] = (w >> 32) as u32;
+        }
+        // Counter = 0, nonce = 0.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word();
+        let hi = self.next_word();
+        u64::from(hi) << 32 | u64::from(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_is_roughly_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        // 1024 draws × 64 bits: expect ≈ 32768 ones.
+        assert!((30000..=35000).contains(&ones), "bit bias: {ones}");
+    }
+
+    #[test]
+    fn works_with_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x: u64 = rng.gen_range(0..100);
+        assert!(x < 100);
+        let _: bool = rng.gen();
+    }
+
+    #[test]
+    fn chacha_permutation_known_shape() {
+        // The all-zero input block must not map to itself (sanity that the
+        // rounds actually mix).
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let first = rng.next_u64();
+        assert_ne!(first, 0);
+    }
+}

@@ -21,7 +21,7 @@
 //! `k·log² n` growth (EXP-CHL) — slower than `wakeup(n)`'s
 //! `k log n log log n` by the factor the paper claims.
 
-use mac_sim::{Action, Protocol, Slot, Station, StationId};
+use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
 use selectors::math::log_n;
 use selectors::prf::coin_pow2;
 
@@ -106,6 +106,23 @@ impl Station for LocalDoublingStation {
             u64::from(i),
             i,
         ))
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        // The schedule is an oblivious PRF coin per slot (density 2^{-i} in
+        // epoch i), so the next transmission is found by scanning — expected
+        // gap 2^i, worst case unbounded, hence the safety cap: if no hit is
+        // found within the horizon the station asks for dense polling
+        // instead of lying.
+        const SCAN_CAP: u64 = 1 << 22;
+        for t in after..after.saturating_add(SCAN_CAP) {
+            let p = t - self.sigma;
+            let i = self.epoch(p);
+            if coin_pow2(self.proto.seed, u64::from(self.id.0), t, u64::from(i), i) {
+                return TxHint::At(t);
+            }
+        }
+        TxHint::Dense
     }
 }
 

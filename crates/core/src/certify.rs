@@ -190,7 +190,8 @@ mod tests {
         // Patterns: C(8,1)·4 + C(8,2)·16 = 32 + 448 = 480.
         assert_eq!(cert.patterns_checked, 480);
         // Worst latency within the k=2 horizon.
-        let horizon = 2 * u64::from(matrix.c()) * 2 * u64::from(matrix.rows()) * u64::from(matrix.window());
+        let horizon =
+            2 * u64::from(matrix.c()) * 2 * u64::from(matrix.rows()) * u64::from(matrix.window());
         assert!(cert.worst_latency <= horizon);
     }
 
@@ -203,10 +204,8 @@ mod tests {
         let expected = isolation_latency(&matrix, &wakes, horizon);
 
         let protocol = crate::wakeup_n::WakeupN::with_matrix(std::sync::Arc::new(matrix));
-        let pattern = WakePattern::new(
-            wakes.iter().map(|&(u, t)| (StationId(u), t)).collect(),
-        )
-        .unwrap();
+        let pattern =
+            WakePattern::new(wakes.iter().map(|&(u, t)| (StationId(u), t)).collect()).unwrap();
         let out = Simulator::new(SimConfig::new(16).with_max_slots(horizon + 1))
             .run(&protocol, &pattern, 0)
             .unwrap();

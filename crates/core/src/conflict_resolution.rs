@@ -165,7 +165,11 @@ mod tests {
     }
 
     fn resolve_sim(n: u32) -> Simulator {
-        Simulator::new(SimConfig::new(n).with_max_slots(500_000).until_all_resolved())
+        Simulator::new(
+            SimConfig::new(n)
+                .with_max_slots(500_000)
+                .until_all_resolved(),
+        )
     }
 
     #[test]
@@ -262,7 +266,11 @@ mod tests {
         let chosen = ids(&[100, 700, 1300, 1900]);
         let pattern = WakePattern::simultaneous(&chosen, 0).unwrap();
         let sel = resolve_sim(n)
-            .run(&FullResolution::new(n, 4, FamilyProvider::default()), &pattern, 0)
+            .run(
+                &FullResolution::new(n, 4, FamilyProvider::default()),
+                &pattern,
+                0,
+            )
             .unwrap();
         let rr = resolve_sim(n)
             .run(&RetiringRoundRobin::new(n), &pattern, 0)
@@ -282,7 +290,9 @@ mod tests {
         let n = 32u32;
         let p = FullResolution::new(n, 4, FamilyProvider::default());
         let pattern = WakePattern::simultaneous(&ids(&[2, 12, 22, 30]), 0).unwrap();
-        let out = Simulator::new(SimConfig::new(n)).run(&p, &pattern, 0).unwrap();
+        let out = Simulator::new(SimConfig::new(n))
+            .run(&p, &pattern, 0)
+            .unwrap();
         assert!(out.solved());
         assert_eq!(out.resolved.len(), 1);
         assert!(out.all_resolved_at.is_none());

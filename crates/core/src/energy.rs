@@ -14,7 +14,7 @@
 //! typical patterns (their schedules are sparse by design), while
 //! high-energy randomized baselines start failing.
 
-use mac_sim::{Action, Feedback, Protocol, Slot, Station, StationId};
+use mac_sim::{Action, Feedback, Protocol, Slot, Station, StationId, TxHint};
 
 /// A wrapper enforcing a per-station transmission budget on any protocol.
 #[derive(Clone, Debug)]
@@ -67,6 +67,16 @@ impl Station for CappedStation {
     fn feedback(&mut self, t: Slot, fb: Feedback) {
         self.inner.feedback(t, fb);
     }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        if self.remaining == 0 {
+            // Budget spent: silent forever, whatever the inner schedule says.
+            return TxHint::Never;
+        }
+        // With budget left the wrapper is transparent: the inner station's
+        // next transmission is also ours.
+        self.inner.next_transmission(after)
+    }
 }
 
 impl<P: Protocol> Protocol for EnergyCapped<P> {
@@ -78,7 +88,11 @@ impl<P: Protocol> Protocol for EnergyCapped<P> {
     }
 
     fn name(&self) -> String {
-        format!("energy-capped({}, budget={})", self.inner.name(), self.budget)
+        format!(
+            "energy-capped({}, budget={})",
+            self.inner.name(),
+            self.budget
+        )
     }
 }
 

@@ -326,7 +326,9 @@ mod tests {
         let n = 16u32;
         let sim = Simulator::new(SimConfig::new(n));
         let pattern = WakePattern::simultaneous(&ids(&[7]), 42).unwrap();
-        let out = sim.run(&BinaryExponentialBackoff::new(n), &pattern, 0).unwrap();
+        let out = sim
+            .run(&BinaryExponentialBackoff::new(n), &pattern, 0)
+            .unwrap();
         assert_eq!(out.latency(), Some(0));
     }
 

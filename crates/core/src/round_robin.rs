@@ -15,7 +15,7 @@
 //! is why both Scenario A and Scenario B algorithms interleave with it to
 //! stay optimal at large `k`.
 
-use mac_sim::{Action, Protocol, Slot, Station, StationId};
+use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
 
 /// The round-robin protocol over `n` stations.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +46,16 @@ impl Station for RoundRobinStation {
 
     fn act(&mut self, t: Slot) -> Action {
         Action::from_bool(t % u64::from(self.n) == u64::from(self.id.0))
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        // The next slot ≡ id (mod n), in O(1): the schedule is oblivious,
+        // so the engine can jump straight to this station's turn.
+        TxHint::At(selectors::math::next_congruent(
+            after,
+            u64::from(self.id.0),
+            u64::from(self.n),
+        ))
     }
 }
 

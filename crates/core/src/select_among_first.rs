@@ -20,77 +20,109 @@
 //! interleaves it with round-robin to cover the large-`k` regime.
 
 use crate::family_provider::{DynFamily, FamilyProvider};
-use mac_sim::{Action, Protocol, Slot, Station, StationId};
+use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
 use selectors::math::log_n;
 use std::sync::Arc;
 
 /// The concatenated doubling-family schedule `⟨F₁, F₂, …⟩` shared by the
 /// Scenario A and Scenario B algorithms: family `Fᵢ` is `(n, 2^i)`-selective.
+///
+/// Internally this is the schedule algebra's cyclic concatenation
+/// `cycle(⟨F₁, …, F_top⟩)`, so position lookup (`transmits`) and sparse
+/// evaluation (`next_position`) reuse the `Schedule`/`NextOne` combinators
+/// rather than duplicating their arithmetic.
 #[derive(Debug)]
 pub struct DoublingSchedule {
-    families: Vec<DynFamily>,
-    /// Start offset of each family within one period.
-    offsets: Vec<u64>,
-    /// Total period length `z`.
-    period: u64,
+    cycle: selectors::schedule::CycleSchedule<selectors::schedule::ConcatSchedule<DynFamily>>,
 }
 
 impl DoublingSchedule {
     /// Build from `provider` the families `F₁ … F_top` (`top = 0` degenerates
     /// to the single trivial `(n,1)` family).
     pub fn new(provider: &FamilyProvider, n: u32, top: u32) -> Self {
+        use selectors::ScheduleExt;
         let families = provider.doubling_sequence(n, top);
-        let mut offsets = Vec::with_capacity(families.len());
-        let mut period = 0u64;
-        for f in &families {
-            offsets.push(period);
-            period += f.len();
-        }
-        assert!(period > 0, "doubling schedule must be non-empty");
         DoublingSchedule {
-            families,
-            offsets,
-            period,
+            cycle: selectors::schedule::ConcatSchedule::new(families).cycle(),
         }
     }
 
     /// Total period `z = z₁ + … + z_top`.
     pub fn period(&self) -> u64 {
-        self.period
+        self.cycle.period()
     }
 
     /// Family start offsets within a period — the boundaries `wait_and_go`
     /// waits for.
     pub fn offsets(&self) -> &[u64] {
-        &self.offsets
+        self.cycle.inner().offsets()
     }
 
     /// Does station `u` transmit at position `p` (taken mod the period)?
     pub fn transmits(&self, u: u32, p: u64) -> bool {
-        let p = p % self.period;
-        // Find the family containing p.
-        let i = match self.offsets.binary_search(&p) {
-            Ok(i) => i,
-            Err(i) => i - 1,
-        };
-        self.families[i].member(u, p - self.offsets[i])
+        use selectors::Schedule;
+        self.cycle.transmits(u, p)
     }
 
     /// The families in order.
     pub fn families(&self) -> &[DynFamily] {
-        &self.families
+        self.cycle.inner().parts()
     }
 
     /// Smallest position `p' ≥ p` that is a family boundary (mod period).
     pub fn next_boundary(&self, p: u64) -> u64 {
-        let r = p % self.period;
-        for &off in &self.offsets {
+        let r = p % self.period();
+        for &off in self.offsets() {
             if off >= r {
                 return p + (off - r);
             }
         }
         // Wrap to the start of the next period.
-        p + (self.period - r)
+        p + (self.period() - r)
+    }
+
+    /// Smallest position `p' ≥ p` at which station `u` transmits, or `None`
+    /// if `u` is in no transmission set of any family (then the cyclic
+    /// schedule never selects it). Delegates to the schedule algebra's
+    /// [`next_one`](selectors::Schedule::next_one), which covers at most one
+    /// full period; successive queries over a run scan disjoint stretches,
+    /// so the amortized cost matches one dense pass.
+    pub fn next_position(&self, u: u32, p: u64) -> Option<u64> {
+        use selectors::{NextOne, Schedule};
+        match self.cycle.next_one(u, p) {
+            NextOne::At(q) => Some(q),
+            NextOne::Never => None,
+            // Concat-of-finite-families under cycle always answers exactly.
+            NextOne::Unknown => unreachable!("cycled concat schedules answer next_one exactly"),
+        }
+    }
+}
+
+/// Memoizing wrapper around [`DoublingSchedule::next_position`] for stations
+/// whose hints are re-queried at slots scheduled by a *different* component
+/// (the interleaved round-robin turns). The schedule is oblivious, so a
+/// computed hit stays the answer until the query point passes it; without
+/// the memo each round-robin turn would re-scan toward the same far-off
+/// family hit.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct NextPositionCache(Option<Option<u64>>);
+
+impl NextPositionCache {
+    /// The smallest position `q ≥ q0` where `u` transmits in `schedule`,
+    /// reusing the previous answer when still valid. Query points must be
+    /// non-decreasing across calls (the engine's `after` clock is).
+    pub(crate) fn query(&mut self, schedule: &DoublingSchedule, u: u32, q0: u64) -> Option<u64> {
+        match self.0 {
+            // A definitive "never in any period" is permanent.
+            Some(None) => None,
+            // A hit not yet passed: the earlier scan proved silence up to it.
+            Some(Some(q)) if q >= q0 => Some(q),
+            _ => {
+                let q = schedule.next_position(u, q0);
+                self.0 = Some(q);
+                q
+            }
+        }
     }
 }
 
@@ -143,6 +175,17 @@ impl Station for SafStation {
             return Action::Listen;
         }
         Action::from_bool(self.schedule.transmits(self.id.0, t - self.s))
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        if !self.participates {
+            return TxHint::Never;
+        }
+        let from = after.max(self.s);
+        match self.schedule.next_position(self.id.0, from - self.s) {
+            Some(p) => TxHint::At(self.s + p),
+            None => TxHint::Never,
+        }
     }
 }
 
@@ -217,14 +260,10 @@ mod tests {
         let mut latencies = Vec::new();
         for n in [64u32, 256, 1024] {
             let p = SelectAmongFirst::new(n, 0, FamilyProvider::default());
-            let pattern =
-                WakePattern::simultaneous(&ids(&[1, n / 2, n - 2]), 0).unwrap();
+            let pattern = WakePattern::simultaneous(&ids(&[1, n / 2, n - 2]), 0).unwrap();
             let out = sim(n).run(&p, &pattern, 0).unwrap();
             let lat = out.latency().expect("must solve");
-            assert!(
-                lat < u64::from(n),
-                "latency {lat} not sublinear at n={n}"
-            );
+            assert!(lat < u64::from(n), "latency {lat} not sublinear at n={n}");
             latencies.push(lat);
         }
     }

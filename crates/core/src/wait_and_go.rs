@@ -22,7 +22,7 @@
 
 use crate::family_provider::FamilyProvider;
 use crate::select_among_first::DoublingSchedule;
-use mac_sim::{Action, Protocol, Slot, Station, StationId};
+use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
 use selectors::math::log_n;
 use std::sync::Arc;
 
@@ -86,6 +86,15 @@ impl Station for WagStation {
             return Action::Listen;
         }
         Action::from_bool(self.schedule.transmits(self.id.0, t))
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        // Positions coincide with global slots for the stand-alone component.
+        let from = after.max(self.go_slot);
+        match self.schedule.next_position(self.id.0, from) {
+            Some(p) => TxHint::At(p),
+            None => TxHint::Never,
+        }
     }
 }
 
@@ -191,8 +200,7 @@ mod tests {
         // valid channel execution.
         let n = 32u32;
         let p = WaitAndGo::new(n, 2, FamilyProvider::default());
-        let pattern =
-            WakePattern::simultaneous(&ids(&(0..16).collect::<Vec<_>>()), 0).unwrap();
+        let pattern = WakePattern::simultaneous(&ids(&(0..16).collect::<Vec<_>>()), 0).unwrap();
         let cfg = SimConfig::new(n).with_max_slots(2_000).with_transcript();
         let out = Simulator::new(cfg).run(&p, &pattern, 0).unwrap();
         let tr = out.transcript.clone().unwrap();

@@ -28,7 +28,7 @@
 //! runs surface as censored samples in the experiments instead).
 
 use crate::waking_matrix::{MatrixParams, WakingMatrix};
-use mac_sim::{Action, Protocol, Slot, Station, StationId};
+use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
 use std::sync::Arc;
 
 /// The Scenario C protocol `wakeup(n)`.
@@ -112,6 +112,46 @@ impl Station for WakeupNStation {
         }
         Action::from_bool(self.matrix.member(self.row, t, self.id.0))
     }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        if self.restart {
+            // The restarted walk is unbounded; a station that is member of
+            // no entry would force an unbounded scan, so restarting stations
+            // stay on the dense path.
+            return TxHint::Dense;
+        }
+        // Pure scan over the (stateless) matrix walk from max(after, µ(σ)):
+        // the stateful `row` cursor is untouched, and `act` tolerates jumps.
+        //
+        // Cost note: the PRF matrix has no structure to exploit, so this
+        // scan pays one coin per candidate slot — the same work dense
+        // polling would do — making short successful runs slightly slower
+        // under the sparse engine (bookkeeping overhead, see README). The
+        // hint is kept anyway because the `Never` after scan exhaustion is
+        // the difference between skipping a censored run's remaining tens
+        // of millions of slots instantly and polling dead stations through
+        // all of them.
+        let m = &self.matrix;
+        let total = m.total_scan();
+        let from = after.max(self.mu);
+        let mut delta = from - self.mu;
+        while delta < total {
+            let row = m
+                .row_at_offset(delta)
+                .expect("delta < total_scan has a row");
+            let (_, row_end) = m.row_span(row);
+            while delta < row_end {
+                let t = self.mu + delta;
+                if m.member(row, t, self.id.0) {
+                    return TxHint::At(t);
+                }
+                delta += 1;
+            }
+        }
+        // Scan exhausted: the paper's protocol ends; the station is silent
+        // forever.
+        TxHint::Never
+    }
 }
 
 impl Protocol for WakeupN {
@@ -173,8 +213,9 @@ mod tests {
         let n = 64u32;
         for k in [1usize, 2, 4, 8] {
             let p = WakeupN::new(MatrixParams::new(n));
-            let chosen: Vec<StationId> =
-                (0..k as u32).map(|i| StationId(i * (n / k as u32))).collect();
+            let chosen: Vec<StationId> = (0..k as u32)
+                .map(|i| StationId(i * (n / k as u32)))
+                .collect();
             let pattern = WakePattern::simultaneous(&chosen, 0).unwrap();
             let out = sim(n).run(&p, &pattern, 0).unwrap();
             assert!(out.solved(), "k={k}");
@@ -230,7 +271,11 @@ mod tests {
         let mut st = p.station(StationId(0), 0);
         st.wake(sigma);
         for t in sigma..m.mu(sigma) {
-            assert_eq!(st.act(t), Action::Listen, "transmitted while waiting at {t}");
+            assert_eq!(
+                st.act(t),
+                Action::Listen,
+                "transmitted while waiting at {t}"
+            );
         }
     }
 

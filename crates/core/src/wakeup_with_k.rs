@@ -15,9 +15,10 @@
 //! the algorithm degrades instead of failing (pinned by a test below).
 
 use crate::family_provider::FamilyProvider;
-use crate::select_among_first::DoublingSchedule;
+use crate::select_among_first::{DoublingSchedule, NextPositionCache};
 use crate::wait_and_go::WaitAndGo;
-use mac_sim::{Action, Protocol, Slot, Station, StationId};
+use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
+use selectors::math::next_congruent;
 use std::sync::Arc;
 
 /// The Scenario B algorithm: round-robin ⊕ wait-and-go.
@@ -56,6 +57,9 @@ struct WwkStation {
     /// First wait-and-go *position* at which this station may transmit.
     go_position: u64,
     schedule: Arc<DoublingSchedule>,
+    /// Memoized wait-and-go `next_position` answer (see
+    /// [`NextPositionCache`]).
+    wag_cache: NextPositionCache,
 }
 
 impl Station for WwkStation {
@@ -74,6 +78,25 @@ impl Station for WwkStation {
             Action::from_bool(p >= self.go_position && self.schedule.transmits(self.id.0, p))
         }
     }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        // Round-robin component on even slots 2p, p ≡ id (mod n): O(1).
+        let rr_slot =
+            2 * next_congruent(after.div_ceil(2), u64::from(self.id.0), u64::from(self.n));
+
+        // Wait-and-go component on odd slots 2p + 1, positions gated by the
+        // family-boundary wait.
+        let q0 = after.saturating_sub(1).div_ceil(2).max(self.go_position);
+        let wag_slot = self
+            .wag_cache
+            .query(&self.schedule, self.id.0, q0)
+            .map(|q| 2 * q + 1);
+
+        match wag_slot {
+            Some(wag) => TxHint::At(rr_slot.min(wag)),
+            None => TxHint::At(rr_slot),
+        }
+    }
 }
 
 impl Protocol for WakeupWithK {
@@ -83,6 +106,7 @@ impl Protocol for WakeupWithK {
             n: self.n,
             go_position: 0,
             schedule: Arc::clone(&self.schedule),
+            wag_cache: NextPositionCache::default(),
         })
     }
 

@@ -11,9 +11,9 @@
 //! (Theorem 2.1 for `k > n/c`; Clementi–Monti–Silvestri for `k ≤ n/64`).
 
 use crate::family_provider::FamilyProvider;
-use crate::select_among_first::DoublingSchedule;
-use mac_sim::{Action, Protocol, Slot, Station, StationId};
-use selectors::math::log_n;
+use crate::select_among_first::{DoublingSchedule, NextPositionCache};
+use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
+use selectors::math::{log_n, next_congruent};
 use std::sync::Arc;
 
 /// The Scenario A algorithm: round-robin ⊕ select-among-the-first.
@@ -48,6 +48,8 @@ struct WwsStation {
     s: Slot,
     participates_saf: bool,
     schedule: Arc<DoublingSchedule>,
+    /// Memoized SAF `next_position` answer (see [`NextPositionCache`]).
+    saf_cache: NextPositionCache,
 }
 
 impl WwsStation {
@@ -77,6 +79,31 @@ impl Station for WwsStation {
             Action::Listen
         }
     }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        // Round-robin component: the smallest even slot 2p ≥ after with
+        // p ≡ id (mod n), computed in O(1).
+        let rr_slot =
+            2 * next_congruent(after.div_ceil(2), u64::from(self.id.0), u64::from(self.n));
+
+        // Select-among-the-first component: odd slots, schedule positions
+        // counted in odd slots since s.
+        let saf_slot = if self.participates_saf {
+            let first_odd = self.s + (self.s + 1) % 2;
+            let t0 = after.max(first_odd);
+            let q0 = (t0 - first_odd).div_ceil(2);
+            self.saf_cache
+                .query(&self.schedule, self.id.0, q0)
+                .map(|q| first_odd + 2 * q)
+        } else {
+            None
+        };
+
+        match saf_slot {
+            Some(saf) => TxHint::At(rr_slot.min(saf)),
+            None => TxHint::At(rr_slot),
+        }
+    }
 }
 
 impl Protocol for WakeupWithS {
@@ -87,6 +114,7 @@ impl Protocol for WakeupWithS {
             s: self.s,
             participates_saf: false,
             schedule: Arc::clone(&self.schedule),
+            saf_cache: NextPositionCache::default(),
         })
     }
 
@@ -154,8 +182,7 @@ mod tests {
         for seed in 0..5u64 {
             let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed);
             let chosen = IdChoice::Random.pick(n, 6, &mut rng);
-            let pattern =
-                WakePattern::uniform_window(&chosen, 0, 40, &mut rng).unwrap();
+            let pattern = WakePattern::uniform_window(&chosen, 0, 40, &mut rng).unwrap();
             let out = sim(n).run(&p, &pattern, seed).unwrap();
             assert!(out.solved());
             assert!(

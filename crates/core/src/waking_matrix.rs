@@ -173,7 +173,11 @@ impl WakingMatrix {
 
     /// Row dwell time `m_i` (`i` is 1-based as in the paper).
     pub fn dwell(&self, i: u32) -> u64 {
-        assert!((1..=self.rows).contains(&i), "row {i} out of 1..={}", self.rows);
+        assert!(
+            (1..=self.rows).contains(&i),
+            "row {i} out of 1..={}",
+            self.rows
+        );
         self.dwell[(i - 1) as usize]
     }
 
@@ -216,6 +220,17 @@ impl WakingMatrix {
         let col = j % self.ell;
         let d = i + self.rho(col);
         coin_pow2(self.seed, u64::from(i), col, u64::from(u), d)
+    }
+
+    /// The offset interval `[start, end)` (relative to `µ(σ)`) that row `i`
+    /// occupies within one scan (`i` 1-based).
+    pub fn row_span(&self, i: u32) -> (u64, u64) {
+        assert!(
+            (1..=self.rows).contains(&i),
+            "row {i} out of 1..={}",
+            self.rows
+        );
+        (self.cum[(i - 1) as usize], self.cum[i as usize])
     }
 
     /// The row a station occupies `delta` slots after its `µ(σ)`
@@ -525,7 +540,7 @@ mod tests {
     #[test]
     fn membership_density_tracks_2_to_minus_i_plus_rho() {
         let m = matrix(256); // rows = 8, window = 3
-        // Sample row 2 at columns with ρ = 0: density 1/4.
+                             // Sample row 2 at columns with ρ = 0: density 1/4.
         let trials = 3000u64;
         let w = u64::from(m.window());
         let mut hits = 0u64;
@@ -608,10 +623,8 @@ mod tests {
         // Within one window the occupancy is constant (P1) while ρ increases,
         // so the weighted contention halves from slot to slot.
         let m = matrix(256); // window = 3
-        let pattern = WakePattern::new(
-            (0..12u32).map(|u| (StationId(u), 0)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let pattern =
+            WakePattern::new((0..12u32).map(|u| (StationId(u), 0)).collect::<Vec<_>>()).unwrap();
         let a = MatrixAnalysis::new(&m, &pattern);
         let w = u64::from(m.window());
         let start = 2 * w; // an arbitrary window boundary
@@ -625,8 +638,7 @@ mod tests {
     #[test]
     fn isolation_is_exactly_one_transmitter() {
         let m = matrix(64);
-        let pattern =
-            WakePattern::new(vec![(StationId(4), 0), (StationId(9), 0)]).unwrap();
+        let pattern = WakePattern::new(vec![(StationId(4), 0), (StationId(9), 0)]).unwrap();
         let a = MatrixAnalysis::new(&m, &pattern);
         for j in 0..200u64 {
             let txs = a.transmitters(j);
@@ -642,16 +654,11 @@ mod tests {
         // Theorem 5.1: t − s ≥ 2c·|S(t)|·log n·log log n ⇒ well-balanced.
         let m = matrix(64);
         let k = 3u32;
-        let pattern = WakePattern::new(
-            (0..k).map(|u| (StationId(u * 9), 0)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let pattern =
+            WakePattern::new((0..k).map(|u| (StationId(u * 9), 0)).collect::<Vec<_>>()).unwrap();
         let a = MatrixAnalysis::new(&m, &pattern);
-        let horizon = 2
-            * u64::from(m.c())
-            * u64::from(k)
-            * u64::from(m.rows())
-            * u64::from(m.window());
+        let horizon =
+            2 * u64::from(m.c()) * u64::from(k) * u64::from(m.rows()) * u64::from(m.window());
         assert!(
             a.well_balanced(0, horizon),
             "S(t) not well-balanced by the Theorem 5.1 horizon {horizon}"
@@ -662,7 +669,8 @@ mod tests {
     fn different_seeds_give_different_matrices() {
         let a = WakingMatrix::new(MatrixParams::new(128).with_seed(1));
         let b = WakingMatrix::new(MatrixParams::new(128).with_seed(2));
-        let differs = (0..200u64).any(|j| (0..128u32).any(|u| a.member(1, j, u) != b.member(1, j, u)));
+        let differs =
+            (0..200u64).any(|j| (0..128u32).any(|u| a.member(1, j, u) != b.member(1, j, u)));
         assert!(differs);
     }
 
@@ -672,8 +680,7 @@ mod tests {
         let walk = render_walk(&m, 7);
         assert!(walk.contains("µ(σ)"));
         assert!(walk.contains("m_1"));
-        let pattern =
-            WakePattern::new(vec![(StationId(1), 0), (StationId(2), 9)]).unwrap();
+        let pattern = WakePattern::new(vec![(StationId(1), 0), (StationId(2), 9)]).unwrap();
         let col = render_column(&m, &pattern, 40);
         assert!(col.contains("S_{1,j}") || col.contains("row  1") || col.contains("row 1"));
     }

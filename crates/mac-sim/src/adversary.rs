@@ -116,8 +116,9 @@ mod tests {
         v.iter().copied().map(StationId).collect()
     }
 
-    fn round_robin(n: u32) -> FnProtocol<impl Fn(StationId, u64, Slot, Slot) -> bool + Sync + Send>
-    {
+    fn round_robin(
+        n: u32,
+    ) -> FnProtocol<impl Fn(StationId, u64, Slot, Slot) -> bool + Sync + Send> {
         FnProtocol::new(format!("rr{n}"), move |id: StationId, _s, _sig, t: Slot| {
             t % u64::from(n) == u64::from(id.0)
         })

@@ -1,12 +1,27 @@
-//! The simulator: drives stations slot by slot and resolves the channel.
+//! The simulator: drives stations and resolves the channel, skipping
+//! provably silent slots where the protocol allows it.
 //!
 //! [`Simulator::run`] executes one wake-up pattern against one protocol:
 //!
 //! 1. stations are instantiated lazily at their wake-up slots;
-//! 2. each slot, every awake station is polled ([`Station::act`]); the
-//!    channel resolves ([`SlotOutcome::resolve`]); feedback is delivered
-//!    under the configured [`FeedbackModel`];
-//! 3. the run ends at the **first successful slot** (the wake-up problem is
+//! 2. the engine picks one of two execution paths:
+//!    * **sparse** (the default whenever every awake station answers
+//!      [`Station::next_transmission`] with a concrete hint and the stop rule
+//!      is [`StopRule::FirstSuccess`]): a min-heap of per-station next-action
+//!      slots advances time directly from transmission event to transmission
+//!      event in `O(log k)` per event, accounting the skipped gap as silent
+//!      slots without polling anyone;
+//!    * **dense** (any station answers [`TxHint::Dense`], or the stop rule is
+//!      [`StopRule::AllResolved`], or [`SimConfig::engine`] forces it): every
+//!      awake station is polled ([`Station::act`]) every slot — the exact
+//!      historical semantics;
+//!
+//!    both paths produce **identical** [`Outcome`]s and transcripts; only
+//!    [`Outcome::polls`] and [`Outcome::skipped_slots`] reveal which path
+//!    ran;
+//! 3. each simulated slot, the channel resolves ([`SlotOutcome::resolve`])
+//!    and feedback is delivered under the configured [`FeedbackModel`];
+//! 4. the run ends at the **first successful slot** (the wake-up problem is
 //!    solved — "once one of the active stations manages to send its message
 //!    successfully on the channel, the message is heard by all other
 //!    stations") or when `max_slots` slots have elapsed since `s`.
@@ -19,8 +34,10 @@ use crate::channel::{FeedbackModel, SlotOutcome};
 use crate::ids::{Slot, StationId};
 use crate::pattern::WakePattern;
 use crate::rng::derive_seed;
-use crate::station::{Protocol, Station};
+use crate::station::{Protocol, Station, TxHint};
 use crate::trace::{SlotRecord, Transcript};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// When the engine ends a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -37,6 +54,20 @@ pub enum StopRule {
     AllResolved,
 }
 
+/// Which execution path the engine may take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Use the sparse slot-skipping path whenever every awake station
+    /// provides a [`TxHint`] and the stop rule allows it; otherwise fall
+    /// back to dense polling automatically (the default).
+    #[default]
+    Auto,
+    /// Always poll every awake station every slot (the historical engine).
+    /// Useful as a ground-truth reference and for measuring the sparse
+    /// speedup.
+    Dense,
+}
+
 /// Configuration of one simulation.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -51,6 +82,8 @@ pub struct SimConfig {
     pub record_transcript: bool,
     /// When to end the run (default: first success).
     pub stop: StopRule,
+    /// Engine path selection (default: [`EngineMode::Auto`]).
+    pub engine: EngineMode,
 }
 
 impl SimConfig {
@@ -65,6 +98,7 @@ impl SimConfig {
             max_slots: 64 * u64::from(n.max(1)) * (log_n + 1) * (log_n + 1),
             record_transcript: false,
             stop: StopRule::FirstSuccess,
+            engine: EngineMode::Auto,
         }
     }
 
@@ -91,6 +125,13 @@ impl SimConfig {
     /// Enable transcript recording.
     pub fn with_transcript(mut self) -> Self {
         self.record_transcript = true;
+        self
+    }
+
+    /// Select the engine path ([`EngineMode::Dense`] forces per-slot
+    /// polling; [`EngineMode::Auto`] skips silent slots when possible).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -142,6 +183,18 @@ pub struct Outcome {
     pub collisions: u64,
     /// Number of silent slots.
     pub silent_slots: u64,
+    /// Number of [`Station::act`] calls made over the run — the engine's
+    /// work measure. Dense runs poll every awake station every slot
+    /// (`≈ slots × k`); sparse runs poll only at transmission events.
+    pub polls: u64,
+    /// Slots the engine advanced over in bulk (silent by the stations' own
+    /// [`TxHint`] promises, or dead air before a wake-up) instead of
+    /// simulating individually. Dead-air jumps aside, always 0 on the dense
+    /// path. Skipped slots still count into
+    /// [`slots_simulated`](Outcome::slots_simulated) (and, for gaps while
+    /// stations are awake, [`silent_slots`](Outcome::silent_slots)) so
+    /// outcomes are identical across paths.
+    pub skipped_slots: u64,
     /// Full transcript, if recording was enabled.
     pub transcript: Option<Transcript>,
     /// Stations that transmitted successfully at least once, with the slot
@@ -225,11 +278,38 @@ impl Simulator {
         let mut first_success = None;
         let mut winner = None;
         let mut slots_simulated = 0u64;
+        let mut polls = 0u64;
+        let mut skipped_slots = 0u64;
         let mut transmitters: Vec<StationId> = Vec::new();
         let mut transmitted_flags: Vec<bool> = Vec::new();
         let mut resolved: Vec<(StationId, Slot)> = Vec::new();
         let mut all_resolved_at = None;
         let total_stations = wakes.len();
+
+        // The sparse path needs every station to honour its TxHint promise
+        // with no feedback in between; AllResolved runs deliver semantically
+        // meaningful feedback (retirement on own success), so they stay
+        // dense. Any station answering TxHint::Dense also flips this off,
+        // permanently for the run.
+        let mut sparse =
+            self.cfg.engine == EngineMode::Auto && self.cfg.stop == StopRule::FirstSuccess;
+        // Min-heap of (next transmission slot, index into `awake`). Stations
+        // with a `Never` hint simply have no entry.
+        let mut heap: BinaryHeap<Reverse<(Slot, usize)>> = BinaryHeap::new();
+        let mut polled: Vec<usize> = Vec::new();
+
+        // Append `count` silent-slot records starting at `from`.
+        fn record_silence(transcript: &mut Option<Transcript>, from: Slot, count: u64) {
+            if let Some(tr) = transcript.as_mut() {
+                for slot in from..from + count {
+                    tr.push(SlotRecord {
+                        slot,
+                        transmitters: Vec::new(),
+                        outcome: SlotOutcome::Silence,
+                    });
+                }
+            }
+        }
 
         let mut t = s;
         'slots: while slots_simulated < self.cfg.max_slots {
@@ -238,17 +318,36 @@ impl Simulator {
                 let (id, sigma) = wakes[next_wake];
                 let mut station = protocol.station(id, derive_seed(run_seed, u64::from(id.0)));
                 station.wake(sigma);
+                if sparse {
+                    match station.next_transmission(t) {
+                        TxHint::Dense => {
+                            sparse = false;
+                            heap.clear();
+                        }
+                        TxHint::At(slot) => heap.push(Reverse((slot.max(t), awake.len()))),
+                        TxHint::Never => {}
+                    }
+                }
                 awake.push((id, station, 0));
                 next_wake += 1;
             }
 
-            // Fast-forward: if nobody is awake, jump to the next wake-up.
-            // (Cannot happen before the first success since `s` is the first
-            // wake and stations stay awake, but keep the engine total.)
+            // Fast-forward: if nobody is awake, jump to the next wake-up —
+            // but never past the slot cap. (Cannot happen before the first
+            // success since `s` is the first wake and stations stay awake,
+            // but keep the engine total.)
             if awake.is_empty() {
                 match wakes.get(next_wake) {
                     Some(&(_, sigma)) => {
-                        slots_simulated += sigma - t;
+                        let gap = sigma - t;
+                        let remaining = self.cfg.max_slots - slots_simulated;
+                        if gap >= remaining {
+                            slots_simulated += remaining;
+                            skipped_slots += remaining;
+                            break 'slots;
+                        }
+                        slots_simulated += gap;
+                        skipped_slots += gap;
                         t = sigma;
                         continue 'slots;
                     }
@@ -256,10 +355,116 @@ impl Simulator {
                 }
             }
 
-            // Poll every awake station.
+            if sparse {
+                // Next event: the earliest hinted transmission or arrival.
+                let next_tx = heap.peek().map(|&Reverse((slot, _))| slot);
+                let next_arrival = wakes.get(next_wake).map(|&(_, sigma)| sigma);
+                let event = match (next_tx, next_arrival) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => {
+                        // Every awake station reported Never and nobody else
+                        // wakes: the rest of the run is provably silent.
+                        let remaining = self.cfg.max_slots - slots_simulated;
+                        record_silence(&mut transcript, t, remaining);
+                        slots_simulated += remaining;
+                        silent_slots += remaining;
+                        skipped_slots += remaining;
+                        break 'slots;
+                    }
+                };
+                debug_assert!(event >= t, "event {event} behind clock {t}");
+                if event > t {
+                    // Skip the provably silent gap [t, event), respecting
+                    // the cap.
+                    let gap = event - t;
+                    let remaining = self.cfg.max_slots - slots_simulated;
+                    let take = gap.min(remaining);
+                    record_silence(&mut transcript, t, take);
+                    slots_simulated += take;
+                    silent_slots += take;
+                    skipped_slots += take;
+                    t += take;
+                    continue 'slots; // re-checks the cap / wakes arrivals
+                }
+
+                // Transmission event at t: poll exactly the scheduled
+                // stations (everyone else is silent by promise).
+                transmitters.clear();
+                transmitted_flags.clear();
+                polled.clear();
+                while let Some(&Reverse((slot, idx))) = heap.peek() {
+                    if slot != t {
+                        break;
+                    }
+                    heap.pop();
+                    polled.push(idx);
+                }
+                for &idx in &polled {
+                    let (id, station, tx_count) = &mut awake[idx];
+                    polls += 1;
+                    let transmit = station.act(t).is_transmit();
+                    transmitted_flags.push(transmit);
+                    if transmit {
+                        transmitters.push(*id);
+                        *tx_count += 1;
+                        transmissions += 1;
+                    }
+                }
+                transmitters.sort_unstable();
+                let outcome = SlotOutcome::resolve(transmitters.clone());
+
+                if let Some(tr) = transcript.as_mut() {
+                    tr.push(SlotRecord {
+                        slot: t,
+                        transmitters: transmitters.clone(),
+                        outcome: outcome.clone(),
+                    });
+                }
+
+                slots_simulated += 1;
+                match &outcome {
+                    SlotOutcome::Success(w) => {
+                        first_success = Some(t);
+                        winner = Some(*w);
+                        resolved.push((*w, t));
+                        break 'slots; // sparse implies StopRule::FirstSuccess
+                    }
+                    SlotOutcome::Collision(_) => collisions += 1,
+                    SlotOutcome::Silence => silent_slots += 1,
+                }
+
+                // Feedback to the polled stations (hint-giving stations are
+                // oblivious by contract; unpolled stations hear nothing they
+                // could act on).
+                for (&idx, &transmitted) in polled.iter().zip(transmitted_flags.iter()) {
+                    let fb = self.cfg.feedback.perceive(&outcome, transmitted);
+                    awake[idx].1.feedback(t, fb);
+                }
+
+                // Re-arm the polled stations' hints.
+                for &idx in &polled {
+                    match awake[idx].1.next_transmission(t + 1) {
+                        TxHint::Dense => {
+                            sparse = false;
+                            heap.clear();
+                            break;
+                        }
+                        TxHint::At(slot) => heap.push(Reverse((slot.max(t + 1), idx))),
+                        TxHint::Never => {}
+                    }
+                }
+
+                t += 1;
+                continue 'slots;
+            }
+
+            // Dense path: poll every awake station.
             transmitters.clear();
             transmitted_flags.clear();
             for (id, station, tx_count) in awake.iter_mut() {
+                polls += 1;
                 let transmit = station.act(t).is_transmit();
                 transmitted_flags.push(transmit);
                 if transmit {
@@ -312,9 +517,7 @@ impl Simulator {
             }
 
             // Deliver feedback to every awake station.
-            for ((_, station, _), &transmitted) in
-                awake.iter_mut().zip(transmitted_flags.iter())
-            {
+            for ((_, station, _), &transmitted) in awake.iter_mut().zip(transmitted_flags.iter()) {
                 let fb = self.cfg.feedback.perceive(&outcome, transmitted);
                 station.feedback(t, fb);
             }
@@ -331,6 +534,8 @@ impl Simulator {
             per_station_tx: awake.iter().map(|(id, _, tx)| (*id, *tx)).collect(),
             collisions,
             silent_slots,
+            polls,
+            skipped_slots,
             transcript,
             resolved,
             all_resolved_at,
@@ -341,7 +546,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::station::{Action, AlwaysTransmit, FnProtocol, NeverTransmit};
+    use crate::station::{Action, AlwaysTransmit, FnProtocol, NeverTransmit, TxHint};
 
     struct ConstProtocol<S: Station + Clone + 'static>(S);
     impl<S: Station + Clone + 'static> Protocol for ConstProtocol<S> {
@@ -417,7 +622,9 @@ mod tests {
     fn run_stops_exactly_at_first_success() {
         // Round-robin over 4 stations: stations 1 and 2 wake at slot 0;
         // slot 1 belongs to station 1 ⇒ success at slot 1, latency 1.
-        let p = FnProtocol::new("rr4", |id: StationId, _s, _sig, t: Slot| t % 4 == id.0 as u64);
+        let p = FnProtocol::new("rr4", |id: StationId, _s, _sig, t: Slot| {
+            t % 4 == id.0 as u64
+        });
         let cfg = SimConfig::new(4).with_max_slots(50).with_transcript();
         let pattern = WakePattern::simultaneous(&ids(&[1, 2]), 0).unwrap();
         let out = Simulator::new(cfg).run(&p, &pattern, 0).unwrap();
@@ -457,7 +664,9 @@ mod tests {
 
     #[test]
     fn latency_is_measured_from_s_not_zero() {
-        let p = FnProtocol::new("rr8", |id: StationId, _s, _sig, t: Slot| t % 8 == id.0 as u64);
+        let p = FnProtocol::new("rr8", |id: StationId, _s, _sig, t: Slot| {
+            t % 8 == id.0 as u64
+        });
         let cfg = SimConfig::new(8).with_max_slots(100);
         // Station 2 wakes at slot 11; its turn comes at t=18 (18 % 8 == 2).
         let pattern = WakePattern::simultaneous(&ids(&[2]), 11).unwrap();
@@ -478,7 +687,10 @@ mod tests {
         let pattern = WakePattern::simultaneous(&ids(&[0, 1]), 0).unwrap();
         let out = Simulator::new(cfg).run(&p, &pattern, 0).unwrap();
         assert_eq!(out.first_success, Some(0));
-        assert_eq!(out.per_station_tx, vec![(StationId(0), 1), (StationId(1), 0)]);
+        assert_eq!(
+            out.per_station_tx,
+            vec![(StationId(0), 1), (StationId(1), 0)]
+        );
     }
 
     #[test]
@@ -609,7 +821,9 @@ mod tests {
         let n = 8u32;
         let cfg = SimConfig::new(n).until_all_resolved().with_transcript();
         let pattern = WakePattern::simultaneous(&ids(&[1, 4, 6]), 0).unwrap();
-        let out = Simulator::new(cfg).run(&RetiringRr { n }, &pattern, 0).unwrap();
+        let out = Simulator::new(cfg)
+            .run(&RetiringRr { n }, &pattern, 0)
+            .unwrap();
         // First success at slot 1 (station 1), but the run continues.
         assert_eq!(out.first_success, Some(1));
         assert_eq!(out.winner, Some(StationId(1)));
@@ -619,11 +833,7 @@ mod tests {
         // Resolution order follows the turns: 1, 4, 6.
         assert_eq!(
             out.resolved,
-            vec![
-                (StationId(1), 1),
-                (StationId(4), 4),
-                (StationId(6), 6)
-            ]
+            vec![(StationId(1), 1), (StationId(4), 4), (StationId(6), 6)]
         );
         let tr = out.transcript.unwrap();
         assert!(tr.check_invariants_multi_success().is_empty());
@@ -635,9 +845,10 @@ mod tests {
         let n = 8u32;
         let cfg = SimConfig::new(n).until_all_resolved();
         // Station 2 wakes long after station 1 resolved.
-        let pattern =
-            WakePattern::new(vec![(StationId(1), 0), (StationId(2), 20)]).unwrap();
-        let out = Simulator::new(cfg).run(&RetiringRr { n }, &pattern, 0).unwrap();
+        let pattern = WakePattern::new(vec![(StationId(1), 0), (StationId(2), 20)]).unwrap();
+        let out = Simulator::new(cfg)
+            .run(&RetiringRr { n }, &pattern, 0)
+            .unwrap();
         assert_eq!(out.resolved.len(), 2);
         // Station 2's first turn at/after slot 20 is slot 26 (26 % 8 == 2).
         assert_eq!(out.all_resolved_at, Some(26));
@@ -656,6 +867,207 @@ mod tests {
         assert!(out.all_resolved_at.is_none());
         assert!(out.resolved.is_empty());
         assert_eq!(out.slots_simulated, 100);
+    }
+
+    // -----------------------------------------------------------------
+    // Sparse slot-skipping path.
+    // -----------------------------------------------------------------
+
+    /// A station that transmits every `period` slots starting at `phase`,
+    /// and (optionally) advertises that schedule through `next_transmission`.
+    struct Pulse {
+        period: u64,
+        phase: u64,
+        hinted: bool,
+    }
+    struct PulseStation {
+        period: u64,
+        phase: u64,
+        hinted: bool,
+    }
+    impl Station for PulseStation {
+        fn wake(&mut self, _s: Slot) {}
+        fn act(&mut self, t: Slot) -> Action {
+            Action::from_bool(t % self.period == self.phase)
+        }
+        fn next_transmission(&mut self, after: Slot) -> TxHint {
+            if !self.hinted {
+                return TxHint::Dense;
+            }
+            let r = after % self.period;
+            let next = if r <= self.phase {
+                after + (self.phase - r)
+            } else {
+                after + (self.period - r) + self.phase
+            };
+            TxHint::At(next)
+        }
+    }
+    impl Protocol for Pulse {
+        fn station(&self, _id: StationId, _seed: u64) -> Box<dyn Station> {
+            Box::new(PulseStation {
+                period: self.period,
+                phase: self.phase,
+                hinted: self.hinted,
+            })
+        }
+        fn name(&self) -> String {
+            "pulse".into()
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_and_sparse_skips() {
+        // One station pulsing every 997 slots: the sparse engine should jump
+        // straight to the pulse while the dense engine polls every slot.
+        let p = Pulse {
+            period: 997,
+            phase: 500,
+            hinted: true,
+        };
+        let pattern = WakePattern::simultaneous(&ids(&[3]), 7).unwrap();
+        let auto = Simulator::new(SimConfig::new(8).with_transcript())
+            .run(&p, &pattern, 0)
+            .unwrap();
+        let dense = Simulator::new(
+            SimConfig::new(8)
+                .with_transcript()
+                .with_engine(EngineMode::Dense),
+        )
+        .run(&p, &pattern, 0)
+        .unwrap();
+        assert_eq!(auto.first_success, Some(500));
+        assert_eq!(auto.first_success, dense.first_success);
+        assert_eq!(auto.winner, dense.winner);
+        assert_eq!(auto.slots_simulated, dense.slots_simulated);
+        assert_eq!(auto.silent_slots, dense.silent_slots);
+        assert_eq!(auto.transmissions, dense.transmissions);
+        assert_eq!(auto.transcript, dense.transcript);
+        // Work accounting: dense polled each of the 494 slots, sparse once.
+        assert_eq!(dense.polls, dense.slots_simulated);
+        assert_eq!(dense.skipped_slots, 0);
+        assert_eq!(auto.polls, 1);
+        assert_eq!(auto.skipped_slots, auto.slots_simulated - 1);
+    }
+
+    #[test]
+    fn unhinted_station_forces_dense_path() {
+        let p = Pulse {
+            period: 13,
+            phase: 4,
+            hinted: false,
+        };
+        let pattern = WakePattern::simultaneous(&ids(&[0]), 0).unwrap();
+        let out = Simulator::new(SimConfig::new(4))
+            .run(&p, &pattern, 0)
+            .unwrap();
+        assert_eq!(out.first_success, Some(4));
+        assert_eq!(out.skipped_slots, 0);
+        assert_eq!(out.polls, out.slots_simulated);
+    }
+
+    #[test]
+    fn sparse_skip_to_hinted_slot_respects_max_slots() {
+        // The station's next pulse lies far beyond the cap: the engine must
+        // stop exactly at the cap, not overshoot it while skipping.
+        let p = Pulse {
+            period: 1_000_000,
+            phase: 999_999,
+            hinted: true,
+        };
+        let pattern = WakePattern::simultaneous(&ids(&[1]), 0).unwrap();
+        let out = Simulator::new(SimConfig::new(4).with_max_slots(75))
+            .run(&p, &pattern, 0)
+            .unwrap();
+        assert!(!out.solved());
+        assert_eq!(out.slots_simulated, 75);
+        assert_eq!(out.silent_slots, 75);
+        assert_eq!(out.skipped_slots, 75);
+        assert_eq!(out.polls, 0);
+    }
+
+    #[test]
+    fn sparse_skip_to_next_wake_respects_max_slots() {
+        // Regression for the fast-forward overshoot: a silent early station
+        // plus an arrival far past the cap must not push slots_simulated
+        // beyond max_slots.
+        let pattern = WakePattern::new(vec![(StationId(0), 0), (StationId(1), 10_000)]).unwrap();
+        let out = Simulator::new(SimConfig::new(4).with_max_slots(50))
+            .run(&ConstProtocol(NeverTransmit), &pattern, 0)
+            .unwrap();
+        assert!(!out.solved());
+        assert_eq!(out.slots_simulated, 50);
+        assert_eq!(out.silent_slots, 50);
+        // Dense reference: identical outcome, maximal polling.
+        let dense = Simulator::new(
+            SimConfig::new(4)
+                .with_max_slots(50)
+                .with_engine(EngineMode::Dense),
+        )
+        .run(&ConstProtocol(NeverTransmit), &pattern, 0)
+        .unwrap();
+        assert_eq!(dense.slots_simulated, 50);
+        assert_eq!(dense.silent_slots, 50);
+        assert_eq!(dense.polls, 50);
+        assert_eq!(out.polls, 0);
+    }
+
+    #[test]
+    fn never_hints_fast_forward_to_cap() {
+        // All-listener runs collapse to a single bulk skip.
+        let pattern = WakePattern::simultaneous(&ids(&[0, 3]), 5).unwrap();
+        let out = Simulator::new(SimConfig::new(4).with_max_slots(1_000_000))
+            .run(&ConstProtocol(NeverTransmit), &pattern, 0)
+            .unwrap();
+        assert_eq!(out.silent_slots, 1_000_000);
+        assert_eq!(out.skipped_slots, 1_000_000);
+        assert_eq!(out.polls, 0);
+    }
+
+    #[test]
+    fn sparse_transcript_is_contiguous_and_valid() {
+        let p = Pulse {
+            period: 37,
+            phase: 11,
+            hinted: true,
+        };
+        let pattern = WakePattern::simultaneous(&ids(&[2]), 3).unwrap();
+        let out = Simulator::new(SimConfig::new(4).with_transcript())
+            .run(&p, &pattern, 0)
+            .unwrap();
+        let tr = out.transcript.unwrap();
+        assert!(tr.check_invariants().is_empty());
+        assert_eq!(tr.records().first().unwrap().slot, 3);
+        assert_eq!(tr.records().last().unwrap().slot, 11);
+    }
+
+    #[test]
+    fn late_sparse_arrivals_are_woken_exactly_on_time() {
+        // Two pulse stations with different phases and a late waker: the
+        // sparse engine must wake the second station at its sigma (not skip
+        // past it) so its first pulse is on schedule.
+        struct TwoPhase;
+        impl Protocol for TwoPhase {
+            fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
+                Box::new(PulseStation {
+                    period: 100,
+                    phase: u64::from(id.0) * 50,
+                    hinted: true,
+                })
+            }
+            fn name(&self) -> String {
+                "two-phase".into()
+            }
+        }
+        // Station 1 (phase 50) wakes at 40; station 0 (phase 0) wakes at 0
+        // but its pulses at 0, 100, … collide with nobody, so slot 0 wins.
+        let pattern = WakePattern::new(vec![(StationId(0), 1), (StationId(1), 40)]).unwrap();
+        let out = Simulator::new(SimConfig::new(4))
+            .run(&TwoPhase, &pattern, 0)
+            .unwrap();
+        // Station 1's first pulse at 50 vs station 0's next pulse at 100.
+        assert_eq!(out.first_success, Some(50));
+        assert_eq!(out.winner, Some(StationId(1)));
     }
 
     #[test]

@@ -85,20 +85,20 @@ pub mod station;
 pub mod trace;
 
 pub use channel::{Feedback, FeedbackModel, SlotOutcome};
-pub use engine::{Outcome, SimConfig, SimError, Simulator};
+pub use engine::{EngineMode, Outcome, SimConfig, SimError, Simulator};
 pub use ids::{Slot, StationId};
 pub use pattern::WakePattern;
-pub use station::{Action, Protocol, Station};
+pub use station::{Action, Protocol, Station, TxHint};
 pub use trace::Transcript;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::adversary::SpoilerSearch;
     pub use crate::channel::{Feedback, FeedbackModel, SlotOutcome};
-    pub use crate::engine::{Outcome, SimConfig, SimError, Simulator};
+    pub use crate::engine::{EngineMode, Outcome, SimConfig, SimError, Simulator};
     pub use crate::ids::{Slot, StationId};
     pub use crate::metrics::{EnergyStats, LatencySample};
     pub use crate::pattern::{IdChoice, WakePattern};
-    pub use crate::station::{Action, Protocol, Station};
+    pub use crate::station::{Action, Protocol, Station, TxHint};
     pub use crate::trace::Transcript;
 }

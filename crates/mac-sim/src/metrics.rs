@@ -110,8 +110,13 @@ mod tests {
             per_station_tx: vec![(StationId(0), tx)],
             collisions,
             silent_slots: slots - collisions,
+            polls: slots,
+            skipped_slots: 0,
             transcript: None,
-            resolved: latency.map(|l| (StationId(0), 10 + l)).into_iter().collect(),
+            resolved: latency
+                .map(|l| (StationId(0), 10 + l))
+                .into_iter()
+                .collect(),
             all_resolved_at: None,
         }
     }

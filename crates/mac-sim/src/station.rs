@@ -15,6 +15,24 @@
 use crate::channel::Feedback;
 use crate::ids::{Slot, StationId};
 
+/// A station's answer to "when will you transmit next?" — the contract that
+/// lets the engine skip provably silent slots (the sparse engine path).
+///
+/// See [`Station::next_transmission`] for the exact obligations a station
+/// takes on by returning [`TxHint::At`] or [`TxHint::Never`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxHint {
+    /// No hint: poll me every slot (the default). Feedback-dependent
+    /// (adaptive) and randomized stations must return this.
+    Dense,
+    /// The station's next transmission is at exactly this slot; it is
+    /// guaranteed silent at every slot in `[after, slot)`.
+    At(Slot),
+    /// The station will never transmit at any slot `≥ after` (e.g. it has
+    /// finished its schedule, or it never participates).
+    Never,
+}
+
 /// A station's decision for one slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Action {
@@ -66,6 +84,37 @@ pub trait Station {
     fn feedback(&mut self, t: Slot, fb: Feedback) {
         let _ = (t, fb);
     }
+
+    /// When will this station transmit next, looking from slot `after`
+    /// (inclusive)? The engine uses the answer to *skip* slots in which no
+    /// station transmits, turning per-slot polling into per-event work.
+    ///
+    /// Returning anything other than [`TxHint::Dense`] is a **promise**:
+    ///
+    /// * [`TxHint::At(t)`](TxHint::At) — `act` would return
+    ///   [`Action::Transmit`] at slot `t` and [`Action::Listen`] at every
+    ///   slot in `[after, t)`, **regardless of channel feedback** in between;
+    /// * [`TxHint::Never`] — `act` would return [`Action::Listen`] at every
+    ///   slot `≥ after`, regardless of feedback.
+    ///
+    /// Stations that give hints must therefore be *oblivious* (their schedule
+    /// is a pure function of `(id, σ, t)` and protocol parameters) and must
+    /// tolerate `act` **not** being called on slots where they listen — the
+    /// sparse engine only polls a station at its hinted slots. Stateful
+    /// schedule walks (row/epoch cursors) remain fine as long as `act(t)`
+    /// handles arbitrary forward jumps of `t`.
+    ///
+    /// The engine re-queries the hint after every polled slot, with
+    /// `after = t + 1`, so `&mut self` may be used to cache scan cursors.
+    /// If **any** awake station answers [`TxHint::Dense`], the whole run
+    /// falls back to dense per-slot polling (correctness first).
+    ///
+    /// The default is [`TxHint::Dense`], which preserves exact historical
+    /// behaviour for every existing station.
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        let _ = after;
+        TxHint::Dense
+    }
 }
 
 /// A factory for per-station behaviour: "a collection of `n` transmission
@@ -115,6 +164,9 @@ impl Station for AlwaysTransmit {
     fn act(&mut self, _t: Slot) -> Action {
         Action::Transmit
     }
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        TxHint::At(after)
+    }
 }
 
 /// A station that never transmits (pure listener).
@@ -125,6 +177,9 @@ impl Station for NeverTransmit {
     fn wake(&mut self, _sigma: Slot) {}
     fn act(&mut self, _t: Slot) -> Action {
         Action::Listen
+    }
+    fn next_transmission(&mut self, _after: Slot) -> TxHint {
+        TxHint::Never
     }
 }
 

@@ -133,10 +133,7 @@ impl Transcript {
             if expected != r.outcome {
                 violations.push(InvariantViolation::OutcomeMismatch { slot: r.slot });
             }
-            if success_must_be_terminal
-                && r.outcome.is_success()
-                && i + 1 != self.records.len()
-            {
+            if success_must_be_terminal && r.outcome.is_success() && i + 1 != self.records.len() {
                 violations.push(InvariantViolation::SuccessNotTerminal { slot: r.slot });
             }
         }

@@ -56,14 +56,22 @@ impl BitSet {
     /// Insert `x`. Panics if `x` is outside the universe.
     #[inline]
     pub fn insert(&mut self, x: u32) {
-        assert!(x < self.universe, "BitSet: {x} outside universe {}", self.universe);
+        assert!(
+            x < self.universe,
+            "BitSet: {x} outside universe {}",
+            self.universe
+        );
         self.words[(x / 64) as usize] |= 1u64 << (x % 64);
     }
 
     /// Remove `x` (no-op if absent). Panics if `x` is outside the universe.
     #[inline]
     pub fn remove(&mut self, x: u32) {
-        assert!(x < self.universe, "BitSet: {x} outside universe {}", self.universe);
+        assert!(
+            x < self.universe,
+            "BitSet: {x} outside universe {}",
+            self.universe
+        );
         self.words[(x / 64) as usize] &= !(1u64 << (x % 64));
     }
 
@@ -114,6 +122,30 @@ impl BitSet {
             }
         }
         found
+    }
+
+    /// The smallest member `≥ from`, or `None` — a word-scan successor
+    /// query over station IDs. Note this is the *ID* axis (who is in this
+    /// one set), the complement of the schedule-level
+    /// [`next_one`](crate::Schedule::next_one), which searches the
+    /// *position* axis (when does one station transmit).
+    pub fn next_member(&self, from: u32) -> Option<u32> {
+        if from >= self.universe {
+            return None;
+        }
+        let mut w = (from / 64) as usize;
+        // Mask off bits below `from` in the first word.
+        let mut word = self.words[w] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                return Some((w as u32) * 64 + word.trailing_zeros());
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
     }
 
     /// Iterate over members in increasing order.
@@ -230,5 +262,25 @@ mod tests {
     fn from_iter_members_dedups() {
         let s = BitSet::from_iter_members(10, [3, 3, 3]);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn next_member_scans_across_words() {
+        let members = [0u32, 1, 63, 64, 65, 127, 200];
+        let s = BitSet::from_iter_members(201, members);
+        assert_eq!(s.next_member(0), Some(0));
+        assert_eq!(s.next_member(2), Some(63));
+        assert_eq!(s.next_member(63), Some(63));
+        assert_eq!(s.next_member(66), Some(127));
+        assert_eq!(s.next_member(128), Some(200));
+        assert_eq!(s.next_member(200), Some(200));
+        assert_eq!(s.next_member(201), None);
+        assert_eq!(s.next_member(5000), None);
+        // Exhaustive agreement with the naive definition.
+        for from in 0..=201u32 {
+            let naive = members.iter().copied().find(|&m| m >= from);
+            assert_eq!(s.next_member(from), naive, "from={from}");
+        }
+        assert_eq!(BitSet::new(100).next_member(0), None);
     }
 }

@@ -39,7 +39,10 @@ impl GreedyBuilder {
     /// A builder for an exact `(n,k)`-selective family. Panics if `n > 26`
     /// (the requirement enumeration would be infeasible).
     pub fn new(n: u32, k: u32) -> Self {
-        assert!((1..=26).contains(&n), "GreedyBuilder is for n ≤ 26, got {n}");
+        assert!(
+            (1..=26).contains(&n),
+            "GreedyBuilder is for n ≤ 26, got {n}"
+        );
         assert!((1..=n).contains(&k), "k={k} outside 1..={n}");
         GreedyBuilder {
             n,

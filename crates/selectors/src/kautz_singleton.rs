@@ -53,7 +53,7 @@ impl KautzSingleton {
         assert!(n >= 1, "n must be ≥ 1");
         assert!((1..=n).contains(&k), "k={k} outside 1..={n}");
         let mut best: Option<(u32, u32)> = None; // (q, m)
-        // m = 1 requires q ≥ n; larger m trades field size for degree.
+                                                 // m = 1 requires q ≥ n; larger m trades field size for degree.
         for m in 1..=32u32 {
             // Need q^m ≥ n and q ≥ k(m-1)+1 (strict collision-count bound).
             let q_floor_size = int_root_ceil(u64::from(n), m);

@@ -67,7 +67,7 @@ pub mod verify;
 pub use bitset::BitSet;
 pub use family::SelectiveFamily;
 pub use random::RandomFamilyBuilder;
-pub use schedule::{Schedule, ScheduleExt};
+pub use schedule::{NextOne, Schedule, ScheduleExt};
 
 /// Convenient glob import.
 pub mod prelude {
@@ -78,7 +78,8 @@ pub mod prelude {
     pub use crate::kautz_singleton::KautzSingleton;
     pub use crate::random::{OracleFamily, RandomFamilyBuilder};
     pub use crate::schedule::{
-        ConcatSchedule, CycleSchedule, FamilySchedule, InterleaveSchedule, Schedule, ScheduleExt,
+        ConcatSchedule, CycleSchedule, FamilySchedule, InterleaveSchedule, NextOne, Schedule,
+        ScheduleExt,
     };
     pub use crate::verify;
 }

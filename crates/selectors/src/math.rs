@@ -36,6 +36,22 @@ pub fn log_log_n(n: u64) -> u32 {
     ceil_log2(u64::from(log_n(n)).max(2)).max(2)
 }
 
+/// The smallest `x ≥ from` with `x ≡ residue (mod modulus)` — the O(1)
+/// "when is this station's next round-robin turn?" primitive shared by the
+/// round-robin schedules and the interleaved protocols' sparse hints.
+///
+/// Requires `residue < modulus`.
+#[inline]
+pub fn next_congruent(from: u64, residue: u64, modulus: u64) -> u64 {
+    debug_assert!(residue < modulus, "residue {residue} ≥ modulus {modulus}");
+    let r = from % modulus;
+    if r <= residue {
+        from + (residue - r)
+    } else {
+        from + (modulus - r) + residue
+    }
+}
+
 /// Deterministic primality test by trial division (sufficient for the sizes
 /// used by Kautz–Singleton parameters, which are at most a few thousand).
 pub fn is_prime(x: u64) -> bool {
@@ -140,6 +156,22 @@ pub fn choose(n: u64, k: u64) -> u128 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn next_congruent_agrees_with_naive_scan() {
+        for modulus in [1u64, 2, 3, 7, 16] {
+            for residue in 0..modulus {
+                for from in 0..60u64 {
+                    let naive = (from..).find(|x| x % modulus == residue).unwrap();
+                    assert_eq!(
+                        next_congruent(from, residue, modulus),
+                        naive,
+                        "from={from} residue={residue} modulus={modulus}"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn ceil_log2_values() {

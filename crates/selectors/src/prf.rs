@@ -97,12 +97,10 @@ mod tests {
         // Empirical density over many evaluations must track 2^{-d}.
         for d in [1u32, 2, 3, 5] {
             let trials = 200_000u64;
-            let hits = (0..trials)
-                .filter(|&i| coin_pow2(42, i, 7, 13, d))
-                .count() as f64;
+            let hits = (0..trials).filter(|&i| coin_pow2(42, i, 7, 13, d)).count() as f64;
             let expected = trials as f64 / f64::from(1u32 << d);
-            let sd = (trials as f64 * 2f64.powi(-(d as i32)) * (1.0 - 2f64.powi(-(d as i32))))
-                .sqrt();
+            let sd =
+                (trials as f64 * 2f64.powi(-(d as i32)) * (1.0 - 2f64.powi(-(d as i32)))).sqrt();
             assert!(
                 (hits - expected).abs() < 6.0 * sd,
                 "d={d}: {hits} hits vs expected {expected} (sd {sd})"

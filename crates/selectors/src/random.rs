@@ -292,8 +292,8 @@ mod tests {
     fn set_density_is_about_one_over_k() {
         let (n, k) = (512u32, 8u32);
         let fam = RandomFamilyBuilder::new(n, k).seed(13).build_explicit();
-        let mean_size: f64 = fam.sets().iter().map(|s| f64::from(s.len())).sum::<f64>()
-            / fam.len() as f64;
+        let mean_size: f64 =
+            fam.sets().iter().map(|s| f64::from(s.len())).sum::<f64>() / fam.len() as f64;
         let expected = f64::from(n) / f64::from(k);
         assert!(
             (mean_size - expected).abs() < expected * 0.2,

@@ -28,14 +28,16 @@ fn main() {
         (
             "wakeup_with_k (deterministic)",
             Box::new(move |seed| -> Box<dyn Protocol> {
-                Box::new(WakeupWithK::new(n, k, FamilyProvider::random_with_seed(seed)))
+                Box::new(WakeupWithK::new(
+                    n,
+                    k,
+                    FamilyProvider::random_with_seed(seed),
+                ))
             }),
         ),
         (
             "binary exponential backoff",
-            Box::new(move |_| -> Box<dyn Protocol> {
-                Box::new(BinaryExponentialBackoff::new(n))
-            }),
+            Box::new(move |_| -> Box<dyn Protocol> { Box::new(BinaryExponentialBackoff::new(n)) }),
         ),
         (
             "slotted ALOHA p=1/k",

@@ -67,6 +67,9 @@ fn main() {
         "\nwakeup(n) on this pattern: winner {} at latency {} (Theorem 5.3 horizon: {})",
         out.winner.unwrap(),
         out.latency().unwrap(),
-        2 * u64::from(matrix.c()) * pattern.k() as u64 * u64::from(matrix.rows()) * u64::from(matrix.window()),
+        2 * u64::from(matrix.c())
+            * pattern.k() as u64
+            * u64::from(matrix.rows())
+            * u64::from(matrix.window()),
     );
 }

@@ -35,7 +35,10 @@ fn main() {
 
     println!("\nFor comparison, two classical baselines on the same instance:");
     for (name, protocol) in [
-        ("round-robin", Box::new(RoundRobin::new(n)) as Box<dyn Protocol>),
+        (
+            "round-robin",
+            Box::new(RoundRobin::new(n)) as Box<dyn Protocol>,
+        ),
         ("RPD (randomized)", Box::new(Rpd::new(n))),
     ] {
         let outcome = sim.run(&protocol, &pattern, 0).unwrap();

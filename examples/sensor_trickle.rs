@@ -48,10 +48,7 @@ fn main() {
             format!("{:.1}", s.mean),
             format!("{:.0}", s.p90),
             format!("{:.0}", s.max),
-            format!(
-                "{:.2}",
-                res.energy.mean_transmissions() / k as f64
-            ),
+            format!("{:.2}", res.energy.mean_transmissions() / k as f64),
         ]);
     }
     table.print();
@@ -64,7 +61,11 @@ fn main() {
     println!("  wake times: {:?}", pattern.wakes());
     let cfg = SimConfig::new(n).with_transcript();
     let out = Simulator::new(cfg)
-        .run(&WakeupN::new(MatrixParams::new(n).with_seed(7)), &pattern, 7)
+        .run(
+            &WakeupN::new(MatrixParams::new(n).with_seed(7)),
+            &pattern,
+            7,
+        )
         .unwrap();
     let tr = out.transcript.as_ref().unwrap();
     println!(

@@ -114,7 +114,11 @@ fn deterministic_algorithms_respect_their_envelopes() {
             assert!(rr.latency().unwrap() < u64::from(N));
 
             let a = sim
-                .run(&WakeupWithS::new(N, s, FamilyProvider::default()), &burst, seed)
+                .run(
+                    &WakeupWithS::new(N, s, FamilyProvider::default()),
+                    &burst,
+                    seed,
+                )
                 .unwrap();
             assert!(a.latency().unwrap() <= 2 * u64::from(N));
 

@@ -13,15 +13,10 @@ fn wake_pattern() -> impl Strategy<Value = WakePattern> {
     btree_set(0..N, 1..=8usize).prop_flat_map(|ids| {
         let ids: Vec<u32> = ids.into_iter().collect();
         let len = ids.len();
-        (Just(ids), proptest::collection::vec(0u64..200, len))
-            .prop_map(|(ids, times)| {
-                let wakes: Vec<(StationId, u64)> = ids
-                    .into_iter()
-                    .map(StationId)
-                    .zip(times)
-                    .collect();
-                WakePattern::new(wakes).expect("distinct ids")
-            })
+        (Just(ids), proptest::collection::vec(0u64..200, len)).prop_map(|(ids, times)| {
+            let wakes: Vec<(StationId, u64)> = ids.into_iter().map(StationId).zip(times).collect();
+            WakePattern::new(wakes).expect("distinct ids")
+        })
     })
 }
 

@@ -1,0 +1,192 @@
+//! The sparse slot-skipping engine must be **observationally identical** to
+//! dense per-slot polling: same `Outcome` (winner, latency, transmission /
+//! collision / silence accounting, per-station counts) and same transcript,
+//! across protocols × wake patterns × seeds. Only the work counters
+//! (`polls`, `skipped_slots`) may differ between the two paths.
+
+use mac_wakeup::prelude::*;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Run `protocol` on both engine paths and assert identical observables.
+fn assert_equivalent(
+    n: u32,
+    protocol: &dyn Protocol,
+    pattern: &WakePattern,
+    run_seed: u64,
+    max_slots: Option<u64>,
+) {
+    let mut cfg = SimConfig::new(n).with_transcript();
+    if let Some(cap) = max_slots {
+        cfg = cfg.with_max_slots(cap);
+    }
+    let auto = Simulator::new(cfg.clone())
+        .run(protocol, pattern, run_seed)
+        .unwrap();
+    let dense = Simulator::new(cfg.with_engine(EngineMode::Dense))
+        .run(protocol, pattern, run_seed)
+        .unwrap();
+
+    let ctx = format!(
+        "protocol={} pattern={:?} seed={run_seed} cap={max_slots:?}",
+        protocol.name(),
+        pattern.wakes()
+    );
+    assert_eq!(auto.s, dense.s, "s: {ctx}");
+    assert_eq!(
+        auto.first_success, dense.first_success,
+        "first_success: {ctx}"
+    );
+    assert_eq!(auto.winner, dense.winner, "winner: {ctx}");
+    assert_eq!(auto.latency(), dense.latency(), "latency: {ctx}");
+    assert_eq!(
+        auto.slots_simulated, dense.slots_simulated,
+        "slots_simulated: {ctx}"
+    );
+    assert_eq!(
+        auto.transmissions, dense.transmissions,
+        "transmissions: {ctx}"
+    );
+    assert_eq!(
+        auto.per_station_tx, dense.per_station_tx,
+        "per_station_tx: {ctx}"
+    );
+    assert_eq!(auto.collisions, dense.collisions, "collisions: {ctx}");
+    assert_eq!(auto.silent_slots, dense.silent_slots, "silent_slots: {ctx}");
+    assert_eq!(auto.resolved, dense.resolved, "resolved: {ctx}");
+    assert_eq!(
+        auto.all_resolved_at, dense.all_resolved_at,
+        "all_resolved_at: {ctx}"
+    );
+    assert_eq!(auto.transcript, dense.transcript, "transcript: {ctx}");
+    // The dense reference path never skips and never polls less than auto.
+    assert_eq!(dense.skipped_slots, 0, "dense skipped: {ctx}");
+    assert!(
+        auto.polls <= dense.polls,
+        "auto polls {} > dense polls {}: {ctx}",
+        auto.polls,
+        dense.polls
+    );
+}
+
+/// The deterministic protocol zoo exercised by every equivalence case.
+fn protocols(n: u32, pattern: &WakePattern, seed: u64) -> Vec<Box<dyn Protocol>> {
+    vec![
+        Box::new(RoundRobin::new(n)),
+        Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+        Box::new(WakeupWithS::new(
+            n,
+            pattern.s(),
+            FamilyProvider::random_with_seed(seed),
+        )),
+        Box::new(WakeupWithK::new(
+            n,
+            pattern.k() as u32,
+            FamilyProvider::random_with_seed(seed),
+        )),
+        Box::new(SelectAmongFirst::new(
+            n,
+            pattern.s(),
+            FamilyProvider::random_with_seed(seed),
+        )),
+        Box::new(WaitAndGo::new(
+            n,
+            pattern.k() as u32,
+            FamilyProvider::default(),
+        )),
+        Box::new(LocalDoubling::new(n).with_seed(seed)),
+        Box::new(EnergyCapped::new(RoundRobin::new(n), 1)),
+        // Randomized: hints are declined, so Auto must silently equal Dense.
+        Box::new(Rpd::new(n)),
+    ]
+}
+
+fn arb_pattern(n: u32) -> impl Strategy<Value = WakePattern> {
+    btree_set(0..n, 1..=6usize).prop_flat_map(|ids| {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        let len = ids.len();
+        (Just(ids), proptest::collection::vec(0u64..300, len)).prop_map(|(ids, times)| {
+            WakePattern::new(ids.into_iter().map(StationId).zip(times).collect())
+                .expect("distinct ids")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sparse_equals_dense_on_random_patterns(
+        pattern in arb_pattern(64),
+        seed in 0u64..1_000,
+    ) {
+        for protocol in protocols(64, &pattern, seed) {
+            assert_equivalent(64, protocol.as_ref(), &pattern, seed, None);
+        }
+    }
+
+    #[test]
+    fn sparse_equals_dense_under_tight_caps(
+        pattern in arb_pattern(32),
+        seed in 0u64..1_000,
+        cap in 1u64..400,
+    ) {
+        // Censored runs: the cap clamp must agree slot-for-slot too.
+        for protocol in protocols(32, &pattern, seed) {
+            assert_equivalent(32, protocol.as_ref(), &pattern, seed, Some(cap));
+        }
+    }
+}
+
+#[test]
+fn sparse_equals_dense_on_structured_patterns() {
+    // A deterministic grid over the classic adversarial pattern families and
+    // universe sizes, including one n ≥ 256 configuration.
+    for n in [16u32, 64, 256] {
+        let ids: Vec<StationId> = (0..6).map(|i| StationId(i * (n / 8) + 1)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let patterns = [
+            WakePattern::simultaneous(&ids, 0).unwrap(),
+            WakePattern::simultaneous(&ids, 137).unwrap(),
+            WakePattern::staggered(&ids, 5, 1).unwrap(),
+            WakePattern::staggered(&ids, 5, 33).unwrap(),
+            WakePattern::batches(&ids, 2, 50, &[3, 3]).unwrap(),
+            WakePattern::uniform_window(&ids, 10, 100, &mut rng).unwrap(),
+            WakePattern::trickle(&ids, 0, 0.2, &mut rng).unwrap(),
+            // The block round-robin reaches last (worst case for RR).
+            WakePattern::simultaneous(&(n - 4..n).map(StationId).collect::<Vec<_>>(), 0).unwrap(),
+        ];
+        for pattern in patterns.iter() {
+            for seed in [0u64, 7] {
+                for protocol in protocols(n, pattern, seed) {
+                    assert_equivalent(n, protocol.as_ref(), pattern, seed, None);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_engine_actually_engages() {
+    // Guard against silently losing the speedup: on a sparse pattern the
+    // auto engine must do strictly less polling work than dense.
+    let n = 1024u32;
+    let ids: Vec<StationId> = (n - 8..n).map(StationId).collect();
+    let pattern = WakePattern::simultaneous(&ids, 0).unwrap();
+    let auto = Simulator::new(SimConfig::new(n))
+        .run(&RoundRobin::new(n), &pattern, 0)
+        .unwrap();
+    let dense = Simulator::new(SimConfig::new(n).with_engine(EngineMode::Dense))
+        .run(&RoundRobin::new(n), &pattern, 0)
+        .unwrap();
+    assert_eq!(auto.first_success, dense.first_success);
+    assert!(auto.skipped_slots > 1000, "skipped {}", auto.skipped_slots);
+    assert!(
+        auto.polls * 100 < dense.polls,
+        "auto polls {} vs dense polls {}",
+        auto.polls,
+        dense.polls
+    );
+}

@@ -32,7 +32,10 @@ fn lower_bound_is_below_every_upper_bound() {
             forced <= worst,
             "k={k}: adversary claims {forced} rounds but worst measured was {worst}"
         );
-        assert!(worst >= adv.bound(), "k={k}: round-robin beat Theorem 2.1?!");
+        assert!(
+            worst >= adv.bound(),
+            "k={k}: round-robin beat Theorem 2.1?!"
+        );
     }
 }
 
@@ -46,10 +49,7 @@ fn corollary_identity_numerically() {
             let lhs = f64::from(n - k + 1);
             let rhs = f64::from(k) * (f64::from(n) / f64::from(k)).log2() + 1.0;
             let ratio = lhs / rhs;
-            assert!(
-                (0.3..=1.5).contains(&ratio),
-                "n={n}, k={k}: ratio {ratio}"
-            );
+            assert!((0.3..=1.5).contains(&ratio), "n={n}, k={k}: ratio {ratio}");
         }
     }
 }
@@ -76,7 +76,11 @@ fn scenario_c_pays_at_most_the_loglog_premium_over_b() {
             )
             .unwrap();
         let c = sim
-            .run(&WakeupN::new(MatrixParams::new(n).with_seed(seed)), &pattern, seed)
+            .run(
+                &WakeupN::new(MatrixParams::new(n).with_seed(seed)),
+                &pattern,
+                seed,
+            )
             .unwrap();
         b_total += b.latency().unwrap();
         c_total += c.latency().unwrap();
@@ -125,9 +129,6 @@ fn selective_family_lengths_beat_strongly_selective() {
     for (n, k) in [(1u32 << 10, 16u32), (1 << 14, 32)] {
         let random = FamilyProvider::default().family(n, k).len();
         let ks = FamilyProvider::KautzSingleton.family(n, k).len();
-        assert!(
-            random < ks,
-            "(n={n}, k={k}): random {random} ≥ KS {ks}"
-        );
+        assert!(random < ks, "(n={n}, k={k}): random {random} ≥ KS {ks}");
     }
 }
