@@ -1,17 +1,37 @@
 //! Multi-seed, multi-threaded experiment ensembles.
 //!
 //! An ensemble pairs a *protocol factory* with a *pattern generator*, both
-//! keyed by a run index, executes `runs` independent simulations across
-//! worker threads (`std::thread::scope` — no extra dependencies), and
-//! aggregates latency and energy.
+//! keyed by a run seed, and executes `runs` independent simulations. Since
+//! the sparse engine made single runs cheap, scheduling is the bottleneck,
+//! so execution rides on [`wakeup_runner`]'s work-stealing pool: short runs
+//! are batched per worker (batch size auto-calibrated), idle workers steal,
+//! and per-run results are folded **in seed order** on the caller's thread —
+//! so every aggregate is bit-identical across thread counts.
+//!
+//! Two aggregation styles:
+//!
+//! * [`run_ensemble`] — materializes one [`LatencySample`] per run
+//!   ([`EnsembleResult`]), for experiments that post-process samples;
+//! * [`run_ensemble_stream`] — streaming accumulators only
+//!   ([`EnsembleSummary`]: Welford stats, P² quantile sketches, energy and
+//!   work counters), so million-run sweeps never hold per-run results —
+//!   transient memory is the reorder buffer, O(threads·batch) digests.
+//!
+//! [`run_ensemble_chunked`] preserves the pre-runner chunk-per-thread
+//! scheduling as a reference: tests pin the runner's output to it
+//! bit-for-bit and the `runner_throughput` bench measures the speedup
+//! against it.
 //!
 //! Factories are indexed rather than shared so that deterministic protocols
 //! can vary their combinatorial seed per run (a fixed deterministic protocol
 //! on a fixed pattern would measure the same run `R` times).
 
-use mac_sim::metrics::{EnergyStats, LatencySample};
+use mac_sim::metrics::{EnergyStats, LatencySample, OutcomeDigest};
 use mac_sim::{EngineMode, FeedbackModel, Protocol, SimConfig, Simulator, WakePattern};
+use std::time::Duration;
 use wakeup_core as _; // semantic dependency: ensembles drive core protocols
+use wakeup_runner::collect::from_fn;
+use wakeup_runner::{OnlineStats, P2Quantile, Progress, RunStats, Runner};
 
 /// Parameters of an ensemble run.
 #[derive(Clone, Debug)]
@@ -24,14 +44,18 @@ pub struct EnsembleSpec {
     pub max_slots: Option<u64>,
     /// Channel feedback model.
     pub feedback: FeedbackModel,
-    /// Base seed; run `i` uses seed `base_seed + i`.
+    /// Base seed; run `i` uses seed `base_seed.wrapping_add(i)` (wrapping,
+    /// so a base seed near `u64::MAX` is valid and cannot overflow).
     pub base_seed: u64,
-    /// Worker threads (default: available parallelism).
+    /// Worker threads (default: available parallelism). Zero is treated as
+    /// one — the run path clamps, not just [`with_threads`](Self::with_threads).
     pub threads: usize,
     /// Engine path ([`EngineMode::Auto`] skips silent slots when the
     /// protocol allows; [`EngineMode::Dense`] forces per-slot polling, e.g.
     /// for speedup measurements).
     pub engine: EngineMode,
+    /// Live progress reporting for long sweeps (`None`: silent).
+    pub progress: Option<Progress>,
 }
 
 impl EnsembleSpec {
@@ -47,6 +71,7 @@ impl EnsembleSpec {
                 .map(|p| p.get())
                 .unwrap_or(4),
             engine: EngineMode::Auto,
+            progress: None,
         }
     }
 
@@ -80,6 +105,17 @@ impl EnsembleSpec {
         self
     }
 
+    /// Report progress (runs/s, steals) to stderr roughly every `every`.
+    pub fn with_progress(mut self, every: Duration, label: impl Into<String>) -> Self {
+        self.progress = Some(Progress::new(every, label));
+        self
+    }
+
+    /// The seed of run `i` (wrapping — see [`base_seed`](Self::base_seed)).
+    pub fn seed_of(&self, i: u64) -> u64 {
+        self.base_seed.wrapping_add(i)
+    }
+
     fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::new(self.n)
             .with_feedback(self.feedback)
@@ -88,6 +124,14 @@ impl EnsembleSpec {
             cfg = cfg.with_max_slots(cap);
         }
         cfg
+    }
+
+    fn runner(&self) -> Runner {
+        let mut runner = Runner::new().with_threads(self.threads.max(1));
+        if let Some(p) = &self.progress {
+            runner = runner.with_progress(p.clone());
+        }
+        runner
     }
 }
 
@@ -113,6 +157,21 @@ impl WorkStats {
         self.skipped += out.skipped_slots;
     }
 
+    /// Fold one outcome digest into the counters.
+    pub fn absorb_digest(&mut self, d: &OutcomeDigest) {
+        self.slots += d.slots;
+        self.polls += d.polls;
+        self.skipped += d.skipped;
+    }
+
+    /// Merge another accumulator (e.g. per-ensemble stats into a per-table
+    /// total).
+    pub fn merge(&mut self, other: &WorkStats) {
+        self.slots += other.slots;
+        self.polls += other.polls;
+        self.skipped += other.skipped;
+    }
+
     /// Polls per covered slot — `≈ k` on the dense path, `≪ 1` when the
     /// sparse engine is skipping well.
     pub fn polls_per_slot(&self) -> f64 {
@@ -130,6 +189,18 @@ impl WorkStats {
         } else {
             self.skipped as f64 / self.slots as f64
         }
+    }
+
+    /// Compact one-line rendering for per-table footers.
+    pub fn render(&self) -> String {
+        format!(
+            "slots {} | polls {} ({:.4} polls/slot) | skipped {} ({:.1}% skip)",
+            self.slots,
+            self.polls,
+            self.polls_per_slot(),
+            self.skipped,
+            100.0 * self.skip_fraction()
+        )
     }
 }
 
@@ -170,8 +241,133 @@ impl EnsembleResult {
     }
 }
 
+/// Streaming aggregate of an ensemble: everything the experiment tables
+/// report, with no per-run sample vector — the only per-ensemble memory
+/// is the runner's O(threads·batch) reorder buffer.
+///
+/// Latency statistics cover **solved** runs (matching
+/// [`EnsembleResult::summary`]); [`worst`](Self::worst) additionally counts
+/// censored runs pessimistically. Median/p90/p99 come from P² sketches:
+/// exact below five solved runs, a tightly-tracking estimate above.
+#[derive(Clone, Debug)]
+pub struct EnsembleSummary {
+    /// Number of runs executed.
+    pub runs: u64,
+    /// Number of runs that solved wake-up within the cap.
+    pub solved: u64,
+    /// Streaming statistics (mean/sd/min/max/CI) of the solved latencies.
+    pub latency: OnlineStats,
+    /// P² sketch of the solved-latency median.
+    pub sketch_p50: P2Quantile,
+    /// P² sketch of the solved-latency 90th percentile.
+    pub sketch_p90: P2Quantile,
+    /// P² sketch of the solved-latency 99th percentile.
+    pub sketch_p99: P2Quantile,
+    /// Worst latency including censored runs (their censoring bound).
+    pub worst: u64,
+    /// Energy (transmission) statistics over all runs.
+    pub energy: EnergyStats,
+    /// Engine-work counters over all runs.
+    pub work: WorkStats,
+    /// Execution statistics of the runner (throughput, steals, batches).
+    pub exec: RunStats,
+}
+
+impl EnsembleSummary {
+    fn empty() -> Self {
+        EnsembleSummary {
+            runs: 0,
+            solved: 0,
+            latency: OnlineStats::new(),
+            sketch_p50: P2Quantile::new(0.5),
+            sketch_p90: P2Quantile::new(0.9),
+            sketch_p99: P2Quantile::new(0.99),
+            worst: 0,
+            energy: EnergyStats::new(),
+            work: WorkStats::default(),
+            exec: RunStats::default(),
+        }
+    }
+
+    fn absorb(&mut self, d: &OutcomeDigest) {
+        self.runs += 1;
+        if let Some(l) = d.sample.solved() {
+            self.solved += 1;
+            let l = l as f64;
+            self.latency.push(l);
+            self.sketch_p50.push(l);
+            self.sketch_p90.push(l);
+            self.sketch_p99.push(l);
+        }
+        self.worst = self.worst.max(d.sample.pessimistic());
+        self.energy.absorb_digest(d);
+        self.work.absorb_digest(d);
+    }
+
+    /// Number of censored (cap-hit) runs.
+    pub fn censored(&self) -> u64 {
+        self.runs - self.solved
+    }
+
+    /// Mean solved latency (0 when nothing solved).
+    pub fn mean(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Maximum solved latency (0 when nothing solved).
+    pub fn max(&self) -> f64 {
+        self.latency.max()
+    }
+
+    /// Half-width of the 95% CI of the mean.
+    pub fn ci95(&self) -> f64 {
+        self.latency.ci95()
+    }
+
+    /// Median solved latency (P² estimate; 0 when nothing solved).
+    pub fn median(&self) -> f64 {
+        self.sketch_p50.value().unwrap_or(0.0)
+    }
+
+    /// 90th-percentile solved latency (P² estimate; 0 when nothing solved).
+    pub fn p90(&self) -> f64 {
+        self.sketch_p90.value().unwrap_or(0.0)
+    }
+
+    /// 99th-percentile solved latency (P² estimate; 0 when nothing solved).
+    pub fn p99(&self) -> f64 {
+        self.sketch_p99.value().unwrap_or(0.0)
+    }
+}
+
+/// Execute the ensemble's runs on the work-stealing pool, folding digests
+/// into `fold` in seed order.
+fn execute<P, G, F>(spec: &EnsembleSpec, protocol_for: P, pattern_for: G, fold: F) -> RunStats
+where
+    P: Fn(u64) -> Box<dyn Protocol> + Sync,
+    G: Fn(u64) -> WakePattern + Sync,
+    F: FnMut(u64, OutcomeDigest),
+{
+    let sim = Simulator::new(spec.sim_config());
+    spec.runner().run(
+        spec.runs,
+        |i| {
+            let seed = spec.seed_of(i);
+            let protocol = protocol_for(seed);
+            let pattern = pattern_for(seed);
+            let outcome = sim
+                .run(protocol.as_ref(), &pattern, seed)
+                .expect("ensemble run failed validation");
+            OutcomeDigest::of(&outcome)
+        },
+        from_fn(fold),
+    )
+}
+
 /// Run an ensemble: run `i ∈ [0, spec.runs)` simulates
-/// `protocol_for(base_seed + i)` against `pattern_for(base_seed + i)`.
+/// `protocol_for(seed)` against `pattern_for(seed)` where
+/// `seed = spec.base_seed.wrapping_add(i)`, materializing one latency
+/// sample per run.
 ///
 /// Panics if any run fails validation (a bug in the generator, not a
 /// measurement outcome).
@@ -180,22 +376,72 @@ where
     P: Fn(u64) -> Box<dyn Protocol> + Sync,
     G: Fn(u64) -> WakePattern + Sync,
 {
+    let mut samples = Vec::with_capacity(usize::try_from(spec.runs).unwrap_or(0));
+    let mut energy = EnergyStats::new();
+    let mut work = WorkStats::default();
+    execute(spec, protocol_for, pattern_for, |_, d| {
+        samples.push(d.sample);
+        energy.absorb_digest(&d);
+        work.absorb_digest(&d);
+    });
+    EnsembleResult {
+        samples,
+        energy,
+        work,
+    }
+}
+
+/// Run an ensemble with streaming aggregation only: no per-run results
+/// are materialized, suitable
+/// for million-run sweeps. Same execution and seed derivation as
+/// [`run_ensemble`]; the aggregates are bit-identical across thread counts
+/// because digests fold in seed order.
+pub fn run_ensemble_stream<P, G>(
+    spec: &EnsembleSpec,
+    protocol_for: P,
+    pattern_for: G,
+) -> EnsembleSummary
+where
+    P: Fn(u64) -> Box<dyn Protocol> + Sync,
+    G: Fn(u64) -> WakePattern + Sync,
+{
+    let mut summary = EnsembleSummary::empty();
+    // `summary` is only borrowed inside `execute`, so fold into a local and
+    // move the stats in afterwards.
+    let exec = {
+        let s = &mut summary;
+        execute(spec, protocol_for, pattern_for, |_, d| s.absorb(&d))
+    };
+    summary.exec = exec;
+    summary
+}
+
+/// The pre-runner scheduling: split the seed range into one static
+/// contiguous chunk per thread (`std::thread::scope`, no stealing, full
+/// result materialization). Kept as the baseline the work-stealing runner
+/// is benchmarked against (`benches/runner.rs`) and as an independent
+/// reference implementation for determinism tests. Produces exactly the
+/// same [`EnsembleResult`] as [`run_ensemble`].
+pub fn run_ensemble_chunked<P, G>(
+    spec: &EnsembleSpec,
+    protocol_for: P,
+    pattern_for: G,
+) -> EnsembleResult
+where
+    P: Fn(u64) -> Box<dyn Protocol> + Sync,
+    G: Fn(u64) -> WakePattern + Sync,
+{
     let cfg = spec.sim_config();
-    let runs: Vec<u64> = (0..spec.runs).map(|i| spec.base_seed + i).collect();
-    let threads = spec.threads.min(runs.len().max(1));
+    let runs: Vec<u64> = (0..spec.runs).map(|i| spec.seed_of(i)).collect();
+    let threads = spec.threads.max(1).min(runs.len().max(1));
     let chunk = runs.len().div_ceil(threads);
     let mut results: Vec<Option<(LatencySample, mac_sim::Outcome)>> = vec![None; runs.len()];
 
     std::thread::scope(|scope| {
-        for (chunk_idx, (seeds, out_chunk)) in runs
-            .chunks(chunk)
-            .zip(results.chunks_mut(chunk))
-            .enumerate()
-        {
+        for (seeds, out_chunk) in runs.chunks(chunk).zip(results.chunks_mut(chunk)) {
             let cfg = cfg.clone();
             let protocol_for = &protocol_for;
             let pattern_for = &pattern_for;
-            let _ = chunk_idx;
             scope.spawn(move || {
                 let sim = Simulator::new(cfg);
                 for (seed, slot) in seeds.iter().zip(out_chunk.iter_mut()) {
@@ -355,6 +601,12 @@ mod tests {
         assert_eq!(res.censored(), 4);
         assert!(res.summary().is_none());
         assert_eq!(res.worst(), 50);
+        // Streaming view agrees on censoring and the pessimistic worst.
+        let s = run_ensemble_stream(&spec, |_| Box::new(Silent), |seed| k_pattern(8, 2, seed));
+        assert_eq!(s.censored(), 4);
+        assert_eq!(s.solved, 0);
+        assert_eq!(s.worst, 50);
+        assert_eq!(s.mean(), 0.0);
     }
 
     #[test]
@@ -368,5 +620,146 @@ mod tests {
             )
         };
         assert_eq!(mk(1).samples, mk(8).samples);
+    }
+
+    #[test]
+    fn runner_matches_chunked_reference_bit_for_bit() {
+        // The work-stealing path must reproduce the legacy chunked
+        // scheduler exactly — samples, energy and work counters — for any
+        // thread count.
+        let n = 64u32;
+        let mk_spec = |threads: usize| {
+            EnsembleSpec::new(n, 24)
+                .with_base_seed(42)
+                .with_threads(threads)
+        };
+        let reference = run_ensemble_chunked(
+            &mk_spec(1),
+            |seed| Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+            |seed| k_pattern(n, 4, seed),
+        );
+        for threads in [1usize, 2, 8] {
+            let stealing = run_ensemble(
+                &mk_spec(threads),
+                |seed| Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+                |seed| k_pattern(n, 4, seed),
+            );
+            assert_eq!(stealing.samples, reference.samples, "threads={threads}");
+            assert_eq!(stealing.energy, reference.energy, "threads={threads}");
+            assert_eq!(stealing.work, reference.work, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stream_summary_matches_materialized_summary() {
+        let n = 64u32;
+        let spec = EnsembleSpec::new(n, 32).with_base_seed(7).with_threads(4);
+        let full = run_ensemble(
+            &spec,
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 5, seed),
+        );
+        let stream = run_ensemble_stream(
+            &spec,
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 5, seed),
+        );
+        let summary = full.summary().unwrap();
+        assert_eq!(stream.runs, 32);
+        assert_eq!(stream.solved as usize, summary.count);
+        assert!((stream.mean() - summary.mean).abs() < 1e-9);
+        assert_eq!(stream.max(), summary.max);
+        assert!((stream.ci95() - summary.ci95()).abs() < 1e-9);
+        assert_eq!(stream.worst, full.worst());
+        assert_eq!(stream.energy, full.energy);
+        assert_eq!(stream.work, full.work);
+        // P² percentiles track the exact ones on a 32-run ensemble.
+        let spread = (summary.max - summary.min).max(1.0);
+        assert!((stream.median() - summary.median).abs() <= 0.1 * spread);
+        assert!((stream.p90() - summary.p90).abs() <= 0.15 * spread);
+    }
+
+    #[test]
+    fn stream_is_bit_identical_across_thread_counts() {
+        let n = 64u32;
+        let mk = |threads: usize| {
+            run_ensemble_stream(
+                &EnsembleSpec::new(n, 20).with_threads(threads),
+                |seed| Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+                |seed| k_pattern(n, 4, seed),
+            )
+        };
+        let a = mk(1);
+        for threads in [2usize, 8] {
+            let b = mk(threads);
+            assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+            assert_eq!(a.ci95().to_bits(), b.ci95().to_bits());
+            assert_eq!(a.median().to_bits(), b.median().to_bits());
+            assert_eq!(a.p90().to_bits(), b.p90().to_bits());
+            assert_eq!(a.work, b.work);
+        }
+    }
+
+    #[test]
+    fn zero_threads_spec_runs_instead_of_panicking() {
+        // Regression: a directly-constructed spec with threads: 0 used to
+        // divide by zero in the chunk computation.
+        let n = 16u32;
+        let spec = EnsembleSpec {
+            threads: 0,
+            ..EnsembleSpec::new(n, 4)
+        };
+        let res = run_ensemble(
+            &spec,
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 2, seed),
+        );
+        assert_eq!(res.samples.len(), 4);
+        let chunked = run_ensemble_chunked(
+            &spec,
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 2, seed),
+        );
+        assert_eq!(chunked.samples, res.samples);
+    }
+
+    #[test]
+    fn base_seed_near_max_wraps_instead_of_overflowing() {
+        // Regression: `base_seed + i` overflowed (panic in debug) for base
+        // seeds near u64::MAX; seeds now wrap.
+        let n = 16u32;
+        let spec = EnsembleSpec::new(n, 8).with_base_seed(u64::MAX - 2);
+        assert_eq!(spec.seed_of(2), u64::MAX);
+        assert_eq!(spec.seed_of(3), 0);
+        assert_eq!(spec.seed_of(5), 2);
+        let res = run_ensemble(
+            &spec,
+            |seed| Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+            |seed| k_pattern(n, 3, seed),
+        );
+        assert_eq!(res.samples.len(), 8);
+    }
+
+    #[test]
+    fn runs_zero_yields_empty_result() {
+        let spec = EnsembleSpec::new(16, 0);
+        let res = run_ensemble(
+            &spec,
+            |_| Box::new(RoundRobin::new(16)),
+            |seed| k_pattern(16, 2, seed),
+        );
+        assert!(res.samples.is_empty());
+        assert!(res.summary().is_none());
+        let s = run_ensemble_stream(
+            &spec,
+            |_| Box::new(RoundRobin::new(16)),
+            |seed| k_pattern(16, 2, seed),
+        );
+        assert_eq!(s.runs, 0);
+        // Empty-summary accessors must not divide by zero.
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.p90(), 0.0);
+        assert_eq!(s.censored(), 0);
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! Tools to turn simulator runs into the tables of `EXPERIMENTS.md`:
 //!
-//! * [`ensemble`] — a multi-seed, multi-threaded experiment runner pairing a
-//!   protocol factory with a wake-pattern generator;
+//! * [`ensemble`] — a multi-seed experiment runner pairing a protocol
+//!   factory with a wake-pattern generator, executed on the
+//!   [`wakeup_runner`] work-stealing pool with deterministic (seed-ordered)
+//!   streaming aggregation;
 //! * [`stats`] — summary statistics (mean/sd/median/quantiles/max, normal
 //!   95% confidence intervals) over latency samples;
 //! * [`fit`] — least-squares fits of measured latency against the paper's
@@ -20,14 +22,20 @@ pub mod fit;
 pub mod stats;
 pub mod table;
 
-pub use ensemble::{run_ensemble, EnsembleResult, EnsembleSpec, WorkStats};
+pub use ensemble::{
+    run_ensemble, run_ensemble_chunked, run_ensemble_stream, EnsembleResult, EnsembleSpec,
+    EnsembleSummary, WorkStats,
+};
 pub use fit::{fit_model, FitResult, Model};
 pub use stats::Summary;
 pub use table::Table;
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::ensemble::{run_ensemble, EnsembleResult, EnsembleSpec, WorkStats};
+    pub use crate::ensemble::{
+        run_ensemble, run_ensemble_chunked, run_ensemble_stream, EnsembleResult, EnsembleSpec,
+        EnsembleSummary, WorkStats,
+    };
     pub use crate::fit::{fit_model, FitResult, Model};
     pub use crate::stats::Summary;
     pub use crate::table::Table;

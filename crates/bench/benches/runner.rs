@@ -1,0 +1,97 @@
+//! Ensemble-scheduling benchmark: static chunk-per-thread (the legacy
+//! `run_ensemble_chunked`) vs the work-stealing runner (`run_ensemble`),
+//! on the workload class that motivated the runner — many *short sparse
+//! runs* (round-robin at n = 4096) whose cost varies strongly with the
+//! seed, so a contiguous chunk of expensive runs lands on one thread while
+//! the others idle.
+//!
+//! The skew is monotone in the run index (cost ~ k⁴-shaped ramp): the last
+//! static chunk concentrates most of the total work, which stealing
+//! redistributes. On ≥ 4 cores the stealing path is expected ≥ 2× faster;
+//! on a single core both degenerate to the same sequential sweep. The
+//! benchmark also asserts the two paths produce identical samples — the
+//! determinism contract the runner is built around.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mac_sim::Protocol;
+use std::hint::black_box;
+use wakeup_analysis::prelude::*;
+use wakeup_core::prelude::*;
+
+const N: u32 = 4096;
+const RUNS: u64 = 256;
+
+/// Contention ramp: cheap runs early, expensive runs late (k up to ~n/2),
+/// so static contiguous chunks are maximally imbalanced.
+fn k_of(seed: u64) -> usize {
+    let x = seed as f64 / RUNS as f64;
+    4 + (2040.0 * x * x * x * x) as usize
+}
+
+fn spec(threads: usize) -> EnsembleSpec {
+    EnsembleSpec::new(N, RUNS).with_threads(threads)
+}
+
+fn protocol_for(_seed: u64) -> Box<dyn Protocol> {
+    Box::new(RoundRobin::new(N))
+}
+
+fn pattern_for(seed: u64) -> mac_sim::WakePattern {
+    wakeup_bench::worst_rr_pattern(N, k_of(seed), 0)
+}
+
+fn ensemble_scheduling(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("ensemble_scheduling");
+
+    // Correctness pin before timing: both schedulers, any thread count,
+    // same samples.
+    let reference = run_ensemble_chunked(&spec(1), protocol_for, pattern_for);
+    let stealing = run_ensemble(&spec(threads), protocol_for, pattern_for);
+    assert_eq!(
+        reference.samples, stealing.samples,
+        "schedulers must produce identical ensembles"
+    );
+
+    group.bench_function(format!("chunked_t{threads}_rr_n4096"), |b| {
+        b.iter(|| {
+            black_box(run_ensemble_chunked(
+                &spec(threads),
+                protocol_for,
+                pattern_for,
+            ))
+            .samples
+            .len()
+        })
+    });
+    group.bench_function(format!("stealing_t{threads}_rr_n4096"), |b| {
+        b.iter(|| {
+            black_box(run_ensemble(&spec(threads), protocol_for, pattern_for))
+                .samples
+                .len()
+        })
+    });
+    group.finish();
+
+    // A one-shot wall-clock comparison with the ratio spelled out (the
+    // criterion lines above measure each path in isolation).
+    use std::time::Instant;
+    let t0 = Instant::now();
+    let a = run_ensemble_chunked(&spec(threads), protocol_for, pattern_for);
+    let chunked = t0.elapsed();
+    let t0 = Instant::now();
+    let b = run_ensemble(&spec(threads), protocol_for, pattern_for);
+    let stealing_t = t0.elapsed();
+    assert_eq!(a.samples, b.samples);
+    println!(
+        "ensemble_scheduling summary: {threads} threads | chunked {chunked:?} | \
+         stealing {stealing_t:?} | speedup {:.2}x \
+         (expect ≥ 2x on ≥ 4 cores; ≈ 1x single-core)",
+        chunked.as_secs_f64() / stealing_t.as_secs_f64().max(1e-9)
+    );
+}
+
+criterion_group!(benches, ensemble_scheduling);
+criterion_main!(benches);

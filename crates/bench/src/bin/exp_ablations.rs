@@ -10,10 +10,13 @@
 //! * **ABL-BUDGET** — per-station transmission budgets (power-sensitive
 //!   extension, ref. 19): how small a budget still solves wake-up;
 //! * **ABL-ADV** — spoiler-adversary robustness across protocols.
+//!
+//! All ensembles run streaming on the work-stealing runner; the footer
+//! reports the aggregated `WorkStats`.
 
 use mac_sim::prelude::*;
 use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, burst_pattern, random_pattern, Scale};
+use wakeup_bench::{banner, burst_pattern, ensemble_spec, random_pattern, Scale, TableMeter};
 use wakeup_core::prelude::*;
 
 fn main() {
@@ -22,6 +25,7 @@ fn main() {
     let runs = scale.runs();
     let n = 256u32;
     let k = 8usize;
+    let mut meter = TableMeter::new();
 
     // --- ABL-CD ----------------------------------------------------------
     println!("ABL-CD: feedback model (oblivious protocols must not change)");
@@ -50,22 +54,23 @@ fn main() {
             }),
         ),
     ] {
-        let no_cd = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(7000),
+        let no_cd = run_ensemble_stream(
+            &ensemble_spec(n, runs, 7000, &format!("ABL-CD {name} no-cd")),
             factory.as_ref(),
             |seed| random_pattern(n, k, 16, seed),
         );
-        let cd = run_ensemble(
-            &EnsembleSpec::new(n, runs)
-                .with_base_seed(7000)
+        let cd = run_ensemble_stream(
+            &ensemble_spec(n, runs, 7000, &format!("ABL-CD {name} cd"))
                 .with_feedback(FeedbackModel::CollisionDetection),
             factory.as_ref(),
             |seed| random_pattern(n, k, 16, seed),
         );
+        meter.absorb(&no_cd);
+        meter.absorb(&cd);
         cd_tab.push_row([
             name.to_string(),
-            format!("{:.1}", no_cd.summary().unwrap().mean),
-            format!("{:.1}", cd.summary().unwrap().mean),
+            format!("{:.1}", no_cd.mean()),
+            format!("{:.1}", cd.mean()),
         ]);
     }
     cd_tab.print();
@@ -74,15 +79,15 @@ fn main() {
     println!("\nABL-RHO: waking matrix with vs without the ρ(j) density sweep");
     let mut rho_tab = Table::new(["k", "with sweep (mean)", "without sweep (mean)", "slowdown"]);
     for kk in [4usize, 8, 16, 32] {
-        let with = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(7100),
+        let with = run_ensemble_stream(
+            &ensemble_spec(n, runs, 7100, &format!("ABL-RHO with k={kk}")),
             |seed| -> Box<dyn mac_sim::Protocol> {
                 Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed)))
             },
             |seed| burst_pattern(n, kk, 0, seed),
         );
-        let without = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(7100),
+        let without = run_ensemble_stream(
+            &ensemble_spec(n, runs, 7100, &format!("ABL-RHO without k={kk}")),
             |seed| -> Box<dyn mac_sim::Protocol> {
                 Box::new(WakeupN::new(
                     MatrixParams::new(n).with_seed(seed).without_rho_sweep(),
@@ -90,11 +95,15 @@ fn main() {
             },
             |seed| burst_pattern(n, kk, 0, seed),
         );
-        let w = with.summary().expect("with-sweep must solve").mean;
-        let wo_summary = without.summary();
-        let (wo, slow) = match wo_summary {
-            Some(s) => (format!("{:.1}", s.mean), format!("{:.2}×", s.mean / w)),
-            None => ("all censored".into(), "∞".into()),
+        assert!(with.solved > 0, "with-sweep must solve");
+        meter.absorb(&with);
+        meter.absorb(&without);
+        let w = with.mean();
+        let (wo, slow) = if without.solved > 0 {
+            let m = without.mean();
+            (format!("{m:.1}"), format!("{:.2}×", m / w))
+        } else {
+            ("all censored".into(), "∞".into())
         };
         rho_tab.push_row([kk.to_string(), format!("{w:.1}"), wo, slow]);
     }
@@ -105,18 +114,21 @@ fn main() {
     println!("walk must descend past c-scaled row boundaries)");
     let mut c_tab = Table::new(["c", "mean latency", "censored"]);
     for c in [1u32, 2, 4, 8] {
-        let res = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(7200),
+        let res = run_ensemble_stream(
+            &ensemble_spec(n, runs, 7200, &format!("ABL-C c={c}")),
             move |seed| -> Box<dyn mac_sim::Protocol> {
                 Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed).with_c(c)))
             },
             |seed| burst_pattern(n, 64, 0, seed),
         );
+        meter.absorb(&res);
         c_tab.push_row([
             c.to_string(),
-            res.summary()
-                .map(|s| format!("{:.1}", s.mean))
-                .unwrap_or_else(|| "-".into()),
+            if res.solved > 0 {
+                format!("{:.1}", res.mean())
+            } else {
+                "-".into()
+            },
             res.censored().to_string(),
         ]);
     }
@@ -153,16 +165,19 @@ fn main() {
         ("RPD", Box::new(move |_| Box::new(Rpd::new(n)))),
     ];
     for (name, factory) in &protos {
-        let res = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(7300),
+        let res = run_ensemble_stream(
+            &ensemble_spec(n, runs, 7300, &format!("ABL-ENERGY {name}")),
             factory.as_ref(),
             |seed| burst_pattern(n, k, 0, seed),
         );
+        meter.absorb(&res);
         e_tab.push_row([
             name.to_string(),
-            res.summary()
-                .map(|s| format!("{:.1}", s.mean))
-                .unwrap_or_else(|| "-".into()),
+            if res.solved > 0 {
+                format!("{:.1}", res.mean())
+            } else {
+                "-".into()
+            },
             format!("{:.1}", res.energy.mean_transmissions()),
             format!("{:.1}", res.energy.mean_collisions()),
         ]);
@@ -199,21 +214,22 @@ fn main() {
                 }),
             ),
         ] {
-            let res = run_ensemble(
-                &EnsembleSpec::new(n, runs)
-                    .with_base_seed(7500)
+            let res = run_ensemble_stream(
+                &ensemble_spec(n, runs, 7500, &format!("ABL-BUDGET {name} b={budget}"))
                     .with_max_slots(20_000),
                 mk.as_ref(),
                 |seed| burst_pattern(n, k, 0, seed),
             );
-            let solved = res.samples.len() - res.censored();
+            meter.absorb(&res);
             b_tab.push_row([
                 name.to_string(),
                 budget.to_string(),
-                format!("{:.0}%", 100.0 * solved as f64 / res.samples.len() as f64),
-                res.summary()
-                    .map(|s| format!("{:.1}", s.mean))
-                    .unwrap_or_else(|| "-".into()),
+                format!("{:.0}%", 100.0 * res.solved as f64 / res.runs.max(1) as f64),
+                if res.solved > 0 {
+                    format!("{:.1}", res.mean())
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }
@@ -233,8 +249,8 @@ fn main() {
         ("wakeup(n)", Box::new(WakeupN::new(MatrixParams::new(n)))),
     ];
     for (name, proto) in &adv_protos {
-        let res = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(7400),
+        let res = run_ensemble_stream(
+            &ensemble_spec(n, runs, 7400, &format!("ABL-ADV {name}")),
             |_| -> Box<dyn mac_sim::Protocol> {
                 // Note: same protocol object semantics per run; adversary
                 // probes the fixed deterministic schedule.
@@ -248,13 +264,16 @@ fn main() {
             },
             |seed| burst_pattern(n, k, 0, seed),
         );
+        meter.absorb(&res);
         let start = burst_pattern(n, k, 0, 99);
         let spoiled = spoiler.search(&sim, proto.as_ref(), start, 99).unwrap();
         a_tab.push_row([
             name.to_string(),
-            res.summary()
-                .map(|s| format!("{:.1}", s.mean))
-                .unwrap_or_else(|| "-".into()),
+            if res.solved > 0 {
+                format!("{:.1}", res.mean())
+            } else {
+                "-".into()
+            },
             spoiled
                 .outcome
                 .latency()
@@ -264,4 +283,5 @@ fn main() {
         ]);
     }
     a_tab.print();
+    meter.print("EXP-ABL");
 }

@@ -5,15 +5,69 @@
 //! * Lemma 5.4: windows contain slots with weighted contention in `[1/8, 2]`;
 //! * Lemma 5.3: on such slots, a station is isolated with probability
 //!   ≥ 1/128 (we measure the empirical isolation frequency).
+//!
+//! The per-seed matrix scans are independent, so they fan out on the
+//! work-stealing runner; counters fold in seed order.
 
 use mac_sim::pattern::IdChoice;
 use mac_sim::WakePattern;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use wakeup_analysis::Table;
-use wakeup_bench::{banner, Scale};
+use wakeup_bench::{banner, runner, Scale};
 use wakeup_core::waking_matrix::MatrixAnalysis;
 use wakeup_core::{MatrixParams, WakingMatrix};
+
+/// Counters of one seed's scan over the analysis horizon.
+#[derive(Clone, Copy, Default)]
+struct SeedCounts {
+    s1s2: u64,
+    bracket_windows: u64,
+    total_windows: u64,
+    bracket_slots: u64,
+    isolated_bracket: u64,
+    first_isolation: Option<u64>,
+}
+
+fn scan_seed(n: u32, k: u32, rows: u32, window: u32, seed: u64) -> SeedCounts {
+    let mut c = SeedCounts::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ids = IdChoice::Random.pick(n, k as usize, &mut rng);
+    let pattern = WakePattern::uniform_window(&ids, 0, 16, &mut rng).unwrap();
+    let m = WakingMatrix::new(MatrixParams::new(n).with_seed(seed));
+    let analysis = MatrixAnalysis::new(&m, &pattern);
+    let horizon = 2 * u64::from(m.c()) * u64::from(k) * u64::from(rows) * u64::from(window);
+
+    for j in 0..horizon {
+        if analysis.s1(j) && analysis.s2(j) {
+            c.s1s2 += 1;
+        }
+        let wc = analysis.weighted_contention(j);
+        if (0.125..=2.0).contains(&wc) && analysis.operational_count(j) > 0 {
+            c.bracket_slots += 1;
+            if analysis.isolated(j).is_some() {
+                c.isolated_bracket += 1;
+            }
+        }
+        if c.first_isolation.is_none() && analysis.isolated(j).is_some() {
+            c.first_isolation = Some(j);
+        }
+    }
+    // Window-level Lemma 5.4 check.
+    for w_idx in 0..horizon / u64::from(window) {
+        let start = w_idx * u64::from(window);
+        if analysis.operational_count(start) == 0 {
+            continue;
+        }
+        c.total_windows += 1;
+        let has_bracket = (start..start + u64::from(window))
+            .any(|j| (0.125..=2.0).contains(&analysis.weighted_contention(j)));
+        if has_bracket {
+            c.bracket_windows += 1;
+        }
+    }
+    c
+}
 
 fn main() {
     banner(
@@ -40,53 +94,18 @@ fn main() {
 
     let seeds = if scale == Scale::Full { 20u64 } else { 5 };
     for k in [2u32, 4, 8, 16, 32] {
-        let mut s1s2 = 0u64;
-        let mut bracket_windows = 0u64;
-        let mut total_windows = 0u64;
-        let mut bracket_slots = 0u64;
-        let mut isolated_bracket = 0u64;
+        let (per_seed, _stats) = runner(&format!("EXP-BAL k={k}"))
+            .map(seeds, |seed| scan_seed(n, k, rows, window, seed));
+
+        let mut total = SeedCounts::default();
         let mut first_isolations = Vec::new();
-
-        for seed in 0..seeds {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let ids = IdChoice::Random.pick(n, k as usize, &mut rng);
-            let pattern = WakePattern::uniform_window(&ids, 0, 16, &mut rng).unwrap();
-            let m = WakingMatrix::new(MatrixParams::new(n).with_seed(seed));
-            let analysis = MatrixAnalysis::new(&m, &pattern);
-            let horizon = 2 * u64::from(m.c()) * u64::from(k) * u64::from(rows) * u64::from(window);
-
-            let mut first_isolation = None;
-            for j in 0..horizon {
-                if analysis.s1(j) && analysis.s2(j) {
-                    s1s2 += 1;
-                }
-                let wc = analysis.weighted_contention(j);
-                if (0.125..=2.0).contains(&wc) && analysis.operational_count(j) > 0 {
-                    bracket_slots += 1;
-                    if analysis.isolated(j).is_some() {
-                        isolated_bracket += 1;
-                    }
-                }
-                if first_isolation.is_none() {
-                    if let Some(_w) = analysis.isolated(j) {
-                        first_isolation = Some(j);
-                    }
-                }
-            }
-            // Window-level Lemma 5.4 check.
-            for w_idx in 0..horizon / u64::from(window) {
-                let start = w_idx * u64::from(window);
-                if analysis.operational_count(start) == 0 {
-                    continue;
-                }
-                total_windows += 1;
-                let has_bracket = (start..start + u64::from(window))
-                    .any(|j| (0.125..=2.0).contains(&analysis.weighted_contention(j)));
-                if has_bracket {
-                    bracket_windows += 1;
-                }
-            }
-            if let Some(fi) = first_isolation {
+        for c in &per_seed {
+            total.s1s2 += c.s1s2;
+            total.bracket_windows += c.bracket_windows;
+            total.total_windows += c.total_windows;
+            total.bracket_slots += c.bracket_slots;
+            total.isolated_bracket += c.isolated_bracket;
+            if let Some(fi) = c.first_isolation {
                 first_isolations.push(fi);
             }
         }
@@ -104,14 +123,14 @@ fn main() {
         table.push_row([
             k.to_string(),
             horizon.to_string(),
-            s1s2.to_string(),
+            total.s1s2.to_string(),
             format!(
                 "{:.0}%",
-                100.0 * bracket_windows as f64 / total_windows.max(1) as f64
+                100.0 * total.bracket_windows as f64 / total.total_windows.max(1) as f64
             ),
             format!(
                 "{:.1}% (≥ {:.1}% required)",
-                100.0 * isolated_bracket as f64 / bracket_slots.max(1) as f64,
+                100.0 * total.isolated_bracket as f64 / total.bracket_slots.max(1) as f64,
                 100.0 / 128.0
             ),
             mean_first,

@@ -4,11 +4,13 @@
 //!
 //! Measures the selective-family resolver with retirement against retiring
 //! round-robin (`Θ(n)`) and fits the measured full-resolution latency
-//! against `k·log(n/k)+1` and `n`.
+//! against `k·log(n/k)+1` and `n`. Full-resolution runs stay on the dense
+//! engine (retirement is feedback-driven), so they are the expensive kind —
+//! the per-`(n, k)` ensembles run on the work-stealing runner.
 
 use mac_sim::prelude::*;
 use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, burst_pattern, Scale};
+use wakeup_bench::{banner, burst_pattern, runner, Scale};
 use wakeup_core::prelude::*;
 
 fn main() {
@@ -30,9 +32,8 @@ fn main() {
 
     for &n in &scale.n_sweep() {
         for &k in &scale.k_sweep(64.min(n)) {
-            let spec = EnsembleSpec::new(n, runs).with_base_seed(8000);
-            let sel = run_ensemble_full(&spec, n, k, true);
-            let rr = run_ensemble_full(&spec, n, k, false);
+            let sel = run_ensemble_full(runs, 8000, n, k, true);
+            let rr = run_ensemble_full(runs, 8000, n, k, false);
             let sel_summary = Summary::of_u64(&sel.0).expect("selective must resolve");
             let rr_summary = Summary::of_u64(&rr.0).expect("round-robin must resolve");
             points.push((f64::from(n), f64::from(k), sel_summary.mean));
@@ -71,16 +72,26 @@ fn main() {
     }
 }
 
-/// Returns (full-resolution latencies, unresolved count).
-fn run_ensemble_full(spec: &EnsembleSpec, n: u32, k: u32, selective: bool) -> (Vec<u64>, usize) {
+/// Returns (full-resolution latencies in seed order, unresolved count).
+/// Runs execute on the work-stealing pool; the fold is in seed order, so
+/// the output is identical to the old sequential loop.
+fn run_ensemble_full(
+    runs: u64,
+    base_seed: u64,
+    n: u32,
+    k: u32,
+    selective: bool,
+) -> (Vec<u64>, usize) {
     let cfg = SimConfig::new(n)
         .with_max_slots(4 * u64::from(n) * 64)
         .until_all_resolved();
     let sim = Simulator::new(cfg);
-    let mut latencies = Vec::new();
-    let mut unresolved = 0usize;
-    for i in 0..spec.runs {
-        let seed = spec.base_seed + i;
+    let label = format!(
+        "EXP-KG {} n={n} k={k}",
+        if selective { "selective" } else { "rr" }
+    );
+    let (results, _stats) = runner(&label).map(runs, |i| {
+        let seed = base_seed.wrapping_add(i);
         let pattern = burst_pattern(n, k as usize, 3, seed);
         let protocol: Box<dyn Protocol> = if selective {
             Box::new(FullResolution::new(
@@ -91,11 +102,11 @@ fn run_ensemble_full(spec: &EnsembleSpec, n: u32, k: u32, selective: bool) -> (V
         } else {
             Box::new(RetiringRoundRobin::new(n))
         };
-        let out = sim.run(protocol.as_ref(), &pattern, seed).unwrap();
-        match out.full_resolution_latency() {
-            Some(l) => latencies.push(l),
-            None => unresolved += 1,
-        }
-    }
+        sim.run(protocol.as_ref(), &pattern, seed)
+            .unwrap()
+            .full_resolution_latency()
+    });
+    let latencies: Vec<u64> = results.iter().filter_map(|&l| l).collect();
+    let unresolved = results.len() - latencies.len();
     (latencies, unresolved)
 }

@@ -4,11 +4,13 @@
 //! Runs the swap-chain adversary against round-robin and against a
 //! selective-family schedule, reporting the rounds each schedule is forced
 //! to spend versus the theoretical bound. Corollary 2.1's identity
-//! `n−k+1 = Θ(k log(n/k)+1)` for `k > n/c` is tabulated alongside.
+//! `n−k+1 = Θ(k log(n/k)+1)` for `k > n/c` is tabulated alongside. The
+//! per-`(n, k)` adversary runs are independent and fan out on the
+//! work-stealing runner (rows still print in sweep order).
 
 use selectors::schedule::{RoundRobinSchedule, ScheduleExt};
 use wakeup_analysis::Table;
-use wakeup_bench::{banner, Scale};
+use wakeup_bench::{banner, runner, Scale};
 use wakeup_core::prelude::*;
 
 fn main() {
@@ -31,34 +33,42 @@ fn main() {
         "forced (selective)",
     ]);
 
+    let mut grid: Vec<(u32, u32)> = Vec::new();
     for &n in &ns {
         for k in [1u32, 2, 4, n / 4, n / 2, 3 * n / 4, n - 2, n - 1] {
-            if !(1..=n).contains(&k) {
-                continue;
+            if (1..=n).contains(&k) {
+                grid.push((n, k));
             }
-            let adv = SwapChainAdversary::new(n, k);
-            let rr = adv.run(&RoundRobinSchedule::new(n));
-            assert!(
-                rr.forced_rounds >= adv.bound(),
-                "round-robin evaded the bound at n={n}, k={k}"
-            );
-            // A selective-family schedule (the building block of the upper
-            // bounds) is also subject to the lower bound.
-            let fam = FamilyProvider::random_with_seed(1).family(n, k.max(2));
-            let sel = adv.run(&fam.clone().cycle());
-            table.push_row([
-                n.to_string(),
-                k.to_string(),
-                adv.bound().to_string(),
-                rr.forced_rounds.to_string(),
-                rr.distinct_rounds.to_string(),
-                if sel.found_unisolated_set {
-                    format!("{}+ (unresolved set)", sel.forced_rounds)
-                } else {
-                    sel.forced_rounds.to_string()
-                },
-            ]);
         }
+    }
+
+    let (rows, _stats) = runner("EXP-LB").map(grid.len() as u64, |i| {
+        let (n, k) = grid[i as usize];
+        let adv = SwapChainAdversary::new(n, k);
+        let rr = adv.run(&RoundRobinSchedule::new(n));
+        assert!(
+            rr.forced_rounds >= adv.bound(),
+            "round-robin evaded the bound at n={n}, k={k}"
+        );
+        // A selective-family schedule (the building block of the upper
+        // bounds) is also subject to the lower bound.
+        let fam = FamilyProvider::random_with_seed(1).family(n, k.max(2));
+        let sel = adv.run(&fam.clone().cycle());
+        [
+            n.to_string(),
+            k.to_string(),
+            adv.bound().to_string(),
+            rr.forced_rounds.to_string(),
+            rr.distinct_rounds.to_string(),
+            if sel.found_unisolated_set {
+                format!("{}+ (unresolved set)", sel.forced_rounds)
+            } else {
+                sel.forced_rounds.to_string()
+            },
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table.print();
 

@@ -6,10 +6,13 @@
 //!   matching the Kushilevitz–Mansour `Ω(log k)` lower bound;
 //! * classical baselines (slotted ALOHA at `p = 1/k`, binary exponential
 //!   backoff) for context.
+//!
+//! Streaming ensembles on the work-stealing runner (randomized protocols
+//! mean many cheap runs — exactly the workload batching amortizes).
 
 use mac_sim::Protocol;
 use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, burst_pattern, random_pattern, Scale};
+use wakeup_bench::{banner, burst_pattern, ensemble_spec, random_pattern, Scale, TableMeter};
 use wakeup_core::prelude::*;
 
 fn main() {
@@ -20,34 +23,34 @@ fn main() {
     let scale = Scale::from_env();
     let runs = scale.runs() * 4; // randomized: more runs, cheap ones
     let k = 4usize;
+    let mut meter = TableMeter::new();
 
     // --- RPD expected time vs log n ------------------------------------
     let mut rpd_points = Vec::new();
     let mut table = Table::new(["n", "k", "RPD mean", "log2 n", "RPD-k mean", "log2 k"]);
     for &n in &scale.n_sweep() {
-        let rpd = run_ensemble(
-            &EnsembleSpec::new(n, runs)
-                .with_base_seed(5000)
-                .with_max_slots(1_000_000),
+        let rpd = run_ensemble_stream(
+            &ensemble_spec(n, runs, 5000, &format!("EXP-RAND rpd n={n}")).with_max_slots(1_000_000),
             |_| -> Box<dyn Protocol> { Box::new(Rpd::new(n)) },
             |seed| random_pattern(n, k, 16, seed),
         );
-        let rpdk = run_ensemble(
-            &EnsembleSpec::new(n, runs)
-                .with_base_seed(5000)
+        let rpdk = run_ensemble_stream(
+            &ensemble_spec(n, runs, 5000, &format!("EXP-RAND rpdk n={n}"))
                 .with_max_slots(1_000_000),
             |_| -> Box<dyn Protocol> { Box::new(RpdK::new(n, k as u32)) },
             |seed| random_pattern(n, k, 16, seed),
         );
-        let rpd_mean = rpd.summary().expect("RPD must solve").mean;
-        let rpdk_mean = rpdk.summary().expect("RPD-k must solve").mean;
-        rpd_points.push((f64::from(n), k as f64, rpd_mean));
+        assert!(rpd.solved > 0, "RPD must solve");
+        assert!(rpdk.solved > 0, "RPD-k must solve");
+        meter.absorb(&rpd);
+        meter.absorb(&rpdk);
+        rpd_points.push((f64::from(n), k as f64, rpd.mean()));
         table.push_row([
             n.to_string(),
             k.to_string(),
-            format!("{rpd_mean:.1}"),
+            format!("{:.1}", rpd.mean()),
             format!("{:.1}", f64::from(n).log2()),
-            format!("{rpdk_mean:.1}"),
+            format!("{:.1}", rpdk.mean()),
             format!("{:.1}", (k as f64).log2()),
         ]);
     }
@@ -61,19 +64,19 @@ fn main() {
     let mut ktab = Table::new(["n", "k", "RPD-k mean", "log2 k (lower-bound shape)"]);
     let mut k_points = Vec::new();
     for kk in [2u32, 4, 8, 16, 32, 64] {
-        let res = run_ensemble(
-            &EnsembleSpec::new(n, runs)
-                .with_base_seed(5100)
+        let res = run_ensemble_stream(
+            &ensemble_spec(n, runs, 5100, &format!("EXP-RAND rpdk k={kk}"))
                 .with_max_slots(1_000_000),
             |_| -> Box<dyn Protocol> { Box::new(RpdK::new(n, kk)) },
             |seed| burst_pattern(n, kk as usize, 3, seed),
         );
-        let mean = res.summary().expect("RPD-k must solve").mean;
-        k_points.push((f64::from(n), f64::from(kk), mean));
+        assert!(res.solved > 0, "RPD-k must solve");
+        meter.absorb(&res);
+        k_points.push((f64::from(n), f64::from(kk), res.mean()));
         ktab.push_row([
             n.to_string(),
             kk.to_string(),
-            format!("{mean:.1}"),
+            format!("{:.1}", res.mean()),
             format!("{:.1}", f64::from(kk).log2()),
         ]);
     }
@@ -95,20 +98,20 @@ fn main() {
         ),
     ];
     for (name, factory) in &protocols {
-        let res = run_ensemble(
-            &EnsembleSpec::new(n, runs)
-                .with_base_seed(5200)
-                .with_max_slots(1_000_000),
+        let res = run_ensemble_stream(
+            &ensemble_spec(n, runs, 5200, &format!("EXP-RAND {name}")).with_max_slots(1_000_000),
             factory.as_ref(),
             |seed| burst_pattern(n, 8, 0, seed),
         );
-        let s = res.summary().expect("must solve");
+        assert!(res.solved > 0, "{name} must solve");
+        meter.absorb(&res);
         btab.push_row([
             name.to_string(),
-            format!("{:.1}", s.mean),
-            format!("{:.1}", s.p90),
-            format!("{:.0}", s.max),
+            format!("{:.1}", res.mean()),
+            format!("{:.1}", res.p90()),
+            format!("{:.0}", res.max()),
         ]);
     }
     btab.print();
+    meter.print("EXP-RAND");
 }

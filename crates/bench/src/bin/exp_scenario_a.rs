@@ -9,10 +9,15 @@
 //! latency per `(n, k)` and fits the measured means against the candidate
 //! model shapes; the paper's bound must rank at the top and the absolute
 //! latency must stay below the round-robin envelope `2n`.
+//!
+//! Since every protocol here rides the sparse engine, the full sweep
+//! reaches `n = 2^20` (per-run cost is `O(events·log k)`, not `O(n)`); the
+//! ensembles run on the work-stealing runner and the table footer reports
+//! the aggregated `WorkStats` and throughput.
 
 use mac_sim::Protocol;
 use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, worst_rr_pattern, Scale};
+use wakeup_bench::{banner, ensemble_spec, worst_rr_pattern, Scale, TableMeter};
 use wakeup_core::prelude::*;
 
 fn main() {
@@ -24,11 +29,12 @@ fn main() {
     let runs = scale.runs();
     let mut table = Table::new(["n", "k", "mean", "ci95", "max", "2n envelope", "censored"]);
     let mut points = Vec::new();
+    let mut meter = TableMeter::new();
 
-    for &n in &scale.n_sweep() {
-        for &k in &scale.k_sweep(n) {
-            let spec = EnsembleSpec::new(n, runs).with_base_seed(1000);
-            let res = run_ensemble(
+    for &n in &scale.n_sweep_sparse() {
+        for &k in &scale.k_sweep_sparse(n) {
+            let spec = ensemble_spec(n, runs, 1000, &format!("EXP-A n={n} k={k}"));
+            let res = run_ensemble_stream(
                 &spec,
                 |seed| -> Box<dyn Protocol> {
                     let s = (seed % 97) * 13;
@@ -43,25 +49,26 @@ fn main() {
                     worst_rr_pattern(n, k as usize, s)
                 },
             );
-            let summary = res.summary().expect("scenario A must solve");
-            assert_eq!(res.censored(), 0);
+            assert_eq!(res.censored(), 0, "scenario A must solve");
             assert!(
-                summary.max <= 2.0 * f64::from(n) + 1.0,
+                res.max() <= 2.0 * f64::from(n) + 1.0,
                 "latency beyond round-robin envelope at n={n}, k={k}"
             );
-            points.push((f64::from(n), f64::from(k), summary.mean));
+            meter.absorb(&res);
+            points.push((f64::from(n), f64::from(k), res.mean()));
             table.push_row([
                 n.to_string(),
                 k.to_string(),
-                format!("{:.1}", summary.mean),
-                format!("{:.1}", summary.ci95()),
-                format!("{:.0}", summary.max),
+                format!("{:.1}", res.mean()),
+                format!("{:.1}", res.ci95()),
+                format!("{:.0}", res.max()),
                 (2 * n).to_string(),
                 res.censored().to_string(),
             ]);
         }
     }
     table.print();
+    meter.print("EXP-A");
 
     println!("\nmodel ranking over measured means (best R² first):");
     for fit in wakeup_analysis::fit::rank_models(&points).iter().take(4) {

@@ -3,11 +3,13 @@
 //!
 //! Workload: the non-synchronized patterns Scenario B is designed for —
 //! uniform windows, staggered arithmetic arrivals and bursts. Reports
-//! per-pattern-family latency and the model-shape fit.
+//! per-pattern-family latency and the model-shape fit. Runs on the
+//! work-stealing runner with the sparse-engine sweep up to `n = 2^20`; the
+//! footer reports per-table `WorkStats` and throughput.
 
 use mac_sim::{Protocol, WakePattern};
 use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, random_pattern, worst_rr_pattern, Scale};
+use wakeup_bench::{banner, ensemble_spec, random_pattern, worst_rr_pattern, Scale, TableMeter};
 use wakeup_core::prelude::*;
 
 fn staggered_pattern(n: u32, k: usize, seed: u64) -> WakePattern {
@@ -36,12 +38,13 @@ fn main() {
 
     let mut table = Table::new(["pattern", "n", "k", "mean", "max", "censored"]);
     let mut points = Vec::new();
+    let mut meter = TableMeter::new();
 
-    for &n in &scale.n_sweep() {
-        for &k in &scale.k_sweep(n) {
+    for &n in &scale.n_sweep_sparse() {
+        for &k in &scale.k_sweep_sparse(n) {
             for (pname, pfn) in &patterns {
-                let spec = EnsembleSpec::new(n, runs).with_base_seed(2000);
-                let res = run_ensemble(
+                let spec = ensemble_spec(n, runs, 2000, &format!("EXP-B {pname} n={n} k={k}"));
+                let res = run_ensemble_stream(
                     &spec,
                     |seed| -> Box<dyn Protocol> {
                         Box::new(WakeupWithK::new(
@@ -52,27 +55,28 @@ fn main() {
                     },
                     |seed| pfn(n, k as usize, seed),
                 );
-                let summary = res.summary().expect("scenario B must solve");
                 assert_eq!(res.censored(), 0, "{pname} n={n} k={k}");
                 assert!(
-                    summary.max <= 2.0 * f64::from(n) + 1.0,
+                    res.max() <= 2.0 * f64::from(n) + 1.0,
                     "beyond round-robin envelope: {pname} n={n} k={k}"
                 );
+                meter.absorb(&res);
                 if *pname == "worst-block burst" {
-                    points.push((f64::from(n), f64::from(k), summary.mean));
+                    points.push((f64::from(n), f64::from(k), res.mean()));
                 }
                 table.push_row([
                     pname.to_string(),
                     n.to_string(),
                     k.to_string(),
-                    format!("{:.1}", summary.mean),
-                    format!("{:.0}", summary.max),
+                    format!("{:.1}", res.mean()),
+                    format!("{:.0}", res.max()),
                     res.censored().to_string(),
                 ]);
             }
         }
     }
     table.print();
+    meter.print("EXP-B");
 
     println!("\nmodel ranking over burst means (best R² first):");
     for fit in wakeup_analysis::fit::rank_models(&points).iter().take(4) {

@@ -7,11 +7,12 @@
 //! | C (neither)  | `O(k log n log log n)` |
 //!
 //! Regenerated with measured latencies for each scenario's algorithm at a
-//! grid of `(n, k)`.
+//! grid of `(n, k)`, on the work-stealing runner with streaming
+//! aggregation.
 
 use mac_sim::Protocol;
 use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, burst_pattern, Scale};
+use wakeup_bench::{banner, burst_pattern, ensemble_spec, Scale, TableMeter};
 use wakeup_core::prelude::*;
 
 fn main() {
@@ -30,6 +31,7 @@ fn main() {
         "measured max",
         "model value",
     ]);
+    let mut meter = TableMeter::new();
 
     for &n in &scale.n_sweep() {
         for &k in &[2u32, 8, 32] {
@@ -67,12 +69,18 @@ fn main() {
                 ),
             ];
             for (scenario, factory) in &configs {
-                let res = run_ensemble(
-                    &EnsembleSpec::new(n, runs).with_base_seed(6000),
+                let res = run_ensemble_stream(
+                    &ensemble_spec(
+                        n,
+                        runs,
+                        6000,
+                        &format!("TAB-SUMMARY {} n={n} k={k}", scenario.label()),
+                    ),
                     factory.as_ref(),
                     |seed| burst_pattern(n, k as usize, s_for(seed), seed),
                 );
-                let s = res.summary().expect("must solve");
+                assert!(res.solved > 0, "{} must solve", scenario.label());
+                meter.absorb(&res);
                 let model = match scenario {
                     Scenario::C => Model::KLogNLogLogN.eval(f64::from(n), f64::from(k)),
                     _ => Model::KLogNOverK.eval(f64::from(n), f64::from(k)),
@@ -82,14 +90,15 @@ fn main() {
                     scenario.bound().to_string(),
                     n.to_string(),
                     k.to_string(),
-                    format!("{:.1}", s.mean),
-                    format!("{:.0}", s.max),
+                    format!("{:.1}", res.mean()),
+                    format!("{:.0}", res.max()),
                     format!("{model:.0}"),
                 ]);
             }
         }
     }
     table.print();
+    meter.print("TAB-SUMMARY");
     println!(
         "\n(measured/model ratios are implementation constants; the shape \
          columns are validated by EXP-A/B/C's fits)"

@@ -5,11 +5,12 @@
 //! Head-to-head: `wakeup(n)` vs the locally-synchronized doubling stand-in
 //! (`LocalDoubling`, see DESIGN.md §4 substitution 3) on simultaneous
 //! bursts, sweeping `n` at fixed `k`. The expected ratio grows like
-//! `log n / (c·log log n)`.
+//! `log n / (c·log log n)`. Streaming ensembles on the work-stealing
+//! runner; the footer reports per-table `WorkStats`.
 
 use mac_sim::Protocol;
 use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, burst_pattern, Scale};
+use wakeup_bench::{banner, burst_pattern, ensemble_spec, Scale, TableMeter};
 use wakeup_core::prelude::*;
 
 fn main() {
@@ -28,24 +29,28 @@ fn main() {
         "ratio",
         "structural bound ratio L/(c·W)",
     ]);
+    let mut meter = TableMeter::new();
 
     for &n in &scale.n_sweep() {
-        let ours = run_ensemble(
-            &EnsembleSpec::new(n, runs).with_base_seed(4000),
+        let ours = run_ensemble_stream(
+            &ensemble_spec(n, runs, 4000, &format!("EXP-CHL ours n={n}")),
             |seed| -> Box<dyn Protocol> {
                 Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed)))
             },
             |seed| burst_pattern(n, k, 0, seed),
         );
-        let base = run_ensemble(
-            &EnsembleSpec::new(n, runs)
-                .with_base_seed(4000)
+        let base = run_ensemble_stream(
+            &ensemble_spec(n, runs, 4000, &format!("EXP-CHL baseline n={n}"))
                 .with_max_slots(20_000_000),
             |seed| -> Box<dyn Protocol> { Box::new(LocalDoubling::new(n).with_seed(seed)) },
             |seed| burst_pattern(n, k, 0, seed),
         );
-        let ours_mean = ours.summary().expect("wakeup(n) must solve").mean;
-        let base_mean = base.summary().expect("baseline must solve").mean;
+        assert!(ours.solved > 0, "wakeup(n) must solve");
+        assert!(base.solved > 0, "baseline must solve");
+        meter.absorb(&ours);
+        meter.absorb(&base);
+        let ours_mean = ours.mean();
+        let base_mean = base.mean();
         let matrix = WakingMatrix::new(MatrixParams::new(n));
         let predicted =
             f64::from(matrix.rows()) / (f64::from(matrix.c()) * f64::from(matrix.window()));
@@ -59,6 +64,7 @@ fn main() {
         ]);
     }
     table.print();
+    meter.print("EXP-CHL");
     println!(
         "\n(the structural column is the ratio of the two *bounds*; the measured \
          ratio is larger on bursts because the waking matrix's ρ-sweep also \

@@ -19,11 +19,21 @@
 //! | `exp_full_resolution` | EXP-KG — Komlós–Greenberg full conflict resolution |
 //! | `exp_certify`     | EXP-CERT — bounded waking-matrix certification |
 //!
-//! All binaries accept the environment variable `WAKEUP_SCALE`:
-//! `quick` (default, seconds) or `full` (minutes, larger sweeps). Seeds are
-//! printed so every table is exactly reproducible.
+//! All binaries accept the environment variables:
 //!
-//! Criterion micro-benches live in `benches/`.
+//! * `WAKEUP_SCALE` — `quick` (default, seconds) or `full` (minutes,
+//!   larger sweeps; EXP-A/B and EXP-CROSS reach n = 2^20);
+//! * `WAKEUP_THREADS` — worker-pool size override for the work-stealing
+//!   runner (default: available parallelism);
+//! * `WAKEUP_PROGRESS` — seconds between live `runs/s | steals` progress
+//!   lines on stderr (unset: silent).
+//!
+//! Seeds are printed so every table is exactly reproducible, and ensemble
+//! aggregation folds in seed order, so tables are identical at any thread
+//! count.
+//!
+//! Criterion micro-benches live in `benches/` (`kernels` — simulation
+//! hot paths; `runner` — chunked vs work-stealing ensemble scheduling).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +42,8 @@ use mac_sim::pattern::IdChoice;
 use mac_sim::{StationId, WakePattern};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+use wakeup_analysis::ensemble::{EnsembleSpec, EnsembleSummary, WorkStats};
 
 /// Experiment scale, from `WAKEUP_SCALE` (`quick` | `full`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +92,123 @@ impl Scale {
             Scale::Quick => 10,
             Scale::Full => 50,
         }
+    }
+
+    /// The `n` sweep for experiments whose protocols ride the sparse engine
+    /// end-to-end (EXP-A/B, the crossover): per-run cost is
+    /// `O(events·log k)`, independent of `n`, so the full sweep reaches
+    /// `n = 2^20`.
+    pub fn n_sweep_sparse(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![256, 1024, 4096],
+            Scale::Full => vec![256, 1024, 4096, 16384, 65536, 1 << 20],
+        }
+    }
+
+    /// The `k` sweep paired with [`n_sweep_sparse`](Self::n_sweep_sparse):
+    /// powers of two, capped (4096 at full scale) because per-run cost and
+    /// memory grow with `k` (each awake station is instantiated), not `n`.
+    pub fn k_sweep_sparse(self, n: u32) -> Vec<u32> {
+        let cap = match self {
+            Scale::Quick => 64.min(n),
+            Scale::Full => 4096.min(n),
+        };
+        let mut ks = vec![1u32];
+        let mut k = 2u32;
+        while k <= cap {
+            ks.push(k);
+            k = k.saturating_mul(2);
+        }
+        ks
+    }
+}
+
+/// `WAKEUP_THREADS` override for the runner's worker count, if set.
+fn env_threads() -> Option<usize> {
+    std::env::var("WAKEUP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+}
+
+/// `WAKEUP_PROGRESS` (seconds between updates, bare value = 5) as a
+/// [`wakeup_runner::Progress`] spec labelled `label`, if set.
+fn env_progress(label: &str) -> Option<wakeup_runner::Progress> {
+    std::env::var("WAKEUP_PROGRESS").ok().map(|v| {
+        let secs = v.parse::<u64>().unwrap_or(5).max(1);
+        wakeup_runner::Progress::new(Duration::from_secs(secs), label)
+    })
+}
+
+/// An [`EnsembleSpec`] wired to the environment: `WAKEUP_THREADS` overrides
+/// the worker count and `WAKEUP_PROGRESS` (seconds, bare = 5) enables live
+/// runs/s reporting labelled `label`.
+pub fn ensemble_spec(n: u32, runs: u64, base_seed: u64, label: &str) -> EnsembleSpec {
+    let mut spec = EnsembleSpec::new(n, runs).with_base_seed(base_seed);
+    if let Some(threads) = env_threads() {
+        spec = spec.with_threads(threads);
+    }
+    if let Some(p) = env_progress(label) {
+        spec = spec.with_progress(p.every, p.label);
+    }
+    spec
+}
+
+/// A bare [`wakeup_runner::Runner`] wired to the environment the same way
+/// as [`ensemble_spec`] — for experiment kernels that are not simulator
+/// ensembles (adversary sweeps, matrix analyses, full-resolution runs).
+pub fn runner(label: &str) -> wakeup_runner::Runner {
+    let mut r = wakeup_runner::Runner::new();
+    if let Some(threads) = env_threads() {
+        r = r.with_threads(threads);
+    }
+    if let Some(p) = env_progress(label) {
+        r = r.with_progress(p);
+    }
+    r
+}
+
+/// Per-table accumulator of engine work and runner throughput, printed as a
+/// footer line under each experiment table:
+///
+/// ```text
+/// EXP-A work: slots 1234 | polls 56 (0.0454 polls/slot) | … || 500 runs in 1.2s (417 runs/s, 9.1k polls/s)
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TableMeter {
+    work: WorkStats,
+    runs: u64,
+    elapsed: Duration,
+}
+
+impl TableMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        TableMeter::default()
+    }
+
+    /// Fold one ensemble's work and execution stats into the table totals.
+    pub fn absorb(&mut self, summary: &EnsembleSummary) {
+        self.work.merge(&summary.work);
+        self.runs += summary.runs;
+        self.elapsed += summary.exec.elapsed;
+    }
+
+    /// The accumulated engine-work counters.
+    pub fn work(&self) -> &WorkStats {
+        &self.work
+    }
+
+    /// Print the footer line.
+    pub fn print(&self, label: &str) {
+        let secs = self.elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "{label} work: {} || {} runs in {:.2}s ({:.1} runs/s, {:.0} polls/s)",
+            self.work.render(),
+            self.runs,
+            self.elapsed.as_secs_f64(),
+            self.runs as f64 / secs,
+            self.work.polls as f64 / secs,
+        );
     }
 }
 
@@ -159,6 +288,34 @@ mod tests {
         assert!(ks.iter().all(|&k| k <= 1024));
         // Full scale reaches k = n.
         assert!(Scale::Full.k_sweep(256).contains(&256));
+    }
+
+    #[test]
+    fn sparse_sweeps_reach_a_million_stations() {
+        assert!(Scale::Full.n_sweep_sparse().contains(&(1 << 20)));
+        assert_eq!(Scale::Quick.n_sweep_sparse(), Scale::Quick.n_sweep());
+        // k stays capped so per-run station instantiation is bounded.
+        let ks = Scale::Full.k_sweep_sparse(1 << 20);
+        assert_eq!(*ks.last().unwrap(), 4096);
+        assert!(Scale::Quick.k_sweep_sparse(1 << 20).contains(&64));
+        // Small universes cap at n.
+        assert!(Scale::Full.k_sweep_sparse(16).iter().all(|&k| k <= 16));
+    }
+
+    #[test]
+    fn table_meter_accumulates_and_prints() {
+        let mut m = TableMeter::new();
+        assert_eq!(m.work().slots, 0);
+        m.print("TEST"); // empty meter must not divide by zero
+        let spec = EnsembleSpec::new(16, 3);
+        let s = wakeup_analysis::run_ensemble_stream(
+            &spec,
+            |_| Box::new(wakeup_core::prelude::RoundRobin::new(16)),
+            |seed| random_pattern(16, 2, 4, seed),
+        );
+        m.absorb(&s);
+        assert_eq!(m.runs, 3);
+        assert!(m.work().slots > 0);
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub mod prelude {
     pub use crate::channel::{Feedback, FeedbackModel, SlotOutcome};
     pub use crate::engine::{EngineMode, Outcome, SimConfig, SimError, Simulator};
     pub use crate::ids::{Slot, StationId};
-    pub use crate::metrics::{EnergyStats, LatencySample};
+    pub use crate::metrics::{EnergyStats, LatencySample, OutcomeDigest};
     pub use crate::pattern::{IdChoice, WakePattern};
     pub use crate::station::{Action, Protocol, Station, TxHint};
     pub use crate::trace::Transcript;

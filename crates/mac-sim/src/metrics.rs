@@ -43,6 +43,55 @@ impl LatencySample {
     }
 }
 
+/// A compact, `Copy` summary of one run — everything ensemble aggregation
+/// needs, with the variable-size parts of [`Outcome`] (per-station counts,
+/// transcript) already reduced. Ensembles ship digests across worker
+/// threads instead of full outcomes, so a million-run sweep moves a few
+/// dozen bytes per run rather than per-station vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutcomeDigest {
+    /// The run's latency observation (solved or censored).
+    pub sample: LatencySample,
+    /// Slots covered (`Outcome::slots_simulated`).
+    pub slots: u64,
+    /// `Station::act` calls made (`Outcome::polls`).
+    pub polls: u64,
+    /// Slots advanced in bulk by the sparse engine (`Outcome::skipped_slots`).
+    pub skipped: u64,
+    /// Total transmissions (the energy cost).
+    pub transmissions: u64,
+    /// Maximum transmissions by any single station.
+    pub max_station_tx: u64,
+    /// Collision slots.
+    pub collisions: u64,
+}
+
+impl OutcomeDigest {
+    /// Reduce an outcome to its digest.
+    pub fn of(out: &Outcome) -> Self {
+        OutcomeDigest {
+            sample: LatencySample::from_outcome(out),
+            slots: out.slots_simulated,
+            polls: out.polls,
+            skipped: out.skipped_slots,
+            transmissions: out.transmissions,
+            max_station_tx: out
+                .per_station_tx
+                .iter()
+                .map(|&(_, c)| c)
+                .max()
+                .unwrap_or(0),
+            collisions: out.collisions,
+        }
+    }
+}
+
+impl From<&Outcome> for OutcomeDigest {
+    fn from(out: &Outcome) -> Self {
+        OutcomeDigest::of(out)
+    }
+}
+
 /// Aggregated energy (transmission-count) statistics over runs.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct EnergyStats {
@@ -74,6 +123,15 @@ impl EnergyStats {
             .max()
             .unwrap_or(0);
         self.max_per_station = self.max_per_station.max(station_max);
+    }
+
+    /// Fold one digest into the statistics — same totals as
+    /// [`absorb`](EnergyStats::absorb) on the digest's source outcome.
+    pub fn absorb_digest(&mut self, d: &OutcomeDigest) {
+        self.runs += 1;
+        self.total_transmissions += d.transmissions;
+        self.total_collisions += d.collisions;
+        self.max_per_station = self.max_per_station.max(d.max_station_tx);
     }
 
     /// Mean transmissions per run.
@@ -155,5 +213,22 @@ mod tests {
         let e = EnergyStats::new();
         assert_eq!(e.mean_transmissions(), 0.0);
         assert_eq!(e.mean_collisions(), 0.0);
+    }
+
+    #[test]
+    fn digest_matches_outcome_absorption() {
+        let outs = [outcome(Some(3), 4, 10, 2), outcome(None, 50, 30, 20)];
+        let mut via_outcome = EnergyStats::new();
+        let mut via_digest = EnergyStats::new();
+        for o in &outs {
+            via_outcome.absorb(o);
+            via_digest.absorb_digest(&OutcomeDigest::of(o));
+        }
+        assert_eq!(via_outcome, via_digest);
+        let d = OutcomeDigest::of(&outs[0]);
+        assert_eq!(d.sample, LatencySample::Solved(3));
+        assert_eq!(d.slots, 4);
+        assert_eq!(d.polls, 4);
+        assert_eq!(d.max_station_tx, 10);
     }
 }

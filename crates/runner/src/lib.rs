@@ -1,0 +1,379 @@
+//! # wakeup-runner — work-stealing ensemble execution with deterministic
+//! streaming aggregation
+//!
+//! The sparse simulation engine made single protocol runs cheap enough that
+//! *scheduling*, not simulation, dominates ensemble wall-clock: static
+//! chunk-per-thread scheduling strands whole chunks of expensive runs on one
+//! thread while the others idle. This crate replaces it with a small,
+//! dependency-free execution subsystem:
+//!
+//! * **Sharded job queue** ([`queue`]): run indices `[0, runs)` are split
+//!   into contiguous *batches*; each worker drains its own deque
+//!   front-to-back and steals from the back of the fullest shard when dry.
+//!   Batch size is auto-tuned by a short calibration pass so that dispatch
+//!   and channel traffic amortize even when one sparse run costs
+//!   microseconds.
+//! * **Deterministic streaming reduction** ([`collect`]): workers ship
+//!   completed batches to the caller's thread, where a reorder buffer
+//!   replays them into a [`Collector`] **strictly in run-index order**.
+//!   Output is therefore bit-identical across thread counts and steal
+//!   interleavings — including floating-point folds. An admission window
+//!   (workers pause before executing batches more than `32·threads`
+//!   batches past the fold frontier) hard-bounds the reorder buffer, so
+//!   memory stays O(threads·batch) even when one slow batch stalls the
+//!   frontier — never O(runs).
+//! * **Throughput reporting** ([`progress`]): optional live `runs/s` lines
+//!   on stderr for long sweeps, plus a [`RunStats`] summary (elapsed,
+//!   batches, steals, per-worker run counts) on every run.
+//!
+//! ```
+//! use wakeup_runner::{collect::from_fn, OnlineStats, Runner};
+//!
+//! let mut stats = OnlineStats::new();
+//! let rs = Runner::new().with_threads(4).run(
+//!     1000,
+//!     |i| (i as f64).sqrt(),       // any Fn(u64) -> T + Sync
+//!     from_fn(|_i, x: f64| stats.push(x)),
+//! );
+//! assert_eq!(stats.count(), 1000);
+//! assert_eq!(rs.runs, 1000);
+//! ```
+//!
+//! Structured accumulators ([`OnlineStats`], [`P2Quantile`],
+//! [`VecCollector`]) and custom [`Collector`] implementations plug in the
+//! same way — pass them by `&mut` to keep ownership.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod progress;
+pub mod queue;
+
+pub use collect::{Collector, OnlineStats, P2Quantile, VecCollector};
+pub use progress::Progress;
+pub use queue::Placement;
+
+use progress::ProgressMeter;
+use queue::BatchQueue;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How batch sizes are chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Time a few leading runs inline, then size batches to roughly the
+    /// given wall-clock target each (the default, 2 ms). Cheap sparse runs
+    /// get large batches; expensive runs get small ones.
+    Auto(Duration),
+    /// A fixed number of runs per batch (clamped to ≥ 1). `Fixed(1)`
+    /// maximizes steal interleavings — useful in scheduling tests.
+    Fixed(u64),
+}
+
+impl Default for BatchSize {
+    fn default() -> Self {
+        BatchSize::Auto(Duration::from_millis(2))
+    }
+}
+
+/// Leading runs executed inline to calibrate [`BatchSize::Auto`].
+const CALIBRATION_RUNS: u64 = 4;
+
+/// Execution statistics of one [`Runner::run`].
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Total runs executed (calibration included).
+    pub runs: u64,
+    /// Worker threads used for the parallel phase (1 ⇒ ran inline).
+    pub threads: usize,
+    /// Batch size used for the parallel phase.
+    pub batch: u64,
+    /// Number of batches dispatched (excluding calibration).
+    pub batches: u64,
+    /// Number of successful steals.
+    pub steals: u64,
+    /// Runs executed inline for batch-size calibration.
+    pub calibration_runs: u64,
+    /// Runs executed by each worker in the parallel phase.
+    pub worker_runs: Vec<u64>,
+    /// Wall-clock duration of the whole call.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// Overall throughput in runs per second.
+    pub fn runs_per_sec(&self) -> f64 {
+        self.runs as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Compact one-line rendering (for experiment footers and logs).
+    pub fn render(&self) -> String {
+        format!(
+            "{} runs in {:.2?} ({:.0} runs/s) | {} threads, batch {}, {} batches, {} steals",
+            self.runs,
+            self.elapsed,
+            self.runs_per_sec(),
+            self.threads,
+            self.batch,
+            self.batches,
+            self.steals
+        )
+    }
+}
+
+/// The work-stealing ensemble runner. Cheap to build; configuration is
+/// plain data and a `Runner` can be reused across calls.
+#[derive(Clone, Debug, Default)]
+pub struct Runner {
+    threads: Option<usize>,
+    batch: BatchSize,
+    placement: Placement,
+    progress: Option<Progress>,
+}
+
+impl Runner {
+    /// A runner with defaults: available parallelism, auto-tuned batches,
+    /// interleaved placement, no progress output.
+    pub fn new() -> Self {
+        Runner::default()
+    }
+
+    /// Use `threads` workers. Zero is clamped to one — a directly
+    /// constructed "no threads" request still runs (inline).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Choose the batch-size policy.
+    pub fn with_batch(mut self, batch: BatchSize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Choose the initial batch placement ([`Placement::Packed`] forces
+    /// every non-zero worker to steal — a scheduling stress mode).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Enable live progress reporting.
+    pub fn with_progress(mut self, progress: Progress) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+            })
+            .max(1)
+    }
+
+    /// Execute `job(i)` for every `i ∈ [0, runs)` across the worker pool and
+    /// fold the results into `collector` **in index order** (see
+    /// [`collect`] for the determinism contract). Returns execution
+    /// statistics.
+    ///
+    /// `job` must be pure up to its index argument: it is called exactly
+    /// once per index, on an unspecified thread.
+    pub fn run<T, J, C>(&self, runs: u64, job: J, mut collector: C) -> RunStats
+    where
+        T: Send,
+        J: Fn(u64) -> T + Sync,
+        C: Collector<Item = T>,
+    {
+        let started = Instant::now();
+        let mut stats = RunStats {
+            runs,
+            threads: 1,
+            ..RunStats::default()
+        };
+        if runs == 0 {
+            stats.elapsed = started.elapsed();
+            return stats;
+        }
+        let mut meter = self.progress.clone().map(ProgressMeter::new);
+
+        // Calibration / batch-size choice. Calibration runs are real runs:
+        // they execute indices 0.. inline and feed the collector first, so
+        // the fold order is unaffected.
+        let mut next = 0u64;
+        let batch = match self.batch {
+            BatchSize::Fixed(b) => b.max(1),
+            BatchSize::Auto(target) => {
+                let calib = CALIBRATION_RUNS.min(runs);
+                let t0 = Instant::now();
+                while next < calib {
+                    collector.collect(next, job(next));
+                    next += 1;
+                    // Small ensembles of expensive runs live entirely in
+                    // this loop — keep reporting.
+                    if let Some(m) = meter.as_mut() {
+                        m.tick(next, runs, 0);
+                    }
+                }
+                stats.calibration_runs = calib;
+                let per_run = (t0.elapsed().as_nanos() / u128::from(calib.max(1))).max(1);
+                let by_time = (target.as_nanos() / per_run).clamp(1, u64::MAX as u128) as u64;
+                // Keep enough batches around for stealing to balance load:
+                // at least ~8 per worker when the workload allows it.
+                let threads = self.resolved_threads() as u64;
+                let for_balance = ((runs - next) / (threads * 8)).max(1);
+                by_time.min(for_balance)
+            }
+        };
+        stats.batch = batch;
+
+        let remaining = next..runs;
+        let threads = self
+            .resolved_threads()
+            .min(usize::try_from(remaining.end - remaining.start).unwrap_or(usize::MAX))
+            .max(1);
+        stats.threads = threads;
+
+        if threads == 1 {
+            // Inline fast path: no workers, no channel, same fold order.
+            for i in remaining {
+                collector.collect(i, job(i));
+                if let Some(m) = meter.as_mut() {
+                    m.tick(i + 1, runs, 0);
+                }
+            }
+            stats.batches = runs.saturating_sub(next).div_ceil(batch);
+            stats.worker_runs = vec![runs - next];
+            stats.elapsed = started.elapsed();
+            self.report_done(&stats);
+            return stats;
+        }
+
+        let queue = BatchQueue::new(remaining.clone(), batch, threads, self.placement);
+        stats.batches = (remaining.end - remaining.start).div_ceil(batch);
+        let done = AtomicU64::new(next);
+        let worker_runs: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+        let (tx, rx) = mpsc::channel::<(u64, Vec<T>)>();
+
+        // Admission window: workers may not *execute* a batch starting more
+        // than `window` indices past the reducer's fold frontier. This is
+        // the hard memory bound on the reorder buffer — without it, one
+        // pathologically slow batch would stall the frontier while every
+        // other worker drains the whole range into `pending` (O(runs)
+        // digests). Deadlock-free: a parked worker holds a batch beyond the
+        // window, so every batch at or below the window is either running
+        // on some worker, queued in a shard whose owner will reach it
+        // front-to-back, or already folded — the frontier therefore keeps
+        // advancing and wakes the parked workers.
+        let frontier = AtomicU64::new(next);
+        let window = batch.saturating_mul(32 * threads as u64);
+        // Set when any worker unwinds: a dead worker's batch never folds,
+        // so the frontier would freeze and parked workers would sleep
+        // forever waiting on it. The flag lets them bail out instead; the
+        // scope then re-raises the original panic.
+        let poisoned = AtomicBool::new(false);
+
+        /// Sets the flag from `Drop` iff the thread is unwinding.
+        struct PanicFlag<'a>(&'a AtomicBool);
+        impl Drop for PanicFlag<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.store(true, Ordering::Release);
+                }
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for (me, my_runs) in worker_runs.iter().enumerate() {
+                let tx = tx.clone();
+                let queue = &queue;
+                let job = &job;
+                let done = &done;
+                let frontier = &frontier;
+                let poisoned = &poisoned;
+                scope.spawn(move || {
+                    let _flag = PanicFlag(poisoned);
+                    while let Some(range) = queue.pop(me) {
+                        while range.start > frontier.load(Ordering::Acquire).saturating_add(window)
+                        {
+                            if poisoned.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        let start = range.start;
+                        let count = range.end - range.start;
+                        let items: Vec<T> = range.map(job).collect();
+                        done.fetch_add(count, Ordering::Relaxed);
+                        my_runs.fetch_add(count, Ordering::Relaxed);
+                        if tx.send((start, items)).is_err() {
+                            return; // reducer gone (panic unwinding)
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            // The reducer can panic too (the collector is caller code, and
+            // it runs here). Parked workers watch `poisoned`, so the same
+            // guard must cover this thread's unwind — otherwise the scope
+            // would block forever joining a worker parked on a frontier
+            // that can no longer advance.
+            let _reducer_flag = PanicFlag(&poisoned);
+
+            // Reduce on this thread: replay batches in index order.
+            let mut pending: BTreeMap<u64, Vec<T>> = BTreeMap::new();
+            let mut expected = next;
+            while expected < runs {
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok((start, items)) => {
+                        pending.insert(start, items);
+                        while let Some(items) = pending.remove(&expected) {
+                            for item in items {
+                                collector.collect(expected, item);
+                                expected += 1;
+                            }
+                        }
+                        frontier.store(expected, Ordering::Release);
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+                if let Some(m) = meter.as_mut() {
+                    m.tick(done.load(Ordering::Relaxed), runs, queue.steals());
+                }
+            }
+        });
+
+        stats.steals = queue.steals();
+        stats.worker_runs = worker_runs.into_iter().map(|c| c.into_inner()).collect();
+        stats.elapsed = started.elapsed();
+        self.report_done(&stats);
+        stats
+    }
+
+    /// Final stderr line for runs with progress enabled, matching the live
+    /// updates ([`RunStats::render`] carries the batch/steal breakdown).
+    fn report_done(&self, stats: &RunStats) {
+        if let Some(p) = &self.progress {
+            eprintln!("[{}] done: {}", p.label, stats.render());
+        }
+    }
+
+    /// Convenience: run `job` over `[0, runs)` and return the results as a
+    /// `Vec` in index order.
+    pub fn map<T, J>(&self, runs: u64, job: J) -> (Vec<T>, RunStats)
+    where
+        T: Send,
+        J: Fn(u64) -> T + Sync,
+    {
+        let mut out = VecCollector::with_capacity(usize::try_from(runs).unwrap_or(0));
+        let stats = self.run(runs, job, &mut out);
+        (out.items, stats)
+    }
+}

@@ -1,0 +1,63 @@
+//! Optional live progress/throughput reporting for long sweeps.
+//!
+//! The runner's reducer loop ticks the internal meter while it waits for
+//! results; the meter prints a one-line update to **stderr** (tables on
+//! stdout stay machine-readable) at most once per configured interval:
+//!
+//! ```text
+//! [runner] 412000/1048576 runs (39.3%) | 183402 runs/s | 12 steals
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Configuration of live progress reporting.
+#[derive(Clone, Debug)]
+pub struct Progress {
+    /// Minimum interval between updates.
+    pub every: Duration,
+    /// Label prefixed to each line (e.g. the experiment table's name).
+    pub label: String,
+}
+
+impl Progress {
+    /// Report roughly every `every`, labelled `label`.
+    pub fn new(every: Duration, label: impl Into<String>) -> Self {
+        Progress {
+            every,
+            label: label.into(),
+        }
+    }
+}
+
+/// Internal throttle around a [`Progress`] spec.
+pub(crate) struct ProgressMeter {
+    spec: Progress,
+    started: Instant,
+    last: Instant,
+}
+
+impl ProgressMeter {
+    pub(crate) fn new(spec: Progress) -> Self {
+        let now = Instant::now();
+        ProgressMeter {
+            spec,
+            started: now,
+            last: now,
+        }
+    }
+
+    /// Print an update if the interval elapsed.
+    pub(crate) fn tick(&mut self, done: u64, total: u64, steals: u64) {
+        if self.last.elapsed() < self.spec.every {
+            return;
+        }
+        self.last = Instant::now();
+        let secs = self.started.elapsed().as_secs_f64().max(1e-9);
+        eprintln!(
+            "[{}] {done}/{total} runs ({:.1}%) | {:.0} runs/s | {steals} steals",
+            self.spec.label,
+            100.0 * done as f64 / total.max(1) as f64,
+            done as f64 / secs,
+        );
+    }
+}

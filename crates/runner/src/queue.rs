@@ -1,0 +1,167 @@
+//! The sharded batch queue behind the runner.
+//!
+//! Work is a contiguous range of run indices `[0, runs)`, pre-split into
+//! *batches* (sub-ranges). Each worker owns one shard — a mutex-protected
+//! deque of batches — and drains it front-to-back, so a worker processes its
+//! own work in ascending index order (which keeps the reduction's reorder
+//! buffer small). A worker whose shard runs dry *steals* from the back of
+//! the currently fullest shard: the back holds the victim's furthest-future
+//! indices, the work it would otherwise reach last.
+//!
+//! Mutex-sharded deques (rather than lock-free Chase–Lev deques) are a
+//! deliberate simplicity/portability trade-off: batches are sized by
+//! calibration to amortize dispatch (~milliseconds of simulation each), so
+//! queue operations are micro-contended and far off the critical path.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How the initial batches are dealt across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Deal batches round-robin (batch `j` to shard `j mod shards`), so
+    /// workers draining their shards front-to-back advance through the
+    /// index space roughly in lockstep. This keeps the reducer's reorder
+    /// buffer near O(threads · batch): a contiguous block-per-worker split
+    /// would make index order wait on worker 0's whole block while the
+    /// other workers' results pile up. The default.
+    #[default]
+    Interleaved,
+    /// Give *all* batches to shard 0. Every other worker can only make
+    /// progress by stealing — a scheduling stress mode used to exercise
+    /// steal interleavings in tests.
+    Packed,
+}
+
+/// A sharded queue of index-range batches with steal-on-empty.
+pub struct BatchQueue {
+    shards: Vec<Mutex<VecDeque<Range<u64>>>>,
+    steals: AtomicU64,
+}
+
+impl BatchQueue {
+    /// Split `work` into batches of `batch` indices (the last one may be
+    /// short) and deal them across `shards` shards.
+    pub fn new(work: Range<u64>, batch: u64, shards: usize, placement: Placement) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(shards > 0, "need at least one shard");
+        let mut batches = Vec::new();
+        let mut start = work.start;
+        while start < work.end {
+            let end = work.end.min(start + batch);
+            batches.push(start..end);
+            start = end;
+        }
+        let mut queues: Vec<VecDeque<Range<u64>>> = (0..shards).map(|_| VecDeque::new()).collect();
+        match placement {
+            Placement::Interleaved => {
+                for (j, b) in batches.into_iter().enumerate() {
+                    queues[j % shards].push_back(b);
+                }
+            }
+            Placement::Packed => queues[0].extend(batches),
+        }
+        BatchQueue {
+            shards: queues.into_iter().map(Mutex::new).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pop the next batch for worker `me`: the front of its own shard, or —
+    /// when that is empty — the back of the fullest other shard. `None`
+    /// means no work is left anywhere (workers then exit; batches are never
+    /// re-queued, so a `None` is final).
+    pub fn pop(&self, me: usize) -> Option<Range<u64>> {
+        if let Some(b) = self.shards[me].lock().unwrap().pop_front() {
+            return Some(b);
+        }
+        // Steal from the shard with the most remaining batches.
+        loop {
+            let victim = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != me)
+                .map(|(i, s)| (s.lock().unwrap().len(), i))
+                .max()?;
+            let (len, idx) = victim;
+            if len == 0 {
+                return None;
+            }
+            if let Some(b) = self.shards[idx].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(b);
+            }
+            // The victim drained between the scan and the lock; rescan.
+        }
+    }
+
+    /// Number of successful steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(q: &BatchQueue, me: usize) -> Vec<Range<u64>> {
+        std::iter::from_fn(|| q.pop(me)).collect()
+    }
+
+    #[test]
+    fn splits_range_into_batches() {
+        let q = BatchQueue::new(0..10, 4, 1, Placement::Interleaved);
+        assert_eq!(drain_all(&q, 0), vec![0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn interleaved_placement_keeps_workers_in_lockstep() {
+        let q = BatchQueue::new(0..8, 2, 2, Placement::Interleaved);
+        // Batches alternate across shards, so front-of-queue indices are
+        // adjacent — the property that bounds the reorder buffer.
+        assert_eq!(q.pop(0), Some(0..2));
+        assert_eq!(q.pop(1), Some(2..4));
+        assert_eq!(q.pop(0), Some(4..6));
+        assert_eq!(q.pop(1), Some(6..8));
+    }
+
+    #[test]
+    fn steal_takes_from_the_back_of_the_fullest_shard() {
+        let q = BatchQueue::new(0..12, 2, 3, Placement::Packed);
+        // Shard 0 holds everything; worker 2 must steal the *last* batch.
+        assert_eq!(q.pop(2), Some(10..12));
+        assert_eq!(q.steals(), 1);
+        // Owner still drains front-to-back.
+        assert_eq!(q.pop(0), Some(0..2));
+    }
+
+    #[test]
+    fn exhaustion_returns_none_for_everyone() {
+        let q = BatchQueue::new(0..3, 1, 2, Placement::Interleaved);
+        let mut got = Vec::new();
+        for me in [0, 1, 0, 1, 0, 1] {
+            if let Some(b) = q.pop(me) {
+                got.push(b);
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn empty_range_yields_no_batches() {
+        let q = BatchQueue::new(5..5, 3, 2, Placement::Interleaved);
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.steals(), 0);
+    }
+}

@@ -83,18 +83,38 @@ pub fn next_prime(x: u64) -> u64 {
     p
 }
 
-/// `ln C(n, k)` (natural log of the binomial coefficient), exact summation.
+/// `ln C(n, k)` (natural log of the binomial coefficient).
 ///
 /// Used to size randomized constructions from union bounds without
-/// overflowing; `ln_choose(n, 0) = 0`.
+/// overflowing; `ln_choose(n, 0) = 0`. Small `min(k, n−k)` is summed
+/// exactly; large arguments use the Stirling-series log-factorial, accurate
+/// to ~1e-12 relative — family sizers call this for every target-set size
+/// up to `k`, so the exact `O(k)` summation would make them `O(k²)` (≈ a
+/// minute per construction at `k = 2^17`, and `n = 2^20` universes were
+/// unbuildable).
 pub fn ln_choose(n: u64, k: u64) -> f64 {
     assert!(k <= n, "ln_choose: k={k} > n={n}");
     let k = k.min(n - k);
-    let mut acc = 0.0f64;
-    for i in 0..k {
-        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    if k <= 256 {
+        let mut acc = 0.0f64;
+        for i in 0..k {
+            acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+        }
+        return acc;
     }
-    acc
+    // k > 256 ⇒ all of n, k, n−k are ≥ 256, deep inside the series' range.
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(x!)` by the Stirling series with three correction terms — relative
+/// error below 1e-12 for `x ≥ 256` (callers with smaller `x` take
+/// [`ln_choose`]'s exact path).
+fn ln_factorial(x: u64) -> f64 {
+    debug_assert!(x >= 256);
+    let x = x as f64;
+    let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+    (x + 0.5) * x.ln() - x + 0.5 * ln_2pi + 1.0 / (12.0 * x) - 1.0 / (360.0 * x.powi(3))
+        + 1.0 / (1260.0 * x.powi(5))
 }
 
 /// Iterator over all `k`-subsets of `{0, …, n-1}` in lexicographic order,
@@ -237,6 +257,37 @@ mod tests {
             );
         }
         assert_eq!(ln_choose(5, 0), 0.0);
+    }
+
+    #[test]
+    fn ln_choose_stirling_path_matches_exact_summation() {
+        // Straddle the exact/Stirling switchover: the series must agree
+        // with the exact O(k) summation to ~1e-12 relative.
+        let exact_sum = |n: u64, k: u64| -> f64 {
+            let k = k.min(n - k);
+            (0..k)
+                .map(|i| ((n - i) as f64).ln() - ((i + 1) as f64).ln())
+                .sum()
+        };
+        for (n, k) in [
+            (1u64 << 20, 257u64),
+            (1 << 20, 4096),
+            (1 << 20, 131_072),
+            (1 << 20, 1 << 19),
+            (600, 300),
+            (100_000, 99_000),
+        ] {
+            let a = ln_choose(n, k);
+            let b = exact_sum(n, k);
+            assert!(
+                (a - b).abs() / b.abs().max(1.0) < 1e-10,
+                "n={n} k={k}: stirling {a} vs exact {b}"
+            );
+        }
+        // Continuity at the boundary.
+        let lo = ln_choose(1 << 20, 256);
+        let hi = ln_choose(1 << 20, 257);
+        assert!(hi > lo && (hi - lo) < 20.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! protocols, the Theorem 2.1 lower-bound adversary, and the measurement
 //! harness that regenerates every quantitative claim of the paper.
 //!
-//! This crate is a facade: it re-exports the four member crates.
+//! This crate is a facade: it re-exports the five member crates.
 //!
 //! | crate | contents |
 //! |-------|----------|
@@ -15,6 +15,7 @@
 //! | [`selectors`] | selective families, Kautz–Singleton codes, schedule algebra |
 //! | [`wakeup_core`] | the paper's algorithms and the waking matrix |
 //! | [`wakeup_analysis`] | ensembles, statistics, model-shape fitting, tables |
+//! | [`wakeup_runner`] | work-stealing ensemble execution, streaming accumulators |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use mac_sim;
 pub use selectors;
 pub use wakeup_analysis;
 pub use wakeup_core;
+pub use wakeup_runner;
 
 /// One-stop imports: the simulator, the paper's protocols and the analysis
 /// tools.
