@@ -180,7 +180,11 @@ fn engine_dense_vs_sparse(c: &mut Criterion) {
         );
     }
 
-    // Scenario C (waking matrix) on a simultaneous sparse burst.
+    // Scenario C (waking matrix) on a simultaneous sparse burst — the
+    // hardest shape for event-driven execution: success lands within a few
+    // slots, so there is nothing to skip and the hint machinery is pure
+    // overhead. Expect ≈ parity, not a win (see the staggered row for the
+    // shape where the per-row PRF jumps pay off).
     let c_ids: Vec<StationId> = (0..k as u32).map(|i| StationId(i * 500 + 17)).collect();
     let c_pattern = WakePattern::simultaneous(&c_ids, 11).unwrap();
     for (label, mode) in [("dense", EngineMode::Dense), ("sparse", EngineMode::Auto)] {
@@ -191,6 +195,80 @@ fn engine_dense_vs_sparse(c: &mut Criterion) {
                 let sim = Simulator::new(SimConfig::new(n).with_engine(mode));
                 let proto = WakeupN::new(MatrixParams::new(n));
                 b.iter(|| black_box(sim.run(&proto, &c_pattern, 0).unwrap().first_success))
+            },
+        );
+    }
+
+    // Scenario C with staggered arrivals: silent stretches between wakes
+    // are skipped via the per-row PRF jumps.
+    let stag_pattern = WakePattern::staggered(&c_ids, 3, 997).unwrap();
+    for (label, mode) in [("dense", EngineMode::Dense), ("sparse", EngineMode::Auto)] {
+        group.bench_with_input(
+            BenchmarkId::new("wakeup_n_staggered_n4096_k8", label),
+            &mode,
+            |b, &mode| {
+                let sim = Simulator::new(SimConfig::new(n).with_engine(mode));
+                let proto = WakeupN::new(MatrixParams::new(n));
+                b.iter(|| black_box(sim.run(&proto, &stag_pattern, 0).unwrap().first_success))
+            },
+        );
+    }
+
+    // Full conflict resolution (Komlós–Greenberg) under AllResolved: the
+    // feedback-driven workload that epoch-scoped (Until::NextSuccess)
+    // hints moved off the forced-dense path.
+    let kg_ids: Vec<StationId> = (0..16u32).map(|i| StationId(i * 60 + 7)).collect();
+    let kg_pattern = WakePattern::simultaneous(&kg_ids, 9).unwrap();
+    for (label, mode) in [("dense", EngineMode::Dense), ("sparse", EngineMode::Auto)] {
+        group.bench_with_input(
+            BenchmarkId::new("full_resolution_n4096_k16", label),
+            &mode,
+            |b, &mode| {
+                let sim = Simulator::new(
+                    SimConfig::new(n)
+                        .with_max_slots(500_000)
+                        .until_all_resolved()
+                        .with_engine(mode),
+                );
+                let proto = FullResolution::new(n, 16, FamilyProvider::default());
+                b.iter(|| {
+                    black_box(
+                        sim.run(&proto, &kg_pattern, 0)
+                            .unwrap()
+                            .all_resolved_at
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+
+    // Retiring round-robin at n = 2^16 under AllResolved: Θ(n) silent
+    // slots between the k turns — the shape where success-scoped skipping
+    // is transformative (dense is O(n·k) polls, sparse is O(k) events).
+    let big_n = 65536u32;
+    let rr_ids2: Vec<StationId> = (0..8u32).map(|i| StationId(i * 8000 + 11)).collect();
+    let rr_pattern2 = WakePattern::simultaneous(&rr_ids2, 5).unwrap();
+    for (label, mode) in [("dense", EngineMode::Dense), ("sparse", EngineMode::Auto)] {
+        group.bench_with_input(
+            BenchmarkId::new("retiring_rr_n65536_k8", label),
+            &mode,
+            |b, &mode| {
+                let sim = Simulator::new(
+                    SimConfig::new(big_n)
+                        .with_max_slots(500_000)
+                        .until_all_resolved()
+                        .with_engine(mode),
+                );
+                let proto = RetiringRoundRobin::new(big_n);
+                b.iter(|| {
+                    black_box(
+                        sim.run(&proto, &rr_pattern2, 0)
+                            .unwrap()
+                            .all_resolved_at
+                            .unwrap(),
+                    )
+                })
             },
         );
     }

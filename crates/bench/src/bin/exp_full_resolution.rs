@@ -4,11 +4,20 @@
 //!
 //! Measures the selective-family resolver with retirement against retiring
 //! round-robin (`Θ(n)`) and fits the measured full-resolution latency
-//! against `k·log(n/k)+1` and `n`. Full-resolution runs stay on the dense
-//! engine (retirement is feedback-driven), so they are the expensive kind —
-//! the per-`(n, k)` ensembles run on the work-stealing runner.
+//! against `k·log(n/k)+1` and `n`. Since the epoch-scoped hint refactor,
+//! full-resolution runs execute on the **sparse** engine (`Until::
+//! NextSuccess` hints: retirement is feedback-driven, but only successes
+//! invalidate the schedule), so the sweep reaches the same `n` as EXP-A/B.
+//! Each row reports the sparse work counters next to the dense-equivalent
+//! cost: on a simultaneous burst every pattern station stays awake for the
+//! whole run, so the dense engine would pay exactly `slots × k` polls.
+//!
+//! `WAKEUP_ASSERT_SPARSE=1` (the CI smoke) asserts that the selective rows
+//! actually skipped slots and stayed far below the dense poll count — i.e.
+//! no protocol silently fell back to `TxHint::Dense`.
 
 use mac_sim::prelude::*;
+use wakeup_analysis::ensemble::WorkStats;
 use wakeup_analysis::prelude::*;
 use wakeup_bench::{banner, burst_pattern, runner, Scale};
 use wakeup_core::prelude::*;
@@ -20,6 +29,7 @@ fn main() {
     );
     let scale = Scale::from_env();
     let runs = scale.runs();
+    let assert_sparse = std::env::var("WAKEUP_ASSERT_SPARSE").is_ok();
     let mut table = Table::new([
         "n",
         "k",
@@ -27,27 +37,60 @@ fn main() {
         "selective (max)",
         "retiring RR (mean)",
         "unresolved",
+        "polls/slot",
+        "skip%",
+        "dense-equiv speedup",
     ]);
     let mut points = Vec::new();
+    let mut total_work = WorkStats::default();
 
-    for &n in &scale.n_sweep() {
+    // The resolvers ride the sparse path now, so the sweep uses the sparse
+    // n range (k stays modest: full resolution needs ≥ k successes, and the
+    // per-run cost scales with events ≈ k·passes, not slots).
+    for &n in &scale.n_sweep_sparse() {
         for &k in &scale.k_sweep(64.min(n)) {
             let sel = run_ensemble_full(runs, 8000, n, k, true);
             let rr = run_ensemble_full(runs, 8000, n, k, false);
-            let sel_summary = Summary::of_u64(&sel.0).expect("selective must resolve");
-            let rr_summary = Summary::of_u64(&rr.0).expect("round-robin must resolve");
+            let sel_summary = Summary::of_u64(&sel.latencies).expect("selective must resolve");
+            let rr_summary = Summary::of_u64(&rr.latencies).expect("round-robin must resolve");
             points.push((f64::from(n), f64::from(k), sel_summary.mean));
+            // Dense equivalent: every awake station polled every slot.
+            let dense_polls = sel.work.slots * u64::from(k);
+            let speedup = dense_polls as f64 / sel.work.polls.max(1) as f64;
+            // k = 1 resolves in a slot or two — nothing to skip; assert
+            // only where runs have silent stretches to win back.
+            if assert_sparse && sel.work.slots > 4 * runs {
+                assert!(
+                    sel.work.skipped > 0,
+                    "n={n} k={k}: selective resolver skipped no slots (dense fallback?)"
+                );
+                assert!(
+                    speedup > 2.0,
+                    "n={n} k={k}: sparse poll count {} too close to dense {}",
+                    sel.work.polls,
+                    dense_polls
+                );
+            }
+            total_work.merge(&sel.work);
+            total_work.merge(&rr.work);
             table.push_row([
                 n.to_string(),
                 k.to_string(),
                 format!("{:.1}", sel_summary.mean),
                 format!("{:.0}", sel_summary.max),
                 format!("{:.1}", rr_summary.mean),
-                (sel.1 + rr.1).to_string(),
+                (sel.unresolved + rr.unresolved).to_string(),
+                format!("{:.4}", sel.work.polls_per_slot()),
+                format!("{:.1}", 100.0 * sel.work.skip_fraction()),
+                format!("{speedup:.0}x"),
             ]);
         }
     }
     table.print();
+    println!("EXP-KG work: {}", total_work.render());
+    if assert_sparse {
+        println!("sparse-path assertion: PASSED (skips > 0, speedup > 2x on every selective row)");
+    }
 
     println!("\nmodel ranking over selective-resolver means (best R² first):");
     for fit in wakeup_analysis::fit::rank_models(&points).iter().take(4) {
@@ -72,16 +115,17 @@ fn main() {
     }
 }
 
-/// Returns (full-resolution latencies in seed order, unresolved count).
+/// One protocol's ensemble: full-resolution latencies in seed order,
+/// unresolved count, and the aggregated engine-work counters.
+struct FullEnsemble {
+    latencies: Vec<u64>,
+    unresolved: usize,
+    work: WorkStats,
+}
+
 /// Runs execute on the work-stealing pool; the fold is in seed order, so
 /// the output is identical to the old sequential loop.
-fn run_ensemble_full(
-    runs: u64,
-    base_seed: u64,
-    n: u32,
-    k: u32,
-    selective: bool,
-) -> (Vec<u64>, usize) {
+fn run_ensemble_full(runs: u64, base_seed: u64, n: u32, k: u32, selective: bool) -> FullEnsemble {
     let cfg = SimConfig::new(n)
         .with_max_slots(4 * u64::from(n) * 64)
         .until_all_resolved();
@@ -102,11 +146,25 @@ fn run_ensemble_full(
         } else {
             Box::new(RetiringRoundRobin::new(n))
         };
-        sim.run(protocol.as_ref(), &pattern, seed)
-            .unwrap()
-            .full_resolution_latency()
+        let out = sim.run(protocol.as_ref(), &pattern, seed).unwrap();
+        (
+            out.full_resolution_latency(),
+            out.slots_simulated,
+            out.polls,
+            out.skipped_slots,
+        )
     });
-    let latencies: Vec<u64> = results.iter().filter_map(|&l| l).collect();
+    let mut work = WorkStats::default();
+    for &(_, slots, polls, skipped) in &results {
+        work.slots += slots;
+        work.polls += polls;
+        work.skipped += skipped;
+    }
+    let latencies: Vec<u64> = results.iter().filter_map(|&(l, _, _, _)| l).collect();
     let unresolved = results.len() - latencies.len();
-    (latencies, unresolved)
+    FullEnsemble {
+        latencies,
+        unresolved,
+        work,
+    }
 }

@@ -9,10 +9,12 @@
 //! worst cases. Latency means are fitted against `k·log n·log log n` (the
 //! claim) and `k·log² n` (the baseline shape it must beat).
 //!
-//! The waking matrix answers no useful `next_transmission` hint (the PRF
-//! membership cannot be skipped structurally — see ROADMAP), so this sweep
-//! keeps the standard `n` range; ensembles still ride the work-stealing
-//! runner and the footer reports per-table `WorkStats`.
+//! Since the epoch-scoped hint refactor the waking matrix answers
+//! *structure-aware* hints — per-row PRF jumps on a hoisted mixing prefix,
+//! with `Until::Slot` callbacks at row boundaries — so the sweep now uses
+//! the sparse `n` range (up to n = 2^20 at full scale) like EXP-A/B. Each
+//! row reports the sparse work counters next to the dense-equivalent cost
+//! (`slots × k`: on a burst every station stays operative to the end).
 
 use mac_sim::prelude::*;
 use wakeup_analysis::prelude::*;
@@ -26,11 +28,22 @@ fn main() {
     );
     let scale = Scale::from_env();
     let runs = scale.runs();
-    let mut table = Table::new(["n", "k", "mean", "ci95", "max", "bound c·k·L·W", "censored"]);
+    let mut table = Table::new([
+        "n",
+        "k",
+        "mean",
+        "ci95",
+        "max",
+        "bound c·k·L·W",
+        "censored",
+        "polls/slot",
+        "skip%",
+        "dense-equiv speedup",
+    ]);
     let mut points = Vec::new();
     let mut meter = TableMeter::new();
 
-    for &n in &scale.n_sweep() {
+    for &n in &scale.n_sweep_sparse() {
         let k_cap = match scale {
             Scale::Quick => 256.min(n / 4),
             Scale::Full => 1024.min(n / 4),
@@ -65,6 +78,7 @@ fn main() {
             );
             meter.absorb(&res);
             points.push((f64::from(n), f64::from(k), res.mean()));
+            let dense_polls = res.work.slots * u64::from(k);
             table.push_row([
                 n.to_string(),
                 k.to_string(),
@@ -73,6 +87,9 @@ fn main() {
                 format!("{:.0}", res.max()),
                 theorem_horizon.to_string(),
                 res.censored().to_string(),
+                format!("{:.4}", res.work.polls_per_slot()),
+                format!("{:.1}", 100.0 * res.work.skip_fraction()),
+                format!("{:.0}x", dense_polls as f64 / res.work.polls.max(1) as f64),
             ]);
         }
     }

@@ -21,9 +21,9 @@
 //! `k·log² n` growth (EXP-CHL) — slower than `wakeup(n)`'s
 //! `k log n log log n` by the factor the paper claims.
 
-use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
+use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint, Until};
 use selectors::math::log_n;
-use selectors::prf::coin_pow2;
+use selectors::prf::{coin_pow2, GapScanner};
 
 /// Locally-synchronized deterministic doubling baseline (`O(k log² n)`
 /// shape).
@@ -75,16 +75,22 @@ struct LocalDoublingStation {
 }
 
 impl LocalDoublingStation {
-    /// The epoch of local position `p` (1-based; clamped at the last epoch).
-    fn epoch(&self, p: u64) -> u32 {
+    /// The epoch of local position `p` plus the local position at which it
+    /// ends (1-based; clamped at the last epoch, whose end is `u64::MAX`).
+    fn epoch_span(&self, p: u64) -> (u32, u64) {
         let mut acc = 0u64;
         for i in 1..=self.proto.epochs() {
             acc += self.proto.epoch_len(i);
             if p < acc {
-                return i;
+                return (i, acc);
             }
         }
-        self.proto.epochs()
+        (self.proto.epochs(), u64::MAX)
+    }
+
+    /// The epoch of local position `p`.
+    fn epoch(&self, p: u64) -> u32 {
+        self.epoch_span(p).0
     }
 }
 
@@ -99,30 +105,39 @@ impl Station for LocalDoublingStation {
         // Deterministic density-2^{-i} coin, keyed by the *global* slot so
         // that overlapping stations see decorrelated (but shared-seed)
         // schedules. The station itself derives t = σ + p from local data.
+        // Argument order (station, epoch, slot) keeps the scan variable
+        // last, matching the GapScanner prefix in `next_transmission`.
         Action::from_bool(coin_pow2(
             self.proto.seed,
             u64::from(self.id.0),
-            t,
             u64::from(i),
+            t,
             i,
         ))
     }
 
     fn next_transmission(&mut self, after: Slot) -> TxHint {
         // The schedule is an oblivious PRF coin per slot (density 2^{-i} in
-        // epoch i), so the next transmission is found by scanning — expected
-        // gap 2^i, worst case unbounded, hence the safety cap: if no hit is
-        // found within the horizon the station asks for dense polling
-        // instead of lying.
-        const SCAN_CAP: u64 = 1 << 22;
-        for t in after..after.saturating_add(SCAN_CAP) {
-            let p = t - self.sigma;
-            let i = self.epoch(p);
-            if coin_pow2(self.proto.seed, u64::from(self.id.0), t, u64::from(i), i) {
-                return TxHint::At(t);
+        // epoch i), so the next transmission is found by jumping over the
+        // pseudorandom gap — expected 2^i coins on a per-(station, epoch)
+        // prefix. Deep epochs make the gap (and the worst case) large, so
+        // the scan is capped: past the horizon the station answers "silent
+        // until the cap" and lets the engine call back there, instead of
+        // forcing the whole run dense.
+        const SCAN_CAP: u64 = 1 << 16;
+        let cap_end = after.saturating_add(SCAN_CAP);
+        let mut t = after;
+        while t < cap_end {
+            // One scan segment per epoch: fixed density, one PRF prefix.
+            let (i, end_local) = self.epoch_span(t - self.sigma);
+            let seg_end = self.sigma.saturating_add(end_local).min(cap_end);
+            let scanner = GapScanner::new(self.proto.seed, u64::from(self.id.0), u64::from(i));
+            if let Some(hit) = scanner.next_set(t, seg_end, |_| i) {
+                return TxHint::at(hit);
             }
+            t = seg_end;
         }
-        TxHint::Dense
+        TxHint::Never(Until::Slot(cap_end))
     }
 }
 

@@ -29,9 +29,9 @@
 //! retirement, resolving everyone within `n` slots of the last wake-up.
 
 use crate::family_provider::FamilyProvider;
-use crate::select_among_first::DoublingSchedule;
-use mac_sim::{Action, Feedback, Protocol, Slot, Station, StationId};
-use selectors::math::log_n;
+use crate::select_among_first::{DoublingSchedule, NextPositionCache};
+use mac_sim::{Action, Feedback, Protocol, Slot, Station, StationId, TxHint, Until};
+use selectors::math::{log_n, next_congruent};
 use std::sync::Arc;
 
 /// Selective-family conflict resolution with retirement on own success.
@@ -67,6 +67,9 @@ struct FullResolutionStation {
     done: bool,
     go_slot: Slot,
     schedule: Arc<DoublingSchedule>,
+    /// Memoized schedule `next_position` answer — the schedule part of the
+    /// hint is oblivious, so a computed hit survives success re-queries.
+    cache: NextPositionCache,
 }
 
 impl Station for FullResolutionStation {
@@ -84,8 +87,23 @@ impl Station for FullResolutionStation {
     }
 
     fn feedback(&mut self, _t: Slot, fb: Feedback) {
-        if fb == Feedback::Heard(self.id) {
+        if fb.is_own_success(self.id) {
             self.done = true; // message delivered: retire
+        }
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        // Retirement is permanent; between successes the schedule walk is
+        // oblivious, and only a success (our own) can change it — exactly
+        // the `Until::NextSuccess` contract, which is what lets
+        // Komlós–Greenberg runs skip their silent slots.
+        if self.done {
+            return TxHint::never();
+        }
+        let from = after.max(self.go_slot);
+        match self.cache.query(&self.schedule, self.id.0, from) {
+            Some(p) => TxHint::At(p, Until::NextSuccess),
+            None => TxHint::Never(Until::NextSuccess),
         }
     }
 }
@@ -97,6 +115,7 @@ impl Protocol for FullResolution {
             done: false,
             go_slot: 0,
             schedule: Arc::clone(&self.schedule),
+            cache: NextPositionCache::default(),
         })
     }
 
@@ -135,9 +154,19 @@ impl Station for RetiringRoundRobinStation {
     }
 
     fn feedback(&mut self, _t: Slot, fb: Feedback) {
-        if fb == Feedback::Heard(self.id) {
+        if fb.is_own_success(self.id) {
             self.done = true;
         }
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        if self.done {
+            return TxHint::never();
+        }
+        TxHint::At(
+            next_congruent(after, u64::from(self.id.0), u64::from(self.n)),
+            Until::NextSuccess,
+        )
     }
 }
 

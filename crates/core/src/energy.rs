@@ -71,10 +71,10 @@ impl Station for CappedStation {
     fn next_transmission(&mut self, after: Slot) -> TxHint {
         if self.remaining == 0 {
             // Budget spent: silent forever, whatever the inner schedule says.
-            return TxHint::Never;
+            return TxHint::never();
         }
         // With budget left the wrapper is transparent: the inner station's
-        // next transmission is also ours.
+        // next transmission — and its validity scope — is also ours.
         self.inner.next_transmission(after)
     }
 }

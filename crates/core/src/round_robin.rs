@@ -51,7 +51,7 @@ impl Station for RoundRobinStation {
     fn next_transmission(&mut self, after: Slot) -> TxHint {
         // The next slot ≡ id (mod n), in O(1): the schedule is oblivious,
         // so the engine can jump straight to this station's turn.
-        TxHint::At(selectors::math::next_congruent(
+        TxHint::at(selectors::math::next_congruent(
             after,
             u64::from(self.id.0),
             u64::from(self.n),

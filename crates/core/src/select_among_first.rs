@@ -179,12 +179,12 @@ impl Station for SafStation {
 
     fn next_transmission(&mut self, after: Slot) -> TxHint {
         if !self.participates {
-            return TxHint::Never;
+            return TxHint::never();
         }
         let from = after.max(self.s);
         match self.schedule.next_position(self.id.0, from - self.s) {
-            Some(p) => TxHint::At(self.s + p),
-            None => TxHint::Never,
+            Some(p) => TxHint::at(self.s + p),
+            None => TxHint::never(),
         }
     }
 }

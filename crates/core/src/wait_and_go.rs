@@ -92,8 +92,8 @@ impl Station for WagStation {
         // Positions coincide with global slots for the stand-alone component.
         let from = after.max(self.go_slot);
         match self.schedule.next_position(self.id.0, from) {
-            Some(p) => TxHint::At(p),
-            None => TxHint::Never,
+            Some(p) => TxHint::at(p),
+            None => TxHint::never(),
         }
     }
 }

@@ -28,7 +28,8 @@
 //! runs surface as censored samples in the experiments instead).
 
 use crate::waking_matrix::{MatrixParams, WakingMatrix};
-use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
+use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint, Until};
+use selectors::prf::GapScanner;
 use std::sync::Arc;
 
 /// The Scenario C protocol `wakeup(n)`.
@@ -74,15 +75,32 @@ struct WakeupNStation {
     restart: bool,
     /// Slot at which the station becomes operative (µ(σ)).
     mu: Slot,
+    /// First walk's start µ(σ) — unlike `mu`, never advanced by restarts;
+    /// the anchor for the stateless hint geometry.
+    mu0: Slot,
     /// Current row (1-based); rows() + 1 once the scan is done.
     row: u32,
     /// First slot after the current row's dwell.
     row_end: Slot,
+    /// Cached hint-scan segment: the row the last `next_transmission`
+    /// landed in, as global slots `[start, end)`, with its PRF row prefix.
+    /// Queries are non-decreasing, so the cache is valid until the clock
+    /// leaves the row.
+    scan: Option<RowScan>,
+}
+
+/// One row's scan state (see [`WakeupNStation::scan`]).
+struct RowScan {
+    row: u32,
+    start: Slot,
+    end: Slot,
+    scanner: GapScanner,
 }
 
 impl Station for WakeupNStation {
     fn wake(&mut self, sigma: Slot) {
         self.mu = self.matrix.mu(sigma);
+        self.mu0 = self.mu;
         self.row = 1;
         self.row_end = self.mu + self.matrix.dwell(1);
     }
@@ -114,43 +132,50 @@ impl Station for WakeupNStation {
     }
 
     fn next_transmission(&mut self, after: Slot) -> TxHint {
-        if self.restart {
-            // The restarted walk is unbounded; a station that is member of
-            // no entry would force an unbounded scan, so restarting stations
-            // stay on the dense path.
-            return TxHint::Dense;
-        }
-        // Pure scan over the (stateless) matrix walk from max(after, µ(σ)):
-        // the stateful `row` cursor is untouched, and `act` tolerates jumps.
-        //
-        // Cost note: the PRF matrix has no structure to exploit, so this
-        // scan pays one coin per candidate slot — the same work dense
-        // polling would do — making short successful runs slightly slower
-        // under the sparse engine (bookkeeping overhead, see README). The
-        // hint is kept anyway because the `Never` after scan exhaustion is
-        // the difference between skipping a censored run's remaining tens
-        // of millions of slots instantly and polling dead stations through
-        // all of them.
+        // Stateless walk geometry anchored at µ(σ): the stateful `row`
+        // cursor is untouched, and `act` tolerates jumps. Restart walks
+        // tile contiguously (the total scan is a multiple of the window
+        // length, so each walk ends exactly on the next walk's µ), which
+        // makes `delta mod total` the position inside the current walk.
         let m = &self.matrix;
-        let total = m.total_scan();
-        let from = after.max(self.mu);
-        let mut delta = from - self.mu;
-        while delta < total {
-            let row = m
-                .row_at_offset(delta)
-                .expect("delta < total_scan has a row");
-            let (_, row_end) = m.row_span(row);
-            while delta < row_end {
-                let t = self.mu + delta;
-                if m.member(row, t, self.id.0) {
-                    return TxHint::At(t);
-                }
-                delta += 1;
+        let from = after.max(self.mu0);
+        // Queries are non-decreasing, so the row segment and its PRF prefix
+        // from the previous query usually still apply (collision re-arms
+        // hit the same row over and over).
+        let cached = matches!(&self.scan, Some(s) if s.start <= from && from < s.end);
+        if !cached {
+            let total = m.total_scan();
+            let delta = from - self.mu0;
+            if !self.restart && delta >= total {
+                // Scan exhausted: the paper's protocol ends; the station
+                // is silent forever.
+                return TxHint::never();
             }
+            let delta_in_walk = delta % total;
+            let walk_start = from - delta_in_walk;
+            let row = m
+                .row_at_offset(delta_in_walk)
+                .expect("delta_in_walk < total_scan has a row");
+            let (row_start, row_end) = m.row_span(row);
+            self.scan = Some(RowScan {
+                row,
+                start: walk_start + row_start,
+                end: walk_start + row_end,
+                scanner: m.row_scanner(row, self.id.0),
+            });
         }
-        // Scan exhausted: the paper's protocol ends; the station is silent
-        // forever.
-        TxHint::Never
+        let seg = self.scan.as_ref().expect("segment cached above");
+        // Structure-aware per-row skip: jump to the next PRF membership in
+        // the *current* row only (expected O(2^{i+ρ}) cheap coins). If the
+        // row has no further hit, answer "silent until the row boundary"
+        // and let the engine call back there — bounded lookahead instead of
+        // scanning exponentially longer later rows that a success may make
+        // moot.
+        match m.next_member_scanned(&seg.scanner, seg.row, from, seg.end) {
+            Some(t) => TxHint::at(t),
+            None if !self.restart && seg.row == m.rows() => TxHint::never(),
+            None => TxHint::Never(Until::Slot(seg.end)),
+        }
     }
 }
 
@@ -161,8 +186,10 @@ impl Protocol for WakeupN {
             matrix: Arc::clone(&self.matrix),
             restart: self.restart,
             mu: 0,
+            mu0: 0,
             row: 1,
             row_end: 0,
+            scan: None,
         })
     }
 

@@ -93,8 +93,8 @@ impl Station for WwkStation {
             .map(|q| 2 * q + 1);
 
         match wag_slot {
-            Some(wag) => TxHint::At(rr_slot.min(wag)),
-            None => TxHint::At(rr_slot),
+            Some(wag) => TxHint::at(rr_slot.min(wag)),
+            None => TxHint::at(rr_slot),
         }
     }
 }

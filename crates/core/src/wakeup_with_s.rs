@@ -100,8 +100,8 @@ impl Station for WwsStation {
         };
 
         match saf_slot {
-            Some(saf) => TxHint::At(rr_slot.min(saf)),
-            None => TxHint::At(rr_slot),
+            Some(saf) => TxHint::at(rr_slot.min(saf)),
+            None => TxHint::at(rr_slot),
         }
     }
 }

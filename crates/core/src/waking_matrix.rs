@@ -31,7 +31,7 @@
 
 use mac_sim::{Slot, WakePattern};
 use selectors::math::{log_log_n, log_n};
-use selectors::prf::coin_pow2;
+use selectors::prf::{coin_pow2, GapScanner};
 
 /// Parameters of a waking matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -210,7 +210,10 @@ impl WakingMatrix {
     /// Membership test `u ∈ M_{i,j}` (`i` 1-based; `j` any slot — reduced
     /// mod `ℓ` internally, matching the circular scan).
     ///
-    /// Probability over the ensemble: `2^{-(i + ρ(j))}`.
+    /// Probability over the ensemble: `2^{-(i + ρ(j))}`. The PRF arguments
+    /// are ordered `(row, station, column)` so that the per-`(row, station)`
+    /// mixing prefix can be hoisted out of column scans — see
+    /// [`next_member`](Self::next_member) and [`selectors::prf::GapScanner`].
     #[inline]
     pub fn member(&self, i: u32, j: Slot, u: u32) -> bool {
         debug_assert!((1..=self.rows).contains(&i));
@@ -219,7 +222,75 @@ impl WakingMatrix {
         }
         let col = j % self.ell;
         let d = i + self.rho(col);
-        coin_pow2(self.seed, u64::from(i), col, u64::from(u), d)
+        coin_pow2(self.seed, u64::from(i), u64::from(u), col, d)
+    }
+
+    /// The first slot `t ∈ [from, to)` with `u ∈ M_{i, t mod ℓ}` — the
+    /// structure-aware jump behind `wakeup(n)`'s sparse hints. One PRF
+    /// prefix covers the whole scan, so the expected cost is
+    /// `O(min(2^{i+ρ}, to − from))` cheap (2-round) coin evaluations
+    /// rather than full 5-round hashes per slot.
+    pub fn next_member(&self, i: u32, u: u32, from: Slot, to: Slot) -> Option<Slot> {
+        debug_assert!((1..=self.rows).contains(&i));
+        if u >= self.n {
+            return None;
+        }
+        self.next_member_scanned(&self.row_scanner(i, u), i, from, to)
+    }
+
+    /// The PRF mixing prefix for scans of row `i` by station `u` —
+    /// [`GapScanner::coin`]`(col, d)` equals the `member` coin for that
+    /// `(row, station)` pair. Cache it across repeated
+    /// [`next_member_scanned`](Self::next_member_scanned) calls within one
+    /// row (stations re-queried after every polled slot do exactly this).
+    #[inline]
+    pub fn row_scanner(&self, i: u32, u: u32) -> GapScanner {
+        GapScanner::new(self.seed, u64::from(i), u64::from(u))
+    }
+
+    /// [`next_member`](Self::next_member) with a caller-held
+    /// [`row_scanner`](Self::row_scanner) — avoids re-deriving the prefix
+    /// on every re-query.
+    pub fn next_member_scanned(
+        &self,
+        scanner: &GapScanner,
+        i: u32,
+        from: Slot,
+        to: Slot,
+    ) -> Option<Slot> {
+        if from >= to {
+            return None;
+        }
+        // Column and ρ advance incrementally (ℓ is a multiple of the window
+        // length, so both wrap cleanly): two divisions for the whole scan
+        // instead of two per coin.
+        let w = self.window;
+        let mut col = from % self.ell;
+        let mut rho = if self.rho_sweep {
+            (col % u64::from(w)) as u32
+        } else {
+            0
+        };
+        let mut t = from;
+        loop {
+            if scanner.coin(col, i + rho) {
+                return Some(t);
+            }
+            t += 1;
+            if t >= to {
+                return None;
+            }
+            col += 1;
+            if col == self.ell {
+                col = 0;
+            }
+            if self.rho_sweep {
+                rho += 1;
+                if rho == w {
+                    rho = 0;
+                }
+            }
+        }
     }
 
     /// The offset interval `[start, end)` (relative to `µ(σ)`) that row `i`
@@ -574,6 +645,26 @@ mod tests {
         // During the scan, transmits iff member of the current row.
         let t = mu + m.dwell(1); // first slot of row 2
         assert_eq!(m.transmits(3, sigma, t), m.member(2, t, 3));
+    }
+
+    #[test]
+    fn next_member_agrees_with_a_member_scan() {
+        let m = matrix(128);
+        for u in [0u32, 7, 127] {
+            for i in [1u32, 3, m.rows()] {
+                for from in [0u64, 5, m.ell() - 3, 2 * m.ell() + 11] {
+                    let to = from + 500;
+                    let reference = (from..to).find(|&t| m.member(i, t, u));
+                    assert_eq!(
+                        m.next_member(i, u, from, to),
+                        reference,
+                        "i={i} u={u} from={from}"
+                    );
+                }
+            }
+        }
+        // Out-of-universe stations are members of nothing.
+        assert_eq!(m.next_member(1, m.n(), 0, 10_000), None);
     }
 
     #[test]

@@ -52,6 +52,18 @@ impl SlotOutcome {
         matches!(self, SlotOutcome::Success(_))
     }
 
+    /// The winner of a successful slot, if any — the *success event* the
+    /// sparse engine broadcasts (every station hears a success) and uses to
+    /// invalidate [`Until::NextSuccess`](crate::station::Until)-scoped
+    /// hints.
+    #[inline]
+    pub fn success_id(&self) -> Option<StationId> {
+        match self {
+            SlotOutcome::Success(w) => Some(*w),
+            _ => None,
+        }
+    }
+
     /// The number of stations that transmitted in this slot.
     pub fn transmitter_count(&self) -> usize {
         match self {
@@ -103,6 +115,16 @@ pub enum Feedback {
     /// Interference noise: a collision, only distinguishable under
     /// [`FeedbackModel::CollisionDetection`].
     Noise,
+}
+
+impl Feedback {
+    /// `true` iff this feedback is the station's **own** message echoed back
+    /// — the retirement signal of success-reactive protocols (a successful
+    /// sender "possesses the message by default").
+    #[inline]
+    pub fn is_own_success(self, id: StationId) -> bool {
+        self == Feedback::Heard(id)
+    }
 }
 
 #[cfg(test)]

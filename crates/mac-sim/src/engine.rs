@@ -6,15 +6,22 @@
 //! 1. stations are instantiated lazily at their wake-up slots;
 //! 2. the engine picks one of two execution paths:
 //!    * **sparse** (the default whenever every awake station answers
-//!      [`Station::next_transmission`] with a concrete hint and the stop rule
-//!      is [`StopRule::FirstSuccess`]): a min-heap of per-station next-action
-//!      slots advances time directly from transmission event to transmission
-//!      event in `O(log k)` per event, accounting the skipped gap as silent
-//!      slots without polling anyone;
-//!    * **dense** (any station answers [`TxHint::Dense`], or the stop rule is
-//!      [`StopRule::AllResolved`], or [`SimConfig::engine`] forces it): every
-//!      awake station is polled ([`Station::act`]) every slot — the exact
-//!      historical semantics;
+//!      [`Station::next_transmission`] with a concrete hint): a min-heap of
+//!      per-station due slots — hinted transmissions and hint-scope
+//!      boundaries — advances time directly from event to event in
+//!      `O(log k)` per event, accounting the skipped gap as silent slots
+//!      without polling anyone. Hints are **epoch-scoped**
+//!      ([`Until`]): each re-query bumps the
+//!      station's hint epoch (stale heap entries are discarded lazily), and
+//!      an event re-queries *only* the stations it invalidated — the
+//!      polled stations, plus, after a successful slot, every station
+//!      holding an [`Until::NextSuccess`](crate::station::Until)-scoped
+//!      hint (which first receives the success feedback). This is what lets
+//!      feedback-reactive protocols (retirement under
+//!      [`StopRule::AllResolved`]) run sparse;
+//!    * **dense** (any station answers [`TxHint::Dense`], or
+//!      [`SimConfig::engine`] forces it): every awake station is polled
+//!      ([`Station::act`]) every slot — the exact historical semantics;
 //!
 //!    both paths produce **identical** [`Outcome`]s and transcripts; only
 //!    [`Outcome::polls`] and [`Outcome::skipped_slots`] reveal which path
@@ -34,7 +41,7 @@ use crate::channel::{FeedbackModel, SlotOutcome};
 use crate::ids::{Slot, StationId};
 use crate::pattern::WakePattern;
 use crate::rng::derive_seed;
-use crate::station::{Protocol, Station, TxHint};
+use crate::station::{Protocol, Station, TxHint, Until};
 use crate::trace::{SlotRecord, Transcript};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -50,7 +57,11 @@ pub enum StopRule {
     /// Komlós & Greenberg (each of the `k` awake stations must deliver its
     /// message). Protocols are expected to retire stations on their own
     /// success (they hear `Feedback::Heard(self)`); the engine keeps
-    /// delivering feedback on success slots in this mode.
+    /// delivering feedback on success slots in this mode — on the sparse
+    /// path, success feedback goes to **every** awake station (a success is
+    /// heard by all), after which every
+    /// [`Until::NextSuccess`](crate::station::Until)-scoped hint is
+    /// re-queried.
     AllResolved,
 }
 
@@ -229,6 +240,34 @@ impl Outcome {
     }
 }
 
+/// What the engine does when a station's heap entry comes due.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Due {
+    /// Poll the station ([`Station::act`]) — a hinted transmission slot.
+    Poll,
+    /// Re-query the station's hint — an [`Until::Slot`] scope boundary.
+    Requery,
+}
+
+/// Per-station sparse-path bookkeeping. The hint *epoch* stamps heap
+/// entries so entries superseded by a re-query are discarded lazily.
+#[derive(Clone, Copy, Debug)]
+struct HintState {
+    epoch: u64,
+    due: Due,
+    success_scoped: bool,
+}
+
+impl HintState {
+    fn new() -> Self {
+        HintState {
+            epoch: 0,
+            due: Due::Poll,
+            success_scoped: false,
+        }
+    }
+}
+
 /// The simulator. Stateless between runs; holds only the configuration.
 #[derive(Clone, Debug)]
 pub struct Simulator {
@@ -286,17 +325,70 @@ impl Simulator {
         let mut all_resolved_at = None;
         let total_stations = wakes.len();
 
-        // The sparse path needs every station to honour its TxHint promise
-        // with no feedback in between; AllResolved runs deliver semantically
-        // meaningful feedback (retirement on own success), so they stay
-        // dense. Any station answering TxHint::Dense also flips this off,
-        // permanently for the run.
-        let mut sparse =
-            self.cfg.engine == EngineMode::Auto && self.cfg.stop == StopRule::FirstSuccess;
-        // Min-heap of (next transmission slot, index into `awake`). Stations
-        // with a `Never` hint simply have no entry.
-        let mut heap: BinaryHeap<Reverse<(Slot, usize)>> = BinaryHeap::new();
+        // Sparse until any station answers TxHint::Dense (or a malformed
+        // scope), which flips this off permanently for the run.
+        let mut sparse = self.cfg.engine == EngineMode::Auto;
+        // Min-heap of (due slot, index into `awake`, hint epoch). A station
+        // has at most one *live* entry: re-querying bumps its hint epoch,
+        // and entries whose epoch is stale are discarded lazily on pop.
+        // Stations with an unconditional `Never` hint have no entry.
+        let mut heap: BinaryHeap<Reverse<(Slot, usize, u64)>> =
+            BinaryHeap::with_capacity(if sparse { wakes.len() + 1 } else { 0 });
+        // Per-station hint bookkeeping, parallel to `awake`.
+        let mut hint_states: Vec<HintState> = Vec::with_capacity(wakes.len());
+        // Indices holding an Until::NextSuccess-scoped hint (may contain
+        // stale entries; the `success_scoped` flag is authoritative).
+        let mut success_scoped: Vec<usize> = Vec::new();
         let mut polled: Vec<usize> = Vec::new();
+        let mut requery: Vec<usize> = Vec::new();
+
+        /// Ask station `idx` for a fresh hint looking from `after` and
+        /// install it (heap entry + scope flags). Returns `false` when the
+        /// answer forces the dense path.
+        fn arm(
+            station: &mut dyn Station,
+            idx: usize,
+            after: Slot,
+            heap: &mut BinaryHeap<Reverse<(Slot, usize, u64)>>,
+            states: &mut [HintState],
+            scoped: &mut Vec<usize>,
+        ) -> bool {
+            let hint = station.next_transmission(after);
+            let st = &mut states[idx];
+            st.epoch += 1; // supersede any live heap entry
+            let was_scoped = st.success_scoped;
+            let (entry, now_scoped) = match hint {
+                TxHint::Dense => return false,
+                TxHint::At(slot, until) => {
+                    let slot = slot.max(after);
+                    match until {
+                        Until::Forever => (Some((Due::Poll, slot)), false),
+                        Until::NextSuccess => (Some((Due::Poll, slot)), true),
+                        // A validity boundary at or before `after` carries
+                        // no silence claim at all: fall back to dense
+                        // rather than trust it (correctness first).
+                        Until::Slot(tb) if tb <= after => return false,
+                        Until::Slot(tb) if slot < tb => (Some((Due::Poll, slot)), false),
+                        Until::Slot(tb) => (Some((Due::Requery, tb)), false),
+                    }
+                }
+                TxHint::Never(until) => match until {
+                    Until::Forever => (None, false),
+                    Until::NextSuccess => (None, true),
+                    Until::Slot(tb) if tb <= after => return false,
+                    Until::Slot(tb) => (Some((Due::Requery, tb)), false),
+                },
+            };
+            st.success_scoped = now_scoped;
+            if now_scoped && !was_scoped {
+                scoped.push(idx);
+            }
+            if let Some((due, slot)) = entry {
+                st.due = due;
+                heap.push(Reverse((slot, idx, st.epoch)));
+            }
+            true
+        }
 
         // Append `count` silent-slot records starting at `from`.
         fn record_silence(transcript: &mut Option<Transcript>, from: Slot, count: u64) {
@@ -318,15 +410,19 @@ impl Simulator {
                 let (id, sigma) = wakes[next_wake];
                 let mut station = protocol.station(id, derive_seed(run_seed, u64::from(id.0)));
                 station.wake(sigma);
-                if sparse {
-                    match station.next_transmission(t) {
-                        TxHint::Dense => {
-                            sparse = false;
-                            heap.clear();
-                        }
-                        TxHint::At(slot) => heap.push(Reverse((slot.max(t), awake.len()))),
-                        TxHint::Never => {}
-                    }
+                hint_states.push(HintState::new());
+                if sparse
+                    && !arm(
+                        station.as_mut(),
+                        awake.len(),
+                        t,
+                        &mut heap,
+                        &mut hint_states,
+                        &mut success_scoped,
+                    )
+                {
+                    sparse = false;
+                    heap.clear();
                 }
                 awake.push((id, station, 0));
                 next_wake += 1;
@@ -356,16 +452,26 @@ impl Simulator {
             }
 
             if sparse {
-                // Next event: the earliest hinted transmission or arrival.
-                let next_tx = heap.peek().map(|&Reverse((slot, _))| slot);
+                // Drop heap entries superseded by a newer hint epoch so the
+                // peeked due slot is a live one.
+                while let Some(&Reverse((_, idx, epoch))) = heap.peek() {
+                    if hint_states[idx].epoch == epoch {
+                        break;
+                    }
+                    heap.pop();
+                }
+                // Next event: the earliest due entry or arrival.
+                let next_due = heap.peek().map(|&Reverse((slot, _, _))| slot);
                 let next_arrival = wakes.get(next_wake).map(|&(_, sigma)| sigma);
-                let event = match (next_tx, next_arrival) {
+                let event = match (next_due, next_arrival) {
                     (Some(a), Some(b)) => a.min(b),
                     (Some(a), None) => a,
                     (None, Some(b)) => b,
                     (None, None) => {
-                        // Every awake station reported Never and nobody else
-                        // wakes: the rest of the run is provably silent.
+                        // No due entries and nobody else wakes: no station
+                        // will transmit, so no event — not even a success
+                        // that could void a NextSuccess-scoped hint — can
+                        // occur. The rest of the run is provably silent.
                         let remaining = self.cfg.max_slots - slots_simulated;
                         record_silence(&mut transcript, t, remaining);
                         slots_simulated += remaining;
@@ -377,7 +483,9 @@ impl Simulator {
                 debug_assert!(event >= t, "event {event} behind clock {t}");
                 if event > t {
                     // Skip the provably silent gap [t, event), respecting
-                    // the cap.
+                    // the cap. Silence cannot void any scope: NextSuccess
+                    // hints survive (no transmission ⇒ no success) and
+                    // Slot(t') boundaries are themselves heap entries.
                     let gap = event - t;
                     let remaining = self.cfg.max_slots - slots_simulated;
                     let take = gap.min(remaining);
@@ -389,18 +497,60 @@ impl Simulator {
                     continue 'slots; // re-checks the cap / wakes arrivals
                 }
 
-                // Transmission event at t: poll exactly the scheduled
-                // stations (everyone else is silent by promise).
+                // Event at t: serve the due entries. A re-query may install
+                // a hint due at t again (e.g. a scope boundary answering
+                // "transmitting right now"), so iterate to a fixpoint.
                 transmitters.clear();
                 transmitted_flags.clear();
                 polled.clear();
-                while let Some(&Reverse((slot, idx))) = heap.peek() {
-                    if slot != t {
+                loop {
+                    requery.clear();
+                    while let Some(&Reverse((slot, idx, epoch))) = heap.peek() {
+                        if slot != t {
+                            break;
+                        }
+                        heap.pop();
+                        if hint_states[idx].epoch != epoch {
+                            continue; // stale entry
+                        }
+                        match hint_states[idx].due {
+                            Due::Poll => polled.push(idx),
+                            Due::Requery => requery.push(idx),
+                        }
+                    }
+                    if requery.is_empty() {
                         break;
                     }
-                    heap.pop();
-                    polled.push(idx);
+                    for &idx in &requery {
+                        if !arm(
+                            awake[idx].1.as_mut(),
+                            idx,
+                            t,
+                            &mut heap,
+                            &mut hint_states,
+                            &mut success_scoped,
+                        ) {
+                            sparse = false;
+                            heap.clear();
+                            break;
+                        }
+                    }
+                    if !sparse {
+                        break;
+                    }
                 }
+                if !sparse {
+                    continue 'slots; // dense path simulates slot t itself
+                }
+                if polled.is_empty() {
+                    // Pure re-query event: nobody claimed a transmission at
+                    // t after all, so the slot joins the next silent gap
+                    // instead of being simulated individually.
+                    continue 'slots;
+                }
+
+                // Transmission event at t: poll exactly the scheduled
+                // stations (everyone else is silent by promise).
                 for &idx in &polled {
                     let (id, station, tx_count) = &mut awake[idx];
                     polls += 1;
@@ -424,35 +574,94 @@ impl Simulator {
                 }
 
                 slots_simulated += 1;
-                match &outcome {
-                    SlotOutcome::Success(w) => {
+                if let Some(w) = outcome.success_id() {
+                    if first_success.is_none() {
                         first_success = Some(t);
-                        winner = Some(*w);
-                        resolved.push((*w, t));
-                        break 'slots; // sparse implies StopRule::FirstSuccess
+                        winner = Some(w);
                     }
-                    SlotOutcome::Collision(_) => collisions += 1,
-                    SlotOutcome::Silence => silent_slots += 1,
+                    if !resolved.iter().any(|&(id, _)| id == w) {
+                        resolved.push((w, t));
+                    }
+                    if self.cfg.stop == StopRule::FirstSuccess {
+                        break 'slots; // matches dense: no feedback delivered
+                    }
+
+                    // AllResolved: a success is heard by every station, so
+                    // feedback goes to the whole floor (matching dense; a
+                    // non-polled station cannot have transmitted).
+                    for (j, (_, station, _)) in awake.iter_mut().enumerate() {
+                        let transmitted = polled
+                            .iter()
+                            .position(|&idx| idx == j)
+                            .is_some_and(|p| transmitted_flags[p]);
+                        let fb = self.cfg.feedback.perceive(&outcome, transmitted);
+                        station.feedback(t, fb);
+                    }
+                    if resolved.len() == total_stations && next_wake == wakes.len() {
+                        all_resolved_at = Some(t);
+                        break 'slots;
+                    }
+
+                    // The success event invalidates every NextSuccess-scoped
+                    // hint; re-query exactly those stations (plus the polled
+                    // ones, whose entries were consumed) from t + 1.
+                    requery.clear();
+                    for idx in success_scoped.drain(..) {
+                        if hint_states[idx].success_scoped {
+                            hint_states[idx].success_scoped = false;
+                            requery.push(idx);
+                        }
+                    }
+                    requery.extend(polled.iter().copied());
+                    requery.sort_unstable();
+                    requery.dedup();
+                    for &idx in &requery {
+                        if !arm(
+                            awake[idx].1.as_mut(),
+                            idx,
+                            t + 1,
+                            &mut heap,
+                            &mut hint_states,
+                            &mut success_scoped,
+                        ) {
+                            sparse = false;
+                            heap.clear();
+                            break;
+                        }
+                    }
+
+                    t += 1;
+                    continue 'slots;
                 }
 
-                // Feedback to the polled stations (hint-giving stations are
-                // oblivious by contract; unpolled stations hear nothing they
-                // could act on).
+                match &outcome {
+                    SlotOutcome::Collision(_) => collisions += 1,
+                    SlotOutcome::Silence => silent_slots += 1,
+                    SlotOutcome::Success(_) => unreachable!("handled above"),
+                }
+
+                // Non-success feedback goes only to the polled stations:
+                // Forever-scoped stations are oblivious, NextSuccess-scoped
+                // ones must ignore anything but a success, by contract.
                 for (&idx, &transmitted) in polled.iter().zip(transmitted_flags.iter()) {
                     let fb = self.cfg.feedback.perceive(&outcome, transmitted);
                     awake[idx].1.feedback(t, fb);
                 }
 
-                // Re-arm the polled stations' hints.
+                // Re-arm the polled stations' hints (their entries were
+                // consumed); nothing else was invalidated.
                 for &idx in &polled {
-                    match awake[idx].1.next_transmission(t + 1) {
-                        TxHint::Dense => {
-                            sparse = false;
-                            heap.clear();
-                            break;
-                        }
-                        TxHint::At(slot) => heap.push(Reverse((slot.max(t + 1), idx))),
-                        TxHint::Never => {}
+                    if !arm(
+                        awake[idx].1.as_mut(),
+                        idx,
+                        t + 1,
+                        &mut heap,
+                        &mut hint_states,
+                        &mut success_scoped,
+                    ) {
+                        sparse = false;
+                        heap.clear();
+                        break;
                     }
                 }
 
@@ -900,7 +1109,7 @@ mod tests {
             } else {
                 after + (self.period - r) + self.phase
             };
-            TxHint::At(next)
+            TxHint::at(next)
         }
     }
     impl Protocol for Pulse {
@@ -1068,6 +1277,288 @@ mod tests {
         // Station 1's first pulse at 50 vs station 0's next pulse at 100.
         assert_eq!(out.first_success, Some(50));
         assert_eq!(out.winner, Some(StationId(1)));
+    }
+
+    // -----------------------------------------------------------------
+    // Epoch-scoped hints: NextSuccess and Slot validity.
+    // -----------------------------------------------------------------
+
+    use crate::station::Until;
+
+    /// Retiring round-robin that also advertises its schedule with
+    /// success-scoped hints — the shape of the Komlós–Greenberg resolvers.
+    struct HintedRetiringRr {
+        n: u32,
+    }
+    struct HintedRetiringRrStation {
+        id: StationId,
+        n: u32,
+        done: bool,
+    }
+    impl Station for HintedRetiringRrStation {
+        fn wake(&mut self, _s: Slot) {}
+        fn act(&mut self, t: Slot) -> Action {
+            Action::from_bool(!self.done && t % u64::from(self.n) == u64::from(self.id.0))
+        }
+        fn feedback(&mut self, _t: Slot, fb: crate::channel::Feedback) {
+            if fb.is_own_success(self.id) {
+                self.done = true;
+            }
+        }
+        fn next_transmission(&mut self, after: Slot) -> TxHint {
+            if self.done {
+                return TxHint::never();
+            }
+            let n = u64::from(self.n);
+            let r = after % n;
+            let turn = after + (u64::from(self.id.0) + n - r) % n;
+            TxHint::At(turn, Until::NextSuccess)
+        }
+    }
+    impl Protocol for HintedRetiringRr {
+        fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
+            Box::new(HintedRetiringRrStation {
+                id,
+                n: self.n,
+                done: false,
+            })
+        }
+        fn name(&self) -> String {
+            "hinted-retiring-rr".into()
+        }
+    }
+
+    #[test]
+    fn all_resolved_runs_sparse_with_success_scoped_hints() {
+        let n = 128u32;
+        let pattern = WakePattern::simultaneous(&ids(&[5, 70, 126]), 3).unwrap();
+        let mk = |mode| {
+            Simulator::new(
+                SimConfig::new(n)
+                    .until_all_resolved()
+                    .with_transcript()
+                    .with_engine(mode),
+            )
+            .run(&HintedRetiringRr { n }, &pattern, 0)
+            .unwrap()
+        };
+        let auto = mk(EngineMode::Auto);
+        let dense = mk(EngineMode::Dense);
+        assert_eq!(auto.first_success, dense.first_success);
+        assert_eq!(auto.resolved, dense.resolved);
+        assert_eq!(auto.all_resolved_at, dense.all_resolved_at);
+        assert_eq!(auto.transcript, dense.transcript);
+        assert_eq!(auto.transmissions, dense.transmissions);
+        assert_eq!(auto.slots_simulated, dense.slots_simulated);
+        // The sparse path engaged: all silent gaps between the three turns
+        // were skipped, and only the three scheduled slots were polled.
+        assert!(auto.skipped_slots > 0, "sparse path did not engage");
+        assert_eq!(auto.polls, 3);
+        assert!(dense.polls > 10 * auto.polls);
+    }
+
+    /// A station that stays silent until it hears *any* success, then
+    /// transmits `delay` slots after it — feedback-reactive behaviour that
+    /// is expressible sparsely only through `Until::NextSuccess`.
+    struct EchoChaser {
+        delay: u64,
+    }
+    struct EchoChaserStation {
+        id: StationId,
+        delay: u64,
+        fire_at: Option<Slot>,
+        done: bool,
+    }
+    impl Station for EchoChaserStation {
+        fn wake(&mut self, _s: Slot) {}
+        fn act(&mut self, t: Slot) -> Action {
+            Action::from_bool(!self.done && self.fire_at == Some(t))
+        }
+        fn feedback(&mut self, t: Slot, fb: crate::channel::Feedback) {
+            if fb.is_own_success(self.id) {
+                self.done = true;
+            } else if matches!(fb, crate::channel::Feedback::Heard(_)) && self.fire_at.is_none() {
+                self.fire_at = Some(t + self.delay);
+            }
+        }
+        fn next_transmission(&mut self, after: Slot) -> TxHint {
+            if self.done {
+                return TxHint::never();
+            }
+            match self.fire_at {
+                Some(f) => TxHint::At(f.max(after), Until::NextSuccess),
+                None => TxHint::Never(Until::NextSuccess),
+            }
+        }
+    }
+    impl Protocol for EchoChaser {
+        fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
+            if id.0 == 0 {
+                // Station 0 paces the run: retiring round-robin over 16.
+                Box::new(HintedRetiringRrStation {
+                    id,
+                    n: 16,
+                    done: false,
+                })
+            } else {
+                Box::new(EchoChaserStation {
+                    id,
+                    delay: self.delay,
+                    fire_at: None,
+                    done: false,
+                })
+            }
+        }
+        fn name(&self) -> String {
+            "echo-chaser".into()
+        }
+    }
+
+    #[test]
+    fn never_next_success_hints_are_requeried_after_a_success() {
+        // Station 0 succeeds at its round-robin turn (slot 16); station 9
+        // reacts to that success and fires `delay` slots later. The sparse
+        // engine must wake station 9's hint exactly once — at the success —
+        // and still match the dense run bit for bit.
+        let pattern = WakePattern::simultaneous(&ids(&[0, 9]), 1).unwrap();
+        let mk = |mode| {
+            Simulator::new(
+                SimConfig::new(16)
+                    .until_all_resolved()
+                    .with_transcript()
+                    .with_engine(mode),
+            )
+            .run(&EchoChaser { delay: 7 }, &pattern, 0)
+            .unwrap()
+        };
+        let auto = mk(EngineMode::Auto);
+        let dense = mk(EngineMode::Dense);
+        assert_eq!(auto.resolved, dense.resolved);
+        assert_eq!(auto.all_resolved_at, dense.all_resolved_at);
+        assert_eq!(auto.transcript, dense.transcript);
+        assert_eq!(auto.resolved.len(), 2);
+        // Success at 16, echo at 23.
+        assert_eq!(auto.all_resolved_at, Some(23));
+        assert!(auto.skipped_slots > 0);
+        assert!(auto.polls < dense.polls);
+    }
+
+    /// A pulse station that only reveals its schedule one bounded horizon
+    /// at a time (`Until::Slot` re-query callbacks).
+    struct ChunkedPulse {
+        period: u64,
+        phase: u64,
+        horizon: u64,
+    }
+    impl Station for ChunkedPulse {
+        fn wake(&mut self, _s: Slot) {}
+        fn act(&mut self, t: Slot) -> Action {
+            Action::from_bool(t % self.period == self.phase)
+        }
+        fn next_transmission(&mut self, after: Slot) -> TxHint {
+            let r = after % self.period;
+            let next = if r <= self.phase {
+                after + (self.phase - r)
+            } else {
+                after + (self.period - r) + self.phase
+            };
+            let boundary = after + self.horizon;
+            if next < boundary {
+                TxHint::At(next, Until::Slot(boundary))
+            } else {
+                TxHint::Never(Until::Slot(boundary))
+            }
+        }
+    }
+    struct ChunkedPulseProtocol {
+        period: u64,
+        phase: u64,
+        horizon: u64,
+    }
+    impl Protocol for ChunkedPulseProtocol {
+        fn station(&self, _id: StationId, _seed: u64) -> Box<dyn Station> {
+            Box::new(ChunkedPulse {
+                period: self.period,
+                phase: self.phase,
+                horizon: self.horizon,
+            })
+        }
+        fn name(&self) -> String {
+            "chunked-pulse".into()
+        }
+    }
+
+    #[test]
+    fn slot_scoped_hints_requery_at_the_boundary() {
+        // Pulse at slot 900 revealed through horizon-100 windows: the
+        // engine re-queries at 100, 200, …, then polls exactly once at 900.
+        let p = ChunkedPulseProtocol {
+            period: 1000,
+            phase: 900,
+            horizon: 100,
+        };
+        let pattern = WakePattern::simultaneous(&ids(&[2]), 0).unwrap();
+        let auto = Simulator::new(SimConfig::new(4).with_transcript())
+            .run(&p, &pattern, 0)
+            .unwrap();
+        let dense = Simulator::new(
+            SimConfig::new(4)
+                .with_transcript()
+                .with_engine(EngineMode::Dense),
+        )
+        .run(&p, &pattern, 0)
+        .unwrap();
+        assert_eq!(auto.first_success, Some(900));
+        assert_eq!(auto.first_success, dense.first_success);
+        assert_eq!(auto.transcript, dense.transcript);
+        assert_eq!(auto.slots_simulated, dense.slots_simulated);
+        assert_eq!(auto.polls, 1); // re-queries are not polls
+        assert_eq!(auto.skipped_slots, auto.slots_simulated - 1);
+    }
+
+    #[test]
+    fn slot_scoped_hints_respect_the_cap_between_boundaries() {
+        let p = ChunkedPulseProtocol {
+            period: 1_000_000,
+            phase: 999_999,
+            horizon: 64,
+        };
+        let pattern = WakePattern::simultaneous(&ids(&[0]), 0).unwrap();
+        let out = Simulator::new(SimConfig::new(4).with_max_slots(200))
+            .run(&p, &pattern, 0)
+            .unwrap();
+        assert!(!out.solved());
+        assert_eq!(out.slots_simulated, 200);
+        assert_eq!(out.silent_slots, 200);
+        assert_eq!(out.polls, 0);
+    }
+
+    /// A hint whose validity boundary is not in the future — malformed; the
+    /// engine must fall back to dense polling rather than trust it.
+    #[derive(Clone)]
+    struct StuckBoundary;
+    impl Station for StuckBoundary {
+        fn wake(&mut self, _s: Slot) {}
+        fn act(&mut self, t: Slot) -> Action {
+            Action::from_bool(t % 5 == 3)
+        }
+        fn next_transmission(&mut self, after: Slot) -> TxHint {
+            TxHint::Never(Until::Slot(after)) // claims nothing
+        }
+    }
+
+    #[test]
+    fn malformed_slot_scope_forces_dense() {
+        let out = Simulator::new(SimConfig::new(4))
+            .run(
+                &ConstProtocol(StuckBoundary),
+                &WakePattern::simultaneous(&ids(&[1]), 0).unwrap(),
+                0,
+            )
+            .unwrap();
+        assert_eq!(out.first_success, Some(3));
+        assert_eq!(out.skipped_slots, 0);
+        assert_eq!(out.polls, out.slots_simulated);
     }
 
     #[test]

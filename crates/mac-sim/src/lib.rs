@@ -88,7 +88,7 @@ pub use channel::{Feedback, FeedbackModel, SlotOutcome};
 pub use engine::{EngineMode, Outcome, SimConfig, SimError, Simulator};
 pub use ids::{Slot, StationId};
 pub use pattern::WakePattern;
-pub use station::{Action, Protocol, Station, TxHint};
+pub use station::{Action, Protocol, Station, TxHint, Until};
 pub use trace::Transcript;
 
 /// Convenient glob import for downstream crates and examples.
@@ -99,6 +99,6 @@ pub mod prelude {
     pub use crate::ids::{Slot, StationId};
     pub use crate::metrics::{EnergyStats, LatencySample, OutcomeDigest};
     pub use crate::pattern::{IdChoice, WakePattern};
-    pub use crate::station::{Action, Protocol, Station, TxHint};
+    pub use crate::station::{Action, Protocol, Station, TxHint, Until};
     pub use crate::trace::Transcript;
 }

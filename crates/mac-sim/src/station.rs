@@ -15,22 +15,77 @@
 use crate::channel::Feedback;
 use crate::ids::{Slot, StationId};
 
+/// The *validity scope* of a [`TxHint`] — until when the promise holds.
+///
+/// PR 1's hints were unconditional ("valid forever"), which locked every
+/// feedback-reactive protocol out of the sparse engine. Epoch-scoped hints
+/// fix that: a station states *how long* its answer can be trusted, and the
+/// engine re-queries exactly the stations whose scope an event invalidated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Until {
+    /// Unconditional: the hint holds for the rest of the run regardless of
+    /// channel events. Only purely oblivious schedules (a function of
+    /// `(id, σ, t)` and protocol parameters) may use this scope.
+    Forever,
+    /// Valid until the next **successful** slot. After any success at slot
+    /// `t' ≥ after`, the hint is void and the engine re-queries the station
+    /// with `after = t' + 1` — having first delivered the success feedback
+    /// ([`Feedback::Heard`](crate::channel::Feedback)), so the
+    /// station answers from its post-success state. This is the scope for
+    /// success-reactive protocols (retirement à la Komlós–Greenberg):
+    /// between successes their schedule is oblivious.
+    NextSuccess,
+    /// Valid for slots in `[after, t)` only; the engine re-queries the
+    /// station at slot `t` (a pure "call me back" — the boundary itself
+    /// involves no feedback). The claim over `[after, t)` is
+    /// **unconditional**: like [`Until::Forever`], it must hold regardless
+    /// of any feedback (including successes) delivered meanwhile — a
+    /// station that reschedules on success feedback must use
+    /// [`Until::NextSuccess`] instead. Use `Slot` to bound
+    /// hint-computation work: a station that has proven silence over a
+    /// horizon but not located its next transmission can answer
+    /// [`TxHint::Never(Until::Slot(t))`](TxHint::Never) instead of falling
+    /// back to [`TxHint::Dense`]. Must satisfy `t > after`.
+    Slot(Slot),
+}
+
 /// A station's answer to "when will you transmit next?" — the contract that
 /// lets the engine skip provably silent slots (the sparse engine path).
 ///
-/// See [`Station::next_transmission`] for the exact obligations a station
-/// takes on by returning [`TxHint::At`] or [`TxHint::Never`].
+/// Every concrete hint carries an [`Until`] scope saying how long the
+/// promise holds. See [`Station::next_transmission`] for the exact
+/// obligations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TxHint {
-    /// No hint: poll me every slot (the default). Feedback-dependent
-    /// (adaptive) and randomized stations must return this.
+    /// No hint: poll me every slot. Randomized stations (whose RNG stream
+    /// advances per [`Station::act`] call) and stations reacting to
+    /// feedback other than successes must return this.
     Dense,
     /// The station's next transmission is at exactly this slot; it is
-    /// guaranteed silent at every slot in `[after, slot)`.
-    At(Slot),
-    /// The station will never transmit at any slot `≥ after` (e.g. it has
-    /// finished its schedule, or it never participates).
-    Never,
+    /// guaranteed silent at every slot in `[after, slot)` — as long as the
+    /// scope holds. (`At(slot, Until::Slot(t))` with `slot ≥ t` promises
+    /// nothing about `slot` itself and degenerates to
+    /// `Never(Until::Slot(t))`.)
+    At(Slot, Until),
+    /// The station will not transmit at any slot `≥ after` while the scope
+    /// holds (finished schedule, never participates, retired after its own
+    /// success, or — with [`Until::Slot`] — silent over a proven horizon).
+    Never(Until),
+}
+
+impl TxHint {
+    /// An unconditional "next transmission at `slot`" —
+    /// `TxHint::At(slot, Until::Forever)`.
+    #[inline]
+    pub fn at(slot: Slot) -> Self {
+        TxHint::At(slot, Until::Forever)
+    }
+
+    /// An unconditional "never again" — `TxHint::Never(Until::Forever)`.
+    #[inline]
+    pub fn never() -> Self {
+        TxHint::Never(Until::Forever)
+    }
 }
 
 /// A station's decision for one slot.
@@ -89,25 +144,49 @@ pub trait Station {
     /// (inclusive)? The engine uses the answer to *skip* slots in which no
     /// station transmits, turning per-slot polling into per-event work.
     ///
-    /// Returning anything other than [`TxHint::Dense`] is a **promise**:
+    /// Returning anything other than [`TxHint::Dense`] is a **promise**,
+    /// scoped by the hint's [`Until`]:
     ///
-    /// * [`TxHint::At(t)`](TxHint::At) — `act` would return
-    ///   [`Action::Transmit`] at slot `t` and [`Action::Listen`] at every
-    ///   slot in `[after, t)`, **regardless of channel feedback** in between;
-    /// * [`TxHint::Never`] — `act` would return [`Action::Listen`] at every
-    ///   slot `≥ after`, regardless of feedback.
+    /// * [`TxHint::At(t, u)`](TxHint::At) — while `u` holds, `act` would
+    ///   return [`Action::Transmit`] at slot `t` and [`Action::Listen`] at
+    ///   every slot in `[after, t)`;
+    /// * [`TxHint::Never(u)`](TxHint::Never) — while `u` holds, `act` would
+    ///   return [`Action::Listen`] at every slot `≥ after`.
     ///
-    /// Stations that give hints must therefore be *oblivious* (their schedule
-    /// is a pure function of `(id, σ, t)` and protocol parameters) and must
-    /// tolerate `act` **not** being called on slots where they listen — the
-    /// sparse engine only polls a station at its hinted slots. Stateful
-    /// schedule walks (row/epoch cursors) remain fine as long as `act(t)`
-    /// handles arbitrary forward jumps of `t`.
+    /// **What invalidates a hint, and who must re-answer:**
     ///
-    /// The engine re-queries the hint after every polled slot, with
-    /// `after = t + 1`, so `&mut self` may be used to cache scan cursors.
-    /// If **any** awake station answers [`TxHint::Dense`], the whole run
-    /// falls back to dense per-slot polling (correctness first).
+    /// | scope | invalidated by | engine's follow-up |
+    /// |-------|----------------|--------------------|
+    /// | [`Until::Forever`] | nothing | re-query only after polling you |
+    /// | [`Until::NextSuccess`] | any successful slot `t'` | success feedback is delivered, then you are re-queried at `t' + 1` |
+    /// | [`Until::Slot(t)`](Until::Slot) | the clock reaching `t` | you are re-queried at `t` |
+    ///
+    /// Obligations taken on by answering with a scope:
+    ///
+    /// * [`Until::Forever`] — the schedule is *oblivious*: a pure function
+    ///   of `(id, σ, t)` and protocol parameters, insensitive to feedback.
+    /// * [`Until::NextSuccess`] — the schedule may change **only** in
+    ///   response to success feedback
+    ///   ([`Feedback::Heard`](crate::channel::Feedback)); silence and
+    ///   noise feedback must leave future actions unchanged, because the
+    ///   sparse engine delivers non-success feedback only to stations it
+    ///   polled. Between successes the schedule must be oblivious.
+    /// * [`Until::Slot(t)`](Until::Slot) — the silence claim covers exactly
+    ///   `[after, t)` and is **unconditional over that window**: feedback
+    ///   delivered meanwhile (success broadcasts included) must not change
+    ///   the station's actions before `t` — success-reactive stations must
+    ///   use [`Until::NextSuccess`]; `t > after` is required (a violation
+    ///   forces the dense
+    ///   path — correctness first).
+    ///
+    /// All hint-giving stations must tolerate `act` **not** being called on
+    /// slots where they listen — the sparse engine only polls a station at
+    /// its hinted slots — and must tolerate arbitrary forward jumps of `t`
+    /// across `act` calls (stateful row/epoch cursors are fine if they
+    /// re-synchronize from `t`). Queries are non-decreasing in `after`, so
+    /// `&mut self` may cache scan cursors. If **any** awake station answers
+    /// [`TxHint::Dense`], the whole run falls back to dense per-slot
+    /// polling.
     ///
     /// The default is [`TxHint::Dense`], which preserves exact historical
     /// behaviour for every existing station.
@@ -165,7 +244,7 @@ impl Station for AlwaysTransmit {
         Action::Transmit
     }
     fn next_transmission(&mut self, after: Slot) -> TxHint {
-        TxHint::At(after)
+        TxHint::at(after)
     }
 }
 
@@ -179,7 +258,7 @@ impl Station for NeverTransmit {
         Action::Listen
     }
     fn next_transmission(&mut self, _after: Slot) -> TxHint {
-        TxHint::Never
+        TxHint::never()
     }
 }
 

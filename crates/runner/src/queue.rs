@@ -6,7 +6,12 @@
 //! own work in ascending index order (which keeps the reduction's reorder
 //! buffer small). A worker whose shard runs dry *steals* from the back of
 //! the currently fullest shard: the back holds the victim's furthest-future
-//! indices, the work it would otherwise reach last.
+//! indices, the work it would otherwise reach last. When the victim's deque
+//! is deep (≥ `DEEP_SHARD` batches), the thief takes the whole back
+//! *half* in one lock acquisition instead of a single batch — a skewed
+//! shard then rebalances in O(log batches) steals rather than one steal
+//! per batch, and the stolen run of consecutive batches keeps the thief
+//! advancing through the index space in order.
 //!
 //! Mutex-sharded deques (rather than lock-free Chase–Lev deques) are a
 //! deliberate simplicity/portability trade-off: batches are sized by
@@ -35,10 +40,22 @@ pub enum Placement {
     Packed,
 }
 
-/// A sharded queue of index-range batches with steal-on-empty.
+/// A victim deque at least this deep surrenders its back half to a thief
+/// instead of a single batch.
+const DEEP_SHARD: usize = 4;
+
+/// A sharded queue of index-range batches with steal-on-empty (single batch
+/// from shallow victims, half the deque from deep ones).
 pub struct BatchQueue {
     shards: Vec<Mutex<VecDeque<Range<u64>>>>,
     steals: AtomicU64,
+    /// Batches still queued somewhere (decremented when a batch is
+    /// *returned* from [`pop`](Self::pop), not when it merely moves between
+    /// shards). A multi-shard emptiness scan is not atomic — it can race
+    /// with a half-deque move and see every shard empty while work is in
+    /// transit — so `pop` returns `None` only once this counter agrees,
+    /// keeping "None is final" true for exiting workers.
+    remaining: AtomicU64,
 }
 
 impl BatchQueue {
@@ -55,6 +72,7 @@ impl BatchQueue {
             start = end;
         }
         let mut queues: Vec<VecDeque<Range<u64>>> = (0..shards).map(|_| VecDeque::new()).collect();
+        let total = batches.len() as u64;
         match placement {
             Placement::Interleaved => {
                 for (j, b) in batches.into_iter().enumerate() {
@@ -66,6 +84,7 @@ impl BatchQueue {
         BatchQueue {
             shards: queues.into_iter().map(Mutex::new).collect(),
             steals: AtomicU64::new(0),
+            remaining: AtomicU64::new(total),
         }
     }
 
@@ -75,11 +94,15 @@ impl BatchQueue {
     }
 
     /// Pop the next batch for worker `me`: the front of its own shard, or —
-    /// when that is empty — the back of the fullest other shard. `None`
-    /// means no work is left anywhere (workers then exit; batches are never
-    /// re-queued, so a `None` is final).
+    /// when that is empty — stolen from the back of the fullest other
+    /// shard: one batch if the victim is shallow, the whole back half if it
+    /// is deep (≥ `DEEP_SHARD` batches; the surplus lands in `me`'s own
+    /// shard, in index order). `None` means no work is left anywhere
+    /// (workers then exit; batches are never re-queued, so a `None` is
+    /// final).
     pub fn pop(&self, me: usize) -> Option<Range<u64>> {
         if let Some(b) = self.shards[me].lock().unwrap().pop_front() {
+            self.remaining.fetch_sub(1, Ordering::Release);
             return Some(b);
         }
         // Steal from the shard with the most remaining batches.
@@ -93,10 +116,49 @@ impl BatchQueue {
                 .max()?;
             let (len, idx) = victim;
             if len == 0 {
-                return None;
+                // The scan saw every shard empty, but it is not atomic: a
+                // half-deque move may have work in transit between shards.
+                // Only the queued-batch counter makes `None` final; while
+                // it disagrees, rescan (the move completes under its locks,
+                // so the next scan sees the batches).
+                if self.remaining.load(Ordering::Acquire) == 0 {
+                    return None;
+                }
+                if let Some(b) = self.shards[me].lock().unwrap().pop_front() {
+                    self.remaining.fetch_sub(1, Ordering::Release);
+                    return Some(b);
+                }
+                std::hint::spin_loop();
+                continue;
             }
-            if let Some(b) = self.shards[idx].lock().unwrap().pop_back() {
+            // Lock the victim and our own shard together, in index order
+            // (the only two-lock site, so the ordering rules out deadlock);
+            // the stolen half moves atomically with respect to both shards,
+            // and the `remaining` counter covers the scan race above.
+            let (lo, hi) = (idx.min(me), idx.max(me));
+            let mut lo_q = self.shards[lo].lock().unwrap();
+            let mut hi_q = self.shards[hi].lock().unwrap();
+            let (victim_q, my_q) = if lo == idx {
+                (&mut lo_q, &mut hi_q)
+            } else {
+                (&mut hi_q, &mut lo_q)
+            };
+            if victim_q.len() >= DEEP_SHARD {
+                // Deep victim: take the back half in one go. The stolen
+                // batches are consecutive future work in ascending order;
+                // the thief runs the first one now and keeps the rest in
+                // its own shard (empty — only its owner ever pushes to it).
+                let keep = victim_q.len() - victim_q.len() / 2;
+                let mut stolen = victim_q.split_off(keep);
+                let first = stolen.pop_front().expect("back half is non-empty");
+                my_q.append(&mut stolen);
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                self.remaining.fetch_sub(1, Ordering::Release);
+                return Some(first);
+            }
+            if let Some(b) = victim_q.pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.remaining.fetch_sub(1, Ordering::Release);
                 return Some(b);
             }
             // The victim drained between the scan and the lock; rescan.
@@ -135,13 +197,61 @@ mod tests {
     }
 
     #[test]
-    fn steal_takes_from_the_back_of_the_fullest_shard() {
-        let q = BatchQueue::new(0..12, 2, 3, Placement::Packed);
-        // Shard 0 holds everything; worker 2 must steal the *last* batch.
-        assert_eq!(q.pop(2), Some(10..12));
+    fn shallow_steal_takes_one_batch_from_the_back() {
+        // 3 batches < DEEP_SHARD: the thief takes exactly the last batch.
+        let q = BatchQueue::new(0..6, 2, 3, Placement::Packed);
+        assert_eq!(q.pop(2), Some(4..6));
         assert_eq!(q.steals(), 1);
         // Owner still drains front-to-back.
         assert_eq!(q.pop(0), Some(0..2));
+    }
+
+    #[test]
+    fn deep_victim_surrenders_half_its_deque() {
+        // Shard 0 holds 6 batches (≥ DEEP_SHARD): worker 2's steal moves
+        // the whole back half {6..8, 8..10, 10..12} in one lock — it runs
+        // 6..8 now and keeps the rest queued locally, in index order.
+        let q = BatchQueue::new(0..12, 2, 3, Placement::Packed);
+        assert_eq!(q.pop(2), Some(6..8));
+        assert_eq!(q.steals(), 1);
+        assert_eq!(q.pop(2), Some(8..10));
+        assert_eq!(q.pop(2), Some(10..12));
+        // Draining its own (stolen) shard costs no further steals.
+        assert_eq!(q.steals(), 1);
+        // The victim keeps its front half untouched.
+        assert_eq!(q.pop(0), Some(0..2));
+        assert_eq!(q.pop(0), Some(2..4));
+        assert_eq!(q.pop(0), Some(4..6));
+        // Worker 2's next pop steals again (from whoever still has work).
+        assert_eq!(q.pop(2), None);
+    }
+
+    #[test]
+    fn skewed_workload_rebalances_in_logarithmically_many_steals() {
+        // All 64 batches packed on shard 0 (maximal skew): a lone thief
+        // draining the queue alternately with the owner needs far fewer
+        // steals than batches, because each steal moves half the remainder.
+        let q = BatchQueue::new(0..64, 1, 2, Placement::Packed);
+        let mut seen = Vec::new();
+        let mut turn = 0;
+        loop {
+            let me = turn % 2;
+            turn += 1;
+            match q.pop(me) {
+                Some(b) => seen.push(b.start),
+                None => break,
+            }
+        }
+        // Every batch ran exactly once…
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+        // …with halving steals, not one per batch.
+        assert!(
+            q.steals() <= 10,
+            "expected O(log) steals, got {}",
+            q.steals()
+        );
+        assert!(q.steals() >= 2);
     }
 
     #[test]

@@ -56,6 +56,35 @@ fn forced_steal_schedule_is_deterministic() {
 }
 
 #[test]
+fn half_deque_stealing_preserves_seed_order_on_a_skewed_workload() {
+    // A cost ramp across the seed range, all packed on shard 0: thieves
+    // bootstrap by taking half-deques, and the reorder buffer must still
+    // fold bit-identically to the single-threaded reference.
+    let ramped = |i: u64| {
+        let mut acc = i as f64;
+        for j in 0..i * 4 {
+            acc += ((j ^ i) as f64).sqrt();
+        }
+        acc
+    };
+    let run = |threads: usize| {
+        let mut out = VecCollector::with_capacity(300);
+        let stats = Runner::new()
+            .with_threads(threads)
+            .with_batch(BatchSize::Fixed(2))
+            .with_placement(Placement::Packed)
+            .run(300, ramped, &mut out);
+        (out.items, stats.steals)
+    };
+    let (reference, _) = run(1);
+    assert_eq!(reference, (0..300).map(ramped).collect::<Vec<f64>>());
+    for threads in [2, 4] {
+        let (got, _) = run(threads);
+        assert_eq!(got, reference, "threads = {threads}");
+    }
+}
+
+#[test]
 fn streaming_accumulators_match_sequential_folds_exactly() {
     // Welford mean/M2 and the P² markers are order-sensitive in the last
     // float bits; the ordered reduction must erase the thread count.

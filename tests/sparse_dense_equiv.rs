@@ -1,9 +1,15 @@
 //! The sparse slot-skipping engine must be **observationally identical** to
 //! dense per-slot polling: same `Outcome` (winner, latency, transmission /
-//! collision / silence accounting, per-station counts) and same transcript,
-//! across protocols × wake patterns × seeds. Only the work counters
-//! (`polls`, `skipped_slots`) may differ between the two paths.
+//! collision / silence accounting, per-station counts, resolution order)
+//! and same transcript, across protocols × wake patterns × seeds × stop
+//! rules × feedback models. Only the work counters (`polls`,
+//! `skipped_slots`) may differ between the two paths.
+//!
+//! With epoch-scoped hints this covers the feedback-reactive protocols too:
+//! `StopRule::AllResolved` runs (retirement on own success) execute sparse
+//! via `Until::NextSuccess` hints and must still match dense bit for bit.
 
+use mac_sim::engine::StopRule;
 use mac_wakeup::prelude::*;
 use proptest::collection::btree_set;
 use proptest::prelude::*;
@@ -18,7 +24,32 @@ fn assert_equivalent(
     run_seed: u64,
     max_slots: Option<u64>,
 ) {
-    let mut cfg = SimConfig::new(n).with_transcript();
+    assert_equivalent_under(
+        n,
+        protocol,
+        pattern,
+        run_seed,
+        max_slots,
+        StopRule::FirstSuccess,
+        FeedbackModel::NoCollisionDetection,
+    );
+}
+
+/// [`assert_equivalent`] under an explicit stop rule and feedback model.
+#[allow(clippy::too_many_arguments)]
+fn assert_equivalent_under(
+    n: u32,
+    protocol: &dyn Protocol,
+    pattern: &WakePattern,
+    run_seed: u64,
+    max_slots: Option<u64>,
+    stop: StopRule,
+    feedback: FeedbackModel,
+) {
+    let mut cfg = SimConfig::new(n).with_transcript().with_feedback(feedback);
+    if stop == StopRule::AllResolved {
+        cfg = cfg.until_all_resolved();
+    }
     if let Some(cap) = max_slots {
         cfg = cfg.with_max_slots(cap);
     }
@@ -30,7 +61,7 @@ fn assert_equivalent(
         .unwrap();
 
     let ctx = format!(
-        "protocol={} pattern={:?} seed={run_seed} cap={max_slots:?}",
+        "protocol={} pattern={:?} seed={run_seed} cap={max_slots:?} stop={stop:?} fb={feedback:?}",
         protocol.name(),
         pattern.wakes()
     );
@@ -103,6 +134,21 @@ fn protocols(n: u32, pattern: &WakePattern, seed: u64) -> Vec<Box<dyn Protocol>>
     ]
 }
 
+/// The feedback-reactive (retiring) protocol zoo — the Komlós–Greenberg
+/// resolvers that epoch-scoped hints unlocked for the sparse path. Run
+/// under both stop rules.
+fn retiring_protocols(n: u32, seed: u64) -> Vec<Box<dyn Protocol>> {
+    vec![
+        Box::new(FullResolution::new(
+            n,
+            (n / 4).max(1),
+            FamilyProvider::random_with_seed(seed),
+        )),
+        Box::new(RetiringRoundRobin::new(n)),
+        Box::new(EnergyCapped::new(RetiringRoundRobin::new(n), 2)),
+    ]
+}
+
 fn arb_pattern(n: u32) -> impl Strategy<Value = WakePattern> {
     btree_set(0..n, 1..=6usize).prop_flat_map(|ids| {
         let ids: Vec<u32> = ids.into_iter().collect();
@@ -138,6 +184,29 @@ proptest! {
             assert_equivalent(32, protocol.as_ref(), &pattern, seed, Some(cap));
         }
     }
+
+    #[test]
+    fn sparse_equals_dense_under_all_resolved(
+        pattern in arb_pattern(32),
+        seed in 0u64..1_000,
+    ) {
+        // Full conflict resolution: feedback-driven retirement, multiple
+        // successes per run, resolution order and all_resolved_at must all
+        // match — under both feedback models.
+        for fb in [FeedbackModel::NoCollisionDetection, FeedbackModel::CollisionDetection] {
+            for protocol in retiring_protocols(32, seed) {
+                assert_equivalent_under(
+                    32,
+                    protocol.as_ref(),
+                    &pattern,
+                    seed,
+                    Some(20_000),
+                    StopRule::AllResolved,
+                    fb,
+                );
+            }
+        }
+    }
 }
 
 #[test]
@@ -166,6 +235,118 @@ fn sparse_equals_dense_on_structured_patterns() {
             }
         }
     }
+}
+
+#[test]
+fn sparse_equals_dense_on_structured_all_resolved_patterns() {
+    // The deterministic grid, replayed under StopRule::AllResolved with the
+    // retiring zoo and both feedback models.
+    for n in [16u32, 64] {
+        let ids: Vec<StationId> = (0..5).map(|i| StationId(i * (n / 8) + 1)).collect();
+        let patterns = [
+            WakePattern::simultaneous(&ids, 0).unwrap(),
+            WakePattern::simultaneous(&ids, 137).unwrap(),
+            WakePattern::staggered(&ids, 5, 17).unwrap(),
+            WakePattern::batches(&ids, 2, 40, &[3, 2]).unwrap(),
+        ];
+        for pattern in patterns.iter() {
+            for seed in [0u64, 7] {
+                for fb in [
+                    FeedbackModel::NoCollisionDetection,
+                    FeedbackModel::CollisionDetection,
+                ] {
+                    for protocol in retiring_protocols(n, seed) {
+                        assert_equivalent_under(
+                            n,
+                            protocol.as_ref(),
+                            pattern,
+                            seed,
+                            Some(50_000),
+                            StopRule::AllResolved,
+                            fb,
+                        );
+                        // The same protocols under the default stop rule
+                        // (KG stopped at first success is a wake-up
+                        // algorithm — §1).
+                        assert_equivalent_under(
+                            n,
+                            protocol.as_ref(),
+                            pattern,
+                            seed,
+                            Some(50_000),
+                            StopRule::FirstSuccess,
+                            fb,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn komlos_greenberg_all_resolved_runs_on_the_sparse_path() {
+    // Acceptance: a full conflict-resolution run (Komlós–Greenberg shape,
+    // feedback-driven retirement) must *execute sparse* — skipped slots,
+    // far fewer polls than dense — with a bit-identical transcript.
+    let n = 1024u32;
+    let k = 16u32;
+    let ids: Vec<StationId> = (0..k).map(|i| StationId(i * 60 + 7)).collect();
+    let pattern = WakePattern::simultaneous(&ids, 9).unwrap();
+    let protocol = FullResolution::new(n, k, FamilyProvider::default());
+    let cfg = SimConfig::new(n)
+        .until_all_resolved()
+        .with_max_slots(500_000)
+        .with_transcript();
+    let auto = Simulator::new(cfg.clone())
+        .run(&protocol, &pattern, 3)
+        .unwrap();
+    let dense = Simulator::new(cfg.with_engine(EngineMode::Dense))
+        .run(&protocol, &pattern, 3)
+        .unwrap();
+    assert_eq!(auto.resolved.len(), k as usize, "all stations must resolve");
+    assert_eq!(auto.resolved, dense.resolved);
+    assert_eq!(auto.all_resolved_at, dense.all_resolved_at);
+    assert_eq!(auto.transcript, dense.transcript);
+    assert_eq!(auto.transmissions, dense.transmissions);
+    // Sparse execution, no dense fallback: silent gaps were skipped and the
+    // poll count collapsed from ≈ slots·k to ≈ transmission events.
+    assert!(auto.skipped_slots > 0, "KG run did not skip any slots");
+    assert_eq!(dense.skipped_slots, 0);
+    assert!(
+        auto.polls * 10 < dense.polls,
+        "auto polls {} vs dense polls {} — sparse path not engaged",
+        auto.polls,
+        dense.polls
+    );
+}
+
+#[test]
+fn scenario_c_waking_matrix_runs_on_the_sparse_path() {
+    // Acceptance: a Scenario C run over the waking matrix must execute
+    // sparse through the per-row PRF jumps — no TxHint::Dense fallback.
+    let n = 4096u32;
+    let ids: Vec<StationId> = (0..8u32).map(|i| StationId(i * 500 + 17)).collect();
+    let pattern = WakePattern::simultaneous(&ids, 11).unwrap();
+    let protocol = WakeupN::new(MatrixParams::new(n));
+    let cfg = SimConfig::new(n).with_transcript();
+    let auto = Simulator::new(cfg.clone())
+        .run(&protocol, &pattern, 0)
+        .unwrap();
+    let dense = Simulator::new(cfg.with_engine(EngineMode::Dense))
+        .run(&protocol, &pattern, 0)
+        .unwrap();
+    assert!(auto.solved());
+    assert_eq!(auto.first_success, dense.first_success);
+    assert_eq!(auto.winner, dense.winner);
+    assert_eq!(auto.transcript, dense.transcript);
+    assert!(auto.skipped_slots > 0, "Scenario C run did not skip slots");
+    assert!(
+        auto.polls < dense.polls,
+        "auto polls {} vs dense polls {}",
+        auto.polls,
+        dense.polls
+    );
 }
 
 #[test]
