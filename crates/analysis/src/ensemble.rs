@@ -111,6 +111,14 @@ impl EnsembleSpec {
         self
     }
 
+    /// Attach a fully-built [`Progress`] spec — the way to keep a custom
+    /// [`ProgressSink`](wakeup_runner::ProgressSink) routing (plain
+    /// [`with_progress`](Self::with_progress) reports to stderr).
+    pub fn with_progress_spec(mut self, progress: Progress) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
     /// The seed of run `i` (wrapping — see [`base_seed`](Self::base_seed)).
     pub fn seed_of(&self, i: u64) -> u64 {
         self.base_seed.wrapping_add(i)
@@ -201,6 +209,16 @@ impl WorkStats {
             self.skipped,
             100.0 * self.skip_fraction()
         )
+    }
+
+    /// The counters as a machine-readable [`Record`](crate::serial::Record)
+    /// with stable field names (`slots`, `polls`, `skipped`). Deterministic:
+    /// all three fold in seed order.
+    pub fn record(&self) -> crate::serial::Record {
+        crate::serial::Record::new()
+            .with("slots", self.slots)
+            .with("polls", self.polls)
+            .with("skipped", self.skipped)
     }
 }
 
@@ -337,6 +355,40 @@ impl EnsembleSummary {
     /// 99th-percentile solved latency (P² estimate; 0 when nothing solved).
     pub fn p99(&self) -> f64 {
         self.sketch_p99.value().unwrap_or(0.0)
+    }
+
+    /// The summary as a machine-readable
+    /// [`Record`](crate::serial::Record) with stable field names — the
+    /// per-point payload of the experiment sinks' sweep rows.
+    ///
+    /// Only **deterministic** aggregates are included (everything folds in
+    /// seed order, so each field is bit-identical across thread counts); the
+    /// wall-clock execution stats in [`exec`](Self::exec) are deliberately
+    /// left out so machine output can be diffed across runs and machines.
+    ///
+    /// When **no** run solved, the solved-latency statistics are emitted as
+    /// `NaN` (JSON `null`, CSV `NaN`) rather than their 0.0 accessor
+    /// defaults — a fully-censored cell must not read as zero latency.
+    /// `worst` stays numeric: it counts censored runs pessimistically.
+    pub fn record(&self) -> crate::serial::Record {
+        let lat = |v: f64| if self.solved > 0 { v } else { f64::NAN };
+        crate::serial::Record::new()
+            .with("runs", self.runs)
+            .with("solved", self.solved)
+            .with("censored", self.censored())
+            .with("mean", lat(self.mean()))
+            .with("ci95", lat(self.ci95()))
+            .with("median", lat(self.median()))
+            .with("p90", lat(self.p90()))
+            .with("p99", lat(self.p99()))
+            .with("max", lat(self.max()))
+            .with("worst", self.worst)
+            .with("mean_transmissions", self.energy.mean_transmissions())
+            .with("mean_collisions", self.energy.mean_collisions())
+            .with("max_per_station_tx", self.energy.max_per_station)
+            .with("slots", self.work.slots)
+            .with("polls", self.work.polls)
+            .with("skipped", self.work.skipped)
     }
 }
 
@@ -607,6 +659,12 @@ mod tests {
         assert_eq!(s.solved, 0);
         assert_eq!(s.worst, 50);
         assert_eq!(s.mean(), 0.0);
+        // Machine rows must not read the censored-everything case as zero
+        // latency: the record renders the solved-latency stats as null.
+        let json = s.record().to_json();
+        assert!(json.contains("\"mean\":null"), "{json}");
+        assert!(json.contains("\"p90\":null"), "{json}");
+        assert!(json.contains("\"worst\":50"), "{json}");
     }
 
     #[test]

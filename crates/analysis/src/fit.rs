@@ -145,6 +145,83 @@ pub fn rank_models(points: &[(f64, f64, f64)]) -> Vec<FitResult> {
     fits
 }
 
+/// Which latency statistic of a sweep point a fit targets.
+///
+/// The paper's bounds are worst-case, so the mean is the weakest evidence a
+/// sweep can offer; the streaming ensembles also carry P² tail sketches, and
+/// fitting the p90 curve checks that the *tail* grows with the claimed
+/// shape too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Mean solved latency.
+    Mean,
+    /// P² estimate of the 90th-percentile solved latency.
+    P90,
+}
+
+impl Metric {
+    /// Human-readable name (for fit headings).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Mean => "mean",
+            Metric::P90 => "p90",
+        }
+    }
+}
+
+/// One sweep observation: the `(n, k)` grid point plus the latency
+/// statistics the experiments fit. Built from a streaming
+/// [`EnsembleSummary`](crate::ensemble::EnsembleSummary) via
+/// [`SweepPoint::of`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Universe size.
+    pub n: f64,
+    /// Contention (awake stations).
+    pub k: f64,
+    /// Mean solved latency.
+    pub mean: f64,
+    /// P² 90th-percentile solved latency.
+    pub p90: f64,
+}
+
+impl SweepPoint {
+    /// Extract the fitted statistics of one ensemble at grid point `(n, k)`.
+    pub fn of(n: u32, k: u32, summary: &crate::ensemble::EnsembleSummary) -> Self {
+        SweepPoint {
+            n: f64::from(n),
+            k: f64::from(k),
+            mean: summary.mean(),
+            p90: summary.p90(),
+        }
+    }
+
+    /// Project onto the `(n, k, y)` triple the fitters consume, with `y`
+    /// the chosen statistic — the single place the `Metric` dispatch lives.
+    pub fn project(&self, metric: Metric) -> (f64, f64, f64) {
+        let y = match metric {
+            Metric::Mean => self.mean,
+            Metric::P90 => self.p90,
+        };
+        (self.n, self.k, y)
+    }
+}
+
+/// Project a sweep onto the chosen statistic's `(n, k, y)` triples.
+pub fn project_points(metric: Metric, points: &[SweepPoint]) -> Vec<(f64, f64, f64)> {
+    points.iter().map(|p| p.project(metric)).collect()
+}
+
+/// Fit one model against the chosen statistic of the sweep points.
+pub fn fit_model_by(model: Model, metric: Metric, points: &[SweepPoint]) -> Option<FitResult> {
+    fit_model(model, &project_points(metric, points))
+}
+
+/// Rank all candidate models against the chosen statistic (descending `R²`).
+pub fn rank_models_by(metric: Metric, points: &[SweepPoint]) -> Vec<FitResult> {
+    rank_models(&project_points(metric, points))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +305,53 @@ mod tests {
         let fit = fit_model(Model::LogN, &points).unwrap();
         assert!(fit.r2 > 0.99, "R² = {}", fit.r2);
         assert!((fit.a - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn p90_metric_fits_the_tail_curve() {
+        // Mean grows like k, p90 like k·log(n/k)+1: the two metrics must
+        // rank different models first on the same sweep points.
+        let mut points = Vec::new();
+        for n in [256u32, 1024, 4096] {
+            for k in [2u32, 4, 8, 16] {
+                let (nf, kf) = (f64::from(n), f64::from(k));
+                points.push(SweepPoint {
+                    n: nf,
+                    k: kf,
+                    mean: 3.0 * kf,
+                    p90: 2.0 * Model::KLogNOverK.eval(nf, kf),
+                });
+            }
+        }
+        let by_mean = rank_models_by(Metric::Mean, &points);
+        let by_p90 = rank_models_by(Metric::P90, &points);
+        assert_eq!(by_mean[0].model, Model::K);
+        assert_eq!(by_p90[0].model, Model::KLogNOverK);
+        let f = fit_model_by(Model::KLogNOverK, Metric::P90, &points).unwrap();
+        assert!((f.a - 2.0).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_point_reads_summary_statistics() {
+        use crate::ensemble::EnsembleSpec;
+        let spec = EnsembleSpec::new(16, 6).with_threads(2);
+        let s = crate::ensemble::run_ensemble_stream(
+            &spec,
+            |_| Box::new(wakeup_core::prelude::RoundRobin::new(16)),
+            |seed| {
+                use mac_sim::pattern::IdChoice;
+                use rand::SeedableRng;
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                let ids = IdChoice::Random.pick(16, 3, &mut rng);
+                mac_sim::WakePattern::uniform_window(&ids, 0, 8, &mut rng).unwrap()
+            },
+        );
+        let p = SweepPoint::of(16, 3, &s);
+        assert_eq!(p.n, 16.0);
+        assert_eq!(p.k, 3.0);
+        assert_eq!(p.mean, s.mean());
+        assert_eq!(p.p90, s.p90());
     }
 
     #[test]

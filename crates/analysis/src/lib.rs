@@ -11,14 +11,20 @@
 //! * [`fit`] — least-squares fits of measured latency against the paper's
 //!   model shapes (`k·log(n/k)+1`, `k·log n·log log n`, `k·log² n`,
 //!   `log n`, `log k`, `n−k+1`) with `R²`, used to check *shape* agreement
-//!   rather than absolute constants;
-//! * [`table`] — Markdown and CSV rendering of experiment tables.
+//!   rather than absolute constants — against the mean or the P² p90 curve
+//!   ([`fit::Metric`]);
+//! * [`table`] — Markdown and CSV rendering of experiment tables;
+//! * [`serial`] — dependency-free machine-readable records
+//!   ([`serial::Value`], [`serial::Record`]) with JSON / CSV renderings,
+//!   the payload type of the experiment sinks
+//!   ([`EnsembleSummary::record`], [`WorkStats::record`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ensemble;
 pub mod fit;
+pub mod serial;
 pub mod stats;
 pub mod table;
 
@@ -26,7 +32,8 @@ pub use ensemble::{
     run_ensemble, run_ensemble_chunked, run_ensemble_stream, EnsembleResult, EnsembleSpec,
     EnsembleSummary, WorkStats,
 };
-pub use fit::{fit_model, FitResult, Model};
+pub use fit::{fit_model, fit_model_by, rank_models_by, FitResult, Metric, Model, SweepPoint};
+pub use serial::{Record, Value};
 pub use stats::Summary;
 pub use table::Table;
 
@@ -36,7 +43,10 @@ pub mod prelude {
         run_ensemble, run_ensemble_chunked, run_ensemble_stream, EnsembleResult, EnsembleSpec,
         EnsembleSummary, WorkStats,
     };
-    pub use crate::fit::{fit_model, FitResult, Model};
+    pub use crate::fit::{
+        fit_model, fit_model_by, rank_models_by, FitResult, Metric, Model, SweepPoint,
+    };
+    pub use crate::serial::{Record, Value};
     pub use crate::stats::Summary;
     pub use crate::table::Table;
 }

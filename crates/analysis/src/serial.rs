@@ -1,0 +1,252 @@
+//! Dependency-free machine-readable records (JSON / CSV cells).
+//!
+//! The experiment sinks need structured output, but the workspace builds
+//! with no registry access, so there is no `serde`. This module hand-rolls
+//! the small subset actually needed — flat records of named scalar values —
+//! in the same spirit as `crates/compat`: a [`Value`] enum with exact JSON
+//! and CSV renderings, and an ordered [`Record`] of `(name, Value)` pairs.
+//!
+//! Determinism matters more than generality here: floats render through
+//! Rust's shortest-round-trip `Display`, so a bit-identical `f64` always
+//! renders to the identical byte string — the property behind the
+//! "`--out json` is bit-identical across thread counts" guarantee.
+
+use std::fmt::Write as _;
+
+/// A scalar cell value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (JSON: `null` when non-finite).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Quote a CSV cell RFC-4180-style: wrap in double quotes (doubling inner
+/// quotes) only when the content contains a comma, quote or newline. The
+/// single quoting rule shared by [`Value::to_csv`] and
+/// [`Table::to_csv`](crate::table::Table::to_csv).
+pub fn csv_quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Escape a string for a JSON string literal (content only, no quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Value {
+    /// Render as a JSON value.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) if !v.is_finite() => "null".into(),
+            // Display for finite f64 is shortest-round-trip decimal — valid
+            // JSON (never exponent-formatted) and bit-faithful.
+            Value::F64(v) => v.to_string(),
+            Value::Str(s) => format!("\"{}\"", json_escape(s)),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Render as a CSV cell (RFC-4180 quoting where needed).
+    pub fn to_csv(&self) -> String {
+        let plain = match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) if !v.is_finite() => "NaN".into(),
+            Value::F64(v) => v.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        };
+        csv_quote(&plain)
+    }
+}
+
+/// An ordered, flat record of named values — one machine-readable row.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Record::default()
+    }
+
+    /// Append a field, builder-style.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.push(name, value);
+        self
+    }
+
+    /// Append every field of `other`, builder-style (row = key columns +
+    /// a summary's record).
+    pub fn with_all(mut self, other: Record) -> Self {
+        self.fields.extend(other.fields);
+        self
+    }
+
+    /// Append a field.
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.fields.push((name.into(), value.into()));
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// The field names in insertion order (the CSV header / JSON schema).
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Look up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Render as a JSON object (insertion order preserved).
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(n, v)| format!("\"{}\":{}", json_escape(n), v.to_json()))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Render the values as one CSV data line (no newline).
+    pub fn to_csv_line(&self) -> String {
+        let cells: Vec<String> = self.fields.iter().map(|(_, v)| v.to_csv()).collect();
+        cells.join(",")
+    }
+
+    /// Render the names as one CSV header line (no newline).
+    pub fn csv_header(&self) -> String {
+        let cells: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(n, _)| Value::Str(n.clone()).to_csv())
+            .collect();
+        cells.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_values_render_exactly() {
+        assert_eq!(Value::U64(42).to_json(), "42");
+        assert_eq!(Value::I64(-7).to_json(), "-7");
+        assert_eq!(Value::F64(3.5).to_json(), "3.5");
+        assert_eq!(Value::F64(f64::NAN).to_json(), "null");
+        assert_eq!(Value::F64(f64::INFINITY).to_json(), "null");
+        assert_eq!(Value::Bool(true).to_json(), "true");
+        assert_eq!(Value::Str("a\"b\n".into()).to_json(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn float_rendering_is_bit_faithful() {
+        // Shortest-round-trip: distinct bit patterns render distinctly, and
+        // the rendering survives a parse round-trip.
+        for v in [0.1f64, 1.0 / 3.0, 123456.789, 1e-9, 2f64.powi(60)] {
+            let s = Value::F64(v).to_json();
+            assert_eq!(s.parse::<f64>().unwrap().to_bits(), v.to_bits(), "{s}");
+            assert!(!s.contains('e') && !s.contains('E'), "exponent in {s}");
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = Record::new()
+            .with("n", 1024u64)
+            .with("mean", 3.25)
+            .with("label", "worst, case");
+        assert_eq!(r.names(), vec!["n", "mean", "label"]);
+        assert_eq!(
+            r.to_json(),
+            "{\"n\":1024,\"mean\":3.25,\"label\":\"worst, case\"}"
+        );
+        assert_eq!(r.csv_header(), "n,mean,label");
+        assert_eq!(r.to_csv_line(), "1024,3.25,\"worst, case\"");
+        assert_eq!(r.get("mean"), Some(&Value::F64(3.25)));
+        assert_eq!(r.get("absent"), None);
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("tab\tok"), "tab\\tok");
+    }
+}

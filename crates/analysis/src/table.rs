@@ -73,18 +73,12 @@ impl Table {
     }
 
     /// Render as CSV (RFC-4180-style quoting for cells containing commas,
-    /// quotes or newlines).
+    /// quotes or newlines — the shared [`csv_quote`](crate::serial::csv_quote)
+    /// rule).
     pub fn to_csv(&self) -> String {
-        let quote = |cell: &str| -> String {
-            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
-                format!("\"{}\"", cell.replace('"', "\"\""))
-            } else {
-                cell.to_string()
-            }
-        };
         let mut out = String::new();
         let mut write_row = |cells: &[String]| {
-            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            let line: Vec<String> = cells.iter().map(|c| crate::serial::csv_quote(c)).collect();
             out.push_str(&line.join(","));
             out.push('\n');
         };

@@ -1,287 +1,6 @@
-//! EXP-ABL — ablations of the paper's design choices (DESIGN.md §6).
-//!
-//! * **ABL-CD** — collision detection: the paper's protocols are oblivious,
-//!   so granting the stronger CD feedback changes nothing for them (measured
-//!   identity), while feedback-driven BEB *requires* it;
-//! * **ABL-RHO** — removing the `ρ(j)` density sweep from the waking matrix
-//!   (the §5 design trick) measurably slows Scenario C;
-//! * **ABL-C** — sensitivity of Scenario C to the constant `c`;
-//! * **ABL-ENERGY** — transmissions per protocol (the extension metric);
-//! * **ABL-BUDGET** — per-station transmission budgets (power-sensitive
-//!   extension, ref. 19): how small a budget still solves wake-up;
-//! * **ABL-ADV** — spoiler-adversary robustness across protocols.
-//!
-//! All ensembles run streaming on the work-stealing runner; the footer
-//! reports the aggregated `WorkStats`.
-
-use mac_sim::prelude::*;
-use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, burst_pattern, ensemble_spec, random_pattern, Scale, TableMeter};
-use wakeup_core::prelude::*;
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::ablations`; prefer `wakeup run exp_ablations`.
 
 fn main() {
-    banner("EXP-ABL — design-choice ablations", "see DESIGN.md §6");
-    let scale = Scale::from_env();
-    let runs = scale.runs();
-    let n = 256u32;
-    let k = 8usize;
-    let mut meter = TableMeter::new();
-
-    // --- ABL-CD ----------------------------------------------------------
-    println!("ABL-CD: feedback model (oblivious protocols must not change)");
-    let mut cd_tab = Table::new(["protocol", "no-CD mean", "CD mean"]);
-    for (name, factory) in [
-        (
-            "wakeup(n)",
-            Box::new(|seed: u64| -> Box<dyn mac_sim::Protocol> {
-                Box::new(WakeupN::new(MatrixParams::new(256).with_seed(seed)))
-            }) as Box<dyn Fn(u64) -> Box<dyn mac_sim::Protocol> + Sync>,
-        ),
-        (
-            "wakeup_with_k",
-            Box::new(|seed: u64| -> Box<dyn mac_sim::Protocol> {
-                Box::new(WakeupWithK::new(
-                    256,
-                    8,
-                    FamilyProvider::random_with_seed(seed),
-                ))
-            }),
-        ),
-        (
-            "BEB (feedback-driven)",
-            Box::new(|_| -> Box<dyn mac_sim::Protocol> {
-                Box::new(BinaryExponentialBackoff::new(256))
-            }),
-        ),
-    ] {
-        let no_cd = run_ensemble_stream(
-            &ensemble_spec(n, runs, 7000, &format!("ABL-CD {name} no-cd")),
-            factory.as_ref(),
-            |seed| random_pattern(n, k, 16, seed),
-        );
-        let cd = run_ensemble_stream(
-            &ensemble_spec(n, runs, 7000, &format!("ABL-CD {name} cd"))
-                .with_feedback(FeedbackModel::CollisionDetection),
-            factory.as_ref(),
-            |seed| random_pattern(n, k, 16, seed),
-        );
-        meter.absorb(&no_cd);
-        meter.absorb(&cd);
-        cd_tab.push_row([
-            name.to_string(),
-            format!("{:.1}", no_cd.mean()),
-            format!("{:.1}", cd.mean()),
-        ]);
-    }
-    cd_tab.print();
-
-    // --- ABL-RHO ----------------------------------------------------------
-    println!("\nABL-RHO: waking matrix with vs without the ρ(j) density sweep");
-    let mut rho_tab = Table::new(["k", "with sweep (mean)", "without sweep (mean)", "slowdown"]);
-    for kk in [4usize, 8, 16, 32] {
-        let with = run_ensemble_stream(
-            &ensemble_spec(n, runs, 7100, &format!("ABL-RHO with k={kk}")),
-            |seed| -> Box<dyn mac_sim::Protocol> {
-                Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed)))
-            },
-            |seed| burst_pattern(n, kk, 0, seed),
-        );
-        let without = run_ensemble_stream(
-            &ensemble_spec(n, runs, 7100, &format!("ABL-RHO without k={kk}")),
-            |seed| -> Box<dyn mac_sim::Protocol> {
-                Box::new(WakeupN::new(
-                    MatrixParams::new(n).with_seed(seed).without_rho_sweep(),
-                ))
-            },
-            |seed| burst_pattern(n, kk, 0, seed),
-        );
-        assert!(with.solved > 0, "with-sweep must solve");
-        meter.absorb(&with);
-        meter.absorb(&without);
-        let w = with.mean();
-        let (wo, slow) = if without.solved > 0 {
-            let m = without.mean();
-            (format!("{m:.1}"), format!("{:.2}×", m / w))
-        } else {
-            ("all censored".into(), "∞".into())
-        };
-        rho_tab.push_row([kk.to_string(), format!("{w:.1}"), wo, slow]);
-    }
-    rho_tab.print();
-
-    // --- ABL-C -------------------------------------------------------------
-    println!("\nABL-C: Scenario C sensitivity to the constant c (k = 64 so the");
-    println!("walk must descend past c-scaled row boundaries)");
-    let mut c_tab = Table::new(["c", "mean latency", "censored"]);
-    for c in [1u32, 2, 4, 8] {
-        let res = run_ensemble_stream(
-            &ensemble_spec(n, runs, 7200, &format!("ABL-C c={c}")),
-            move |seed| -> Box<dyn mac_sim::Protocol> {
-                Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed).with_c(c)))
-            },
-            |seed| burst_pattern(n, 64, 0, seed),
-        );
-        meter.absorb(&res);
-        c_tab.push_row([
-            c.to_string(),
-            if res.solved > 0 {
-                format!("{:.1}", res.mean())
-            } else {
-                "-".into()
-            },
-            res.censored().to_string(),
-        ]);
-    }
-    c_tab.print();
-
-    // --- ABL-ENERGY ---------------------------------------------------------
-    println!("\nABL-ENERGY: mean transmissions per run (energy cost)");
-    let mut e_tab = Table::new([
-        "protocol",
-        "mean latency",
-        "mean transmissions",
-        "mean collisions",
-    ]);
-    type Factory = Box<dyn Fn(u64) -> Box<dyn mac_sim::Protocol> + Sync>;
-    let protos: Vec<(&str, Factory)> = vec![
-        (
-            "round-robin",
-            Box::new(move |_| Box::new(RoundRobin::new(n))),
-        ),
-        (
-            "wakeup_with_k",
-            Box::new(move |seed| {
-                Box::new(WakeupWithK::new(
-                    n,
-                    k as u32,
-                    FamilyProvider::random_with_seed(seed),
-                ))
-            }),
-        ),
-        (
-            "wakeup(n)",
-            Box::new(move |seed| Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed)))),
-        ),
-        ("RPD", Box::new(move |_| Box::new(Rpd::new(n)))),
-    ];
-    for (name, factory) in &protos {
-        let res = run_ensemble_stream(
-            &ensemble_spec(n, runs, 7300, &format!("ABL-ENERGY {name}")),
-            factory.as_ref(),
-            |seed| burst_pattern(n, k, 0, seed),
-        );
-        meter.absorb(&res);
-        e_tab.push_row([
-            name.to_string(),
-            if res.solved > 0 {
-                format!("{:.1}", res.mean())
-            } else {
-                "-".into()
-            },
-            format!("{:.1}", res.energy.mean_transmissions()),
-            format!("{:.1}", res.energy.mean_collisions()),
-        ]);
-    }
-    e_tab.print();
-
-    // --- ABL-BUDGET -----------------------------------------------------------
-    println!("\nABL-BUDGET: per-station transmission budgets (power-sensitive ext.)");
-    let mut b_tab = Table::new(["protocol", "budget", "solved %", "mean latency"]);
-    for budget in [1u64, 2, 4, 16] {
-        for (name, mk) in [
-            (
-                "wakeup_with_k",
-                Box::new(move |seed: u64| -> Box<dyn mac_sim::Protocol> {
-                    Box::new(EnergyCapped::new(
-                        WakeupWithK::new(n, k as u32, FamilyProvider::random_with_seed(seed)),
-                        budget,
-                    ))
-                }) as Box<dyn Fn(u64) -> Box<dyn mac_sim::Protocol> + Sync>,
-            ),
-            (
-                "wakeup(n)",
-                Box::new(move |seed: u64| -> Box<dyn mac_sim::Protocol> {
-                    Box::new(EnergyCapped::new(
-                        WakeupN::new(MatrixParams::new(n).with_seed(seed)),
-                        budget,
-                    ))
-                }),
-            ),
-            (
-                "ALOHA 1/k",
-                Box::new(move |_| -> Box<dyn mac_sim::Protocol> {
-                    Box::new(EnergyCapped::new(Aloha::new(n, k as u32), budget))
-                }),
-            ),
-        ] {
-            let res = run_ensemble_stream(
-                &ensemble_spec(n, runs, 7500, &format!("ABL-BUDGET {name} b={budget}"))
-                    .with_max_slots(20_000),
-                mk.as_ref(),
-                |seed| burst_pattern(n, k, 0, seed),
-            );
-            meter.absorb(&res);
-            b_tab.push_row([
-                name.to_string(),
-                budget.to_string(),
-                format!("{:.0}%", 100.0 * res.solved as f64 / res.runs.max(1) as f64),
-                if res.solved > 0 {
-                    format!("{:.1}", res.mean())
-                } else {
-                    "-".into()
-                },
-            ]);
-        }
-    }
-    b_tab.print();
-
-    // --- ABL-ADV -------------------------------------------------------------
-    println!("\nABL-ADV: spoiler adversary (delay-the-winner) vs random patterns");
-    let mut a_tab = Table::new(["protocol", "random mean", "spoiled latency", "moves"]);
-    let sim = Simulator::new(SimConfig::new(n));
-    let spoiler = SpoilerSearch::new(32, 100_000);
-    let adv_protos: Vec<(&str, Box<dyn mac_sim::Protocol>)> = vec![
-        ("round-robin", Box::new(RoundRobin::new(n))),
-        (
-            "wakeup_with_k",
-            Box::new(WakeupWithK::new(n, k as u32, FamilyProvider::default())),
-        ),
-        ("wakeup(n)", Box::new(WakeupN::new(MatrixParams::new(n)))),
-    ];
-    for (name, proto) in &adv_protos {
-        let res = run_ensemble_stream(
-            &ensemble_spec(n, runs, 7400, &format!("ABL-ADV {name}")),
-            |_| -> Box<dyn mac_sim::Protocol> {
-                // Note: same protocol object semantics per run; adversary
-                // probes the fixed deterministic schedule.
-                match *name {
-                    "round-robin" => Box::new(RoundRobin::new(n)),
-                    "wakeup_with_k" => {
-                        Box::new(WakeupWithK::new(n, k as u32, FamilyProvider::default()))
-                    }
-                    _ => Box::new(WakeupN::new(MatrixParams::new(n))),
-                }
-            },
-            |seed| burst_pattern(n, k, 0, seed),
-        );
-        meter.absorb(&res);
-        let start = burst_pattern(n, k, 0, 99);
-        let spoiled = spoiler.search(&sim, proto.as_ref(), start, 99).unwrap();
-        a_tab.push_row([
-            name.to_string(),
-            if res.solved > 0 {
-                format!("{:.1}", res.mean())
-            } else {
-                "-".into()
-            },
-            spoiled
-                .outcome
-                .latency()
-                .map(|l| l.to_string())
-                .unwrap_or_else(|| "censored".into()),
-            spoiled.moves.to_string(),
-        ]);
-    }
-    a_tab.print();
-    meter.print("EXP-ABL");
+    wakeup_bench::cli::shim("exp_ablations")
 }

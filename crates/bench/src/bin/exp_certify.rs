@@ -1,107 +1,6 @@
-//! EXP-CERT — bounded certification of waking matrices (the §7 open
-//! problem, answered executably at toy scale).
-//!
-//! For toy universes, *every* wake pattern of a bounded adversary class is
-//! enumerated and the seeded matrix is certified to isolate a station within
-//! the Theorem 5.3 horizon — plus a seed-search demonstrating that random
-//! matrices certify essentially immediately (the probabilistic-method claim,
-//! observed).
-
-use wakeup_analysis::Table;
-use wakeup_bench::{banner, Scale};
-use wakeup_core::prelude::*;
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::certify`; prefer `wakeup run exp_certify`.
 
 fn main() {
-    banner(
-        "EXP-CERT — bounded certification of seeded waking matrices",
-        "Theorem 5.2: a random matrix is a waking matrix w.h.p.",
-    );
-    let scale = Scale::from_env();
-
-    let (ns, cfgs): (Vec<u32>, Vec<CertifyConfig>) = match scale {
-        Scale::Quick => (
-            vec![4, 6, 8],
-            vec![CertifyConfig {
-                k_max: 2,
-                window: 4,
-                horizon_scale: 2,
-            }],
-        ),
-        Scale::Full => (
-            vec![4, 6, 8, 10],
-            vec![
-                CertifyConfig {
-                    k_max: 2,
-                    window: 6,
-                    horizon_scale: 2,
-                },
-                CertifyConfig {
-                    k_max: 3,
-                    window: 4,
-                    horizon_scale: 2,
-                },
-            ],
-        ),
-    };
-
-    let mut table = Table::new([
-        "n",
-        "k_max",
-        "window",
-        "patterns checked",
-        "worst latency",
-        "horizon (k_max)",
-        "verdict",
-    ]);
-    for &n in &ns {
-        for cfg in &cfgs {
-            let matrix = WakingMatrix::new(MatrixParams::new(n));
-            let horizon = cfg.horizon_scale
-                * 2
-                * u64::from(matrix.c())
-                * u64::from(cfg.k_max)
-                * u64::from(matrix.rows())
-                * u64::from(matrix.window());
-            match certify(&matrix, *cfg) {
-                Ok(cert) => table.push_row([
-                    n.to_string(),
-                    cfg.k_max.to_string(),
-                    cfg.window.to_string(),
-                    cert.patterns_checked.to_string(),
-                    cert.worst_latency.to_string(),
-                    horizon.to_string(),
-                    "CERTIFIED".into(),
-                ]),
-                Err(fail) => table.push_row([
-                    n.to_string(),
-                    cfg.k_max.to_string(),
-                    cfg.window.to_string(),
-                    "-".into(),
-                    "-".into(),
-                    horizon.to_string(),
-                    format!("FAILS on {:?}", fail.wakes),
-                ]),
-            }
-        }
-    }
-    table.print();
-
-    println!("\nseed search (how many random matrices until one certifies):");
-    let mut search_tab = Table::new(["n", "first certified seed", "patterns checked"]);
-    for &n in &ns {
-        let cfg = cfgs[0];
-        match search_certified_seed(MatrixParams::new(n), cfg, 64) {
-            Some((seed, cert)) => search_tab.push_row([
-                n.to_string(),
-                seed.to_string(),
-                cert.patterns_checked.to_string(),
-            ]),
-            None => search_tab.push_row([n.to_string(), "none < 64".into(), "-".into()]),
-        }
-    }
-    search_tab.print();
-    println!(
-        "\n(Theorem 5.2 predicts almost every seed certifies — the first \
-         certified seed\nshould almost always be 0.)"
-    );
+    wakeup_bench::cli::shim("exp_certify")
 }

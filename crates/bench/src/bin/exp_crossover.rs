@@ -1,127 +1,6 @@
-//! EXP-CROSS — Corollary 2.1 / the §3–§4 interleaving rationale:
-//! round-robin wins for `k > n/c`, the selective component wins for small
-//! `k`, and the interleaved algorithm tracks the minimum of the two.
-//!
-//! Fixed `n`, sweeping `k` to `n`, measuring worst-case-flavoured latency
-//! (the adversarial last-block pattern for round-robin, bursts for the
-//! others). Each cell is a small ensemble over family seeds on the
-//! work-stealing runner; at full scale the sweep runs at `n = 2^20` — all
-//! three protocols ride the sparse engine, so per-run cost scales with
-//! events and `k`, not with the million-slot cycle length. The footer
-//! reports the per-table `WorkStats`.
-
-use mac_sim::Protocol;
-use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, ensemble_spec, worst_rr_pattern, Scale, TableMeter};
-use wakeup_core::prelude::*;
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::crossover`; prefer `wakeup run exp_crossover`.
 
 fn main() {
-    banner(
-        "EXP-CROSS — round-robin vs selective component vs interleaving",
-        "interleaving = Θ(min{n−k+1, k·log(n/k)+k}) = Θ(k·log(n/k)+1)",
-    );
-    let scale = Scale::from_env();
-    let n: u32 = match scale {
-        Scale::Quick => 1024,
-        Scale::Full => 1 << 20,
-    };
-    // Selective-component cells beyond this k print "—": past the
-    // structural crossover (k ≈ n/log n) the selective schedule is
-    // dominated by round-robin anyway, and its run cost grows like
-    // k·polylog(k) while the round-robin cell stays O(k) events.
-    let sel_cap: u32 = match scale {
-        Scale::Quick => n,
-        Scale::Full => 65_536,
-    };
-    let cap = 4 * u64::from(n) + 64;
-
-    let mut table = Table::new([
-        "k",
-        "round-robin (worst ids)",
-        "wait-and-go alone",
-        "wakeup_with_k (interleaved)",
-        "n-k+1",
-    ]);
-    let mut meter = TableMeter::new();
-
-    let mut ks: Vec<u32> = vec![2, 4, 16, 64];
-    if scale == Scale::Full {
-        ks.extend([512, 4096, 16384, 65536]);
-    }
-    ks.extend([n / 8, n / 4, n / 2, 3 * n / 4, n - 16, n - 1]);
-    for k in ks {
-        if !(1..=n).contains(&k) {
-            continue;
-        }
-        // Patterns are the deterministic worst case; the ensemble varies
-        // family seeds. Expensive large-k selective cells drop to one run.
-        let runs = if k <= 4096 { 3u64 } else { 1 };
-
-        // Round-robin against its adversarial pattern: the k stations owning
-        // the last turns of the cycle. Deterministic protocol — the ensemble
-        // still exercises it per seed to fold its work into the table stats.
-        let rr = run_ensemble_stream(
-            &ensemble_spec(n, runs, 10_000, &format!("EXP-CROSS rr k={k}")).with_max_slots(cap),
-            |_| -> Box<dyn Protocol> { Box::new(RoundRobin::new(n)) },
-            |_| worst_rr_pattern(n, k as usize, 0),
-        );
-        assert_eq!(rr.censored(), 0, "round-robin always solves");
-        meter.absorb(&rr);
-
-        let (wag_str, full_str) = if k <= sel_cap {
-            // The selective component and the interleaved algorithm face the
-            // same adversarial block, so the interleaved column reads as
-            // min(round-robin column, wait-and-go column) · O(1).
-            let wag = run_ensemble_stream(
-                &ensemble_spec(n, runs, 10_000, &format!("EXP-CROSS wag k={k}"))
-                    .with_max_slots(cap),
-                |seed| -> Box<dyn Protocol> {
-                    Box::new(WaitAndGo::new(n, k, FamilyProvider::random_with_seed(seed)))
-                },
-                |_| worst_rr_pattern(n, k as usize, 0),
-            );
-            meter.absorb(&wag);
-            let wag_str = if wag.solved == 0 {
-                "censored".into()
-            } else if wag.censored() > 0 {
-                format!("{:.0} ({}/{} censored)", wag.mean(), wag.censored(), runs)
-            } else {
-                format!("{:.0}", wag.mean())
-            };
-
-            let full = run_ensemble_stream(
-                &ensemble_spec(n, runs, 10_000, &format!("EXP-CROSS wwk k={k}"))
-                    .with_max_slots(cap),
-                |seed| -> Box<dyn Protocol> {
-                    Box::new(WakeupWithK::new(
-                        n,
-                        k,
-                        FamilyProvider::random_with_seed(seed),
-                    ))
-                },
-                |_| worst_rr_pattern(n, k as usize, 0),
-            );
-            assert_eq!(full.censored(), 0, "interleaved algorithm must solve");
-            meter.absorb(&full);
-            (wag_str, format!("{:.0}", full.mean()))
-        } else {
-            ("—".into(), "—".into())
-        };
-
-        table.push_row([
-            k.to_string(),
-            format!("{:.0}", rr.mean()),
-            wag_str,
-            full_str,
-            (n - k + 1).to_string(),
-        ]);
-    }
-    table.print();
-    meter.print("EXP-CROSS");
-    println!(
-        "\n(for small k the selective column ≪ round-robin; near k = n the \
-         round-robin column ≈ n−k+1 wins; the interleaved column stays within \
-         2× the better of the two — the factor-2 interleaving cost; — marks \
-         selective cells beyond the crossover that are skipped at full scale)"
-    );
+    wakeup_bench::cli::shim("exp_crossover")
 }

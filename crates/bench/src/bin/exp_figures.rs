@@ -1,47 +1,6 @@
-//! EXP-FIG1 / EXP-FIG2 — the paper's two figures, regenerated as text.
-//!
-//! * Figure 1: the transmission sets of a `(log n × ℓ)` transmission matrix
-//!   conditionally to which a station `u`, waking up at time `σ_u`,
-//!   transmits between `µ(σ_u)` and `µ(σ_u) + m_1 + … + m_i − 1`.
-//! * Figure 2: three stations waking at different times transmit, at slot
-//!   `j`, conditionally to sets in different *rows* of the same *column*.
-
-use mac_sim::{StationId, WakePattern};
-use wakeup_bench::banner;
-use wakeup_core::waking_matrix::{render_column, render_walk, MatrixAnalysis};
-use wakeup_core::{MatrixParams, WakingMatrix};
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::figures`; prefer `wakeup run exp_figures`.
 
 fn main() {
-    banner(
-        "EXP-FIG — Figures 1 and 2 (matrix walk, column snapshot)",
-        "protocol structure diagrams of §5.1",
-    );
-    let n = 64u32;
-    let matrix = WakingMatrix::new(MatrixParams::new(n));
-
-    println!("--- Figure 1: one station's walk over the matrix rows ---\n");
-    print!("{}", render_walk(&matrix, 7));
-
-    println!("\n--- Figure 2: three stations, different rows, same column ---\n");
-    // Stagger the wake-ups so the stations sit in rows 3, 2 and 1 at slot j:
-    // the earliest waker has descended deepest.
-    let j = matrix.dwell(1) + matrix.dwell(2) + matrix.dwell(3) / 2;
-    let wake_row2 = matrix.dwell(1) + matrix.dwell(2) - 2; // δ ∈ [m₁, m₁+m₂)
-    let wake_row1 = j - matrix.dwell(1) / 2; // δ < m₁
-    let pattern = WakePattern::new(vec![
-        (StationId(5), 0),
-        (StationId(23), wake_row2),
-        (StationId(47), wake_row1),
-    ])
-    .unwrap();
-    print!("{}", render_column(&matrix, &pattern, j));
-
-    // Cross-check the figure against the analysis machinery.
-    let analysis = MatrixAnalysis::new(&matrix, &pattern);
-    let occ = analysis.occupancy(j);
-    println!("\noccupancy check at j={j}: {occ:?}");
-    assert_eq!(occ.len(), 3, "all three stations should be operational");
-    let rows: std::collections::HashSet<u32> = occ.iter().map(|&(_, r)| r).collect();
-    assert_eq!(rows.len(), 3, "stations should occupy three distinct rows");
-    println!("distinct rows occupied: 3 (earlier wakers sit in deeper rows)");
+    wakeup_bench::cli::shim("exp_figures")
 }

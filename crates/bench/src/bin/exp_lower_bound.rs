@@ -1,90 +1,6 @@
-//! EXP-LB — Theorem 2.1: the wake-up problem requires `min{k, n−k+1}`
-//! rounds, even with simultaneous start and known `k`, `n`.
-//!
-//! Runs the swap-chain adversary against round-robin and against a
-//! selective-family schedule, reporting the rounds each schedule is forced
-//! to spend versus the theoretical bound. Corollary 2.1's identity
-//! `n−k+1 = Θ(k log(n/k)+1)` for `k > n/c` is tabulated alongside. The
-//! per-`(n, k)` adversary runs are independent and fan out on the
-//! work-stealing runner (rows still print in sweep order).
-
-use selectors::schedule::{RoundRobinSchedule, ScheduleExt};
-use wakeup_analysis::Table;
-use wakeup_bench::{banner, runner, Scale};
-use wakeup_core::prelude::*;
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::lower_bound`; prefer `wakeup run exp_lower_bound`.
 
 fn main() {
-    banner(
-        "EXP-LB — Theorem 2.1 lower bound (swap-chain adversary)",
-        "any algorithm needs ≥ min{k, n−k+1} rounds; forced_rounds must meet it",
-    );
-    let scale = Scale::from_env();
-    let ns: Vec<u32> = match scale {
-        Scale::Quick => vec![32, 64, 128],
-        Scale::Full => vec![32, 64, 128, 256, 512],
-    };
-
-    let mut table = Table::new([
-        "n",
-        "k",
-        "bound min{k,n-k+1}",
-        "forced (round-robin)",
-        "distinct rounds",
-        "forced (selective)",
-    ]);
-
-    let mut grid: Vec<(u32, u32)> = Vec::new();
-    for &n in &ns {
-        for k in [1u32, 2, 4, n / 4, n / 2, 3 * n / 4, n - 2, n - 1] {
-            if (1..=n).contains(&k) {
-                grid.push((n, k));
-            }
-        }
-    }
-
-    let (rows, _stats) = runner("EXP-LB").map(grid.len() as u64, |i| {
-        let (n, k) = grid[i as usize];
-        let adv = SwapChainAdversary::new(n, k);
-        let rr = adv.run(&RoundRobinSchedule::new(n));
-        assert!(
-            rr.forced_rounds >= adv.bound(),
-            "round-robin evaded the bound at n={n}, k={k}"
-        );
-        // A selective-family schedule (the building block of the upper
-        // bounds) is also subject to the lower bound.
-        let fam = FamilyProvider::random_with_seed(1).family(n, k.max(2));
-        let sel = adv.run(&fam.clone().cycle());
-        [
-            n.to_string(),
-            k.to_string(),
-            adv.bound().to_string(),
-            rr.forced_rounds.to_string(),
-            rr.distinct_rounds.to_string(),
-            if sel.found_unisolated_set {
-                format!("{}+ (unresolved set)", sel.forced_rounds)
-            } else {
-                sel.forced_rounds.to_string()
-            },
-        ]
-    });
-    for row in rows {
-        table.push_row(row);
-    }
-    table.print();
-
-    println!("\nCorollary 2.1: for k > n/c, n−k+1 = Θ(k·log(n/k)+1):");
-    let mut cor = Table::new(["n", "k", "n-k+1", "k·log2(n/k)+1", "ratio"]);
-    let n = 1024u32;
-    for k in [512u32, 768, 896, 1008, 1020] {
-        let rhs = f64::from(k) * (f64::from(n) / f64::from(k)).log2() + 1.0;
-        cor.push_row([
-            n.to_string(),
-            k.to_string(),
-            (n - k + 1).to_string(),
-            format!("{rhs:.1}"),
-            format!("{:.2}", f64::from(n - k + 1) / rhs.max(1e-9)),
-        ]);
-    }
-    cor.print();
-    println!("\n(The ratio stays Θ(1)·ln2-ish as k → n: the two bounds coincide.)");
+    wakeup_bench::cli::shim("exp_lower_bound")
 }

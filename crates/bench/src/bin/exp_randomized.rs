@@ -1,117 +1,6 @@
-//! EXP-RAND — §6: randomized solutions.
-//!
-//! * RPD accomplishes wake-up in `O(log n)` expected time (Jurdziński &
-//!   Stachowiak), independent of `k` and of the wake-up pattern;
-//! * with known `k`, RPD with period `2⌈log k⌉` achieves `O(log k)`,
-//!   matching the Kushilevitz–Mansour `Ω(log k)` lower bound;
-//! * classical baselines (slotted ALOHA at `p = 1/k`, binary exponential
-//!   backoff) for context.
-//!
-//! Streaming ensembles on the work-stealing runner (randomized protocols
-//! mean many cheap runs — exactly the workload batching amortizes).
-
-use mac_sim::Protocol;
-use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, burst_pattern, ensemble_spec, random_pattern, Scale, TableMeter};
-use wakeup_core::prelude::*;
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::randomized`; prefer `wakeup run exp_randomized`.
 
 fn main() {
-    banner(
-        "EXP-RAND — §6 randomized protocols",
-        "RPD: O(log n) expected; RPD-k: O(log k) ≍ Ω(log k) lower bound",
-    );
-    let scale = Scale::from_env();
-    let runs = scale.runs() * 4; // randomized: more runs, cheap ones
-    let k = 4usize;
-    let mut meter = TableMeter::new();
-
-    // --- RPD expected time vs log n ------------------------------------
-    let mut rpd_points = Vec::new();
-    let mut table = Table::new(["n", "k", "RPD mean", "log2 n", "RPD-k mean", "log2 k"]);
-    for &n in &scale.n_sweep() {
-        let rpd = run_ensemble_stream(
-            &ensemble_spec(n, runs, 5000, &format!("EXP-RAND rpd n={n}")).with_max_slots(1_000_000),
-            |_| -> Box<dyn Protocol> { Box::new(Rpd::new(n)) },
-            |seed| random_pattern(n, k, 16, seed),
-        );
-        let rpdk = run_ensemble_stream(
-            &ensemble_spec(n, runs, 5000, &format!("EXP-RAND rpdk n={n}"))
-                .with_max_slots(1_000_000),
-            |_| -> Box<dyn Protocol> { Box::new(RpdK::new(n, k as u32)) },
-            |seed| random_pattern(n, k, 16, seed),
-        );
-        assert!(rpd.solved > 0, "RPD must solve");
-        assert!(rpdk.solved > 0, "RPD-k must solve");
-        meter.absorb(&rpd);
-        meter.absorb(&rpdk);
-        rpd_points.push((f64::from(n), k as f64, rpd.mean()));
-        table.push_row([
-            n.to_string(),
-            k.to_string(),
-            format!("{:.1}", rpd.mean()),
-            format!("{:.1}", f64::from(n).log2()),
-            format!("{:.1}", rpdk.mean()),
-            format!("{:.1}", (k as f64).log2()),
-        ]);
-    }
-    table.print();
-    let fit = fit_model(Model::LogN, &rpd_points).expect("fit");
-    println!("\nRPD shape fit: {}", fit.render());
-
-    // --- RPD-k vs the Ω(log k) lower bound ------------------------------
-    println!("\nRPD-k expected latency vs k (n fixed), with the Ω(log k) reference:");
-    let n = *scale.n_sweep().last().unwrap();
-    let mut ktab = Table::new(["n", "k", "RPD-k mean", "log2 k (lower-bound shape)"]);
-    let mut k_points = Vec::new();
-    for kk in [2u32, 4, 8, 16, 32, 64] {
-        let res = run_ensemble_stream(
-            &ensemble_spec(n, runs, 5100, &format!("EXP-RAND rpdk k={kk}"))
-                .with_max_slots(1_000_000),
-            |_| -> Box<dyn Protocol> { Box::new(RpdK::new(n, kk)) },
-            |seed| burst_pattern(n, kk as usize, 3, seed),
-        );
-        assert!(res.solved > 0, "RPD-k must solve");
-        meter.absorb(&res);
-        k_points.push((f64::from(n), f64::from(kk), res.mean()));
-        ktab.push_row([
-            n.to_string(),
-            kk.to_string(),
-            format!("{:.1}", res.mean()),
-            format!("{:.1}", f64::from(kk).log2()),
-        ]);
-    }
-    ktab.print();
-    let kfit = fit_model(Model::LogK, &k_points).expect("fit");
-    println!("RPD-k shape fit: {}", kfit.render());
-
-    // --- baseline comparison at one configuration -----------------------
-    println!("\nbaseline comparison (n={n}, k=8, simultaneous burst):");
-    let mut btab = Table::new(["protocol", "mean", "p90", "max"]);
-    type Factory = Box<dyn Fn(u64) -> Box<dyn Protocol> + Sync>;
-    let protocols: Vec<(&str, Factory)> = vec![
-        ("RPD", Box::new(move |_| Box::new(Rpd::new(n)))),
-        ("RPD-k", Box::new(move |_| Box::new(RpdK::new(n, 8)))),
-        ("ALOHA 1/k", Box::new(move |_| Box::new(Aloha::new(n, 8)))),
-        (
-            "BEB",
-            Box::new(move |_| Box::new(BinaryExponentialBackoff::new(n))),
-        ),
-    ];
-    for (name, factory) in &protocols {
-        let res = run_ensemble_stream(
-            &ensemble_spec(n, runs, 5200, &format!("EXP-RAND {name}")).with_max_slots(1_000_000),
-            factory.as_ref(),
-            |seed| burst_pattern(n, 8, 0, seed),
-        );
-        assert!(res.solved > 0, "{name} must solve");
-        meter.absorb(&res);
-        btab.push_row([
-            name.to_string(),
-            format!("{:.1}", res.mean()),
-            format!("{:.1}", res.p90()),
-            format!("{:.0}", res.max()),
-        ]);
-    }
-    btab.print();
-    meter.print("EXP-RAND");
+    wakeup_bench::cli::shim("exp_randomized")
 }

@@ -1,83 +1,6 @@
-//! EXP-A — §3: `wakeup_with_s` resolves contention in `Θ(k·log(n/k) + 1)`
-//! when the first wake-up slot `s` is known.
-//!
-//! Workload: simultaneous bursts at a known `s` (the hardest case for the
-//! selective component — every awake station participates), with the
-//! *adversarial* station block (the IDs owning round-robin's last turns),
-//! so the measurement reflects the worst case the theorem bounds rather
-//! than round-robin's lucky `n/k` average on random IDs. Reports mean/max
-//! latency per `(n, k)` and fits the measured means against the candidate
-//! model shapes; the paper's bound must rank at the top and the absolute
-//! latency must stay below the round-robin envelope `2n`.
-//!
-//! Since every protocol here rides the sparse engine, the full sweep
-//! reaches `n = 2^20` (per-run cost is `O(events·log k)`, not `O(n)`); the
-//! ensembles run on the work-stealing runner and the table footer reports
-//! the aggregated `WorkStats` and throughput.
-
-use mac_sim::Protocol;
-use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, ensemble_spec, worst_rr_pattern, Scale, TableMeter};
-use wakeup_core::prelude::*;
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::scenario_a`; prefer `wakeup run exp_scenario_a`.
 
 fn main() {
-    banner(
-        "EXP-A — Scenario A (s known): wakeup_with_s",
-        "Θ(k·log(n/k) + 1), optimal (Thm 2.1 + Clementi et al.)",
-    );
-    let scale = Scale::from_env();
-    let runs = scale.runs();
-    let mut table = Table::new(["n", "k", "mean", "ci95", "max", "2n envelope", "censored"]);
-    let mut points = Vec::new();
-    let mut meter = TableMeter::new();
-
-    for &n in &scale.n_sweep_sparse() {
-        for &k in &scale.k_sweep_sparse(n) {
-            let spec = ensemble_spec(n, runs, 1000, &format!("EXP-A n={n} k={k}"));
-            let res = run_ensemble_stream(
-                &spec,
-                |seed| -> Box<dyn Protocol> {
-                    let s = (seed % 97) * 13;
-                    Box::new(WakeupWithS::new(
-                        n,
-                        s,
-                        FamilyProvider::Random { seed, delta: 1e-4 },
-                    ))
-                },
-                |seed| {
-                    let s = (seed % 97) * 13;
-                    worst_rr_pattern(n, k as usize, s)
-                },
-            );
-            assert_eq!(res.censored(), 0, "scenario A must solve");
-            assert!(
-                res.max() <= 2.0 * f64::from(n) + 1.0,
-                "latency beyond round-robin envelope at n={n}, k={k}"
-            );
-            meter.absorb(&res);
-            points.push((f64::from(n), f64::from(k), res.mean()));
-            table.push_row([
-                n.to_string(),
-                k.to_string(),
-                format!("{:.1}", res.mean()),
-                format!("{:.1}", res.ci95()),
-                format!("{:.0}", res.max()),
-                (2 * n).to_string(),
-                res.censored().to_string(),
-            ]);
-        }
-    }
-    table.print();
-    meter.print("EXP-A");
-
-    println!("\nmodel ranking over measured means (best R² first):");
-    for fit in wakeup_analysis::fit::rank_models(&points).iter().take(4) {
-        println!("  {}", fit.render());
-    }
-    let target = fit_model(Model::KLogNOverK, &points).expect("fit");
-    println!("\npaper-shape fit: {}", target.render());
-    println!(
-        "{}",
-        wakeup_bench::shape_verdict(&points, Model::KLogNOverK)
-    );
+    wakeup_bench::cli::shim("exp_scenario_a")
 }

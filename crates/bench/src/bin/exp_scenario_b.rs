@@ -1,91 +1,6 @@
-//! EXP-B — §4: `wakeup_with_k` resolves contention in `Θ(k·log(n/k) + 1)`
-//! when the contention bound `k` is known, under *staggered* wake-ups.
-//!
-//! Workload: the non-synchronized patterns Scenario B is designed for —
-//! uniform windows, staggered arithmetic arrivals and bursts. Reports
-//! per-pattern-family latency and the model-shape fit. Runs on the
-//! work-stealing runner with the sparse-engine sweep up to `n = 2^20`; the
-//! footer reports per-table `WorkStats` and throughput.
-
-use mac_sim::{Protocol, WakePattern};
-use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, ensemble_spec, random_pattern, worst_rr_pattern, Scale, TableMeter};
-use wakeup_core::prelude::*;
-
-fn staggered_pattern(n: u32, k: usize, seed: u64) -> WakePattern {
-    use mac_sim::pattern::IdChoice;
-    use rand::SeedableRng;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let ids = IdChoice::Random.pick(n, k, &mut rng);
-    WakePattern::staggered(&ids, seed % 53, 1 + seed % 11).unwrap()
-}
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::scenario_b`; prefer `wakeup run exp_scenario_b`.
 
 fn main() {
-    banner(
-        "EXP-B — Scenario B (k known): wakeup_with_k",
-        "Θ(k·log(n/k) + 1) under arbitrary wake-up patterns",
-    );
-    let scale = Scale::from_env();
-    let runs = scale.runs();
-    type PatternFn = fn(u32, usize, u64) -> WakePattern;
-    let patterns: [(&str, PatternFn); 3] = [
-        ("uniform-window", |n, k, seed| {
-            random_pattern(n, k, 64, seed)
-        }),
-        ("staggered", staggered_pattern),
-        ("worst-block burst", |n, k, _seed| worst_rr_pattern(n, k, 7)),
-    ];
-
-    let mut table = Table::new(["pattern", "n", "k", "mean", "max", "censored"]);
-    let mut points = Vec::new();
-    let mut meter = TableMeter::new();
-
-    for &n in &scale.n_sweep_sparse() {
-        for &k in &scale.k_sweep_sparse(n) {
-            for (pname, pfn) in &patterns {
-                let spec = ensemble_spec(n, runs, 2000, &format!("EXP-B {pname} n={n} k={k}"));
-                let res = run_ensemble_stream(
-                    &spec,
-                    |seed| -> Box<dyn Protocol> {
-                        Box::new(WakeupWithK::new(
-                            n,
-                            k,
-                            FamilyProvider::Random { seed, delta: 1e-4 },
-                        ))
-                    },
-                    |seed| pfn(n, k as usize, seed),
-                );
-                assert_eq!(res.censored(), 0, "{pname} n={n} k={k}");
-                assert!(
-                    res.max() <= 2.0 * f64::from(n) + 1.0,
-                    "beyond round-robin envelope: {pname} n={n} k={k}"
-                );
-                meter.absorb(&res);
-                if *pname == "worst-block burst" {
-                    points.push((f64::from(n), f64::from(k), res.mean()));
-                }
-                table.push_row([
-                    pname.to_string(),
-                    n.to_string(),
-                    k.to_string(),
-                    format!("{:.1}", res.mean()),
-                    format!("{:.0}", res.max()),
-                    res.censored().to_string(),
-                ]);
-            }
-        }
-    }
-    table.print();
-    meter.print("EXP-B");
-
-    println!("\nmodel ranking over burst means (best R² first):");
-    for fit in wakeup_analysis::fit::rank_models(&points).iter().take(4) {
-        println!("  {}", fit.render());
-    }
-    let target = fit_model(Model::KLogNOverK, &points).expect("fit");
-    println!("\npaper-shape fit: {}", target.render());
-    println!(
-        "{}",
-        wakeup_bench::shape_verdict(&points, Model::KLogNOverK)
-    );
+    wakeup_bench::cli::shim("exp_scenario_b")
 }

@@ -1,106 +1,6 @@
-//! TAB-SUMMARY — the paper's headline result table (abstract + §1):
-//!
-//! | Scenario | Bound |
-//! |----------|-------|
-//! | A (s known) | `Θ(k log(n/k) + 1)` |
-//! | B (k known) | `Θ(k log(n/k) + 1)` |
-//! | C (neither)  | `O(k log n log log n)` |
-//!
-//! Regenerated with measured latencies for each scenario's algorithm at a
-//! grid of `(n, k)`, on the work-stealing runner with streaming
-//! aggregation.
-
-use mac_sim::Protocol;
-use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, burst_pattern, ensemble_spec, Scale, TableMeter};
-use wakeup_core::prelude::*;
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::summary`; prefer `wakeup run exp_summary`.
 
 fn main() {
-    banner(
-        "TAB-SUMMARY — the three-scenario result table",
-        "A, B: Θ(k·log(n/k)+1); C: O(k·log n·log log n)",
-    );
-    let scale = Scale::from_env();
-    let runs = scale.runs();
-    let mut table = Table::new([
-        "scenario",
-        "bound",
-        "n",
-        "k",
-        "measured mean",
-        "measured max",
-        "model value",
-    ]);
-    let mut meter = TableMeter::new();
-
-    for &n in &scale.n_sweep() {
-        for &k in &[2u32, 8, 32] {
-            if k > n {
-                continue;
-            }
-            let s_for = |seed: u64| (seed % 31) * 7;
-            type Factory = Box<dyn Fn(u64) -> Box<dyn Protocol> + Sync>;
-            let configs: Vec<(Scenario, Factory)> = vec![
-                (
-                    Scenario::A { s: 0 },
-                    Box::new(move |seed| -> Box<dyn Protocol> {
-                        Box::new(WakeupWithS::new(
-                            n,
-                            s_for(seed),
-                            FamilyProvider::random_with_seed(seed),
-                        ))
-                    }),
-                ),
-                (
-                    Scenario::B { k },
-                    Box::new(move |seed| -> Box<dyn Protocol> {
-                        Box::new(WakeupWithK::new(
-                            n,
-                            k,
-                            FamilyProvider::random_with_seed(seed),
-                        ))
-                    }),
-                ),
-                (
-                    Scenario::C,
-                    Box::new(move |seed| -> Box<dyn Protocol> {
-                        Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed)))
-                    }),
-                ),
-            ];
-            for (scenario, factory) in &configs {
-                let res = run_ensemble_stream(
-                    &ensemble_spec(
-                        n,
-                        runs,
-                        6000,
-                        &format!("TAB-SUMMARY {} n={n} k={k}", scenario.label()),
-                    ),
-                    factory.as_ref(),
-                    |seed| burst_pattern(n, k as usize, s_for(seed), seed),
-                );
-                assert!(res.solved > 0, "{} must solve", scenario.label());
-                meter.absorb(&res);
-                let model = match scenario {
-                    Scenario::C => Model::KLogNLogLogN.eval(f64::from(n), f64::from(k)),
-                    _ => Model::KLogNOverK.eval(f64::from(n), f64::from(k)),
-                };
-                table.push_row([
-                    scenario.label().to_string(),
-                    scenario.bound().to_string(),
-                    n.to_string(),
-                    k.to_string(),
-                    format!("{:.1}", res.mean()),
-                    format!("{:.0}", res.max()),
-                    format!("{model:.0}"),
-                ]);
-            }
-        }
-    }
-    table.print();
-    meter.print("TAB-SUMMARY");
-    println!(
-        "\n(measured/model ratios are implementation constants; the shape \
-         columns are validated by EXP-A/B/C's fits)"
-    );
+    wakeup_bench::cli::shim("exp_summary")
 }

@@ -1,74 +1,6 @@
-//! EXP-CHL — §1 "Our results": the Scenario C algorithm is "substantially
-//! better than the best known contention resolution protocol in the locally
-//! synchronous model given by Chlebus et al. \[9\]" (`O(k log² n)`).
-//!
-//! Head-to-head: `wakeup(n)` vs the locally-synchronized doubling stand-in
-//! (`LocalDoubling`, see DESIGN.md §4 substitution 3) on simultaneous
-//! bursts, sweeping `n` at fixed `k`. The expected ratio grows like
-//! `log n / (c·log log n)`. Streaming ensembles on the work-stealing
-//! runner; the footer reports per-table `WorkStats`.
-
-use mac_sim::Protocol;
-use wakeup_analysis::prelude::*;
-use wakeup_bench::{banner, burst_pattern, ensemble_spec, Scale, TableMeter};
-use wakeup_core::prelude::*;
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::vs_chlebus`; prefer `wakeup run exp_vs_chlebus`.
 
 fn main() {
-    banner(
-        "EXP-CHL — wakeup(n) vs locally-synchronized O(k log² n) baseline",
-        "k·log n·log log n beats k·log² n by ~log n / log log n",
-    );
-    let scale = Scale::from_env();
-    let runs = scale.runs();
-    let k = 16usize;
-    let mut table = Table::new([
-        "n",
-        "k",
-        "wakeup(n) mean",
-        "local-doubling mean",
-        "ratio",
-        "structural bound ratio L/(c·W)",
-    ]);
-    let mut meter = TableMeter::new();
-
-    for &n in &scale.n_sweep() {
-        let ours = run_ensemble_stream(
-            &ensemble_spec(n, runs, 4000, &format!("EXP-CHL ours n={n}")),
-            |seed| -> Box<dyn Protocol> {
-                Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed)))
-            },
-            |seed| burst_pattern(n, k, 0, seed),
-        );
-        let base = run_ensemble_stream(
-            &ensemble_spec(n, runs, 4000, &format!("EXP-CHL baseline n={n}"))
-                .with_max_slots(20_000_000),
-            |seed| -> Box<dyn Protocol> { Box::new(LocalDoubling::new(n).with_seed(seed)) },
-            |seed| burst_pattern(n, k, 0, seed),
-        );
-        assert!(ours.solved > 0, "wakeup(n) must solve");
-        assert!(base.solved > 0, "baseline must solve");
-        meter.absorb(&ours);
-        meter.absorb(&base);
-        let ours_mean = ours.mean();
-        let base_mean = base.mean();
-        let matrix = WakingMatrix::new(MatrixParams::new(n));
-        let predicted =
-            f64::from(matrix.rows()) / (f64::from(matrix.c()) * f64::from(matrix.window()));
-        table.push_row([
-            n.to_string(),
-            k.to_string(),
-            format!("{ours_mean:.0}"),
-            format!("{base_mean:.0}"),
-            format!("{:.2}", base_mean / ours_mean),
-            format!("{predicted:.2}"),
-        ]);
-    }
-    table.print();
-    meter.print("EXP-CHL");
-    println!(
-        "\n(the structural column is the ratio of the two *bounds*; the measured \
-         ratio is larger on bursts because the waking matrix's ρ-sweep also \
-         resolves k ≤ 2^log log n within a single row, which the local \
-         baseline cannot do — see EXPERIMENTS.md)"
-    );
+    wakeup_bench::cli::shim("exp_vs_chlebus")
 }

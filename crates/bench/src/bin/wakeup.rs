@@ -1,0 +1,10 @@
+//! `wakeup` — the single driver over the experiment registry.
+//!
+//! `wakeup list` shows all experiments; `wakeup run <name>... | --all`
+//! executes them with `--scale`, `--threads`, `--seed`, `--out
+//! table|csv|json` and `--out-dir` (env fallbacks: `WAKEUP_SCALE`,
+//! `WAKEUP_THREADS`). See `wakeup --help`.
+
+fn main() {
+    std::process::exit(wakeup_bench::cli::main())
+}

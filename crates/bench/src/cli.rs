@@ -1,0 +1,330 @@
+//! The `wakeup` driver: one CLI over the whole experiment registry.
+//!
+//! ```text
+//! wakeup list
+//! wakeup run <name>... | --all [--scale quick|full] [--threads N]
+//!            [--seed S] [--out table|csv|json] [--out-dir DIR]
+//! ```
+//!
+//! Flags fall back to the historical environment variables where one
+//! exists (`--scale` → `WAKEUP_SCALE`, `--threads` → `WAKEUP_THREADS`), so
+//! existing invocations and CI recipes keep working; the `exp_*` binaries
+//! are shims onto [`shim`].
+
+use crate::experiment::run_experiment;
+use crate::experiments;
+use crate::sink::OutFormat;
+use crate::Scale;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Resolved driver configuration (flags over env fallbacks).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Sweep scale (`--scale`, else `WAKEUP_SCALE`, else quick).
+    pub scale: Scale,
+    /// Worker threads (`--threads`, else `WAKEUP_THREADS`, else auto).
+    pub threads: Option<usize>,
+    /// Offset added to every ensemble base seed (`--seed`, default 0).
+    pub seed: u64,
+    /// Output format (`--out`, default table).
+    pub out: OutFormat,
+    /// Per-experiment output files instead of stdout (`--out-dir`).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Config {
+    /// The environment-only configuration the shim binaries run with.
+    pub fn from_env() -> Config {
+        Config {
+            scale: Scale::from_env(),
+            threads: None, // Ctx falls back to WAKEUP_THREADS itself
+            seed: 0,
+            out: OutFormat::Table,
+            out_dir: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+wakeup — the experiment driver of the De Marco & Kowalski reproduction
+
+USAGE:
+    wakeup list
+    wakeup run <experiment>... [OPTIONS]
+    wakeup run --all [OPTIONS]
+
+OPTIONS:
+    --scale quick|full     sweep scale (default: $WAKEUP_SCALE or quick)
+    --threads N            runner worker threads (default: $WAKEUP_THREADS or auto)
+    --seed S               offset added to every ensemble base seed (default 0)
+    --out table|csv|json   output format (default: table; json = JSON Lines)
+    --out-dir DIR          write <experiment>.{txt,csv,jsonl} under DIR
+    -h, --help             this help
+
+Environment: WAKEUP_PROGRESS=secs enables live runs/s lines on stderr;
+WAKEUP_ASSERT_SPARSE=1 turns EXP-KG's sparse-path expectations into checks.
+";
+
+/// Errors from argument parsing, rendered to stderr by [`main`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+/// The parsed command.
+#[derive(Debug)]
+pub enum Command {
+    /// `wakeup list`
+    List,
+    /// `wakeup run …`
+    Run {
+        /// Experiment names to run, in registry order.
+        names: Vec<String>,
+        /// Resolved configuration.
+        config: Config,
+    },
+    /// `-h` / `--help` / no args.
+    Help,
+}
+
+/// Parse a full argument vector (without the binary name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "-h" | "--help" | "help" => Ok(Command::Help),
+        "list" => {
+            if let Some(extra) = it.next() {
+                return Err(ParseError(format!("unexpected argument '{extra}'")));
+            }
+            Ok(Command::List)
+        }
+        "run" => {
+            let mut config = Config::from_env();
+            let mut names: Vec<String> = Vec::new();
+            let mut all = false;
+            let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                         flag: &str|
+             -> Result<String, ParseError> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+            };
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--all" => all = true,
+                    "--scale" => {
+                        config.scale = match value(&mut it, "--scale")?.as_str() {
+                            "quick" => Scale::Quick,
+                            "full" => Scale::Full,
+                            other => {
+                                return Err(ParseError(format!(
+                                    "--scale must be quick|full, got '{other}'"
+                                )))
+                            }
+                        }
+                    }
+                    "--threads" => {
+                        let v = value(&mut it, "--threads")?;
+                        config.threads = Some(v.parse::<usize>().map_err(|_| {
+                            ParseError(format!("--threads must be a number, got '{v}'"))
+                        })?);
+                    }
+                    "--seed" => {
+                        let v = value(&mut it, "--seed")?;
+                        config.seed = v.parse::<u64>().map_err(|_| {
+                            ParseError(format!("--seed must be a number, got '{v}'"))
+                        })?;
+                    }
+                    "--out" => {
+                        let v = value(&mut it, "--out")?;
+                        config.out = OutFormat::parse(&v).ok_or_else(|| {
+                            ParseError(format!("--out must be table|csv|json, got '{v}'"))
+                        })?;
+                    }
+                    "--out-dir" => {
+                        config.out_dir = Some(PathBuf::from(value(&mut it, "--out-dir")?));
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(ParseError(format!("unknown flag '{flag}'")))
+                    }
+                    name => names.push(name.to_string()),
+                }
+            }
+            if all {
+                if !names.is_empty() {
+                    return Err(ParseError(
+                        "pass either --all or experiment names, not both".into(),
+                    ));
+                }
+                names = experiments::registry()
+                    .iter()
+                    .map(|e| e.name.to_string())
+                    .collect();
+            } else if names.is_empty() {
+                return Err(ParseError(
+                    "nothing to run: pass experiment names or --all".into(),
+                ));
+            }
+            for name in &names {
+                if experiments::find(name).is_none() {
+                    return Err(ParseError(format!(
+                        "unknown experiment '{name}' (see `wakeup list`)"
+                    )));
+                }
+            }
+            Ok(Command::Run { names, config })
+        }
+        other => Err(ParseError(format!(
+            "unknown command '{other}' (try `wakeup --help`)"
+        ))),
+    }
+}
+
+/// Render the registry listing.
+pub fn render_list() -> String {
+    let mut table = wakeup_analysis::Table::new(["name", "id", "grid", "claim"]);
+    for e in experiments::registry() {
+        table.push_row([
+            e.name.to_string(),
+            e.id.to_string(),
+            format!("{:?}", e.grid).to_lowercase(),
+            e.claim.to_string(),
+        ]);
+    }
+    table.to_markdown()
+}
+
+/// Run the named experiments under `config`. Returns the number of failed
+/// checks across all of them.
+pub fn run_many(names: &[String], config: &Config) -> std::io::Result<u64> {
+    let mut failures = 0u64;
+    for name in names {
+        let exp = experiments::find(name).expect("validated by parse");
+        let writer: Box<dyn Write> = match &config.out_dir {
+            None => Box::new(std::io::stdout().lock()),
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("{name}.{}", config.out.extension()));
+                eprintln!("wakeup: running {name} -> {}", path.display());
+                Box::new(std::io::BufWriter::new(std::fs::File::create(path)?))
+            }
+        };
+        let mut sink = config.out.sink(writer);
+        failures += run_experiment(
+            &exp,
+            config.scale,
+            config.seed,
+            config.threads,
+            sink.as_mut(),
+        );
+    }
+    Ok(failures)
+}
+
+/// The `wakeup` binary's entry point; returns the process exit code.
+pub fn main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Err(ParseError(msg)) => {
+            eprintln!("wakeup: {msg}");
+            2
+        }
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            0
+        }
+        Ok(Command::List) => {
+            print!("{}", render_list());
+            0
+        }
+        Ok(Command::Run { names, config }) => match run_many(&names, &config) {
+            Err(e) => {
+                eprintln!("wakeup: i/o error: {e}");
+                2
+            }
+            Ok(0) => 0,
+            Ok(failures) => {
+                eprintln!("wakeup: {failures} check(s) failed");
+                1
+            }
+        },
+    }
+}
+
+/// Entry point of the historical `exp_*` shim binaries: run one registry
+/// entry with pure environment configuration and pretty output on stdout —
+/// exactly the behavior the standalone binaries had.
+pub fn shim(name: &str) -> ! {
+    let config = Config::from_env();
+    let code = match run_many(&[name.to_string()], &config) {
+        Ok(0) => 0,
+        Ok(_) => 1,
+        Err(e) => {
+            eprintln!("{name}: i/o error: {e}");
+            2
+        }
+    };
+    std::process::exit(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        assert!(matches!(parse(&argv("list")), Ok(Command::List)));
+        assert!(matches!(parse(&argv("--help")), Ok(Command::Help)));
+        assert!(matches!(parse(&[]), Ok(Command::Help)));
+        let Ok(Command::Run { names, config }) = parse(&argv(
+            "run exp_scenario_a exp_certify --scale full --threads 4 --seed 7 --out json --out-dir /tmp/x",
+        )) else {
+            panic!("run did not parse");
+        };
+        assert_eq!(names, vec!["exp_scenario_a", "exp_certify"]);
+        assert_eq!(config.scale, Scale::Full);
+        assert_eq!(config.threads, Some(4));
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.out, OutFormat::Json);
+        assert_eq!(
+            config.out_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
+    }
+
+    #[test]
+    fn parse_all_expands_to_the_registry() {
+        let Ok(Command::Run { names, .. }) = parse(&argv("run --all")) else {
+            panic!("--all did not parse");
+        };
+        assert_eq!(names.len(), 14);
+        assert!(names.contains(&"exp_full_resolution".to_string()));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("run --all exp_certify")).is_err());
+        assert!(parse(&argv("run exp_nope")).is_err());
+        assert!(parse(&argv("run exp_certify --scale big")).is_err());
+        assert!(parse(&argv("run exp_certify --out yaml")).is_err());
+        assert!(parse(&argv("run exp_certify --threads many")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("list extra")).is_err());
+    }
+
+    #[test]
+    fn list_mentions_every_experiment() {
+        let listing = render_list();
+        for e in crate::experiments::registry() {
+            assert!(listing.contains(e.name), "{} missing", e.name);
+            assert!(listing.contains(e.id), "{} missing", e.id);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! EXP-KG — the Komlós–Greenberg predecessor problem (§1, reference \[25\]):
+//! all `k` awake stations must transmit successfully, in
+//! `O(k + k·log(n/k))` (their existential bound).
+//!
+//! Measures the selective-family resolver with retirement against retiring
+//! round-robin (`Θ(n)`) and fits the measured full-resolution latency
+//! against `k·log(n/k)+1` and `n`. Since the epoch-scoped hint refactor,
+//! full-resolution runs execute on the **sparse** engine (`Until::
+//! NextSuccess` hints: retirement is feedback-driven, but only successes
+//! invalidate the schedule), so the sweep reaches the same `n` as EXP-A/B.
+//! Each row reports the sparse work counters next to the dense-equivalent
+//! cost: on a simultaneous burst every pattern station stays awake for the
+//! whole run, so the dense engine would pay exactly `slots × k` polls.
+//!
+//! `WAKEUP_ASSERT_SPARSE=1` (the CI smoke) turns the sparse-path
+//! expectations into hard check failures: the selective rows must actually
+//! have skipped slots and stayed far below the dense poll count — i.e. no
+//! protocol silently fell back to `TxHint::Dense`.
+
+use crate::experiment::{Check, Ctx, Experiment};
+use crate::Grid;
+use mac_sim::prelude::*;
+use wakeup_analysis::ensemble::WorkStats;
+use wakeup_analysis::prelude::*;
+use wakeup_analysis::Record;
+use wakeup_core::prelude::*;
+
+/// Registry entry.
+pub const EXP: Experiment = Experiment {
+    name: "exp_full_resolution",
+    id: "EXP-KG",
+    title: "EXP-KG — full conflict resolution (every station transmits)",
+    claim: "Komlós–Greenberg: O(k + k·log(n/k)); time-division baseline: Θ(n)",
+    grid: Grid::Sparse,
+    run,
+};
+
+fn run(ctx: &mut Ctx<'_>) {
+    let runs = ctx.runs();
+    let assert_sparse = std::env::var("WAKEUP_ASSERT_SPARSE").is_ok();
+    let mut table = Table::new([
+        "n",
+        "k",
+        "selective (mean)",
+        "selective (max)",
+        "retiring RR (mean)",
+        "unresolved",
+        "polls/slot",
+        "skip%",
+        "dense-equiv speedup",
+    ]);
+    let mut points = Vec::new();
+    let mut total_work = WorkStats::default();
+
+    // The resolvers ride the sparse path now, so the sweep uses the sparse
+    // n range (k stays modest: full resolution needs ≥ k successes, and the
+    // per-run cost scales with events ≈ k·passes, not slots — hence the
+    // sweep caps the k universe at 64).
+    for &n in &ctx.ns() {
+        for &k in &ctx.ks(64.min(n)) {
+            let sel = run_ensemble_full(ctx, runs, 8000, n, k, true);
+            let rr = run_ensemble_full(ctx, runs, 8000, n, k, false);
+            let sel_summary = Summary::of_u64(&sel.latencies).expect("selective must resolve");
+            let rr_summary = Summary::of_u64(&rr.latencies).expect("round-robin must resolve");
+            points.push((f64::from(n), f64::from(k), sel_summary.mean));
+            // Dense equivalent: every awake station polled every slot.
+            let dense_polls = sel.work.slots * u64::from(k);
+            let speedup = dense_polls as f64 / sel.work.polls.max(1) as f64;
+            // k = 1 resolves in a slot or two — nothing to skip; assert
+            // only where runs have silent stretches to win back.
+            if assert_sparse && sel.work.slots > 4 * runs {
+                ctx.check(
+                    format!("selective resolver skipped slots at n={n}, k={k}"),
+                    Check::Holds(
+                        sel.work.skipped > 0,
+                        format!("skipped {} (dense fallback?)", sel.work.skipped),
+                    ),
+                );
+                ctx.check(
+                    format!("sparse poll count ≪ dense at n={n}, k={k}"),
+                    Check::Holds(
+                        speedup > 2.0,
+                        format!("sparse polls {} vs dense {dense_polls}", sel.work.polls),
+                    ),
+                );
+            }
+            total_work.merge(&sel.work);
+            total_work.merge(&rr.work);
+            ctx.row(
+                "sweep",
+                Record::new()
+                    .with("n", n)
+                    .with("k", k)
+                    .with("selective_mean", sel_summary.mean)
+                    .with("selective_max", sel_summary.max)
+                    .with("retiring_rr_mean", rr_summary.mean)
+                    .with("unresolved", (sel.unresolved + rr.unresolved) as u64)
+                    .with("slots", sel.work.slots)
+                    .with("polls", sel.work.polls)
+                    .with("skipped", sel.work.skipped),
+            );
+            table.push_row([
+                n.to_string(),
+                k.to_string(),
+                format!("{:.1}", sel_summary.mean),
+                format!("{:.0}", sel_summary.max),
+                format!("{:.1}", rr_summary.mean),
+                (sel.unresolved + rr.unresolved).to_string(),
+                format!("{:.4}", sel.work.polls_per_slot()),
+                format!("{:.1}", 100.0 * sel.work.skip_fraction()),
+                format!("{speedup:.0}x"),
+            ]);
+        }
+    }
+    ctx.table("main", &table);
+    // EXP-KG runs outside the ensemble layer, so its work totals go out as
+    // a machine row (no wall-clock meter) plus the historical footer note.
+    ctx.row(
+        "work_total",
+        Record::new()
+            .with("label", "EXP-KG")
+            .with_all(total_work.record()),
+    );
+    ctx.note(format!("EXP-KG work: {}", total_work.render()));
+    if assert_sparse && ctx.failures() == 0 {
+        ctx.note("sparse-path assertion: PASSED (skips > 0, speedup > 2x on every selective row)");
+    }
+
+    ctx.note("\nmodel ranking over selective-resolver means (best R² first):");
+    for fit in wakeup_analysis::fit::rank_models(&points).iter().take(4) {
+        ctx.note(format!("  {}", fit.render()));
+        ctx.row(
+            "fit",
+            Record::new()
+                .with("model", fit.model.name())
+                .with("a", fit.a)
+                .with("b", fit.b)
+                .with("r2", fit.r2),
+        );
+    }
+    let target = fit_model(Model::KLogNOverK, &points).expect("fit");
+    let linear = fit_model(Model::K, &points).expect("fit");
+    ctx.note(format!("\nKG-shape fit: {}", target.render()));
+    // KG's bound is O(k + k·log(n/k)) — an upper bound with an additive
+    // Θ(k) term. Measured growth of Θ(k) (each resolution needs its own
+    // success slot) sits *inside* the bound; either shape fitting well
+    // confirms it.
+    if target.r2 >= 0.85 || linear.r2 >= 0.85 {
+        ctx.note(format!(
+            "UPPER BOUND CONSISTENT: growth is Θ(k)·const (R² = {:.3}) \
+             within O(k + k·log(n/k)); the log factor is subdominant at \
+             these sizes",
+            linear.r2.max(target.r2)
+        ));
+    } else {
+        ctx.note("shape unclear — see EXPERIMENTS.md notes");
+    }
+}
+
+/// One protocol's ensemble: full-resolution latencies in seed order,
+/// unresolved count, and the aggregated engine-work counters.
+struct FullEnsemble {
+    latencies: Vec<u64>,
+    unresolved: usize,
+    work: WorkStats,
+}
+
+/// Runs execute on the work-stealing pool; the fold is in seed order, so
+/// the output is identical to the old sequential loop.
+fn run_ensemble_full(
+    ctx: &Ctx<'_>,
+    runs: u64,
+    base_seed: u64,
+    n: u32,
+    k: u32,
+    selective: bool,
+) -> FullEnsemble {
+    let cfg = SimConfig::new(n)
+        .with_max_slots(4 * u64::from(n) * 64)
+        .until_all_resolved();
+    let sim = Simulator::new(cfg);
+    let base_seed = base_seed.wrapping_add(ctx.seed());
+    let label = format!(
+        "EXP-KG {} n={n} k={k}",
+        if selective { "selective" } else { "rr" }
+    );
+    let (results, _stats) = ctx.runner(&label).map(runs, |i| {
+        let seed = base_seed.wrapping_add(i);
+        let pattern = crate::burst_pattern(n, k as usize, 3, seed);
+        let protocol: Box<dyn Protocol> = if selective {
+            Box::new(FullResolution::new(
+                n,
+                k,
+                FamilyProvider::Random { seed, delta: 1e-4 },
+            ))
+        } else {
+            Box::new(RetiringRoundRobin::new(n))
+        };
+        let out = sim.run(protocol.as_ref(), &pattern, seed).unwrap();
+        (
+            out.full_resolution_latency(),
+            out.slots_simulated,
+            out.polls,
+            out.skipped_slots,
+        )
+    });
+    let mut work = WorkStats::default();
+    for &(_, slots, polls, skipped) in &results {
+        work.slots += slots;
+        work.polls += polls;
+        work.skipped += skipped;
+    }
+    let latencies: Vec<u64> = results.iter().filter_map(|&(l, _, _, _)| l).collect();
+    let unresolved = results.len() - latencies.len();
+    FullEnsemble {
+        latencies,
+        unresolved,
+        work,
+    }
+}

@@ -1,36 +1,34 @@
-//! # wakeup-bench — experiment regenerators and micro-benchmarks
+//! # wakeup-bench — the declarative experiment layer and `wakeup` driver
 //!
-//! One binary per experiment of `DESIGN.md` §3 / `EXPERIMENTS.md`:
+//! Every experiment of `DESIGN.md` §3 / `EXPERIMENTS.md` is a **registry
+//! entry** ([`experiments::registry`]): a name, a banner, a per-scale sweep
+//! [`Grid`], and a body that reports through a pluggable [`sink::Sink`]
+//! instead of printing. One driver binary runs them all:
 //!
-//! | binary | experiment |
-//! |--------|------------|
-//! | `exp_lower_bound` | EXP-LB — Theorem 2.1 swap-chain adversary |
-//! | `exp_scenario_a`  | EXP-A — `wakeup_with_s` scaling |
-//! | `exp_scenario_b`  | EXP-B — `wakeup_with_k` scaling |
-//! | `exp_scenario_c`  | EXP-C — `wakeup(n)` scaling |
-//! | `exp_vs_chlebus`  | EXP-CHL — Scenario C vs locally-synchronized baseline |
-//! | `exp_randomized`  | EXP-RAND — RPD / RPD-k / ALOHA / BEB |
-//! | `exp_figures`     | EXP-FIG1/2 — matrix walk and column snapshot |
-//! | `exp_balance`     | EXP-BAL — §5.2 well-balancedness and isolation |
-//! | `exp_selective`   | EXP-SEL — selective-family sizes and verification |
-//! | `exp_crossover`   | EXP-CROSS — round-robin vs selective crossover |
-//! | `exp_summary`     | TAB-SUMMARY — the three-scenario bound table |
-//! | `exp_ablations`   | EXP-ABL — CD feedback, energy, ρ-sweep, spoiler |
-//! | `exp_full_resolution` | EXP-KG — Komlós–Greenberg full conflict resolution |
-//! | `exp_certify`     | EXP-CERT — bounded waking-matrix certification |
+//! ```text
+//! wakeup list                         # the registry, one line per experiment
+//! wakeup run exp_scenario_a           # pretty tables on stdout (the default)
+//! wakeup run --all --scale quick --out json --out-dir results/
+//! wakeup run exp_crossover --scale full --threads 4 --out csv
+//! ```
 //!
-//! All binaries accept the environment variables:
+//! | flag | values | env fallback |
+//! |------|--------|--------------|
+//! | `--scale`   | `quick` (default) \| `full` | `WAKEUP_SCALE` |
+//! | `--threads` | worker count | `WAKEUP_THREADS` |
+//! | `--seed`    | offset added to every ensemble base seed | — |
+//! | `--out`     | `table` (default) \| `csv` \| `json` (JSON Lines) | — |
+//! | `--out-dir` | write one file per experiment instead of stdout | — |
 //!
-//! * `WAKEUP_SCALE` — `quick` (default, seconds) or `full` (minutes,
-//!   larger sweeps; EXP-A/B and EXP-CROSS reach n = 2^20);
-//! * `WAKEUP_THREADS` — worker-pool size override for the work-stealing
-//!   runner (default: available parallelism);
-//! * `WAKEUP_PROGRESS` — seconds between live `runs/s | steals` progress
-//!   lines on stderr (unset: silent).
+//! `WAKEUP_PROGRESS` (seconds between live `runs/s | steals` lines) and
+//! `WAKEUP_ASSERT_SPARSE` (turn the sparse-path expectations of EXP-KG into
+//! hard check failures) keep working as before. The historical `exp_*`
+//! binaries still exist as two-line shims onto the registry, so muscle
+//! memory and CI invocations keep working.
 //!
-//! Seeds are printed so every table is exactly reproducible, and ensemble
-//! aggregation folds in seed order, so tables are identical at any thread
-//! count.
+//! Machine-readable output is **deterministic**: every value in a CSV/JSON
+//! row folds in seed order on the runner, so `--out json` is bit-identical
+//! across `--threads` counts (pinned by `tests/wakeup_cli.rs`).
 //!
 //! Criterion micro-benches live in `benches/` (`kernels` — simulation
 //! hot paths; `runner` — chunked vs work-stealing ensemble scheduling).
@@ -38,14 +36,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod experiment;
+pub mod experiments;
+pub mod sink;
+
 use mac_sim::pattern::IdChoice;
 use mac_sim::{StationId, WakePattern};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::Duration;
-use wakeup_analysis::ensemble::{EnsembleSpec, EnsembleSummary, WorkStats};
+use wakeup_analysis::ensemble::{EnsembleSummary, WorkStats};
+use wakeup_analysis::fit::{Metric, SweepPoint};
 
-/// Experiment scale, from `WAKEUP_SCALE` (`quick` | `full`).
+/// Experiment scale: `quick` (CI-friendly seconds) or `full` (the recorded
+/// tables, minutes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
     /// Seconds-scale sweeps (CI-friendly). The default.
@@ -54,8 +59,25 @@ pub enum Scale {
     Full,
 }
 
+/// Which sweep grid an experiment walks — the one parameter that used to be
+/// four near-duplicate `Scale` methods (`n_sweep`/`n_sweep_sparse`,
+/// `k_sweep`/`k_sweep_sparse`). Carried by each registry entry, so the grid
+/// is part of the experiment's declaration rather than re-chosen in every
+/// body.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Grid {
+    /// Dense-engine experiments: per-run cost grows with `n`, so the full
+    /// sweep tops out at `n = 65536` and `k` reaches `n`.
+    #[default]
+    Dense,
+    /// Sparse-engine experiments (per-run cost `O(events·log k)`,
+    /// independent of `n`): the full sweep reaches `n = 2^20`, with `k`
+    /// capped at 4096 because stations, not slots, are what costs.
+    Sparse,
+}
+
 impl Scale {
-    /// Read the scale from the environment.
+    /// Read the scale from the environment (`WAKEUP_SCALE=quick|full`).
     pub fn from_env() -> Scale {
         match std::env::var("WAKEUP_SCALE").as_deref() {
             Ok("full") => Scale::Full,
@@ -63,19 +85,34 @@ impl Scale {
         }
     }
 
-    /// The `n` sweep for scaling experiments.
-    pub fn n_sweep(self) -> Vec<u32> {
+    /// The CLI/env name of this scale.
+    pub fn name(self) -> &'static str {
         match self {
-            Scale::Quick => vec![256, 1024, 4096],
-            Scale::Full => vec![256, 1024, 4096, 16384, 65536],
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 
-    /// The `k` sweep (powers of two up to `n`).
-    pub fn k_sweep(self, n: u32) -> Vec<u32> {
-        let cap = match self {
-            Scale::Quick => 64.min(n),
-            Scale::Full => n,
+    /// The `n` sweep for scaling experiments on the given grid.
+    pub fn n_sweep(self, grid: Grid) -> Vec<u32> {
+        let mut ns = vec![256, 1024, 4096];
+        if self == Scale::Full {
+            ns.extend([16384, 65536]);
+            if grid == Grid::Sparse {
+                ns.push(1 << 20);
+            }
+        }
+        ns
+    }
+
+    /// The `k` sweep (powers of two from 1) paired with
+    /// [`n_sweep`](Self::n_sweep): capped at 64 at quick scale, and at the
+    /// grid's full-scale cap (`n` dense, 4096 sparse) otherwise.
+    pub fn k_sweep(self, grid: Grid, n: u32) -> Vec<u32> {
+        let cap = match (self, grid) {
+            (Scale::Quick, _) => 64.min(n),
+            (Scale::Full, Grid::Dense) => n,
+            (Scale::Full, Grid::Sparse) => 4096.min(n),
         };
         let mut ks = vec![1u32];
         let mut k = 2u32;
@@ -93,34 +130,6 @@ impl Scale {
             Scale::Full => 50,
         }
     }
-
-    /// The `n` sweep for experiments whose protocols ride the sparse engine
-    /// end-to-end (EXP-A/B, the crossover): per-run cost is
-    /// `O(events·log k)`, independent of `n`, so the full sweep reaches
-    /// `n = 2^20`.
-    pub fn n_sweep_sparse(self) -> Vec<u32> {
-        match self {
-            Scale::Quick => vec![256, 1024, 4096],
-            Scale::Full => vec![256, 1024, 4096, 16384, 65536, 1 << 20],
-        }
-    }
-
-    /// The `k` sweep paired with [`n_sweep_sparse`](Self::n_sweep_sparse):
-    /// powers of two, capped (4096 at full scale) because per-run cost and
-    /// memory grow with `k` (each awake station is instantiated), not `n`.
-    pub fn k_sweep_sparse(self, n: u32) -> Vec<u32> {
-        let cap = match self {
-            Scale::Quick => 64.min(n),
-            Scale::Full => 4096.min(n),
-        };
-        let mut ks = vec![1u32];
-        let mut k = 2u32;
-        while k <= cap {
-            ks.push(k);
-            k = k.saturating_mul(2);
-        }
-        ks
-    }
 }
 
 /// `WAKEUP_THREADS` override for the runner's worker count, if set.
@@ -137,34 +146,6 @@ fn env_progress(label: &str) -> Option<wakeup_runner::Progress> {
         let secs = v.parse::<u64>().unwrap_or(5).max(1);
         wakeup_runner::Progress::new(Duration::from_secs(secs), label)
     })
-}
-
-/// An [`EnsembleSpec`] wired to the environment: `WAKEUP_THREADS` overrides
-/// the worker count and `WAKEUP_PROGRESS` (seconds, bare = 5) enables live
-/// runs/s reporting labelled `label`.
-pub fn ensemble_spec(n: u32, runs: u64, base_seed: u64, label: &str) -> EnsembleSpec {
-    let mut spec = EnsembleSpec::new(n, runs).with_base_seed(base_seed);
-    if let Some(threads) = env_threads() {
-        spec = spec.with_threads(threads);
-    }
-    if let Some(p) = env_progress(label) {
-        spec = spec.with_progress(p.every, p.label);
-    }
-    spec
-}
-
-/// A bare [`wakeup_runner::Runner`] wired to the environment the same way
-/// as [`ensemble_spec`] — for experiment kernels that are not simulator
-/// ensembles (adversary sweeps, matrix analyses, full-resolution runs).
-pub fn runner(label: &str) -> wakeup_runner::Runner {
-    let mut r = wakeup_runner::Runner::new();
-    if let Some(threads) = env_threads() {
-        r = r.with_threads(threads);
-    }
-    if let Some(p) = env_progress(label) {
-        r = r.with_progress(p);
-    }
-    r
 }
 
 /// Per-table accumulator of engine work and runner throughput, printed as a
@@ -198,17 +179,22 @@ impl TableMeter {
         &self.work
     }
 
-    /// Print the footer line.
-    pub fn print(&self, label: &str) {
+    /// Total runs folded in.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The footer line (see type docs).
+    pub fn render(&self, label: &str) -> String {
         let secs = self.elapsed.as_secs_f64().max(1e-9);
-        println!(
+        format!(
             "{label} work: {} || {} runs in {:.2}s ({:.1} runs/s, {:.0} polls/s)",
             self.work.render(),
             self.runs,
             self.elapsed.as_secs_f64(),
             self.runs as f64 / secs,
             self.work.polls as f64 / secs,
-        );
+        )
     }
 }
 
@@ -234,6 +220,18 @@ pub fn burst_pattern(n: u32, k: usize, s: u64, seed: u64) -> WakePattern {
 pub fn worst_rr_pattern(n: u32, k: usize, s: u64) -> WakePattern {
     let ids: Vec<StationId> = (n - k as u32..n).map(StationId).collect();
     WakePattern::simultaneous(&ids, s).unwrap()
+}
+
+/// The mean solved latency for machine rows: `NaN` (rendered as JSON
+/// `null` / CSV `NaN`) when **no** run solved, so a fully-censored cell is
+/// unambiguous instead of reading as a latency of zero. The pretty tables
+/// print `censored`/`-` for the same cells.
+pub fn mean_or_nan(summary: &EnsembleSummary) -> f64 {
+    if summary.solved > 0 {
+        summary.mean()
+    } else {
+        f64::NAN
+    }
 }
 
 /// Shape verdict: the paper's model must rank #1 by R² among all candidate
@@ -262,16 +260,18 @@ pub fn shape_verdict(points: &[(f64, f64, f64)], target: wakeup_analysis::Model)
     }
 }
 
-/// Print a standard experiment banner.
-pub fn banner(id: &str, paper_claim: &str) {
-    println!("================================================================");
-    println!("{id}");
-    println!("paper claim: {paper_claim}");
-    println!(
-        "scale: {:?} (set WAKEUP_SCALE=full for the big sweep)",
-        Scale::from_env()
-    );
-    println!("================================================================");
+/// [`shape_verdict`] against a chosen statistic of [`SweepPoint`]s — the
+/// p90 variant checks that the *tail* of the latency distribution grows
+/// with the claimed shape, not just the mean.
+pub fn shape_verdict_by(
+    points: &[SweepPoint],
+    metric: Metric,
+    target: wakeup_analysis::Model,
+) -> String {
+    shape_verdict(
+        &wakeup_analysis::fit::project_points(metric, points),
+        target,
+    )
 }
 
 #[cfg(test)]
@@ -280,42 +280,71 @@ mod tests {
 
     #[test]
     fn scale_sweeps_are_nontrivial() {
-        assert!(Scale::Quick.n_sweep().len() >= 3);
-        assert!(Scale::Full.n_sweep().len() > Scale::Quick.n_sweep().len());
-        let ks = Scale::Quick.k_sweep(1024);
+        assert!(Scale::Quick.n_sweep(Grid::Dense).len() >= 3);
+        assert!(Scale::Full.n_sweep(Grid::Dense).len() > Scale::Quick.n_sweep(Grid::Dense).len());
+        let ks = Scale::Quick.k_sweep(Grid::Dense, 1024);
         assert_eq!(ks[0], 1);
         assert!(ks.contains(&64));
         assert!(ks.iter().all(|&k| k <= 1024));
-        // Full scale reaches k = n.
-        assert!(Scale::Full.k_sweep(256).contains(&256));
+        // Full scale reaches k = n on the dense grid.
+        assert!(Scale::Full.k_sweep(Grid::Dense, 256).contains(&256));
     }
 
     #[test]
-    fn sparse_sweeps_reach_a_million_stations() {
-        assert!(Scale::Full.n_sweep_sparse().contains(&(1 << 20)));
-        assert_eq!(Scale::Quick.n_sweep_sparse(), Scale::Quick.n_sweep());
+    fn sparse_grid_reaches_a_million_stations() {
+        assert!(Scale::Full.n_sweep(Grid::Sparse).contains(&(1 << 20)));
+        assert_eq!(
+            Scale::Quick.n_sweep(Grid::Sparse),
+            Scale::Quick.n_sweep(Grid::Dense)
+        );
         // k stays capped so per-run station instantiation is bounded.
-        let ks = Scale::Full.k_sweep_sparse(1 << 20);
+        let ks = Scale::Full.k_sweep(Grid::Sparse, 1 << 20);
         assert_eq!(*ks.last().unwrap(), 4096);
-        assert!(Scale::Quick.k_sweep_sparse(1 << 20).contains(&64));
+        assert!(Scale::Quick.k_sweep(Grid::Sparse, 1 << 20).contains(&64));
         // Small universes cap at n.
-        assert!(Scale::Full.k_sweep_sparse(16).iter().all(|&k| k <= 16));
+        assert!(Scale::Full
+            .k_sweep(Grid::Sparse, 16)
+            .iter()
+            .all(|&k| k <= 16));
+    }
+
+    #[test]
+    fn grids_agree_except_where_parameterized() {
+        // The dedup must preserve the historical values: the grids differ
+        // only in the full-scale n ceiling and full-scale k cap.
+        assert_eq!(
+            Scale::Full.n_sweep(Grid::Dense),
+            vec![256, 1024, 4096, 16384, 65536]
+        );
+        assert_eq!(
+            Scale::Full.n_sweep(Grid::Sparse),
+            vec![256, 1024, 4096, 16384, 65536, 1 << 20]
+        );
+        for n in [256u32, 4096] {
+            assert_eq!(
+                Scale::Quick.k_sweep(Grid::Dense, n),
+                Scale::Quick.k_sweep(Grid::Sparse, n)
+            );
+        }
+        assert_eq!(Scale::Full.k_sweep(Grid::Dense, 65536).last(), Some(&65536));
     }
 
     #[test]
     fn table_meter_accumulates_and_prints() {
         let mut m = TableMeter::new();
         assert_eq!(m.work().slots, 0);
-        m.print("TEST"); // empty meter must not divide by zero
-        let spec = EnsembleSpec::new(16, 3);
+        // An empty meter must render without dividing by zero.
+        assert!(m.render("TEST").starts_with("TEST work:"));
+        let spec = wakeup_analysis::EnsembleSpec::new(16, 3);
         let s = wakeup_analysis::run_ensemble_stream(
             &spec,
             |_| Box::new(wakeup_core::prelude::RoundRobin::new(16)),
             |seed| random_pattern(16, 2, 4, seed),
         );
         m.absorb(&s);
-        assert_eq!(m.runs, 3);
+        assert_eq!(m.runs(), 3);
         assert!(m.work().slots > 0);
+        assert!(m.render("TEST").starts_with("TEST work: slots"));
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! Output sinks: where experiment results go.
+//!
+//! Experiment bodies report *events* — banner, notes, pretty tables,
+//! machine rows, check outcomes, work footers — to a [`Sink`]; the sink
+//! decides the wire format:
+//!
+//! * [`TableSink`] — the historical human-readable output: banner, aligned
+//!   Markdown tables, fit/verdict notes, work/throughput footers. Machine
+//!   rows are dropped (the tables carry the same data, formatted).
+//! * [`CsvSink`] — machine rows only, one CSV section per stream (a header
+//!   line is emitted whenever the stream schema changes), with a leading
+//!   `stream` column.
+//! * [`JsonSink`] — JSON Lines: one object per event, rows flattened. Only
+//!   deterministic values are emitted (no wall-clock, no thread counts), so
+//!   the byte stream is identical across `--threads` settings.
+//!
+//! Progress lines (`WAKEUP_PROGRESS`) never enter a machine-readable data
+//! stream: every sink routes them to stderr via
+//! [`Sink::progress_sink`] — the driver hands that to the runner, replacing
+//! the runner's historical hard-wired stderr reporting.
+
+use crate::experiment::CheckOutcome;
+use crate::{Scale, TableMeter};
+use std::io::Write;
+use std::sync::Arc;
+use wakeup_analysis::serial::{Record, Value};
+use wakeup_analysis::Table;
+use wakeup_runner::{ProgressSink, StderrProgress};
+
+/// The machine-readable output formats the `wakeup` driver offers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutFormat {
+    /// Human-readable banner + Markdown tables (the default).
+    Table,
+    /// CSV sections, one per row stream.
+    Csv,
+    /// JSON Lines, one event object per line.
+    Json,
+}
+
+impl OutFormat {
+    /// Parse a `--out` value.
+    pub fn parse(s: &str) -> Option<OutFormat> {
+        match s {
+            "table" => Some(OutFormat::Table),
+            "csv" => Some(OutFormat::Csv),
+            "json" => Some(OutFormat::Json),
+            _ => None,
+        }
+    }
+
+    /// File extension used under `--out-dir`.
+    pub fn extension(self) -> &'static str {
+        match self {
+            OutFormat::Table => "txt",
+            OutFormat::Csv => "csv",
+            OutFormat::Json => "jsonl",
+        }
+    }
+
+    /// Build a sink of this format writing to `w`.
+    pub fn sink(self, w: Box<dyn Write>) -> Box<dyn Sink> {
+        match self {
+            OutFormat::Table => Box::new(TableSink::new(w)),
+            OutFormat::Csv => Box::new(CsvSink::new(w)),
+            OutFormat::Json => Box::new(JsonSink::new(w)),
+        }
+    }
+}
+
+/// Identity of the experiment an output stream belongs to (a borrowed view
+/// of the registry entry).
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentHead<'a> {
+    /// Registry / CLI name (`exp_scenario_a`).
+    pub name: &'a str,
+    /// Short id (`EXP-A`).
+    pub id: &'a str,
+    /// Banner title line.
+    pub title: &'a str,
+    /// The paper claim under test.
+    pub claim: &'a str,
+}
+
+/// Receiver of experiment events. All methods have no-op defaults so sinks
+/// implement exactly the events their format carries.
+pub trait Sink {
+    /// An experiment starts (banner).
+    fn begin(&mut self, head: &ExperimentHead<'_>, scale: Scale, seed: u64) {
+        let _ = (head, scale, seed);
+    }
+
+    /// Free-form commentary line (fit renderings, verdicts, footnotes).
+    fn note(&mut self, text: &str) {
+        let _ = text;
+    }
+
+    /// A completed pretty table.
+    fn table(&mut self, name: &str, table: &Table) {
+        let _ = (name, table);
+    }
+
+    /// One machine-readable row in the named stream.
+    fn row(&mut self, stream: &str, record: &Record) {
+        let _ = (stream, record);
+    }
+
+    /// A declarative check's outcome.
+    fn check(&mut self, outcome: &CheckOutcome) {
+        let _ = outcome;
+    }
+
+    /// Per-table engine-work totals (and, for the pretty sink, throughput).
+    fn work(&mut self, label: &str, meter: &TableMeter) {
+        let _ = (label, meter);
+    }
+
+    /// The experiment finished; `failures` checks failed.
+    fn finish(&mut self, failures: u64) {
+        let _ = failures;
+    }
+
+    /// Where live runner progress lines should go. Never the data stream:
+    /// the default (stderr) is right for every built-in sink.
+    fn progress_sink(&self) -> Arc<dyn ProgressSink> {
+        Arc::new(StderrProgress)
+    }
+}
+
+/// The historical pretty-printed output (banner + Markdown tables).
+pub struct TableSink {
+    w: Box<dyn Write>,
+}
+
+impl TableSink {
+    /// A pretty sink writing to `w`.
+    pub fn new(w: Box<dyn Write>) -> Self {
+        TableSink { w }
+    }
+}
+
+impl Sink for TableSink {
+    fn begin(&mut self, head: &ExperimentHead<'_>, scale: Scale, _seed: u64) {
+        let _ = writeln!(
+            self.w,
+            "================================================================"
+        );
+        let _ = writeln!(self.w, "{}", head.title);
+        let _ = writeln!(self.w, "paper claim: {}", head.claim);
+        let _ = writeln!(
+            self.w,
+            "scale: {scale:?} (set WAKEUP_SCALE=full for the big sweep)"
+        );
+        let _ = writeln!(
+            self.w,
+            "================================================================"
+        );
+    }
+
+    fn note(&mut self, text: &str) {
+        let _ = writeln!(self.w, "{text}");
+    }
+
+    fn table(&mut self, _name: &str, table: &Table) {
+        let _ = write!(self.w, "{}", table.to_markdown());
+    }
+
+    fn check(&mut self, outcome: &CheckOutcome) {
+        // Passing checks are silent, like the asserts they replaced.
+        if !outcome.passed {
+            let _ = writeln!(
+                self.w,
+                "CHECK FAILED [{}]: {}",
+                outcome.name, outcome.detail
+            );
+        }
+    }
+
+    fn work(&mut self, label: &str, meter: &TableMeter) {
+        let _ = writeln!(self.w, "{}", meter.render(label));
+    }
+
+    fn finish(&mut self, failures: u64) {
+        if failures > 0 {
+            let _ = writeln!(self.w, "{failures} CHECK(S) FAILED");
+        }
+        let _ = self.w.flush();
+    }
+}
+
+/// CSV output: machine rows only, sectioned per stream schema.
+pub struct CsvSink {
+    w: Box<dyn Write>,
+    experiment: String,
+    /// Header of the section currently open (stream + field names).
+    current: Option<(String, Vec<String>)>,
+}
+
+impl CsvSink {
+    /// A CSV sink writing to `w`.
+    pub fn new(w: Box<dyn Write>) -> Self {
+        CsvSink {
+            w,
+            experiment: String::new(),
+            current: None,
+        }
+    }
+}
+
+impl Sink for CsvSink {
+    fn begin(&mut self, head: &ExperimentHead<'_>, _scale: Scale, _seed: u64) {
+        self.experiment = head.name.to_string();
+    }
+
+    fn row(&mut self, stream: &str, record: &Record) {
+        let names: Vec<String> = record.names().iter().map(|s| s.to_string()).collect();
+        let schema = (stream.to_string(), names);
+        if self.current.as_ref() != Some(&schema) {
+            let _ = writeln!(self.w, "experiment,stream,{}", record.csv_header());
+            self.current = Some(schema);
+        }
+        let _ = writeln!(
+            self.w,
+            "{},{},{}",
+            Value::Str(self.experiment.clone()).to_csv(),
+            Value::Str(stream.to_string()).to_csv(),
+            record.to_csv_line()
+        );
+    }
+
+    fn check(&mut self, outcome: &CheckOutcome) {
+        // Failed checks must be visible in data-only output.
+        if !outcome.passed {
+            let rec = Record::new()
+                .with("name", outcome.name.as_str())
+                .with("passed", false)
+                .with("detail", outcome.detail.as_str());
+            self.row("check_failure", &rec);
+        }
+    }
+
+    fn finish(&mut self, _failures: u64) {
+        let _ = self.w.flush();
+    }
+}
+
+/// JSON Lines output: one event object per line, deterministic fields only.
+pub struct JsonSink {
+    w: Box<dyn Write>,
+    experiment: String,
+}
+
+impl JsonSink {
+    /// A JSON Lines sink writing to `w`.
+    pub fn new(w: Box<dyn Write>) -> Self {
+        JsonSink {
+            w,
+            experiment: String::new(),
+        }
+    }
+
+    fn emit(&mut self, event: &str, extra: Record) {
+        let mut rec = Record::new()
+            .with("event", event)
+            .with("experiment", self.experiment.as_str());
+        for (name, value) in extra.fields() {
+            rec.push(name.clone(), value.clone());
+        }
+        let _ = writeln!(self.w, "{}", rec.to_json());
+    }
+}
+
+impl Sink for JsonSink {
+    fn begin(&mut self, head: &ExperimentHead<'_>, scale: Scale, seed: u64) {
+        self.experiment = head.name.to_string();
+        self.emit(
+            "begin",
+            Record::new()
+                .with("id", head.id)
+                .with("title", head.title)
+                .with("claim", head.claim)
+                .with("scale", scale.name())
+                .with("seed", seed),
+        );
+    }
+
+    fn note(&mut self, text: &str) {
+        self.emit("note", Record::new().with("text", text));
+    }
+
+    fn row(&mut self, stream: &str, record: &Record) {
+        let mut extra = Record::new().with("stream", stream);
+        for (name, value) in record.fields() {
+            extra.push(name.clone(), value.clone());
+        }
+        self.emit("row", extra);
+    }
+
+    fn check(&mut self, outcome: &CheckOutcome) {
+        self.emit(
+            "check",
+            Record::new()
+                .with("name", outcome.name.as_str())
+                .with("passed", outcome.passed)
+                .with("detail", outcome.detail.as_str()),
+        );
+    }
+
+    fn work(&mut self, label: &str, meter: &TableMeter) {
+        // Deterministic counters only — no elapsed/throughput, so the JSON
+        // stream is bit-identical across thread counts.
+        let mut extra = Record::new().with("label", label);
+        for (name, value) in meter.work().record().fields() {
+            extra.push(name.clone(), value.clone());
+        }
+        extra.push("runs", meter.runs());
+        self.emit("work", extra);
+    }
+
+    fn finish(&mut self, failures: u64) {
+        self.emit("finish", Record::new().with("checks_failed", failures));
+        let _ = self.w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A Write handle into a shared buffer (sinks take Box<dyn Write>).
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn head() -> ExperimentHead<'static> {
+        ExperimentHead {
+            name: "exp_test",
+            id: "EXP-T",
+            title: "EXP-T — a test experiment",
+            claim: "tables come out the right shape",
+        }
+    }
+
+    fn drive(sink: &mut dyn Sink) {
+        sink.begin(&head(), Scale::Quick, 0);
+        let mut t = Table::new(["n", "mean"]);
+        t.push_row(["64", "3.5"]);
+        sink.table("main", &t);
+        sink.row(
+            "sweep",
+            &Record::new()
+                .with("n", 64u64)
+                .with("mean", 3.5)
+                .with("marker", "ROW_ONLY"),
+        );
+        sink.note("a verdict line");
+        sink.check(&CheckOutcome {
+            name: "passes".into(),
+            passed: true,
+            detail: "ok".into(),
+        });
+        sink.check(&CheckOutcome {
+            name: "fails".into(),
+            passed: false,
+            detail: "broken".into(),
+        });
+        sink.finish(1);
+    }
+
+    fn capture(format: OutFormat) -> String {
+        let shared = Shared::default();
+        let mut sink = format.sink(Box::new(shared.clone()));
+        drive(sink.as_mut());
+        let bytes = shared.0.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn table_sink_matches_the_legacy_banner_and_layout() {
+        let out = capture(OutFormat::Table);
+        assert!(out.starts_with(
+            "================================================================\nEXP-T — a test experiment\npaper claim: tables come out the right shape\nscale: Quick (set WAKEUP_SCALE=full for the big sweep)\n"
+        ));
+        assert!(out.contains("| n  | mean |"));
+        assert!(out.contains("a verdict line"));
+        // Machine rows are dropped; failing checks are loud, passing silent.
+        assert!(!out.contains("ROW_ONLY"));
+        assert!(out.contains("CHECK FAILED [fails]: broken"));
+        assert!(!out.contains("passes"));
+        assert!(out.contains("1 CHECK(S) FAILED"));
+    }
+
+    #[test]
+    fn csv_sink_sections_streams_with_headers() {
+        let out = capture(OutFormat::Csv);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "experiment,stream,n,mean,marker");
+        assert_eq!(lines[1], "exp_test,sweep,64,3.5,ROW_ONLY");
+        // The failed check opens a new section.
+        assert_eq!(lines[2], "experiment,stream,name,passed,detail");
+        assert_eq!(lines[3], "exp_test,check_failure,fails,false,broken");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn json_sink_emits_one_valid_object_per_line() {
+        let out = capture(OutFormat::Json);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("{\"event\":\"begin\",\"experiment\":\"exp_test\""));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"row\",\"experiment\":\"exp_test\",\"stream\":\"sweep\",\"n\":64,\"mean\":3.5,\"marker\":\"ROW_ONLY\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"check\",") && l.contains("\"passed\":false")));
+        assert_eq!(
+            lines.last().unwrap(),
+            &"{\"event\":\"finish\",\"experiment\":\"exp_test\",\"checks_failed\":1}"
+        );
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");
+        }
+    }
+}

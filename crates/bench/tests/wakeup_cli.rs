@@ -1,0 +1,231 @@
+//! Golden-schema tests for the `wakeup` driver's machine-readable output.
+//!
+//! The contract under test: `wakeup run exp_scenario_a --scale quick --out
+//! json` emits (a) syntactically valid JSON Lines, (b) stable field names,
+//! and (c) **bit-identical bytes across `--threads` settings** — the
+//! experiment layer's determinism guarantee, end to end through the sink.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use wakeup_bench::experiment::run_experiment;
+use wakeup_bench::sink::OutFormat;
+use wakeup_bench::{experiments, Scale};
+
+/// A `Write` handle into a shared buffer (sinks consume `Box<dyn Write>`).
+#[derive(Clone, Default)]
+struct Shared(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Shared {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Run one registry experiment through a sink of the given format and
+/// return the emitted bytes.
+fn capture(name: &str, format: OutFormat, threads: usize) -> String {
+    let exp = experiments::find(name).expect("experiment registered");
+    let shared = Shared::default();
+    let mut sink = format.sink(Box::new(shared.clone()));
+    let failures = run_experiment(&exp, Scale::Quick, 0, Some(threads), sink.as_mut());
+    assert_eq!(failures, 0, "{name} checks failed");
+    drop(sink);
+    let bytes = shared.0.lock().unwrap().clone();
+    String::from_utf8(bytes).expect("sink output is UTF-8")
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON syntax checker (the container has no serde): validates
+// one value and returns the rest of the input.
+// ---------------------------------------------------------------------
+
+fn skip_ws(s: &str) -> &str {
+    s.trim_start_matches([' ', '\t', '\n', '\r'])
+}
+
+fn parse_value(s: &str) -> Result<&str, String> {
+    let s = skip_ws(s);
+    let mut chars = s.chars();
+    match chars.next() {
+        Some('{') => parse_members(&s[1..], '}', true),
+        Some('[') => parse_members(&s[1..], ']', false),
+        Some('"') => parse_string(s),
+        Some('t') => s.strip_prefix("true").ok_or("bad literal".to_string()),
+        Some('f') => s.strip_prefix("false").ok_or("bad literal".to_string()),
+        Some('n') => s.strip_prefix("null").ok_or("bad literal".to_string()),
+        Some(c) if c == '-' || c.is_ascii_digit() => {
+            let end = s
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(s.len());
+            s[..end]
+                .parse::<f64>()
+                .map_err(|e| format!("bad number {}: {e}", &s[..end]))?;
+            Ok(&s[end..])
+        }
+        other => Err(format!("unexpected {other:?}")),
+    }
+}
+
+fn parse_string(s: &str) -> Result<&str, String> {
+    // s starts with '"'.
+    let bytes = s.as_bytes();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok(&s[i + 1..]),
+            b'\\' => i += 2,
+            _ => i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_members(mut s: &str, close: char, keyed: bool) -> Result<&str, String> {
+    loop {
+        s = skip_ws(s);
+        if let Some(rest) = s.strip_prefix(close) {
+            return Ok(rest);
+        }
+        if keyed {
+            s = parse_string(skip_ws(s))?;
+            s = skip_ws(s)
+                .strip_prefix(':')
+                .ok_or("missing ':'".to_string())?;
+        }
+        s = parse_value(s)?;
+        s = skip_ws(s);
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else if let Some(rest) = s.strip_prefix(close) {
+            return Ok(rest);
+        } else {
+            return Err(format!("expected ',' or '{close}' at {s:.20}"));
+        }
+    }
+}
+
+fn assert_valid_json_object(line: &str) {
+    assert!(line.starts_with('{'), "not an object: {line}");
+    match parse_value(line) {
+        Ok(rest) => assert!(skip_ws(rest).is_empty(), "trailing garbage in {line}"),
+        Err(e) => panic!("invalid JSON ({e}): {line}"),
+    }
+}
+
+/// Extract `"field":` names of a flat JSON object line, in order.
+fn field_names(line: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('"') else { break };
+        let name = &after[..end];
+        let tail = &after[end + 1..];
+        if tail.starts_with(':') {
+            names.push(name.to_string());
+            rest = tail;
+        } else {
+            // It was a string *value*; skip past it.
+            rest = tail;
+        }
+    }
+    names
+}
+
+#[test]
+fn scenario_a_json_is_bit_identical_across_thread_counts() {
+    let one = capture("exp_scenario_a", OutFormat::Json, 1);
+    let two = capture("exp_scenario_a", OutFormat::Json, 2);
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "JSON output differs between --threads 1 and 2");
+}
+
+#[test]
+fn scenario_a_json_has_the_golden_schema() {
+    let out = capture("exp_scenario_a", OutFormat::Json, 2);
+    let lines: Vec<&str> = out.lines().collect();
+    for line in &lines {
+        assert_valid_json_object(line);
+    }
+    // Envelope events.
+    assert!(lines[0]
+        .starts_with("{\"event\":\"begin\",\"experiment\":\"exp_scenario_a\",\"id\":\"EXP-A\""));
+    assert!(lines.last().unwrap().contains("\"event\":\"finish\""));
+    assert!(lines.last().unwrap().contains("\"checks_failed\":0"));
+
+    // Every sweep row carries exactly the stable field names, in order.
+    let golden: Vec<&str> = vec![
+        "event",
+        "experiment",
+        "stream",
+        "n",
+        "k",
+        "envelope",
+        "runs",
+        "solved",
+        "censored",
+        "mean",
+        "ci95",
+        "median",
+        "p90",
+        "p99",
+        "max",
+        "worst",
+        "mean_transmissions",
+        "mean_collisions",
+        "max_per_station_tx",
+        "slots",
+        "polls",
+        "skipped",
+    ];
+    let sweep_rows: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.contains("\"stream\":\"sweep\""))
+        .collect();
+    // Quick scale: 3 n values × 7 k values.
+    assert_eq!(sweep_rows.len(), 21, "unexpected sweep row count");
+    for row in sweep_rows {
+        assert_eq!(field_names(row), golden, "schema drift in {row}");
+    }
+
+    // The fit stream covers both metrics (the P² satellite).
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"stream\":\"fit\"") && l.contains("\"metric\":\"mean\"")));
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"stream\":\"fit\"") && l.contains("\"metric\":\"p90\"")));
+    // Work totals are present and deterministic-only (no wall-clock).
+    let work = lines
+        .iter()
+        .find(|l| l.contains("\"event\":\"work\""))
+        .expect("work event");
+    assert!(!work.contains("elapsed") && !work.contains("runs_per_sec"));
+}
+
+#[test]
+fn csv_output_is_deterministic_and_sectioned() {
+    let one = capture("exp_figures", OutFormat::Csv, 1);
+    let two = capture("exp_figures", OutFormat::Csv, 2);
+    assert_eq!(one, two);
+    let lines: Vec<&str> = one.lines().collect();
+    assert_eq!(lines[0], "experiment,stream,slot,station,row");
+    assert_eq!(lines.len(), 4, "3 occupancy rows + header: {one}");
+    for l in &lines[1..] {
+        assert!(l.starts_with("exp_figures,occupancy,"), "{l}");
+    }
+}
+
+#[test]
+fn table_output_carries_the_banner_and_tables() {
+    let out = capture("exp_lower_bound", OutFormat::Table, 2);
+    assert!(out.starts_with(
+        "================================================================\nEXP-LB — Theorem 2.1 lower bound (swap-chain adversary)\n"
+    ));
+    assert!(out.contains("| n   | k   | bound min{k,n-k+1} |"));
+    assert!(out.contains("Corollary 2.1"));
+}

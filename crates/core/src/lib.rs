@@ -75,7 +75,7 @@ pub use energy::EnergyCapped;
 pub use family_provider::{DynFamily, FamilyProvider};
 pub use round_robin::RoundRobin;
 pub use scenario::{scenario_protocol, Scenario};
-pub use select_among_first::{DoublingSchedule, SelectAmongFirst};
+pub use select_among_first::{DoublingSchedule, PositionIndex, SelectAmongFirst};
 pub use wait_and_go::WaitAndGo;
 pub use wakeup_n::WakeupN;
 pub use wakeup_with_k::WakeupWithK;

@@ -96,30 +96,92 @@ impl DoublingSchedule {
             NextOne::Unknown => unreachable!("cycled concat schedules answer next_one exactly"),
         }
     }
+
+    /// Build station `u`'s [`PositionIndex`]: every position of one period at
+    /// which `u` transmits, collected in a single O(period) scan. Queries
+    /// against the index are then O(log) each (binary search + cyclic wrap),
+    /// instead of [`next_position`](Self::next_position)'s linear walk —
+    /// the win for runs that outlive one schedule period, such as the
+    /// conflict-resolution resolvers that are re-queried after every success.
+    pub fn position_index(&self, u: u32) -> PositionIndex {
+        let period = self.period();
+        let positions = (0..period).filter(|&p| self.transmits(u, p)).collect();
+        PositionIndex { positions, period }
+    }
+}
+
+/// A per-station index over one period of a [`DoublingSchedule`]: the sorted
+/// positions at which the station transmits. Built once (O(period)), then
+/// [`next_position`](PositionIndex::next_position) answers any query in
+/// O(log #positions), exactly matching the schedule's linear walk.
+#[derive(Clone, Debug, Default)]
+pub struct PositionIndex {
+    /// Sorted transmitting positions within `[0, period)`.
+    positions: Vec<u64>,
+    period: u64,
+}
+
+impl PositionIndex {
+    /// Smallest position `p' ≥ p` at which the indexed station transmits, or
+    /// `None` if it transmits nowhere in the period (hence never — the
+    /// schedule is cyclic).
+    pub fn next_position(&self, p: u64) -> Option<u64> {
+        let first = *self.positions.first()?;
+        let r = p % self.period;
+        match self.positions.partition_point(|&q| q < r) {
+            i if i < self.positions.len() => Some(p + (self.positions[i] - r)),
+            // Wrap: the next hit is the first position of the next period.
+            _ => Some(p + (self.period - r) + first),
+        }
+    }
+
+    /// Number of transmitting positions per period.
+    pub fn hits_per_period(&self) -> usize {
+        self.positions.len()
+    }
 }
 
 /// Memoizing wrapper around [`DoublingSchedule::next_position`] for stations
 /// whose hints are re-queried at slots scheduled by a *different* component
-/// (the interleaved round-robin turns). The schedule is oblivious, so a
-/// computed hit stays the answer until the query point passes it; without
-/// the memo each round-robin turn would re-scan toward the same far-off
-/// family hit.
-#[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct NextPositionCache(Option<Option<u64>>);
+/// (the interleaved round-robin turns) or by success feedback (the
+/// conflict-resolution resolvers). The schedule is oblivious, so a computed
+/// hit stays the answer until the query point passes it; without the memo
+/// each re-query would re-scan toward the same far-off family hit.
+///
+/// Queries inside the first period scan linearly (no worse than the hint-free
+/// engine, and cheap for stations that succeed early). The first query
+/// *past* one period builds the station's [`PositionIndex`] — linear rescans
+/// would otherwise repeat a full-period walk every cycle, which made the
+/// selective resolver schedule-scan-bound — and every query thereafter is
+/// O(log) per the index.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NextPositionCache {
+    /// Last linear-scan answer (`Some(None)` = provably never).
+    memo: Option<Option<u64>>,
+    /// Per-station index, built lazily once the run outlives one period.
+    index: Option<PositionIndex>,
+}
 
 impl NextPositionCache {
     /// The smallest position `q ≥ q0` where `u` transmits in `schedule`,
     /// reusing the previous answer when still valid. Query points must be
     /// non-decreasing across calls (the engine's `after` clock is).
     pub(crate) fn query(&mut self, schedule: &DoublingSchedule, u: u32, q0: u64) -> Option<u64> {
-        match self.0 {
+        if let Some(idx) = &self.index {
+            return idx.next_position(q0);
+        }
+        match self.memo {
             // A definitive "never in any period" is permanent.
             Some(None) => None,
             // A hit not yet passed: the earlier scan proved silence up to it.
             Some(Some(q)) if q >= q0 => Some(q),
+            _ if q0 >= schedule.period() => {
+                let idx = self.index.insert(schedule.position_index(u));
+                idx.next_position(q0)
+            }
             _ => {
                 let q = schedule.next_position(u, q0);
-                self.0 = Some(q);
+                self.memo = Some(q);
                 q
             }
         }
@@ -309,6 +371,55 @@ mod tests {
             let b = sched.next_boundary(p);
             assert!(b >= p);
             assert!(sched.offsets().contains(&(b % sched.period())));
+        }
+    }
+
+    #[test]
+    fn position_index_pins_the_linear_walk() {
+        // The O(log) per-station index must answer exactly like the linear
+        // next_position walk — for every station, across period wraps, for
+        // both providers and for degenerate tops.
+        for (provider, n, top) in [
+            (FamilyProvider::random_with_seed(5), 48u32, 3u32),
+            (FamilyProvider::random_with_seed(5), 16, 0),
+            (FamilyProvider::KautzSingleton, 20, 2),
+        ] {
+            let sched = DoublingSchedule::new(&provider, n, top);
+            let period = sched.period();
+            for u in 0..n {
+                let idx = sched.position_index(u);
+                for p in 0..(3 * period + 2) {
+                    assert_eq!(
+                        idx.next_position(p),
+                        sched.next_position(u, p),
+                        "n={n} top={top} u={u} p={p} (period {period})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_position_cache_switches_to_index_past_one_period() {
+        let provider = FamilyProvider::random_with_seed(9);
+        let sched = DoublingSchedule::new(&provider, 32, 3);
+        let period = sched.period();
+        for u in [0u32, 7, 31] {
+            let mut cache = NextPositionCache::default();
+            let mut q0 = 0u64;
+            // Monotone queries across several periods must match the walk.
+            while q0 < 4 * period {
+                assert_eq!(
+                    cache.query(&sched, u, q0),
+                    sched.next_position(u, q0),
+                    "u={u} q0={q0}"
+                );
+                q0 += 1 + period / 5;
+            }
+            assert!(
+                cache.index.is_some(),
+                "cache never built the index despite outliving a period"
+            );
         }
     }
 

@@ -23,8 +23,10 @@
 //!   memory stays O(threads·batch) even when one slow batch stalls the
 //!   frontier — never O(runs).
 //! * **Throughput reporting** ([`progress`]): optional live `runs/s` lines
-//!   on stderr for long sweeps, plus a [`RunStats`] summary (elapsed,
-//!   batches, steals, per-worker run counts) on every run.
+//!   for long sweeps, delivered through a pluggable [`ProgressSink`]
+//!   (stderr by default — experiment drivers route them through their
+//!   output sink), plus a [`RunStats`] summary (elapsed, batches, steals,
+//!   per-worker run counts) on every run.
 //!
 //! ```
 //! use wakeup_runner::{collect::from_fn, OnlineStats, Runner};
@@ -51,7 +53,7 @@ pub mod progress;
 pub mod queue;
 
 pub use collect::{Collector, OnlineStats, P2Quantile, VecCollector};
-pub use progress::Progress;
+pub use progress::{Progress, ProgressSink, StderrProgress};
 pub use queue::Placement;
 
 use progress::ProgressMeter;
@@ -357,11 +359,11 @@ impl Runner {
         stats
     }
 
-    /// Final stderr line for runs with progress enabled, matching the live
+    /// Final progress line for runs with progress enabled, matching the live
     /// updates ([`RunStats::render`] carries the batch/steal breakdown).
     fn report_done(&self, stats: &RunStats) {
         if let Some(p) = &self.progress {
-            eprintln!("[{}] done: {}", p.label, stats.render());
+            p.emit(&format!("[{}] done: {}", p.label, stats.render()));
         }
     }
 

@@ -249,6 +249,40 @@ fn collector_panic_propagates_while_workers_are_parked() {
 }
 
 #[test]
+fn progress_lines_route_through_the_plugged_sink() {
+    use std::sync::{Arc, Mutex};
+    use wakeup_runner::{Progress, ProgressSink};
+
+    #[derive(Default)]
+    struct Capture(Mutex<Vec<String>>);
+    impl ProgressSink for Capture {
+        fn progress_line(&self, line: &str) {
+            self.0.lock().unwrap().push(line.to_string());
+        }
+    }
+
+    let capture = Arc::new(Capture::default());
+    let progress = Progress::new(Duration::from_millis(0), "sink-test")
+        .with_sink(Arc::clone(&capture) as Arc<dyn ProgressSink>);
+    let mut out = VecCollector::with_capacity(64);
+    Runner::new()
+        .with_threads(2)
+        .with_batch(BatchSize::Fixed(4))
+        .with_progress(progress)
+        .run(64, jagged, &mut out);
+    let lines = capture.0.lock().unwrap();
+    assert!(!lines.is_empty(), "no progress lines captured");
+    assert!(
+        lines.iter().all(|l| l.starts_with("[sink-test]")),
+        "unlabelled line in {lines:?}"
+    );
+    assert!(
+        lines.last().unwrap().contains("done:"),
+        "missing final summary line: {lines:?}"
+    );
+}
+
+#[test]
 fn p2_quantiles_track_exact_quantiles_on_a_small_ensemble() {
     // The satellite check: sketch vs exact on ensemble-sized samples.
     let samples: Vec<f64> = (0..200u64).map(jagged).collect();
