@@ -29,7 +29,7 @@
 use mac_sim::metrics::{EnergyStats, LatencySample, OutcomeDigest};
 use mac_sim::{EngineMode, FeedbackModel, Protocol, SimConfig, Simulator, WakePattern};
 use std::time::Duration;
-use wakeup_core as _; // semantic dependency: ensembles drive core protocols
+use wakeup_core::ConstructionCache;
 use wakeup_runner::collect::from_fn;
 use wakeup_runner::{OnlineStats, P2Quantile, Progress, RunStats, Runner};
 
@@ -155,6 +155,13 @@ pub struct WorkStats {
     /// Total slots skipped in bulk by the sparse engine
     /// (`Outcome::skipped_slots` summed over runs).
     pub skipped: u64,
+    /// Total slots stepped densely — every awake station polled —
+    /// (`Outcome::dense_steps` summed over runs): the adaptive engine's
+    /// burst windows plus any dense-locked stretches.
+    pub dense_steps: u64,
+    /// Total sparse↔dense transitions of the adaptive engine policy
+    /// (`Outcome::mode_switches` summed over runs).
+    pub mode_switches: u64,
 }
 
 impl WorkStats {
@@ -163,6 +170,8 @@ impl WorkStats {
         self.slots += out.slots_simulated;
         self.polls += out.polls;
         self.skipped += out.skipped_slots;
+        self.dense_steps += out.dense_steps;
+        self.mode_switches += out.mode_switches;
     }
 
     /// Fold one outcome digest into the counters.
@@ -170,6 +179,8 @@ impl WorkStats {
         self.slots += d.slots;
         self.polls += d.polls;
         self.skipped += d.skipped;
+        self.dense_steps += d.dense_steps;
+        self.mode_switches += d.mode_switches;
     }
 
     /// Merge another accumulator (e.g. per-ensemble stats into a per-table
@@ -178,6 +189,8 @@ impl WorkStats {
         self.slots += other.slots;
         self.polls += other.polls;
         self.skipped += other.skipped;
+        self.dense_steps += other.dense_steps;
+        self.mode_switches += other.mode_switches;
     }
 
     /// Polls per covered slot — `≈ k` on the dense path, `≪ 1` when the
@@ -202,23 +215,27 @@ impl WorkStats {
     /// Compact one-line rendering for per-table footers.
     pub fn render(&self) -> String {
         format!(
-            "slots {} | polls {} ({:.4} polls/slot) | skipped {} ({:.1}% skip)",
+            "slots {} | polls {} ({:.4} polls/slot) | skipped {} ({:.1}% skip) | dense-stepped {} ({} switches)",
             self.slots,
             self.polls,
             self.polls_per_slot(),
             self.skipped,
-            100.0 * self.skip_fraction()
+            100.0 * self.skip_fraction(),
+            self.dense_steps,
+            self.mode_switches,
         )
     }
 
     /// The counters as a machine-readable [`Record`](crate::serial::Record)
-    /// with stable field names (`slots`, `polls`, `skipped`). Deterministic:
-    /// all three fold in seed order.
+    /// with stable field names (`slots`, `polls`, `skipped`, `dense_steps`,
+    /// `mode_switches`). Deterministic: all five fold in seed order.
     pub fn record(&self) -> crate::serial::Record {
         crate::serial::Record::new()
             .with("slots", self.slots)
             .with("polls", self.polls)
             .with("skipped", self.skipped)
+            .with("dense_steps", self.dense_steps)
+            .with("mode_switches", self.mode_switches)
     }
 }
 
@@ -389,6 +406,8 @@ impl EnsembleSummary {
             .with("slots", self.work.slots)
             .with("polls", self.work.polls)
             .with("skipped", self.work.skipped)
+            .with("dense_steps", self.work.dense_steps)
+            .with("mode_switches", self.work.mode_switches)
     }
 }
 
@@ -466,6 +485,41 @@ where
     };
     summary.exec = exec;
     summary
+}
+
+/// [`run_ensemble`] with an ensemble-wide [`ConstructionCache`]: the
+/// factory receives the cache next to the run seed, so seed-independent
+/// structure (selective families, doubling schedules and their per-station
+/// position indices, waking matrices) is built **once per ensemble** and
+/// shared read-only across runs and work-stealing workers, while per-run
+/// state stays in the stations. Outcomes are bit-identical to the uncached
+/// path — the cache holds only immutable structure.
+pub fn run_ensemble_cached<P, G>(
+    spec: &EnsembleSpec,
+    cache: &ConstructionCache,
+    protocol_for: P,
+    pattern_for: G,
+) -> EnsembleResult
+where
+    P: Fn(&ConstructionCache, u64) -> Box<dyn Protocol> + Sync,
+    G: Fn(u64) -> WakePattern + Sync,
+{
+    run_ensemble(spec, |seed| protocol_for(cache, seed), pattern_for)
+}
+
+/// [`run_ensemble_stream`] with an ensemble-wide [`ConstructionCache`] —
+/// see [`run_ensemble_cached`] for the sharing contract.
+pub fn run_ensemble_stream_cached<P, G>(
+    spec: &EnsembleSpec,
+    cache: &ConstructionCache,
+    protocol_for: P,
+    pattern_for: G,
+) -> EnsembleSummary
+where
+    P: Fn(&ConstructionCache, u64) -> Box<dyn Protocol> + Sync,
+    G: Fn(u64) -> WakePattern + Sync,
+{
+    run_ensemble_stream(spec, |seed| protocol_for(cache, seed), pattern_for)
 }
 
 /// The pre-runner scheduling: split the seed range into one static
@@ -796,6 +850,38 @@ mod tests {
             |seed| k_pattern(n, 3, seed),
         );
         assert_eq!(res.samples.len(), 8);
+    }
+
+    #[test]
+    fn cached_ensemble_matches_uncached_bit_for_bit() {
+        // The construction cache may only change *where* structure is
+        // built, never what the runs observe: samples, energy and work
+        // counters must be identical, across thread counts.
+        let n = 64u32;
+        let provider = FamilyProvider::random_with_seed(5);
+        let mk_spec = |threads| {
+            EnsembleSpec::new(n, 16)
+                .with_base_seed(3)
+                .with_threads(threads)
+        };
+        let plain = run_ensemble(
+            &mk_spec(1),
+            |_| Box::new(WakeupWithK::new(n, 6, provider)),
+            |seed| k_pattern(n, 6, seed),
+        );
+        for threads in [1usize, 4] {
+            let cache = wakeup_core::ConstructionCache::new();
+            let cached = run_ensemble_cached(
+                &mk_spec(threads),
+                &cache,
+                |c, _| Box::new(WakeupWithK::cached(n, 6, &provider, c)),
+                |seed| k_pattern(n, 6, seed),
+            );
+            assert_eq!(plain.samples, cached.samples, "threads={threads}");
+            assert_eq!(plain.energy, cached.energy, "threads={threads}");
+            assert_eq!(plain.work, cached.work, "threads={threads}");
+            assert!(!cache.is_empty(), "cache was never populated");
+        }
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod stats;
 pub mod table;
 
 pub use ensemble::{
-    run_ensemble, run_ensemble_chunked, run_ensemble_stream, EnsembleResult, EnsembleSpec,
-    EnsembleSummary, WorkStats,
+    run_ensemble, run_ensemble_cached, run_ensemble_chunked, run_ensemble_stream,
+    run_ensemble_stream_cached, EnsembleResult, EnsembleSpec, EnsembleSummary, WorkStats,
 };
 pub use fit::{fit_model, fit_model_by, rank_models_by, FitResult, Metric, Model, SweepPoint};
 pub use serial::{Record, Value};
@@ -40,8 +40,8 @@ pub use table::Table;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::ensemble::{
-        run_ensemble, run_ensemble_chunked, run_ensemble_stream, EnsembleResult, EnsembleSpec,
-        EnsembleSummary, WorkStats,
+        run_ensemble, run_ensemble_cached, run_ensemble_chunked, run_ensemble_stream,
+        run_ensemble_stream_cached, EnsembleResult, EnsembleSpec, EnsembleSummary, WorkStats,
     };
     pub use crate::fit::{
         fit_model, fit_model_by, rank_models_by, FitResult, Metric, Model, SweepPoint,

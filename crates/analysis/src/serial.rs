@@ -201,6 +201,190 @@ impl Record {
     }
 }
 
+/// Parse one flat JSON object (a JSON-Lines row as emitted by
+/// [`Record::to_json`]) back into a [`Record`] — the read half behind the
+/// `wakeup diff` artifact comparator. Exactly the subset the sinks write is
+/// accepted: an object of string keys mapping to numbers, strings, booleans
+/// or `null` (`null` parses to [`Value::F64`]`(NAN)`, mirroring the
+/// non-finite-float rendering). Nested objects/arrays are rejected.
+pub fn parse_json_object(s: &str) -> Result<Record, String> {
+    let mut p = JsonParser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let record = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(record)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn object(&mut self) -> Result<Record, String> {
+        self.expect(b'{')?;
+        let mut record = Record::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(record);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            record.push(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(record);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|&c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::F64(f64::NAN)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unsupported JSON value at byte {} ({:?})",
+                self.pos,
+                other.map(|&c| c as char)
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        let mut fractional = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        if !fractional {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| format!("malformed number '{text}'"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unknown escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest.chars().next().expect("non-empty by guard");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +432,51 @@ mod tests {
     fn control_chars_escape_as_unicode() {
         assert_eq!(json_escape("\u{1}"), "\\u0001");
         assert_eq!(json_escape("tab\tok"), "tab\\tok");
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_records() {
+        let r = Record::new()
+            .with("n", 1024u64)
+            .with("delta", -3i64)
+            .with("mean", 3.25)
+            .with("nanish", f64::NAN)
+            .with("label", "worst, \"case\"\n")
+            .with("ok", true);
+        let parsed = parse_json_object(&r.to_json()).unwrap();
+        assert_eq!(parsed.get("n"), Some(&Value::U64(1024)));
+        assert_eq!(parsed.get("delta"), Some(&Value::I64(-3)));
+        assert_eq!(parsed.get("mean"), Some(&Value::F64(3.25)));
+        assert!(matches!(parsed.get("nanish"), Some(Value::F64(v)) if v.is_nan()));
+        assert_eq!(
+            parsed.get("label"),
+            Some(&Value::Str("worst, \"case\"\n".into()))
+        );
+        assert_eq!(parsed.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(parsed.names(), r.names());
+        // Shortest-round-trip float rendering survives the full cycle.
+        let f = Record::new().with("x", 1.0 / 3.0);
+        let back = parse_json_object(&f.to_json()).unwrap();
+        let Some(&Value::F64(x)) = back.get("x") else {
+            panic!("x not parsed as float");
+        };
+        assert_eq!(x.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_json_object("").is_err());
+        assert!(parse_json_object("[1,2]").is_err());
+        assert!(parse_json_object("{\"a\":1").is_err());
+        assert!(parse_json_object("{\"a\":{}}").is_err());
+        assert!(parse_json_object("{\"a\":1} trailing").is_err());
+        assert!(parse_json_object("{\"a\":tru}").is_err());
+        // Empty object and whitespace are fine.
+        assert_eq!(parse_json_object(" {} ").unwrap().fields().len(), 0);
+        // Exponent-formatted floats (foreign writers) still parse.
+        assert_eq!(
+            parse_json_object("{\"x\":1e-3}").unwrap().get("x"),
+            Some(&Value::F64(0.001))
+        );
     }
 }

@@ -31,6 +31,11 @@ pub struct Config {
     pub out: OutFormat,
     /// Per-experiment output files instead of stdout (`--out-dir`).
     pub out_dir: Option<PathBuf>,
+    /// Wall-clock box for the selection, in seconds (`--time-box`): at full
+    /// scale the driver projects the total from the registry's declared
+    /// [`full_budget_secs`](crate::experiment::Experiment::full_budget_secs)
+    /// and warns when the selection exceeds the box.
+    pub time_box: Option<u64>,
 }
 
 impl Config {
@@ -42,6 +47,7 @@ impl Config {
             seed: 0,
             out: OutFormat::Table,
             out_dir: None,
+            time_box: None,
         }
     }
 }
@@ -53,6 +59,7 @@ USAGE:
     wakeup list
     wakeup run <experiment>... [OPTIONS]
     wakeup run --all [OPTIONS]
+    wakeup diff <dir_a> <dir_b> [--threshold F]
 
 OPTIONS:
     --scale quick|full     sweep scale (default: $WAKEUP_SCALE or quick)
@@ -60,7 +67,15 @@ OPTIONS:
     --seed S               offset added to every ensemble base seed (default 0)
     --out table|csv|json   output format (default: table; json = JSON Lines)
     --out-dir DIR          write <experiment>.{txt,csv,jsonl} under DIR
+    --time-box SECS        warn when the selection's projected full-scale
+                           wall-clock (declared per-experiment budgets)
+                           exceeds this box
+    --threshold F          diff: relative regression threshold (default 0.05)
     -h, --help             this help
+
+`wakeup diff` compares two --out-dir JSON artifact directories (baseline,
+candidate) and exits 1 when any latency/work metric regressed beyond the
+threshold, a row or artifact disappeared, or a check flipped to failing.
 
 Environment: WAKEUP_PROGRESS=secs enables live runs/s lines on stderr;
 WAKEUP_ASSERT_SPARSE=1 turns EXP-KG's sparse-path expectations into checks.
@@ -81,6 +96,15 @@ pub enum Command {
         names: Vec<String>,
         /// Resolved configuration.
         config: Config,
+    },
+    /// `wakeup diff <dir_a> <dir_b>`
+    Diff {
+        /// Baseline artifact directory.
+        dir_a: PathBuf,
+        /// Candidate artifact directory.
+        dir_b: PathBuf,
+        /// Relative regression threshold.
+        threshold: f64,
     },
     /// `-h` / `--help` / no args.
     Help,
@@ -146,6 +170,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--out-dir" => {
                         config.out_dir = Some(PathBuf::from(value(&mut it, "--out-dir")?));
                     }
+                    "--time-box" => {
+                        let v = value(&mut it, "--time-box")?;
+                        config.time_box = Some(v.parse::<u64>().map_err(|_| {
+                            ParseError(format!("--time-box must be seconds, got '{v}'"))
+                        })?);
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(ParseError(format!("unknown flag '{flag}'")))
                     }
@@ -176,6 +206,42 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Run { names, config })
         }
+        "diff" => {
+            let mut dirs: Vec<PathBuf> = Vec::new();
+            let mut threshold = 0.05f64;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--threshold" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--threshold needs a value".into()))?;
+                        threshold = v.parse::<f64>().map_err(|_| {
+                            ParseError(format!("--threshold must be a number, got '{v}'"))
+                        })?;
+                        if threshold.is_nan() || threshold < 0.0 {
+                            return Err(ParseError(format!(
+                                "--threshold must be ≥ 0, got {threshold}"
+                            )));
+                        }
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(ParseError(format!("unknown flag '{flag}'")))
+                    }
+                    dir => dirs.push(PathBuf::from(dir)),
+                }
+            }
+            let [dir_a, dir_b] = <[PathBuf; 2]>::try_from(dirs).map_err(|d| {
+                ParseError(format!(
+                    "diff takes exactly two artifact directories, got {}",
+                    d.len()
+                ))
+            })?;
+            Ok(Command::Diff {
+                dir_a,
+                dir_b,
+                threshold,
+            })
+        }
         other => Err(ParseError(format!(
             "unknown command '{other}' (try `wakeup --help`)"
         ))),
@@ -184,16 +250,55 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
 
 /// Render the registry listing.
 pub fn render_list() -> String {
-    let mut table = wakeup_analysis::Table::new(["name", "id", "grid", "claim"]);
+    let mut table = wakeup_analysis::Table::new(["name", "id", "grid", "full budget", "claim"]);
+    let mut total = 0u64;
     for e in experiments::registry() {
+        total += e.full_budget_secs;
         table.push_row([
             e.name.to_string(),
             e.id.to_string(),
             format!("{:?}", e.grid).to_lowercase(),
+            format!("{}s", e.full_budget_secs),
             e.claim.to_string(),
         ]);
     }
-    table.to_markdown()
+    format!(
+        "{}\nfull-scale budget of the whole registry: ~{total}s \
+         (single core; quick scale runs in seconds per experiment)\n",
+        table.to_markdown()
+    )
+}
+
+/// Project the full-scale wall-clock of a selection against a `--time-box`
+/// and return the warning line to print, if any. Quick-scale selections are
+/// not budgeted (each experiment runs in seconds) — the box only projects
+/// the declared full-scale budgets.
+pub fn time_box_warning(names: &[String], config: &Config) -> Option<String> {
+    let box_secs = config.time_box?;
+    if config.scale != Scale::Full {
+        return Some(format!(
+            "wakeup: --time-box {box_secs}s noted, but budgets are declared for \
+             --scale full; quick sweeps finish in seconds"
+        ));
+    }
+    let projected: u64 = names
+        .iter()
+        .filter_map(|n| experiments::find(n))
+        .map(|e| e.full_budget_secs)
+        .sum();
+    (projected > box_secs).then(|| {
+        let mut over: Vec<String> = names
+            .iter()
+            .filter_map(|n| experiments::find(n))
+            .map(|e| format!("{} {}s", e.name, e.full_budget_secs))
+            .collect();
+        over.sort();
+        format!(
+            "wakeup: WARNING: projected full-scale wall-clock ~{projected}s exceeds \
+             --time-box {box_secs}s ({})",
+            over.join(", ")
+        )
+    })
 }
 
 /// Run the named experiments under `config`. Returns the number of failed
@@ -239,17 +344,40 @@ pub fn main() -> i32 {
             print!("{}", render_list());
             0
         }
-        Ok(Command::Run { names, config }) => match run_many(&names, &config) {
-            Err(e) => {
-                eprintln!("wakeup: i/o error: {e}");
-                2
+        Ok(Command::Run { names, config }) => {
+            if let Some(warning) = time_box_warning(&names, &config) {
+                eprintln!("{warning}");
             }
-            Ok(0) => 0,
-            Ok(failures) => {
-                eprintln!("wakeup: {failures} check(s) failed");
-                1
+            match run_many(&names, &config) {
+                Err(e) => {
+                    eprintln!("wakeup: i/o error: {e}");
+                    2
+                }
+                Ok(0) => 0,
+                Ok(failures) => {
+                    eprintln!("wakeup: {failures} check(s) failed");
+                    1
+                }
             }
-        },
+        }
+        Ok(Command::Diff {
+            dir_a,
+            dir_b,
+            threshold,
+        }) => {
+            let mut out = std::io::stdout().lock();
+            match crate::diff::diff_dirs(&dir_a, &dir_b, threshold, &mut out) {
+                Err(e) => {
+                    eprintln!("wakeup: diff error: {e}");
+                    2
+                }
+                Ok(report) if report.regressions == 0 => 0,
+                Ok(report) => {
+                    eprintln!("wakeup: {} regression(s) found", report.regressions);
+                    1
+                }
+            }
+        }
     }
 }
 
@@ -317,6 +445,73 @@ mod tests {
         assert!(parse(&argv("run exp_certify --threads many")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("list extra")).is_err());
+    }
+
+    #[test]
+    fn parse_diff_grammar() {
+        let Ok(Command::Diff {
+            dir_a,
+            dir_b,
+            threshold,
+        }) = parse(&argv("diff golden fresh --threshold 0.1"))
+        else {
+            panic!("diff did not parse");
+        };
+        assert_eq!(dir_a, PathBuf::from("golden"));
+        assert_eq!(dir_b, PathBuf::from("fresh"));
+        assert!((threshold - 0.1).abs() < 1e-12);
+        // Default threshold.
+        let Ok(Command::Diff { threshold, .. }) = parse(&argv("diff a b")) else {
+            panic!("diff did not parse");
+        };
+        assert!((threshold - 0.05).abs() < 1e-12);
+        assert!(parse(&argv("diff onlyone")).is_err());
+        assert!(parse(&argv("diff a b c")).is_err());
+        assert!(parse(&argv("diff a b --threshold nope")).is_err());
+        assert!(parse(&argv("diff a b --threshold -1")).is_err());
+    }
+
+    #[test]
+    fn time_box_projects_full_scale_budgets() {
+        let names: Vec<String> = experiments::registry()
+            .iter()
+            .map(|e| e.name.to_string())
+            .collect();
+        let total: u64 = experiments::registry()
+            .iter()
+            .map(|e| e.full_budget_secs)
+            .sum();
+        let mut config = Config::from_env();
+        config.scale = Scale::Full;
+        config.time_box = Some(total - 1);
+        let warning = time_box_warning(&names, &config).expect("must warn over the box");
+        assert!(warning.contains("exceeds"), "{warning}");
+        assert!(warning.contains("exp_crossover"), "{warning}");
+        // A box that fits stays silent.
+        config.time_box = Some(total + 1);
+        assert!(time_box_warning(&names, &config).is_none());
+        // No box, no warning.
+        config.time_box = None;
+        assert!(time_box_warning(&names, &config).is_none());
+        // Quick scale: budgets do not apply, note instead of projection.
+        config.time_box = Some(1);
+        config.scale = Scale::Quick;
+        let note = time_box_warning(&names, &config).expect("quick-scale note");
+        assert!(note.contains("quick"), "{note}");
+    }
+
+    #[test]
+    fn every_experiment_declares_a_budget() {
+        for e in experiments::registry() {
+            assert!(
+                e.full_budget_secs > 0,
+                "{} has no full-scale budget",
+                e.name
+            );
+        }
+        // The listing prints them.
+        assert!(render_list().contains("full budget"));
+        assert!(render_list().contains("600s"), "crossover budget missing");
     }
 
     #[test]

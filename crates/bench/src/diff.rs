@@ -1,0 +1,412 @@
+//! `wakeup diff` — compare two JSON-Lines artifact directories and flag
+//! regressions.
+//!
+//! Both directories are expected to hold per-experiment `*.jsonl` files as
+//! written by `wakeup run --out json --out-dir DIR` (one event object per
+//! line, deterministic fields only). The comparison is *semantic*, not
+//! byte-wise:
+//!
+//! * `row` events are matched by an identity key — the stream name, every
+//!   string-valued field, the conventional sweep coordinates (`n`, `k`, …)
+//!   and an ordinal among otherwise-identical keys — so reordering
+//!   metrics or adding new ones does not misalign rows;
+//! * matched rows compare their **latency/work metrics** (`mean`, `p90`,
+//!   `worst`, `polls`, `slots`, …): an increase beyond the relative
+//!   `threshold` is a regression, a matching decrease is reported as an
+//!   improvement; a metric that was measured in the baseline but is `null`
+//!   in the candidate (e.g. a cell that stopped solving) is always a
+//!   regression;
+//! * `check` events regress when a check that passed in the baseline fails
+//!   in the candidate (new failing checks count too);
+//! * baseline rows or files with no counterpart in the candidate are
+//!   regressions; *extra* candidate files/rows are informational (new
+//!   experiments and metrics land without tripping the gate).
+//!
+//! The driver exits nonzero when any regression is found — the CI gate
+//! between a fresh quick-scale artifact dir and the committed golden dir.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
+use wakeup_analysis::serial::{parse_json_object, Record, Value};
+
+/// Metrics compared on matched rows; larger values are regressions.
+const HIGHER_IS_WORSE: &[&str] = &[
+    "mean",
+    "median",
+    "p90",
+    "p99",
+    "max",
+    "worst",
+    "selective_mean",
+    "selective_max",
+    "retiring_rr_mean",
+    "censored",
+    "unresolved",
+    "slots",
+    "polls",
+    "dense_steps",
+    "mean_transmissions",
+    "mean_collisions",
+    "max_per_station_tx",
+];
+
+/// Integer-valued fields that identify a sweep cell rather than measure it.
+const ID_FIELDS: &[&str] = &["n", "k", "s", "c", "seed", "window", "k_max", "horizon"];
+
+/// Outcome of one directory comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiffReport {
+    /// Regressions found (missing artifacts/rows, worsened metrics, newly
+    /// failing checks). Nonzero fails the driver.
+    pub regressions: u64,
+    /// Metrics that improved beyond the threshold (informational).
+    pub improvements: u64,
+    /// Rows matched and compared across the two directories.
+    pub rows: u64,
+    /// Artifact files compared.
+    pub files: u64,
+}
+
+/// A parsed artifact: keyed rows plus check outcomes.
+#[derive(Default)]
+struct Artifact {
+    rows: BTreeMap<String, Record>,
+    checks: BTreeMap<String, bool>,
+}
+
+fn field_as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::U64(u) => Some(u as f64),
+        Value::I64(i) => Some(i as f64),
+        Value::F64(f) => Some(f),
+        _ => None,
+    }
+}
+
+/// The identity key of a `row` event: stream, string fields, conventional
+/// sweep coordinates — everything that names the cell rather than measures
+/// it.
+fn row_key(record: &Record) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (name, value) in record.fields() {
+        let is_id = match value {
+            Value::Str(_) => name != "event",
+            Value::U64(_) | Value::I64(_) => ID_FIELDS.contains(&name.as_str()),
+            _ => false,
+        };
+        if is_id {
+            parts.push(format!("{name}={}", value.to_json()));
+        }
+    }
+    parts.join("|")
+}
+
+fn parse_artifact(path: &Path) -> io::Result<Artifact> {
+    let text = std::fs::read_to_string(path)?;
+    let mut artifact = Artifact::default();
+    let mut dups: BTreeMap<String, u64> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_json_object(line)
+            .map_err(|e| io::Error::other(format!("{}:{}: {e}", path.display(), lineno + 1)))?;
+        match record.get("event") {
+            Some(Value::Str(ev)) if ev == "row" => {
+                let base = row_key(&record);
+                // Ordinal among identical keys keeps repeated cells apart.
+                let ordinal = dups.entry(base.clone()).or_insert(0);
+                artifact.rows.insert(format!("{base}#{ordinal}"), record);
+                *ordinal += 1;
+            }
+            Some(Value::Str(ev)) if ev == "check" => {
+                if let (Some(Value::Str(name)), Some(Value::Bool(passed))) =
+                    (record.get("name"), record.get("passed"))
+                {
+                    artifact.checks.insert(name.clone(), *passed);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(artifact)
+}
+
+fn jsonl_files(dir: &Path) -> io::Result<Vec<String>> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".jsonl"))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+/// Compare `dir_b` (candidate) against `dir_a` (baseline) with a relative
+/// regression `threshold`, writing findings to `out`. See the module docs
+/// for the comparison semantics.
+pub fn diff_dirs(
+    dir_a: &Path,
+    dir_b: &Path,
+    threshold: f64,
+    out: &mut dyn Write,
+) -> io::Result<DiffReport> {
+    let mut report = DiffReport::default();
+    let base_files = jsonl_files(dir_a)?;
+    let cand_files = jsonl_files(dir_b)?;
+
+    for name in &cand_files {
+        if !base_files.contains(name) {
+            writeln!(
+                out,
+                "note: {name}: only in {} (new artifact)",
+                dir_b.display()
+            )?;
+        }
+    }
+
+    for name in &base_files {
+        if !cand_files.contains(name) {
+            writeln!(out, "REGRESSION {name}: missing from {}", dir_b.display())?;
+            report.regressions += 1;
+            continue;
+        }
+        report.files += 1;
+        let base = parse_artifact(&dir_a.join(name))?;
+        let cand = parse_artifact(&dir_b.join(name))?;
+
+        for (key, a_row) in &base.rows {
+            let Some(b_row) = cand.rows.get(key) else {
+                writeln!(out, "REGRESSION {name}: row [{key}] missing from candidate")?;
+                report.regressions += 1;
+                continue;
+            };
+            report.rows += 1;
+            for &metric in HIGHER_IS_WORSE {
+                let (Some(a_val), Some(b_val)) = (a_row.get(metric), b_row.get(metric)) else {
+                    continue;
+                };
+                let (Some(a), Some(b)) = (field_as_f64(a_val), field_as_f64(b_val)) else {
+                    continue;
+                };
+                match (a.is_finite(), b.is_finite()) {
+                    (true, false) => {
+                        writeln!(
+                            out,
+                            "REGRESSION {name}: [{key}] {metric}: {a} -> null (measurement lost)"
+                        )?;
+                        report.regressions += 1;
+                    }
+                    (false, true) => {
+                        writeln!(
+                            out,
+                            "note: {name}: [{key}] {metric}: null -> {b} (now measured)"
+                        )?;
+                        report.improvements += 1;
+                    }
+                    (false, false) => {}
+                    (true, true) => {
+                        let rel = (b - a) / a.abs().max(1e-9);
+                        if rel > threshold {
+                            writeln!(
+                                out,
+                                "REGRESSION {name}: [{key}] {metric}: {a} -> {b} (+{:.1}% > {:.1}%)",
+                                100.0 * rel,
+                                100.0 * threshold,
+                            )?;
+                            report.regressions += 1;
+                        } else if rel < -threshold {
+                            writeln!(
+                                out,
+                                "improvement {name}: [{key}] {metric}: {a} -> {b} ({:.1}%)",
+                                100.0 * rel,
+                            )?;
+                            report.improvements += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        for (check, &a_passed) in &base.checks {
+            match cand.checks.get(check) {
+                Some(&b_passed) if a_passed && !b_passed => {
+                    writeln!(out, "REGRESSION {name}: check '{check}' now fails")?;
+                    report.regressions += 1;
+                }
+                None if a_passed => {
+                    writeln!(out, "REGRESSION {name}: check '{check}' disappeared")?;
+                    report.regressions += 1;
+                }
+                _ => {}
+            }
+        }
+        for (check, &b_passed) in &cand.checks {
+            if !b_passed && !base.checks.contains_key(check) {
+                writeln!(out, "REGRESSION {name}: new check '{check}' fails")?;
+                report.regressions += 1;
+            }
+        }
+    }
+
+    writeln!(
+        out,
+        "diff: {} files, {} rows compared | {} regression(s), {} improvement(s)",
+        report.files, report.rows, report.regressions, report.improvements,
+    )?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    struct TempDirs {
+        root: PathBuf,
+    }
+
+    impl TempDirs {
+        fn new(tag: &str) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("wakeup-diff-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            std::fs::create_dir_all(root.join("a")).unwrap();
+            std::fs::create_dir_all(root.join("b")).unwrap();
+            TempDirs { root }
+        }
+        fn write(&self, side: &str, name: &str, lines: &[&str]) {
+            std::fs::write(self.root.join(side).join(name), lines.join("\n")).unwrap();
+        }
+        fn diff(&self, threshold: f64) -> (DiffReport, String) {
+            let mut out = Vec::new();
+            let report = diff_dirs(
+                &self.root.join("a"),
+                &self.root.join("b"),
+                threshold,
+                &mut out,
+            )
+            .unwrap();
+            (report, String::from_utf8(out).unwrap())
+        }
+    }
+
+    impl Drop for TempDirs {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    const ROW_A: &str = r#"{"event":"row","experiment":"exp_x","stream":"sweep","n":64,"k":2,"mean":10.0,"polls":100}"#;
+
+    #[test]
+    fn identical_dirs_are_clean() {
+        let t = TempDirs::new("clean");
+        t.write("a", "exp_x.jsonl", &[ROW_A]);
+        t.write("b", "exp_x.jsonl", &[ROW_A]);
+        let (report, _) = t.diff(0.05);
+        assert_eq!(report.regressions, 0);
+        assert_eq!(report.rows, 1);
+        assert_eq!(report.files, 1);
+    }
+
+    #[test]
+    fn worsened_metric_beyond_threshold_regresses() {
+        let t = TempDirs::new("worse");
+        t.write("a", "exp_x.jsonl", &[ROW_A]);
+        t.write(
+            "b",
+            "exp_x.jsonl",
+            &[r#"{"event":"row","experiment":"exp_x","stream":"sweep","n":64,"k":2,"mean":10.3,"polls":150}"#],
+        );
+        let (report, text) = t.diff(0.05);
+        // mean +3% is within threshold; polls +50% is not.
+        assert_eq!(report.regressions, 1, "{text}");
+        assert!(text.contains("polls"), "{text}");
+        // A tighter threshold flags both.
+        let (strict, _) = t.diff(0.01);
+        assert_eq!(strict.regressions, 2);
+    }
+
+    #[test]
+    fn improvement_is_informational() {
+        let t = TempDirs::new("better");
+        t.write("a", "exp_x.jsonl", &[ROW_A]);
+        t.write(
+            "b",
+            "exp_x.jsonl",
+            &[r#"{"event":"row","experiment":"exp_x","stream":"sweep","n":64,"k":2,"mean":5.0,"polls":100}"#],
+        );
+        let (report, text) = t.diff(0.05);
+        assert_eq!(report.regressions, 0, "{text}");
+        assert_eq!(report.improvements, 1);
+    }
+
+    #[test]
+    fn lost_measurement_and_missing_rows_regress() {
+        let t = TempDirs::new("lost");
+        t.write(
+            "a",
+            "exp_x.jsonl",
+            &[
+                ROW_A,
+                r#"{"event":"row","experiment":"exp_x","stream":"sweep","n":128,"k":2,"mean":20.0,"polls":100}"#,
+            ],
+        );
+        t.write(
+            "b",
+            "exp_x.jsonl",
+            &[r#"{"event":"row","experiment":"exp_x","stream":"sweep","n":64,"k":2,"mean":null,"polls":100}"#],
+        );
+        let (report, text) = t.diff(0.05);
+        // One lost mean (null) + one missing row (n=128).
+        assert_eq!(report.regressions, 2, "{text}");
+        assert!(text.contains("measurement lost"), "{text}");
+        assert!(text.contains("missing from candidate"), "{text}");
+    }
+
+    #[test]
+    fn missing_file_regresses_and_extra_file_does_not() {
+        let t = TempDirs::new("files");
+        t.write("a", "exp_x.jsonl", &[ROW_A]);
+        t.write("b", "exp_new.jsonl", &[ROW_A]);
+        let (report, text) = t.diff(0.05);
+        assert_eq!(report.regressions, 1, "{text}");
+        assert!(text.contains("missing from"), "{text}");
+        assert!(text.contains("new artifact"), "{text}");
+    }
+
+    #[test]
+    fn check_flips_regress() {
+        let t = TempDirs::new("checks");
+        let pass =
+            r#"{"event":"check","experiment":"exp_x","name":"solves","passed":true,"detail":"ok"}"#;
+        let fail = r#"{"event":"check","experiment":"exp_x","name":"solves","passed":false,"detail":"bad"}"#;
+        t.write("a", "exp_x.jsonl", &[pass]);
+        t.write("b", "exp_x.jsonl", &[fail]);
+        let (report, text) = t.diff(0.05);
+        assert_eq!(report.regressions, 1, "{text}");
+        assert!(text.contains("now fails"), "{text}");
+        // The reverse direction (fixing a check) is clean.
+        t.write("a", "exp_x.jsonl", &[fail]);
+        t.write("b", "exp_x.jsonl", &[pass]);
+        assert_eq!(t.diff(0.05).0.regressions, 0);
+    }
+
+    #[test]
+    fn new_metrics_do_not_misalign_rows() {
+        // The candidate grew extra fields (e.g. dense_steps): rows still
+        // match on the identity key and the shared metrics compare.
+        let t = TempDirs::new("schema");
+        t.write("a", "exp_x.jsonl", &[ROW_A]);
+        t.write(
+            "b",
+            "exp_x.jsonl",
+            &[r#"{"event":"row","experiment":"exp_x","stream":"sweep","n":64,"k":2,"mean":10.0,"polls":100,"dense_steps":7}"#],
+        );
+        let (report, _) = t.diff(0.05);
+        assert_eq!(report.regressions, 0);
+        assert_eq!(report.rows, 1);
+    }
+}

@@ -35,6 +35,12 @@ pub struct Experiment {
     /// The sweep grid the body walks via [`Ctx::ns`]/[`Ctx::ks`]. Bodies
     /// with bespoke grids (figures, certification) leave the default.
     pub grid: Grid,
+    /// Declared wall-clock budget of one **full-scale** run on the
+    /// reference single-core box, in seconds (measured, rounded up).
+    /// `wakeup list` prints it and `wakeup run --time-box` uses it to
+    /// project whether a selection fits the box; quick-scale runs are
+    /// seconds each and are not budgeted.
+    pub full_budget_secs: u64,
     /// The body.
     pub run: fn(&mut Ctx<'_>),
 }

@@ -28,6 +28,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-ABL — design-choice ablations",
     claim: "see DESIGN.md §6",
     grid: Grid::Dense,
+    full_budget_secs: 120,
     run,
 };
 
@@ -297,18 +298,25 @@ fn run(ctx: &mut Ctx<'_>) {
         ),
         ("wakeup(n)", Box::new(WakeupN::new(MatrixParams::new(n)))),
     ];
+    // Fixed deterministic protocols: the construction cache builds each
+    // schedule/matrix once for the whole ensemble instead of once per run.
+    let cache = wakeup_core::ConstructionCache::new();
     for (name, proto) in &adv_protos {
-        let res = run_ensemble_stream(
+        let res = wakeup_analysis::run_ensemble_stream_cached(
             &ctx.spec(n, runs, 7400, &format!("ABL-ADV {name}")),
-            |_| -> Box<dyn mac_sim::Protocol> {
+            &cache,
+            |cache, _| -> Box<dyn mac_sim::Protocol> {
                 // Note: same protocol object semantics per run; adversary
                 // probes the fixed deterministic schedule.
                 match *name {
                     "round-robin" => Box::new(RoundRobin::new(n)),
-                    "wakeup_with_k" => {
-                        Box::new(WakeupWithK::new(n, k as u32, FamilyProvider::default()))
-                    }
-                    _ => Box::new(WakeupN::new(MatrixParams::new(n))),
+                    "wakeup_with_k" => Box::new(WakeupWithK::cached(
+                        n,
+                        k as u32,
+                        &FamilyProvider::default(),
+                        cache,
+                    )),
+                    _ => Box::new(WakeupN::cached(MatrixParams::new(n), cache)),
                 }
             },
             |seed| crate::burst_pattern(n, k, 0, seed),

@@ -26,6 +26,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-BAL — well-balancedness, the Lemma 5.4 bracket, isolation frequency",
     claim: "S1∧S2 slots accumulate; each has bracket slots; isolation ≥ 1/128 there",
     grid: Grid::Dense,
+    full_budget_secs: 60,
     run,
 };
 

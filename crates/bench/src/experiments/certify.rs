@@ -19,6 +19,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-CERT — bounded certification of seeded waking matrices",
     claim: "Theorem 5.2: a random matrix is a waking matrix w.h.p.",
     grid: Grid::Dense,
+    full_budget_secs: 60,
     run,
 };
 

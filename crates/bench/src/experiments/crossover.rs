@@ -24,6 +24,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-CROSS — round-robin vs selective component vs interleaving",
     claim: "interleaving = Θ(min{n−k+1, k·log(n/k)+k}) = Θ(k·log(n/k)+1)",
     grid: Grid::Sparse,
+    full_budget_secs: 600,
     run,
 };
 

@@ -20,6 +20,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-FIG — Figures 1 and 2 (matrix walk, column snapshot)",
     claim: "protocol structure diagrams of §5.1",
     grid: Grid::Dense,
+    full_budget_secs: 10,
     run,
 };
 

@@ -32,6 +32,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-KG — full conflict resolution (every station transmits)",
     claim: "Komlós–Greenberg: O(k + k·log(n/k)); time-division baseline: Θ(n)",
     grid: Grid::Sparse,
+    full_budget_secs: 15,
     run,
 };
 
@@ -56,10 +57,15 @@ fn run(ctx: &mut Ctx<'_>) {
     // n range (k stays modest: full resolution needs ≥ k successes, and the
     // per-run cost scales with events ≈ k·passes, not slots — hence the
     // sweep caps the k universe at 64).
+    // One construction cache across the whole sweep: the per-run provider
+    // seeds recur in every `(n, k)` cell (same base seed, same run count),
+    // so the nested family sequences are built once per `n` and shared by
+    // every cell and worker after that.
+    let cache = wakeup_core::ConstructionCache::new();
     for &n in &ctx.ns() {
         for &k in &ctx.ks(64.min(n)) {
-            let sel = run_ensemble_full(ctx, runs, 8000, n, k, true);
-            let rr = run_ensemble_full(ctx, runs, 8000, n, k, false);
+            let sel = run_ensemble_full(ctx, &cache, runs, 8000, n, k, true);
+            let rr = run_ensemble_full(ctx, &cache, runs, 8000, n, k, false);
             let sel_summary = Summary::of_u64(&sel.latencies).expect("selective must resolve");
             let rr_summary = Summary::of_u64(&rr.latencies).expect("round-robin must resolve");
             points.push((f64::from(n), f64::from(k), sel_summary.mean));
@@ -169,6 +175,7 @@ struct FullEnsemble {
 /// the output is identical to the old sequential loop.
 fn run_ensemble_full(
     ctx: &Ctx<'_>,
+    cache: &wakeup_core::ConstructionCache,
     runs: u64,
     base_seed: u64,
     n: u32,
@@ -184,14 +191,19 @@ fn run_ensemble_full(
         "EXP-KG {} n={n} k={k}",
         if selective { "selective" } else { "rr" }
     );
+    // The construction cache rides through `Runner::map` into every worker:
+    // families shared by the nested doubling sequences come out of it
+    // instead of being rebuilt; per-run provider seeds keep the sampling
+    // semantics, bounded by the cache cap.
     let (results, _stats) = ctx.runner(&label).map(runs, |i| {
         let seed = base_seed.wrapping_add(i);
         let pattern = crate::burst_pattern(n, k as usize, 3, seed);
         let protocol: Box<dyn Protocol> = if selective {
-            Box::new(FullResolution::new(
+            Box::new(FullResolution::cached(
                 n,
                 k,
-                FamilyProvider::Random { seed, delta: 1e-4 },
+                &FamilyProvider::Random { seed, delta: 1e-4 },
+                cache,
             ))
         } else {
             Box::new(RetiringRoundRobin::new(n))

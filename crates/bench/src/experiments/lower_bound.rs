@@ -21,6 +21,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-LB — Theorem 2.1 lower bound (swap-chain adversary)",
     claim: "any algorithm needs ≥ min{k, n−k+1} rounds; forced_rounds must meet it",
     grid: Grid::Dense,
+    full_budget_secs: 30,
     run,
 };
 

@@ -24,6 +24,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-RAND — §6 randomized protocols",
     claim: "RPD: O(log n) expected; RPD-k: O(log k) ≍ Ω(log k) lower bound",
     grid: Grid::Dense,
+    full_budget_secs: 60,
     run,
 };
 

@@ -30,6 +30,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-A — Scenario A (s known): wakeup_with_s",
     claim: "Θ(k·log(n/k) + 1), optimal (Thm 2.1 + Clementi et al.)",
     grid: Grid::Sparse,
+    full_budget_secs: 300,
     run,
 };
 

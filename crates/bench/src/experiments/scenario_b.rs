@@ -21,6 +21,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-B — Scenario B (k known): wakeup_with_k",
     claim: "Θ(k·log(n/k) + 1) under arbitrary wake-up patterns",
     grid: Grid::Sparse,
+    full_budget_secs: 300,
     run,
 };
 

@@ -30,6 +30,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-C — Scenario C (nothing known): wakeup(n) over a waking matrix",
     claim: "O(k·log n·log log n); log log n factor above the Ω(k·log(n/k)) bound",
     grid: Grid::Sparse,
+    full_budget_secs: 240,
     run,
 };
 

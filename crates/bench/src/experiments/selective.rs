@@ -20,6 +20,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-SEL — selective family sizes and verification",
     claim: "random families: O(k + k·log(n/k)); Kautz–Singleton: O(k²·log² n)",
     grid: Grid::Dense,
+    full_budget_secs: 180,
     run,
 };
 

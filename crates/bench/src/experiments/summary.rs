@@ -24,6 +24,7 @@ pub const EXP: Experiment = Experiment {
     title: "TAB-SUMMARY — the three-scenario result table",
     claim: "A, B: Θ(k·log(n/k)+1); C: O(k·log n·log log n)",
     grid: Grid::Dense,
+    full_budget_secs: 180,
     run,
 };
 

@@ -22,6 +22,7 @@ pub const EXP: Experiment = Experiment {
     title: "EXP-CHL — wakeup(n) vs locally-synchronized O(k log² n) baseline",
     claim: "k·log n·log log n beats k·log² n by ~log n / log log n",
     grid: Grid::Dense,
+    full_budget_secs: 120,
     run,
 };
 

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod diff;
 pub mod experiment;
 pub mod experiments;
 pub mod sink;

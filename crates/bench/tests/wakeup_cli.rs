@@ -181,6 +181,8 @@ fn scenario_a_json_has_the_golden_schema() {
         "slots",
         "polls",
         "skipped",
+        "dense_steps",
+        "mode_switches",
     ];
     let sweep_rows: Vec<&&str> = lines
         .iter()

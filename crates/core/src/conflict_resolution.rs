@@ -46,13 +46,39 @@ impl FullResolution {
     /// Build for `n` stations and contention bound `k` (the schedule runs
     /// families `F₁ … F_⌈log k⌉`, cycled).
     pub fn new(n: u32, k: u32, provider: FamilyProvider) -> Self {
-        assert!(n >= 1);
-        assert!((1..=n).contains(&k), "k={k} outside 1..={n}");
-        let top = if k == 1 { 0 } else { log_n(u64::from(k)) };
+        let top = Self::top(n, k);
         FullResolution {
             n,
             k,
             schedule: Arc::new(DoublingSchedule::new(&provider, n, top)),
+        }
+    }
+
+    /// Like [`new`](Self::new), but the resolution schedule comes out of
+    /// `cache` — built once per `(n, k, provider)` per ensemble and shared
+    /// across runs, **including** the per-station position indices that the
+    /// resolver's success re-queries lean on.
+    pub fn cached(
+        n: u32,
+        k: u32,
+        provider: &FamilyProvider,
+        cache: &crate::cache::ConstructionCache,
+    ) -> Self {
+        let top = Self::top(n, k);
+        FullResolution {
+            n,
+            k,
+            schedule: cache.schedule(provider, n, top),
+        }
+    }
+
+    fn top(n: u32, k: u32) -> u32 {
+        assert!(n >= 1);
+        assert!((1..=n).contains(&k), "k={k} outside 1..={n}");
+        if k == 1 {
+            0
+        } else {
+            log_n(u64::from(k))
         }
     }
 

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod cache;
 pub mod certify;
 pub mod conflict_resolution;
 pub mod energy;
@@ -69,6 +70,7 @@ pub mod wakeup_with_k;
 pub mod wakeup_with_s;
 pub mod waking_matrix;
 
+pub use cache::ConstructionCache;
 pub use certify::{certify, search_certified_seed, Certificate, CertifyConfig};
 pub use conflict_resolution::{FullResolution, RetiringRoundRobin};
 pub use energy::EnergyCapped;
@@ -85,6 +87,7 @@ pub use waking_matrix::{MatrixParams, WakingMatrix};
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::baselines::LocalDoubling;
+    pub use crate::cache::ConstructionCache;
     pub use crate::certify::{certify, search_certified_seed, Certificate, CertifyConfig};
     pub use crate::conflict_resolution::{FullResolution, RetiringRoundRobin};
     pub use crate::energy::EnergyCapped;

@@ -34,16 +34,27 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct DoublingSchedule {
     cycle: selectors::schedule::CycleSchedule<selectors::schedule::ConcatSchedule<DynFamily>>,
+    /// Per-station [`PositionIndex`] memo, shared by every station (and —
+    /// when the schedule handle itself is shared through the construction
+    /// cache — every *run*) holding this schedule: the `O(period)` index
+    /// scan happens once per station per schedule instead of once per
+    /// station per run.
+    indices: std::sync::Mutex<std::collections::HashMap<u32, Arc<PositionIndex>>>,
 }
 
 impl DoublingSchedule {
     /// Build from `provider` the families `F₁ … F_top` (`top = 0` degenerates
     /// to the single trivial `(n,1)` family).
     pub fn new(provider: &FamilyProvider, n: u32, top: u32) -> Self {
+        DoublingSchedule::from_families(provider.doubling_sequence(n, top))
+    }
+
+    /// Build over an explicit (possibly cache-shared) family sequence.
+    pub fn from_families(families: Vec<DynFamily>) -> Self {
         use selectors::ScheduleExt;
-        let families = provider.doubling_sequence(n, top);
         DoublingSchedule {
             cycle: selectors::schedule::ConcatSchedule::new(families).cycle(),
+            indices: std::sync::Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -108,6 +119,31 @@ impl DoublingSchedule {
         let positions = (0..period).filter(|&p| self.transmits(u, p)).collect();
         PositionIndex { positions, period }
     }
+
+    /// Station `u`'s [`PositionIndex`] out of the schedule's interior memo:
+    /// built on first request (outside the lock), shared ever after. With a
+    /// cache-shared schedule handle this is what turns the per-run index
+    /// scans of the conflict-resolution resolvers into a once-per-ensemble
+    /// cost.
+    pub fn shared_index(&self, u: u32) -> Arc<PositionIndex> {
+        if let Some(idx) = self.indices.lock().unwrap().get(&u) {
+            return Arc::clone(idx);
+        }
+        let built = Arc::new(self.position_index(u));
+        let mut map = self.indices.lock().unwrap();
+        // A racing builder may have inserted meanwhile; both built the same
+        // deterministic index, so either handle is correct — share the one
+        // that landed.
+        Arc::clone(map.entry(u).or_insert(built))
+    }
+}
+
+/// The family-sequence height `⌈log n⌉` of the full doubling schedule the
+/// `s`-known protocols walk ([`SelectAmongFirst`],
+/// [`WakeupWithS`](crate::WakeupWithS)); validates `n ≥ 1`.
+pub(crate) fn full_doubling_top(n: u32) -> u32 {
+    assert!(n >= 1);
+    log_n(u64::from(n))
 }
 
 /// A per-station index over one period of a [`DoublingSchedule`]: the sorted
@@ -158,8 +194,10 @@ impl PositionIndex {
 pub(crate) struct NextPositionCache {
     /// Last linear-scan answer (`Some(None)` = provably never).
     memo: Option<Option<u64>>,
-    /// Per-station index, built lazily once the run outlives one period.
-    index: Option<PositionIndex>,
+    /// Per-station index handle, adopted lazily once the run outlives one
+    /// period — from the schedule's shared memo, so across runs of a
+    /// cache-shared schedule only the first run pays the `O(period)` scan.
+    index: Option<Arc<PositionIndex>>,
 }
 
 impl NextPositionCache {
@@ -176,7 +214,7 @@ impl NextPositionCache {
             // A hit not yet passed: the earlier scan proved silence up to it.
             Some(Some(q)) if q >= q0 => Some(q),
             _ if q0 >= schedule.period() => {
-                let idx = self.index.insert(schedule.position_index(u));
+                let idx = self.index.insert(schedule.shared_index(u));
                 idx.next_position(q0)
             }
             _ => {
@@ -199,12 +237,27 @@ pub struct SelectAmongFirst {
 impl SelectAmongFirst {
     /// Build for `n` stations with known first-wake-up slot `s`.
     pub fn new(n: u32, s: Slot, provider: FamilyProvider) -> Self {
-        assert!(n >= 1);
-        let top = log_n(u64::from(n));
+        let top = full_doubling_top(n);
         SelectAmongFirst {
             n,
             s,
             schedule: Arc::new(DoublingSchedule::new(&provider, n, top)),
+        }
+    }
+
+    /// Like [`new`](Self::new), but the doubling schedule comes out of
+    /// `cache` — built once per `(n, provider)` per ensemble and shared
+    /// across runs.
+    pub fn cached(
+        n: u32,
+        s: Slot,
+        provider: &FamilyProvider,
+        cache: &crate::cache::ConstructionCache,
+    ) -> Self {
+        SelectAmongFirst {
+            n,
+            s,
+            schedule: cache.schedule(provider, n, full_doubling_top(n)),
         }
     }
 

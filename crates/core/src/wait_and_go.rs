@@ -40,13 +40,40 @@ impl WaitAndGo {
     /// For `k = 1` the schedule degenerates to the trivial `(n,1)`-selective
     /// family (the full set): the single awake station transmits immediately.
     pub fn new(n: u32, k: u32, provider: FamilyProvider) -> Self {
-        assert!(n >= 1);
-        assert!((1..=n).contains(&k), "k={k} outside 1..={n}");
-        let top = if k == 1 { 0 } else { log_n(u64::from(k)) };
+        let top = Self::top(n, k);
         WaitAndGo {
             n,
             k,
             schedule: Arc::new(DoublingSchedule::new(&provider, n, top)),
+        }
+    }
+
+    /// Like [`new`](Self::new), but the doubling schedule (families,
+    /// offsets, per-station position indices) comes out of `cache` — built
+    /// once per `(n, k, provider)` per ensemble and shared across runs.
+    pub fn cached(
+        n: u32,
+        k: u32,
+        provider: &FamilyProvider,
+        cache: &crate::cache::ConstructionCache,
+    ) -> Self {
+        let top = Self::top(n, k);
+        WaitAndGo {
+            n,
+            k,
+            schedule: cache.schedule(provider, n, top),
+        }
+    }
+
+    /// The family-sequence height `⌈log k⌉` (0 for `k = 1`); validates
+    /// `1 ≤ k ≤ n`.
+    fn top(n: u32, k: u32) -> u32 {
+        assert!(n >= 1);
+        assert!((1..=n).contains(&k), "k={k} outside 1..={n}");
+        if k == 1 {
+            0
+        } else {
+            log_n(u64::from(k))
         }
     }
 

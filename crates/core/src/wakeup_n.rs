@@ -56,6 +56,12 @@ impl WakeupN {
         }
     }
 
+    /// Like [`new`](Self::new), but the waking matrix comes out of `cache` —
+    /// built once per parameter set per ensemble and shared across runs.
+    pub fn cached(params: MatrixParams, cache: &crate::cache::ConstructionCache) -> Self {
+        WakeupN::with_matrix(cache.matrix(params))
+    }
+
     /// Make stations restart the row walk after exhausting the matrix
     /// (liveness extension beyond the paper's protocol).
     pub fn with_restart(mut self, restart: bool) -> Self {

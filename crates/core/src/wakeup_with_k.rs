@@ -40,6 +40,23 @@ impl WakeupWithK {
         }
     }
 
+    /// Like [`new`](Self::new), but the wait-and-go schedule comes out of
+    /// `cache` — built once per `(n, k, provider)` per ensemble and shared
+    /// across runs.
+    pub fn cached(
+        n: u32,
+        k: u32,
+        provider: &FamilyProvider,
+        cache: &crate::cache::ConstructionCache,
+    ) -> Self {
+        let wag = WaitAndGo::cached(n, k, provider, cache);
+        WakeupWithK {
+            n,
+            k,
+            schedule: Arc::clone(wag.schedule()),
+        }
+    }
+
     /// The contention bound `k`.
     pub fn k(&self) -> u32 {
         self.k

@@ -13,7 +13,7 @@
 use crate::family_provider::FamilyProvider;
 use crate::select_among_first::{DoublingSchedule, NextPositionCache};
 use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
-use selectors::math::{log_n, next_congruent};
+use selectors::math::next_congruent;
 use std::sync::Arc;
 
 /// The Scenario A algorithm: round-robin ⊕ select-among-the-first.
@@ -27,12 +27,28 @@ pub struct WakeupWithS {
 impl WakeupWithS {
     /// Build for `n` stations with known first-wake-up slot `s`.
     pub fn new(n: u32, s: Slot, provider: FamilyProvider) -> Self {
-        assert!(n >= 1);
-        let top = log_n(u64::from(n));
+        let top = crate::select_among_first::full_doubling_top(n);
         WakeupWithS {
             n,
             s,
             schedule: Arc::new(DoublingSchedule::new(&provider, n, top)),
+        }
+    }
+
+    /// Like [`new`](Self::new), but the select-among-the-first schedule
+    /// comes out of `cache` — built once per `(n, provider)` per ensemble
+    /// and shared across runs.
+    pub fn cached(
+        n: u32,
+        s: Slot,
+        provider: &FamilyProvider,
+        cache: &crate::cache::ConstructionCache,
+    ) -> Self {
+        let top = crate::select_among_first::full_doubling_top(n);
+        WakeupWithS {
+            n,
+            s,
+            schedule: cache.schedule(provider, n, top),
         }
     }
 

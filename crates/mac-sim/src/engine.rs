@@ -4,7 +4,7 @@
 //! [`Simulator::run`] executes one wake-up pattern against one protocol:
 //!
 //! 1. stations are instantiated lazily at their wake-up slots;
-//! 2. the engine picks one of two execution paths:
+//! 2. the engine picks between two execution paths:
 //!    * **sparse** (the default whenever every awake station answers
 //!      [`Station::next_transmission`] with a concrete hint): a min-heap of
 //!      per-station due slots — hinted transmissions and hint-scope
@@ -23,9 +23,19 @@
 //!      [`SimConfig::engine`] forces it): every awake station is polled
 //!      ([`Station::act`]) every slot — the exact historical semantics;
 //!
-//!    both paths produce **identical** [`Outcome`]s and transcripts; only
-//!    [`Outcome::polls`] and [`Outcome::skipped_slots`] reveal which path
-//!    ran;
+//!    [`EngineMode::Auto`] is moreover **adaptive**: it tracks the *skip
+//!    yield* of the sparse path online (slots skipped per unit of heap and
+//!    hint work over a sliding cost window) and, when the heap stops paying
+//!    for itself — burst-shaped stretches where some station is due every
+//!    slot — drops into tight per-slot *dense stepping* for a bounded burst
+//!    window, re-probing sparsity at window expiry and at success events
+//!    (with exponential backoff while the probes keep failing). Bursts thus
+//!    run at dense speed while gaps keep the full sparse speedup.
+//!
+//!    All paths produce **identical** [`Outcome`]s and transcripts; only
+//!    the work counters ([`Outcome::polls`], [`Outcome::skipped_slots`],
+//!    [`Outcome::dense_steps`], [`Outcome::mode_switches`]) reveal which
+//!    path — and which adaptive schedule — ran;
 //! 3. each simulated slot, the channel resolves ([`SlotOutcome::resolve`])
 //!    and feedback is delivered under the configured [`FeedbackModel`];
 //! 4. the run ends at the **first successful slot** (the wake-up problem is
@@ -69,8 +79,10 @@ pub enum StopRule {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum EngineMode {
     /// Use the sparse slot-skipping path whenever every awake station
-    /// provides a [`TxHint`] and the stop rule allows it; otherwise fall
-    /// back to dense polling automatically (the default).
+    /// provides a [`TxHint`], adaptively dropping to per-slot dense
+    /// stepping on burst-shaped stretches where skipping yields nothing
+    /// (see the module docs); falls back to dense polling permanently when
+    /// any station answers [`TxHint::Dense`] (the default).
     #[default]
     Auto,
     /// Always poll every awake station every slot (the historical engine).
@@ -206,6 +218,20 @@ pub struct Outcome {
     /// stations are awake, [`silent_slots`](Outcome::silent_slots)) so
     /// outcomes are identical across paths.
     pub skipped_slots: u64,
+    /// Slots simulated by polling **every** awake station (per-slot dense
+    /// stepping): all slots of an [`EngineMode::Dense`] run, plus, under
+    /// [`EngineMode::Auto`], the slots the adaptive policy chose to step
+    /// densely — burst windows where the sparse heap was not paying for
+    /// itself, and everything after a [`TxHint::Dense`] fallback. Every
+    /// simulated slot is either skipped in bulk, dense-stepped, or a sparse
+    /// event (which polls at least one station), so
+    /// `skipped_slots + dense_steps ≤ slots_simulated ≤
+    /// skipped_slots + dense_steps + polls`.
+    pub dense_steps: u64,
+    /// Number of sparse↔dense transitions the adaptive [`EngineMode::Auto`]
+    /// policy made (0 on the pure paths: a run that never leaves the sparse
+    /// path, a forced-dense run, or a permanent [`TxHint::Dense`] fallback).
+    pub mode_switches: u64,
     /// Full transcript, if recording was enabled.
     pub transcript: Option<Transcript>,
     /// Stations that transmitted successfully at least once, with the slot
@@ -268,6 +294,93 @@ impl HintState {
     }
 }
 
+/// Cost of one [`Station::next_transmission`] query relative to one
+/// [`Station::act`] poll, in the adaptive policy's cost model. Hint queries
+/// scan schedules (PRF gap jumps, position walks) and are typically several
+/// times the cost of a poll.
+const HINT_COST: u64 = 3;
+/// What one dense-stepped slot costs per awake station in the same units:
+/// one poll plus one feedback delivery.
+const DENSE_SLOT_COST: u64 = 2;
+/// The policy evaluates the skip yield every time this much sparse work
+/// (polls + weighted hint queries) has accumulated since the window start.
+const EVAL_COST: u64 = 64;
+/// Minimum skippable gap (in slots) a re-probe must see ahead to resume the
+/// sparse path; anything closer and the heap would be churning again within
+/// a few slots. Also the wake-time burst test: a batch arrival whose
+/// earliest obligation is due within this gap has nothing to skip.
+const RESUME_GAP: u64 = 4;
+
+/// The adaptive sparse↔dense policy of [`EngineMode::Auto`]: a sliding cost
+/// window over the sparse path's work, compared against what dense stepping
+/// would have cost over the same simulated slots.
+#[derive(Clone, Copy, Debug)]
+struct Adaptive {
+    /// Sparse work (polls + `HINT_COST`·hint queries) since the window
+    /// started.
+    win_cost: u64,
+    /// `slots_simulated` at the window start.
+    win_start: u64,
+    /// Current dense burst-window length in slots (doubled while re-probes
+    /// keep failing, reset when a probe finds a skippable gap).
+    burst_len: u64,
+    /// Slots left in the active burst window (meaningful in dense stepping).
+    burst_remaining: u64,
+}
+
+impl Adaptive {
+    fn new() -> Self {
+        Adaptive {
+            win_cost: 0,
+            win_start: 0,
+            burst_len: 0,
+            burst_remaining: 0,
+        }
+    }
+
+    /// Evaluate the window: `true` iff the sparse path has done more work
+    /// over the window than dense stepping would have
+    /// (`DENSE_SLOT_COST · awake` per slot) — time to drop into a burst
+    /// window. A window that passes the yield test resets so old gaps
+    /// cannot subsidize a later burst forever.
+    fn should_burst(&mut self, slots_now: u64, awake: usize) -> bool {
+        if self.win_cost < EVAL_COST {
+            return false;
+        }
+        let win_slots = (slots_now - self.win_start).max(1);
+        if self.win_cost > DENSE_SLOT_COST * awake as u64 * win_slots {
+            true
+        } else {
+            self.win_cost = 0;
+            self.win_start = slots_now;
+            false
+        }
+    }
+
+    /// Start (or restart) a dense burst window sized to the floor: long
+    /// enough to amortize the k hint queries a re-probe costs.
+    fn start_burst(&mut self, awake: usize) {
+        self.burst_len = (4 * awake as u64).max(64);
+        self.burst_remaining = self.burst_len;
+    }
+
+    /// A re-probe failed (no skippable gap ahead): stay dense for a doubled
+    /// window, capped so sparsity is still re-tested periodically.
+    fn backoff(&mut self, awake: usize) {
+        let cap = (64 * awake as u64).max(4096);
+        self.burst_len = (self.burst_len * 2).clamp(64, cap);
+        self.burst_remaining = self.burst_len;
+    }
+
+    /// A re-probe succeeded: back to the sparse path with a fresh window.
+    fn resume_sparse(&mut self, slots_now: u64) {
+        self.win_cost = 0;
+        self.win_start = slots_now;
+        self.burst_len = 0;
+        self.burst_remaining = 0;
+    }
+}
+
 /// The simulator. Stateless between runs; holds only the configuration.
 #[derive(Clone, Debug)]
 pub struct Simulator {
@@ -319,6 +432,8 @@ impl Simulator {
         let mut slots_simulated = 0u64;
         let mut polls = 0u64;
         let mut skipped_slots = 0u64;
+        let mut dense_steps = 0u64;
+        let mut mode_switches = 0u64;
         let mut transmitters: Vec<StationId> = Vec::new();
         let mut transmitted_flags: Vec<bool> = Vec::new();
         let mut resolved: Vec<(StationId, Slot)> = Vec::new();
@@ -326,8 +441,12 @@ impl Simulator {
         let total_stations = wakes.len();
 
         // Sparse until any station answers TxHint::Dense (or a malformed
-        // scope), which flips this off permanently for the run.
+        // scope), which locks dense polling permanently, or until the
+        // adaptive policy drops into a dense burst window (from which a
+        // re-probe can return to sparse).
         let mut sparse = self.cfg.engine == EngineMode::Auto;
+        let mut locked = self.cfg.engine == EngineMode::Dense;
+        let mut policy = Adaptive::new();
         // Min-heap of (due slot, index into `awake`, hint epoch). A station
         // has at most one *live* entry: re-querying bumps its hint epoch,
         // and entries whose epoch is stale are discarded lazily on pop.
@@ -343,8 +462,9 @@ impl Simulator {
         let mut requery: Vec<usize> = Vec::new();
 
         /// Ask station `idx` for a fresh hint looking from `after` and
-        /// install it (heap entry + scope flags). Returns `false` when the
-        /// answer forces the dense path.
+        /// install it (heap entry + scope flags). Returns the due slot of
+        /// the installed heap entry (`None` for an unconditional silence
+        /// promise), or `Err(())` when the answer forces the dense path.
         fn arm(
             station: &mut dyn Station,
             idx: usize,
@@ -352,13 +472,13 @@ impl Simulator {
             heap: &mut BinaryHeap<Reverse<(Slot, usize, u64)>>,
             states: &mut [HintState],
             scoped: &mut Vec<usize>,
-        ) -> bool {
+        ) -> Result<Option<Slot>, ()> {
             let hint = station.next_transmission(after);
             let st = &mut states[idx];
             st.epoch += 1; // supersede any live heap entry
             let was_scoped = st.success_scoped;
             let (entry, now_scoped) = match hint {
-                TxHint::Dense => return false,
+                TxHint::Dense => return Err(()),
                 TxHint::At(slot, until) => {
                     let slot = slot.max(after);
                     match until {
@@ -367,7 +487,7 @@ impl Simulator {
                         // A validity boundary at or before `after` carries
                         // no silence claim at all: fall back to dense
                         // rather than trust it (correctness first).
-                        Until::Slot(tb) if tb <= after => return false,
+                        Until::Slot(tb) if tb <= after => return Err(()),
                         Until::Slot(tb) if slot < tb => (Some((Due::Poll, slot)), false),
                         Until::Slot(tb) => (Some((Due::Requery, tb)), false),
                     }
@@ -375,7 +495,7 @@ impl Simulator {
                 TxHint::Never(until) => match until {
                     Until::Forever => (None, false),
                     Until::NextSuccess => (None, true),
-                    Until::Slot(tb) if tb <= after => return false,
+                    Until::Slot(tb) if tb <= after => return Err(()),
                     Until::Slot(tb) => (Some((Due::Requery, tb)), false),
                 },
             };
@@ -383,11 +503,27 @@ impl Simulator {
             if now_scoped && !was_scoped {
                 scoped.push(idx);
             }
+            let due_slot = entry.map(|(_, slot)| slot);
             if let Some((due, slot)) = entry {
                 st.due = due;
                 heap.push(Reverse((slot, idx, st.epoch)));
             }
-            true
+            Ok(due_slot)
+        }
+
+        /// Drop from the sparse path into a dense burst window: discard the
+        /// heap and success-scope bookkeeping (a later re-probe rebuilds
+        /// both from fresh hints).
+        fn clear_sparse_state(
+            heap: &mut BinaryHeap<Reverse<(Slot, usize, u64)>>,
+            states: &mut [HintState],
+            scoped: &mut Vec<usize>,
+        ) {
+            heap.clear();
+            for st in states.iter_mut() {
+                st.success_scoped = false;
+            }
+            scoped.clear();
         }
 
         // Append `count` silent-slot records starting at `from`.
@@ -406,26 +542,66 @@ impl Simulator {
         let mut t = s;
         'slots: while slots_simulated < self.cfg.max_slots {
             // Wake newly arriving stations (wakes are sorted by slot).
+            let batch_start = awake.len();
             while next_wake < wakes.len() && wakes[next_wake].1 <= t {
                 let (id, sigma) = wakes[next_wake];
                 let mut station = protocol.station(id, derive_seed(run_seed, u64::from(id.0)));
                 station.wake(sigma);
                 hint_states.push(HintState::new());
-                if sparse
-                    && !arm(
+                if sparse {
+                    policy.win_cost += HINT_COST;
+                    match arm(
                         station.as_mut(),
                         awake.len(),
                         t,
                         &mut heap,
                         &mut hint_states,
                         &mut success_scoped,
-                    )
-                {
-                    sparse = false;
-                    heap.clear();
+                    ) {
+                        Err(()) => {
+                            sparse = false;
+                            locked = true;
+                            heap.clear();
+                        }
+                        // Wake-time burst detection, short-circuited: a
+                        // *batch* arrival (≥ 2 stations this slot) whose
+                        // member is due immediately has nothing to skip —
+                        // drop straight into dense stepping instead of
+                        // paying hint queries for the rest of the batch.
+                        Ok(Some(due))
+                            if due <= t + 1
+                                && (awake.len() > batch_start
+                                    || wakes.get(next_wake + 1).is_some_and(|&(_, w)| w <= t)) =>
+                        {
+                            sparse = false;
+                            mode_switches += 1;
+                            policy.start_burst(awake.len() + 1);
+                            clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
+                        }
+                        Ok(_) => {}
+                    }
                 }
                 awake.push((id, station, 0));
                 next_wake += 1;
+            }
+            // Full-batch burst test: after a batch arrival, if the earliest
+            // live obligation in the heap is due within RESUME_GAP slots,
+            // the heap has nothing to skip right now — run the burst dense.
+            if sparse && awake.len() - batch_start >= 2 {
+                while let Some(&Reverse((_, idx, epoch))) = heap.peek() {
+                    if hint_states[idx].epoch == epoch {
+                        break;
+                    }
+                    heap.pop();
+                }
+                if let Some(&Reverse((due, _, _))) = heap.peek() {
+                    if due < t + RESUME_GAP {
+                        sparse = false;
+                        mode_switches += 1;
+                        policy.start_burst(awake.len());
+                        clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
+                    }
+                }
             }
 
             // Fast-forward: if nobody is awake, jump to the next wake-up —
@@ -522,15 +698,19 @@ impl Simulator {
                         break;
                     }
                     for &idx in &requery {
-                        if !arm(
+                        policy.win_cost += HINT_COST;
+                        if arm(
                             awake[idx].1.as_mut(),
                             idx,
                             t,
                             &mut heap,
                             &mut hint_states,
                             &mut success_scoped,
-                        ) {
+                        )
+                        .is_err()
+                        {
                             sparse = false;
+                            locked = true;
                             heap.clear();
                             break;
                         }
@@ -545,12 +725,21 @@ impl Simulator {
                 if polled.is_empty() {
                     // Pure re-query event: nobody claimed a transmission at
                     // t after all, so the slot joins the next silent gap
-                    // instead of being simulated individually.
+                    // instead of being simulated individually. Re-query
+                    // storms still count as sparse work, so a protocol that
+                    // calls back every slot trips the yield test too.
+                    if policy.should_burst(slots_simulated, awake.len()) {
+                        sparse = false;
+                        mode_switches += 1;
+                        policy.start_burst(awake.len());
+                        clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
+                    }
                     continue 'slots;
                 }
 
                 // Transmission event at t: poll exactly the scheduled
                 // stations (everyone else is silent by promise).
+                policy.win_cost += polled.len() as u64;
                 for &idx in &polled {
                     let (id, station, tx_count) = &mut awake[idx];
                     polls += 1;
@@ -616,20 +805,31 @@ impl Simulator {
                     requery.sort_unstable();
                     requery.dedup();
                     for &idx in &requery {
-                        if !arm(
+                        if arm(
                             awake[idx].1.as_mut(),
                             idx,
                             t + 1,
                             &mut heap,
                             &mut hint_states,
                             &mut success_scoped,
-                        ) {
+                        )
+                        .is_err()
+                        {
                             sparse = false;
+                            locked = true;
                             heap.clear();
                             break;
                         }
                     }
 
+                    // A success reshapes the hint landscape (retirement,
+                    // rescheduling): restart the yield observation window
+                    // rather than letting pre-success burstiness linger —
+                    // and the broadcast re-arms above are the mandatory
+                    // price of the event, not per-slot overhead, so they
+                    // are not charged to the window either.
+                    policy.win_cost = 0;
+                    policy.win_start = slots_simulated;
                     t += 1;
                     continue 'slots;
                 }
@@ -651,20 +851,30 @@ impl Simulator {
                 // Re-arm the polled stations' hints (their entries were
                 // consumed); nothing else was invalidated.
                 for &idx in &polled {
-                    if !arm(
+                    policy.win_cost += HINT_COST;
+                    if arm(
                         awake[idx].1.as_mut(),
                         idx,
                         t + 1,
                         &mut heap,
                         &mut hint_states,
                         &mut success_scoped,
-                    ) {
+                    )
+                    .is_err()
+                    {
                         sparse = false;
+                        locked = true;
                         heap.clear();
                         break;
                     }
                 }
 
+                if sparse && policy.should_burst(slots_simulated, awake.len()) {
+                    sparse = false;
+                    mode_switches += 1;
+                    policy.start_burst(awake.len());
+                    clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
+                }
                 t += 1;
                 continue 'slots;
             }
@@ -694,6 +904,7 @@ impl Simulator {
             }
 
             slots_simulated += 1;
+            dense_steps += 1;
             match &outcome {
                 SlotOutcome::Success(w) => {
                     if first_success.is_none() {
@@ -732,6 +943,62 @@ impl Simulator {
             }
 
             t += 1;
+
+            // Adaptive burst window bookkeeping (never when dense is locked
+            // by EngineMode::Dense or a TxHint::Dense answer): at window
+            // expiry — and early at success events, which reshape the hint
+            // landscape (retirement) — re-probe whether sparsity pays again.
+            if !locked {
+                policy.burst_remaining = policy.burst_remaining.saturating_sub(1);
+                let success = matches!(outcome, SlotOutcome::Success(_));
+                if policy.burst_remaining == 0 || success {
+                    // Re-query every awake station for a fresh hint from t.
+                    clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
+                    let mut hints_ok = true;
+                    for (idx, (_, station, _)) in awake.iter_mut().enumerate() {
+                        if arm(
+                            station.as_mut(),
+                            idx,
+                            t,
+                            &mut heap,
+                            &mut hint_states,
+                            &mut success_scoped,
+                        )
+                        .is_err()
+                        {
+                            hints_ok = false;
+                            break;
+                        }
+                    }
+                    if !hints_ok {
+                        locked = true;
+                        heap.clear();
+                    } else {
+                        while let Some(&Reverse((_, idx, epoch))) = heap.peek() {
+                            if hint_states[idx].epoch == epoch {
+                                break;
+                            }
+                            heap.pop();
+                        }
+                        let next_due = heap.peek().map(|&Reverse((slot, _, _))| slot);
+                        let next_arrival = wakes.get(next_wake).map(|&(_, sigma)| sigma);
+                        let event = match (next_due, next_arrival) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                        // Resume sparse only when there is an actual gap to
+                        // skip (or provable silence to the cap).
+                        if event.is_none_or(|e| e >= t + RESUME_GAP) {
+                            sparse = true;
+                            mode_switches += 1;
+                            policy.resume_sparse(slots_simulated);
+                        } else {
+                            policy.backoff(awake.len());
+                            heap.clear();
+                        }
+                    }
+                }
+            }
         }
 
         Ok(Outcome {
@@ -745,6 +1012,8 @@ impl Simulator {
             silent_slots,
             polls,
             skipped_slots,
+            dense_steps,
+            mode_switches,
             transcript,
             resolved,
             all_resolved_at,
@@ -1350,11 +1619,15 @@ mod tests {
         assert_eq!(auto.transcript, dense.transcript);
         assert_eq!(auto.transmissions, dense.transmissions);
         assert_eq!(auto.slots_simulated, dense.slots_simulated);
-        // The sparse path engaged: all silent gaps between the three turns
-        // were skipped, and only the three scheduled slots were polled.
+        // The sparse path carried the run: all long silent gaps between the
+        // turns were skipped and polling collapsed versus dense. (The
+        // adaptive policy may dense-step the first contested slots — station
+        // 5's turn is two slots after the batch wake — before the success
+        // re-probe resumes sparse; the work counters account for it.)
         assert!(auto.skipped_slots > 0, "sparse path did not engage");
-        assert_eq!(auto.polls, 3);
         assert!(dense.polls > 10 * auto.polls);
+        assert!(auto.skipped_slots + auto.dense_steps <= auto.slots_simulated);
+        assert!(auto.skipped_slots + auto.dense_steps + auto.polls >= auto.slots_simulated);
     }
 
     /// A station that stays silent until it hears *any* success, then

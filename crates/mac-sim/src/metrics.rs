@@ -58,6 +58,12 @@ pub struct OutcomeDigest {
     pub polls: u64,
     /// Slots advanced in bulk by the sparse engine (`Outcome::skipped_slots`).
     pub skipped: u64,
+    /// Slots stepped densely — every awake station polled
+    /// (`Outcome::dense_steps`).
+    pub dense_steps: u64,
+    /// Sparse↔dense transitions of the adaptive engine policy
+    /// (`Outcome::mode_switches`).
+    pub mode_switches: u64,
     /// Total transmissions (the energy cost).
     pub transmissions: u64,
     /// Maximum transmissions by any single station.
@@ -74,6 +80,8 @@ impl OutcomeDigest {
             slots: out.slots_simulated,
             polls: out.polls,
             skipped: out.skipped_slots,
+            dense_steps: out.dense_steps,
+            mode_switches: out.mode_switches,
             transmissions: out.transmissions,
             max_station_tx: out
                 .per_station_tx
@@ -170,6 +178,8 @@ mod tests {
             silent_slots: slots - collisions,
             polls: slots,
             skipped_slots: 0,
+            dense_steps: slots,
+            mode_switches: 0,
             transcript: None,
             resolved: latency
                 .map(|l| (StationId(0), 10 + l))

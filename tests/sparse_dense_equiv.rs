@@ -8,6 +8,17 @@
 //! With epoch-scoped hints this covers the feedback-reactive protocols too:
 //! `StopRule::AllResolved` runs (retirement on own success) execute sparse
 //! via `Until::NextSuccess` hints and must still match dense bit for bit.
+//!
+//! The **adaptive hybrid policy** of `EngineMode::Auto` (dense stepping on
+//! burst-shaped stretches, wake-time batch detection, success re-probes) is
+//! covered by the same properties: every sparse↔dense transition the policy
+//! makes mid-run must leave the transcript bit-identical, and the work
+//! counters must account for every slot —
+//! `skipped_slots + dense_steps ≤ slots_simulated ≤
+//! skipped_slots + dense_steps + polls` (each remaining slot is a sparse
+//! event, which polls at least one station). Protocol constructions pulled
+//! from a shared `ConstructionCache` are part of the zoo, so handle sharing
+//! across runs is pinned against dense too.
 
 use mac_sim::engine::StopRule;
 use mac_wakeup::prelude::*;
@@ -100,6 +111,36 @@ fn assert_equivalent_under(
         auto.polls,
         dense.polls
     );
+    // Slot accounting under the hybrid policy: every simulated slot is
+    // either skipped in bulk, dense-stepped, or a sparse event (≥ 1 poll).
+    assert!(
+        auto.skipped_slots + auto.dense_steps <= auto.slots_simulated,
+        "overcounted slots: {ctx}"
+    );
+    assert!(
+        auto.slots_simulated <= auto.skipped_slots + auto.dense_steps + auto.polls,
+        "unaccounted slots ({} simulated, {} skipped, {} dense, {} polls): {ctx}",
+        auto.slots_simulated,
+        auto.skipped_slots,
+        auto.dense_steps,
+        auto.polls
+    );
+    // The forced-dense reference steps every non-dead-air slot densely and
+    // never runs the adaptive policy.
+    assert_eq!(
+        dense.dense_steps + dense.skipped_slots,
+        dense.slots_simulated,
+        "dense accounting: {ctx}"
+    );
+    assert_eq!(dense.mode_switches, 0, "dense switched modes: {ctx}");
+}
+
+/// The shared construction cache behind the `cached` zoo members: one per
+/// test process, so repeated runs genuinely share schedule handles (and
+/// their interior position indices) the way a cached ensemble does.
+fn shared_cache() -> &'static ConstructionCache {
+    static CACHE: std::sync::OnceLock<ConstructionCache> = std::sync::OnceLock::new();
+    CACHE.get_or_init(ConstructionCache::new)
 }
 
 /// The deterministic protocol zoo exercised by every equivalence case.
@@ -131,6 +172,19 @@ fn protocols(n: u32, pattern: &WakePattern, seed: u64) -> Vec<Box<dyn Protocol>>
         Box::new(EnergyCapped::new(RoundRobin::new(n), 1)),
         // Randomized: hints are declined, so Auto must silently equal Dense.
         Box::new(Rpd::new(n)),
+        // Cache-shared constructions: identical schedules, shared handles.
+        Box::new(WakeupWithK::cached(
+            n,
+            pattern.k() as u32,
+            &FamilyProvider::random_with_seed(seed),
+            shared_cache(),
+        )),
+        Box::new(WakeupWithS::cached(
+            n,
+            pattern.s(),
+            &FamilyProvider::random_with_seed(seed),
+            shared_cache(),
+        )),
     ]
 }
 
@@ -146,6 +200,12 @@ fn retiring_protocols(n: u32, seed: u64) -> Vec<Box<dyn Protocol>> {
         )),
         Box::new(RetiringRoundRobin::new(n)),
         Box::new(EnergyCapped::new(RetiringRoundRobin::new(n), 2)),
+        Box::new(FullResolution::cached(
+            n,
+            (n / 4).max(1),
+            &FamilyProvider::random_with_seed(seed),
+            shared_cache(),
+        )),
     ]
 }
 
@@ -168,8 +228,51 @@ proptest! {
         pattern in arb_pattern(64),
         seed in 0u64..1_000,
     ) {
-        for protocol in protocols(64, &pattern, seed) {
-            assert_equivalent(64, protocol.as_ref(), &pattern, seed, None);
+        // The whole zoo × both feedback models: the hybrid policy's mode
+        // switches must be invisible in the observables under either model.
+        for fb in [FeedbackModel::NoCollisionDetection, FeedbackModel::CollisionDetection] {
+            for protocol in protocols(64, &pattern, seed) {
+                assert_equivalent_under(
+                    64,
+                    protocol.as_ref(),
+                    &pattern,
+                    seed,
+                    None,
+                    StopRule::FirstSuccess,
+                    fb,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_bursts_equal_dense_on_batch_patterns(
+        k in 2u32..8,
+        s in 0u64..64,
+        seed in 0u64..1_000,
+    ) {
+        // Simultaneous batch wakes are the shape the adaptive policy
+        // dense-steps (wake-time burst detection): equivalence must hold
+        // across the zoo exactly there, where sparse↔dense transitions are
+        // most likely.
+        let n = 64u32;
+        let ids: Vec<StationId> = (0..k).map(|i| StationId(i * (n / 8))).collect();
+        let pattern = WakePattern::simultaneous(&ids, s).expect("distinct ids");
+        for protocol in protocols(n, &pattern, seed) {
+            assert_equivalent(n, protocol.as_ref(), &pattern, seed, None);
+        }
+        for fb in [FeedbackModel::NoCollisionDetection, FeedbackModel::CollisionDetection] {
+            for protocol in retiring_protocols(n, seed) {
+                assert_equivalent_under(
+                    n,
+                    protocol.as_ref(),
+                    &pattern,
+                    seed,
+                    Some(20_000),
+                    StopRule::AllResolved,
+                    fb,
+                );
+            }
         }
     }
 
@@ -322,12 +425,13 @@ fn komlos_greenberg_all_resolved_runs_on_the_sparse_path() {
 }
 
 #[test]
-fn scenario_c_waking_matrix_runs_on_the_sparse_path() {
-    // Acceptance: a Scenario C run over the waking matrix must execute
-    // sparse through the per-row PRF jumps — no TxHint::Dense fallback.
+fn scenario_c_staggered_runs_on_the_sparse_path() {
+    // Acceptance: a gap-heavy Scenario C run over the waking matrix must
+    // execute sparse through the per-row PRF jumps — no TxHint::Dense
+    // fallback and no adaptive dense takeover of the silent stretches.
     let n = 4096u32;
     let ids: Vec<StationId> = (0..8u32).map(|i| StationId(i * 500 + 17)).collect();
-    let pattern = WakePattern::simultaneous(&ids, 11).unwrap();
+    let pattern = WakePattern::staggered(&ids, 3, 997).unwrap();
     let protocol = WakeupN::new(MatrixParams::new(n));
     let cfg = SimConfig::new(n).with_transcript();
     let auto = Simulator::new(cfg.clone())
@@ -347,6 +451,85 @@ fn scenario_c_waking_matrix_runs_on_the_sparse_path() {
         auto.polls,
         dense.polls
     );
+}
+
+#[test]
+fn scenario_c_simultaneous_burst_dense_steps_adaptively() {
+    // Acceptance for the hybrid engine: the simultaneous Scenario C burst —
+    // success lands a few slots after the window boundary, so there is
+    // nothing to skip — must be detected at wake time and run at dense
+    // speed (dense stepping, no per-slot hint churn), with an outcome
+    // bit-identical to the forced-dense reference.
+    let n = 4096u32;
+    let ids: Vec<StationId> = (0..8u32).map(|i| StationId(i * 500 + 17)).collect();
+    let pattern = WakePattern::simultaneous(&ids, 11).unwrap();
+    let protocol = WakeupN::new(MatrixParams::new(n));
+    let cfg = SimConfig::new(n).with_transcript();
+    let auto = Simulator::new(cfg.clone())
+        .run(&protocol, &pattern, 0)
+        .unwrap();
+    let dense = Simulator::new(cfg.with_engine(EngineMode::Dense))
+        .run(&protocol, &pattern, 0)
+        .unwrap();
+    assert!(auto.solved());
+    assert_eq!(auto.transcript, dense.transcript);
+    assert!(
+        auto.mode_switches > 0,
+        "adaptive policy never engaged on the burst"
+    );
+    assert!(
+        auto.dense_steps > 0,
+        "burst slots were not dense-stepped (polls {}, skipped {})",
+        auto.polls,
+        auto.skipped_slots
+    );
+    // Dense stepping means the engine does no more polling than the dense
+    // reference over the stepped slots.
+    assert!(auto.polls <= dense.polls);
+}
+
+#[test]
+fn mid_run_yield_collapse_triggers_dense_stepping() {
+    // Two stations whose first obligation is far away (slot 100, so the
+    // wake-time batch detection sees a skippable gap and stays sparse) that
+    // then collide every slot: the windowed yield tracker must notice the
+    // zero-gap event stream and drop to dense stepping mid-run — with
+    // observables identical to forced dense.
+    struct LateJammerStation;
+    impl mac_sim::Station for LateJammerStation {
+        fn wake(&mut self, _s: Slot) {}
+        fn act(&mut self, t: Slot) -> mac_sim::Action {
+            mac_sim::Action::from_bool(t >= 100)
+        }
+        fn next_transmission(&mut self, after: Slot) -> mac_sim::TxHint {
+            mac_sim::TxHint::at(after.max(100))
+        }
+    }
+    struct LateJammer;
+    impl Protocol for LateJammer {
+        fn station(&self, _id: StationId, _seed: u64) -> Box<dyn mac_sim::Station> {
+            Box::new(LateJammerStation)
+        }
+        fn name(&self) -> String {
+            "late-jammer".into()
+        }
+    }
+    let pattern = WakePattern::simultaneous(&[StationId(0), StationId(1)], 0).unwrap();
+    let cfg = SimConfig::new(4).with_max_slots(300).with_transcript();
+    let auto = Simulator::new(cfg.clone())
+        .run(&LateJammer, &pattern, 0)
+        .unwrap();
+    let dense = Simulator::new(cfg.with_engine(EngineMode::Dense))
+        .run(&LateJammer, &pattern, 0)
+        .unwrap();
+    assert_eq!(auto.transcript, dense.transcript);
+    assert_eq!(auto.collisions, dense.collisions);
+    assert!(
+        auto.mode_switches > 0,
+        "yield collapse never triggered dense stepping"
+    );
+    assert!(auto.dense_steps > 100, "dense_steps {}", auto.dense_steps);
+    assert!(auto.skipped_slots + auto.dense_steps <= auto.slots_simulated);
 }
 
 #[test]
