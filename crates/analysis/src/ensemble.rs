@@ -27,7 +27,9 @@
 //! on a fixed pattern would measure the same run `R` times).
 
 use mac_sim::metrics::{EnergyStats, LatencySample, OutcomeDigest};
-use mac_sim::{EngineMode, FeedbackModel, Protocol, SimConfig, Simulator, WakePattern};
+use mac_sim::{
+    EngineMode, FeedbackModel, PopulationMode, Protocol, SimConfig, Simulator, WakePattern,
+};
 use std::time::Duration;
 use wakeup_core::ConstructionCache;
 use wakeup_runner::collect::from_fn;
@@ -54,6 +56,14 @@ pub struct EnsembleSpec {
     /// protocol allows; [`EngineMode::Dense`] forces per-slot polling, e.g.
     /// for speedup measurements).
     pub engine: EngineMode,
+    /// Station representation ([`PopulationMode::Concrete`] boxes one
+    /// station per id; [`PopulationMode::Classes`] aggregates wake batches
+    /// into equivalence classes — memory O(classes), the mega-n path).
+    pub population: PopulationMode,
+    /// Materialize per-station transmission counts (`Outcome::per_station_tx`).
+    /// Off for mega-n sweeps where an O(n) vector per run defeats the
+    /// class engine's O(classes) memory.
+    pub per_station_detail: bool,
     /// Live progress reporting for long sweeps (`None`: silent).
     pub progress: Option<Progress>,
 }
@@ -71,6 +81,8 @@ impl EnsembleSpec {
                 .map(|p| p.get())
                 .unwrap_or(4),
             engine: EngineMode::Auto,
+            population: PopulationMode::default(),
+            per_station_detail: true,
             progress: None,
         }
     }
@@ -105,6 +117,26 @@ impl EnsembleSpec {
         self
     }
 
+    /// Override the station representation.
+    pub fn with_population(mut self, population: PopulationMode) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Aggregate wake batches into equivalence classes
+    /// ([`PopulationMode::Classes`]).
+    pub fn with_classes(mut self) -> Self {
+        self.population = PopulationMode::Classes;
+        self
+    }
+
+    /// Skip per-station transmission counts — required for mega-n class
+    /// sweeps to keep per-run memory O(classes).
+    pub fn without_per_station_detail(mut self) -> Self {
+        self.per_station_detail = false;
+        self
+    }
+
     /// Report progress (runs/s, steals) to stderr roughly every `every`.
     pub fn with_progress(mut self, every: Duration, label: impl Into<String>) -> Self {
         self.progress = Some(Progress::new(every, label));
@@ -127,9 +159,13 @@ impl EnsembleSpec {
     fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::new(self.n)
             .with_feedback(self.feedback)
-            .with_engine(self.engine);
+            .with_engine(self.engine)
+            .with_population(self.population);
         if let Some(cap) = self.max_slots {
             cfg = cfg.with_max_slots(cap);
+        }
+        if !self.per_station_detail {
+            cfg = cfg.without_per_station_detail();
         }
         cfg
     }
@@ -162,6 +198,11 @@ pub struct WorkStats {
     /// Total sparse↔dense transitions of the adaptive engine policy
     /// (`Outcome::mode_switches` summed over runs).
     pub mode_switches: u64,
+    /// Maximum simultaneous simulation units of any single run
+    /// (`Outcome::peak_units` maxed over runs) — the memory proxy of the
+    /// class-aggregated engine: `k` under concrete populations, the class
+    /// count under [`PopulationMode::Classes`].
+    pub peak_units: u64,
 }
 
 impl WorkStats {
@@ -172,6 +213,7 @@ impl WorkStats {
         self.skipped += out.skipped_slots;
         self.dense_steps += out.dense_steps;
         self.mode_switches += out.mode_switches;
+        self.peak_units = self.peak_units.max(out.peak_units);
     }
 
     /// Fold one outcome digest into the counters.
@@ -181,16 +223,19 @@ impl WorkStats {
         self.skipped += d.skipped;
         self.dense_steps += d.dense_steps;
         self.mode_switches += d.mode_switches;
+        self.peak_units = self.peak_units.max(d.peak_units);
     }
 
     /// Merge another accumulator (e.g. per-ensemble stats into a per-table
-    /// total).
+    /// total). All fields are associative (sums and a max), so partial
+    /// accumulators merge in any grouping without changing the result.
     pub fn merge(&mut self, other: &WorkStats) {
         self.slots += other.slots;
         self.polls += other.polls;
         self.skipped += other.skipped;
         self.dense_steps += other.dense_steps;
         self.mode_switches += other.mode_switches;
+        self.peak_units = self.peak_units.max(other.peak_units);
     }
 
     /// Polls per covered slot — `≈ k` on the dense path, `≪ 1` when the
@@ -228,7 +273,7 @@ impl WorkStats {
 
     /// The counters as a machine-readable [`Record`](crate::serial::Record)
     /// with stable field names (`slots`, `polls`, `skipped`, `dense_steps`,
-    /// `mode_switches`). Deterministic: all five fold in seed order.
+    /// `mode_switches`, `peak_units`). Deterministic: all fold in seed order.
     pub fn record(&self) -> crate::serial::Record {
         crate::serial::Record::new()
             .with("slots", self.slots)
@@ -236,6 +281,7 @@ impl WorkStats {
             .with("skipped", self.skipped)
             .with("dense_steps", self.dense_steps)
             .with("mode_switches", self.mode_switches)
+            .with("peak_units", self.peak_units)
     }
 }
 
@@ -324,19 +370,24 @@ impl EnsembleSummary {
         }
     }
 
-    fn absorb(&mut self, d: &OutcomeDigest) {
-        self.runs += 1;
-        if let Some(l) = d.sample.solved() {
-            self.solved += 1;
+    /// Fold one worker pre-folded batch partial, in seed order. Integer
+    /// aggregates merge associatively; the solved latencies replay here one
+    /// by one, so the floating-point accumulators see exactly the sequence
+    /// a sequential run would feed them — bit-identical across thread
+    /// counts and batch boundaries.
+    fn absorb_partial(&mut self, p: StreamPartial) {
+        self.runs += p.runs;
+        self.solved += p.solved;
+        self.worst = self.worst.max(p.worst);
+        self.energy.merge(&p.energy);
+        self.work.merge(&p.work);
+        for l in p.solved_latencies {
             let l = l as f64;
             self.latency.push(l);
             self.sketch_p50.push(l);
             self.sketch_p90.push(l);
             self.sketch_p99.push(l);
         }
-        self.worst = self.worst.max(d.sample.pessimistic());
-        self.energy.absorb_digest(d);
-        self.work.absorb_digest(d);
     }
 
     /// Number of censored (cap-hit) runs.
@@ -408,6 +459,7 @@ impl EnsembleSummary {
             .with("skipped", self.work.skipped)
             .with("dense_steps", self.work.dense_steps)
             .with("mode_switches", self.work.mode_switches)
+            .with("peak_units", self.work.peak_units)
     }
 }
 
@@ -462,11 +514,44 @@ where
     }
 }
 
+/// Worker-side pre-fold of one batch of digests (the payload of
+/// [`Runner::run_folded`]): everything that merges associatively — integer
+/// sums, counts, maxima — is reduced on the worker, and only the solved
+/// latencies (needed verbatim by the order-sensitive floating-point
+/// accumulators) ride along, in seed order. A shipped batch therefore
+/// weighs O(1) + one `u64` per solved run instead of one full
+/// [`OutcomeDigest`] per run.
+#[derive(Debug, Default)]
+struct StreamPartial {
+    runs: u64,
+    solved: u64,
+    worst: u64,
+    energy: EnergyStats,
+    work: WorkStats,
+    solved_latencies: Vec<u64>,
+}
+
+impl StreamPartial {
+    fn absorb(&mut self, d: &OutcomeDigest) {
+        self.runs += 1;
+        if let Some(l) = d.sample.solved() {
+            self.solved += 1;
+            self.solved_latencies.push(l);
+        }
+        self.worst = self.worst.max(d.sample.pessimistic());
+        self.energy.absorb_digest(d);
+        self.work.absorb_digest(d);
+    }
+}
+
 /// Run an ensemble with streaming aggregation only: no per-run results
 /// are materialized, suitable
 /// for million-run sweeps. Same execution and seed derivation as
-/// [`run_ensemble`]; the aggregates are bit-identical across thread counts
-/// because digests fold in seed order.
+/// [`run_ensemble`], but reduction is **pipelined**: each worker pre-folds
+/// its batch into a partial fold ([`Runner::run_folded`]), and this
+/// thread merges the partials in seed order — associatively for the integer
+/// counters, by in-order replay for the floating-point latency statistics.
+/// Aggregates are bit-identical across thread counts and batch boundaries.
 pub fn run_ensemble_stream<P, G>(
     spec: &EnsembleSpec,
     protocol_for: P,
@@ -477,11 +562,26 @@ where
     G: Fn(u64) -> WakePattern + Sync,
 {
     let mut summary = EnsembleSummary::empty();
-    // `summary` is only borrowed inside `execute`, so fold into a local and
-    // move the stats in afterwards.
+    // `summary` is only borrowed inside the fold, so aggregate into a local
+    // and move the stats in afterwards.
     let exec = {
         let s = &mut summary;
-        execute(spec, protocol_for, pattern_for, |_, d| s.absorb(&d))
+        let sim = Simulator::new(spec.sim_config());
+        spec.runner().run_folded(
+            spec.runs,
+            |i| {
+                let seed = spec.seed_of(i);
+                let protocol = protocol_for(seed);
+                let pattern = pattern_for(seed);
+                let outcome = sim
+                    .run(protocol.as_ref(), &pattern, seed)
+                    .expect("ensemble run failed validation");
+                OutcomeDigest::of(&outcome)
+            },
+            StreamPartial::default,
+            |p, _i, d| p.absorb(&d),
+            from_fn(|_start, p: StreamPartial| s.absorb_partial(p)),
+        )
     };
     summary.exec = exec;
     summary
@@ -609,6 +709,40 @@ mod tests {
         assert!(summary.max >= summary.median);
         assert!(res.energy.runs == 16);
         assert!(res.energy.total_transmissions > 0);
+    }
+
+    #[test]
+    fn class_population_ensemble_matches_concrete() {
+        // Ensemble plumbing for the class engine: same samples/energy, and
+        // peak_units drops to the class count (one unit per wake batch here)
+        // while the concrete path carries one unit per station.
+        let n = 128u32;
+        let spec = EnsembleSpec::new(n, 12).with_threads(3);
+        let pattern = |seed: u64| WakePattern::range(0, n / 2, seed % 8).unwrap();
+        let concrete = run_ensemble(&spec, |_| Box::new(RoundRobin::new(n)), pattern);
+        let classed = run_ensemble(
+            &spec.clone().with_classes(),
+            |_| Box::new(RoundRobin::new(n)),
+            pattern,
+        );
+        assert_eq!(concrete.samples, classed.samples);
+        assert_eq!(concrete.energy, classed.energy);
+        assert_eq!(concrete.work.slots, classed.work.slots);
+        assert_eq!(concrete.work.peak_units, u64::from(n) / 2);
+        assert_eq!(classed.work.peak_units, 1);
+        // And without per-station detail the aggregates still match, except
+        // the per-station maximum that detail-off deliberately drops.
+        let lean = run_ensemble(
+            &spec.clone().with_classes().without_per_station_detail(),
+            |_| Box::new(RoundRobin::new(n)),
+            pattern,
+        );
+        assert_eq!(lean.samples, classed.samples);
+        assert_eq!(
+            lean.energy.total_transmissions,
+            classed.energy.total_transmissions
+        );
+        assert_eq!(lean.energy.max_per_station, 0);
     }
 
     #[test]

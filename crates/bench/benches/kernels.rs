@@ -17,7 +17,12 @@
 //!   sparse speedups (ratios asserted outside `BENCH_QUICK`);
 //! * `construction_cache` — a whole ensemble with and without the
 //!   [`ConstructionCache`]: seed-independent schedules built once per
-//!   ensemble instead of once per run.
+//!   ensemble instead of once per run;
+//! * `mega_station` — the class-aggregated population engine on a block
+//!   wake of half the universe at n = 2^24: the guard asserts a ≥ 100×
+//!   memory reduction (stations represented per live simulation unit) for
+//!   round-robin, with a bit-identity pin against the concrete engine at a
+//!   size it can still afford.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mac_sim::prelude::*;
@@ -494,6 +499,76 @@ fn construction_cache(c: &mut Criterion) {
     );
 }
 
+fn mega_station(_c: &mut Criterion) {
+    // Guard row — the mega-station memory reduction. A block wake of half
+    // the universe is one equivalence class for round-robin: at n = 2^24
+    // the class engine must represent the 2^23 stations with at least 100×
+    // fewer live units (it holds exactly one). Deterministic counter pin,
+    // so it always runs (no BENCH_QUICK exemption).
+    let n = 1u32 << 24;
+    let k = n / 2;
+    let pattern = WakePattern::range(0, k, u64::from(k)).unwrap();
+    let classed_sim = Simulator::new(
+        SimConfig::new(n)
+            .with_classes()
+            .without_per_station_detail(),
+    );
+    let rr = RoundRobin::new(n);
+    let t0 = Instant::now();
+    let mega = classed_sim.run(&rr, &pattern, 0).unwrap();
+    let mega_t = t0.elapsed();
+    assert!(mega.solved(), "mega block run must solve");
+    let reduction = f64::from(k) / mega.peak_units.max(1) as f64;
+    println!(
+        "mega_station/round_robin_n2^24_k2^23       {} slots, {} unit(s), {reduction:.0}x stations/unit in {mega_t:?}",
+        mega.slots_simulated, mega.peak_units,
+    );
+    assert!(
+        reduction >= 100.0,
+        "mega-station memory reduction collapsed to {reduction:.0}x (expected >= 100x)"
+    );
+
+    // Bit-identity pin at a size the concrete engine can still afford: the
+    // same block shape at n = 2^16 must produce identical observables, with
+    // the concrete engine holding one unit per station.
+    let small_n = 1u32 << 16;
+    let small_k = small_n / 2;
+    let small = WakePattern::range(0, small_k, u64::from(small_k)).unwrap();
+    let cfg = SimConfig::new(small_n).with_transcript();
+    let small_rr = RoundRobin::new(small_n);
+    let concrete = Simulator::new(cfg.clone())
+        .run(&small_rr, &small, 0)
+        .unwrap();
+    let classed = Simulator::new(cfg.with_classes())
+        .run(&small_rr, &small, 0)
+        .unwrap();
+    assert_eq!(classed.first_success, concrete.first_success);
+    assert_eq!(classed.transcript, concrete.transcript);
+    assert_eq!(classed.transmissions, concrete.transmissions);
+    assert_eq!(concrete.peak_units, u64::from(small_k));
+    assert_eq!(classed.peak_units, 1);
+
+    // Wake-time economy: the classed mega run must beat the concrete run
+    // at 1/256 the universe on wall clock — admitting 2^23 stations as one
+    // RLE class is cheaper than boxing 2^15 of them.
+    let (classed_t, _) = time_runs(|| classed_sim.run(&rr, &pattern, 0).unwrap());
+    let concrete_small_sim = Simulator::new(SimConfig::new(small_n));
+    let (concrete_t, _) = time_runs(|| concrete_small_sim.run(&small_rr, &small, 0).unwrap());
+    println!(
+        "mega_station/classed_2^24_vs_concrete_2^16 classed {:.2}us concrete {:.2}us",
+        classed_t * 1e6,
+        concrete_t * 1e6,
+    );
+    assert_timing(
+        classed_t < concrete_t,
+        &format!(
+            "classed mega run ({:.2}us) slower than concrete at 1/256 scale ({:.2}us)",
+            classed_t * 1e6,
+            concrete_t * 1e6
+        ),
+    );
+}
+
 fn adversary_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("adversary_kernels");
     // The Theorem 2.1 swap chain against round-robin (EXP-LB's kernel).
@@ -562,6 +637,7 @@ criterion_group!(
     engine_dense_vs_sparse,
     hybrid_policy,
     construction_cache,
+    mega_station,
     adversary_kernels,
     verification_kernels
 );

@@ -1,0 +1,6 @@
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::mega`; prefer `wakeup run exp_mega`.
+
+fn main() {
+    wakeup_bench::cli::shim("exp_mega")
+}

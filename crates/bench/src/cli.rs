@@ -32,9 +32,11 @@ pub struct Config {
     /// Per-experiment output files instead of stdout (`--out-dir`).
     pub out_dir: Option<PathBuf>,
     /// Wall-clock box for the selection, in seconds (`--time-box`): at full
-    /// scale the driver projects the total from the registry's declared
+    /// scale the driver schedules the selection **budget-ascending** by the
+    /// registry's declared
     /// [`full_budget_secs`](crate::experiment::Experiment::full_budget_secs)
-    /// and warns when the selection exceeds the box.
+    /// and stops admitting experiments before the cumulative projection
+    /// would overflow the box; the deferred remainder is reported.
     pub time_box: Option<u64>,
 }
 
@@ -67,9 +69,10 @@ OPTIONS:
     --seed S               offset added to every ensemble base seed (default 0)
     --out table|csv|json   output format (default: table; json = JSON Lines)
     --out-dir DIR          write <experiment>.{txt,csv,jsonl} under DIR
-    --time-box SECS        warn when the selection's projected full-scale
-                           wall-clock (declared per-experiment budgets)
-                           exceeds this box
+    --time-box SECS        schedule the selection inside this wall-clock box:
+                           at full scale, run budget-ascending (declared
+                           per-experiment budgets) and stop before the
+                           cumulative projection overflows; defer the rest
     --threshold F          diff: relative regression threshold (default 0.05)
     -h, --help             this help
 
@@ -78,7 +81,9 @@ candidate) and exits 1 when any latency/work metric regressed beyond the
 threshold, a row or artifact disappeared, or a check flipped to failing.
 
 Environment: WAKEUP_PROGRESS=secs enables live runs/s lines on stderr;
-WAKEUP_ASSERT_SPARSE=1 turns EXP-KG's sparse-path expectations into checks.
+WAKEUP_ASSERT_SPARSE=1 turns EXP-KG's sparse-path expectations into checks;
+WAKEUP_ASSERT_CLASSES=1 adds EXP-MEGA's concrete cross-checks (class-engine
+aggregates bit-identical to the per-station engine).
 ";
 
 /// Errors from argument parsing, rendered to stderr by [`main`].
@@ -269,36 +274,57 @@ pub fn render_list() -> String {
     )
 }
 
-/// Project the full-scale wall-clock of a selection against a `--time-box`
-/// and return the warning line to print, if any. Quick-scale selections are
-/// not budgeted (each experiment runs in seconds) — the box only projects
-/// the declared full-scale budgets.
-pub fn time_box_warning(names: &[String], config: &Config) -> Option<String> {
-    let box_secs = config.time_box?;
+/// Schedule a selection against a `--time-box`: at full scale the selection
+/// is reordered **budget-ascending** (ties keep selection order) and
+/// experiments are admitted greedily while the cumulative declared
+/// full-scale budget still fits the box — the driver stops *before* the
+/// overflowing entry rather than starting work it cannot finish. Returns
+/// the admitted names in execution order plus the note to print (schedule
+/// summary, deferred remainder, or the quick-scale caveat — quick sweeps
+/// finish in seconds and are not budgeted, so the selection passes through
+/// untouched).
+pub fn time_box_plan(names: &[String], config: &Config) -> (Vec<String>, Option<String>) {
+    let Some(box_secs) = config.time_box else {
+        return (names.to_vec(), None);
+    };
     if config.scale != Scale::Full {
-        return Some(format!(
-            "wakeup: --time-box {box_secs}s noted, but budgets are declared for \
-             --scale full; quick sweeps finish in seconds"
-        ));
+        return (
+            names.to_vec(),
+            Some(format!(
+                "wakeup: --time-box {box_secs}s noted, but budgets are declared for \
+                 --scale full; quick sweeps finish in seconds"
+            )),
+        );
     }
-    let projected: u64 = names
-        .iter()
-        .filter_map(|n| experiments::find(n))
-        .map(|e| e.full_budget_secs)
-        .sum();
-    (projected > box_secs).then(|| {
-        let mut over: Vec<String> = names
-            .iter()
-            .filter_map(|n| experiments::find(n))
-            .map(|e| format!("{} {}s", e.name, e.full_budget_secs))
-            .collect();
-        over.sort();
+    let mut by_budget: Vec<_> = names.iter().filter_map(|n| experiments::find(n)).collect();
+    by_budget.sort_by_key(|e| e.full_budget_secs);
+    let mut spent = 0u64;
+    let mut admitted: Vec<String> = Vec::new();
+    let mut deferred: Vec<String> = Vec::new();
+    for e in by_budget {
+        if spent + e.full_budget_secs <= box_secs {
+            spent += e.full_budget_secs;
+            admitted.push(e.name.to_string());
+        } else {
+            deferred.push(format!("{} {}s", e.name, e.full_budget_secs));
+        }
+    }
+    let note = if deferred.is_empty() {
         format!(
-            "wakeup: WARNING: projected full-scale wall-clock ~{projected}s exceeds \
-             --time-box {box_secs}s ({})",
-            over.join(", ")
+            "wakeup: --time-box {box_secs}s: all {} experiment(s) fit (~{spent}s), \
+             running budget-ascending",
+            admitted.len()
         )
-    })
+    } else {
+        format!(
+            "wakeup: --time-box {box_secs}s: running {} of {} experiment(s) \
+             (~{spent}s projected), deferring over-box: {}",
+            admitted.len(),
+            admitted.len() + deferred.len(),
+            deferred.join(", ")
+        )
+    };
+    (admitted, Some(note))
 }
 
 /// Run the named experiments under `config`. Returns the number of failed
@@ -345,8 +371,9 @@ pub fn main() -> i32 {
             0
         }
         Ok(Command::Run { names, config }) => {
-            if let Some(warning) = time_box_warning(&names, &config) {
-                eprintln!("{warning}");
+            let (names, note) = time_box_plan(&names, &config);
+            if let Some(note) = note {
+                eprintln!("{note}");
             }
             match run_many(&names, &config) {
                 Err(e) => {
@@ -431,8 +458,9 @@ mod tests {
         let Ok(Command::Run { names, .. }) = parse(&argv("run --all")) else {
             panic!("--all did not parse");
         };
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 15);
         assert!(names.contains(&"exp_full_resolution".to_string()));
+        assert!(names.contains(&"exp_mega".to_string()));
     }
 
     #[test]
@@ -472,32 +500,64 @@ mod tests {
     }
 
     #[test]
-    fn time_box_projects_full_scale_budgets() {
+    fn time_box_schedules_budget_ascending_and_stops_before_overflow() {
         let names: Vec<String> = experiments::registry()
             .iter()
             .map(|e| e.name.to_string())
             .collect();
-        let total: u64 = experiments::registry()
+        let mut budgets: Vec<u64> = experiments::registry()
             .iter()
             .map(|e| e.full_budget_secs)
-            .sum();
+            .collect();
+        budgets.sort_unstable();
+        let total: u64 = budgets.iter().sum();
         let mut config = Config::from_env();
         config.scale = Scale::Full;
+
+        // A box that fits everything: all admitted, reordered budget-ascending.
+        config.time_box = Some(total);
+        let (admitted, note) = time_box_plan(&names, &config);
+        assert_eq!(admitted.len(), names.len());
+        let admitted_budgets: Vec<u64> = admitted
+            .iter()
+            .map(|n| experiments::find(n).unwrap().full_budget_secs)
+            .collect();
+        assert!(
+            admitted_budgets.windows(2).all(|w| w[0] <= w[1]),
+            "not budget-ascending: {admitted_budgets:?}"
+        );
+        assert!(note.unwrap().contains("all"), "fit note missing");
+
+        // One second short of the total: the most expensive entry (at
+        // least) is deferred, everything admitted still fits the box.
         config.time_box = Some(total - 1);
-        let warning = time_box_warning(&names, &config).expect("must warn over the box");
-        assert!(warning.contains("exceeds"), "{warning}");
-        assert!(warning.contains("exp_crossover"), "{warning}");
-        // A box that fits stays silent.
-        config.time_box = Some(total + 1);
-        assert!(time_box_warning(&names, &config).is_none());
-        // No box, no warning.
+        let (admitted, note) = time_box_plan(&names, &config);
+        assert!(admitted.len() < names.len());
+        let spent: u64 = admitted
+            .iter()
+            .map(|n| experiments::find(n).unwrap().full_budget_secs)
+            .sum();
+        assert!(spent < total, "admitted {spent}s overflows the box");
+        let note = note.unwrap();
+        assert!(note.contains("deferring"), "{note}");
+
+        // A box smaller than the cheapest experiment admits nothing.
+        config.time_box = Some(budgets[0] - 1);
+        let (admitted, _) = time_box_plan(&names, &config);
+        assert!(admitted.is_empty());
+
+        // No box: pass-through in selection order, no note.
         config.time_box = None;
-        assert!(time_box_warning(&names, &config).is_none());
-        // Quick scale: budgets do not apply, note instead of projection.
+        let (admitted, note) = time_box_plan(&names, &config);
+        assert_eq!(admitted, names);
+        assert!(note.is_none());
+
+        // Quick scale: budgets do not apply — pass-through plus a caveat.
         config.time_box = Some(1);
         config.scale = Scale::Quick;
-        let note = time_box_warning(&names, &config).expect("quick-scale note");
-        assert!(note.contains("quick"), "{note}");
+        let (admitted, note) = time_box_plan(&names, &config);
+        assert_eq!(admitted, names);
+        assert!(note.unwrap().contains("quick"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The experiment registry: all 14 experiments as data.
+//! The experiment registry: all 15 experiments as data.
 //!
 //! Each submodule holds one ported experiment body (the code that used to
 //! live in the corresponding `exp_*` binary) plus its [`Experiment`]
@@ -17,6 +17,7 @@ pub mod crossover;
 pub mod figures;
 pub mod full_resolution;
 pub mod lower_bound;
+pub mod mega;
 pub mod randomized;
 pub mod scenario_a;
 pub mod scenario_b;
@@ -42,6 +43,7 @@ pub fn registry() -> Vec<Experiment> {
         ablations::EXP,
         full_resolution::EXP,
         certify::EXP,
+        mega::EXP,
     ]
 }
 
@@ -57,9 +59,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 14);
+        assert_eq!(reg.len(), 15);
         let names: std::collections::HashSet<&str> = reg.iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 14, "duplicate registry names");
+        assert_eq!(names.len(), 15, "duplicate registry names");
         for e in &reg {
             assert!(e.name.starts_with("exp_"), "{} not exp_-prefixed", e.name);
             assert!(!e.id.is_empty() && !e.title.is_empty() && !e.claim.is_empty());

@@ -22,7 +22,9 @@
 //!
 //! `WAKEUP_PROGRESS` (seconds between live `runs/s | steals` lines) and
 //! `WAKEUP_ASSERT_SPARSE` (turn the sparse-path expectations of EXP-KG into
-//! hard check failures) keep working as before. The historical `exp_*`
+//! hard check failures) keep working as before; `WAKEUP_ASSERT_CLASSES`
+//! additionally cross-checks EXP-MEGA's class-engine cells against the
+//! concrete per-station engine (the CI class smoke). The historical `exp_*`
 //! binaries still exist as two-line shims onto the registry, so muscle
 //! memory and CI invocations keep working.
 //!

@@ -183,6 +183,7 @@ fn scenario_a_json_has_the_golden_schema() {
         "skipped",
         "dense_steps",
         "mode_switches",
+        "peak_units",
     ];
     let sweep_rows: Vec<&&str> = lines
         .iter()

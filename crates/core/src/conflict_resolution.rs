@@ -30,7 +30,10 @@
 
 use crate::family_provider::FamilyProvider;
 use crate::select_among_first::{DoublingSchedule, NextPositionCache};
-use mac_sim::{Action, Feedback, Protocol, Slot, Station, StationId, TxHint, Until};
+use mac_sim::{
+    Action, ClassStation, Feedback, Members, Protocol, Slot, Station, StationId, TxHint, TxTally,
+    Until,
+};
 use selectors::math::{log_n, next_congruent};
 use std::sync::Arc;
 
@@ -196,6 +199,60 @@ impl Station for RetiringRoundRobinStation {
     }
 }
 
+/// One equivalence class of retiring round-robin stations — the textbook
+/// **lazy split**: all members share the oblivious `t ≡ u (mod n)` schedule
+/// until one succeeds, at which point that member retires out of the RLE
+/// member set ([`Members::remove`] — the degenerate split: the "resolved"
+/// half needs no unit because retired stations are silent forever). State
+/// stays O(runs) however many members resolve.
+struct RetiringRoundRobinClass {
+    members: Members,
+    n: u32,
+}
+
+impl RetiringRoundRobinClass {
+    /// Earliest slot `≥ after` owned by a live member.
+    fn next_turn(&self, after: Slot) -> Option<Slot> {
+        let first = self.members.first()?;
+        let n = u64::from(self.n);
+        let r = (after % n) as u32;
+        Some(match self.members.next_at_or_after(r) {
+            Some(x) if u64::from(x) < n => after + u64::from(x - r),
+            _ => after + (n - u64::from(r)) + u64::from(first),
+        })
+    }
+}
+
+impl ClassStation for RetiringRoundRobinClass {
+    fn weight(&self) -> u64 {
+        self.members.count()
+    }
+
+    fn wake(&mut self, _sigma: Slot) {}
+
+    fn act(&mut self, t: Slot, tally: &mut TxTally) {
+        let owner = (t % u64::from(self.n)) as u32;
+        if self.members.contains(owner) {
+            tally.push(StationId(owner));
+        }
+    }
+
+    fn feedback(&mut self, _t: Slot, fb: Feedback) -> Vec<Box<dyn ClassStation>> {
+        if let Feedback::Heard(w) = fb {
+            // Only the member that hears *its own* success retires.
+            self.members.remove(w.0);
+        }
+        Vec::new()
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        match self.next_turn(after) {
+            Some(slot) => TxHint::At(slot, Until::NextSuccess),
+            None => TxHint::never(), // everyone resolved: silent forever
+        }
+    }
+}
+
 impl Protocol for RetiringRoundRobin {
     fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
         Box::new(RetiringRoundRobinStation {
@@ -203,6 +260,13 @@ impl Protocol for RetiringRoundRobin {
             n: self.n,
             done: false,
         })
+    }
+
+    fn class_station(&self, members: &Members, _run_seed: u64) -> Option<Box<dyn ClassStation>> {
+        Some(Box::new(RetiringRoundRobinClass {
+            members: members.clone(),
+            n: self.n,
+        }))
     }
 
     fn name(&self) -> String {
@@ -336,6 +400,35 @@ mod tests {
             sel_t < rr_t,
             "selective {sel_t} not faster than round-robin {rr_t}"
         );
+    }
+
+    #[test]
+    fn retiring_class_engine_matches_concrete_with_mid_run_splits() {
+        // A contiguous block of members retires one by one: every success
+        // punches a hole in the RLE member set (the lazy split) and the
+        // outcomes must stay bit-identical to the concrete engine.
+        let n = 24u32;
+        let proto = RetiringRoundRobin::new(n);
+        for pattern in [
+            WakePattern::range(4, 12, 2).unwrap(),
+            WakePattern::staggered(&ids(&[3, 9, 10, 11, 21]), 0, 7).unwrap(),
+        ] {
+            let cfg = SimConfig::new(n)
+                .with_max_slots(2_000)
+                .until_all_resolved()
+                .with_transcript();
+            let concrete = Simulator::new(cfg.clone())
+                .run(&proto, &pattern, 0)
+                .unwrap();
+            let classed = Simulator::new(cfg.with_classes())
+                .run(&proto, &pattern, 0)
+                .unwrap();
+            assert_eq!(concrete.all_resolved_at, classed.all_resolved_at);
+            assert_eq!(concrete.resolved, classed.resolved);
+            assert_eq!(concrete.transmissions, classed.transmissions);
+            assert_eq!(concrete.per_station_tx, classed.per_station_tx);
+            assert_eq!(concrete.transcript, classed.transcript);
+        }
     }
 
     #[test]

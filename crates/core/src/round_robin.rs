@@ -15,7 +15,7 @@
 //! is why both Scenario A and Scenario B algorithms interleave with it to
 //! stay optimal at large `k`.
 
-use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
+use mac_sim::{Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally};
 
 /// The round-robin protocol over `n` stations.
 #[derive(Clone, Copy, Debug)]
@@ -59,9 +59,56 @@ impl Station for RoundRobinStation {
     }
 }
 
+/// One equivalence class of round-robin stations: the schedule is fully
+/// determined by `(t mod n)`, so a whole wake batch — any member set — is a
+/// single unit. At most one member (the slot's owner) ever transmits, and
+/// the class's next transmission is the earliest slot whose owner is a
+/// member: O(log runs) via the RLE member set, O(1) state per class.
+struct RoundRobinClass {
+    members: Members,
+    n: u32,
+}
+
+impl ClassStation for RoundRobinClass {
+    fn weight(&self) -> u64 {
+        self.members.count()
+    }
+
+    fn wake(&mut self, _sigma: Slot) {}
+
+    fn act(&mut self, t: Slot, tally: &mut TxTally) {
+        let owner = (t % u64::from(self.n)) as u32;
+        if self.members.contains(owner) {
+            tally.push(StationId(owner));
+        }
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        let n = u64::from(self.n);
+        let r = (after % n) as u32;
+        // First member turn in the rest of this cycle, else wrap to the
+        // smallest member's turn in the next cycle.
+        let slot = match self.members.next_at_or_after(r) {
+            Some(x) if u64::from(x) < n => after + u64::from(x - r),
+            _ => {
+                let m0 = self.members.first().expect("class has members");
+                after + (n - u64::from(r)) + u64::from(m0)
+            }
+        };
+        TxHint::at(slot)
+    }
+}
+
 impl Protocol for RoundRobin {
     fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
         Box::new(RoundRobinStation { id, n: self.n })
+    }
+
+    fn class_station(&self, members: &Members, _run_seed: u64) -> Option<Box<dyn ClassStation>> {
+        Some(Box::new(RoundRobinClass {
+            members: members.clone(),
+            n: self.n,
+        }))
     }
 
     fn name(&self) -> String {
@@ -125,6 +172,36 @@ mod tests {
         let out = sim.run(&RoundRobin::new(n), &pattern, 0).unwrap();
         assert_eq!(out.first_success, Some(3));
         assert_eq!(out.winner, Some(StationId(3)));
+    }
+
+    #[test]
+    fn class_engine_matches_concrete() {
+        let n = 32u32;
+        let proto = RoundRobin::new(n);
+        for s in [0u64, 5, 31] {
+            let pattern = WakePattern::staggered(&ids(&[7, 30, 2, 19]), s, 3).unwrap();
+            let cfg = SimConfig::new(n).with_max_slots(200).with_transcript();
+            let concrete = Simulator::new(cfg.clone())
+                .run(&proto, &pattern, 0)
+                .unwrap();
+            let classed = Simulator::new(cfg.with_classes())
+                .run(&proto, &pattern, 0)
+                .unwrap();
+            assert_eq!(concrete.first_success, classed.first_success, "s={s}");
+            assert_eq!(concrete.winner, classed.winner);
+            assert_eq!(concrete.transmissions, classed.transmissions);
+            assert_eq!(concrete.per_station_tx, classed.per_station_tx);
+            assert_eq!(concrete.transcript, classed.transcript);
+            // 4 stations in 3 batches-with-distinct-slots ⇒ ≤ 4 units, and
+            // aggregation keeps it below the station count when batched.
+            assert!(classed.peak_units <= 4);
+        }
+        // One mega batch: the whole floor is a single unit.
+        let pattern = WakePattern::range(0, n, 3).unwrap();
+        let cfg = SimConfig::new(n).with_max_slots(64).with_classes();
+        let out = Simulator::new(cfg).run(&proto, &pattern, 0).unwrap();
+        assert_eq!(out.peak_units, 1);
+        assert!(out.solved());
     }
 
     #[test]

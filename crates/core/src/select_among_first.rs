@@ -20,7 +20,9 @@
 //! interleaves it with round-robin to cover the large-`k` regime.
 
 use crate::family_provider::{DynFamily, FamilyProvider};
-use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
+use mac_sim::{
+    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, Until,
+};
 use selectors::math::log_n;
 use std::sync::Arc;
 
@@ -226,6 +228,111 @@ impl NextPositionCache {
     }
 }
 
+/// Membership-test budget per class hint query: enough to prove silence over
+/// long stretches in one go for small classes, while bounding the work a
+/// single [`ClassStation::next_transmission`] call can sink into a huge
+/// class (the scan resumes from its high-water mark at the next query).
+pub(crate) const CLASS_SCAN_BUDGET: u64 = 1 << 16;
+
+/// Result of one [`AnyMemberScan`] query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Scan {
+    /// Some member transmits at this position (the earliest `≥ q0`).
+    Hit(u64),
+    /// Silence is proven for every position below this bound, which is
+    /// `> q0`; the caller must re-query from the bound (window exhausted or
+    /// budget spent).
+    SilentBelow(u64),
+    /// No member transmits at any position — a full period is silent, and
+    /// the schedule is cyclic.
+    Never,
+}
+
+/// Budgeted "earliest position where **any** member transmits" scanner over
+/// a [`DoublingSchedule`] — the class-aggregated counterpart of
+/// [`NextPositionCache`]. Positions are tested one by one with an
+/// early-exit membership loop; a high-water mark records proven silence and
+/// a memoized hit survives re-queries, so monotone query points (the
+/// engine's `after` clock) never re-scan a position. A full silent period
+/// proves permanent silence.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AnyMemberScan {
+    /// Every position `< proven` is proven transmission-free (or was a
+    /// memoized hit since passed).
+    proven: u64,
+    /// Memoized earliest hit at or after `proven`, if found.
+    hit: Option<u64>,
+    /// Consecutive proven-silent positions (`≥ period` ⇒ never).
+    silent_streak: u64,
+    never: bool,
+}
+
+impl AnyMemberScan {
+    /// Earliest position `q ∈ [q0, q_lim)` at which any member transmits.
+    /// Query points must be non-decreasing across calls. At least one new
+    /// position is always completed (when the window is non-empty and
+    /// unproven), so a [`Scan::SilentBelow`] bound strictly advances.
+    pub(crate) fn next_hit(
+        &mut self,
+        schedule: &DoublingSchedule,
+        members: &Members,
+        q0: u64,
+        q_lim: u64,
+        budget: u64,
+    ) -> Scan {
+        if self.never || members.is_empty() {
+            return Scan::Never;
+        }
+        if let Some(q) = self.hit {
+            if q < q0 {
+                self.hit = None; // query point moved past the memoized hit
+            } else if q < q_lim {
+                return Scan::Hit(q);
+            } else {
+                return Scan::SilentBelow(q_lim); // hit beyond the window
+            }
+        }
+        let start = self.proven.max(q0);
+        if start >= q_lim {
+            return Scan::SilentBelow(q_lim); // window already proven silent
+        }
+        let period = schedule.period();
+        let mut tests = 0u64;
+        let mut p = start;
+        while p < q_lim {
+            // Budget is honored between positions; the first position of
+            // the call always completes so the silence bound advances.
+            if tests >= budget && p > start {
+                return Scan::SilentBelow(p);
+            }
+            let mut any = false;
+            'runs: for &(lo, hi) in members.runs() {
+                for u in lo..hi {
+                    tests += 1;
+                    if schedule.transmits(u, p) {
+                        any = true;
+                        break 'runs;
+                    }
+                }
+            }
+            if any {
+                self.proven = p;
+                self.hit = Some(p);
+                self.silent_streak = 0;
+                return Scan::Hit(p);
+            }
+            p += 1;
+            self.proven = p;
+            self.silent_streak += 1;
+            if self.silent_streak >= period {
+                self.never = true;
+                return Scan::Never;
+            }
+        }
+        Scan::SilentBelow(q_lim)
+    }
+}
+
 /// The `select_among_the_first` protocol (Scenario A component).
 #[derive(Clone, Debug)]
 pub struct SelectAmongFirst {
@@ -304,6 +411,58 @@ impl Station for SafStation {
     }
 }
 
+/// One equivalence class of `select_among_the_first` stations — a wake batch
+/// shares `σ`, so either every member participates (`σ = s`) or none does,
+/// and the whole batch walks the same schedule. Per-slot work is one
+/// [`TxTally::record_members`] sweep; hints come from the budgeted
+/// [`AnyMemberScan`], answering `Never(Until::Slot(…))` when the budget runs
+/// out so the engine re-queries at the proven-silence bound.
+struct SafClass {
+    members: Members,
+    s: Slot,
+    participates: bool,
+    schedule: Arc<DoublingSchedule>,
+    scan: AnyMemberScan,
+}
+
+impl ClassStation for SafClass {
+    fn weight(&self) -> u64 {
+        self.members.count()
+    }
+
+    fn wake(&mut self, sigma: Slot) {
+        self.participates = sigma == self.s;
+    }
+
+    fn act(&mut self, t: Slot, tally: &mut TxTally) {
+        if !self.participates || t < self.s {
+            return;
+        }
+        let (schedule, p) = (&self.schedule, t - self.s);
+        tally.record_members(&self.members, |u| schedule.transmits(u, p));
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        if !self.participates {
+            return TxHint::never();
+        }
+        let q0 = after.max(self.s) - self.s;
+        match self.scan.next_hit(
+            &self.schedule,
+            &self.members,
+            q0,
+            u64::MAX,
+            CLASS_SCAN_BUDGET,
+        ) {
+            Scan::Hit(q) => TxHint::at(self.s + q),
+            Scan::Never => TxHint::never(),
+            // Budget exhausted: silence proven strictly past `after`, so the
+            // engine may skip to the bound and ask again.
+            Scan::SilentBelow(b) => TxHint::Never(Until::Slot(self.s + b)),
+        }
+    }
+}
+
 impl Protocol for SelectAmongFirst {
     fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
         Box::new(SafStation {
@@ -312,6 +471,16 @@ impl Protocol for SelectAmongFirst {
             participates: false,
             schedule: Arc::clone(&self.schedule),
         })
+    }
+
+    fn class_station(&self, members: &Members, _run_seed: u64) -> Option<Box<dyn ClassStation>> {
+        Some(Box::new(SafClass {
+            members: members.clone(),
+            s: self.s,
+            participates: false,
+            schedule: Arc::clone(&self.schedule),
+            scan: AnyMemberScan::default(),
+        }))
     }
 
     fn name(&self) -> String {
@@ -483,5 +652,68 @@ mod tests {
         let pattern = WakePattern::simultaneous(&ids(&[3, 19, 27]), 0).unwrap();
         let out = sim(n).run(&p, &pattern, 0).unwrap();
         assert!(out.solved());
+    }
+
+    #[test]
+    fn any_member_scan_matches_per_station_minimum() {
+        // The class scanner's answer must equal the min over members of the
+        // per-station next_position, for monotone query points and any
+        // budget (budget only splits the work, never changes the answer).
+        let sched = DoublingSchedule::new(&FamilyProvider::random_with_seed(7), 48, 3);
+        let members = Members::from_runs(vec![(3, 5), (17, 18), (40, 44)]);
+        for budget in [1u64, 7, 1 << 16] {
+            let mut scan = AnyMemberScan::default();
+            let mut q0 = 0u64;
+            while q0 < 2 * sched.period() {
+                let expect = members
+                    .iter()
+                    .filter_map(|u| sched.next_position(u.0, q0))
+                    .min();
+                // Drive the budgeted scan to a definitive answer, checking
+                // each SilentBelow bound strictly advances.
+                let got = loop {
+                    match scan.next_hit(&sched, &members, q0, u64::MAX, budget) {
+                        Scan::Hit(q) => break Some(q),
+                        Scan::Never => break None,
+                        Scan::SilentBelow(b) => assert!(b > q0, "stalled at q0={q0}"),
+                    }
+                };
+                assert_eq!(got, expect, "budget={budget} q0={q0}");
+                q0 += 1 + sched.period() / 7;
+            }
+        }
+    }
+
+    #[test]
+    fn class_engine_matches_concrete() {
+        let n = 64u32;
+        for provider in [
+            FamilyProvider::random_with_seed(11),
+            FamilyProvider::KautzSingleton,
+        ] {
+            let p = SelectAmongFirst::new(n, 20, provider);
+            // A participating batch at s plus silent latecomers.
+            let pattern = WakePattern::new(vec![
+                (StationId(2), 20),
+                (StationId(9), 20),
+                (StationId(33), 20),
+                (StationId(60), 20),
+                (StationId(5), 21),
+                (StationId(48), 23),
+            ])
+            .unwrap();
+            let cfg = SimConfig::new(n).with_max_slots(2_000).with_transcript();
+            let concrete = Simulator::new(cfg.clone()).run(&p, &pattern, 0).unwrap();
+            let classed = Simulator::new(cfg.with_classes())
+                .run(&p, &pattern, 0)
+                .unwrap();
+            assert_eq!(concrete.first_success, classed.first_success);
+            assert_eq!(concrete.winner, classed.winner);
+            assert_eq!(concrete.transmissions, classed.transmissions);
+            assert_eq!(concrete.per_station_tx, classed.per_station_tx);
+            assert_eq!(concrete.transcript, classed.transcript);
+            // 3 wake slots ⇒ at most 3 class units ever live.
+            assert!(classed.peak_units <= 3);
+        }
     }
 }

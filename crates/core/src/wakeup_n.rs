@@ -27,8 +27,11 @@
 //! stations restart the walk (off by default to match the paper — capped
 //! runs surface as censored samples in the experiments instead).
 
+use crate::select_among_first::CLASS_SCAN_BUDGET;
 use crate::waking_matrix::{MatrixParams, WakingMatrix};
-use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint, Until};
+use mac_sim::{
+    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, Until,
+};
 use selectors::prf::GapScanner;
 use std::sync::Arc;
 
@@ -185,6 +188,130 @@ impl Station for WakeupNStation {
     }
 }
 
+/// One equivalence class of `wakeup(n)` stations. A wake batch shares `σ`,
+/// hence `µ(σ)` and the entire row-walk geometry — only the PRF membership
+/// test depends on the station id, so one unit carries the whole batch and
+/// per-slot work is a single [`TxTally::record_members`] sweep. Hints scan
+/// the current row slot by slot for **any** member hit under a membership
+/// budget; a proven-silent prefix is remembered (queries are monotone), a
+/// budget stop answers `Never(Until::Slot(bound))` strictly past `after`,
+/// and a hit-free final row without restart is permanent silence.
+struct WakeupNClass {
+    members: Members,
+    matrix: Arc<WakingMatrix>,
+    restart: bool,
+    mu: Slot,
+    mu0: Slot,
+    row: u32,
+    row_end: Slot,
+    /// Every slot in `[mu0, proven)` is proven free of member transmissions
+    /// (or was a memoized hit since passed).
+    proven: Slot,
+    /// Memoized earliest hit at or after `proven`, if found.
+    hit: Option<Slot>,
+}
+
+impl ClassStation for WakeupNClass {
+    fn weight(&self) -> u64 {
+        self.members.count()
+    }
+
+    fn wake(&mut self, sigma: Slot) {
+        self.mu = self.matrix.mu(sigma);
+        self.mu0 = self.mu;
+        self.row = 1;
+        self.row_end = self.mu + self.matrix.dwell(1);
+        self.proven = self.mu;
+        self.hit = None;
+    }
+
+    fn act(&mut self, t: Slot, tally: &mut TxTally) {
+        if t < self.mu {
+            return; // waiting for the window boundary
+        }
+        // Same amortized row advance as the concrete station.
+        while t >= self.row_end {
+            if self.row >= self.matrix.rows() {
+                if self.restart {
+                    self.mu = self.matrix.mu(self.row_end);
+                    self.row = 1;
+                    self.row_end = self.mu + self.matrix.dwell(1);
+                    if t < self.mu {
+                        return;
+                    }
+                    continue;
+                }
+                self.row = self.matrix.rows() + 1;
+                return; // scan over (paper's protocol ends)
+            }
+            self.row += 1;
+            self.row_end += self.matrix.dwell(self.row);
+        }
+        let (m, row) = (&self.matrix, self.row);
+        tally.record_members(&self.members, |u| m.member(row, t, u));
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        let m = &self.matrix;
+        let from = after.max(self.mu0);
+        if let Some(h) = self.hit {
+            if h >= from {
+                return TxHint::at(h);
+            }
+            self.hit = None; // query point moved past the memoized hit
+        }
+        // Stateless walk geometry anchored at µ(σ), as in the concrete
+        // station: restart walks tile contiguously, so `delta mod total`
+        // locates the position inside the current walk.
+        let start = from.max(self.proven);
+        let total = m.total_scan();
+        let delta = start - self.mu0;
+        if !self.restart && delta >= total {
+            return TxHint::never();
+        }
+        let delta_in_walk = delta % total;
+        let walk_start = start - delta_in_walk;
+        let row = m
+            .row_at_offset(delta_in_walk)
+            .expect("delta_in_walk < total_scan has a row");
+        let (_, row_end) = m.row_span(row);
+        let seg_end = walk_start + row_end;
+        // Budgeted any-member scan over the rest of the current row; later
+        // rows are left to re-queries at the boundary, matching the
+        // concrete station's bounded per-row lookahead.
+        let mut budget = CLASS_SCAN_BUDGET;
+        let mut t = start;
+        while t < seg_end {
+            if budget == 0 && t > from {
+                self.proven = t;
+                return TxHint::Never(Until::Slot(t));
+            }
+            let mut any = false;
+            'runs: for &(lo, hi) in self.members.runs() {
+                for u in lo..hi {
+                    budget = budget.saturating_sub(1);
+                    if m.member(row, t, u) {
+                        any = true;
+                        break 'runs;
+                    }
+                }
+            }
+            if any {
+                self.proven = t;
+                self.hit = Some(t);
+                return TxHint::at(t);
+            }
+            t += 1;
+            self.proven = t;
+        }
+        if !self.restart && row == m.rows() {
+            TxHint::never()
+        } else {
+            TxHint::Never(Until::Slot(seg_end))
+        }
+    }
+}
+
 impl Protocol for WakeupN {
     fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
         Box::new(WakeupNStation {
@@ -197,6 +324,20 @@ impl Protocol for WakeupN {
             row_end: 0,
             scan: None,
         })
+    }
+
+    fn class_station(&self, members: &Members, _run_seed: u64) -> Option<Box<dyn ClassStation>> {
+        Some(Box::new(WakeupNClass {
+            members: members.clone(),
+            matrix: Arc::clone(&self.matrix),
+            restart: self.restart,
+            mu: 0,
+            mu0: 0,
+            row: 1,
+            row_end: 0,
+            proven: 0,
+            hit: None,
+        }))
     }
 
     fn name(&self) -> String {
@@ -341,6 +482,33 @@ mod tests {
             }
         }
         assert!(post_scan_tx, "restarting station stayed silent after scan");
+    }
+
+    #[test]
+    fn class_engine_matches_concrete() {
+        // Batched and staggered wakes, with and without restart: outcomes
+        // and transcripts must be bit-identical to the concrete engine.
+        let n = 128u32;
+        let chosen = ids(&[3, 17, 40, 63, 90, 101, 115, 127]);
+        for restart in [false, true] {
+            let p = WakeupN::new(MatrixParams::new(n).with_seed(9)).with_restart(restart);
+            for pattern in [
+                WakePattern::batches(&chosen, 0, 50, &[4, 4]).unwrap(),
+                WakePattern::staggered(&chosen, 5, 9).unwrap(),
+            ] {
+                let cfg = SimConfig::new(n).with_max_slots(5_000).with_transcript();
+                let concrete = Simulator::new(cfg.clone()).run(&p, &pattern, 0).unwrap();
+                let classed = Simulator::new(cfg.with_classes())
+                    .run(&p, &pattern, 0)
+                    .unwrap();
+                assert_eq!(concrete.first_success, classed.first_success);
+                assert_eq!(concrete.winner, classed.winner);
+                assert_eq!(concrete.transmissions, classed.transmissions);
+                assert_eq!(concrete.per_station_tx, classed.per_station_tx);
+                assert_eq!(concrete.transcript, classed.transcript);
+                assert!(classed.peak_units <= chosen.len() as u64);
+            }
+        }
     }
 
     #[test]

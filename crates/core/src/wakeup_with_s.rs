@@ -11,8 +11,12 @@
 //! (Theorem 2.1 for `k > n/c`; Clementi–Monti–Silvestri for `k ≤ n/64`).
 
 use crate::family_provider::FamilyProvider;
-use crate::select_among_first::{DoublingSchedule, NextPositionCache};
-use mac_sim::{Action, Protocol, Slot, Station, StationId, TxHint};
+use crate::select_among_first::{
+    AnyMemberScan, DoublingSchedule, NextPositionCache, Scan, CLASS_SCAN_BUDGET,
+};
+use mac_sim::{
+    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, Until,
+};
 use selectors::math::next_congruent;
 use std::sync::Arc;
 
@@ -122,6 +126,94 @@ impl Station for WwsStation {
     }
 }
 
+/// One equivalence class of `wakeup_with_s` stations. A wake batch shares
+/// `σ`, hence SAF participation; even slots stay O(log runs) (at most the
+/// slot's round-robin owner transmits), odd slots are one
+/// [`TxTally::record_members`] sweep. Hints take the minimum of the
+/// round-robin bound (closed form over the member set) and a budgeted
+/// [`AnyMemberScan`] over the SAF schedule, whose window is capped at the
+/// round-robin bound — a proven-silent window already yields an exact
+/// `At(rr_slot)` answer, and a budget stop yields a `Never(Until::Slot(…))`
+/// re-query point strictly past `after`.
+struct WwsClass {
+    members: Members,
+    n: u32,
+    s: Slot,
+    participates_saf: bool,
+    schedule: Arc<DoublingSchedule>,
+    scan: AnyMemberScan,
+}
+
+impl WwsClass {
+    /// First odd global slot `≥ s` — SAF position 0.
+    fn first_odd(&self) -> Slot {
+        self.s + (self.s + 1) % 2
+    }
+
+    /// Smallest even slot `2p ≥ after` whose round-robin owner `p mod n` is
+    /// a member — the class counterpart of the station's `next_congruent`.
+    fn rr_slot(&self, after: Slot) -> Slot {
+        let n = u64::from(self.n);
+        let p0 = after.div_ceil(2);
+        let r = (p0 % n) as u32;
+        let p = match self.members.next_at_or_after(r) {
+            Some(x) if u64::from(x) < n => p0 + u64::from(x - r),
+            _ => {
+                let m0 = self.members.first().expect("class has members");
+                p0 + (n - u64::from(r)) + u64::from(m0)
+            }
+        };
+        2 * p
+    }
+}
+
+impl ClassStation for WwsClass {
+    fn weight(&self) -> u64 {
+        self.members.count()
+    }
+
+    fn wake(&mut self, sigma: Slot) {
+        self.participates_saf = sigma == self.s;
+    }
+
+    fn act(&mut self, t: Slot, tally: &mut TxTally) {
+        if t.is_multiple_of(2) {
+            let owner = ((t / 2) % u64::from(self.n)) as u32;
+            if self.members.contains(owner) {
+                tally.push(StationId(owner));
+            }
+        } else if self.participates_saf && t >= self.s {
+            let first_odd = self.first_odd();
+            let (schedule, p) = (&self.schedule, (t - first_odd) / 2);
+            tally.record_members(&self.members, |u| schedule.transmits(u, p));
+        }
+    }
+
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        let rr_slot = self.rr_slot(after);
+        if !self.participates_saf {
+            return TxHint::at(rr_slot);
+        }
+        let first_odd = self.first_odd();
+        let q0 = (after.max(first_odd) - first_odd).div_ceil(2);
+        // Odd slots below rr_slot are the only SAF positions that can beat
+        // the round-robin turn; a window proven silent means rr_slot is it.
+        let q_lim = (rr_slot.saturating_sub(first_odd)).div_ceil(2);
+        match self
+            .scan
+            .next_hit(&self.schedule, &self.members, q0, q_lim, CLASS_SCAN_BUDGET)
+        {
+            Scan::Hit(q) => TxHint::at(first_odd + 2 * q),
+            Scan::Never => TxHint::at(rr_slot),
+            Scan::SilentBelow(b) if b >= q_lim => TxHint::at(rr_slot),
+            // Budget stop inside the window: silence holds strictly past
+            // `after` (b > q0 ⇒ first_odd + 2b ≥ after + 2), and the bound
+            // stays below rr_slot, so the round-robin turn is not skipped.
+            Scan::SilentBelow(b) => TxHint::Never(Until::Slot(first_odd + 2 * b)),
+        }
+    }
+}
+
 impl Protocol for WakeupWithS {
     fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
         Box::new(WwsStation {
@@ -132,6 +224,17 @@ impl Protocol for WakeupWithS {
             schedule: Arc::clone(&self.schedule),
             saf_cache: NextPositionCache::default(),
         })
+    }
+
+    fn class_station(&self, members: &Members, _run_seed: u64) -> Option<Box<dyn ClassStation>> {
+        Some(Box::new(WwsClass {
+            members: members.clone(),
+            n: self.n,
+            s: self.s,
+            participates_saf: false,
+            schedule: Arc::clone(&self.schedule),
+            scan: AnyMemberScan::default(),
+        }))
     }
 
     fn name(&self) -> String {
@@ -219,6 +322,54 @@ mod tests {
         let out = sim(n).run(&p, &pattern, 0).unwrap();
         let lat = out.latency().unwrap();
         assert!(lat < u64::from(n) / 2, "latency {lat} not sublinear");
+    }
+
+    #[test]
+    fn class_engine_matches_concrete() {
+        // Class aggregation must be invisible in the outcome: both parities
+        // of s, participant batches and latecomers, transcript included.
+        let n = 64u32;
+        for s in [0u64, 7, 20] {
+            let p = WakeupWithS::new(n, s, FamilyProvider::random_with_seed(3));
+            let mut wakes = vec![
+                (StationId(2), s),
+                (StationId(9), s),
+                (StationId(33), s),
+                (StationId(60), s),
+            ];
+            wakes.push((StationId(5), s + 3));
+            wakes.push((StationId(48), s + 9));
+            let pattern = WakePattern::new(wakes).unwrap();
+            let cfg = SimConfig::new(n).with_max_slots(2_000).with_transcript();
+            let concrete = Simulator::new(cfg.clone()).run(&p, &pattern, 0).unwrap();
+            let classed = Simulator::new(cfg.with_classes())
+                .run(&p, &pattern, 0)
+                .unwrap();
+            assert_eq!(concrete.first_success, classed.first_success, "s={s}");
+            assert_eq!(concrete.winner, classed.winner, "s={s}");
+            assert_eq!(concrete.transmissions, classed.transmissions, "s={s}");
+            assert_eq!(concrete.per_station_tx, classed.per_station_tx, "s={s}");
+            assert_eq!(concrete.transcript, classed.transcript, "s={s}");
+            assert!(classed.peak_units <= 3, "s={s}");
+        }
+    }
+
+    #[test]
+    fn class_block_wake_floor_is_one_unit() {
+        // A contiguous simultaneous floor — the mega-sweep shape — is a
+        // single class unit regardless of k.
+        let n = 256u32;
+        let p = WakeupWithS::new(n, 4, FamilyProvider::random_with_seed(3));
+        let pattern = WakePattern::range(0, n, 4).unwrap();
+        let cfg = SimConfig::new(n).with_max_slots(4_000);
+        let concrete = Simulator::new(cfg.clone()).run(&p, &pattern, 0).unwrap();
+        let classed = Simulator::new(cfg.with_classes())
+            .run(&p, &pattern, 0)
+            .unwrap();
+        assert_eq!(concrete.first_success, classed.first_success);
+        assert_eq!(concrete.winner, classed.winner);
+        assert_eq!(concrete.transmissions, classed.transmissions);
+        assert_eq!(classed.peak_units, 1);
     }
 
     #[test]

@@ -50,11 +50,12 @@
 use crate::channel::{FeedbackModel, SlotOutcome};
 use crate::ids::{Slot, StationId};
 use crate::pattern::WakePattern;
+use crate::population::{ClassPopulation, Population, PopulationMode, TxTally};
 use crate::rng::derive_seed;
 use crate::station::{Protocol, Station, TxHint, Until};
 use crate::trace::{SlotRecord, Transcript};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// When the engine ends a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -107,6 +108,16 @@ pub struct SimConfig {
     pub stop: StopRule,
     /// Engine path selection (default: [`EngineMode::Auto`]).
     pub engine: EngineMode,
+    /// Which population the engine simulates (default: one concrete
+    /// [`Station`] per woken station; [`PopulationMode::Classes`] groups
+    /// stations in identical protocol state into weighted equivalence
+    /// classes — O(classes) memory, identical outcomes).
+    pub population: PopulationMode,
+    /// Track per-station transmission counts
+    /// ([`Outcome::per_station_tx`], on by default). Turn **off** for mega
+    /// runs: the table is O(k) in both engines, and with it off both
+    /// engines leave it empty — outcomes stay comparable per config.
+    pub per_station_detail: bool,
 }
 
 impl SimConfig {
@@ -122,6 +133,8 @@ impl SimConfig {
             record_transcript: false,
             stop: StopRule::FirstSuccess,
             engine: EngineMode::Auto,
+            population: PopulationMode::default(),
+            per_station_detail: true,
         }
     }
 
@@ -155,6 +168,26 @@ impl SimConfig {
     /// polling; [`EngineMode::Auto`] skips silent slots when possible).
     pub fn with_engine(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Select the population ([`PopulationMode::Classes`] simulates
+    /// weighted equivalence classes instead of individual stations).
+    pub fn with_population(mut self, population: PopulationMode) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Shorthand for `with_population(PopulationMode::Classes)`.
+    pub fn with_classes(self) -> Self {
+        self.with_population(PopulationMode::Classes)
+    }
+
+    /// Drop per-station transmission accounting
+    /// ([`Outcome::per_station_tx`] stays empty) — required for O(classes)
+    /// memory at mega scale.
+    pub fn without_per_station_detail(mut self) -> Self {
+        self.per_station_detail = false;
         self
     }
 }
@@ -232,6 +265,13 @@ pub struct Outcome {
     /// policy made (0 on the pure paths: a run that never leaves the sparse
     /// path, a forced-dense run, or a permanent [`TxHint::Dense`] fallback).
     pub mode_switches: u64,
+    /// Maximum number of simultaneously live simulation units over the run:
+    /// awake stations under [`PopulationMode::Concrete`], equivalence
+    /// classes under [`PopulationMode::Classes`]. The engine's memory
+    /// measure — `k / peak_units` is the class-aggregation ratio. Like the
+    /// work counters, this is **not** part of cross-engine outcome
+    /// equivalence.
+    pub peak_units: u64,
     /// Full transcript, if recording was enabled.
     pub transcript: Option<Transcript>,
     /// Stations that transmitted successfully at least once, with the slot
@@ -381,6 +421,75 @@ impl Adaptive {
     }
 }
 
+/// Install a fresh [`TxHint`] for unit `idx` looking from `after`: bump the
+/// hint epoch (superseding any live heap entry), push the new heap entry
+/// and update scope flags. Shared by the concrete and class engines — the
+/// scope semantics are identical; only the hint's *source* (a station or a
+/// whole class) differs. Returns the due slot of the installed entry
+/// (`None` for an unconditional silence promise), or `Err(())` when the
+/// answer ([`TxHint::Dense`] or a malformed scope boundary) forces the
+/// dense path.
+fn install_hint(
+    hint: TxHint,
+    idx: usize,
+    after: Slot,
+    heap: &mut BinaryHeap<Reverse<(Slot, usize, u64)>>,
+    states: &mut [HintState],
+    scoped: &mut Vec<usize>,
+) -> Result<Option<Slot>, ()> {
+    let st = &mut states[idx];
+    st.epoch += 1; // supersede any live heap entry
+    let was_scoped = st.success_scoped;
+    let (entry, now_scoped) = match hint {
+        TxHint::Dense => return Err(()),
+        TxHint::At(slot, until) => {
+            let slot = slot.max(after);
+            match until {
+                Until::Forever => (Some((Due::Poll, slot)), false),
+                Until::NextSuccess => (Some((Due::Poll, slot)), true),
+                // A validity boundary at or before `after` carries no
+                // silence claim at all: fall back to dense rather than
+                // trust it (correctness first).
+                Until::Slot(tb) if tb <= after => return Err(()),
+                Until::Slot(tb) if slot < tb => (Some((Due::Poll, slot)), false),
+                Until::Slot(tb) => (Some((Due::Requery, tb)), false),
+            }
+        }
+        TxHint::Never(until) => match until {
+            Until::Forever => (None, false),
+            Until::NextSuccess => (None, true),
+            Until::Slot(tb) if tb <= after => return Err(()),
+            Until::Slot(tb) => (Some((Due::Requery, tb)), false),
+        },
+    };
+    st.success_scoped = now_scoped;
+    if now_scoped && !was_scoped {
+        scoped.push(idx);
+    }
+    let due_slot = entry.map(|(_, slot)| slot);
+    if let Some((due, slot)) = entry {
+        st.due = due;
+        heap.push(Reverse((slot, idx, st.epoch)));
+    }
+    Ok(due_slot)
+}
+
+/// Resolve one slot from the tally: exact IDs in the collecting regime
+/// (identical to the concrete engine's [`SlotOutcome::resolve`]), weighted
+/// counts otherwise (collision IDs are not materialized — O(1) memory at
+/// mega scale; the sole transmitter of a success always carries its ID).
+fn slot_outcome(tally: &mut TxTally) -> SlotOutcome {
+    if tally.collect_ids() {
+        SlotOutcome::resolve(tally.sorted_ids().to_vec())
+    } else {
+        match tally.total() {
+            0 => SlotOutcome::Silence,
+            1 => SlotOutcome::Success(tally.winner().expect("sole transmitter carries its ID")),
+            _ => SlotOutcome::Collision(Vec::new()),
+        }
+    }
+}
+
 /// The simulator. Stateless between runs; holds only the configuration.
 #[derive(Clone, Debug)]
 pub struct Simulator {
@@ -403,23 +512,49 @@ impl Simulator {
     /// `run_seed` determinizes every random choice: per-station seeds are
     /// derived as `derive_seed(run_seed, id)`, so the same
     /// `(protocol, pattern, run_seed)` triple always reproduces the same run.
+    ///
+    /// Dispatches on [`SimConfig::population`]: the historical per-station
+    /// engine, or the class-aggregated engine (identical outcomes, memory
+    /// O(classes)).
     pub fn run(
         &self,
         protocol: &dyn Protocol,
         pattern: &WakePattern,
         run_seed: u64,
     ) -> Result<Outcome, SimError> {
+        match self.cfg.population {
+            PopulationMode::Concrete => self.run_concrete(protocol, pattern, run_seed),
+            PopulationMode::Classes => {
+                self.run_with_population(protocol, pattern, run_seed, &mut ClassPopulation)
+            }
+        }
+    }
+
+    /// Pre-run validation shared by both engines.
+    fn validate(&self, pattern: &WakePattern) -> Result<(), SimError> {
         if self.cfg.n == 0 {
             return Err(SimError::NoStations);
         }
-        for &(id, _) in pattern.wakes() {
-            if id.0 >= self.cfg.n {
-                return Err(SimError::StationOutOfRange { id, n: self.cfg.n });
-            }
+        if let Some(id) = pattern.out_of_range(self.cfg.n) {
+            return Err(SimError::StationOutOfRange { id, n: self.cfg.n });
         }
+        Ok(())
+    }
+
+    /// The historical engine: one boxed [`Station`] per woken station.
+    /// Block patterns are materialized up front (O(k) — the documented cost
+    /// of running a mega pattern concretely).
+    fn run_concrete(
+        &self,
+        protocol: &dyn Protocol,
+        pattern: &WakePattern,
+        run_seed: u64,
+    ) -> Result<Outcome, SimError> {
+        self.validate(pattern)?;
 
         let s = pattern.s();
-        let wakes = pattern.wakes();
+        let wakes = pattern.materialize();
+        let wakes: &[(StationId, Slot)] = &wakes;
         let mut next_wake = 0usize; // index into `wakes`
         let mut awake: Vec<(StationId, Box<dyn Station>, u64)> = Vec::new(); // (id, station, tx count)
         let mut transcript = self.cfg.record_transcript.then(Transcript::new);
@@ -434,6 +569,7 @@ impl Simulator {
         let mut skipped_slots = 0u64;
         let mut dense_steps = 0u64;
         let mut mode_switches = 0u64;
+        let mut peak_units = 0u64;
         let mut transmitters: Vec<StationId> = Vec::new();
         let mut transmitted_flags: Vec<bool> = Vec::new();
         let mut resolved: Vec<(StationId, Slot)> = Vec::new();
@@ -473,42 +609,14 @@ impl Simulator {
             states: &mut [HintState],
             scoped: &mut Vec<usize>,
         ) -> Result<Option<Slot>, ()> {
-            let hint = station.next_transmission(after);
-            let st = &mut states[idx];
-            st.epoch += 1; // supersede any live heap entry
-            let was_scoped = st.success_scoped;
-            let (entry, now_scoped) = match hint {
-                TxHint::Dense => return Err(()),
-                TxHint::At(slot, until) => {
-                    let slot = slot.max(after);
-                    match until {
-                        Until::Forever => (Some((Due::Poll, slot)), false),
-                        Until::NextSuccess => (Some((Due::Poll, slot)), true),
-                        // A validity boundary at or before `after` carries
-                        // no silence claim at all: fall back to dense
-                        // rather than trust it (correctness first).
-                        Until::Slot(tb) if tb <= after => return Err(()),
-                        Until::Slot(tb) if slot < tb => (Some((Due::Poll, slot)), false),
-                        Until::Slot(tb) => (Some((Due::Requery, tb)), false),
-                    }
-                }
-                TxHint::Never(until) => match until {
-                    Until::Forever => (None, false),
-                    Until::NextSuccess => (None, true),
-                    Until::Slot(tb) if tb <= after => return Err(()),
-                    Until::Slot(tb) => (Some((Due::Requery, tb)), false),
-                },
-            };
-            st.success_scoped = now_scoped;
-            if now_scoped && !was_scoped {
-                scoped.push(idx);
-            }
-            let due_slot = entry.map(|(_, slot)| slot);
-            if let Some((due, slot)) = entry {
-                st.due = due;
-                heap.push(Reverse((slot, idx, st.epoch)));
-            }
-            Ok(due_slot)
+            install_hint(
+                station.next_transmission(after),
+                idx,
+                after,
+                heap,
+                states,
+                scoped,
+            )
         }
 
         /// Drop from the sparse path into a dense burst window: discard the
@@ -584,6 +692,7 @@ impl Simulator {
                 awake.push((id, station, 0));
                 next_wake += 1;
             }
+            peak_units = peak_units.max(awake.len() as u64);
             // Full-batch burst test: after a batch arrival, if the earliest
             // live obligation in the heap is due within RESUME_GAP slots,
             // the heap has nothing to skip right now — run the burst dense.
@@ -1007,13 +1116,468 @@ impl Simulator {
             winner,
             slots_simulated,
             transmissions,
-            per_station_tx: awake.iter().map(|(id, _, tx)| (*id, *tx)).collect(),
+            per_station_tx: if self.cfg.per_station_detail {
+                awake.iter().map(|(id, _, tx)| (*id, *tx)).collect()
+            } else {
+                Vec::new()
+            },
             collisions,
             silent_slots,
             polls,
             skipped_slots,
             dense_steps,
             mode_switches,
+            peak_units,
+            transcript,
+            resolved,
+            all_resolved_at,
+        })
+    }
+
+    /// Run `protocol` against `pattern` under an explicit [`Population`]
+    /// strategy — the **class engine**. Stations waking at the same slot
+    /// are admitted as weighted units ([`ClassStation`]s); the run loop
+    /// mirrors the concrete engine's sparse event discipline (epoch-stamped
+    /// min-heap of per-unit due slots, fixpoint re-query at events, success
+    /// broadcast under [`StopRule::AllResolved`]) with one entry per *unit*
+    /// rather than per station, and falls back to per-slot dense polling
+    /// permanently when any unit answers [`TxHint::Dense`]. No adaptive
+    /// burst policy runs here — outcomes are path-independent, so only the
+    /// work counters differ from the concrete engine.
+    ///
+    /// Outcomes and transcripts are bit-identical to
+    /// [`run`](Simulator::run) under [`PopulationMode::Concrete`] for the
+    /// same config; memory is O(live units), reported via
+    /// [`Outcome::peak_units`].
+    ///
+    /// [`ClassStation`]: crate::population::ClassStation
+    pub fn run_with_population(
+        &self,
+        protocol: &dyn Protocol,
+        pattern: &WakePattern,
+        run_seed: u64,
+        population: &mut dyn Population,
+    ) -> Result<Outcome, SimError> {
+        use crate::population::ClassStation;
+
+        self.validate(pattern)?;
+
+        let s = pattern.s();
+        let batches = pattern.batches_by_slot();
+        let total_stations = pattern.k();
+        let mut next_batch = 0usize; // index into `batches`
+        let mut units: Vec<Box<dyn ClassStation>> = Vec::new();
+        let mut transcript = self.cfg.record_transcript.then(Transcript::new);
+        let detail = self.cfg.per_station_detail;
+        // Transcripts and per-station detail need individual transmitter
+        // IDs; mega runs use weighted counts only.
+        let mut tally = TxTally::new(detail || self.cfg.record_transcript);
+
+        let mut transmissions = 0u64;
+        let mut collisions = 0u64;
+        let mut silent_slots = 0u64;
+        let mut first_success = None;
+        let mut winner = None;
+        let mut slots_simulated = 0u64;
+        let mut polls = 0u64;
+        let mut skipped_slots = 0u64;
+        let mut dense_steps = 0u64;
+        let mut peak_units = 0u64;
+        let mut resolved: Vec<(StationId, Slot)> = Vec::new();
+        let mut all_resolved_at = None;
+
+        // Per-station transmission counts in wake order (detail mode only —
+        // the table is O(k) by nature).
+        let mut tx_counts: Vec<(StationId, u64)> = Vec::new();
+        let mut tx_index: HashMap<StationId, usize> = HashMap::new();
+
+        // Sparse until any unit answers TxHint::Dense or a malformed scope,
+        // which locks dense polling permanently (no adaptive policy here).
+        let mut sparse = self.cfg.engine == EngineMode::Auto;
+        // Min-heap of (due slot, index into `units`, hint epoch) — exactly
+        // the concrete engine's discipline, one entry per unit.
+        let mut heap: BinaryHeap<Reverse<(Slot, usize, u64)>> = BinaryHeap::new();
+        let mut hint_states: Vec<HintState> = Vec::new();
+        let mut success_scoped: Vec<usize> = Vec::new();
+        let mut polled: Vec<usize> = Vec::new();
+        let mut requery: Vec<usize> = Vec::new();
+
+        // Append `count` silent-slot records starting at `from`.
+        fn record_silence(transcript: &mut Option<Transcript>, from: Slot, count: u64) {
+            if let Some(tr) = transcript.as_mut() {
+                for slot in from..from + count {
+                    tr.push(SlotRecord {
+                        slot,
+                        transmitters: Vec::new(),
+                        outcome: SlotOutcome::Silence,
+                    });
+                }
+            }
+        }
+
+        let mut t = s;
+        'slots: while slots_simulated < self.cfg.max_slots {
+            // Admit batches due at or before t (batches are slot-sorted).
+            while next_batch < batches.len() && batches[next_batch].0 <= t {
+                let (sigma, members) = &batches[next_batch];
+                if detail {
+                    for id in members.iter() {
+                        tx_index.insert(id, tx_counts.len());
+                        tx_counts.push((id, 0));
+                    }
+                }
+                for mut unit in population.admit(protocol, members, run_seed) {
+                    unit.wake(*sigma);
+                    let idx = units.len();
+                    hint_states.push(HintState::new());
+                    if sparse
+                        && install_hint(
+                            unit.next_transmission(t),
+                            idx,
+                            t,
+                            &mut heap,
+                            &mut hint_states,
+                            &mut success_scoped,
+                        )
+                        .is_err()
+                    {
+                        sparse = false;
+                        heap.clear();
+                    }
+                    units.push(unit);
+                }
+                next_batch += 1;
+            }
+            peak_units = peak_units.max(units.len() as u64);
+
+            // Fast-forward: if nobody is awake, jump to the next batch —
+            // but never past the slot cap.
+            if units.is_empty() {
+                match batches.get(next_batch) {
+                    Some(&(sigma, _)) => {
+                        let gap = sigma - t;
+                        let remaining = self.cfg.max_slots - slots_simulated;
+                        if gap >= remaining {
+                            slots_simulated += remaining;
+                            skipped_slots += remaining;
+                            break 'slots;
+                        }
+                        slots_simulated += gap;
+                        skipped_slots += gap;
+                        t = sigma;
+                        continue 'slots;
+                    }
+                    None => break 'slots,
+                }
+            }
+
+            if sparse {
+                // Drop heap entries superseded by a newer hint epoch.
+                while let Some(&Reverse((_, idx, epoch))) = heap.peek() {
+                    if hint_states[idx].epoch == epoch {
+                        break;
+                    }
+                    heap.pop();
+                }
+                let next_due = heap.peek().map(|&Reverse((slot, _, _))| slot);
+                let next_arrival = batches.get(next_batch).map(|&(sigma, _)| sigma);
+                let event = match (next_due, next_arrival) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => {
+                        // No due entries and nobody else wakes: the rest of
+                        // the run is provably silent.
+                        let remaining = self.cfg.max_slots - slots_simulated;
+                        record_silence(&mut transcript, t, remaining);
+                        slots_simulated += remaining;
+                        silent_slots += remaining;
+                        skipped_slots += remaining;
+                        break 'slots;
+                    }
+                };
+                debug_assert!(event >= t, "event {event} behind clock {t}");
+                if event > t {
+                    // Skip the provably silent gap [t, event).
+                    let gap = event - t;
+                    let remaining = self.cfg.max_slots - slots_simulated;
+                    let take = gap.min(remaining);
+                    record_silence(&mut transcript, t, take);
+                    slots_simulated += take;
+                    silent_slots += take;
+                    skipped_slots += take;
+                    t += take;
+                    continue 'slots; // re-checks the cap / batch arrivals
+                }
+
+                // Event at t: serve the due entries to a fixpoint (a
+                // re-query may install a hint due at t again).
+                tally.clear();
+                polled.clear();
+                loop {
+                    requery.clear();
+                    while let Some(&Reverse((slot, idx, epoch))) = heap.peek() {
+                        if slot != t {
+                            break;
+                        }
+                        heap.pop();
+                        if hint_states[idx].epoch != epoch {
+                            continue; // stale entry
+                        }
+                        match hint_states[idx].due {
+                            Due::Poll => polled.push(idx),
+                            Due::Requery => requery.push(idx),
+                        }
+                    }
+                    if requery.is_empty() {
+                        break;
+                    }
+                    for &idx in &requery {
+                        if install_hint(
+                            units[idx].next_transmission(t),
+                            idx,
+                            t,
+                            &mut heap,
+                            &mut hint_states,
+                            &mut success_scoped,
+                        )
+                        .is_err()
+                        {
+                            sparse = false;
+                            heap.clear();
+                            break;
+                        }
+                    }
+                    if !sparse {
+                        break;
+                    }
+                }
+                if !sparse {
+                    continue 'slots; // dense path simulates slot t itself
+                }
+                if polled.is_empty() {
+                    // Pure re-query event: the slot joins the next silent
+                    // gap instead of being simulated individually.
+                    continue 'slots;
+                }
+
+                // Transmission event at t: poll exactly the scheduled units
+                // (everyone else is silent by promise).
+                for &idx in &polled {
+                    polls += 1;
+                    units[idx].act(t, &mut tally);
+                }
+                transmissions += tally.total();
+                let outcome = slot_outcome(&mut tally);
+
+                if let Some(tr) = transcript.as_mut() {
+                    tr.push(SlotRecord {
+                        slot: t,
+                        transmitters: tally.sorted_ids().to_vec(),
+                        outcome: outcome.clone(),
+                    });
+                }
+                if detail {
+                    for &id in tally.sorted_ids() {
+                        tx_counts[tx_index[&id]].1 += 1;
+                    }
+                }
+
+                slots_simulated += 1;
+                if let Some(w) = outcome.success_id() {
+                    if first_success.is_none() {
+                        first_success = Some(t);
+                        winner = Some(w);
+                    }
+                    if !resolved.iter().any(|&(id, _)| id == w) {
+                        resolved.push((w, t));
+                    }
+                    if self.cfg.stop == StopRule::FirstSuccess {
+                        break 'slots; // matches concrete: no feedback
+                    }
+
+                    // AllResolved: a success is heard by every unit, and
+                    // classes may split on it (the winner retires out).
+                    // Feedback is uniform across stations, so one perceive
+                    // covers the whole floor.
+                    let fb = self.cfg.feedback.perceive(&outcome, false);
+                    let mut born: Vec<Box<dyn ClassStation>> = Vec::new();
+                    for unit in units.iter_mut() {
+                        born.append(&mut unit.feedback(t, fb));
+                    }
+                    let first_new = units.len();
+                    for nu in born {
+                        hint_states.push(HintState::new());
+                        units.push(nu);
+                    }
+                    peak_units = peak_units.max(units.len() as u64);
+                    if resolved.len() == total_stations && next_batch == batches.len() {
+                        all_resolved_at = Some(t);
+                        break 'slots;
+                    }
+
+                    // The success invalidates every NextSuccess-scoped
+                    // hint; re-query those, the polled units (entries
+                    // consumed), and newborn splits, from t + 1.
+                    requery.clear();
+                    for idx in success_scoped.drain(..) {
+                        if hint_states[idx].success_scoped {
+                            hint_states[idx].success_scoped = false;
+                            requery.push(idx);
+                        }
+                    }
+                    requery.extend(polled.iter().copied());
+                    requery.extend(first_new..units.len());
+                    requery.sort_unstable();
+                    requery.dedup();
+                    for &idx in &requery {
+                        if install_hint(
+                            units[idx].next_transmission(t + 1),
+                            idx,
+                            t + 1,
+                            &mut heap,
+                            &mut hint_states,
+                            &mut success_scoped,
+                        )
+                        .is_err()
+                        {
+                            sparse = false;
+                            heap.clear();
+                            break;
+                        }
+                    }
+                    t += 1;
+                    continue 'slots;
+                }
+
+                match &outcome {
+                    SlotOutcome::Collision(_) => collisions += 1,
+                    SlotOutcome::Silence => silent_slots += 1,
+                    SlotOutcome::Success(_) => unreachable!("handled above"),
+                }
+
+                // Non-success feedback goes only to the polled units (the
+                // concrete sparse contract); splits are possible here too.
+                let fb = self.cfg.feedback.perceive(&outcome, false);
+                let mut born: Vec<Box<dyn ClassStation>> = Vec::new();
+                for &idx in &polled {
+                    born.append(&mut units[idx].feedback(t, fb));
+                }
+                let first_new = units.len();
+                for nu in born {
+                    hint_states.push(HintState::new());
+                    units.push(nu);
+                }
+                peak_units = peak_units.max(units.len() as u64);
+
+                // Re-arm the polled units (entries consumed) and newborn
+                // splits from t + 1; nothing else was invalidated.
+                requery.clear();
+                requery.extend(polled.iter().copied());
+                requery.extend(first_new..units.len());
+                for &idx in &requery {
+                    if install_hint(
+                        units[idx].next_transmission(t + 1),
+                        idx,
+                        t + 1,
+                        &mut heap,
+                        &mut hint_states,
+                        &mut success_scoped,
+                    )
+                    .is_err()
+                    {
+                        sparse = false;
+                        heap.clear();
+                        break;
+                    }
+                }
+                t += 1;
+                continue 'slots;
+            }
+
+            // Dense path: poll every unit every slot.
+            tally.clear();
+            for unit in units.iter_mut() {
+                polls += 1;
+                unit.act(t, &mut tally);
+            }
+            transmissions += tally.total();
+            let outcome = slot_outcome(&mut tally);
+
+            if let Some(tr) = transcript.as_mut() {
+                tr.push(SlotRecord {
+                    slot: t,
+                    transmitters: tally.sorted_ids().to_vec(),
+                    outcome: outcome.clone(),
+                });
+            }
+            if detail {
+                for &id in tally.sorted_ids() {
+                    tx_counts[tx_index[&id]].1 += 1;
+                }
+            }
+
+            slots_simulated += 1;
+            dense_steps += 1;
+            let fb = self.cfg.feedback.perceive(&outcome, false);
+            match &outcome {
+                SlotOutcome::Success(w) => {
+                    if first_success.is_none() {
+                        first_success = Some(t);
+                        winner = Some(*w);
+                    }
+                    if !resolved.iter().any(|&(id, _)| id == *w) {
+                        resolved.push((*w, t));
+                    }
+                    match self.cfg.stop {
+                        StopRule::FirstSuccess => break 'slots,
+                        StopRule::AllResolved => {
+                            if resolved.len() == total_stations && next_batch == batches.len() {
+                                all_resolved_at = Some(t);
+                                // Deliver the final feedback so the winner
+                                // learns of its own success, then stop.
+                                for unit in units.iter_mut() {
+                                    let _ = unit.feedback(t, fb);
+                                }
+                                break 'slots;
+                            }
+                        }
+                    }
+                }
+                SlotOutcome::Collision(_) => collisions += 1,
+                SlotOutcome::Silence => silent_slots += 1,
+            }
+
+            // Deliver feedback to every unit; append any splits (they are
+            // polled from the next slot, like everyone else on the dense
+            // path — the members they carry already received this slot's
+            // feedback through their parent).
+            let mut born: Vec<Box<dyn ClassStation>> = Vec::new();
+            for unit in units.iter_mut() {
+                born.append(&mut unit.feedback(t, fb));
+            }
+            for nu in born {
+                hint_states.push(HintState::new());
+                units.push(nu);
+            }
+            peak_units = peak_units.max(units.len() as u64);
+            t += 1;
+        }
+
+        Ok(Outcome {
+            s,
+            first_success,
+            winner,
+            slots_simulated,
+            transmissions,
+            per_station_tx: tx_counts,
+            collisions,
+            silent_slots,
+            polls,
+            skipped_slots,
+            dense_steps,
+            mode_switches: 0,
+            peak_units,
             transcript,
             resolved,
             all_resolved_at,

@@ -80,6 +80,7 @@ pub mod engine;
 pub mod ids;
 pub mod metrics;
 pub mod pattern;
+pub mod population;
 pub mod rng;
 pub mod station;
 pub mod trace;
@@ -87,7 +88,11 @@ pub mod trace;
 pub use channel::{Feedback, FeedbackModel, SlotOutcome};
 pub use engine::{EngineMode, Outcome, SimConfig, SimError, Simulator};
 pub use ids::{Slot, StationId};
-pub use pattern::WakePattern;
+pub use pattern::{WakeBlock, WakePattern};
+pub use population::{
+    ClassPopulation, ClassStation, ConcretePopulation, Members, Population, PopulationMode,
+    SingletonClass, TxTally,
+};
 pub use station::{Action, Protocol, Station, TxHint, Until};
 pub use trace::Transcript;
 
@@ -98,7 +103,11 @@ pub mod prelude {
     pub use crate::engine::{EngineMode, Outcome, SimConfig, SimError, Simulator};
     pub use crate::ids::{Slot, StationId};
     pub use crate::metrics::{EnergyStats, LatencySample, OutcomeDigest};
-    pub use crate::pattern::{IdChoice, WakePattern};
+    pub use crate::pattern::{IdChoice, WakeBlock, WakePattern};
+    pub use crate::population::{
+        ClassPopulation, ClassStation, ConcretePopulation, Members, Population, PopulationMode,
+        SingletonClass, TxTally,
+    };
     pub use crate::station::{Action, Protocol, Station, TxHint, Until};
     pub use crate::trace::Transcript;
 }

@@ -64,6 +64,9 @@ pub struct OutcomeDigest {
     /// Sparse↔dense transitions of the adaptive engine policy
     /// (`Outcome::mode_switches`).
     pub mode_switches: u64,
+    /// Peak simultaneous simulation units (`Outcome::peak_units`) — the
+    /// memory proxy of the class-aggregated engine.
+    pub peak_units: u64,
     /// Total transmissions (the energy cost).
     pub transmissions: u64,
     /// Maximum transmissions by any single station.
@@ -82,6 +85,7 @@ impl OutcomeDigest {
             skipped: out.skipped_slots,
             dense_steps: out.dense_steps,
             mode_switches: out.mode_switches,
+            peak_units: out.peak_units,
             transmissions: out.transmissions,
             max_station_tx: out
                 .per_station_tx
@@ -142,6 +146,16 @@ impl EnergyStats {
         self.max_per_station = self.max_per_station.max(d.max_station_tx);
     }
 
+    /// Merge another accumulator. All fields are associative (sums and a
+    /// max), so partial accumulators — e.g. per-worker pre-folds — merge in
+    /// any grouping without changing the result.
+    pub fn merge(&mut self, other: &EnergyStats) {
+        self.runs += other.runs;
+        self.total_transmissions += other.total_transmissions;
+        self.total_collisions += other.total_collisions;
+        self.max_per_station = self.max_per_station.max(other.max_per_station);
+    }
+
     /// Mean transmissions per run.
     pub fn mean_transmissions(&self) -> f64 {
         if self.runs == 0 {
@@ -180,6 +194,7 @@ mod tests {
             skipped_slots: 0,
             dense_steps: slots,
             mode_switches: 0,
+            peak_units: 1,
             transcript: None,
             resolved: latency
                 .map(|l| (StationId(0), 10 + l))

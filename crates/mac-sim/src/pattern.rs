@@ -21,14 +21,38 @@
 //! bad for round-robin) or at random.
 
 use crate::ids::{Slot, StationId};
+use crate::population::Members;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// A contiguous block of stations `lo..hi` all waking at `slot` — the O(1)
+/// building block of mega-scale patterns (see [`WakePattern::from_blocks`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WakeBlock {
+    /// The common wake slot of the block.
+    pub slot: Slot,
+    /// First station ID of the block (inclusive).
+    pub lo: u32,
+    /// One past the last station ID of the block.
+    pub hi: u32,
+}
+
 /// A complete wake-up pattern: the (station, wake slot) pairs of the at most
 /// `k` stations that ever wake. Stations not listed never wake.
+///
+/// Two representations share the type: **explicit** pairs (the historical
+/// form, O(k) memory) and **blocks** of contiguous IDs
+/// ([`WakePattern::from_blocks`], O(blocks) memory — what makes `k = 2^24`
+/// patterns fit on one box). Accessors that inherently enumerate stations
+/// ([`wakes`](WakePattern::wakes), [`awake_at`](WakePattern::awake_at))
+/// either panic or materialize for block patterns, as documented.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WakePattern {
+    /// Explicit pairs, sorted by (slot, id); empty iff `blocks` is `Some`.
     wakes: Vec<(StationId, Slot)>,
+    /// Block representation, sorted by (slot, lo); `None` for explicit
+    /// patterns.
+    blocks: Option<Vec<WakeBlock>>,
 }
 
 /// Errors constructing a [`WakePattern`].
@@ -69,7 +93,39 @@ impl WakePattern {
                 return Err(PatternError::DuplicateStation(id));
             }
         }
-        Ok(WakePattern { wakes })
+        Ok(WakePattern {
+            wakes,
+            blocks: None,
+        })
+    }
+
+    /// Build a pattern from contiguous-ID wake blocks — O(blocks) memory,
+    /// the representation for mega-scale patterns (`k = 2^24` is one
+    /// block). Blocks are sorted by wake slot (ties by `lo`); empty blocks
+    /// (`lo ≥ hi`) are rejected as [`PatternError::Empty`], and a station
+    /// covered by two blocks is a [`PatternError::DuplicateStation`].
+    pub fn from_blocks(mut blocks: Vec<WakeBlock>) -> Result<Self, PatternError> {
+        if blocks.is_empty() || blocks.iter().any(|b| b.lo >= b.hi) {
+            return Err(PatternError::Empty);
+        }
+        blocks.sort_by_key(|b| (b.slot, b.lo));
+        // A station may wake only once: block ID ranges must be disjoint.
+        let mut spans: Vec<(u32, u32)> = blocks.iter().map(|b| (b.lo, b.hi)).collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(PatternError::DuplicateStation(StationId(w[1].0)));
+            }
+        }
+        Ok(WakePattern {
+            wakes: Vec::new(),
+            blocks: Some(blocks),
+        })
+    }
+
+    /// All stations `lo..hi` wake at slot `s` — the one-block mega pattern.
+    pub fn range(lo: u32, hi: u32, s: Slot) -> Result<Self, PatternError> {
+        Self::from_blocks(vec![WakeBlock { slot: s, lo, hi }])
     }
 
     /// All `ids` wake at the same slot `s`.
@@ -158,37 +214,95 @@ impl WakePattern {
     }
 
     /// The `(station, wake slot)` pairs, sorted by wake slot then ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics for block patterns, which deliberately never hold per-station
+    /// pairs; use [`batches`](Self::batches) or
+    /// [`materialize`](Self::materialize) instead.
     #[inline]
     pub fn wakes(&self) -> &[(StationId, Slot)] {
+        assert!(
+            self.blocks.is_none(),
+            "wakes(): block pattern has no explicit pairs; use batches() or materialize()"
+        );
         &self.wakes
+    }
+
+    /// Whether this pattern uses the O(blocks) representation.
+    #[inline]
+    pub fn is_blocks(&self) -> bool {
+        self.blocks.is_some()
     }
 
     /// Number of stations that ever wake (the pattern's `k`).
     #[inline]
     pub fn k(&self) -> usize {
-        self.wakes.len()
+        match &self.blocks {
+            Some(bs) => bs.iter().map(|b| (b.hi - b.lo) as usize).sum(),
+            None => self.wakes.len(),
+        }
     }
 
     /// The first slot at which some station is awake — the paper's `s`.
     #[inline]
     pub fn s(&self) -> Slot {
-        self.wakes[0].1
+        match &self.blocks {
+            Some(bs) => bs[0].slot,
+            None => self.wakes[0].1,
+        }
     }
 
     /// The last wake-up slot in the pattern.
     #[inline]
     pub fn last_wake(&self) -> Slot {
-        self.wakes.iter().map(|&(_, t)| t).max().unwrap()
+        match &self.blocks {
+            Some(bs) => bs.last().unwrap().slot,
+            None => self.wakes.iter().map(|&(_, t)| t).max().unwrap(),
+        }
+    }
+
+    /// One past the largest station ID in the pattern (for `id < n` checks).
+    pub fn max_id_bound(&self) -> u32 {
+        match &self.blocks {
+            Some(bs) => bs.iter().map(|b| b.hi).max().unwrap(),
+            None => self.wakes.iter().map(|&(id, _)| id.0 + 1).max().unwrap(),
+        }
+    }
+
+    /// The first waking station (in wake order) with ID `≥ n`, if any —
+    /// the engine's `id < n` validation, O(pattern) for both
+    /// representations.
+    pub fn out_of_range(&self, n: u32) -> Option<StationId> {
+        match &self.blocks {
+            Some(bs) => bs.iter().find(|b| b.hi > n).map(|b| StationId(b.lo.max(n))),
+            None => self.wakes.iter().map(|&(id, _)| id).find(|id| id.0 >= n),
+        }
     }
 
     /// The wake slot of `id`, if it ever wakes.
     pub fn wake_of(&self, id: StationId) -> Option<Slot> {
-        self.wakes.iter().find(|&&(i, _)| i == id).map(|&(_, t)| t)
+        match &self.blocks {
+            Some(bs) => bs
+                .iter()
+                .find(|b| b.lo <= id.0 && id.0 < b.hi)
+                .map(|b| b.slot),
+            None => self.wakes.iter().find(|&&(i, _)| i == id).map(|&(_, t)| t),
+        }
     }
 
     /// Replace the wake slot of `id` (used by the spoiler adversary).
     /// Returns `false` if `id` is not in the pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics for block patterns (the spoiler adversary operates on explicit
+    /// patterns only).
     pub fn reschedule(&mut self, id: StationId, new_slot: Slot) -> bool {
+        assert!(
+            self.blocks.is_none(),
+            "reschedule(): unsupported on block patterns"
+        );
         let Some(pos) = self.wakes.iter().position(|&(i, _)| i == id) else {
             return false;
         };
@@ -198,12 +312,82 @@ impl WakePattern {
     }
 
     /// The set of stations awake at slot `t` (woken at or before `t`).
+    ///
+    /// For block patterns this enumerates every awake station — O(k), not
+    /// O(blocks) — so it is meant for tests and small patterns only.
     pub fn awake_at(&self, t: Slot) -> Vec<StationId> {
-        self.wakes
-            .iter()
-            .filter(|&&(_, w)| w <= t)
-            .map(|&(id, _)| id)
-            .collect()
+        match &self.blocks {
+            Some(bs) => {
+                let mut ids: Vec<StationId> = bs
+                    .iter()
+                    .filter(|b| b.slot <= t)
+                    .flat_map(|b| (b.lo..b.hi).map(StationId))
+                    .collect();
+                ids.sort_unstable();
+                ids
+            }
+            None => self
+                .wakes
+                .iter()
+                .filter(|&&(_, w)| w <= t)
+                .map(|&(id, _)| id)
+                .collect(),
+        }
+    }
+
+    /// The pattern as per-slot wake batches, in ascending slot order — the
+    /// class engine's view. Each batch holds the [`Members`] that wake at
+    /// that slot. O(runs) memory for both representations.
+    pub fn batches_by_slot(&self) -> Vec<(Slot, Members)> {
+        match &self.blocks {
+            Some(bs) => {
+                let mut out: Vec<(Slot, Members)> = Vec::new();
+                let mut i = 0;
+                while i < bs.len() {
+                    let slot = bs[i].slot;
+                    let mut runs: Vec<(u32, u32)> = Vec::new();
+                    while i < bs.len() && bs[i].slot == slot {
+                        runs.push((bs[i].lo, bs[i].hi));
+                        i += 1;
+                    }
+                    runs.sort_unstable();
+                    out.push((slot, Members::from_runs(runs)));
+                }
+                out
+            }
+            None => {
+                let mut out: Vec<(Slot, Members)> = Vec::new();
+                let mut i = 0;
+                while i < self.wakes.len() {
+                    let slot = self.wakes[i].1;
+                    let mut ids: Vec<StationId> = Vec::new();
+                    while i < self.wakes.len() && self.wakes[i].1 == slot {
+                        ids.push(self.wakes[i].0);
+                        i += 1;
+                    }
+                    ids.sort_unstable();
+                    out.push((slot, Members::from_sorted_ids(&ids)));
+                }
+                out
+            }
+        }
+    }
+
+    /// Materialize explicit `(station, wake slot)` pairs, sorted by
+    /// (slot, id) — what the concrete engine iterates. O(k) memory for block
+    /// patterns (documented cost of running a mega pattern concretely).
+    pub fn materialize(&self) -> std::borrow::Cow<'_, [(StationId, Slot)]> {
+        match &self.blocks {
+            Some(bs) => {
+                let mut wakes: Vec<(StationId, Slot)> = bs
+                    .iter()
+                    .flat_map(|b| (b.lo..b.hi).map(move |id| (StationId(id), b.slot)))
+                    .collect();
+                wakes.sort_by_key(|&(id, t)| (t, id));
+                std::borrow::Cow::Owned(wakes)
+            }
+            None => std::borrow::Cow::Borrowed(&self.wakes),
+        }
     }
 }
 
@@ -372,5 +556,123 @@ mod tests {
     fn id_choice_panics_when_k_exceeds_n() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         IdChoice::FirstK.pick(10, 11, &mut rng);
+    }
+
+    #[test]
+    fn block_pattern_accessors() {
+        let p = WakePattern::range(0, 1 << 20, 7).unwrap();
+        assert!(p.is_blocks());
+        assert_eq!(p.k(), 1 << 20);
+        assert_eq!(p.s(), 7);
+        assert_eq!(p.last_wake(), 7);
+        assert_eq!(p.max_id_bound(), 1 << 20);
+        assert_eq!(p.wake_of(StationId(0)), Some(7));
+        assert_eq!(p.wake_of(StationId((1 << 20) - 1)), Some(7));
+        assert_eq!(p.wake_of(StationId(1 << 20)), None);
+    }
+
+    #[test]
+    fn block_pattern_validation() {
+        assert_eq!(WakePattern::from_blocks(vec![]), Err(PatternError::Empty));
+        assert_eq!(
+            WakePattern::range(5, 5, 0),
+            Err(PatternError::Empty),
+            "empty block"
+        );
+        let overlap = WakePattern::from_blocks(vec![
+            WakeBlock {
+                slot: 0,
+                lo: 0,
+                hi: 10,
+            },
+            WakeBlock {
+                slot: 4,
+                lo: 8,
+                hi: 12,
+            },
+        ]);
+        assert_eq!(overlap, Err(PatternError::DuplicateStation(StationId(8))));
+    }
+
+    #[test]
+    #[should_panic(expected = "block pattern has no explicit pairs")]
+    fn block_pattern_wakes_panics() {
+        let p = WakePattern::range(0, 4, 0).unwrap();
+        let _ = p.wakes();
+    }
+
+    #[test]
+    fn block_pattern_batches_and_materialize_agree_with_explicit() {
+        let blocks = WakePattern::from_blocks(vec![
+            WakeBlock {
+                slot: 3,
+                lo: 6,
+                hi: 9,
+            },
+            WakeBlock {
+                slot: 0,
+                lo: 0,
+                hi: 2,
+            },
+            WakeBlock {
+                slot: 0,
+                lo: 4,
+                hi: 6,
+            },
+        ])
+        .unwrap();
+        let explicit = WakePattern::new(
+            blocks
+                .materialize()
+                .iter()
+                .copied()
+                .collect::<Vec<(StationId, Slot)>>(),
+        )
+        .unwrap();
+        assert_eq!(blocks.batches_by_slot(), explicit.batches_by_slot());
+        assert_eq!(blocks.materialize().as_ref(), explicit.wakes());
+        assert_eq!(blocks.k(), explicit.k());
+        assert_eq!(blocks.awake_at(0), explicit.awake_at(0));
+        assert_eq!(blocks.awake_at(3), explicit.awake_at(3));
+        let batches = blocks.batches_by_slot();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].0, 0);
+        assert_eq!(batches[0].1.count(), 4);
+        assert_eq!(batches[1].0, 3);
+        assert_eq!(batches[1].1.count(), 3);
+    }
+
+    #[test]
+    fn explicit_pattern_batches_group_by_slot() {
+        let p = WakePattern::new(vec![
+            (StationId(5), 2),
+            (StationId(0), 0),
+            (StationId(1), 0),
+            (StationId(6), 2),
+        ])
+        .unwrap();
+        let batches = p.batches_by_slot();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0], (0, Members::range(0, 2)));
+        assert_eq!(batches[1], (2, Members::range(5, 7)));
+    }
+
+    #[test]
+    fn adjacent_blocks_coalesce_in_batches() {
+        let p = WakePattern::from_blocks(vec![
+            WakeBlock {
+                slot: 1,
+                lo: 0,
+                hi: 5,
+            },
+            WakeBlock {
+                slot: 1,
+                lo: 5,
+                hi: 9,
+            },
+        ])
+        .unwrap();
+        let batches = p.batches_by_slot();
+        assert_eq!(batches, vec![(1, Members::range(0, 9))]);
     }
 }

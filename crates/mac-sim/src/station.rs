@@ -14,6 +14,7 @@
 
 use crate::channel::Feedback;
 use crate::ids::{Slot, StationId};
+use crate::population::{ClassStation, Members};
 
 /// The *validity scope* of a [`TxHint`] — until when the promise holds.
 ///
@@ -207,6 +208,21 @@ pub trait Protocol {
 
     /// Human-readable protocol name (used in tables and transcripts).
     fn name(&self) -> String;
+
+    /// Instantiate one class-aggregated unit covering the whole wake batch
+    /// `members` (stations waking at the same slot), or `None` if this
+    /// protocol has no class-aggregated form — the engine then falls back
+    /// to one [`SingletonClass`](crate::population::SingletonClass) per
+    /// station, with identical outcomes.
+    ///
+    /// Implementations must make the returned unit behave exactly like the
+    /// per-member [`station`](Protocol::station)s it stands in for (see
+    /// [`ClassStation`]); `run_seed` is the run seed (classes of
+    /// deterministic protocols ignore it).
+    fn class_station(&self, members: &Members, run_seed: u64) -> Option<Box<dyn ClassStation>> {
+        let _ = (members, run_seed);
+        None
+    }
 }
 
 impl<P: Protocol + ?Sized> Protocol for &P {
@@ -216,6 +232,9 @@ impl<P: Protocol + ?Sized> Protocol for &P {
     fn name(&self) -> String {
         (**self).name()
     }
+    fn class_station(&self, members: &Members, run_seed: u64) -> Option<Box<dyn ClassStation>> {
+        (**self).class_station(members, run_seed)
+    }
 }
 
 impl<P: Protocol + ?Sized> Protocol for Box<P> {
@@ -224,6 +243,9 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
     }
     fn name(&self) -> String {
         (**self).name()
+    }
+    fn class_station(&self, members: &Members, run_seed: u64) -> Option<Box<dyn ClassStation>> {
+        (**self).class_station(members, run_seed)
     }
 }
 

@@ -192,6 +192,72 @@ impl Runner {
         J: Fn(u64) -> T + Sync,
         C: Collector<Item = T>,
     {
+        self.run_batched(
+            runs,
+            |range| range.map(&job).collect::<Vec<T>>(),
+            |start, items| {
+                for (off, item) in items.into_iter().enumerate() {
+                    collector.collect(start + off as u64, item);
+                }
+            },
+        )
+    }
+
+    /// Like [`run`](Self::run), but each worker **pre-folds** its batch into
+    /// one partial aggregate `A` before shipping: `zero()` seeds the batch
+    /// partial and `fold(&mut a, i, job(i))` absorbs each run, on the worker
+    /// thread. The reducer then hands the partials to `collector` in index
+    /// order (one `collect(start, partial)` per batch, `start` the batch's
+    /// first run index, batch boundaries unspecified).
+    ///
+    /// This moves reduction work off the fold thread and shrinks channel
+    /// traffic and the reorder buffer from O(batch) items to one partial per
+    /// batch — the pipelined path for million-run streaming sweeps.
+    ///
+    /// **Determinism contract**: aggregates stay bit-identical across thread
+    /// counts iff merging per-batch partials in index order is insensitive
+    /// to where the batch boundaries fall. Integer sums, counts, minima and
+    /// maxima qualify; floating-point accumulations do **not** — keep the
+    /// raw observations (or integer encodings) in the partial and replay
+    /// them in the collector, where fold order is total again.
+    pub fn run_folded<T, A, J, Z, F, C>(
+        &self,
+        runs: u64,
+        job: J,
+        zero: Z,
+        fold: F,
+        mut collector: C,
+    ) -> RunStats
+    where
+        A: Send,
+        J: Fn(u64) -> T + Sync,
+        Z: Fn() -> A + Sync,
+        F: Fn(&mut A, u64, T) + Sync,
+        C: Collector<Item = A>,
+    {
+        self.run_batched(
+            runs,
+            |range| {
+                let mut a = zero();
+                for i in range {
+                    fold(&mut a, i, job(i));
+                }
+                a
+            },
+            |start, partial| collector.collect(start, partial),
+        )
+    }
+
+    /// The batch-granular core behind [`run`](Self::run) and
+    /// [`run_folded`](Self::run_folded): workers turn whole index ranges
+    /// into one shipped payload `R` via `make_batch`, and `fold_batch`
+    /// replays the payloads on this thread in ascending range order.
+    fn run_batched<R, MB, FB>(&self, runs: u64, make_batch: MB, mut fold_batch: FB) -> RunStats
+    where
+        R: Send,
+        MB: Fn(std::ops::Range<u64>) -> R + Sync,
+        FB: FnMut(u64, R),
+    {
         let started = Instant::now();
         let mut stats = RunStats {
             runs,
@@ -205,8 +271,8 @@ impl Runner {
         let mut meter = self.progress.clone().map(ProgressMeter::new);
 
         // Calibration / batch-size choice. Calibration runs are real runs:
-        // they execute indices 0.. inline and feed the collector first, so
-        // the fold order is unaffected.
+        // they execute indices 0.. inline (one single-run batch each, so
+        // per-run cost is observable) and fold first — order is unaffected.
         let mut next = 0u64;
         let batch = match self.batch {
             BatchSize::Fixed(b) => b.max(1),
@@ -214,7 +280,7 @@ impl Runner {
                 let calib = CALIBRATION_RUNS.min(runs);
                 let t0 = Instant::now();
                 while next < calib {
-                    collector.collect(next, job(next));
+                    fold_batch(next, make_batch(next..next + 1));
                     next += 1;
                     // Small ensembles of expensive runs live entirely in
                     // this loop — keep reporting.
@@ -243,10 +309,13 @@ impl Runner {
 
         if threads == 1 {
             // Inline fast path: no workers, no channel, same fold order.
-            for i in remaining {
-                collector.collect(i, job(i));
+            let mut i = remaining.start;
+            while i < remaining.end {
+                let end = remaining.end.min(i + batch);
+                fold_batch(i, make_batch(i..end));
+                i = end;
                 if let Some(m) = meter.as_mut() {
-                    m.tick(i + 1, runs, 0);
+                    m.tick(i, runs, 0);
                 }
             }
             stats.batches = runs.saturating_sub(next).div_ceil(batch);
@@ -260,7 +329,7 @@ impl Runner {
         stats.batches = (remaining.end - remaining.start).div_ceil(batch);
         let done = AtomicU64::new(next);
         let worker_runs: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
-        let (tx, rx) = mpsc::channel::<(u64, Vec<T>)>();
+        let (tx, rx) = mpsc::channel::<(u64, u64, R)>();
 
         // Admission window: workers may not *execute* a batch starting more
         // than `window` indices past the reducer's fold frontier. This is
@@ -294,7 +363,7 @@ impl Runner {
             for (me, my_runs) in worker_runs.iter().enumerate() {
                 let tx = tx.clone();
                 let queue = &queue;
-                let job = &job;
+                let make_batch = &make_batch;
                 let done = &done;
                 let frontier = &frontier;
                 let poisoned = &poisoned;
@@ -310,10 +379,10 @@ impl Runner {
                         }
                         let start = range.start;
                         let count = range.end - range.start;
-                        let items: Vec<T> = range.map(job).collect();
+                        let payload = make_batch(range);
                         done.fetch_add(count, Ordering::Relaxed);
                         my_runs.fetch_add(count, Ordering::Relaxed);
-                        if tx.send((start, items)).is_err() {
+                        if tx.send((start, count, payload)).is_err() {
                             return; // reducer gone (panic unwinding)
                         }
                     }
@@ -328,18 +397,16 @@ impl Runner {
             // that can no longer advance.
             let _reducer_flag = PanicFlag(&poisoned);
 
-            // Reduce on this thread: replay batches in index order.
-            let mut pending: BTreeMap<u64, Vec<T>> = BTreeMap::new();
+            // Reduce on this thread: replay batch payloads in index order.
+            let mut pending: BTreeMap<u64, (u64, R)> = BTreeMap::new();
             let mut expected = next;
             while expected < runs {
                 match rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok((start, items)) => {
-                        pending.insert(start, items);
-                        while let Some(items) = pending.remove(&expected) {
-                            for item in items {
-                                collector.collect(expected, item);
-                                expected += 1;
-                            }
+                    Ok((start, count, payload)) => {
+                        pending.insert(start, (count, payload));
+                        while let Some((count, payload)) = pending.remove(&expected) {
+                            fold_batch(expected, payload);
+                            expected += count;
                         }
                         frontier.store(expected, Ordering::Release);
                     }

@@ -37,6 +37,87 @@ fn output_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Pre-folded partial for the `run_folded` tests: integer aggregates merge
+/// associatively; the raw observations ride along for order-exact FP replay.
+#[derive(Default)]
+struct Partial {
+    count: u64,
+    sum: u64,
+    max: u64,
+    obs: Vec<f64>,
+}
+
+fn prefold_all(
+    threads: usize,
+    batch: BatchSize,
+    placement: Placement,
+    runs: u64,
+) -> (u64, u64, u64, OnlineStats) {
+    let (mut count, mut sum, mut max) = (0u64, 0u64, 0u64);
+    let mut stats = OnlineStats::new();
+    let rs = Runner::new()
+        .with_threads(threads)
+        .with_batch(batch)
+        .with_placement(placement)
+        .run_folded(
+            runs,
+            jagged,
+            Partial::default,
+            |a: &mut Partial, i, x: f64| {
+                a.count += 1;
+                a.sum += i * i;
+                a.max = a.max.max(i * 31 % 101);
+                a.obs.push(x);
+            },
+            wakeup_runner::collect::from_fn(|_start, p: Partial| {
+                count += p.count;
+                sum += p.sum;
+                max = max.max(p.max);
+                for x in p.obs {
+                    stats.push(x); // replayed in index order — FP-exact
+                }
+            }),
+        );
+    assert_eq!(rs.runs, runs);
+    (count, sum, max, stats)
+}
+
+#[test]
+fn run_folded_aggregates_are_bit_identical_across_thread_counts() {
+    // Sequential reference: same folds, no pre-folding at all.
+    let mut ref_stats = OnlineStats::new();
+    let (mut ref_sum, mut ref_max) = (0u64, 0u64);
+    for i in 0..300u64 {
+        ref_sum += i * i;
+        ref_max = ref_max.max(i * 31 % 101);
+        ref_stats.push(jagged(i));
+    }
+    for (threads, batch) in [
+        (1, BatchSize::Fixed(8)),
+        (3, BatchSize::Fixed(8)),
+        (8, BatchSize::Fixed(1)),
+        (4, BatchSize::default()),
+    ] {
+        let (count, sum, max, stats) = prefold_all(threads, batch, Placement::Interleaved, 300);
+        assert_eq!(count, 300, "threads={threads}");
+        assert_eq!(sum, ref_sum, "threads={threads}");
+        assert_eq!(max, ref_max, "threads={threads}");
+        // Bit-identical, not approximately equal: the replayed fold order
+        // is the sequential order.
+        assert_eq!(stats, ref_stats, "threads={threads}");
+    }
+}
+
+#[test]
+fn run_folded_under_forced_steals_matches_inline() {
+    let reference = prefold_all(1, BatchSize::Fixed(1), Placement::Interleaved, 150);
+    let got = prefold_all(4, BatchSize::Fixed(1), Placement::Packed, 150);
+    assert_eq!(got.0, reference.0);
+    assert_eq!(got.1, reference.1);
+    assert_eq!(got.2, reference.2);
+    assert_eq!(got.3, reference.3);
+}
+
 #[test]
 fn forced_steal_schedule_is_deterministic() {
     // Packed placement + single-run batches: workers 1..T can only make

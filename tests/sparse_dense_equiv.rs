@@ -532,6 +532,313 @@ fn mid_run_yield_collapse_triggers_dense_stepping() {
     assert!(auto.skipped_slots + auto.dense_steps <= auto.slots_simulated);
 }
 
+// ---------------------------------------------------------------------
+// Class-aggregated population equivalence: `PopulationMode::Classes`
+// simulates one representative per equivalence class (stations in
+// identical protocol state) with a multiplicity, so its `Outcome` and
+// transcript must be bit-identical to the concrete per-station engine —
+// only the work counters (`polls`, `skipped_slots`, `dense_steps`,
+// `mode_switches`, `peak_units`) may differ, and `peak_units` is exactly
+// the memory economy the mega-station engine buys.
+// ---------------------------------------------------------------------
+
+/// Run `protocol` under the concrete and the class-aggregated populations
+/// and assert identical observables.
+#[allow(clippy::too_many_arguments)]
+fn assert_class_equivalent_under(
+    n: u32,
+    protocol: &dyn Protocol,
+    pattern: &WakePattern,
+    run_seed: u64,
+    max_slots: Option<u64>,
+    stop: StopRule,
+    feedback: FeedbackModel,
+) {
+    let mut cfg = SimConfig::new(n).with_transcript().with_feedback(feedback);
+    if stop == StopRule::AllResolved {
+        cfg = cfg.until_all_resolved();
+    }
+    if let Some(cap) = max_slots {
+        cfg = cfg.with_max_slots(cap);
+    }
+    let concrete = Simulator::new(cfg.clone())
+        .run(protocol, pattern, run_seed)
+        .unwrap();
+    let classed = Simulator::new(cfg.with_classes())
+        .run(protocol, pattern, run_seed)
+        .unwrap();
+
+    let shape = if pattern.is_blocks() {
+        format!("blocks(k={}, s={})", pattern.k(), pattern.s())
+    } else {
+        format!("{:?}", pattern.wakes())
+    };
+    let ctx = format!(
+        "protocol={} pattern={shape} seed={run_seed} cap={max_slots:?} stop={stop:?} fb={feedback:?}",
+        protocol.name(),
+    );
+    assert_eq!(classed.s, concrete.s, "s: {ctx}");
+    assert_eq!(
+        classed.first_success, concrete.first_success,
+        "first_success: {ctx}"
+    );
+    assert_eq!(classed.winner, concrete.winner, "winner: {ctx}");
+    assert_eq!(
+        classed.slots_simulated, concrete.slots_simulated,
+        "slots_simulated: {ctx}"
+    );
+    assert_eq!(
+        classed.transmissions, concrete.transmissions,
+        "transmissions: {ctx}"
+    );
+    assert_eq!(
+        classed.per_station_tx, concrete.per_station_tx,
+        "per_station_tx: {ctx}"
+    );
+    assert_eq!(classed.collisions, concrete.collisions, "collisions: {ctx}");
+    assert_eq!(
+        classed.silent_slots, concrete.silent_slots,
+        "silent_slots: {ctx}"
+    );
+    assert_eq!(classed.resolved, concrete.resolved, "resolved: {ctx}");
+    assert_eq!(
+        classed.all_resolved_at, concrete.all_resolved_at,
+        "all_resolved_at: {ctx}"
+    );
+    assert_eq!(classed.transcript, concrete.transcript, "transcript: {ctx}");
+    // Aggregation never needs more live units than the concrete engine
+    // holds stations (singleton fallback is one unit per station).
+    assert!(
+        classed.peak_units <= concrete.peak_units,
+        "classed peak_units {} > concrete {}: {ctx}",
+        classed.peak_units,
+        concrete.peak_units
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn classes_equal_concrete_on_random_patterns(
+        pattern in arb_pattern(64),
+        seed in 0u64..1_000,
+    ) {
+        // Scattered wake times: most batches are singletons, so this
+        // exercises the class engine's degenerate (one-member) classes and
+        // the singleton fallback for protocols without class constructors.
+        for fb in [FeedbackModel::NoCollisionDetection, FeedbackModel::CollisionDetection] {
+            for protocol in protocols(64, &pattern, seed) {
+                assert_class_equivalent_under(
+                    64,
+                    protocol.as_ref(),
+                    &pattern,
+                    seed,
+                    None,
+                    StopRule::FirstSuccess,
+                    fb,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classes_equal_concrete_on_batch_patterns(
+        k in 2u32..8,
+        s in 0u64..64,
+        seed in 0u64..1_000,
+    ) {
+        // Simultaneous batches are where classes genuinely aggregate:
+        // one weighted unit stands in for the whole batch until feedback
+        // diverges. Retiring resolvers under AllResolved force mid-run
+        // splits (each own-success drops the winner out of the class).
+        let n = 64u32;
+        let ids: Vec<StationId> = (0..k).map(|i| StationId(i * (n / 8))).collect();
+        let pattern = WakePattern::simultaneous(&ids, s).expect("distinct ids");
+        for protocol in protocols(n, &pattern, seed) {
+            assert_class_equivalent_under(
+                n,
+                protocol.as_ref(),
+                &pattern,
+                seed,
+                None,
+                StopRule::FirstSuccess,
+                FeedbackModel::NoCollisionDetection,
+            );
+        }
+        for fb in [FeedbackModel::NoCollisionDetection, FeedbackModel::CollisionDetection] {
+            for protocol in retiring_protocols(n, seed) {
+                assert_class_equivalent_under(
+                    n,
+                    protocol.as_ref(),
+                    &pattern,
+                    seed,
+                    Some(20_000),
+                    StopRule::AllResolved,
+                    fb,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classes_equal_concrete_under_all_resolved(
+        pattern in arb_pattern(32),
+        seed in 0u64..1_000,
+    ) {
+        // Feedback-driven retirement over arbitrary wake shapes: classes
+        // must split/shrink exactly when the concrete stations diverge.
+        for fb in [FeedbackModel::NoCollisionDetection, FeedbackModel::CollisionDetection] {
+            for protocol in retiring_protocols(32, seed) {
+                assert_class_equivalent_under(
+                    32,
+                    protocol.as_ref(),
+                    &pattern,
+                    seed,
+                    Some(20_000),
+                    StopRule::AllResolved,
+                    fb,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn classes_equal_concrete_on_structured_patterns() {
+    // The deterministic grid: block wakes (the mega-station shape), batch
+    // and staggered arrivals, the whole zoo under both stop rules × both
+    // feedback models, plus the forced-dense class engine (per-slot unit
+    // polling) against the same reference.
+    for n in [64u32, 256] {
+        let ids: Vec<StationId> = (0..6).map(|i| StationId(i * (n / 8) + 1)).collect();
+        let patterns = [
+            WakePattern::range(0, n / 2, 3).unwrap(),
+            WakePattern::simultaneous(&ids, 137).unwrap(),
+            WakePattern::staggered(&ids, 5, 33).unwrap(),
+            WakePattern::batches(&ids, 2, 50, &[3, 3]).unwrap(),
+        ];
+        for pattern in patterns.iter() {
+            for seed in [0u64, 7] {
+                for fb in [
+                    FeedbackModel::NoCollisionDetection,
+                    FeedbackModel::CollisionDetection,
+                ] {
+                    for protocol in protocols(n, pattern, seed) {
+                        assert_class_equivalent_under(
+                            n,
+                            protocol.as_ref(),
+                            pattern,
+                            seed,
+                            None,
+                            StopRule::FirstSuccess,
+                            fb,
+                        );
+                    }
+                    for protocol in retiring_protocols(n, seed) {
+                        assert_class_equivalent_under(
+                            n,
+                            protocol.as_ref(),
+                            pattern,
+                            seed,
+                            Some(50_000),
+                            StopRule::AllResolved,
+                            fb,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The class engine forced dense (per-slot polling over units) is the
+    // same observable machine — pin one representative case per protocol.
+    let n = 64u32;
+    let pattern = WakePattern::range(0, n / 2, 3).unwrap();
+    let cfg = SimConfig::new(n).with_transcript();
+    for protocol in protocols(n, &pattern, 7) {
+        let concrete = Simulator::new(cfg.clone())
+            .run(protocol.as_ref(), &pattern, 7)
+            .unwrap();
+        let classed_dense =
+            Simulator::new(cfg.clone().with_classes().with_engine(EngineMode::Dense))
+                .run(protocol.as_ref(), &pattern, 7)
+                .unwrap();
+        assert_eq!(
+            classed_dense.transcript,
+            concrete.transcript,
+            "dense class engine transcript: {}",
+            protocol.name()
+        );
+        assert_eq!(classed_dense.first_success, concrete.first_success);
+        assert_eq!(classed_dense.per_station_tx, concrete.per_station_tx);
+    }
+}
+
+#[test]
+fn class_splits_mid_run_on_divergent_feedback() {
+    // Purpose-built split scenario: a retiring round-robin batch wakes as
+    // ONE class; every own-success retires exactly one member, so the class
+    // must shed members one at a time (divergent feedback mid-run) while
+    // the outcome stays bit-identical to eight concrete stations.
+    let n = 64u32;
+    let ids: Vec<StationId> = (0..8u32).map(|i| StationId(i * 7 + 2)).collect();
+    let pattern = WakePattern::simultaneous(&ids, 11).unwrap();
+    let protocol = RetiringRoundRobin::new(n);
+    for fb in [
+        FeedbackModel::NoCollisionDetection,
+        FeedbackModel::CollisionDetection,
+    ] {
+        let cfg = SimConfig::new(n)
+            .until_all_resolved()
+            .with_max_slots(50_000)
+            .with_transcript()
+            .with_feedback(fb);
+        let concrete = Simulator::new(cfg.clone())
+            .run(&protocol, &pattern, 0)
+            .unwrap();
+        let classed = Simulator::new(cfg.with_classes())
+            .run(&protocol, &pattern, 0)
+            .unwrap();
+        assert_eq!(concrete.resolved.len(), 8, "all stations must resolve");
+        assert_eq!(classed.resolved, concrete.resolved);
+        assert_eq!(classed.all_resolved_at, concrete.all_resolved_at);
+        assert_eq!(classed.transcript, concrete.transcript);
+        assert_eq!(classed.per_station_tx, concrete.per_station_tx);
+        // The batch is genuinely aggregated: the class engine never held
+        // eight separate units, the concrete engine always did.
+        assert!(
+            classed.peak_units < concrete.peak_units,
+            "no aggregation: classed {} vs concrete {}",
+            classed.peak_units,
+            concrete.peak_units
+        );
+        assert_eq!(concrete.peak_units, 8);
+    }
+}
+
+#[test]
+fn mega_block_wake_runs_in_constant_units() {
+    // Acceptance shape at test scale: a block wake of the entire universe
+    // is ONE equivalence class for round-robin; the class engine must hold
+    // O(1) units while matching the concrete outcome exactly.
+    let n = 4096u32;
+    let pattern = WakePattern::range(0, n, 0).unwrap();
+    let protocol = RoundRobin::new(n);
+    let cfg = SimConfig::new(n).with_transcript();
+    let concrete = Simulator::new(cfg.clone())
+        .run(&protocol, &pattern, 0)
+        .unwrap();
+    let classed = Simulator::new(cfg.with_classes())
+        .run(&protocol, &pattern, 0)
+        .unwrap();
+    assert_eq!(classed.first_success, concrete.first_success);
+    assert_eq!(classed.winner, concrete.winner);
+    assert_eq!(classed.transcript, concrete.transcript);
+    assert_eq!(classed.transmissions, concrete.transmissions);
+    assert_eq!(concrete.peak_units as u32, n);
+    assert_eq!(classed.peak_units, 1, "block wake is one class");
+}
+
 #[test]
 fn sparse_engine_actually_engages() {
     // Guard against silently losing the speedup: on a sparse pattern the
