@@ -27,13 +27,83 @@
 //! on a fixed pattern would measure the same run `R` times).
 
 use mac_sim::metrics::{EnergyStats, LatencySample, OutcomeDigest};
+use mac_sim::tracer::{RecordingTracer, TraceFilter};
 use mac_sim::{
     EngineMode, FeedbackModel, PopulationMode, Protocol, SimConfig, Simulator, WakePattern,
 };
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use wakeup_core::ConstructionCache;
 use wakeup_runner::collect::from_fn;
 use wakeup_runner::{OnlineStats, P2Quantile, Progress, RunStats, Runner};
+
+/// Structured-trace capture for an ensemble: which events to keep and
+/// where the JSONL lines go.
+///
+/// Each run records its admitted events into a private in-memory buffer on
+/// the worker that executes it; the serialized lines (each prefixed with
+/// the run index, `{"run":3,"ev":…}` — the same schema as
+/// [`StreamTracer`](mac_sim::tracer::StreamTracer)) are then written to
+/// `sink` by the seed-ordered reducer on the calling thread. The resulting
+/// byte stream is therefore **bit-identical across thread counts**:
+/// scheduling decides only who records, never the order lines land.
+///
+/// Per-kind sampling (see [`TraceFilter::sample_every`]) restarts at every
+/// run, so the stream is the concatenation of the runs' individual
+/// streams regardless of batching.
+#[derive(Clone)]
+pub struct TraceSpec {
+    /// Event admission mask and per-kind sampling stride.
+    pub filter: TraceFilter,
+    /// Shared line sink (a file, a `Vec<u8>`, …). Locked only by the
+    /// reducer, once per batch.
+    pub sink: Arc<Mutex<dyn Write + Send>>,
+    /// Optional sidecar for **non-deterministic** execution records (one
+    /// `{"record":"ensemble",…}` line per ensemble plus one
+    /// `{"record":"worker",…}` line per worker: wall-clock phase timers,
+    /// steals, queue high-waters). Segregated from `sink` so the trace
+    /// stream itself stays diffable across machines and thread counts.
+    pub exec: Option<Arc<Mutex<dyn Write + Send>>>,
+    /// Ensemble ordinal shared across clones — tags exec records when one
+    /// sidecar collects several ensembles (a whole experiment sweep).
+    seq: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl TraceSpec {
+    /// Trace into an existing shared sink.
+    pub fn new(filter: TraceFilter, sink: Arc<Mutex<dyn Write + Send>>) -> Self {
+        TraceSpec {
+            filter,
+            sink,
+            exec: None,
+            seq: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Trace into a newly-wrapped writer.
+    pub fn to_writer<W: Write + Send + 'static>(filter: TraceFilter, out: W) -> Self {
+        Self::new(filter, Arc::new(Mutex::new(out)))
+    }
+
+    /// Also write per-ensemble execution records (wall-clock tier) to a
+    /// separate sidecar sink.
+    pub fn with_exec_sink(mut self, exec: Arc<Mutex<dyn Write + Send>>) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+}
+
+impl fmt::Debug for TraceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSpec")
+            .field("filter", &self.filter)
+            .field("sink", &"<dyn Write>")
+            .field("exec", &self.exec.as_ref().map(|_| "<dyn Write>"))
+            .finish()
+    }
+}
 
 /// Parameters of an ensemble run.
 #[derive(Clone, Debug)]
@@ -66,6 +136,11 @@ pub struct EnsembleSpec {
     pub per_station_detail: bool,
     /// Live progress reporting for long sweeps (`None`: silent).
     pub progress: Option<Progress>,
+    /// Structured-trace capture (`None`: untraced — the zero-cost
+    /// [`NoopTracer`](mac_sim::tracer::NoopTracer) path). Honored by
+    /// [`run_ensemble`] and [`run_ensemble_stream`]; the chunked reference
+    /// scheduler ignores it.
+    pub trace: Option<TraceSpec>,
 }
 
 impl EnsembleSpec {
@@ -84,6 +159,7 @@ impl EnsembleSpec {
             population: PopulationMode::default(),
             per_station_detail: true,
             progress: None,
+            trace: None,
         }
     }
 
@@ -148,6 +224,13 @@ impl EnsembleSpec {
     /// [`with_progress`](Self::with_progress) reports to stderr).
     pub fn with_progress_spec(mut self, progress: Progress) -> Self {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Capture structured trace events into `trace.sink` (see
+    /// [`TraceSpec`] for the determinism contract).
+    pub fn with_trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -463,28 +546,126 @@ impl EnsembleSummary {
     }
 }
 
+/// Execute one run, serializing its trace (if any) into run-tagged JSONL
+/// bytes on the worker. Serialization is the parallel part; only the final
+/// ordered append to the shared sink is left to the reducer.
+fn run_one(
+    sim: &Simulator,
+    trace: Option<&TraceSpec>,
+    i: u64,
+    seed: u64,
+    protocol: &dyn Protocol,
+    pattern: &WakePattern,
+) -> (OutcomeDigest, Vec<u8>) {
+    let Some(ts) = trace else {
+        let outcome = sim
+            .run(protocol, pattern, seed)
+            .expect("ensemble run failed validation");
+        return (OutcomeDigest::of(&outcome), Vec::new());
+    };
+    let mut rec = RecordingTracer::with_filter(ts.filter);
+    let outcome = sim
+        .run_traced(protocol, pattern, seed, &mut rec)
+        .expect("ensemble run failed validation");
+    let mut buf = Vec::new();
+    for ev in rec.events() {
+        writeln!(buf, "{{\"run\":{i},{}}}", ev.json_fields())
+            .expect("writing to a Vec cannot fail");
+    }
+    (OutcomeDigest::of(&outcome), buf)
+}
+
+/// Append one run's serialized trace lines to the shared sink. Called only
+/// from the seed-ordered reducer, so lines land in run order.
+fn flush_trace(trace: Option<&TraceSpec>, bytes: &[u8]) {
+    if bytes.is_empty() {
+        return;
+    }
+    if let Some(ts) = trace {
+        ts.sink
+            .lock()
+            .expect("trace sink poisoned")
+            .write_all(bytes)
+            .expect("trace sink write failed");
+    }
+}
+
+/// Write one ensemble's execution records (the non-deterministic tier:
+/// wall-clock phase timers, per-worker counters) to the trace sidecar, if
+/// one is configured. One flat JSON object per line, parseable by
+/// [`parse_json_object`](crate::serial::parse_json_object).
+fn flush_exec(spec: &EnsembleSpec, stats: &RunStats) {
+    let Some(ts) = &spec.trace else { return };
+    let Some(exec) = &ts.exec else { return };
+    let seq = ts.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let label = spec
+        .progress
+        .as_ref()
+        .map(|p| p.label.as_str())
+        .unwrap_or("");
+    let mut buf = Vec::new();
+    let head = crate::serial::Record::new()
+        .with("record", "ensemble")
+        .with("ensemble", seq)
+        .with("label", label)
+        .with("n", spec.n)
+        .with("runs", stats.runs)
+        .with("threads", stats.threads as u64)
+        .with("batch", stats.batch)
+        .with("batches", stats.batches)
+        .with("steals", stats.steals)
+        .with("calibration_runs", stats.calibration_runs)
+        .with("reorder_peak", stats.reorder_peak)
+        .with("elapsed_us", stats.elapsed.as_micros() as u64)
+        .with(
+            "construction_us",
+            stats.phases.construction.as_micros() as u64,
+        )
+        .with("simulation_us", stats.phases.simulation.as_micros() as u64)
+        .with("reduction_us", stats.phases.reduction.as_micros() as u64);
+    writeln!(buf, "{}", head.to_json()).expect("writing to a Vec cannot fail");
+    for (i, w) in stats.workers.iter().enumerate() {
+        let row = crate::serial::Record::new()
+            .with("record", "worker")
+            .with("ensemble", seq)
+            .with("worker", i as u64)
+            .with("runs", w.runs)
+            .with("steals", w.steals)
+            .with("fail_scans", w.fail_scans)
+            .with("queue_depth_hw", w.queue_depth_hw);
+        writeln!(buf, "{}", row.to_json()).expect("writing to a Vec cannot fail");
+    }
+    exec.lock()
+        .expect("exec sidecar poisoned")
+        .write_all(&buf)
+        .expect("exec sidecar write failed");
+}
+
 /// Execute the ensemble's runs on the work-stealing pool, folding digests
 /// into `fold` in seed order.
-fn execute<P, G, F>(spec: &EnsembleSpec, protocol_for: P, pattern_for: G, fold: F) -> RunStats
+fn execute<P, G, F>(spec: &EnsembleSpec, protocol_for: P, pattern_for: G, mut fold: F) -> RunStats
 where
     P: Fn(u64) -> Box<dyn Protocol> + Sync,
     G: Fn(u64) -> WakePattern + Sync,
     F: FnMut(u64, OutcomeDigest),
 {
     let sim = Simulator::new(spec.sim_config());
-    spec.runner().run(
+    let trace = spec.trace.as_ref();
+    let stats = spec.runner().run(
         spec.runs,
         |i| {
             let seed = spec.seed_of(i);
             let protocol = protocol_for(seed);
             let pattern = pattern_for(seed);
-            let outcome = sim
-                .run(protocol.as_ref(), &pattern, seed)
-                .expect("ensemble run failed validation");
-            OutcomeDigest::of(&outcome)
+            run_one(&sim, trace, i, seed, protocol.as_ref(), &pattern)
         },
-        from_fn(fold),
-    )
+        from_fn(|i, (d, bytes): (OutcomeDigest, Vec<u8>)| {
+            flush_trace(trace, &bytes);
+            fold(i, d);
+        }),
+    );
+    flush_exec(spec, &stats);
+    stats
 }
 
 /// Run an ensemble: run `i ∈ [0, spec.runs)` simulates
@@ -529,10 +710,13 @@ struct StreamPartial {
     energy: EnergyStats,
     work: WorkStats,
     solved_latencies: Vec<u64>,
+    /// Run-tagged trace lines of this batch, in seed order (empty when the
+    /// ensemble is untraced).
+    trace: Vec<u8>,
 }
 
 impl StreamPartial {
-    fn absorb(&mut self, d: &OutcomeDigest) {
+    fn absorb(&mut self, d: &OutcomeDigest, trace: &[u8]) {
         self.runs += 1;
         if let Some(l) = d.sample.solved() {
             self.solved += 1;
@@ -541,6 +725,7 @@ impl StreamPartial {
         self.worst = self.worst.max(d.sample.pessimistic());
         self.energy.absorb_digest(d);
         self.work.absorb_digest(d);
+        self.trace.extend_from_slice(trace);
     }
 }
 
@@ -567,22 +752,24 @@ where
     let exec = {
         let s = &mut summary;
         let sim = Simulator::new(spec.sim_config());
+        let trace = spec.trace.as_ref();
         spec.runner().run_folded(
             spec.runs,
             |i| {
                 let seed = spec.seed_of(i);
                 let protocol = protocol_for(seed);
                 let pattern = pattern_for(seed);
-                let outcome = sim
-                    .run(protocol.as_ref(), &pattern, seed)
-                    .expect("ensemble run failed validation");
-                OutcomeDigest::of(&outcome)
+                run_one(&sim, trace, i, seed, protocol.as_ref(), &pattern)
             },
             StreamPartial::default,
-            |p, _i, d| p.absorb(&d),
-            from_fn(|_start, p: StreamPartial| s.absorb_partial(p)),
+            |p, _i, (d, bytes): (OutcomeDigest, Vec<u8>)| p.absorb(&d, &bytes),
+            from_fn(|_start, p: StreamPartial| {
+                flush_trace(trace, &p.trace);
+                s.absorb_partial(p);
+            }),
         )
     };
+    flush_exec(spec, &exec);
     summary.exec = exec;
     summary
 }
@@ -1016,6 +1203,150 @@ mod tests {
             assert_eq!(plain.work, cached.work, "threads={threads}");
             assert!(!cache.is_empty(), "cache was never populated");
         }
+    }
+
+    /// A trace spec writing into a shared byte buffer, plus the handle to
+    /// read the bytes back after the ensemble completes.
+    fn vec_trace(filter: mac_sim::tracer::TraceFilter) -> (TraceSpec, Arc<Mutex<Vec<u8>>>) {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink: Arc<Mutex<dyn Write + Send>> = buf.clone();
+        (TraceSpec::new(filter, sink), buf)
+    }
+
+    #[test]
+    fn ensemble_trace_bytes_bit_identical_across_thread_counts() {
+        use mac_sim::tracer::TraceFilter;
+        let n = 64u32;
+        let mk = |threads: usize, stream: bool| {
+            let (trace, buf) = vec_trace(TraceFilter::all());
+            let spec = EnsembleSpec::new(n, 24)
+                .with_base_seed(11)
+                .with_threads(threads)
+                .with_trace(trace);
+            if stream {
+                run_ensemble_stream(
+                    &spec,
+                    |_| Box::new(RoundRobin::new(n)),
+                    |seed| k_pattern(n, 4, seed),
+                );
+            } else {
+                run_ensemble(
+                    &spec,
+                    |_| Box::new(RoundRobin::new(n)),
+                    |seed| k_pattern(n, 4, seed),
+                );
+            }
+            let bytes = buf.lock().unwrap().clone();
+            bytes
+        };
+        let reference = mk(1, true);
+        assert!(!reference.is_empty(), "traced ensemble produced no lines");
+        let text = String::from_utf8(reference.clone()).unwrap();
+        assert!(text.lines().count() > 24, "expected events for every run");
+        assert!(text.lines().all(|l| l.starts_with("{\"run\":")), "{text}");
+        assert!(text.contains("\"run\":23,"), "last run missing from trace");
+        for threads in [2usize, 4] {
+            assert_eq!(mk(threads, true), reference, "stream, threads={threads}");
+        }
+        // The materializing path serializes the identical byte stream.
+        for threads in [1usize, 4] {
+            assert_eq!(
+                mk(threads, false),
+                reference,
+                "materialized, threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_trace_deterministic_tier_identical_across_engines() {
+        use mac_sim::tracer::TraceFilter;
+        let n = 64u32;
+        let mk = |engine: EngineMode, population: PopulationMode| {
+            let (trace, buf) = vec_trace(TraceFilter::deterministic());
+            let spec = EnsembleSpec::new(n, 12)
+                .with_threads(3)
+                .with_engine(engine)
+                .with_population(population)
+                .with_trace(trace);
+            run_ensemble_stream(
+                &spec,
+                |_| Box::new(RoundRobin::new(n)),
+                |seed| k_pattern(n, 5, seed),
+            );
+            let bytes = buf.lock().unwrap().clone();
+            bytes
+        };
+        let dense = mk(EngineMode::Dense, PopulationMode::Concrete);
+        assert!(!dense.is_empty());
+        assert_eq!(mk(EngineMode::Auto, PopulationMode::Concrete), dense);
+        assert_eq!(mk(EngineMode::Auto, PopulationMode::Classes), dense);
+    }
+
+    #[test]
+    fn exec_sidecar_records_ensemble_and_worker_lines() {
+        use mac_sim::tracer::TraceFilter;
+        let n = 64u32;
+        let (trace, _events) = vec_trace(TraceFilter::deterministic());
+        let exec_buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let exec_sink: Arc<Mutex<dyn Write + Send>> = exec_buf.clone();
+        let trace = trace.with_exec_sink(exec_sink);
+        let spec = EnsembleSpec::new(n, 64)
+            .with_threads(3)
+            .with_trace(trace.clone());
+        run_ensemble_stream(
+            &spec,
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 4, seed),
+        );
+        // Second ensemble on the same sidecar gets the next ordinal.
+        run_ensemble(
+            &spec,
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 4, seed),
+        );
+        let text = String::from_utf8(exec_buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let heads: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.contains("\"record\":\"ensemble\""))
+            .collect();
+        assert_eq!(heads.len(), 2, "{text}");
+        assert!(heads[0].contains("\"ensemble\":0,"));
+        assert!(heads[1].contains("\"ensemble\":1,"));
+        assert!(heads[0].contains("\"threads\":3"));
+        let workers = lines
+            .iter()
+            .filter(|l| l.contains("\"record\":\"worker\""))
+            .count();
+        assert_eq!(workers, 6, "3 workers per ensemble: {text}");
+        // Every line parses back as a flat record.
+        for l in &lines {
+            crate::serial::parse_json_object(l).unwrap();
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_ensemble_aggregates() {
+        use mac_sim::tracer::TraceFilter;
+        let n = 64u32;
+        let spec = EnsembleSpec::new(n, 16).with_base_seed(5).with_threads(4);
+        let plain = run_ensemble_stream(
+            &spec,
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 4, seed),
+        );
+        let (trace, _buf) = vec_trace(TraceFilter::all());
+        let traced = run_ensemble_stream(
+            &spec.clone().with_trace(trace),
+            |_| Box::new(RoundRobin::new(n)),
+            |seed| k_pattern(n, 4, seed),
+        );
+        assert_eq!(plain.runs, traced.runs);
+        assert_eq!(plain.solved, traced.solved);
+        assert_eq!(plain.mean().to_bits(), traced.mean().to_bits());
+        assert_eq!(plain.work, traced.work);
+        assert_eq!(plain.energy, traced.energy);
     }
 
     #[test]

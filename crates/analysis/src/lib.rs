@@ -30,7 +30,8 @@ pub mod table;
 
 pub use ensemble::{
     run_ensemble, run_ensemble_cached, run_ensemble_chunked, run_ensemble_stream,
-    run_ensemble_stream_cached, EnsembleResult, EnsembleSpec, EnsembleSummary, WorkStats,
+    run_ensemble_stream_cached, EnsembleResult, EnsembleSpec, EnsembleSummary, TraceSpec,
+    WorkStats,
 };
 pub use fit::{fit_model, fit_model_by, rank_models_by, FitResult, Metric, Model, SweepPoint};
 pub use serial::{Record, Value};
@@ -41,7 +42,8 @@ pub use table::Table;
 pub mod prelude {
     pub use crate::ensemble::{
         run_ensemble, run_ensemble_cached, run_ensemble_chunked, run_ensemble_stream,
-        run_ensemble_stream_cached, EnsembleResult, EnsembleSpec, EnsembleSummary, WorkStats,
+        run_ensemble_stream_cached, EnsembleResult, EnsembleSpec, EnsembleSummary, TraceSpec,
+        WorkStats,
     };
     pub use crate::fit::{
         fit_model, fit_model_by, rank_models_by, FitResult, Metric, Model, SweepPoint,

@@ -22,7 +22,11 @@
 //!   wake of half the universe at n = 2^24: the guard asserts a ≥ 100×
 //!   memory reduction (stations represented per live simulation unit) for
 //!   round-robin, with a bit-identity pin against the concrete engine at a
-//!   size it can still afford.
+//!   size it can still afford;
+//! * `trace_overhead` — the tracing subsystem's zero-cost contract: the
+//!   `NoopTracer` path must stay within 2% of the plain `run` on the
+//!   emission-dense round-robin block row, with a recording-tracer cost
+//!   line for reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mac_sim::prelude::*;
@@ -569,6 +573,46 @@ fn mega_station(_c: &mut Criterion) {
     );
 }
 
+fn trace_overhead(_c: &mut Criterion) {
+    // Guard row — tracing must be free when nobody listens. The explicit
+    // `run_traced(..., &mut NoopTracer)` dynamic-dispatch path is held to
+    // ≤ 2% over the plain `run` on the gap-heavy round-robin block row
+    // (the most emission-dense shape per unit work: every slot-class event
+    // fires, nothing amortizes them).
+    let n = 4096u32;
+    let k = 8usize;
+    let rr_ids: Vec<StationId> = (n - k as u32..n).map(StationId).collect();
+    let pattern = WakePattern::simultaneous(&rr_ids, 0).unwrap();
+    let rr = RoundRobin::new(n);
+    let sim = Simulator::new(SimConfig::new(n));
+    let (plain_t, plain) = time_runs(|| sim.run(&rr, &pattern, 0).unwrap());
+    let (noop_t, noop) = time_runs(|| sim.run_traced(&rr, &pattern, 0, &mut NoopTracer).unwrap());
+    assert_eq!(plain.first_success, noop.first_success);
+    assert_eq!(plain.transmissions, noop.transmissions);
+    let ratio = noop_t / plain_t.max(1e-12);
+    println!(
+        "trace_overhead/round_robin_n4096_k8        plain {:.2}us noop-traced {:.2}us  ratio {ratio:.3}x (target <= 1.02x)",
+        plain_t * 1e6,
+        noop_t * 1e6,
+    );
+    assert_timing(
+        ratio <= 1.02,
+        &format!("NoopTracer overhead {ratio:.3}x exceeds the 2% budget"),
+    );
+
+    // A recording tracer on the same row, for the README's cost table
+    // (informational — recording legitimately costs; no assertion).
+    let (rec_t, _) = time_runs(|| {
+        let mut rec = RecordingTracer::with_filter(TraceFilter::all());
+        sim.run_traced(&rr, &pattern, 0, &mut rec).unwrap()
+    });
+    println!(
+        "trace_overhead/recording_all_events        {:.2}us ({:.2}x of plain)",
+        rec_t * 1e6,
+        rec_t / plain_t.max(1e-12),
+    );
+}
+
 fn adversary_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("adversary_kernels");
     // The Theorem 2.1 swap chain against round-robin (EXP-LB's kernel).
@@ -638,6 +682,7 @@ criterion_group!(
     hybrid_policy,
     construction_cache,
     mega_station,
+    trace_overhead,
     adversary_kernels,
     verification_kernels
 );

@@ -4,6 +4,9 @@
 //! wakeup list
 //! wakeup run <name>... | --all [--scale quick|full] [--threads N]
 //!            [--seed S] [--out table|csv|json] [--out-dir DIR]
+//!            [--trace] [--trace-out DIR] [--trace-sample N]
+//! wakeup trace <name>...      # run with --trace defaulted on
+//! wakeup report <trace.jsonl> # fold a trace artifact back into tables
 //! ```
 //!
 //! Flags fall back to the historical environment variables where one
@@ -11,12 +14,15 @@
 //! existing invocations and CI recipes keep working; the `exp_*` binaries
 //! are shims onto [`shim`].
 
-use crate::experiment::run_experiment;
+use crate::experiment::run_experiment_traced;
 use crate::experiments;
 use crate::sink::OutFormat;
 use crate::Scale;
+use mac_sim::tracer::TraceFilter;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use wakeup_analysis::ensemble::TraceSpec;
 
 /// Resolved driver configuration (flags over env fallbacks).
 #[derive(Clone, Debug)]
@@ -38,6 +44,15 @@ pub struct Config {
     /// and stops admitting experiments before the cumulative projection
     /// would overflow the box; the deferred remainder is reported.
     pub time_box: Option<u64>,
+    /// Capture a structured trace per experiment (`--trace`, or the
+    /// `wakeup trace` subcommand which defaults it on).
+    pub trace: bool,
+    /// Directory for `<experiment>.trace.jsonl` / `.exec.jsonl` artifacts
+    /// (`--trace-out`, default `traces`).
+    pub trace_out: Option<PathBuf>,
+    /// Keep every N-th event per (run, kind) stream (`--trace-sample`,
+    /// default 1 = keep everything).
+    pub trace_sample: u64,
 }
 
 impl Config {
@@ -50,6 +65,9 @@ impl Config {
             out: OutFormat::Table,
             out_dir: None,
             time_box: None,
+            trace: false,
+            trace_out: None,
+            trace_sample: 1,
         }
     }
 }
@@ -61,6 +79,8 @@ USAGE:
     wakeup list
     wakeup run <experiment>... [OPTIONS]
     wakeup run --all [OPTIONS]
+    wakeup trace <experiment>... [OPTIONS]
+    wakeup report <trace.jsonl> [--out table|csv|json]
     wakeup diff <dir_a> <dir_b> [--threshold F]
 
 OPTIONS:
@@ -69,12 +89,22 @@ OPTIONS:
     --seed S               offset added to every ensemble base seed (default 0)
     --out table|csv|json   output format (default: table; json = JSON Lines)
     --out-dir DIR          write <experiment>.{txt,csv,jsonl} under DIR
+    --trace                also capture a structured event trace per experiment
+    --trace-out DIR        trace artifact directory (default: traces)
+    --trace-sample N       keep every N-th event per (run, kind) stream
     --time-box SECS        schedule the selection inside this wall-clock box:
                            at full scale, run budget-ascending (declared
                            per-experiment budgets) and stop before the
                            cumulative projection overflows; defer the rest
     --threshold F          diff: relative regression threshold (default 0.05)
     -h, --help             this help
+
+`wakeup trace` is `wakeup run` with --trace defaulted on: each experiment
+writes <name>.trace.jsonl (the deterministic event stream — bit-identical
+across --threads counts for a fixed seed) and <name>.exec.jsonl (wall-clock
+tier: per-ensemble phase timers and per-worker counters) under --trace-out.
+`wakeup report` folds a trace artifact back into slot-class / contention
+histograms, the mode-switch timeline and worker utilization.
 
 `wakeup diff` compares two --out-dir JSON artifact directories (baseline,
 candidate) and exits 1 when any latency/work metric regressed beyond the
@@ -101,6 +131,13 @@ pub enum Command {
         names: Vec<String>,
         /// Resolved configuration.
         config: Config,
+    },
+    /// `wakeup report <trace.jsonl>`
+    Report {
+        /// Trace artifact to fold.
+        path: PathBuf,
+        /// Output format for the report.
+        out: OutFormat,
     },
     /// `wakeup diff <dir_a> <dir_b>`
     Diff {
@@ -129,87 +166,35 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::List)
         }
-        "run" => {
-            let mut config = Config::from_env();
-            let mut names: Vec<String> = Vec::new();
-            let mut all = false;
-            let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                         flag: &str|
-             -> Result<String, ParseError> {
-                it.next()
-                    .cloned()
-                    .ok_or_else(|| ParseError(format!("{flag} needs a value")))
-            };
+        "run" => parse_run(&mut it, false),
+        "trace" => parse_run(&mut it, true),
+        "report" => {
+            let mut path: Option<PathBuf> = None;
+            let mut out = OutFormat::Table;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
-                    "--all" => all = true,
-                    "--scale" => {
-                        config.scale = match value(&mut it, "--scale")?.as_str() {
-                            "quick" => Scale::Quick,
-                            "full" => Scale::Full,
-                            other => {
-                                return Err(ParseError(format!(
-                                    "--scale must be quick|full, got '{other}'"
-                                )))
-                            }
-                        }
-                    }
-                    "--threads" => {
-                        let v = value(&mut it, "--threads")?;
-                        config.threads = Some(v.parse::<usize>().map_err(|_| {
-                            ParseError(format!("--threads must be a number, got '{v}'"))
-                        })?);
-                    }
-                    "--seed" => {
-                        let v = value(&mut it, "--seed")?;
-                        config.seed = v.parse::<u64>().map_err(|_| {
-                            ParseError(format!("--seed must be a number, got '{v}'"))
-                        })?;
-                    }
                     "--out" => {
-                        let v = value(&mut it, "--out")?;
-                        config.out = OutFormat::parse(&v).ok_or_else(|| {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--out needs a value".into()))?;
+                        out = OutFormat::parse(v).ok_or_else(|| {
                             ParseError(format!("--out must be table|csv|json, got '{v}'"))
                         })?;
-                    }
-                    "--out-dir" => {
-                        config.out_dir = Some(PathBuf::from(value(&mut it, "--out-dir")?));
-                    }
-                    "--time-box" => {
-                        let v = value(&mut it, "--time-box")?;
-                        config.time_box = Some(v.parse::<u64>().map_err(|_| {
-                            ParseError(format!("--time-box must be seconds, got '{v}'"))
-                        })?);
                     }
                     flag if flag.starts_with('-') => {
                         return Err(ParseError(format!("unknown flag '{flag}'")))
                     }
-                    name => names.push(name.to_string()),
+                    p if path.is_none() => path = Some(PathBuf::from(p)),
+                    extra => {
+                        return Err(ParseError(format!(
+                            "report takes one trace file, got extra '{extra}'"
+                        )))
+                    }
                 }
             }
-            if all {
-                if !names.is_empty() {
-                    return Err(ParseError(
-                        "pass either --all or experiment names, not both".into(),
-                    ));
-                }
-                names = experiments::registry()
-                    .iter()
-                    .map(|e| e.name.to_string())
-                    .collect();
-            } else if names.is_empty() {
-                return Err(ParseError(
-                    "nothing to run: pass experiment names or --all".into(),
-                ));
-            }
-            for name in &names {
-                if experiments::find(name).is_none() {
-                    return Err(ParseError(format!(
-                        "unknown experiment '{name}' (see `wakeup list`)"
-                    )));
-                }
-            }
-            Ok(Command::Run { names, config })
+            let path =
+                path.ok_or_else(|| ParseError("report needs a trace file to fold".into()))?;
+            Ok(Command::Report { path, out })
         }
         "diff" => {
             let mut dirs: Vec<PathBuf> = Vec::new();
@@ -251,6 +236,114 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "unknown command '{other}' (try `wakeup --help`)"
         ))),
     }
+}
+
+/// Parse the shared `run`/`trace` grammar; `trace` starts the flag on
+/// (the `wakeup trace` subcommand) and `--trace` can still add it to a
+/// plain `run`.
+fn parse_run(
+    it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+    trace: bool,
+) -> Result<Command, ParseError> {
+    let mut config = Config::from_env();
+    config.trace = trace;
+    let mut names: Vec<String> = Vec::new();
+    let mut all = false;
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                 flag: &str|
+     -> Result<String, ParseError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--trace" => config.trace = true,
+            "--scale" => {
+                config.scale = match value(it, "--scale")?.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    other => {
+                        return Err(ParseError(format!(
+                            "--scale must be quick|full, got '{other}'"
+                        )))
+                    }
+                }
+            }
+            "--threads" => {
+                let v = value(it, "--threads")?;
+                config.threads =
+                    Some(v.parse::<usize>().map_err(|_| {
+                        ParseError(format!("--threads must be a number, got '{v}'"))
+                    })?);
+            }
+            "--seed" => {
+                let v = value(it, "--seed")?;
+                config.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| ParseError(format!("--seed must be a number, got '{v}'")))?;
+            }
+            "--out" => {
+                let v = value(it, "--out")?;
+                config.out = OutFormat::parse(&v).ok_or_else(|| {
+                    ParseError(format!("--out must be table|csv|json, got '{v}'"))
+                })?;
+            }
+            "--out-dir" => {
+                config.out_dir = Some(PathBuf::from(value(it, "--out-dir")?));
+            }
+            "--trace-out" => {
+                config.trace = true;
+                config.trace_out = Some(PathBuf::from(value(it, "--trace-out")?));
+            }
+            "--trace-sample" => {
+                config.trace = true;
+                let v = value(it, "--trace-sample")?;
+                let n = v.parse::<u64>().map_err(|_| {
+                    ParseError(format!("--trace-sample must be a number, got '{v}'"))
+                })?;
+                if n == 0 {
+                    return Err(ParseError("--trace-sample must be ≥ 1".into()));
+                }
+                config.trace_sample = n;
+            }
+            "--time-box" => {
+                let v = value(it, "--time-box")?;
+                config.time_box =
+                    Some(v.parse::<u64>().map_err(|_| {
+                        ParseError(format!("--time-box must be seconds, got '{v}'"))
+                    })?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(ParseError(format!("unknown flag '{flag}'")))
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if all {
+        if !names.is_empty() {
+            return Err(ParseError(
+                "pass either --all or experiment names, not both".into(),
+            ));
+        }
+        names = experiments::registry()
+            .iter()
+            .map(|e| e.name.to_string())
+            .collect();
+    } else if names.is_empty() {
+        return Err(ParseError(
+            "nothing to run: pass experiment names or --all".into(),
+        ));
+    }
+    for name in &names {
+        if experiments::find(name).is_none() {
+            return Err(ParseError(format!(
+                "unknown experiment '{name}' (see `wakeup list`)"
+            )));
+        }
+    }
+    Ok(Command::Run { names, config })
 }
 
 /// Render the registry listing.
@@ -327,6 +420,43 @@ pub fn time_box_plan(names: &[String], config: &Config) -> (Vec<String>, Option<
     (admitted, Some(note))
 }
 
+/// Open the per-experiment trace + exec sinks and build the [`TraceSpec`]
+/// for one traced experiment. Returns the spec plus the shared sink handles
+/// so the caller can flush them once the run finishes (the spec's clones
+/// are dropped inside the runner).
+#[allow(clippy::type_complexity)]
+fn open_trace(
+    name: &str,
+    config: &Config,
+) -> std::io::Result<(
+    TraceSpec,
+    Arc<Mutex<dyn Write + Send>>,
+    Arc<Mutex<dyn Write + Send>>,
+)> {
+    let dir = config
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("traces"));
+    std::fs::create_dir_all(&dir)?;
+    let trace_path = dir.join(format!("{name}.trace.jsonl"));
+    let exec_path = dir.join(format!("{name}.exec.jsonl"));
+    eprintln!(
+        "wakeup: tracing {name} -> {} (+ {})",
+        trace_path.display(),
+        exec_path.display()
+    );
+    let trace_sink: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(std::io::BufWriter::new(
+        std::fs::File::create(&trace_path)?,
+    )));
+    let exec_sink: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(std::io::BufWriter::new(
+        std::fs::File::create(&exec_path)?,
+    )));
+    let filter = TraceFilter::all().sample_every(config.trace_sample.max(1));
+    let spec =
+        TraceSpec::new(filter, Arc::clone(&trace_sink)).with_exec_sink(Arc::clone(&exec_sink));
+    Ok((spec, trace_sink, exec_sink))
+}
+
 /// Run the named experiments under `config`. Returns the number of failed
 /// checks across all of them.
 pub fn run_many(names: &[String], config: &Config) -> std::io::Result<u64> {
@@ -343,13 +473,24 @@ pub fn run_many(names: &[String], config: &Config) -> std::io::Result<u64> {
             }
         };
         let mut sink = config.out.sink(writer);
-        failures += run_experiment(
+        let (trace, sinks) = if config.trace {
+            let (spec, t, e) = open_trace(name, config)?;
+            (Some(spec), Some((t, e)))
+        } else {
+            (None, None)
+        };
+        failures += run_experiment_traced(
             &exp,
             config.scale,
             config.seed,
             config.threads,
+            trace,
             sink.as_mut(),
         );
+        if let Some((t, e)) = sinks {
+            t.lock().expect("trace sink poisoned").flush()?;
+            e.lock().expect("exec sink poisoned").flush()?;
+        }
     }
     Ok(failures)
 }
@@ -385,6 +526,16 @@ pub fn main() -> i32 {
                     eprintln!("wakeup: {failures} check(s) failed");
                     1
                 }
+            }
+        }
+        Ok(Command::Report { path, out }) => {
+            let mut sink = out.sink(Box::new(std::io::stdout().lock()));
+            match crate::report::report_file(&path, sink.as_mut()) {
+                Err(e) => {
+                    eprintln!("wakeup: report error: {e}");
+                    2
+                }
+                Ok(()) => 0,
             }
         }
         Ok(Command::Diff {
@@ -473,6 +624,61 @@ mod tests {
         assert!(parse(&argv("run exp_certify --threads many")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("list extra")).is_err());
+    }
+
+    #[test]
+    fn parse_trace_grammar() {
+        // run without trace flags: tracing off.
+        let Ok(Command::Run { config, .. }) = parse(&argv("run exp_certify")) else {
+            panic!("run did not parse");
+        };
+        assert!(!config.trace);
+        assert_eq!(config.trace_sample, 1);
+        // --trace on run.
+        let Ok(Command::Run { config, .. }) = parse(&argv("run exp_certify --trace")) else {
+            panic!("run --trace did not parse");
+        };
+        assert!(config.trace);
+        // The trace subcommand defaults tracing on and shares the grammar.
+        let Ok(Command::Run { names, config }) = parse(&argv(
+            "trace exp_scenario_a --scale quick --trace-out /tmp/t --trace-sample 8",
+        )) else {
+            panic!("trace did not parse");
+        };
+        assert_eq!(names, vec!["exp_scenario_a"]);
+        assert!(config.trace);
+        assert_eq!(
+            config.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t"))
+        );
+        assert_eq!(config.trace_sample, 8);
+        // --trace-out / --trace-sample imply --trace.
+        let Ok(Command::Run { config, .. }) = parse(&argv("run exp_certify --trace-sample 4"))
+        else {
+            panic!("run --trace-sample did not parse");
+        };
+        assert!(config.trace);
+        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("trace exp_nope")).is_err());
+        assert!(parse(&argv("run exp_certify --trace-sample 0")).is_err());
+        assert!(parse(&argv("run exp_certify --trace-sample lots")).is_err());
+    }
+
+    #[test]
+    fn parse_report_grammar() {
+        let Ok(Command::Report { path, out }) = parse(&argv("report traces/x.trace.jsonl")) else {
+            panic!("report did not parse");
+        };
+        assert_eq!(path, PathBuf::from("traces/x.trace.jsonl"));
+        assert_eq!(out, OutFormat::Table);
+        let Ok(Command::Report { out, .. }) = parse(&argv("report t.jsonl --out json")) else {
+            panic!("report --out did not parse");
+        };
+        assert_eq!(out, OutFormat::Json);
+        assert!(parse(&argv("report")).is_err());
+        assert!(parse(&argv("report a b")).is_err());
+        assert!(parse(&argv("report t.jsonl --out yaml")).is_err());
+        assert!(parse(&argv("report t.jsonl --frob")).is_err());
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use crate::sink::{ExperimentHead, Sink};
 use crate::{Grid, Scale};
-use wakeup_analysis::ensemble::{EnsembleSpec, EnsembleSummary};
+use std::cell::Cell;
+use wakeup_analysis::ensemble::{EnsembleSpec, EnsembleSummary, TraceSpec};
 use wakeup_analysis::serial::Record;
 use wakeup_analysis::Table;
 
@@ -112,6 +113,15 @@ pub struct Ctx<'a> {
     threads: Option<usize>,
     sink: &'a mut dyn Sink,
     failures: u64,
+    /// The experiment's short id, prefixed onto progress labels so that
+    /// nested or repeated sweeps never interleave identical labels in one
+    /// stderr stream.
+    id: String,
+    /// Ordinal of the next ensemble this context builds (see
+    /// `progress_label`).
+    ensembles: Cell<u64>,
+    /// Structured-trace capture attached to every spec built here.
+    trace: Option<TraceSpec>,
 }
 
 impl<'a> Ctx<'a> {
@@ -133,7 +143,23 @@ impl<'a> Ctx<'a> {
             threads,
             sink,
             failures: 0,
+            id: String::new(),
+            ensembles: Cell::new(0),
+            trace: None,
         }
+    }
+
+    /// Tag this context with the experiment's short id (label prefixing).
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = id.into();
+        self
+    }
+
+    /// Attach structured-trace capture: every [`spec`](Self::spec) built by
+    /// this context traces into it.
+    pub fn with_trace(mut self, trace: Option<TraceSpec>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The resolved scale.
@@ -161,17 +187,37 @@ impl<'a> Ctx<'a> {
         self.seed
     }
 
+    /// A unique progress label for the next ensemble: the experiment id is
+    /// prefixed when the body's label doesn't already carry it, and an
+    /// ensemble ordinal (`#4`) is appended. A sweep that reuses one label
+    /// for every cell — or a summary experiment nesting sub-sweeps — thus
+    /// never emits two progress streams under the same name.
+    fn progress_label(&self, label: &str) -> String {
+        let seq = self.ensembles.get();
+        if self.id.is_empty() || label.starts_with(self.id.as_str()) {
+            format!("{label} #{seq}")
+        } else {
+            format!("{} {label} #{seq}", self.id)
+        }
+    }
+
     /// An [`EnsembleSpec`] carrying the resolved configuration: the CLI
     /// `--seed` offset on top of `base_seed`, the resolved thread count,
-    /// and `WAKEUP_PROGRESS` routed through the sink's progress target.
+    /// `WAKEUP_PROGRESS` routed through the sink's progress target (under a
+    /// disambiguated, uniquely-numbered label), and the context's
+    /// trace capture, if any.
     pub fn spec(&self, n: u32, runs: u64, base_seed: u64, label: &str) -> EnsembleSpec {
         let mut spec = EnsembleSpec::new(n, runs).with_base_seed(base_seed.wrapping_add(self.seed));
         if let Some(threads) = self.threads.or_else(crate::env_threads) {
             spec = spec.with_threads(threads);
         }
-        if let Some(p) = crate::env_progress(label) {
+        if let Some(p) = crate::env_progress(&self.progress_label(label)) {
             spec = spec.with_progress_spec(p.with_sink(self.sink.progress_sink()));
         }
+        if let Some(trace) = &self.trace {
+            spec = spec.with_trace(trace.clone());
+        }
+        self.ensembles.set(self.ensembles.get() + 1);
         spec
     }
 
@@ -183,9 +229,10 @@ impl<'a> Ctx<'a> {
         if let Some(threads) = self.threads.or_else(crate::env_threads) {
             r = r.with_threads(threads);
         }
-        if let Some(p) = crate::env_progress(label) {
+        if let Some(p) = crate::env_progress(&self.progress_label(label)) {
             r = r.with_progress(p.with_sink(self.sink.progress_sink()));
         }
+        self.ensembles.set(self.ensembles.get() + 1);
         r
     }
 
@@ -241,8 +288,24 @@ pub fn run_experiment(
     threads: Option<usize>,
     sink: &mut dyn Sink,
 ) -> u64 {
+    run_experiment_traced(exp, scale, seed, threads, None, sink)
+}
+
+/// [`run_experiment`] with structured-trace capture: every ensemble the
+/// body runs records trace events into `trace` (when `Some`), without
+/// perturbing outcomes or the sink's output.
+pub fn run_experiment_traced(
+    exp: &Experiment,
+    scale: Scale,
+    seed: u64,
+    threads: Option<usize>,
+    trace: Option<TraceSpec>,
+    sink: &mut dyn Sink,
+) -> u64 {
     sink.begin(&exp.head(), scale, seed);
-    let mut ctx = Ctx::new(scale, exp.grid, seed, threads, sink);
+    let mut ctx = Ctx::new(scale, exp.grid, seed, threads, sink)
+        .with_id(exp.id)
+        .with_trace(trace);
     (exp.run)(&mut ctx);
     let failures = ctx.failures();
     sink.finish(failures);
@@ -302,5 +365,26 @@ mod tests {
         // Grid plumbs through to the sweeps.
         assert_eq!(ctx.ns(), Scale::Quick.n_sweep(Grid::Sparse));
         assert_eq!(ctx.ks(256), Scale::Quick.k_sweep(Grid::Sparse, 256));
+    }
+
+    #[test]
+    fn progress_labels_are_unique_and_id_prefixed() {
+        let mut sink = NullSink { checks: vec![] };
+        let ctx = Ctx::new(Scale::Quick, Grid::Dense, 0, None, &mut sink)
+            .with_id("EXP-X")
+            .with_trace(None);
+        // A bare body label gets the experiment id prefixed; the ensemble
+        // ordinal makes repeated identical labels distinct.
+        assert_eq!(ctx.progress_label("n=256 k=4"), "EXP-X n=256 k=4 #0");
+        ctx.spec(16, 2, 100, "n=256 k=4");
+        assert_eq!(ctx.progress_label("n=256 k=4"), "EXP-X n=256 k=4 #1");
+        // Labels already carrying the id are not double-prefixed.
+        assert_eq!(ctx.progress_label("EXP-X n=1"), "EXP-X n=1 #1");
+        ctx.spec(16, 2, 100, "x");
+        assert_eq!(ctx.progress_label("x"), "EXP-X x #2");
+        // Without an id (bare Ctx::new) only the ordinal is appended.
+        let mut sink2 = NullSink { checks: vec![] };
+        let ctx2 = Ctx::new(Scale::Quick, Grid::Dense, 0, None, &mut sink2);
+        assert_eq!(ctx2.progress_label("plain"), "plain #0");
     }
 }

@@ -19,6 +19,14 @@
 //! | `--seed`    | offset added to every ensemble base seed | — |
 //! | `--out`     | `table` (default) \| `csv` \| `json` (JSON Lines) | — |
 //! | `--out-dir` | write one file per experiment instead of stdout | — |
+//! | `--trace`   | capture `<exp>.trace.jsonl` + `<exp>.exec.jsonl` | — |
+//! | `--trace-out` | trace artifact directory (default `traces/`) | — |
+//! | `--trace-sample` | keep every N-th event per (run, kind) stream | — |
+//!
+//! `wakeup trace <exp>` is `run` with `--trace` defaulted on, and
+//! `wakeup report <trace.jsonl>` ([`report`]) folds an artifact back into
+//! slot-class/contention histograms, the mode-switch timeline and worker
+//! utilization through the same sinks.
 //!
 //! `WAKEUP_PROGRESS` (seconds between live `runs/s | steals` lines) and
 //! `WAKEUP_ASSERT_SPARSE` (turn the sparse-path expectations of EXP-KG into
@@ -42,6 +50,7 @@ pub mod cli;
 pub mod diff;
 pub mod experiment;
 pub mod experiments;
+pub mod report;
 pub mod sink;
 
 use mac_sim::pattern::IdChoice;

@@ -54,6 +54,7 @@ use crate::population::{ClassPopulation, Population, PopulationMode, TxTally};
 use crate::rng::derive_seed;
 use crate::station::{Protocol, Station, TxHint, Until};
 use crate::trace::{SlotRecord, Transcript};
+use crate::tracer::{NoopTracer, TraceEvent, TraceKind, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -474,6 +475,107 @@ fn install_hint(
     Ok(due_slot)
 }
 
+/// Engine-side trace emission helper, generic over the tracer so the
+/// default [`NoopTracer`] path monomorphizes to nothing. Its one piece of
+/// state is the silence coalescer: consecutive silent slots — whether
+/// skipped in bulk by the sparse path or polled one by one by the dense
+/// path — accumulate into a single pending run, flushed ahead of the next
+/// deterministic event. That is what makes the deterministic event stream
+/// (wakes, silence runs, successes, collisions, run end) bit-identical
+/// across engine and population modes.
+struct TraceCtx<'a, T: Tracer + ?Sized> {
+    tracer: &'a mut T,
+    silent_from: Slot,
+    silent_len: u64,
+}
+
+impl<'a, T: Tracer + ?Sized> TraceCtx<'a, T> {
+    fn new(tracer: &'a mut T) -> Self {
+        TraceCtx {
+            tracer,
+            silent_from: 0,
+            silent_len: 0,
+        }
+    }
+
+    /// Hot-path gate, forwarded so emission sites can skip payload work.
+    #[inline]
+    fn wants(&self, kind: TraceKind) -> bool {
+        self.tracer.wants(kind)
+    }
+
+    /// Account `count` silent slots starting at `from` (merged into the
+    /// pending run when contiguous).
+    #[inline]
+    fn silence(&mut self, from: Slot, count: u64) {
+        if count == 0 || !self.tracer.wants(TraceKind::Silence) {
+            return;
+        }
+        if self.silent_len > 0 && self.silent_from + self.silent_len == from {
+            self.silent_len += count;
+        } else {
+            self.flush_silence();
+            self.silent_from = from;
+            self.silent_len = count;
+        }
+    }
+
+    fn flush_silence(&mut self) {
+        if self.silent_len > 0 {
+            self.tracer.record(&TraceEvent::Silence {
+                slot: self.silent_from,
+                slots: self.silent_len,
+            });
+            self.silent_len = 0;
+        }
+    }
+
+    #[inline]
+    fn wake(&mut self, slot: Slot, stations: u64) {
+        if stations > 0 && self.tracer.wants(TraceKind::Wake) {
+            self.flush_silence();
+            self.tracer.record(&TraceEvent::Wake { slot, stations });
+        }
+    }
+
+    #[inline]
+    fn success(&mut self, slot: Slot, winner: StationId) {
+        if self.tracer.wants(TraceKind::Success) {
+            self.flush_silence();
+            self.tracer.record(&TraceEvent::Success { slot, winner });
+        }
+    }
+
+    #[inline]
+    fn collision(&mut self, slot: Slot, contenders: u64) {
+        if self.tracer.wants(TraceKind::Collision) {
+            self.flush_silence();
+            self.tracer
+                .record(&TraceEvent::Collision { slot, contenders });
+        }
+    }
+
+    /// Final event of every run; also flushes any trailing silence.
+    fn run_end(&mut self, slots: u64, first_success: Option<Slot>) {
+        self.flush_silence();
+        if self.tracer.wants(TraceKind::RunEnd) {
+            self.tracer.record(&TraceEvent::RunEnd {
+                slots,
+                first_success,
+            });
+        }
+    }
+
+    /// Emit an engine-specific event (never flushes silence: these live on
+    /// the non-deterministic tier and may interleave differently per path).
+    #[inline]
+    fn engine_event(&mut self, ev: TraceEvent) {
+        if self.tracer.wants(ev.kind()) {
+            self.tracer.record(&ev);
+        }
+    }
+}
+
 /// Resolve one slot from the tally: exact IDs in the collecting regime
 /// (identical to the concrete engine's [`SlotOutcome::resolve`]), weighted
 /// counts otherwise (collision IDs are not materialized — O(1) memory at
@@ -522,10 +624,36 @@ impl Simulator {
         pattern: &WakePattern,
         run_seed: u64,
     ) -> Result<Outcome, SimError> {
+        // Monomorphized over NoopTracer: every trace emission site compiles
+        // away, so the untraced path pays nothing for the subsystem.
+        self.run_traced_impl(protocol, pattern, run_seed, &mut NoopTracer)
+    }
+
+    /// [`run`](Simulator::run) with a [`Tracer`] attached: structured
+    /// [`TraceEvent`]s are emitted from the engine hot paths as the run
+    /// executes. The returned [`Outcome`] (and transcript) is bit-identical
+    /// to the untraced run — tracing observes, never steers.
+    pub fn run_traced(
+        &self,
+        protocol: &dyn Protocol,
+        pattern: &WakePattern,
+        run_seed: u64,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Outcome, SimError> {
+        self.run_traced_impl(protocol, pattern, run_seed, tracer)
+    }
+
+    fn run_traced_impl<T: Tracer + ?Sized>(
+        &self,
+        protocol: &dyn Protocol,
+        pattern: &WakePattern,
+        run_seed: u64,
+        tracer: &mut T,
+    ) -> Result<Outcome, SimError> {
         match self.cfg.population {
-            PopulationMode::Concrete => self.run_concrete(protocol, pattern, run_seed),
+            PopulationMode::Concrete => self.run_concrete(protocol, pattern, run_seed, tracer),
             PopulationMode::Classes => {
-                self.run_with_population(protocol, pattern, run_seed, &mut ClassPopulation)
+                self.run_with_population(protocol, pattern, run_seed, &mut ClassPopulation, tracer)
             }
         }
     }
@@ -544,13 +672,15 @@ impl Simulator {
     /// The historical engine: one boxed [`Station`] per woken station.
     /// Block patterns are materialized up front (O(k) — the documented cost
     /// of running a mega pattern concretely).
-    fn run_concrete(
+    fn run_concrete<T: Tracer + ?Sized>(
         &self,
         protocol: &dyn Protocol,
         pattern: &WakePattern,
         run_seed: u64,
+        tracer: &mut T,
     ) -> Result<Outcome, SimError> {
         self.validate(pattern)?;
+        let mut trace = TraceCtx::new(tracer);
 
         let s = pattern.s();
         let wakes = pattern.materialize();
@@ -570,6 +700,8 @@ impl Simulator {
         let mut dense_steps = 0u64;
         let mut mode_switches = 0u64;
         let mut peak_units = 0u64;
+        // Trace watermarks (only advanced when a tracer wants them).
+        let (mut wm_heap, mut wm_units) = (0u64, 0u64);
         let mut transmitters: Vec<StationId> = Vec::new();
         let mut transmitted_flags: Vec<bool> = Vec::new();
         let mut resolved: Vec<(StationId, Slot)> = Vec::new();
@@ -670,6 +802,10 @@ impl Simulator {
                             sparse = false;
                             locked = true;
                             heap.clear();
+                            trace.engine_event(TraceEvent::ModeSwitch {
+                                slot: t,
+                                dense: true,
+                            });
                         }
                         // Wake-time burst detection, short-circuited: a
                         // *batch* arrival (≥ 2 stations this slot) whose
@@ -684,6 +820,14 @@ impl Simulator {
                             sparse = false;
                             mode_switches += 1;
                             policy.start_burst(awake.len() + 1);
+                            trace.engine_event(TraceEvent::ModeSwitch {
+                                slot: t,
+                                dense: true,
+                            });
+                            trace.engine_event(TraceEvent::BurstOpen {
+                                slot: t,
+                                window: policy.burst_len,
+                            });
                             clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
                         }
                         Ok(_) => {}
@@ -692,7 +836,22 @@ impl Simulator {
                 awake.push((id, station, 0));
                 next_wake += 1;
             }
+            if awake.len() > batch_start {
+                trace.wake(t, (awake.len() - batch_start) as u64);
+            }
             peak_units = peak_units.max(awake.len() as u64);
+            if trace.wants(TraceKind::Watermark) {
+                let (h, u) = (heap.len() as u64, awake.len() as u64);
+                if h > wm_heap || u > wm_units {
+                    wm_heap = wm_heap.max(h);
+                    wm_units = wm_units.max(u);
+                    trace.engine_event(TraceEvent::Watermark {
+                        slot: t,
+                        heap: wm_heap,
+                        units: wm_units,
+                    });
+                }
+            }
             // Full-batch burst test: after a batch arrival, if the earliest
             // live obligation in the heap is due within RESUME_GAP slots,
             // the heap has nothing to skip right now — run the burst dense.
@@ -708,6 +867,14 @@ impl Simulator {
                         sparse = false;
                         mode_switches += 1;
                         policy.start_burst(awake.len());
+                        trace.engine_event(TraceEvent::ModeSwitch {
+                            slot: t,
+                            dense: true,
+                        });
+                        trace.engine_event(TraceEvent::BurstOpen {
+                            slot: t,
+                            window: policy.burst_len,
+                        });
                         clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
                     }
                 }
@@ -723,10 +890,12 @@ impl Simulator {
                         let gap = sigma - t;
                         let remaining = self.cfg.max_slots - slots_simulated;
                         if gap >= remaining {
+                            trace.silence(t, remaining);
                             slots_simulated += remaining;
                             skipped_slots += remaining;
                             break 'slots;
                         }
+                        trace.silence(t, gap);
                         slots_simulated += gap;
                         skipped_slots += gap;
                         t = sigma;
@@ -759,6 +928,7 @@ impl Simulator {
                         // occur. The rest of the run is provably silent.
                         let remaining = self.cfg.max_slots - slots_simulated;
                         record_silence(&mut transcript, t, remaining);
+                        trace.silence(t, remaining);
                         slots_simulated += remaining;
                         silent_slots += remaining;
                         skipped_slots += remaining;
@@ -775,6 +945,7 @@ impl Simulator {
                     let remaining = self.cfg.max_slots - slots_simulated;
                     let take = gap.min(remaining);
                     record_silence(&mut transcript, t, take);
+                    trace.silence(t, take);
                     slots_simulated += take;
                     silent_slots += take;
                     skipped_slots += take;
@@ -806,6 +977,10 @@ impl Simulator {
                     if requery.is_empty() {
                         break;
                     }
+                    trace.engine_event(TraceEvent::HintRequery {
+                        slot: t,
+                        queries: requery.len() as u64,
+                    });
                     for &idx in &requery {
                         policy.win_cost += HINT_COST;
                         if arm(
@@ -841,6 +1016,14 @@ impl Simulator {
                         sparse = false;
                         mode_switches += 1;
                         policy.start_burst(awake.len());
+                        trace.engine_event(TraceEvent::ModeSwitch {
+                            slot: t,
+                            dense: true,
+                        });
+                        trace.engine_event(TraceEvent::BurstOpen {
+                            slot: t,
+                            window: policy.burst_len,
+                        });
                         clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
                     }
                     continue 'slots;
@@ -873,6 +1056,7 @@ impl Simulator {
 
                 slots_simulated += 1;
                 if let Some(w) = outcome.success_id() {
+                    trace.success(t, w);
                     if first_success.is_none() {
                         first_success = Some(t);
                         winner = Some(w);
@@ -913,6 +1097,10 @@ impl Simulator {
                     requery.extend(polled.iter().copied());
                     requery.sort_unstable();
                     requery.dedup();
+                    trace.engine_event(TraceEvent::HintRequery {
+                        slot: t + 1,
+                        queries: requery.len() as u64,
+                    });
                     for &idx in &requery {
                         if arm(
                             awake[idx].1.as_mut(),
@@ -944,8 +1132,14 @@ impl Simulator {
                 }
 
                 match &outcome {
-                    SlotOutcome::Collision(_) => collisions += 1,
-                    SlotOutcome::Silence => silent_slots += 1,
+                    SlotOutcome::Collision(_) => {
+                        collisions += 1;
+                        trace.collision(t, transmitters.len() as u64);
+                    }
+                    SlotOutcome::Silence => {
+                        silent_slots += 1;
+                        trace.silence(t, 1);
+                    }
                     SlotOutcome::Success(_) => unreachable!("handled above"),
                 }
 
@@ -959,6 +1153,10 @@ impl Simulator {
 
                 // Re-arm the polled stations' hints (their entries were
                 // consumed); nothing else was invalidated.
+                trace.engine_event(TraceEvent::HintRequery {
+                    slot: t + 1,
+                    queries: polled.len() as u64,
+                });
                 for &idx in &polled {
                     policy.win_cost += HINT_COST;
                     if arm(
@@ -982,6 +1180,14 @@ impl Simulator {
                     sparse = false;
                     mode_switches += 1;
                     policy.start_burst(awake.len());
+                    trace.engine_event(TraceEvent::ModeSwitch {
+                        slot: t + 1,
+                        dense: true,
+                    });
+                    trace.engine_event(TraceEvent::BurstOpen {
+                        slot: t + 1,
+                        window: policy.burst_len,
+                    });
                     clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
                 }
                 t += 1;
@@ -1016,6 +1222,7 @@ impl Simulator {
             dense_steps += 1;
             match &outcome {
                 SlotOutcome::Success(w) => {
+                    trace.success(t, *w);
                     if first_success.is_none() {
                         first_success = Some(t);
                         winner = Some(*w);
@@ -1041,8 +1248,14 @@ impl Simulator {
                         }
                     }
                 }
-                SlotOutcome::Collision(_) => collisions += 1,
-                SlotOutcome::Silence => silent_slots += 1,
+                SlotOutcome::Collision(_) => {
+                    collisions += 1;
+                    trace.collision(t, transmitters.len() as u64);
+                }
+                SlotOutcome::Silence => {
+                    silent_slots += 1;
+                    trace.silence(t, 1);
+                }
             }
 
             // Deliver feedback to every awake station.
@@ -1063,6 +1276,10 @@ impl Simulator {
                 if policy.burst_remaining == 0 || success {
                     // Re-query every awake station for a fresh hint from t.
                     clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
+                    trace.engine_event(TraceEvent::HintRequery {
+                        slot: t,
+                        queries: awake.len() as u64,
+                    });
                     let mut hints_ok = true;
                     for (idx, (_, station, _)) in awake.iter_mut().enumerate() {
                         if arm(
@@ -1101,15 +1318,25 @@ impl Simulator {
                             sparse = true;
                             mode_switches += 1;
                             policy.resume_sparse(slots_simulated);
+                            trace.engine_event(TraceEvent::BurstClose { slot: t });
+                            trace.engine_event(TraceEvent::ModeSwitch {
+                                slot: t,
+                                dense: false,
+                            });
                         } else {
                             policy.backoff(awake.len());
                             heap.clear();
+                            trace.engine_event(TraceEvent::BurstOpen {
+                                slot: t,
+                                window: policy.burst_len,
+                            });
                         }
                     }
                 }
             }
         }
 
+        trace.run_end(slots_simulated, first_success);
         Ok(Outcome {
             s,
             first_success,
@@ -1151,16 +1378,19 @@ impl Simulator {
     /// [`Outcome::peak_units`].
     ///
     /// [`ClassStation`]: crate::population::ClassStation
-    pub fn run_with_population(
+    pub fn run_with_population<T: Tracer + ?Sized>(
         &self,
         protocol: &dyn Protocol,
         pattern: &WakePattern,
         run_seed: u64,
         population: &mut dyn Population,
+        tracer: &mut T,
     ) -> Result<Outcome, SimError> {
         use crate::population::ClassStation;
 
         self.validate(pattern)?;
+        let mut trace = TraceCtx::new(tracer);
+        let (mut wm_heap, mut wm_units) = (0u64, 0u64);
 
         let s = pattern.s();
         let batches = pattern.batches_by_slot();
@@ -1220,6 +1450,7 @@ impl Simulator {
             // Admit batches due at or before t (batches are slot-sorted).
             while next_batch < batches.len() && batches[next_batch].0 <= t {
                 let (sigma, members) = &batches[next_batch];
+                trace.wake(t, members.count());
                 if detail {
                     for id in members.iter() {
                         tx_index.insert(id, tx_counts.len());
@@ -1243,12 +1474,28 @@ impl Simulator {
                     {
                         sparse = false;
                         heap.clear();
+                        trace.engine_event(TraceEvent::ModeSwitch {
+                            slot: t,
+                            dense: true,
+                        });
                     }
                     units.push(unit);
                 }
                 next_batch += 1;
             }
             peak_units = peak_units.max(units.len() as u64);
+            if trace.wants(TraceKind::Watermark) {
+                let (h, u) = (heap.len() as u64, units.len() as u64);
+                if h > wm_heap || u > wm_units {
+                    wm_heap = wm_heap.max(h);
+                    wm_units = wm_units.max(u);
+                    trace.engine_event(TraceEvent::Watermark {
+                        slot: t,
+                        heap: wm_heap,
+                        units: wm_units,
+                    });
+                }
+            }
 
             // Fast-forward: if nobody is awake, jump to the next batch —
             // but never past the slot cap.
@@ -1258,10 +1505,12 @@ impl Simulator {
                         let gap = sigma - t;
                         let remaining = self.cfg.max_slots - slots_simulated;
                         if gap >= remaining {
+                            trace.silence(t, remaining);
                             slots_simulated += remaining;
                             skipped_slots += remaining;
                             break 'slots;
                         }
+                        trace.silence(t, gap);
                         slots_simulated += gap;
                         skipped_slots += gap;
                         t = sigma;
@@ -1290,6 +1539,7 @@ impl Simulator {
                         // the run is provably silent.
                         let remaining = self.cfg.max_slots - slots_simulated;
                         record_silence(&mut transcript, t, remaining);
+                        trace.silence(t, remaining);
                         slots_simulated += remaining;
                         silent_slots += remaining;
                         skipped_slots += remaining;
@@ -1303,6 +1553,7 @@ impl Simulator {
                     let remaining = self.cfg.max_slots - slots_simulated;
                     let take = gap.min(remaining);
                     record_silence(&mut transcript, t, take);
+                    trace.silence(t, take);
                     slots_simulated += take;
                     silent_slots += take;
                     skipped_slots += take;
@@ -1332,6 +1583,10 @@ impl Simulator {
                     if requery.is_empty() {
                         break;
                     }
+                    trace.engine_event(TraceEvent::HintRequery {
+                        slot: t,
+                        queries: requery.len() as u64,
+                    });
                     for &idx in &requery {
                         if install_hint(
                             units[idx].next_transmission(t),
@@ -1345,6 +1600,10 @@ impl Simulator {
                         {
                             sparse = false;
                             heap.clear();
+                            trace.engine_event(TraceEvent::ModeSwitch {
+                                slot: t,
+                                dense: true,
+                            });
                             break;
                         }
                     }
@@ -1367,7 +1626,8 @@ impl Simulator {
                     polls += 1;
                     units[idx].act(t, &mut tally);
                 }
-                transmissions += tally.total();
+                let contenders = tally.total();
+                transmissions += contenders;
                 let outcome = slot_outcome(&mut tally);
 
                 if let Some(tr) = transcript.as_mut() {
@@ -1385,6 +1645,7 @@ impl Simulator {
 
                 slots_simulated += 1;
                 if let Some(w) = outcome.success_id() {
+                    trace.success(t, w);
                     if first_success.is_none() {
                         first_success = Some(t);
                         winner = Some(w);
@@ -1410,6 +1671,12 @@ impl Simulator {
                         hint_states.push(HintState::new());
                         units.push(nu);
                     }
+                    if units.len() > first_new {
+                        trace.engine_event(TraceEvent::ClassSplit {
+                            slot: t,
+                            born: (units.len() - first_new) as u64,
+                        });
+                    }
                     peak_units = peak_units.max(units.len() as u64);
                     if resolved.len() == total_stations && next_batch == batches.len() {
                         all_resolved_at = Some(t);
@@ -1430,6 +1697,10 @@ impl Simulator {
                     requery.extend(first_new..units.len());
                     requery.sort_unstable();
                     requery.dedup();
+                    trace.engine_event(TraceEvent::HintRequery {
+                        slot: t + 1,
+                        queries: requery.len() as u64,
+                    });
                     for &idx in &requery {
                         if install_hint(
                             units[idx].next_transmission(t + 1),
@@ -1443,6 +1714,10 @@ impl Simulator {
                         {
                             sparse = false;
                             heap.clear();
+                            trace.engine_event(TraceEvent::ModeSwitch {
+                                slot: t + 1,
+                                dense: true,
+                            });
                             break;
                         }
                     }
@@ -1451,8 +1726,14 @@ impl Simulator {
                 }
 
                 match &outcome {
-                    SlotOutcome::Collision(_) => collisions += 1,
-                    SlotOutcome::Silence => silent_slots += 1,
+                    SlotOutcome::Collision(_) => {
+                        collisions += 1;
+                        trace.collision(t, contenders);
+                    }
+                    SlotOutcome::Silence => {
+                        silent_slots += 1;
+                        trace.silence(t, 1);
+                    }
                     SlotOutcome::Success(_) => unreachable!("handled above"),
                 }
 
@@ -1468,6 +1749,12 @@ impl Simulator {
                     hint_states.push(HintState::new());
                     units.push(nu);
                 }
+                if units.len() > first_new {
+                    trace.engine_event(TraceEvent::ClassSplit {
+                        slot: t,
+                        born: (units.len() - first_new) as u64,
+                    });
+                }
                 peak_units = peak_units.max(units.len() as u64);
 
                 // Re-arm the polled units (entries consumed) and newborn
@@ -1475,6 +1762,10 @@ impl Simulator {
                 requery.clear();
                 requery.extend(polled.iter().copied());
                 requery.extend(first_new..units.len());
+                trace.engine_event(TraceEvent::HintRequery {
+                    slot: t + 1,
+                    queries: requery.len() as u64,
+                });
                 for &idx in &requery {
                     if install_hint(
                         units[idx].next_transmission(t + 1),
@@ -1488,6 +1779,10 @@ impl Simulator {
                     {
                         sparse = false;
                         heap.clear();
+                        trace.engine_event(TraceEvent::ModeSwitch {
+                            slot: t + 1,
+                            dense: true,
+                        });
                         break;
                     }
                 }
@@ -1501,7 +1796,8 @@ impl Simulator {
                 polls += 1;
                 unit.act(t, &mut tally);
             }
-            transmissions += tally.total();
+            let contenders = tally.total();
+            transmissions += contenders;
             let outcome = slot_outcome(&mut tally);
 
             if let Some(tr) = transcript.as_mut() {
@@ -1522,6 +1818,7 @@ impl Simulator {
             let fb = self.cfg.feedback.perceive(&outcome, false);
             match &outcome {
                 SlotOutcome::Success(w) => {
+                    trace.success(t, *w);
                     if first_success.is_none() {
                         first_success = Some(t);
                         winner = Some(*w);
@@ -1544,8 +1841,14 @@ impl Simulator {
                         }
                     }
                 }
-                SlotOutcome::Collision(_) => collisions += 1,
-                SlotOutcome::Silence => silent_slots += 1,
+                SlotOutcome::Collision(_) => {
+                    collisions += 1;
+                    trace.collision(t, contenders);
+                }
+                SlotOutcome::Silence => {
+                    silent_slots += 1;
+                    trace.silence(t, 1);
+                }
             }
 
             // Deliver feedback to every unit; append any splits (they are
@@ -1556,14 +1859,22 @@ impl Simulator {
             for unit in units.iter_mut() {
                 born.append(&mut unit.feedback(t, fb));
             }
+            let first_new = units.len();
             for nu in born {
                 hint_states.push(HintState::new());
                 units.push(nu);
+            }
+            if units.len() > first_new {
+                trace.engine_event(TraceEvent::ClassSplit {
+                    slot: t,
+                    born: (units.len() - first_new) as u64,
+                });
             }
             peak_units = peak_units.max(units.len() as u64);
             t += 1;
         }
 
+        trace.run_end(slots_simulated, first_success);
         Ok(Outcome {
             s,
             first_success,

@@ -36,6 +36,9 @@
 //! * [`adversary`] — a schedule-agnostic greedy *spoiler* that searches for
 //!   bad wake-up patterns against a concrete protocol.
 //! * [`trace`] — per-slot transcripts and model-invariant checkers.
+//! * [`tracer`] — structured engine event tracing ([`Tracer`],
+//!   [`TraceEvent`]): slot outcomes, mode switches, class splits, streamed
+//!   or ring-buffered, compiled away by default.
 //! * [`metrics`] — latency / energy (transmission-count) accounting.
 //! * [`rng`] — small deterministic mixing utilities for reproducible seeding.
 //!
@@ -84,6 +87,7 @@ pub mod population;
 pub mod rng;
 pub mod station;
 pub mod trace;
+pub mod tracer;
 
 pub use channel::{Feedback, FeedbackModel, SlotOutcome};
 pub use engine::{EngineMode, Outcome, SimConfig, SimError, Simulator};
@@ -95,6 +99,10 @@ pub use population::{
 };
 pub use station::{Action, Protocol, Station, TxHint, Until};
 pub use trace::Transcript;
+pub use tracer::{
+    NoopTracer, RecordingTracer, RingTracer, StreamTracer, TraceEvent, TraceFilter, TraceKind,
+    Tracer,
+};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -110,4 +118,8 @@ pub mod prelude {
     };
     pub use crate::station::{Action, Protocol, Station, TxHint, Until};
     pub use crate::trace::Transcript;
+    pub use crate::tracer::{
+        NoopTracer, RecordingTracer, RingTracer, StreamTracer, TraceEvent, TraceFilter, TraceKind,
+        Tracer,
+    };
 }

@@ -1,0 +1,94 @@
+//! Pins the `NoopTracer` zero-cost claim on the allocator axis: a run with
+//! the no-op tracer attached performs exactly as many heap allocations as
+//! an untraced run. (The timing axis is pinned by the `trace_overhead`
+//! kernels-bench row.)
+//!
+//! This file holds a single test so the counting global allocator sees no
+//! concurrent interference from sibling tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mac_sim::prelude::*;
+use mac_sim::NoopTracer;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct RoundRobin {
+    n: u32,
+}
+struct RrStation {
+    id: StationId,
+    n: u32,
+}
+impl Station for RrStation {
+    fn wake(&mut self, _sigma: Slot) {}
+    fn act(&mut self, t: Slot) -> Action {
+        Action::from_bool(t % u64::from(self.n) == u64::from(self.id.0))
+    }
+    fn next_transmission(&mut self, after: Slot) -> TxHint {
+        let n = u64::from(self.n);
+        let want = u64::from(self.id.0);
+        TxHint::at(after + (want + n - after % n) % n)
+    }
+}
+impl Protocol for RoundRobin {
+    fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
+        Box::new(RrStation { id, n: self.n })
+    }
+    fn name(&self) -> String {
+        "rr".into()
+    }
+}
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, r)
+}
+
+#[test]
+fn noop_tracer_adds_zero_allocations() {
+    let cfg = SimConfig::new(256).with_max_slots(4096);
+    let sim = Simulator::new(cfg);
+    let protocol = RoundRobin { n: 256 };
+    let ids: Vec<StationId> = [9u32, 77, 140, 201].map(StationId).to_vec();
+    let pattern = WakePattern::simultaneous(&ids, 50).unwrap();
+
+    // Warm up any lazy one-time initialization on both paths.
+    sim.run(&protocol, &pattern, 1).unwrap();
+    sim.run_traced(&protocol, &pattern, 1, &mut NoopTracer)
+        .unwrap();
+
+    let (plain, out_plain) = allocs_during(|| sim.run(&protocol, &pattern, 2).unwrap());
+    let (traced, out_traced) = allocs_during(|| {
+        sim.run_traced(&protocol, &pattern, 2, &mut NoopTracer)
+            .unwrap()
+    });
+
+    assert_eq!(out_plain.first_success, out_traced.first_success);
+    assert!(plain > 0, "a run must allocate (boxed stations)");
+    assert_eq!(
+        traced, plain,
+        "NoopTracer must not add a single allocation over the untraced run"
+    );
+}

@@ -54,7 +54,7 @@ pub mod queue;
 
 pub use collect::{Collector, OnlineStats, P2Quantile, VecCollector};
 pub use progress::{Progress, ProgressSink, StderrProgress};
-pub use queue::Placement;
+pub use queue::{Placement, WorkerQueueStats};
 
 use progress::ProgressMeter;
 use queue::BatchQueue;
@@ -84,6 +84,38 @@ impl Default for BatchSize {
 /// Leading runs executed inline to calibrate [`BatchSize::Auto`].
 const CALIBRATION_RUNS: u64 = 4;
 
+/// Per-worker execution breakdown: runs executed plus the worker's
+/// scheduling counters from the sharded queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Runs executed by this worker in the parallel phase.
+    pub runs: u64,
+    /// Successful steals performed by this worker.
+    pub steals: u64,
+    /// Steal scans that found nothing to take.
+    pub fail_scans: u64,
+    /// High-water batch depth of this worker's own shard.
+    pub queue_depth_hw: u64,
+}
+
+/// Scoped monotonic phase timers of one [`Runner::run`]. All three are
+/// wall-clock durations measured on the calling thread; `reduction` is
+/// cumulative time *inside* the caller's fold/collector code, so
+/// `simulation − reduction` approximates how long the reducer merely waited
+/// on workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Setup: batch-size calibration (including its inline runs) and queue
+    /// construction, before the parallel phase starts.
+    pub construction: Duration,
+    /// The execution phase: from first dispatched batch until every batch
+    /// is folded (workers joined / inline loop done).
+    pub simulation: Duration,
+    /// Cumulative time spent replaying batch payloads into the caller's
+    /// collector, on this thread (a subset of `simulation`).
+    pub reduction: Duration,
+}
+
 /// Execution statistics of one [`Runner::run`].
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -101,6 +133,13 @@ pub struct RunStats {
     pub calibration_runs: u64,
     /// Runs executed by each worker in the parallel phase.
     pub worker_runs: Vec<u64>,
+    /// Per-worker breakdown (runs, steals, fail scans, queue depth
+    /// high-water); aligned with `worker_runs`.
+    pub workers: Vec<WorkerStats>,
+    /// High-water occupancy (in batches) of the reducer's reorder buffer.
+    pub reorder_peak: u64,
+    /// Construction / simulation / reduction phase timers.
+    pub phases: PhaseTimes,
     /// Wall-clock duration of the whole call.
     pub elapsed: Duration,
 }
@@ -123,6 +162,31 @@ impl RunStats {
             self.batches,
             self.steals
         )
+    }
+
+    /// One-line phase breakdown (construction / simulation / reduction,
+    /// plus the reorder-buffer high-water).
+    pub fn render_phases(&self) -> String {
+        format!(
+            "phases: construction {:.2?} | simulation {:.2?} | reduction {:.2?} | reorder peak {} batches",
+            self.phases.construction, self.phases.simulation, self.phases.reduction, self.reorder_peak
+        )
+    }
+
+    /// Multi-line per-worker breakdown, one `worker i: …` line each (empty
+    /// string when no per-worker data was collected).
+    pub fn render_workers(&self) -> String {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                format!(
+                    "worker {i}: {} runs, {} steals, {} fail-scans, depth hw {}",
+                    w.runs, w.steals, w.fail_scans, w.queue_depth_hw
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -266,9 +330,11 @@ impl Runner {
         };
         if runs == 0 {
             stats.elapsed = started.elapsed();
+            self.report_done(&stats);
             return stats;
         }
         let mut meter = self.progress.clone().map(ProgressMeter::new);
+        let mut reduction = Duration::ZERO;
 
         // Calibration / batch-size choice. Calibration runs are real runs:
         // they execute indices 0.. inline (one single-run batch each, so
@@ -280,7 +346,10 @@ impl Runner {
                 let calib = CALIBRATION_RUNS.min(runs);
                 let t0 = Instant::now();
                 while next < calib {
-                    fold_batch(next, make_batch(next..next + 1));
+                    let payload = make_batch(next..next + 1);
+                    let fold_t0 = Instant::now();
+                    fold_batch(next, payload);
+                    reduction += fold_t0.elapsed();
                     next += 1;
                     // Small ensembles of expensive runs live entirely in
                     // this loop — keep reporting.
@@ -309,10 +378,15 @@ impl Runner {
 
         if threads == 1 {
             // Inline fast path: no workers, no channel, same fold order.
+            stats.phases.construction = started.elapsed();
+            let sim_t0 = Instant::now();
             let mut i = remaining.start;
             while i < remaining.end {
                 let end = remaining.end.min(i + batch);
-                fold_batch(i, make_batch(i..end));
+                let payload = make_batch(i..end);
+                let fold_t0 = Instant::now();
+                fold_batch(i, payload);
+                reduction += fold_t0.elapsed();
                 i = end;
                 if let Some(m) = meter.as_mut() {
                     m.tick(i, runs, 0);
@@ -320,6 +394,12 @@ impl Runner {
             }
             stats.batches = runs.saturating_sub(next).div_ceil(batch);
             stats.worker_runs = vec![runs - next];
+            stats.workers = vec![WorkerStats {
+                runs: runs - next,
+                ..WorkerStats::default()
+            }];
+            stats.phases.simulation = sim_t0.elapsed();
+            stats.phases.reduction = reduction;
             stats.elapsed = started.elapsed();
             self.report_done(&stats);
             return stats;
@@ -327,6 +407,9 @@ impl Runner {
 
         let queue = BatchQueue::new(remaining.clone(), batch, threads, self.placement);
         stats.batches = (remaining.end - remaining.start).div_ceil(batch);
+        stats.phases.construction = started.elapsed();
+        let sim_t0 = Instant::now();
+        let mut reorder_peak = 0u64;
         let done = AtomicU64::new(next);
         let worker_runs: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
         let (tx, rx) = mpsc::channel::<(u64, u64, R)>();
@@ -404,10 +487,13 @@ impl Runner {
                 match rx.recv_timeout(Duration::from_millis(50)) {
                     Ok((start, count, payload)) => {
                         pending.insert(start, (count, payload));
+                        reorder_peak = reorder_peak.max(pending.len() as u64);
+                        let fold_t0 = Instant::now();
                         while let Some((count, payload)) = pending.remove(&expected) {
                             fold_batch(expected, payload);
                             expected += count;
                         }
+                        reduction += fold_t0.elapsed();
                         frontier.store(expected, Ordering::Release);
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {}
@@ -419,17 +505,46 @@ impl Runner {
             }
         });
 
+        stats.phases.simulation = sim_t0.elapsed();
+        stats.phases.reduction = reduction;
+        stats.reorder_peak = reorder_peak;
         stats.steals = queue.steals();
         stats.worker_runs = worker_runs.into_iter().map(|c| c.into_inner()).collect();
+        stats.workers = queue
+            .worker_stats()
+            .into_iter()
+            .zip(stats.worker_runs.iter())
+            .map(|(q, &runs)| WorkerStats {
+                runs,
+                steals: q.steals,
+                fail_scans: q.fail_scans,
+                queue_depth_hw: q.queue_depth_hw,
+            })
+            .collect();
         stats.elapsed = started.elapsed();
         self.report_done(&stats);
         stats
     }
 
-    /// Final progress line for runs with progress enabled, matching the live
-    /// updates ([`RunStats::render`] carries the batch/steal breakdown).
+    /// Final progress lines for runs with progress enabled. The first line
+    /// is the guaranteed 100 % meter line (sweeps faster than the meter's
+    /// `every` interval never tick the throttled meter, so completion is
+    /// reported here unconditionally); then the [`RunStats::render`]
+    /// summary, the phase timers, and the per-worker breakdown.
     fn report_done(&self, stats: &RunStats) {
         if let Some(p) = &self.progress {
+            p.emit(&format!(
+                "[{}] {}/{} runs (100.0%) | {:.0} runs/s | {} steals",
+                p.label,
+                stats.runs,
+                stats.runs,
+                stats.runs_per_sec(),
+                stats.steals
+            ));
+            p.emit(&format!("[{}] {}", p.label, stats.render_phases()));
+            for line in stats.render_workers().lines() {
+                p.emit(&format!("[{}] {line}", p.label));
+            }
             p.emit(&format!("[{}] done: {}", p.label, stats.render()));
         }
     }

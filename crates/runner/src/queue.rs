@@ -44,11 +44,32 @@ pub enum Placement {
 /// instead of a single batch.
 const DEEP_SHARD: usize = 4;
 
+/// Per-worker scheduling counters, snapshotted by
+/// [`BatchQueue::worker_stats`]. All counts cover one queue lifetime (one
+/// parallel phase).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerQueueStats {
+    /// Successful steals performed *by* this worker.
+    pub steals: u64,
+    /// Steal scans that found nothing to take (every shard looked empty
+    /// while work was still in flight, or the victim drained between the
+    /// scan and the lock).
+    pub fail_scans: u64,
+    /// High-water batch depth of this worker's own shard (initial deal and
+    /// stolen half-deques included).
+    pub queue_depth_hw: u64,
+}
+
 /// A sharded queue of index-range batches with steal-on-empty (single batch
 /// from shallow victims, half the deque from deep ones).
 pub struct BatchQueue {
     shards: Vec<Mutex<VecDeque<Range<u64>>>>,
     steals: AtomicU64,
+    /// Per-worker telemetry: successful steals, failed steal scans, own
+    /// shard depth high-water. Indexed like `shards`.
+    worker_steals: Vec<AtomicU64>,
+    worker_fail_scans: Vec<AtomicU64>,
+    depth_hw: Vec<AtomicU64>,
     /// Batches still queued somewhere (decremented when a batch is
     /// *returned* from [`pop`](Self::pop), not when it merely moves between
     /// shards). A multi-shard emptiness scan is not atomic — it can race
@@ -81,9 +102,16 @@ impl BatchQueue {
             }
             Placement::Packed => queues[0].extend(batches),
         }
+        let depth_hw = queues
+            .iter()
+            .map(|q| AtomicU64::new(q.len() as u64))
+            .collect();
         BatchQueue {
             shards: queues.into_iter().map(Mutex::new).collect(),
             steals: AtomicU64::new(0),
+            worker_steals: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            worker_fail_scans: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            depth_hw,
             remaining: AtomicU64::new(total),
         }
     }
@@ -124,6 +152,7 @@ impl BatchQueue {
                 if self.remaining.load(Ordering::Acquire) == 0 {
                     return None;
                 }
+                self.worker_fail_scans[me].fetch_add(1, Ordering::Relaxed);
                 if let Some(b) = self.shards[me].lock().unwrap().pop_front() {
                     self.remaining.fetch_sub(1, Ordering::Release);
                     return Some(b);
@@ -152,22 +181,37 @@ impl BatchQueue {
                 let mut stolen = victim_q.split_off(keep);
                 let first = stolen.pop_front().expect("back half is non-empty");
                 my_q.append(&mut stolen);
+                self.depth_hw[me].fetch_max(my_q.len() as u64, Ordering::Relaxed);
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                self.worker_steals[me].fetch_add(1, Ordering::Relaxed);
                 self.remaining.fetch_sub(1, Ordering::Release);
                 return Some(first);
             }
             if let Some(b) = victim_q.pop_back() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                self.worker_steals[me].fetch_add(1, Ordering::Relaxed);
                 self.remaining.fetch_sub(1, Ordering::Release);
                 return Some(b);
             }
             // The victim drained between the scan and the lock; rescan.
+            self.worker_fail_scans[me].fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Number of successful steals so far.
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the per-worker scheduling counters (one entry per shard).
+    pub fn worker_stats(&self) -> Vec<WorkerQueueStats> {
+        (0..self.shards.len())
+            .map(|i| WorkerQueueStats {
+                steals: self.worker_steals[i].load(Ordering::Relaxed),
+                fail_scans: self.worker_fail_scans[i].load(Ordering::Relaxed),
+                queue_depth_hw: self.depth_hw[i].load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 

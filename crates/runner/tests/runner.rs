@@ -388,3 +388,81 @@ fn p2_quantiles_track_exact_quantiles_on_a_small_ensemble() {
         );
     }
 }
+
+#[test]
+fn final_100_percent_line_is_guaranteed_even_for_fast_sweeps() {
+    use std::sync::{Arc, Mutex};
+    use wakeup_runner::{Progress, ProgressSink};
+
+    #[derive(Default)]
+    struct Capture(Mutex<Vec<String>>);
+    impl ProgressSink for Capture {
+        fn progress_line(&self, line: &str) {
+            self.0.lock().unwrap().push(line.to_string());
+        }
+    }
+
+    // An interval far longer than the sweep: the throttled meter never
+    // ticks, so completion must be reported by the final unconditional line.
+    let capture = Arc::new(Capture::default());
+    let progress = Progress::new(Duration::from_secs(3600), "fast")
+        .with_sink(Arc::clone(&capture) as Arc<dyn ProgressSink>);
+    let mut out = VecCollector::with_capacity(16);
+    Runner::new()
+        .with_threads(2)
+        .with_batch(BatchSize::Fixed(2))
+        .with_progress(progress)
+        .run(16, |i| i, &mut out);
+    let lines = capture.0.lock().unwrap();
+    assert!(
+        lines.iter().any(|l| l.contains("16/16 runs (100.0%)")),
+        "missing guaranteed 100% line in {lines:?}"
+    );
+    assert!(lines.last().unwrap().contains("done:"));
+}
+
+#[test]
+fn per_worker_stats_phases_and_reorder_peak_are_populated() {
+    let mut out = VecCollector::with_capacity(256);
+    let stats = Runner::new()
+        .with_threads(3)
+        .with_batch(BatchSize::Fixed(4))
+        .with_placement(Placement::Packed)
+        .run(256, jagged, &mut out);
+    assert_eq!(stats.workers.len(), 3);
+    assert_eq!(
+        stats.workers.iter().map(|w| w.runs).sum::<u64>(),
+        256 - stats.calibration_runs,
+        "worker runs must cover the parallel phase"
+    );
+    assert_eq!(
+        stats.workers.iter().map(|w| w.steals).sum::<u64>(),
+        stats.steals,
+        "per-worker steals must sum to the queue total"
+    );
+    // Packed placement forces workers 1 and 2 to steal before running
+    // anything, and deep steals park batches in their own shards.
+    assert!(stats.steals >= 2);
+    assert!(stats.workers.iter().skip(1).any(|w| w.queue_depth_hw > 0));
+    assert!(stats.reorder_peak >= 1, "at least one batch must buffer");
+    assert!(stats.phases.simulation >= stats.phases.reduction);
+    assert!(stats.phases.simulation.as_nanos() > 0);
+    // Per-worker run counts agree with the legacy field.
+    assert_eq!(
+        stats.worker_runs,
+        stats.workers.iter().map(|w| w.runs).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn inline_path_reports_a_single_synthetic_worker() {
+    let mut out = VecCollector::with_capacity(32);
+    let stats = Runner::new()
+        .with_threads(1)
+        .with_batch(BatchSize::Fixed(8))
+        .run(32, |i| i, &mut out);
+    assert_eq!(stats.workers.len(), 1);
+    assert_eq!(stats.workers[0].runs, 32 - stats.calibration_runs);
+    assert_eq!(stats.workers[0].steals, 0);
+    assert_eq!(stats.reorder_peak, 0, "inline path never buffers");
+}
