@@ -29,7 +29,8 @@
 use mac_sim::metrics::{EnergyStats, LatencySample, OutcomeDigest};
 use mac_sim::tracer::{RecordingTracer, TraceFilter};
 use mac_sim::{
-    EngineMode, FeedbackModel, PopulationMode, Protocol, SimConfig, Simulator, WakePattern,
+    EngineMode, FeedbackModel, PolicyParams, PopulationMode, Protocol, SimConfig, Simulator,
+    WakePattern,
 };
 use std::fmt;
 use std::io::Write;
@@ -141,6 +142,12 @@ pub struct EnsembleSpec {
     /// [`run_ensemble`] and [`run_ensemble_stream`]; the chunked reference
     /// scheduler ignores it.
     pub trace: Option<TraceSpec>,
+    /// Self-calibrate the adaptive engine constants
+    /// ([`PolicyParams::calibrated`]) against one sample protocol instance
+    /// before the sweep, instead of the hand-tuned defaults. Off by default:
+    /// calibration times real code, so the *work counters* of a calibrated
+    /// sweep are machine-dependent (outcomes never are).
+    pub calibrate: bool,
 }
 
 impl EnsembleSpec {
@@ -160,6 +167,7 @@ impl EnsembleSpec {
             per_station_detail: true,
             progress: None,
             trace: None,
+            calibrate: false,
         }
     }
 
@@ -234,6 +242,13 @@ impl EnsembleSpec {
         self
     }
 
+    /// Self-calibrate the adaptive engine constants against the protocol
+    /// (see [`EnsembleSpec::calibrate`]).
+    pub fn with_calibration(mut self) -> Self {
+        self.calibrate = true;
+        self
+    }
+
     /// The seed of run `i` (wrapping — see [`base_seed`](Self::base_seed)).
     pub fn seed_of(&self, i: u64) -> u64 {
         self.base_seed.wrapping_add(i)
@@ -251,6 +266,18 @@ impl EnsembleSpec {
             cfg = cfg.without_per_station_detail();
         }
         cfg
+    }
+
+    /// The simulator for this spec. With [`calibrate`](Self::calibrate)
+    /// set, the adaptive policy constants are measured once against the
+    /// run-0 protocol instance and shared by every run of the ensemble.
+    fn simulator<P: Fn(u64) -> Box<dyn Protocol>>(&self, protocol_for: &P) -> Simulator {
+        let mut cfg = self.sim_config();
+        if self.calibrate {
+            let sample = protocol_for(self.seed_of(0));
+            cfg = cfg.with_policy(PolicyParams::calibrated(sample.as_ref(), self.n));
+        }
+        Simulator::new(cfg)
     }
 
     fn runner(&self) -> Runner {
@@ -278,6 +305,10 @@ pub struct WorkStats {
     /// (`Outcome::dense_steps` summed over runs): the adaptive engine's
     /// burst windows plus any dense-locked stretches.
     pub dense_steps: u64,
+    /// Total slots resolved by the bit-parallel word kernel
+    /// (`Outcome::word_slots` summed over runs): dense/burst tiles of up to
+    /// 64 slots settled by popcount instead of per-station polling.
+    pub word_slots: u64,
     /// Total sparse↔dense transitions of the adaptive engine policy
     /// (`Outcome::mode_switches` summed over runs).
     pub mode_switches: u64,
@@ -295,6 +326,7 @@ impl WorkStats {
         self.polls += out.polls;
         self.skipped += out.skipped_slots;
         self.dense_steps += out.dense_steps;
+        self.word_slots += out.word_slots;
         self.mode_switches += out.mode_switches;
         self.peak_units = self.peak_units.max(out.peak_units);
     }
@@ -305,6 +337,7 @@ impl WorkStats {
         self.polls += d.polls;
         self.skipped += d.skipped;
         self.dense_steps += d.dense_steps;
+        self.word_slots += d.word_slots;
         self.mode_switches += d.mode_switches;
         self.peak_units = self.peak_units.max(d.peak_units);
     }
@@ -317,6 +350,7 @@ impl WorkStats {
         self.polls += other.polls;
         self.skipped += other.skipped;
         self.dense_steps += other.dense_steps;
+        self.word_slots += other.word_slots;
         self.mode_switches += other.mode_switches;
         self.peak_units = self.peak_units.max(other.peak_units);
     }
@@ -343,26 +377,29 @@ impl WorkStats {
     /// Compact one-line rendering for per-table footers.
     pub fn render(&self) -> String {
         format!(
-            "slots {} | polls {} ({:.4} polls/slot) | skipped {} ({:.1}% skip) | dense-stepped {} ({} switches)",
+            "slots {} | polls {} ({:.4} polls/slot) | skipped {} ({:.1}% skip) | dense-stepped {} | word-kernel {} ({} switches)",
             self.slots,
             self.polls,
             self.polls_per_slot(),
             self.skipped,
             100.0 * self.skip_fraction(),
             self.dense_steps,
+            self.word_slots,
             self.mode_switches,
         )
     }
 
     /// The counters as a machine-readable [`Record`](crate::serial::Record)
     /// with stable field names (`slots`, `polls`, `skipped`, `dense_steps`,
-    /// `mode_switches`, `peak_units`). Deterministic: all fold in seed order.
+    /// `word_slots`, `mode_switches`, `peak_units`). Deterministic: all fold
+    /// in seed order.
     pub fn record(&self) -> crate::serial::Record {
         crate::serial::Record::new()
             .with("slots", self.slots)
             .with("polls", self.polls)
             .with("skipped", self.skipped)
             .with("dense_steps", self.dense_steps)
+            .with("word_slots", self.word_slots)
             .with("mode_switches", self.mode_switches)
             .with("peak_units", self.peak_units)
     }
@@ -541,6 +578,7 @@ impl EnsembleSummary {
             .with("polls", self.work.polls)
             .with("skipped", self.work.skipped)
             .with("dense_steps", self.work.dense_steps)
+            .with("word_slots", self.work.word_slots)
             .with("mode_switches", self.work.mode_switches)
             .with("peak_units", self.work.peak_units)
     }
@@ -649,7 +687,7 @@ where
     G: Fn(u64) -> WakePattern + Sync,
     F: FnMut(u64, OutcomeDigest),
 {
-    let sim = Simulator::new(spec.sim_config());
+    let sim = spec.simulator(&protocol_for);
     let trace = spec.trace.as_ref();
     let stats = spec.runner().run(
         spec.runs,
@@ -751,7 +789,7 @@ where
     // and move the stats in afterwards.
     let exec = {
         let s = &mut summary;
-        let sim = Simulator::new(spec.sim_config());
+        let sim = spec.simulator(&protocol_for);
         let trace = spec.trace.as_ref();
         spec.runner().run_folded(
             spec.runs,

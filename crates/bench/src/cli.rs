@@ -14,7 +14,7 @@
 //! existing invocations and CI recipes keep working; the `exp_*` binaries
 //! are shims onto [`shim`].
 
-use crate::experiment::run_experiment_traced;
+use crate::experiment::{run_experiment_with, Knobs};
 use crate::experiments;
 use crate::sink::OutFormat;
 use crate::Scale;
@@ -53,6 +53,15 @@ pub struct Config {
     /// Keep every N-th event per (run, kind) stream (`--trace-sample`,
     /// default 1 = keep everything).
     pub trace_sample: u64,
+    /// Family-pool size (`--family-pool`, else `WAKEUP_FAMILY_POOL`):
+    /// EXP-A/B draw their selective-family seeds from a pool of `F`
+    /// realizations per sweep cell, amortizing construction through the
+    /// ensemble-wide cache instead of building one family per run.
+    pub family_pool: Option<u64>,
+    /// Self-calibrate the adaptive engine constants per ensemble
+    /// (`--calibrate`, else `WAKEUP_CALIBRATE=1`). Outcomes are unchanged;
+    /// work counters become machine-dependent.
+    pub calibrate: bool,
 }
 
 impl Config {
@@ -68,6 +77,11 @@ impl Config {
             trace: false,
             trace_out: None,
             trace_sample: 1,
+            family_pool: std::env::var("WAKEUP_FAMILY_POOL")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&f| f >= 1),
+            calibrate: matches!(std::env::var("WAKEUP_CALIBRATE").as_deref(), Ok("1")),
         }
     }
 }
@@ -92,6 +106,13 @@ OPTIONS:
     --trace                also capture a structured event trace per experiment
     --trace-out DIR        trace artifact directory (default: traces)
     --trace-sample N       keep every N-th event per (run, kind) stream
+    --family-pool F        EXP-A/B: draw family seeds from a pool of F
+                           realizations per sweep cell (construction amortized
+                           through the ensemble cache; default: $WAKEUP_FAMILY_POOL
+                           or one fresh family per run)
+    --calibrate            self-calibrate the adaptive engine constants per
+                           ensemble (default: $WAKEUP_CALIBRATE=1; outcomes
+                           unchanged, work counters become machine-dependent)
     --time-box SECS        schedule the selection inside this wall-clock box:
                            at full scale, run budget-ascending (declared
                            per-experiment budgets) and stop before the
@@ -308,6 +329,17 @@ fn parse_run(
                 }
                 config.trace_sample = n;
             }
+            "--family-pool" => {
+                let v = value(it, "--family-pool")?;
+                let f = v.parse::<u64>().map_err(|_| {
+                    ParseError(format!("--family-pool must be a number, got '{v}'"))
+                })?;
+                if f == 0 {
+                    return Err(ParseError("--family-pool must be ≥ 1".into()));
+                }
+                config.family_pool = Some(f);
+            }
+            "--calibrate" => config.calibrate = true,
             "--time-box" => {
                 let v = value(it, "--time-box")?;
                 config.time_box =
@@ -479,12 +511,16 @@ pub fn run_many(names: &[String], config: &Config) -> std::io::Result<u64> {
         } else {
             (None, None)
         };
-        failures += run_experiment_traced(
+        failures += run_experiment_with(
             &exp,
             config.scale,
             config.seed,
             config.threads,
             trace,
+            Knobs {
+                family_pool: config.family_pool,
+                calibrate: config.calibrate,
+            },
             sink.as_mut(),
         );
         if let Some((t, e)) = sinks {
@@ -662,6 +698,26 @@ mod tests {
         assert!(parse(&argv("trace exp_nope")).is_err());
         assert!(parse(&argv("run exp_certify --trace-sample 0")).is_err());
         assert!(parse(&argv("run exp_certify --trace-sample lots")).is_err());
+    }
+
+    #[test]
+    fn parse_family_pool_and_calibrate() {
+        // Defaults: no pool, no calibration (env is not set under test).
+        let Ok(Command::Run { config, .. }) = parse(&argv("run exp_scenario_a")) else {
+            panic!("run did not parse");
+        };
+        assert_eq!(config.family_pool, None);
+        assert!(!config.calibrate);
+        let Ok(Command::Run { config, .. }) = parse(&argv(
+            "run exp_scenario_a exp_scenario_b --family-pool 8 --calibrate",
+        )) else {
+            panic!("run with knobs did not parse");
+        };
+        assert_eq!(config.family_pool, Some(8));
+        assert!(config.calibrate);
+        assert!(parse(&argv("run exp_scenario_a --family-pool 0")).is_err());
+        assert!(parse(&argv("run exp_scenario_a --family-pool lots")).is_err());
+        assert!(parse(&argv("run exp_scenario_a --family-pool")).is_err());
     }
 
     #[test]

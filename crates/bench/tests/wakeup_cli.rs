@@ -182,6 +182,7 @@ fn scenario_a_json_has_the_golden_schema() {
         "polls",
         "skipped",
         "dense_steps",
+        "word_slots",
         "mode_switches",
         "peak_units",
     ];

@@ -15,7 +15,9 @@
 //! is why both Scenario A and Scenario B algorithms interleave with it to
 //! stay optimal at large `k`.
 
-use mac_sim::{Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally};
+use mac_sim::{
+    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, TxWord,
+};
 
 /// The round-robin protocol over `n` stations.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +58,18 @@ impl Station for RoundRobinStation {
             u64::from(self.id.0),
             u64::from(self.n),
         ))
+    }
+
+    fn fill_tx_word(&mut self, base: Slot, width: u32) -> Option<TxWord> {
+        // The whole tile in closed form: bit j set iff base + j ≡ id (mod n).
+        let n = u64::from(self.n);
+        let mut bits = 0u64;
+        let mut j = (u64::from(self.id.0) + n - base % n) % n;
+        while j < u64::from(width) {
+            bits |= 1u64 << j;
+            j += n;
+        }
+        Some(TxWord::forever(bits))
     }
 }
 

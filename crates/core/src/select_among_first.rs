@@ -21,7 +21,8 @@
 
 use crate::family_provider::{DynFamily, FamilyProvider};
 use mac_sim::{
-    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, Until,
+    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, TxWord,
+    Until,
 };
 use selectors::math::log_n;
 use std::sync::Arc;
@@ -408,6 +409,23 @@ impl Station for SafStation {
             Some(p) => TxHint::at(self.s + p),
             None => TxHint::never(),
         }
+    }
+
+    fn fill_tx_word(&mut self, base: Slot, width: u32) -> Option<TxWord> {
+        // The schedule is oblivious and participation is fixed at wake, so
+        // the whole tile is an unconditional fact: one position lookup per
+        // slot, instead of one linear `next_position` walk per event.
+        if !self.participates {
+            return Some(TxWord::forever(0));
+        }
+        let mut bits = 0u64;
+        for j in 0..u64::from(width) {
+            let t = base + j;
+            if t >= self.s && self.schedule.transmits(self.id.0, t - self.s) {
+                bits |= 1u64 << j;
+            }
+        }
+        Some(TxWord::forever(bits))
     }
 }
 

@@ -30,7 +30,8 @@
 use crate::select_among_first::CLASS_SCAN_BUDGET;
 use crate::waking_matrix::{MatrixParams, WakingMatrix};
 use mac_sim::{
-    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, Until,
+    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, TxWord,
+    Until,
 };
 use selectors::prf::GapScanner;
 use std::sync::Arc;
@@ -185,6 +186,42 @@ impl Station for WakeupNStation {
             None if !self.restart && seg.row == m.rows() => TxHint::never(),
             None => TxHint::Never(Until::Slot(seg.end)),
         }
+    }
+
+    fn fill_tx_word(&mut self, base: Slot, width: u32) -> Option<TxWord> {
+        // The walk is oblivious (restarts included: a deterministic function
+        // of σ and t), so the tile is an unconditional fact. Same stateless
+        // geometry as `next_transmission`; the PRF row prefix is hoisted
+        // once per row span inside the tile.
+        let m = &self.matrix;
+        let total = m.total_scan();
+        let mut bits = 0u64;
+        let mut j = 0u64;
+        while j < u64::from(width) {
+            let t = base + j;
+            if t < self.mu0 {
+                j += 1; // waiting for the window boundary
+                continue;
+            }
+            let delta = t - self.mu0;
+            if !self.restart && delta >= total {
+                break; // scan over: silent for the rest of the tile
+            }
+            let delta_in_walk = delta % total;
+            let row = m
+                .row_at_offset(delta_in_walk)
+                .expect("delta_in_walk < total_scan has a row");
+            let (_, row_end) = m.row_span(row);
+            let seg_end = (t - delta_in_walk + row_end).min(base + u64::from(width));
+            let scanner = m.row_scanner(row, self.id.0);
+            let mut s = t;
+            while let Some(hit) = m.next_member_scanned(&scanner, row, s, seg_end) {
+                bits |= 1u64 << (hit - base);
+                s = hit + 1;
+            }
+            j = seg_end - base;
+        }
+        Some(TxWord::forever(bits))
     }
 }
 

@@ -15,7 +15,8 @@ use crate::select_among_first::{
     AnyMemberScan, DoublingSchedule, NextPositionCache, Scan, CLASS_SCAN_BUDGET,
 };
 use mac_sim::{
-    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, Until,
+    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, TxWord,
+    Until,
 };
 use selectors::math::next_congruent;
 use std::sync::Arc;
@@ -123,6 +124,29 @@ impl Station for WwsStation {
             Some(saf) => TxHint::at(rr_slot.min(saf)),
             None => TxHint::at(rr_slot),
         }
+    }
+
+    fn fill_tx_word(&mut self, base: Slot, width: u32) -> Option<TxWord> {
+        // Both components are oblivious (participation fixed at wake), so
+        // the interleaved tile is an unconditional fact: round-robin parity
+        // arithmetic on even slots, one schedule lookup per odd slot.
+        let n = u64::from(self.n);
+        let id = u64::from(self.id.0);
+        let mut bits = 0u64;
+        for j in 0..u64::from(width) {
+            let t = base + j;
+            let tx = if t.is_multiple_of(2) {
+                (t / 2) % n == id
+            } else if self.participates_saf && t >= self.s {
+                self.schedule.transmits(self.id.0, self.saf_position(t))
+            } else {
+                false
+            };
+            if tx {
+                bits |= 1u64 << j;
+            }
+        }
+        Some(TxWord::forever(bits))
     }
 }
 

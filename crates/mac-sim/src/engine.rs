@@ -54,7 +54,8 @@ use crate::population::{ClassPopulation, Population, PopulationMode, TxTally};
 use crate::rng::derive_seed;
 use crate::station::{Protocol, Station, TxHint, Until};
 use crate::trace::{SlotRecord, Transcript};
-use crate::tracer::{NoopTracer, TraceEvent, TraceKind, Tracer};
+use crate::tracer::{BufferTracer, NoopTracer, TraceEvent, TraceKind, Tracer};
+use selectors::transpose64;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -91,6 +92,21 @@ pub enum EngineMode {
     /// Useful as a ground-truth reference and for measuring the sparse
     /// speedup.
     Dense,
+    /// Force the word-level (bit-parallel) slot kernel for every simulated
+    /// slot: transmit decisions are gathered as 64-slot bit columns per
+    /// station ([`Station::fill_tx_word`], with a generic fill from
+    /// [`Station::next_transmission`] hints for everyone else), transposed
+    /// into per-slot words, and each slot resolves from a popcount —
+    /// `0` → silence, `1` → success via `trailing_zeros`, `≥ 2` →
+    /// collision. Outcomes, transcripts and the channel-tier trace are
+    /// bit-identical to [`EngineMode::Dense`]; only the work counters
+    /// ([`Outcome::word_slots`]) differ. Falls back to scalar dense polling
+    /// permanently when any station answers [`TxHint::Dense`]. Under
+    /// [`EngineMode::Auto`] the same kernel powers the adaptive policy's
+    /// dense burst windows once a window survives its scalar warmup
+    /// ([`PolicyParams::kernel_warmup`]); this mode exists to force it
+    /// everywhere (benchmark baselines, equivalence tests).
+    Bitslab,
 }
 
 /// Configuration of one simulation.
@@ -119,6 +135,22 @@ pub struct SimConfig {
     /// runs: the table is O(k) in both engines, and with it off both
     /// engines leave it empty — outcomes stay comparable per config.
     pub per_station_detail: bool,
+    /// Constants of the adaptive [`EngineMode::Auto`] policy (hint-query
+    /// cost, burst-window floors, …). Defaults to the hand-tuned
+    /// [`PolicyParams::default`]; [`PolicyParams::calibrated`] measures
+    /// them against the actual protocol on the actual machine. Outcomes
+    /// are policy-independent — only work counters move.
+    pub policy: PolicyParams,
+    /// Split budget of the class engine ([`PopulationMode::Classes`]): when
+    /// the number of live simulation units exceeds this, the class run is
+    /// abandoned and the engine re-runs the pattern concretely — a
+    /// population fragmenting into Ω(members) singleton classes pays per-
+    /// unit split bookkeeping *on top of* per-station work, so wholesale
+    /// concrete is strictly cheaper. `None` (default) picks
+    /// `max(4096, k/2)` for a `k`-station pattern; `Some(u64::MAX)`
+    /// disables the guard. Outcomes are identical either way — the flip
+    /// shows only in the work counters ([`Outcome::peak_units`] etc.).
+    pub split_budget: Option<u64>,
 }
 
 impl SimConfig {
@@ -136,6 +168,8 @@ impl SimConfig {
             engine: EngineMode::Auto,
             population: PopulationMode::default(),
             per_station_detail: true,
+            policy: PolicyParams::default(),
+            split_budget: None,
         }
     }
 
@@ -189,6 +223,20 @@ impl SimConfig {
     /// memory at mega scale.
     pub fn without_per_station_detail(mut self) -> Self {
         self.per_station_detail = false;
+        self
+    }
+
+    /// Replace the adaptive-policy constants (e.g. with a
+    /// [`PolicyParams::calibrated`] set).
+    pub fn with_policy(mut self, policy: PolicyParams) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the class engine's split budget (`Some(u64::MAX)` disables the
+    /// flip-to-concrete guard; see [`SimConfig::split_budget`]).
+    pub fn with_split_budget(mut self, budget: Option<u64>) -> Self {
+        self.split_budget = budget;
         self
     }
 }
@@ -257,11 +305,20 @@ pub struct Outcome {
     /// [`EngineMode::Auto`], the slots the adaptive policy chose to step
     /// densely — burst windows where the sparse heap was not paying for
     /// itself, and everything after a [`TxHint::Dense`] fallback. Every
-    /// simulated slot is either skipped in bulk, dense-stepped, or a sparse
-    /// event (which polls at least one station), so
-    /// `skipped_slots + dense_steps ≤ slots_simulated ≤
-    /// skipped_slots + dense_steps + polls`.
+    /// simulated slot is either skipped in bulk, dense-stepped,
+    /// word-resolved, or a sparse event (which polls at least one
+    /// station), so `skipped_slots + dense_steps + word_slots ≤
+    /// slots_simulated ≤ skipped_slots + dense_steps + word_slots + polls`.
     pub dense_steps: u64,
+    /// Slots resolved by the word-level (bit-parallel) kernel: transmit
+    /// bits for up to 64 slots × every awake station gathered into bitset
+    /// words, transposed, and each slot settled by a popcount instead of
+    /// per-station polling. All slots of an [`EngineMode::Bitslab`] run
+    /// (until a [`TxHint::Dense`] fallback), plus, under
+    /// [`EngineMode::Auto`], the burst-window slots the kernel stepped in
+    /// place of scalar dense stepping. Disjoint from
+    /// [`dense_steps`](Outcome::dense_steps).
+    pub word_slots: u64,
     /// Number of sparse↔dense transitions the adaptive [`EngineMode::Auto`]
     /// policy made (0 on the pure paths: a run that never leaves the sparse
     /// path, a forced-dense run, or a permanent [`TxHint::Dense`] fallback).
@@ -335,29 +392,172 @@ impl HintState {
     }
 }
 
-/// Cost of one [`Station::next_transmission`] query relative to one
-/// [`Station::act`] poll, in the adaptive policy's cost model. Hint queries
-/// scan schedules (PRF gap jumps, position walks) and are typically several
-/// times the cost of a poll.
-const HINT_COST: u64 = 3;
-/// What one dense-stepped slot costs per awake station in the same units:
-/// one poll plus one feedback delivery.
-const DENSE_SLOT_COST: u64 = 2;
-/// The policy evaluates the skip yield every time this much sparse work
-/// (polls + weighted hint queries) has accumulated since the window start.
-const EVAL_COST: u64 = 64;
-/// Minimum skippable gap (in slots) a re-probe must see ahead to resume the
-/// sparse path; anything closer and the heap would be churning again within
-/// a few slots. Also the wake-time burst test: a batch arrival whose
-/// earliest obligation is due within this gap has nothing to skip.
-const RESUME_GAP: u64 = 4;
+/// A per-station claim cached by the word kernel between consecutive tiles
+/// of one dense burst: the station's next transmission (if any) as learned
+/// at an earlier tile base, scoped like the originating [`TxHint`]. A memo
+/// is consumed ([`WordMemo::Stale`]) when its transmission slot is reached,
+/// when its scope expires, or wholesale when tiles stop being contiguous.
+#[derive(Clone, Copy, Debug)]
+enum WordMemo {
+    /// No usable claim — query the station at the next tile base.
+    Stale,
+    /// A normalized `next_transmission` answer: silent up to `next`
+    /// (transmitting exactly there when `Some`), valid per `until`. When
+    /// `until` is [`Until::Slot`], `next` is `None` or strictly before the
+    /// boundary.
+    Hint { next: Option<Slot>, until: Until },
+}
+
+/// Result of one class-engine attempt under a live-unit budget (see
+/// [`SimConfig::split_budget`]).
+enum ClassRun {
+    /// The attempt ran to completion.
+    Done(Outcome),
+    /// Live units crossed the budget: abandon the attempt and re-run the
+    /// pattern on the concrete engine.
+    BudgetExceeded,
+}
+
+/// The low `width` bits set (`width ≥ 64` saturates to all ones).
+#[inline]
+fn low_mask(width: u64) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Constants of the adaptive [`EngineMode::Auto`] policy. The defaults are
+/// hand-tuned for a typical x86 box; [`PolicyParams::calibrated`] measures
+/// them against a concrete protocol on the machine actually running the
+/// sweep. Outcomes never depend on these — they steer only *which path*
+/// simulates each slot, so miscalibration costs time, not correctness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicyParams {
+    /// Cost of one [`Station::next_transmission`] query relative to one
+    /// [`Station::act`] poll. Hint queries scan schedules (PRF gap jumps,
+    /// position walks) and are typically several times the cost of a poll.
+    pub hint_cost: u64,
+    /// What one dense-stepped slot costs per awake station in the same
+    /// units: one poll plus one feedback delivery.
+    pub dense_slot_cost: u64,
+    /// The policy evaluates the skip yield every time this much sparse work
+    /// (polls + weighted hint queries) has accumulated since the window
+    /// start.
+    pub eval_cost: u64,
+    /// Minimum skippable gap (in slots) a re-probe must see ahead to resume
+    /// the sparse path; anything closer and the heap would be churning
+    /// again within a few slots. Also the wake-time burst test: a batch
+    /// arrival whose earliest obligation is due within this gap has nothing
+    /// to skip.
+    pub resume_gap: u64,
+    /// Minimum dense burst-window length in slots — long enough to amortize
+    /// the k hint queries a re-probe costs.
+    pub burst_floor: u64,
+    /// Scalar-dense slots a burst window must survive before the word
+    /// kernel takes over ([`EngineMode::Auto`] only). Bursts that resolve
+    /// within a handful of slots — the no-skip adversarial shape — never
+    /// pay for a tile fill they cannot amortize; bursts that outlive the
+    /// warmup switch to word-level stepping for the remainder of the
+    /// window. [`EngineMode::Bitslab`] ignores this and always runs the
+    /// kernel.
+    pub kernel_warmup: u64,
+}
+
+impl Default for PolicyParams {
+    fn default() -> Self {
+        PolicyParams {
+            hint_cost: 3,
+            dense_slot_cost: 2,
+            eval_cost: 64,
+            resume_gap: 4,
+            burst_floor: 64,
+            kernel_warmup: 16,
+        }
+    }
+}
+
+impl PolicyParams {
+    /// Measure the policy constants against `protocol` on this machine: a
+    /// few hundred timed [`Station::act`] polls and
+    /// [`Station::next_transmission`] queries on scratch stations (the
+    /// "first few hundred events" of a sweep, executed up front so every
+    /// run of the ensemble shares one deterministic parameter set). The
+    /// measured hint/poll cost ratio replaces the hand-tuned
+    /// [`hint_cost`](PolicyParams::hint_cost), and the evaluation cadence
+    /// and burst floor scale with it. All ratios are clamped to sane
+    /// ranges; degenerate measurements (e.g. a resolution-starved clock)
+    /// fall back to the defaults. Calibration never changes outcomes —
+    /// only the adaptive schedule, hence the work counters.
+    pub fn calibrated(protocol: &dyn Protocol, n: u32) -> PolicyParams {
+        use std::hint::black_box;
+        use std::time::Instant;
+
+        const ROUNDS: u64 = 256;
+        let ids = (0..8u32.min(n.max(1))).map(StationId).collect::<Vec<_>>();
+
+        // Poll cost: act() across the first few hundred slots.
+        let mut stations: Vec<_> = ids
+            .iter()
+            .map(|&id| protocol.station(id, derive_seed(0xCA11_B8A7E, u64::from(id.0))))
+            .collect();
+        for st in stations.iter_mut() {
+            st.wake(0);
+        }
+        let start = Instant::now();
+        for t in 0..ROUNDS {
+            for st in stations.iter_mut() {
+                black_box(st.act(t));
+            }
+        }
+        let act_ns = start.elapsed().as_nanos().max(1) as u64;
+
+        // Hint cost: next_transmission() at non-decreasing slots on fresh
+        // stations (the scratch stations above already consumed act calls).
+        let mut stations: Vec<_> = ids
+            .iter()
+            .map(|&id| protocol.station(id, derive_seed(0xCA11_B8A7E, u64::from(id.0))))
+            .collect();
+        for st in stations.iter_mut() {
+            st.wake(0);
+        }
+        let start = Instant::now();
+        for t in 0..ROUNDS {
+            for st in stations.iter_mut() {
+                black_box(st.next_transmission(t));
+            }
+        }
+        let hint_ns = start.elapsed().as_nanos() as u64;
+
+        if act_ns < 100 || hint_ns < 100 {
+            return PolicyParams::default(); // clock resolution too coarse
+        }
+        let hint_cost = hint_ns.div_ceil(act_ns).clamp(1, 16);
+        PolicyParams {
+            hint_cost,
+            // One poll plus one feedback delivery per station per slot.
+            dense_slot_cost: 2,
+            // Keep the default's cadence of ~21 polls' worth of work per
+            // hint-cost unit, re-expressed in measured units.
+            eval_cost: (21 * hint_cost).clamp(32, 512),
+            resume_gap: 4,
+            // A burst must outlast ~16 hint queries' worth of slots for the
+            // re-probe to amortize.
+            burst_floor: (16 * hint_cost).clamp(32, 256),
+            kernel_warmup: 16,
+        }
+    }
+}
 
 /// The adaptive sparse↔dense policy of [`EngineMode::Auto`]: a sliding cost
 /// window over the sparse path's work, compared against what dense stepping
 /// would have cost over the same simulated slots.
 #[derive(Clone, Copy, Debug)]
 struct Adaptive {
-    /// Sparse work (polls + `HINT_COST`·hint queries) since the window
+    /// The policy constants ([`SimConfig::policy`]).
+    p: PolicyParams,
+    /// Sparse work (polls + `hint_cost`·hint queries) since the window
     /// started.
     win_cost: u64,
     /// `slots_simulated` at the window start.
@@ -370,8 +570,9 @@ struct Adaptive {
 }
 
 impl Adaptive {
-    fn new() -> Self {
+    fn new(p: PolicyParams) -> Self {
         Adaptive {
+            p,
             win_cost: 0,
             win_start: 0,
             burst_len: 0,
@@ -381,15 +582,15 @@ impl Adaptive {
 
     /// Evaluate the window: `true` iff the sparse path has done more work
     /// over the window than dense stepping would have
-    /// (`DENSE_SLOT_COST · awake` per slot) — time to drop into a burst
+    /// (`dense_slot_cost · awake` per slot) — time to drop into a burst
     /// window. A window that passes the yield test resets so old gaps
     /// cannot subsidize a later burst forever.
     fn should_burst(&mut self, slots_now: u64, awake: usize) -> bool {
-        if self.win_cost < EVAL_COST {
+        if self.win_cost < self.p.eval_cost {
             return false;
         }
         let win_slots = (slots_now - self.win_start).max(1);
-        if self.win_cost > DENSE_SLOT_COST * awake as u64 * win_slots {
+        if self.win_cost > self.p.dense_slot_cost * awake as u64 * win_slots {
             true
         } else {
             self.win_cost = 0;
@@ -401,16 +602,24 @@ impl Adaptive {
     /// Start (or restart) a dense burst window sized to the floor: long
     /// enough to amortize the k hint queries a re-probe costs.
     fn start_burst(&mut self, awake: usize) {
-        self.burst_len = (4 * awake as u64).max(64);
+        self.burst_len = (4 * awake as u64).max(self.p.burst_floor);
         self.burst_remaining = self.burst_len;
     }
 
     /// A re-probe failed (no skippable gap ahead): stay dense for a doubled
     /// window, capped so sparsity is still re-tested periodically.
     fn backoff(&mut self, awake: usize) {
-        let cap = (64 * awake as u64).max(4096);
-        self.burst_len = (self.burst_len * 2).clamp(64, cap);
+        let cap = (64 * awake as u64).max(64 * self.p.burst_floor);
+        self.burst_len = (self.burst_len * 2).clamp(self.p.burst_floor, cap);
         self.burst_remaining = self.burst_len;
+    }
+
+    /// Has the active burst window survived its scalar warmup? The word
+    /// kernel only takes over once `kernel_warmup` slots of the window have
+    /// been dense-stepped — a burst that resolves faster never pays for a
+    /// tile fill it cannot amortize.
+    fn kernel_warm(&self) -> bool {
+        self.burst_len.saturating_sub(self.burst_remaining) >= self.p.kernel_warmup
     }
 
     /// A re-probe succeeded: back to the sparse path with a fresh window.
@@ -698,6 +907,7 @@ impl Simulator {
         let mut polls = 0u64;
         let mut skipped_slots = 0u64;
         let mut dense_steps = 0u64;
+        let mut word_slots = 0u64;
         let mut mode_switches = 0u64;
         let mut peak_units = 0u64;
         // Trace watermarks (only advanced when a tracer wants them).
@@ -713,8 +923,29 @@ impl Simulator {
         // adaptive policy drops into a dense burst window (from which a
         // re-probe can return to sparse).
         let mut sparse = self.cfg.engine == EngineMode::Auto;
-        let mut locked = self.cfg.engine == EngineMode::Dense;
-        let mut policy = Adaptive::new();
+        let mut locked = matches!(self.cfg.engine, EngineMode::Dense | EngineMode::Bitslab);
+        let mut policy = Adaptive::new(self.cfg.policy);
+        // Word-kernel state (EngineMode::Bitslab always; Auto burst windows
+        // until a TxHint::Dense answer): per-station claim memos reusable
+        // across consecutive tiles, per-tile fill plumbing, and the slot the
+        // memos are coherent from. `kernel_dead` records a station that the
+        // kernel cannot plan for (TxHint::Dense or a malformed scope) — the
+        // engine then steps scalar dense, exactly like the sparse path's
+        // permanent dense lock.
+        let mut kernel_dead = false;
+        let mut word_memos: Vec<WordMemo> = Vec::new();
+        let mut word_generic: Vec<bool> = Vec::new();
+        let mut word_cols: Vec<u64> = Vec::new();
+        let mut word_blocks: Vec<[u64; 64]> = Vec::new();
+        let mut word_tx_idx: Vec<usize> = Vec::new();
+        let mut word_cont: Slot = Slot::MAX;
+        // Tile-width ramp: a fresh kernel engagement starts with a narrow
+        // tile and doubles on every contiguous follow-up, so a run that ends
+        // a handful of slots into a burst never pays for a full 64-slot fill
+        // (the overshoot is bounded by the width of the last tile), while a
+        // long burst reaches full-word tiles after three doublings.
+        const WORD_RAMP_SEED: u64 = 8;
+        let mut word_ramp: u64 = WORD_RAMP_SEED;
         // Min-heap of (due slot, index into `awake`, hint epoch). A station
         // has at most one *live* entry: re-querying bumps its hint epoch,
         // and entries whose epoch is stale are discarded lazily on pop.
@@ -789,7 +1020,7 @@ impl Simulator {
                 station.wake(sigma);
                 hint_states.push(HintState::new());
                 if sparse {
-                    policy.win_cost += HINT_COST;
+                    policy.win_cost += policy.p.hint_cost;
                     match arm(
                         station.as_mut(),
                         awake.len(),
@@ -853,7 +1084,7 @@ impl Simulator {
                 }
             }
             // Full-batch burst test: after a batch arrival, if the earliest
-            // live obligation in the heap is due within RESUME_GAP slots,
+            // live obligation in the heap is due within resume_gap slots,
             // the heap has nothing to skip right now — run the burst dense.
             if sparse && awake.len() - batch_start >= 2 {
                 while let Some(&Reverse((_, idx, epoch))) = heap.peek() {
@@ -863,7 +1094,7 @@ impl Simulator {
                     heap.pop();
                 }
                 if let Some(&Reverse((due, _, _))) = heap.peek() {
-                    if due < t + RESUME_GAP {
+                    if due < t + policy.p.resume_gap {
                         sparse = false;
                         mode_switches += 1;
                         policy.start_burst(awake.len());
@@ -982,7 +1213,7 @@ impl Simulator {
                         queries: requery.len() as u64,
                     });
                     for &idx in &requery {
-                        policy.win_cost += HINT_COST;
+                        policy.win_cost += policy.p.hint_cost;
                         if arm(
                             awake[idx].1.as_mut(),
                             idx,
@@ -1158,7 +1389,7 @@ impl Simulator {
                     queries: polled.len() as u64,
                 });
                 for &idx in &polled {
-                    policy.win_cost += HINT_COST;
+                    policy.win_cost += policy.p.hint_cost;
                     if arm(
                         awake[idx].1.as_mut(),
                         idx,
@@ -1194,86 +1425,383 @@ impl Simulator {
                 continue 'slots;
             }
 
-            // Dense path: poll every awake station.
-            transmitters.clear();
-            transmitted_flags.clear();
-            for (id, station, tx_count) in awake.iter_mut() {
-                polls += 1;
-                let transmit = station.act(t).is_transmit();
-                transmitted_flags.push(transmit);
-                if transmit {
-                    transmitters.push(*id);
-                    *tx_count += 1;
-                    transmissions += 1;
+            // Dense stepping. When the word kernel is live — always under
+            // EngineMode::Bitslab, and in Auto burst windows that survived
+            // their scalar warmup, until a TxHint::Dense answer — whole
+            // tiles of up to 64 slots are
+            // resolved by popcount over transposed per-station bit columns,
+            // materializing feedback/trace only on real channel events.
+            // Otherwise one scalar slot is polled. Both converge on the
+            // shared adaptive tail below.
+            let kernel_live = !kernel_dead
+                && match self.cfg.engine {
+                    EngineMode::Bitslab => true,
+                    EngineMode::Auto => !locked && policy.kernel_warm(),
+                    EngineMode::Dense => false,
+                };
+            let mut stepped = 1u64; // slots consumed by this iteration
+            let mut step_success = false;
+            let mut ran_tile = false;
+            if kernel_live {
+                // Tile horizon: the ramp width, then stop at the next
+                // arrival (the wake loop at the top of 'slots admits
+                // batches), the slot cap, and — under Auto — the burst
+                // window's own expiry.
+                word_ramp = if word_cont == t {
+                    (word_ramp * 2).min(64)
+                } else {
+                    WORD_RAMP_SEED
+                };
+                let mut tile_h = t + word_ramp;
+                if let Some(&(_, sigma)) = wakes.get(next_wake) {
+                    tile_h = tile_h.min(sigma);
                 }
-            }
-            transmitters.sort_unstable();
-            let outcome = SlotOutcome::resolve(transmitters.clone());
+                tile_h = tile_h.min(t + (self.cfg.max_slots - slots_simulated));
+                if self.cfg.engine == EngineMode::Auto {
+                    tile_h = tile_h.min(t + policy.burst_remaining.max(1));
+                }
 
-            if let Some(tr) = transcript.as_mut() {
-                tr.push(SlotRecord {
-                    slot: t,
-                    transmitters: transmitters.clone(),
-                    outcome: outcome.clone(),
-                });
-            }
+                // Memos are claims carried over from earlier tiles; they
+                // are coherent only when this tile starts exactly where the
+                // previous one ended (no sparse interlude, no re-probe).
+                if word_cont != t {
+                    word_memos.clear();
+                }
+                word_memos.resize(awake.len(), WordMemo::Stale);
+                word_generic.clear();
+                word_generic.resize(awake.len(), false);
+                word_cols.clear();
+                word_cols.resize(awake.len(), 0);
 
-            slots_simulated += 1;
-            dense_steps += 1;
-            match &outcome {
-                SlotOutcome::Success(w) => {
-                    trace.success(t, *w);
-                    if first_success.is_none() {
-                        first_success = Some(t);
-                        winner = Some(*w);
-                    }
-                    if !resolved.iter().any(|&(id, _)| id == *w) {
-                        resolved.push((*w, t));
-                    }
-                    match self.cfg.stop {
-                        StopRule::FirstSuccess => break 'slots,
-                        StopRule::AllResolved => {
-                            if resolved.len() == total_stations && next_wake == wakes.len() {
-                                all_resolved_at = Some(t);
-                                // Deliver the final feedback so the winner
-                                // learns of its own success, then stop.
-                                for ((_, station, _), &transmitted) in
-                                    awake.iter_mut().zip(transmitted_flags.iter())
-                                {
-                                    let fb = self.cfg.feedback.perceive(&outcome, transmitted);
-                                    station.feedback(t, fb);
+                // Fill one column of transmit bits per station. Each claim
+                // is scoped per the TxHint obligations, and `tile_h` shrinks
+                // to the first slot not covered by some station's claim —
+                // one query per station per tile, never a lookahead (the
+                // `after` arguments of `next_transmission` must stay
+                // non-decreasing even if a mid-tile success re-probes).
+                let mut fill_err = false;
+                for (idx, (_, station, _)) in awake.iter_mut().enumerate() {
+                    // A still-valid claim from a previous tile?
+                    let mut claim = match word_memos[idx] {
+                        WordMemo::Hint { next, until } => {
+                            let live = match until {
+                                Until::Forever | Until::NextSuccess => true,
+                                Until::Slot(tb) => t < tb,
+                            };
+                            debug_assert!(
+                                next.is_none_or(|p| p >= t),
+                                "stale word memo: next={next:?} at tile base {t}"
+                            );
+                            live.then_some((next, until))
+                        }
+                        WordMemo::Stale => None,
+                    };
+                    if claim.is_none() {
+                        // Protocol-level batch fill first…
+                        if let Some(w) = station.fill_tx_word(t, (tile_h - t) as u32) {
+                            let (mask, horizon) = match w.until {
+                                Until::Slot(tb) if tb <= t => {
+                                    fill_err = true;
+                                    break;
                                 }
-                                break 'slots;
+                                Until::Slot(tb) => (low_mask(tb - t), tb),
+                                Until::Forever | Until::NextSuccess => (u64::MAX, t + 64),
+                            };
+                            word_cols[idx] = w.bits & mask;
+                            tile_h = tile_h.min(horizon);
+                            continue;
+                        }
+                        // …generic per-station fill from the hint protocol.
+                        claim = match station.next_transmission(t) {
+                            TxHint::Dense => {
+                                fill_err = true;
+                                break;
+                            }
+                            TxHint::At(p, until) => {
+                                let p = p.max(t);
+                                match until {
+                                    Until::Slot(tb) if tb <= t => {
+                                        fill_err = true;
+                                        break;
+                                    }
+                                    // Scope boundary before the claimed
+                                    // transmission: only the silence up to
+                                    // `tb` is usable.
+                                    Until::Slot(tb) if p >= tb => Some((None, until)),
+                                    _ => Some((Some(p), until)),
+                                }
+                            }
+                            TxHint::Never(until) => match until {
+                                Until::Slot(tb) if tb <= t => {
+                                    fill_err = true;
+                                    break;
+                                }
+                                _ => Some((None, until)),
+                            },
+                        };
+                    }
+                    let (next, until) = claim.unwrap();
+                    word_generic[idx] = true;
+                    word_memos[idx] = WordMemo::Hint { next, until };
+                    match next {
+                        Some(p) => {
+                            if p - t < 64 {
+                                word_cols[idx] = 1u64 << (p - t);
+                            }
+                            // Nothing is claimed past the transmission.
+                            tile_h = tile_h.min(p + 1);
+                        }
+                        None => {
+                            if let Until::Slot(tb) = until {
+                                tile_h = tile_h.min(tb);
                             }
                         }
                     }
                 }
-                SlotOutcome::Collision(_) => {
-                    collisions += 1;
-                    trace.collision(t, transmitters.len() as u64);
-                }
-                SlotOutcome::Silence => {
-                    silent_slots += 1;
-                    trace.silence(t, 1);
+
+                if fill_err {
+                    // Same permanent lock as a TxHint::Dense answer on the
+                    // sparse path: scalar dense polling from here on.
+                    locked = true;
+                    kernel_dead = true;
+                    heap.clear();
+                } else {
+                    ran_tile = true;
+                    let w = (tile_h - t) as usize;
+                    debug_assert!(0 < w && w <= 64, "tile width {w}");
+                    let wmask = low_mask(w as u64);
+                    // Transpose station-major columns into slot-major rows:
+                    // after transposing each 64-station block, word `j` of a
+                    // block holds that block's transmit bits for slot t + j.
+                    let nblocks = awake.len().div_ceil(64);
+                    word_blocks.clear();
+                    word_blocks.resize(nblocks, [0u64; 64]);
+                    for (i, &col) in word_cols.iter().enumerate() {
+                        word_blocks[i / 64][i % 64] = col & wmask;
+                    }
+                    for blk in word_blocks.iter_mut() {
+                        transpose64(blk);
+                    }
+
+                    let mut tile_end = t + w as u64;
+                    let mut silent_from = t;
+                    let mut silent_run = 0u64;
+                    let mut j = 0usize;
+                    'tile: while j < w {
+                        let slot = t + j as u64;
+                        let mut busy = 0u32;
+                        for blk in word_blocks.iter() {
+                            busy += blk[j].count_ones();
+                        }
+                        if busy == 0 {
+                            if silent_run == 0 {
+                                silent_from = slot;
+                            }
+                            silent_run += 1;
+                            j += 1;
+                            continue 'tile;
+                        }
+                        // A real channel event: flush the silent prefix,
+                        // then materialize exactly this slot.
+                        if silent_run > 0 {
+                            record_silence(&mut transcript, silent_from, silent_run);
+                            trace.silence(silent_from, silent_run);
+                            slots_simulated += silent_run;
+                            silent_slots += silent_run;
+                            word_slots += silent_run;
+                            silent_run = 0;
+                        }
+                        transmitters.clear();
+                        word_tx_idx.clear();
+                        for (b, blk) in word_blocks.iter().enumerate() {
+                            let mut bits = blk[j];
+                            while bits != 0 {
+                                let idx = b * 64 + bits.trailing_zeros() as usize;
+                                bits &= bits - 1;
+                                word_tx_idx.push(idx);
+                            }
+                        }
+                        for &idx in &word_tx_idx {
+                            let (id, station, tx_count) = &mut awake[idx];
+                            if word_generic[idx] {
+                                // The generic fill promised a transmission
+                                // here: give the station its act() call
+                                // (the sparse path's lifecycle) and consume
+                                // the claim.
+                                polls += 1;
+                                let acted = station.act(slot).is_transmit();
+                                debug_assert!(acted, "hinted transmission at {slot} not acted on");
+                                let _ = acted;
+                                word_memos[idx] = WordMemo::Stale;
+                            }
+                            transmitters.push(*id);
+                            *tx_count += 1;
+                            transmissions += 1;
+                        }
+                        transmitters.sort_unstable();
+                        let outcome = SlotOutcome::resolve(transmitters.clone());
+                        if let Some(tr) = transcript.as_mut() {
+                            tr.push(SlotRecord {
+                                slot,
+                                transmitters: transmitters.clone(),
+                                outcome: outcome.clone(),
+                            });
+                        }
+                        slots_simulated += 1;
+                        word_slots += 1;
+                        match &outcome {
+                            SlotOutcome::Success(wid) => {
+                                let wid = *wid;
+                                trace.success(slot, wid);
+                                if first_success.is_none() {
+                                    first_success = Some(slot);
+                                    winner = Some(wid);
+                                }
+                                if !resolved.iter().any(|&(id, _)| id == wid) {
+                                    resolved.push((wid, slot));
+                                }
+                                step_success = true;
+                                if self.cfg.stop == StopRule::FirstSuccess {
+                                    break 'slots; // matches scalar: no feedback
+                                }
+                                // AllResolved: the success is heard by the
+                                // whole floor (matching both scalar paths).
+                                let widx = word_tx_idx[0];
+                                for (i2, (_, station, _)) in awake.iter_mut().enumerate() {
+                                    let fb = self.cfg.feedback.perceive(&outcome, i2 == widx);
+                                    station.feedback(slot, fb);
+                                }
+                                if resolved.len() == total_stations && next_wake == wakes.len() {
+                                    all_resolved_at = Some(slot);
+                                    break 'slots;
+                                }
+                                // The success voids every NextSuccess-scoped
+                                // claim; close the tile so the next one
+                                // refills from slot + 1.
+                                for m in word_memos.iter_mut() {
+                                    if let WordMemo::Hint {
+                                        until: Until::NextSuccess,
+                                        ..
+                                    } = m
+                                    {
+                                        *m = WordMemo::Stale;
+                                    }
+                                }
+                                tile_end = slot + 1;
+                                break 'tile;
+                            }
+                            SlotOutcome::Collision(_) => {
+                                collisions += 1;
+                                trace.collision(slot, transmitters.len() as u64);
+                                // Non-success feedback goes only to the
+                                // transmitters (the sparse-path contract;
+                                // everyone else ignores it by scope).
+                                for &idx in &word_tx_idx {
+                                    let fb = self.cfg.feedback.perceive(&outcome, true);
+                                    awake[idx].1.feedback(slot, fb);
+                                }
+                            }
+                            SlotOutcome::Silence => unreachable!("busy > 0"),
+                        }
+                        j += 1;
+                    }
+                    if silent_run > 0 {
+                        record_silence(&mut transcript, silent_from, silent_run);
+                        trace.silence(silent_from, silent_run);
+                        slots_simulated += silent_run;
+                        silent_slots += silent_run;
+                        word_slots += silent_run;
+                    }
+                    stepped = tile_end - t;
+                    t = tile_end;
+                    word_cont = tile_end;
                 }
             }
+            if !ran_tile {
+                // Scalar dense slot: poll every awake station.
+                transmitters.clear();
+                transmitted_flags.clear();
+                for (id, station, tx_count) in awake.iter_mut() {
+                    polls += 1;
+                    let transmit = station.act(t).is_transmit();
+                    transmitted_flags.push(transmit);
+                    if transmit {
+                        transmitters.push(*id);
+                        *tx_count += 1;
+                        transmissions += 1;
+                    }
+                }
+                transmitters.sort_unstable();
+                let outcome = SlotOutcome::resolve(transmitters.clone());
 
-            // Deliver feedback to every awake station.
-            for ((_, station, _), &transmitted) in awake.iter_mut().zip(transmitted_flags.iter()) {
-                let fb = self.cfg.feedback.perceive(&outcome, transmitted);
-                station.feedback(t, fb);
+                if let Some(tr) = transcript.as_mut() {
+                    tr.push(SlotRecord {
+                        slot: t,
+                        transmitters: transmitters.clone(),
+                        outcome: outcome.clone(),
+                    });
+                }
+
+                slots_simulated += 1;
+                dense_steps += 1;
+                match &outcome {
+                    SlotOutcome::Success(w) => {
+                        step_success = true;
+                        trace.success(t, *w);
+                        if first_success.is_none() {
+                            first_success = Some(t);
+                            winner = Some(*w);
+                        }
+                        if !resolved.iter().any(|&(id, _)| id == *w) {
+                            resolved.push((*w, t));
+                        }
+                        match self.cfg.stop {
+                            StopRule::FirstSuccess => break 'slots,
+                            StopRule::AllResolved => {
+                                if resolved.len() == total_stations && next_wake == wakes.len() {
+                                    all_resolved_at = Some(t);
+                                    // Deliver the final feedback so the winner
+                                    // learns of its own success, then stop.
+                                    for ((_, station, _), &transmitted) in
+                                        awake.iter_mut().zip(transmitted_flags.iter())
+                                    {
+                                        let fb = self.cfg.feedback.perceive(&outcome, transmitted);
+                                        station.feedback(t, fb);
+                                    }
+                                    break 'slots;
+                                }
+                            }
+                        }
+                    }
+                    SlotOutcome::Collision(_) => {
+                        collisions += 1;
+                        trace.collision(t, transmitters.len() as u64);
+                    }
+                    SlotOutcome::Silence => {
+                        silent_slots += 1;
+                        trace.silence(t, 1);
+                    }
+                }
+
+                // Deliver feedback to every awake station.
+                for ((_, station, _), &transmitted) in
+                    awake.iter_mut().zip(transmitted_flags.iter())
+                {
+                    let fb = self.cfg.feedback.perceive(&outcome, transmitted);
+                    station.feedback(t, fb);
+                }
+
+                t += 1;
             }
-
-            t += 1;
 
             // Adaptive burst window bookkeeping (never when dense is locked
-            // by EngineMode::Dense or a TxHint::Dense answer): at window
-            // expiry — and early at success events, which reshape the hint
-            // landscape (retirement) — re-probe whether sparsity pays again.
+            // by EngineMode::Dense / EngineMode::Bitslab or a TxHint::Dense
+            // answer): at window expiry — and early at success events, which
+            // reshape the hint landscape (retirement) — re-probe whether
+            // sparsity pays again.
             if !locked {
-                policy.burst_remaining = policy.burst_remaining.saturating_sub(1);
-                let success = matches!(outcome, SlotOutcome::Success(_));
-                if policy.burst_remaining == 0 || success {
+                policy.burst_remaining = policy.burst_remaining.saturating_sub(stepped);
+                if policy.burst_remaining == 0 || step_success {
                     // Re-query every awake station for a fresh hint from t.
                     clear_sparse_state(&mut heap, &mut hint_states, &mut success_scoped);
                     trace.engine_event(TraceEvent::HintRequery {
@@ -1314,7 +1842,7 @@ impl Simulator {
                         };
                         // Resume sparse only when there is an actual gap to
                         // skip (or provable silence to the cap).
-                        if event.is_none_or(|e| e >= t + RESUME_GAP) {
+                        if event.is_none_or(|e| e >= t + policy.p.resume_gap) {
                             sparse = true;
                             mode_switches += 1;
                             policy.resume_sparse(slots_simulated);
@@ -1353,6 +1881,7 @@ impl Simulator {
             polls,
             skipped_slots,
             dense_steps,
+            word_slots,
             mode_switches,
             peak_units,
             transcript,
@@ -1377,6 +1906,15 @@ impl Simulator {
     /// same config; memory is O(live units), reported via
     /// [`Outcome::peak_units`].
     ///
+    /// **Split-budget guard.** A class run whose population fragments into
+    /// Ω(members) singletons pays per-unit split bookkeeping *on top of*
+    /// per-station work; past [`SimConfig::split_budget`] live units the
+    /// attempt is abandoned wholesale and the pattern re-runs on the
+    /// concrete engine. Outcomes are identical either way; trace output is
+    /// transactional (the abandoned attempt leaves no events), and only the
+    /// work counters show the flip ([`Outcome::peak_units`] ≤ the budget,
+    /// no class splits).
+    ///
     /// [`ClassStation`]: crate::population::ClassStation
     pub fn run_with_population<T: Tracer + ?Sized>(
         &self,
@@ -1386,6 +1924,36 @@ impl Simulator {
         population: &mut dyn Population,
         tracer: &mut T,
     ) -> Result<Outcome, SimError> {
+        let budget = self
+            .cfg
+            .split_budget
+            .unwrap_or_else(|| (pattern.k() as u64 / 2).max(4096));
+        let mut buffer = BufferTracer::new(tracer);
+        match self.run_classes(protocol, pattern, run_seed, population, &mut buffer, budget)? {
+            ClassRun::Done(out) => {
+                buffer.flush();
+                Ok(out)
+            }
+            ClassRun::BudgetExceeded => {
+                buffer.discard();
+                self.run_concrete(protocol, pattern, run_seed, tracer)
+            }
+        }
+    }
+
+    /// The class engine proper: one attempt under a live-unit `budget`.
+    /// Returns [`ClassRun::BudgetExceeded`] the moment the unit count
+    /// crosses the budget — at batch admission or at any split site — so
+    /// the wrapper can fall back to the concrete engine.
+    fn run_classes<T: Tracer + ?Sized>(
+        &self,
+        protocol: &dyn Protocol,
+        pattern: &WakePattern,
+        run_seed: u64,
+        population: &mut dyn Population,
+        tracer: &mut T,
+        budget: u64,
+    ) -> Result<ClassRun, SimError> {
         use crate::population::ClassStation;
 
         self.validate(pattern)?;
@@ -1482,6 +2050,9 @@ impl Simulator {
                     units.push(unit);
                 }
                 next_batch += 1;
+            }
+            if units.len() as u64 > budget {
+                return Ok(ClassRun::BudgetExceeded);
             }
             peak_units = peak_units.max(units.len() as u64);
             if trace.wants(TraceKind::Watermark) {
@@ -1677,6 +2248,9 @@ impl Simulator {
                             born: (units.len() - first_new) as u64,
                         });
                     }
+                    if units.len() as u64 > budget {
+                        return Ok(ClassRun::BudgetExceeded);
+                    }
                     peak_units = peak_units.max(units.len() as u64);
                     if resolved.len() == total_stations && next_batch == batches.len() {
                         all_resolved_at = Some(t);
@@ -1754,6 +2328,9 @@ impl Simulator {
                         slot: t,
                         born: (units.len() - first_new) as u64,
                     });
+                }
+                if units.len() as u64 > budget {
+                    return Ok(ClassRun::BudgetExceeded);
                 }
                 peak_units = peak_units.max(units.len() as u64);
 
@@ -1870,12 +2447,15 @@ impl Simulator {
                     born: (units.len() - first_new) as u64,
                 });
             }
+            if units.len() as u64 > budget {
+                return Ok(ClassRun::BudgetExceeded);
+            }
             peak_units = peak_units.max(units.len() as u64);
             t += 1;
         }
 
         trace.run_end(slots_simulated, first_success);
-        Ok(Outcome {
+        Ok(ClassRun::Done(Outcome {
             s,
             first_success,
             winner,
@@ -1887,12 +2467,13 @@ impl Simulator {
             polls,
             skipped_slots,
             dense_steps,
+            word_slots: 0,
             mode_switches: 0,
             peak_units,
             transcript,
             resolved,
             all_resolved_at,
-        })
+        }))
     }
 }
 
@@ -2501,8 +3082,9 @@ mod tests {
         // re-probe resumes sparse; the work counters account for it.)
         assert!(auto.skipped_slots > 0, "sparse path did not engage");
         assert!(dense.polls > 10 * auto.polls);
-        assert!(auto.skipped_slots + auto.dense_steps <= auto.slots_simulated);
-        assert!(auto.skipped_slots + auto.dense_steps + auto.polls >= auto.slots_simulated);
+        let stepped = auto.skipped_slots + auto.dense_steps + auto.word_slots;
+        assert!(stepped <= auto.slots_simulated);
+        assert!(stepped + auto.polls >= auto.slots_simulated);
     }
 
     /// A station that stays silent until it hears *any* success, then
@@ -2718,5 +3300,174 @@ mod tests {
             .unwrap();
         assert_eq!(out.resolved, vec![(StationId(3), 3)]);
         assert!(out.all_resolved_at.is_none());
+    }
+
+    /// A protocol whose class fragments into singletons on the very first
+    /// feedback — the worst case the split-budget guard exists for.
+    /// Stations all transmit at their wake slot (collision), then each at
+    /// `σ + 1 + id` (staggered successes); the class mirrors that exactly
+    /// but splits off every member past the first after the collision.
+    struct Fragmenting;
+    struct FragStation {
+        id: StationId,
+        s: Slot,
+    }
+    impl Station for FragStation {
+        fn wake(&mut self, sigma: Slot) {
+            self.s = sigma;
+        }
+        fn act(&mut self, t: Slot) -> Action {
+            Action::from_bool(t == self.s || t == self.s + 1 + u64::from(self.id.0))
+        }
+    }
+    struct FragClass {
+        members: Vec<StationId>,
+        s: Slot,
+        split_done: bool,
+    }
+    impl crate::population::ClassStation for FragClass {
+        fn weight(&self) -> u64 {
+            self.members.len() as u64
+        }
+        fn wake(&mut self, sigma: Slot) {
+            self.s = sigma;
+        }
+        fn act(&mut self, t: Slot, tally: &mut TxTally) {
+            for &id in &self.members {
+                if t == self.s || t == self.s + 1 + u64::from(id.0) {
+                    tally.push(id);
+                }
+            }
+        }
+        fn feedback(
+            &mut self,
+            _t: Slot,
+            _fb: crate::channel::Feedback,
+        ) -> Vec<Box<dyn crate::population::ClassStation>> {
+            if self.split_done {
+                return Vec::new();
+            }
+            self.split_done = true;
+            let s = self.s;
+            self.members
+                .drain(1..)
+                .map(|id| {
+                    Box::new(FragClass {
+                        members: vec![id],
+                        s,
+                        split_done: true,
+                    }) as Box<dyn crate::population::ClassStation>
+                })
+                .collect()
+        }
+    }
+    impl Protocol for Fragmenting {
+        fn station(&self, id: StationId, _seed: u64) -> Box<dyn Station> {
+            Box::new(FragStation { id, s: 0 })
+        }
+        fn class_station(
+            &self,
+            members: &crate::population::Members,
+            _run_seed: u64,
+        ) -> Option<Box<dyn crate::population::ClassStation>> {
+            Some(Box::new(FragClass {
+                members: members.iter().collect(),
+                s: 0,
+                split_done: false,
+            }))
+        }
+        fn name(&self) -> String {
+            "fragmenting".into()
+        }
+    }
+
+    #[test]
+    fn split_budget_flips_fragmenting_class_run_to_concrete() {
+        use crate::tracer::RecordingTracer;
+        let n = 16u32;
+        let k: Vec<StationId> = (0..8).map(StationId).collect();
+        let pattern = WakePattern::simultaneous(&k, 5).unwrap();
+        let cfg = SimConfig::new(n).with_max_slots(64).with_transcript();
+
+        let concrete = Simulator::new(cfg.clone())
+            .run(&Fragmenting, &pattern, 0)
+            .unwrap();
+
+        // Unguarded class run: the collision feedback fragments the class
+        // into 8 singletons, visible as a ClassSplit trace event.
+        let mut unguarded_trace = RecordingTracer::new();
+        let unguarded =
+            Simulator::new(cfg.clone().with_classes().with_split_budget(Some(u64::MAX)))
+                .run_traced(&Fragmenting, &pattern, 0, &mut unguarded_trace)
+                .unwrap();
+        assert_eq!(unguarded.peak_units, 8);
+        assert!(
+            unguarded_trace
+                .events()
+                .iter()
+                .any(|e| e.kind() == TraceKind::ClassSplit),
+            "fragmentation did not split"
+        );
+
+        // Guarded run: 8 units exceed a budget of 4, the class attempt is
+        // abandoned and the concrete engine produces the outcome. The
+        // abandoned attempt must leave no trace events behind.
+        let mut guarded_trace = RecordingTracer::new();
+        let guarded = Simulator::new(cfg.with_classes().with_split_budget(Some(4)))
+            .run_traced(&Fragmenting, &pattern, 0, &mut guarded_trace)
+            .unwrap();
+        assert_eq!(guarded.first_success, concrete.first_success);
+        assert_eq!(guarded.winner, concrete.winner);
+        assert_eq!(guarded.transmissions, concrete.transmissions);
+        assert_eq!(guarded.per_station_tx, concrete.per_station_tx);
+        assert_eq!(guarded.transcript, concrete.transcript);
+        assert_eq!(guarded.polls, concrete.polls);
+        assert!(
+            guarded_trace
+                .events()
+                .iter()
+                .all(|e| e.kind() != TraceKind::ClassSplit),
+            "abandoned class attempt leaked trace events"
+        );
+        // The deterministic (channel) streams agree between the flipped run
+        // and the unguarded class run — the flip is work-counter-only.
+        let det = |tr: &RecordingTracer| {
+            tr.events()
+                .iter()
+                .copied()
+                .filter(|e| e.kind().deterministic())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(det(&guarded_trace), det(&unguarded_trace));
+    }
+
+    #[test]
+    fn split_budget_exceeded_at_admission_flips_too() {
+        // A protocol with no class form falls back to one singleton per
+        // station: admission alone crosses a small budget.
+        let n = 8u32;
+        let pattern = WakePattern::simultaneous(&ids(&[0, 1, 2, 3, 4]), 0).unwrap();
+        let cfg = SimConfig::new(n).with_max_slots(32).with_transcript();
+        let concrete = Simulator::new(cfg.clone())
+            .run(&RetiringRr { n }, &pattern, 0)
+            .unwrap();
+        let guarded = Simulator::new(cfg.with_classes().with_split_budget(Some(2)))
+            .run(&RetiringRr { n }, &pattern, 0)
+            .unwrap();
+        assert_eq!(guarded.first_success, concrete.first_success);
+        assert_eq!(guarded.transcript, concrete.transcript);
+        assert_eq!(guarded.per_station_tx, concrete.per_station_tx);
+    }
+
+    #[test]
+    fn default_split_budget_leaves_small_class_runs_alone() {
+        // None → max(4096, k/2): a small fragmenting run stays classed.
+        let n = 16u32;
+        let k: Vec<StationId> = (0..8).map(StationId).collect();
+        let pattern = WakePattern::simultaneous(&k, 0).unwrap();
+        let out = Simulator::new(SimConfig::new(n).with_max_slots(64).with_classes())
+            .run(&Fragmenting, &pattern, 0)
+            .unwrap();
+        assert_eq!(out.peak_units, 8, "small run should not flip");
     }
 }

@@ -90,25 +90,25 @@ pub mod trace;
 pub mod tracer;
 
 pub use channel::{Feedback, FeedbackModel, SlotOutcome};
-pub use engine::{EngineMode, Outcome, SimConfig, SimError, Simulator};
+pub use engine::{EngineMode, Outcome, PolicyParams, SimConfig, SimError, Simulator};
 pub use ids::{Slot, StationId};
 pub use pattern::{WakeBlock, WakePattern};
 pub use population::{
     ClassPopulation, ClassStation, ConcretePopulation, Members, Population, PopulationMode,
     SingletonClass, TxTally,
 };
-pub use station::{Action, Protocol, Station, TxHint, Until};
+pub use station::{Action, Protocol, Station, TxHint, TxWord, Until};
 pub use trace::Transcript;
 pub use tracer::{
-    NoopTracer, RecordingTracer, RingTracer, StreamTracer, TraceEvent, TraceFilter, TraceKind,
-    Tracer,
+    BufferTracer, NoopTracer, RecordingTracer, RingTracer, StreamTracer, TraceEvent, TraceFilter,
+    TraceKind, Tracer,
 };
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::adversary::SpoilerSearch;
     pub use crate::channel::{Feedback, FeedbackModel, SlotOutcome};
-    pub use crate::engine::{EngineMode, Outcome, SimConfig, SimError, Simulator};
+    pub use crate::engine::{EngineMode, Outcome, PolicyParams, SimConfig, SimError, Simulator};
     pub use crate::ids::{Slot, StationId};
     pub use crate::metrics::{EnergyStats, LatencySample, OutcomeDigest};
     pub use crate::pattern::{IdChoice, WakeBlock, WakePattern};
@@ -116,10 +116,10 @@ pub mod prelude {
         ClassPopulation, ClassStation, ConcretePopulation, Members, Population, PopulationMode,
         SingletonClass, TxTally,
     };
-    pub use crate::station::{Action, Protocol, Station, TxHint, Until};
+    pub use crate::station::{Action, Protocol, Station, TxHint, TxWord, Until};
     pub use crate::trace::Transcript;
     pub use crate::tracer::{
-        NoopTracer, RecordingTracer, RingTracer, StreamTracer, TraceEvent, TraceFilter, TraceKind,
-        Tracer,
+        BufferTracer, NoopTracer, RecordingTracer, RingTracer, StreamTracer, TraceEvent,
+        TraceFilter, TraceKind, Tracer,
     };
 }

@@ -61,6 +61,9 @@ pub struct OutcomeDigest {
     /// Slots stepped densely — every awake station polled
     /// (`Outcome::dense_steps`).
     pub dense_steps: u64,
+    /// Slots resolved by the bit-parallel word kernel
+    /// (`Outcome::word_slots`).
+    pub word_slots: u64,
     /// Sparse↔dense transitions of the adaptive engine policy
     /// (`Outcome::mode_switches`).
     pub mode_switches: u64,
@@ -84,6 +87,7 @@ impl OutcomeDigest {
             polls: out.polls,
             skipped: out.skipped_slots,
             dense_steps: out.dense_steps,
+            word_slots: out.word_slots,
             mode_switches: out.mode_switches,
             peak_units: out.peak_units,
             transmissions: out.transmissions,
@@ -193,6 +197,7 @@ mod tests {
             polls: slots,
             skipped_slots: 0,
             dense_steps: slots,
+            word_slots: 0,
             mode_switches: 0,
             peak_units: 1,
             transcript: None,

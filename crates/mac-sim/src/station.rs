@@ -89,6 +89,42 @@ impl TxHint {
     }
 }
 
+/// One 64-slot tile of planned transmissions for a single station — the
+/// batch counterpart of [`TxHint`], consumed by the engine's word-level
+/// (bit-parallel) slot kernel.
+///
+/// Bit `j` of `bits` set means "I transmit at slot `base + j`" for the tile
+/// base passed to [`Station::fill_tx_word`]; a clear bit means "I listen".
+/// The claim is scoped by `until` with exactly the [`TxHint`] obligations:
+///
+/// * [`Until::Forever`] — the word is an oblivious fact; every bit holds
+///   unconditionally.
+/// * [`Until::NextSuccess`] — every bit holds until the next successful
+///   slot; after a success the engine discards the unconsumed remainder of
+///   the tile and asks again.
+/// * [`Until::Slot(t)`](Until::Slot) — only bits for slots `< t` are
+///   claimed (and hold unconditionally over `[base, t)`); the engine
+///   ignores bits at positions `≥ t - base` and re-queries at `t`. Must
+///   satisfy `t > base`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxWord {
+    /// Transmit decisions for slots `base + 0 … base + 63`, LSB first.
+    pub bits: u64,
+    /// How long the decisions can be trusted (see [`TxHint`] scopes).
+    pub until: Until,
+}
+
+impl TxWord {
+    /// An unconditional word — `until: Until::Forever`.
+    #[inline]
+    pub fn forever(bits: u64) -> Self {
+        TxWord {
+            bits,
+            until: Until::Forever,
+        }
+    }
+}
+
 /// A station's decision for one slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Action {
@@ -194,6 +230,41 @@ pub trait Station {
     fn next_transmission(&mut self, after: Slot) -> TxHint {
         let _ = after;
         TxHint::Dense
+    }
+
+    /// Plan one tile `[base, base + width)` at once (`1 ≤ width ≤ 64`): bit
+    /// `j` of the returned word set iff `act(base + j)` would transmit — the
+    /// batch counterpart of
+    /// [`next_transmission`](Station::next_transmission), used by the
+    /// engine's word-level slot kernel.
+    ///
+    /// The engine consumes only bits `j < width`; positions `≥ width` may be
+    /// filled or left clear, whichever is cheaper. `width` is a work bound,
+    /// not a semantic one — the engine narrows it when a run is young (the
+    /// tile ramp) or an arrival/window boundary is near, so implementations
+    /// should cap their per-slot scan at `base + width` rather than always
+    /// paying for a full word. [`TxWord::until`] horizons are still absolute
+    /// slots and may lie beyond the tile.
+    ///
+    /// Returning `Some` is a promise scoped by [`TxWord::until`] with the
+    /// same obligations as the matching [`TxHint`] scope (see the table
+    /// above). Additionally, a station that answers here must tolerate
+    /// [`act`](Station::act) **never** being called for slots the word
+    /// covers — the kernel derives transmissions from the bits and only
+    /// polls stations through the scalar paths. Feedback delivery is
+    /// unchanged: the kernel delivers success feedback exactly as the
+    /// sparse engine does, and [`Until::NextSuccess`] words are re-queried
+    /// after it.
+    ///
+    /// The default `None` routes the station through the kernel's generic
+    /// fill, which assembles the word from `next_transmission` hints — so
+    /// every hint-giving station runs under the kernel without implementing
+    /// this, and protocol-specific implementations are purely an
+    /// optimization (one schedule lookup per tile instead of one hint query
+    /// per event).
+    fn fill_tx_word(&mut self, base: Slot, width: u32) -> Option<TxWord> {
+        let _ = (base, width);
+        None
     }
 }
 

@@ -577,6 +577,62 @@ impl Tracer for RecordingTracer {
     }
 }
 
+/// A transactional tracer wrapper: events are buffered and reach the inner
+/// tracer only on [`flush`](BufferTracer::flush). The engine uses this for
+/// runs it may abandon (the class engine's split-budget guard): an
+/// abandoned attempt is [`discard`](BufferTracer::discard)ed, so the inner
+/// tracer's stream shows only the run that actually produced the outcome.
+///
+/// Filtering and sampling stay with the inner tracer: `wants` forwards, so
+/// only events the inner tracer would accept are buffered, and the flush
+/// replays them through its `record` in original order.
+#[derive(Debug)]
+pub struct BufferTracer<'a, T: Tracer + ?Sized> {
+    inner: &'a mut T,
+    events: Vec<TraceEvent>,
+}
+
+impl<'a, T: Tracer + ?Sized> BufferTracer<'a, T> {
+    /// Buffer events destined for `inner`.
+    pub fn new(inner: &'a mut T) -> Self {
+        BufferTracer {
+            inner,
+            events: Vec::new(),
+        }
+    }
+
+    /// Commit: replay every buffered event into the inner tracer.
+    pub fn flush(self) {
+        for ev in &self.events {
+            self.inner.record(ev);
+        }
+    }
+
+    /// Abort: drop the buffered events without touching the inner tracer.
+    pub fn discard(self) {}
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<T: Tracer + ?Sized> Tracer for BufferTracer<'_, T> {
+    #[inline]
+    fn wants(&self, kind: TraceKind) -> bool {
+        self.inner.wants(kind)
+    }
+
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+}
+
 /// A JSONL streaming tracer: one flat JSON object per admitted event,
 /// written to `out` as it happens. An optional run index is prepended to
 /// every line (`{"run":3,"ev":…}`) so multi-run streams stay
@@ -805,6 +861,38 @@ mod tests {
             String::from_utf8(bytes).unwrap(),
             "{\"run\":3,\"ev\":\"wake\",\"slot\":0,\"stations\":4}\n"
         );
+    }
+
+    #[test]
+    fn buffer_tracer_flushes_or_discards() {
+        let mut rec = RecordingTracer::new();
+        let mut buf = BufferTracer::new(&mut rec);
+        for ev in sample_events() {
+            if buf.wants(ev.kind()) {
+                buf.record(&ev);
+            }
+        }
+        assert_eq!(buf.len(), 6);
+        assert!(!buf.is_empty());
+        buf.discard();
+        assert!(rec.events().is_empty(), "discarded events leaked through");
+
+        let mut buf = BufferTracer::new(&mut rec);
+        for ev in sample_events() {
+            if buf.wants(ev.kind()) {
+                buf.record(&ev);
+            }
+        }
+        buf.flush();
+        assert_eq!(rec.events(), &sample_events()[..]);
+    }
+
+    #[test]
+    fn buffer_tracer_forwards_inner_filter() {
+        let mut det = RecordingTracer::with_filter(TraceFilter::deterministic());
+        let buf = BufferTracer::new(&mut det);
+        assert!(buf.wants(TraceKind::Silence));
+        assert!(!buf.wants(TraceKind::ModeSwitch));
     }
 
     #[test]

@@ -423,35 +423,49 @@ fn final_100_percent_line_is_guaranteed_even_for_fast_sweeps() {
 
 #[test]
 fn per_worker_stats_phases_and_reorder_peak_are_populated() {
-    let mut out = VecCollector::with_capacity(256);
-    let stats = Runner::new()
-        .with_threads(3)
-        .with_batch(BatchSize::Fixed(4))
-        .with_placement(Placement::Packed)
-        .run(256, jagged, &mut out);
-    assert_eq!(stats.workers.len(), 3);
-    assert_eq!(
-        stats.workers.iter().map(|w| w.runs).sum::<u64>(),
-        256 - stats.calibration_runs,
-        "worker runs must cover the parallel phase"
-    );
-    assert_eq!(
-        stats.workers.iter().map(|w| w.steals).sum::<u64>(),
-        stats.steals,
-        "per-worker steals must sum to the queue total"
-    );
-    // Packed placement forces workers 1 and 2 to steal before running
-    // anything, and deep steals park batches in their own shards.
-    assert!(stats.steals >= 2);
-    assert!(stats.workers.iter().skip(1).any(|w| w.queue_depth_hw > 0));
-    assert!(stats.reorder_peak >= 1, "at least one batch must buffer");
-    assert!(stats.phases.simulation >= stats.phases.reduction);
-    assert!(stats.phases.simulation.as_nanos() > 0);
-    // Per-worker run counts agree with the legacy field.
-    assert_eq!(
-        stats.worker_runs,
-        stats.workers.iter().map(|w| w.runs).collect::<Vec<_>>()
-    );
+    // Packed placement funnels the whole queue into worker 0's shard, so
+    // workers 1 and 2 must steal to run anything — but whether they get
+    // the chance is a thread-scheduling race: worker 0 can drain 256 tiny
+    // runs before the other workers finish spawning. The consistency
+    // invariants are deterministic and assert on every attempt; the
+    // stealing/buffering counters are retried until the race is won.
+    let mut last_steals = 0;
+    for _ in 0..32 {
+        let mut out = VecCollector::with_capacity(256);
+        let stats = Runner::new()
+            .with_threads(3)
+            .with_batch(BatchSize::Fixed(4))
+            .with_placement(Placement::Packed)
+            .run(256, jagged, &mut out);
+        assert_eq!(stats.workers.len(), 3);
+        assert_eq!(
+            stats.workers.iter().map(|w| w.runs).sum::<u64>(),
+            256 - stats.calibration_runs,
+            "worker runs must cover the parallel phase"
+        );
+        assert_eq!(
+            stats.workers.iter().map(|w| w.steals).sum::<u64>(),
+            stats.steals,
+            "per-worker steals must sum to the queue total"
+        );
+        assert!(stats.phases.simulation >= stats.phases.reduction);
+        assert!(stats.phases.simulation.as_nanos() > 0);
+        // Per-worker run counts agree with the legacy field.
+        assert_eq!(
+            stats.worker_runs,
+            stats.workers.iter().map(|w| w.runs).collect::<Vec<_>>()
+        );
+        // Workers 1 and 2 stole before running anything, deep steals
+        // parked batches in their own shards, and completion buffered.
+        if stats.steals >= 2
+            && stats.workers.iter().skip(1).any(|w| w.queue_depth_hw > 0)
+            && stats.reorder_peak >= 1
+        {
+            return;
+        }
+        last_steals = stats.steals;
+    }
+    panic!("workers 1 and 2 never stole in 32 packed sweeps (last: {last_steals} steals)");
 }
 
 #[test]

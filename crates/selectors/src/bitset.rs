@@ -162,6 +162,34 @@ impl BitSet {
     }
 }
 
+/// Transpose a 64×64 bit matrix in place: after the call,
+/// bit `j` of `m[i]` equals bit `i` of the original `m[j]`.
+///
+/// This is the pivot of the word-level slot kernel: the engine gathers one
+/// *column* per station (64 slots of transmit decisions packed into a word)
+/// and needs one *row* per slot (64 stations packed into a word) to resolve
+/// the channel with a popcount. The recursive block-swap runs in
+/// `64·log₂64 / 2 = 192` word operations — independent of how many bits are
+/// set.
+pub fn transpose64(m: &mut [u64; 64]) {
+    let mut j: u32 = 32;
+    let mut mask: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        // Swap the two off-diagonal blocks of each 2j×2j tile: the high
+        // bits of the low rows with the low bits of the high rows (LSB-
+        // first bit numbering — bit 0 is column 0).
+        let mut k: usize = 0;
+        while k < 64 {
+            let t = ((m[k] >> j) ^ m[k + j as usize]) & mask;
+            m[k] ^= t << j;
+            m[k + j as usize] ^= t;
+            k = (k + j as usize + 1) & !(j as usize);
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
 struct BitIter {
     word: u64,
     base: u32,
@@ -262,6 +290,56 @@ mod tests {
     fn from_iter_members_dedups() {
         let s = BitSet::from_iter_members(10, [3, 3, 3]);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn transpose64_matches_naive() {
+        // Deterministic pseudo-random matrix (splitmix64 stream).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut m = [0u64; 64];
+        for w in m.iter_mut() {
+            *w = next();
+        }
+        let orig = m;
+        transpose64(&mut m);
+        for (i, &row) in m.iter().enumerate() {
+            for (j, &orig_row) in orig.iter().enumerate() {
+                assert_eq!(
+                    (row >> j) & 1,
+                    (orig_row >> i) & 1,
+                    "bit ({i},{j}) after transpose"
+                );
+            }
+        }
+        // Involution: transposing twice restores the original.
+        transpose64(&mut m);
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn transpose64_identity_and_rows() {
+        // The identity matrix is its own transpose.
+        let mut id = [0u64; 64];
+        for (i, w) in id.iter_mut().enumerate() {
+            *w = 1u64 << i;
+        }
+        let orig = id;
+        transpose64(&mut id);
+        assert_eq!(id, orig);
+        // A single full row becomes a single full column.
+        let mut m = [0u64; 64];
+        m[3] = u64::MAX;
+        transpose64(&mut m);
+        for (i, w) in m.iter().enumerate() {
+            assert_eq!(*w, 1u64 << 3, "row {i}");
+        }
     }
 
     #[test]

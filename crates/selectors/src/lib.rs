@@ -64,14 +64,14 @@ pub mod random;
 pub mod schedule;
 pub mod verify;
 
-pub use bitset::BitSet;
+pub use bitset::{transpose64, BitSet};
 pub use family::SelectiveFamily;
 pub use random::RandomFamilyBuilder;
 pub use schedule::{NextOne, Schedule, ScheduleExt};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::bitset::BitSet;
+    pub use crate::bitset::{transpose64, BitSet};
     pub use crate::bitsplit::bitsplit_family;
     pub use crate::family::SelectiveFamily;
     pub use crate::greedy::GreedyBuilder;

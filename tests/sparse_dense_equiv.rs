@@ -14,9 +14,9 @@
 //! covered by the same properties: every sparse↔dense transition the policy
 //! makes mid-run must leave the transcript bit-identical, and the work
 //! counters must account for every slot —
-//! `skipped_slots + dense_steps ≤ slots_simulated ≤
-//! skipped_slots + dense_steps + polls` (each remaining slot is a sparse
-//! event, which polls at least one station). Protocol constructions pulled
+//! `skipped_slots + dense_steps + word_slots ≤ slots_simulated ≤
+//! skipped_slots + dense_steps + word_slots + polls` (each remaining slot
+//! is a sparse event, which polls at least one station). Protocol constructions pulled
 //! from a shared `ConstructionCache` are part of the zoo, so handle sharing
 //! across runs is pinned against dense too.
 
@@ -112,17 +112,20 @@ fn assert_equivalent_under(
         dense.polls
     );
     // Slot accounting under the hybrid policy: every simulated slot is
-    // either skipped in bulk, dense-stepped, or a sparse event (≥ 1 poll).
+    // either skipped in bulk, dense-stepped, word-kernel-resolved, or a
+    // sparse event (≥ 1 poll).
     assert!(
-        auto.skipped_slots + auto.dense_steps <= auto.slots_simulated,
+        auto.skipped_slots + auto.dense_steps + auto.word_slots <= auto.slots_simulated,
         "overcounted slots: {ctx}"
     );
     assert!(
-        auto.slots_simulated <= auto.skipped_slots + auto.dense_steps + auto.polls,
-        "unaccounted slots ({} simulated, {} skipped, {} dense, {} polls): {ctx}",
+        auto.slots_simulated
+            <= auto.skipped_slots + auto.dense_steps + auto.word_slots + auto.polls,
+        "unaccounted slots ({} simulated, {} skipped, {} dense, {} word, {} polls): {ctx}",
         auto.slots_simulated,
         auto.skipped_slots,
         auto.dense_steps,
+        auto.word_slots,
         auto.polls
     );
     // The forced-dense reference steps every non-dead-air slot densely and
@@ -478,7 +481,7 @@ fn scenario_c_simultaneous_burst_dense_steps_adaptively() {
         "adaptive policy never engaged on the burst"
     );
     assert!(
-        auto.dense_steps > 0,
+        auto.dense_steps + auto.word_slots > 0,
         "burst slots were not dense-stepped (polls {}, skipped {})",
         auto.polls,
         auto.skipped_slots
@@ -528,8 +531,13 @@ fn mid_run_yield_collapse_triggers_dense_stepping() {
         auto.mode_switches > 0,
         "yield collapse never triggered dense stepping"
     );
-    assert!(auto.dense_steps > 100, "dense_steps {}", auto.dense_steps);
-    assert!(auto.skipped_slots + auto.dense_steps <= auto.slots_simulated);
+    assert!(
+        auto.dense_steps + auto.word_slots > 100,
+        "dense_steps {} word_slots {}",
+        auto.dense_steps,
+        auto.word_slots
+    );
+    assert!(auto.skipped_slots + auto.dense_steps + auto.word_slots <= auto.slots_simulated);
 }
 
 // ---------------------------------------------------------------------
