@@ -91,6 +91,7 @@ impl Table {
 
     /// Write both renderings to stdout (the experiment binaries' default).
     pub fn print(&self) {
+        // lint: allow(sink-discipline) — Table::print IS the explicit render-to-stdout entry the CLI layer calls
         print!("{}", self.to_markdown());
     }
 

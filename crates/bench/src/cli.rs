@@ -96,6 +96,7 @@ USAGE:
     wakeup trace <experiment>... [OPTIONS]
     wakeup report <trace.jsonl> [--out table|csv|json]
     wakeup diff <dir_a> <dir_b> [--threshold F]
+    wakeup lint [--out table|csv|json] [--baseline FILE] [--rules]
 
 OPTIONS:
     --scale quick|full     sweep scale (default: $WAKEUP_SCALE or quick)
@@ -131,6 +132,12 @@ histograms, the mode-switch timeline and worker utilization.
 candidate) and exits 1 when any latency/work metric regressed beyond the
 threshold, a row or artifact disappeared, or a check flipped to failing.
 
+`wakeup lint` statically checks the workspace's determinism & architecture
+invariants (hash-state, wall-clock, ambient RNG, unsafe hygiene, sink/env
+discipline, crate layering, hot-path panics, trace-schema sync) and exits 1
+on any deny finding or warn-tier growth past ci/lint-baseline.jsonl; see
+`wakeup lint --rules`.
+
 Environment: WAKEUP_PROGRESS=secs enables live runs/s lines on stderr;
 WAKEUP_ASSERT_SPARSE=1 turns EXP-KG's sparse-path expectations into checks;
 WAKEUP_ASSERT_CLASSES=1 adds EXP-MEGA's concrete cross-checks (class-engine
@@ -159,6 +166,12 @@ pub enum Command {
         path: PathBuf,
         /// Output format for the report.
         out: OutFormat,
+    },
+    /// `wakeup lint …` — all remaining arguments pass through to the
+    /// analyzer's own driver ([`wakeup_lint::cli::run`]).
+    Lint {
+        /// Post-subcommand arguments, verbatim.
+        args: Vec<String>,
     },
     /// `wakeup diff <dir_a> <dir_b>`
     Diff {
@@ -189,6 +202,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "run" => parse_run(&mut it, false),
         "trace" => parse_run(&mut it, true),
+        "lint" => Ok(Command::Lint {
+            args: it.cloned().collect(),
+        }),
         "report" => {
             let mut path: Option<PathBuf> = None;
             let mut out = OutFormat::Table;
@@ -564,6 +580,7 @@ pub fn main() -> i32 {
                 }
             }
         }
+        Ok(Command::Lint { args }) => wakeup_lint::cli::run(&args),
         Ok(Command::Report { path, out }) => {
             let mut sink = out.sink(Box::new(std::io::stdout().lock()));
             match crate::report::report_file(&path, sink.as_mut()) {
@@ -638,6 +655,20 @@ mod tests {
             config.out_dir.as_deref(),
             Some(std::path::Path::new("/tmp/x"))
         );
+    }
+
+    #[test]
+    fn parse_lint_passes_arguments_through_verbatim() {
+        let Ok(Command::Lint { args }) =
+            parse(&argv("lint --out json --baseline ci/lint-baseline.jsonl"))
+        else {
+            panic!("lint did not parse");
+        };
+        assert_eq!(args, argv("--out json --baseline ci/lint-baseline.jsonl"));
+        let Ok(Command::Lint { args }) = parse(&argv("lint")) else {
+            panic!("bare lint did not parse");
+        };
+        assert!(args.is_empty());
     }
 
     #[test]

@@ -37,16 +37,16 @@
 use crate::family_provider::{DynFamily, FamilyProvider};
 use crate::select_among_first::DoublingSchedule;
 use crate::waking_matrix::{MatrixParams, WakingMatrix};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Upper bound on entries per interior map; reaching it clears that map
 /// (see the module docs on per-run-seed ensembles).
 pub const CACHE_CAP: usize = 128;
 
-/// Hashable identity of a [`FamilyProvider`] (the `δ` float is keyed by its
-/// bit pattern — identical parameters, identical constructions).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// Orderable identity of a [`FamilyProvider`] (the `δ` float is keyed by
+/// its bit pattern — identical parameters, identical constructions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum ProviderKey {
     Random { seed: u64, delta_bits: u64 },
     KautzSingleton,
@@ -64,14 +64,17 @@ impl ProviderKey {
     }
 }
 
+/// The interior maps are `BTreeMap`s, not `HashMap`s: the cache sits in the
+/// deterministic tier, and ordered maps make even diagnostic iteration
+/// order reproducible (lookups stay `O(log CACHE_CAP)` on tiny maps).
 #[derive(Debug, Default)]
 struct Maps {
     /// `(provider, n, k)` → realized selective family (cheap handle).
-    families: HashMap<(ProviderKey, u32, u32), DynFamily>,
+    families: BTreeMap<(ProviderKey, u32, u32), DynFamily>,
     /// `(provider, n, top)` → shared doubling schedule.
-    schedules: HashMap<(ProviderKey, u32, u32), Arc<DoublingSchedule>>,
+    schedules: BTreeMap<(ProviderKey, u32, u32), Arc<DoublingSchedule>>,
     /// Matrix parameters → shared waking matrix.
-    matrices: HashMap<MatrixParams, Arc<WakingMatrix>>,
+    matrices: BTreeMap<MatrixParams, Arc<WakingMatrix>>,
 }
 
 /// Insert under the cap, **adopting a racing builder's entry** when one
@@ -79,11 +82,7 @@ struct Maps {
 /// deterministic value, but only the map winner's handle is the one every
 /// later run shares (and whose interior memos amortize) — so the loser
 /// returns the winner's clone instead of a private duplicate.
-fn bounded_insert<K: std::hash::Hash + Eq, V: Clone>(
-    map: &mut HashMap<K, V>,
-    key: K,
-    value: V,
-) -> V {
+fn bounded_insert<K: Ord, V: Clone>(map: &mut BTreeMap<K, V>, key: K, value: V) -> V {
     if map.len() >= CACHE_CAP && !map.contains_key(&key) {
         map.clear();
     }

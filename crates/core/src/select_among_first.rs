@@ -41,8 +41,9 @@ pub struct DoublingSchedule {
     /// when the schedule handle itself is shared through the construction
     /// cache — every *run*) holding this schedule: the `O(period)` index
     /// scan happens once per station per schedule instead of once per
-    /// station per run.
-    indices: std::sync::Mutex<std::collections::HashMap<u32, Arc<PositionIndex>>>,
+    /// station per run. Keyed by station id in a `BTreeMap` so the memo has
+    /// no ambient hash state (deterministic tier).
+    indices: std::sync::Mutex<std::collections::BTreeMap<u32, Arc<PositionIndex>>>,
 }
 
 impl DoublingSchedule {
@@ -57,7 +58,7 @@ impl DoublingSchedule {
         use selectors::ScheduleExt;
         DoublingSchedule {
             cycle: selectors::schedule::ConcatSchedule::new(families).cycle(),
-            indices: std::sync::Mutex::new(std::collections::HashMap::new()),
+            indices: std::sync::Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 

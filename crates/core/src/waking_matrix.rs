@@ -34,7 +34,7 @@ use selectors::math::{log_log_n, log_n};
 use selectors::prf::{coin_pow2, GapScanner};
 
 /// Parameters of a waking matrix.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MatrixParams {
     /// Universe size `n ≥ 1`.
     pub n: u32,

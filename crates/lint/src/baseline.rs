@@ -1,0 +1,170 @@
+//! Warn-tier baseline ratchet: warn findings don't fail the gate outright —
+//! they fail it when they *grow*. The baseline is a committed JSON Lines
+//! file of per-`(rule, file)` counts; a run regresses if any count rises or
+//! a new `(rule, file)` pair appears, and improves when counts drop (at
+//! which point the baseline should be re-written so the ratchet only ever
+//! tightens).
+
+use crate::rules::{Finding, Tier};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use wakeup_analysis::serial::{parse_json_object, Record, Value};
+
+/// Warn counts keyed by `(rule, file)` — a `BTreeMap` so rendering is
+/// deterministically ordered.
+pub type Counts = BTreeMap<(String, String), u64>;
+
+/// Aggregate the warn-tier findings of a run into baseline counts.
+pub fn warn_counts(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for f in findings.iter().filter(|f| f.tier == Tier::Warn) {
+        *counts
+            .entry((f.rule.to_string(), f.file.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Render counts as JSON Lines (`{"rule":…,"file":…,"count":…}` per line).
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::new();
+    for ((rule, file), count) in counts {
+        let rec = Record::new()
+            .with("rule", rule.as_str())
+            .with("file", file.as_str())
+            .with("count", *count);
+        out.push_str(&rec.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Load a baseline file written by [`render`].
+pub fn load(path: &Path) -> io::Result<Counts> {
+    let text = std::fs::read_to_string(path)?;
+    let mut counts = Counts::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = parse_json_object(line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: {e}", path.display(), i + 1),
+            )
+        })?;
+        let rule = str_field(&rec, "rule", path, i)?;
+        let file = str_field(&rec, "file", path, i)?;
+        let count = match rec.get("count") {
+            Some(Value::U64(n)) => *n,
+            Some(Value::I64(n)) if *n >= 0 => *n as u64,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: missing numeric `count`", path.display(), i + 1),
+                ))
+            }
+        };
+        counts.insert((rule, file), count);
+    }
+    Ok(counts)
+}
+
+fn str_field(rec: &Record, name: &str, path: &Path, i: usize) -> io::Result<String> {
+    match rec.get(name) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}:{}: missing string `{name}`", path.display(), i + 1),
+        )),
+    }
+}
+
+/// The ratchet verdict: what got worse and what got better.
+#[derive(Clone, Debug, Default)]
+pub struct Diff {
+    /// `(rule, file, baseline, current)` where current exceeds baseline
+    /// (baseline 0 for new entries). Any regression fails the gate.
+    pub regressions: Vec<(String, String, u64, u64)>,
+    /// Entries whose count dropped (or vanished) — the baseline can be
+    /// re-written tighter.
+    pub improvements: Vec<(String, String, u64, u64)>,
+}
+
+/// Compare a run's warn counts against the committed baseline.
+pub fn diff(current: &Counts, baseline: &Counts) -> Diff {
+    let mut d = Diff::default();
+    for (key, &cur) in current {
+        let base = baseline.get(key).copied().unwrap_or(0);
+        if cur > base {
+            d.regressions
+                .push((key.0.clone(), key.1.clone(), base, cur));
+        } else if cur < base {
+            d.improvements
+                .push((key.0.clone(), key.1.clone(), base, cur));
+        }
+    }
+    for (key, &base) in baseline {
+        if !current.contains_key(key) {
+            d.improvements.push((key.0.clone(), key.1.clone(), base, 0));
+        }
+    }
+    d.improvements.sort();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, u64)]) -> Counts {
+        entries
+            .iter()
+            .map(|(r, f, n)| ((r.to_string(), f.to_string()), *n))
+            .collect()
+    }
+
+    #[test]
+    fn ratchet_flags_growth_and_new_entries_only() {
+        let base = counts(&[
+            ("panic-free-hot-path", "a.rs", 3),
+            ("panic-free-hot-path", "b.rs", 1),
+        ]);
+        let cur = counts(&[
+            ("panic-free-hot-path", "a.rs", 4),
+            ("panic-free-hot-path", "c.rs", 1),
+        ]);
+        let d = diff(&cur, &base);
+        assert_eq!(d.regressions.len(), 2, "{:?}", d.regressions);
+        assert!(d
+            .regressions
+            .iter()
+            .any(|r| r.1 == "a.rs" && r.2 == 3 && r.3 == 4));
+        assert!(d
+            .regressions
+            .iter()
+            .any(|r| r.1 == "c.rs" && r.2 == 0 && r.3 == 1));
+        assert_eq!(
+            d.improvements,
+            vec![("panic-free-hot-path".into(), "b.rs".into(), 1, 0)]
+        );
+        let clean = diff(&base, &base);
+        assert!(clean.regressions.is_empty() && clean.improvements.is_empty());
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_jsonl() {
+        let c = counts(&[("panic-free-hot-path", "crates/mac-sim/src/engine.rs", 7)]);
+        let text = render(&c);
+        assert_eq!(
+            text,
+            "{\"rule\":\"panic-free-hot-path\",\"file\":\"crates/mac-sim/src/engine.rs\",\"count\":7}\n"
+        );
+        let dir = std::env::temp_dir().join("wakeup-lint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.jsonl");
+        std::fs::write(&path, &text).unwrap();
+        assert_eq!(load(&path).unwrap(), c);
+    }
+}

@@ -1,0 +1,7 @@
+//! Standalone CI entry point: `wakeup-lint [options]` is exactly
+//! `wakeup lint [options]` without building the full CLI crate.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(wakeup_lint::cli::run(&args));
+}

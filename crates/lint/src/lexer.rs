@@ -1,0 +1,452 @@
+//! A minimal Rust lexer — just enough to scan real-world sources without
+//! being fooled by comments, strings, raw strings or char literals.
+//!
+//! The workspace builds with no registry access, so there is no `syn`;
+//! the rules only need a token stream with line numbers plus the comment
+//! text (for `// SAFETY:` audits and `// lint: allow(...)` pragmas), and
+//! this hand-rolled scanner provides exactly that. It understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, byte strings, and raw strings
+//!   (`r"…"`, `r#"…"#` with any number of hashes, `br#"…"#`),
+//! * char literals (including escaped ones like `'\''` and `'\u{1f600}'`)
+//!   disambiguated from lifetimes (`'a`, `'static`, `'_`),
+//! * raw identifiers (`r#type`),
+//! * identifiers, numeric literals, and single-char punctuation.
+//!
+//! Everything inside comments / strings / chars is **excluded** from the
+//! token stream, so a rule matching the `unsafe` identifier can never fire
+//! on `"unsafe"` in a string or on prose in a doc comment.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `use`, `unsafe`, …).
+    Ident(String),
+    /// A single punctuation / operator character (`:`, `!`, `{`, …).
+    Punct(char),
+    /// A string literal's inner content with `\"` and `\\` unescaped
+    /// (raw strings pass through verbatim).
+    Str(String),
+    /// A numeric literal (content not retained — no rule needs it).
+    Num,
+    /// A char literal (content not retained).
+    Char,
+    /// A lifetime (`'a`, `'static`; content not retained).
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// One comment line: block comments spanning several lines contribute one
+/// entry per line, so line-anchored scans (SAFETY audits, pragmas) work
+/// uniformly.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line number this comment text sits on.
+    pub line: u32,
+    /// The text without the `//` / `/*` delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment lines in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comment lines. The scanner never fails: bytes
+/// it cannot classify become [`Tok::Punct`], and unterminated literals run
+/// to end-of-file (rustc would have rejected the file long before the lint
+/// sees it, so graceful degradation beats erroring).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    let s = self.string();
+                    self.push(Tok::Str(s), line);
+                }
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                '\'' => self.quote(line),
+                c if c.is_alphabetic() || c == '_' => {
+                    let id = self.ident();
+                    self.push(Tok::Ident(id), line);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(Tok::Num, line);
+                }
+                c => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // consume `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1u32;
+        let mut line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.bump();
+                self.bump();
+                depth += 1;
+                text.push_str("/*");
+            } else if c == '\n' {
+                self.out.comments.push(Comment {
+                    line,
+                    text: std::mem::take(&mut text),
+                });
+                self.bump();
+                line = self.line;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// A cooked string literal starting at the opening `"`. Returns the
+    /// content with `\"` / `\\` unescaped (other escapes pass through).
+    fn string(&mut self) -> String {
+        self.bump(); // opening quote
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => match self.bump() {
+                    Some('"') => content.push('"'),
+                    Some('\\') => content.push('\\'),
+                    Some(e) => {
+                        content.push('\\');
+                        content.push(e);
+                    }
+                    None => break,
+                },
+                c => content.push(c),
+            }
+        }
+        content
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br#"…"#`, `b'x'`.
+    /// Returns true when a literal (or raw identifier) was consumed.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let c = self.peek(0).expect("caller peeked");
+        // Figure out the shape without consuming.
+        let mut i = 1;
+        if c == 'b' {
+            match self.peek(1) {
+                Some('\'') => {
+                    // Byte char literal b'x'.
+                    self.bump(); // b
+                    self.quote(line);
+                    return true;
+                }
+                Some('"') => {
+                    self.bump();
+                    let s = self.string();
+                    self.push(Tok::Str(s), line);
+                    return true;
+                }
+                Some('r') => i = 2,
+                _ => return false, // plain identifier starting with b
+            }
+        }
+        // `r` (or `br`) followed by hashes then a quote → raw string;
+        // `r#` followed by an identifier char → raw identifier.
+        let mut hashes = 0usize;
+        while self.peek(i + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(i + hashes) {
+            Some('"') => {
+                for _ in 0..i + hashes + 1 {
+                    self.bump();
+                }
+                let content = self.raw_string(hashes);
+                self.push(Tok::Str(content), line);
+                true
+            }
+            Some(c2) if hashes == 1 && (c2.is_alphabetic() || c2 == '_') => {
+                // Raw identifier r#type: consume `r#` then lex the ident.
+                self.bump();
+                self.bump();
+                let id = self.ident();
+                self.push(Tok::Ident(id), line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Content of a raw string whose opening `r#*"` was already consumed.
+    fn raw_string(&mut self, hashes: usize) -> String {
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+                content.push('"');
+                for _ in 0..seen {
+                    content.push('#');
+                }
+            } else {
+                content.push(c);
+            }
+        }
+        content
+    }
+
+    /// A `'`: char literal or lifetime.
+    fn quote(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume through the closing quote.
+                self.bump();
+                self.bump(); // the escaped char (enough for \u too: loop below)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Char, line);
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // `'a'` is a char, `'a` / `'static` a lifetime.
+                let mut len = 1;
+                while self
+                    .peek(len)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    len += 1;
+                }
+                if len == 1 && self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(Tok::Char, line);
+                } else {
+                    for _ in 0..len {
+                        self.bump();
+                    }
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            Some(_) => {
+                // Non-alphabetic char literal like '(' or '0'.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::Char, line);
+            }
+            None => self.push(Tok::Punct('\''), line),
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut id = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                id.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        id
+    }
+
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the literal; `1..n` does not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_content() {
+        let src = r##"
+            let a = "unsafe HashMap // not a comment";
+            // unsafe in a line comment
+            /* unsafe in a block /* nested */ comment */
+            let b = r#"raw // string with "quotes" and unsafe"#;
+            let c = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let lexed = lex(r###"let x = r##"inner "# still inside"## ; unsafe"###);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec![r##"inner "# still inside"##]);
+        // The `unsafe` after the literal IS visible.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Ident("unsafe".into())));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\''; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn comment_text_is_captured_per_line() {
+        let lexed = lex("// SAFETY: fine\nlet x = 1; /* multi\nline */\n");
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("SAFETY:"));
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].text.contains("multi"));
+        assert_eq!(lexed.comments[2].line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_through_literals() {
+        let src = "let a = \"one\ntwo\";\nunsafe {}";
+        let lexed = lex(src);
+        let uns = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unsafe".into()))
+            .unwrap();
+        assert_eq!(uns.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+}

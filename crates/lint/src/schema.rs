@@ -1,0 +1,455 @@
+//! The `trace-schema-sync` rule: the trace schema exists in three places —
+//! the emitting code (`TraceKind::name` + `TraceEvent::json_fields` in
+//! `mac-sim/src/tracer.rs`), the documentation (README §Observability's
+//! two-tier table) and the CI python validator (`KINDS = {...}` in the
+//! workflow). This rule extracts all three and reports any drift, so the
+//! documented schema can never silently diverge from the code.
+
+use crate::lexer::{lex, Tok};
+use crate::rules::{Finding, Tier, TRACE_SCHEMA_SYNC};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Extracted view of one schema source: event kinds, and (where the source
+/// documents them) the per-kind payload field names.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Schema {
+    /// Event kind names (`wake`, `collision`, …).
+    pub kinds: BTreeSet<String>,
+    /// Per-kind payload field names.
+    pub fields: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Cross-check the three schema sources under `root`. Returns findings
+/// (empty when everything agrees). The paths are parameters so the fixture
+/// corpus can exercise deliberate drift.
+pub fn check(root: &Path, tracer_rel: &str, readme_rel: &str, ci_rel: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut read = |rel: &str| match std::fs::read_to_string(root.join(rel)) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            findings.push(fail(rel, 1, format!("cannot read schema source: {e}")));
+            None
+        }
+    };
+    let (Some(tracer_src), Some(readme_src), Some(ci_src)) =
+        (read(tracer_rel), read(readme_rel), read(ci_rel))
+    else {
+        return findings;
+    };
+
+    let code = parse_tracer(&tracer_src);
+    let docs = parse_readme(&readme_src);
+    let ci = parse_ci(&ci_src);
+
+    if code.kinds.is_empty() {
+        findings.push(fail(
+            tracer_rel,
+            1,
+            "could not extract any TraceKind names — has the name() table moved?".into(),
+        ));
+        return findings;
+    }
+    if docs.kinds.is_empty() {
+        findings.push(fail(
+            readme_rel,
+            1,
+            "could not find the §Observability two-tier schema table".into(),
+        ));
+        return findings;
+    }
+    if ci.kinds.is_empty() {
+        findings.push(fail(
+            ci_rel,
+            1,
+            "could not find the validator's KINDS = {...} set".into(),
+        ));
+        return findings;
+    }
+
+    // Kind sets must agree pairwise against the code (the single source of
+    // truth); the finding is anchored at the artifact that is out of sync.
+    for (other, rel, what) in [(&docs, readme_rel, "README"), (&ci, ci_rel, "CI validator")] {
+        for k in code.kinds.difference(&other.kinds) {
+            findings.push(fail(
+                rel,
+                find_line(
+                    if rel == readme_rel {
+                        &readme_src
+                    } else {
+                        &ci_src
+                    },
+                    "kinds",
+                )
+                .unwrap_or(1),
+                format!("trace kind `{k}` is emitted by tracer.rs but missing from the {what}"),
+            ));
+        }
+        for k in other.kinds.difference(&code.kinds) {
+            findings.push(fail(
+                rel,
+                find_line(
+                    if rel == readme_rel {
+                        &readme_src
+                    } else {
+                        &ci_src
+                    },
+                    k,
+                )
+                .unwrap_or(1),
+                format!("trace kind `{k}` appears in the {what} but tracer.rs never emits it"),
+            ));
+        }
+    }
+
+    // Field names: README documents them per kind; compare against the
+    // fields actually serialized by json_fields().
+    for (kind, code_fields) in &code.fields {
+        let Some(doc_fields) = docs.fields.get(kind) else {
+            continue; // kind-level drift already reported above
+        };
+        if code_fields != doc_fields {
+            let missing: Vec<&str> = code_fields
+                .difference(doc_fields)
+                .map(String::as_str)
+                .collect();
+            let stale: Vec<&str> = doc_fields
+                .difference(code_fields)
+                .map(String::as_str)
+                .collect();
+            findings.push(fail(
+                readme_rel,
+                find_line(&readme_src, kind).unwrap_or(1),
+                format!(
+                    "field drift for `{kind}`: code serializes [{}], README documents [{}]{}{}",
+                    join(code_fields),
+                    join(doc_fields),
+                    if missing.is_empty() {
+                        String::new()
+                    } else {
+                        format!("; undocumented: {}", missing.join(", "))
+                    },
+                    if stale.is_empty() {
+                        String::new()
+                    } else {
+                        format!("; stale: {}", stale.join(", "))
+                    },
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+fn fail(rel: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule: TRACE_SCHEMA_SYNC,
+        tier: Tier::Deny,
+        file: rel.to_string(),
+        line,
+        message,
+    }
+}
+
+fn join(set: &BTreeSet<String>) -> String {
+    set.iter().cloned().collect::<Vec<_>>().join(", ")
+}
+
+/// 1-based line of the first occurrence of `needle`.
+fn find_line(text: &str, needle: &str) -> Option<u32> {
+    text.lines()
+        .position(|l| l.contains(needle))
+        .map(|i| i as u32 + 1)
+}
+
+/// `TraceKind::X => "name"` arms give the kind names; the string fragments
+/// inside `json_fields` give the per-kind payload fields.
+pub fn parse_tracer(src: &str) -> Schema {
+    let toks = lex(src).tokens;
+    let mut schema = Schema::default();
+    let ident = |i: usize| match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct =
+        |i: usize, c: char| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
+
+    // Kind names from the `TraceKind::X => "str"` match arms.
+    for i in 0..toks.len() {
+        if ident(i) == Some("TraceKind")
+            && punct(i + 1, ':')
+            && punct(i + 2, ':')
+            && ident(i + 3).is_some()
+            && punct(i + 4, '=')
+            && punct(i + 5, '>')
+        {
+            if let Some(Tok::Str(s)) = toks.get(i + 6).map(|t| &t.tok) {
+                schema.kinds.insert(s.clone());
+            }
+        }
+    }
+
+    // Payload fields from the body of `fn json_fields`.
+    let Some(start) = (0..toks.len()).find(|&i| ident(i) == Some("json_fields")) else {
+        return schema;
+    };
+    let mut depth = 0i32;
+    let mut entered = false;
+    let mut current: Option<String> = None;
+    for (i, t) in toks.iter().enumerate().skip(start) {
+        match &t.tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                entered = true;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                if entered && depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(id) if id == "TraceEvent" && punct(i + 1, ':') && punct(i + 2, ':') => {
+                if let Some(variant) = ident(i + 3) {
+                    current = Some(snake_case(variant));
+                    schema.fields.entry(snake_case(variant)).or_default();
+                }
+            }
+            Tok::Str(s) => {
+                if let Some(kind) = &current {
+                    let entry = schema.fields.entry(kind.clone()).or_default();
+                    for f in field_names_in(s) {
+                        entry.insert(f);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    schema
+}
+
+/// Extract `"name":` occurrences from a (unescaped) format-string fragment.
+fn field_names_in(s: &str) -> Vec<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if let Some(end) = s[i + 1..].find('"') {
+                let name = &s[i + 1..i + 1 + end];
+                let after = i + 1 + end + 1;
+                if bytes.get(after) == Some(&b':')
+                    && !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit())
+                {
+                    out.push(name.to_string());
+                }
+                i = after;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn snake_case(camel: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in camel.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The README's two-tier table: rows are `| tier | kinds | fields |`; kind
+/// and field cells pair multi-kind rows by `/` position
+/// (``…`burst_open` / `burst_close`…`` ↔ ``…`slot`, `window` / `slot`…``).
+pub fn parse_readme(src: &str) -> Schema {
+    let mut schema = Schema::default();
+    let mut in_table = false;
+    for line in src.lines() {
+        if !in_table {
+            let l = line.to_lowercase();
+            if l.starts_with('|')
+                && l.contains("tier")
+                && l.contains("kinds")
+                && l.contains("fields")
+            {
+                in_table = true;
+            }
+            continue;
+        }
+        if !line.trim_start().starts_with('|') {
+            break;
+        }
+        let cells: Vec<&str> = line.split('|').collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let kind_segs: Vec<Vec<String>> = cells[2].split('/').map(backticked).collect();
+        let field_segs: Vec<Vec<String>> = cells[3].split('/').map(backticked).collect();
+        let kinds_in_row: usize = kind_segs.iter().map(Vec::len).sum();
+        if kinds_in_row == 0 {
+            continue; // separator / prose rows
+        }
+        if kind_segs.len() == field_segs.len() {
+            for (ks, fs) in kind_segs.iter().zip(&field_segs) {
+                for k in ks {
+                    schema.kinds.insert(k.clone());
+                    schema
+                        .fields
+                        .entry(k.clone())
+                        .or_default()
+                        .extend(fs.iter().cloned());
+                }
+            }
+        } else {
+            // Unpaired: attribute every documented field to every kind.
+            let all: Vec<String> = field_segs.into_iter().flatten().collect();
+            for k in kind_segs.into_iter().flatten() {
+                schema.kinds.insert(k.clone());
+                schema
+                    .fields
+                    .entry(k)
+                    .or_default()
+                    .extend(all.iter().cloned());
+            }
+        }
+    }
+    schema
+}
+
+/// Backticked identifiers in a table cell, excluding the `null` literal
+/// (documented as a field *value*, not a field).
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(open) = rest.find('`') {
+        let Some(close) = rest[open + 1..].find('`') else {
+            break;
+        };
+        let name = &rest[open + 1..open + 1 + close];
+        if !name.is_empty()
+            && name != "null"
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit())
+        {
+            out.push(name.to_string());
+        }
+        rest = &rest[open + 1 + close + 1..];
+    }
+    out
+}
+
+/// The CI validator's `KINDS = {...}` set (python string literals).
+pub fn parse_ci(src: &str) -> Schema {
+    let mut schema = Schema::default();
+    let Some(start) = src.find("KINDS") else {
+        return schema;
+    };
+    let Some(open) = src[start..].find('{') else {
+        return schema;
+    };
+    let Some(close) = src[start + open..].find('}') else {
+        return schema;
+    };
+    let body = &src[start + open + 1..start + open + close];
+    let mut rest = body;
+    while let Some(q) = rest.find('\'') {
+        let Some(end) = rest[q + 1..].find('\'') else {
+            break;
+        };
+        schema.kinds.insert(rest[q + 1..q + 1 + end].to_string());
+        rest = &rest[q + 1 + end + 1..];
+    }
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACER: &str = r#"
+        impl TraceKind {
+            pub fn name(self) -> &'static str {
+                match self {
+                    TraceKind::Wake => "wake",
+                    TraceKind::RunEnd => "run_end",
+                }
+            }
+        }
+        impl TraceEvent {
+            pub fn json_fields(&self) -> String {
+                match self {
+                    TraceEvent::Wake { slot, stations } => {
+                        let _ = write!(s, ",\"slot\":{slot},\"stations\":{stations}");
+                    }
+                    TraceEvent::RunEnd { slots, first_success } => {
+                        let _ = write!(s, ",\"slots\":{slots},\"first_success\":");
+                    }
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn tracer_extraction_finds_kinds_and_fields() {
+        let s = parse_tracer(TRACER);
+        assert_eq!(
+            s.kinds.iter().cloned().collect::<Vec<_>>(),
+            vec!["run_end", "wake"]
+        );
+        assert_eq!(
+            s.fields["wake"].iter().cloned().collect::<Vec<_>>(),
+            vec!["slot", "stations"]
+        );
+        assert_eq!(
+            s.fields["run_end"].iter().cloned().collect::<Vec<_>>(),
+            vec!["first_success", "slots"]
+        );
+    }
+
+    #[test]
+    fn readme_table_parses_paired_rows() {
+        let md = "\
+            | tier | kinds | fields |\n\
+            |------|-------|--------|\n\
+            | det | `wake` | `slot`, `stations` |\n\
+            | | `run_end` | `slots`, `first_success` (`null` when censored) |\n\
+            | eng | `burst_open` / `burst_close` | `slot`, `window` / `slot` |\n\
+            \n";
+        let s = parse_readme(md);
+        assert!(s.kinds.contains("wake") && s.kinds.contains("burst_close"));
+        assert_eq!(
+            s.fields["run_end"].iter().cloned().collect::<Vec<_>>(),
+            vec!["first_success", "slots"],
+            "the `null` value literal must not parse as a field"
+        );
+        assert_eq!(
+            s.fields["burst_open"].iter().cloned().collect::<Vec<_>>(),
+            vec!["slot", "window"]
+        );
+        assert_eq!(
+            s.fields["burst_close"].iter().cloned().collect::<Vec<_>>(),
+            vec!["slot"]
+        );
+    }
+
+    #[test]
+    fn ci_kinds_parse_from_python_set() {
+        let yml = "KINDS = {'wake', 'silence',\n         'run_end'}\nother";
+        let s = parse_ci(yml);
+        assert_eq!(s.kinds.len(), 3);
+        assert!(s.kinds.contains("silence"));
+    }
+}

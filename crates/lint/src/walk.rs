@@ -1,0 +1,72 @@
+//! Deterministic source discovery: a sorted recursive walk over the
+//! workspace's Rust sources. Determinism here is what makes the whole
+//! report byte-identical across runs and machines — entries are sorted at
+//! every directory level, so the emitted finding order never depends on
+//! filesystem iteration order.
+
+use std::io;
+use std::path::Path;
+
+/// Directory names never descended into: build outputs, VCS metadata, and
+/// the lint crate's own deliberately-bad fixture corpus.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+
+/// Top-level entry points of a workspace checkout that can hold Rust code.
+const ROOTS: &[&str] = &["src", "tests", "examples", "benches", "crates"];
+
+/// Collect every `.rs` file under `root`'s source roots, as sorted
+/// workspace-relative paths with forward slashes.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for r in ROOTS {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            descend(&dir, r, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn descend(dir: &Path, rel: &str, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<(String, bool)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.file_type()?.is_dir();
+        entries.push((name, is_dir));
+    }
+    entries.sort();
+    for (name, is_dir) in entries {
+        let child_rel = format!("{rel}/{name}");
+        if is_dir {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                descend(&dir.join(&name), &child_rel, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(child_rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_walk_is_sorted_and_skips_fixtures() {
+        let root = crate::workspace_root().expect("workspace root");
+        let files = rust_sources(&root).expect("walk");
+        assert!(files.len() > 20, "expected a real workspace, got {files:?}");
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk output must be sorted");
+        assert!(files.iter().any(|f| f == "crates/mac-sim/src/engine.rs"));
+        assert!(
+            !files.iter().any(|f| f.contains("/fixtures/")),
+            "fixture corpus must not be walked"
+        );
+        assert!(!files.iter().any(|f| f.contains("/target/")));
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: zero findings when linted as crates/core/src/clean.rs — ordered
+// maps, no clock, no prints, a SAFETY-documented unsafe and a reasoned
+// pragma ("HashMap" and "Instant::now()" in strings/comments are invisible
+// to the lexer-based rules, which this file also exercises).
+
+use std::collections::BTreeMap;
+
+/// Not a real Instant::now() — just a doc mention.
+pub fn sum(m: &BTreeMap<u32, u64>) -> u64 {
+    let label = "HashMap and thread_rng and unsafe live harmlessly in strings";
+    let r = r#"so do println!("…") and std::env::var in raw strings"#;
+    let _ = (label, r);
+    m.values().copied().sum()
+}
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer to a live byte (fixture contract).
+    unsafe { *p }
+}
+
+// lint: allow(default-hash-state) — borrowed lookup-only view, never iterated
+pub fn lookup(m: &std::collections::HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

@@ -1,0 +1,10 @@
+// Fixture: fires exactly `default-hash-state` when linted as
+// crates/mac-sim/src/bad.rs (deterministic tier, library source).
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for &k in keys {
+        m.entry(k).or_insert(0);
+    }
+    m.len()
+}

@@ -1,0 +1,6 @@
+// Fixture: fires exactly `env-discipline` when linted as
+// crates/core/src/bad.rs — ambient configuration outside the CLI layer.
+
+pub fn verbose() -> bool {
+    std::env::var("WAKEUP_VERBOSE").is_ok()
+}

@@ -1,0 +1,8 @@
+// Fixture: fires exactly `layering` when linted as
+// crates/selectors/src/bad.rs — selectors sits below mac-sim in the DAG.
+
+use mac_sim::Slot;
+
+pub fn first() -> Slot {
+    0
+}

@@ -1,0 +1,8 @@
+// Fixture: fires exactly `lint-pragma` — one reason-less pragma and one
+// naming a rule that does not exist.
+
+// lint: allow(wall-clock)
+pub fn a() {}
+
+// lint: allow(clock-wall) — the rule id is misspelled
+pub fn b() {}

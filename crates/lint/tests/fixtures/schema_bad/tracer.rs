@@ -1,0 +1,21 @@
+impl TraceKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Wake => "wake",
+            TraceKind::RunEnd => "run_end",
+        }
+    }
+}
+
+impl TraceEvent {
+    pub fn json_fields(&self, s: &mut String) {
+        match self {
+            TraceEvent::Wake { slot, stations } => {
+                let _ = write!(s, ",\"slot\":{slot},\"stations\":{stations}");
+            }
+            TraceEvent::RunEnd { slots } => {
+                let _ = write!(s, ",\"slots\":{slots}");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+pub enum TraceKind {
+    Wake,
+    RunEnd,
+}
+
+impl TraceKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Wake => "wake",
+            TraceKind::RunEnd => "run_end",
+        }
+    }
+}
+
+impl TraceEvent {
+    pub fn json_fields(&self, s: &mut String) {
+        match self {
+            TraceEvent::Wake { slot, stations } => {
+                let _ = write!(s, ",\"slot\":{slot},\"stations\":{stations}");
+            }
+            TraceEvent::RunEnd { slots, first_success } => {
+                let _ = write!(s, ",\"slots\":{slots},\"first_success\":{first_success}");
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: fires exactly `sink-discipline` when linted as
+// crates/core/src/bad.rs — library code printing straight to stdout.
+
+pub fn report(x: u64) {
+    println!("x = {x}");
+}

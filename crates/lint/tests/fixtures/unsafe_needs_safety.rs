@@ -1,0 +1,6 @@
+// Fixture: fires exactly `unsafe-needs-safety` — an unsafe block whose
+// obligations are not documented anywhere near it.
+
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+// Fixture: fires exactly `wall-clock` when linted as
+// crates/core/src/bad.rs (deterministic tier, library source).
+
+pub fn elapsed_ns() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -505,6 +505,7 @@ impl PolicyParams {
         for st in stations.iter_mut() {
             st.wake(0);
         }
+        // lint: allow(wall-clock) — calibration probe measures real act() cost; result steers mode choice, never transcripts
         let start = Instant::now();
         for t in 0..ROUNDS {
             for st in stations.iter_mut() {
@@ -522,6 +523,7 @@ impl PolicyParams {
         for st in stations.iter_mut() {
             st.wake(0);
         }
+        // lint: allow(wall-clock) — calibration probe measures real next_transmission() cost; never transcripts
         let start = Instant::now();
         for t in 0..ROUNDS {
             for st in stations.iter_mut() {
@@ -1987,6 +1989,7 @@ impl Simulator {
         // Per-station transmission counts in wake order (detail mode only —
         // the table is O(k) by nature).
         let mut tx_counts: Vec<(StationId, u64)> = Vec::new();
+        // lint: allow(default-hash-state) — lookup-only index into the wake-ordered tx_counts vec; never iterated
         let mut tx_index: HashMap<StationId, usize> = HashMap::new();
 
         // Sparse until any unit answers TxHint::Dense or a malformed scope,

@@ -87,6 +87,7 @@ impl WakePattern {
             return Err(PatternError::Empty);
         }
         wakes.sort_by_key(|&(id, t)| (t, id));
+        // lint: allow(default-hash-state) — membership-only duplicate check; the set is never iterated
         let mut seen = std::collections::HashSet::with_capacity(wakes.len());
         for &(id, _) in &wakes {
             if !seen.insert(id) {

@@ -16,16 +16,27 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to the `System` allocator plus a relaxed
+// atomic counter — upholds `GlobalAlloc`'s contract exactly as `System`
+// does, since every pointer/layout is forwarded unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller contract forwarded verbatim to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's, unmodified.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: caller contract forwarded verbatim to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was obtained from `System.alloc` above with the
+        // same `layout`, so releasing it through `System` is sound.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: caller contract forwarded verbatim to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` came from this allocator (which delegates
+        // to `System`), and `new_size` is the caller's contract to uphold.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
