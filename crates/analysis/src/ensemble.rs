@@ -29,8 +29,8 @@
 use mac_sim::metrics::{EnergyStats, LatencySample, OutcomeDigest};
 use mac_sim::tracer::{RecordingTracer, TraceFilter};
 use mac_sim::{
-    EngineMode, FeedbackModel, PolicyParams, PopulationMode, Protocol, SimConfig, Simulator,
-    WakePattern,
+    ChannelModel, ChurnScript, EngineMode, FaultCounts, FeedbackModel, PolicyParams,
+    PopulationMode, Protocol, SimConfig, Simulator, WakePattern,
 };
 use std::fmt;
 use std::io::Write;
@@ -117,6 +117,11 @@ pub struct EnsembleSpec {
     pub max_slots: Option<u64>,
     /// Channel feedback model.
     pub feedback: FeedbackModel,
+    /// Channel fault model (default [`ChannelModel::ideal`] — no faults,
+    /// bit-identical to a spec built before fault injection existed).
+    pub channel: ChannelModel,
+    /// Station churn script (default [`ChurnScript::none`]).
+    pub churn: ChurnScript,
     /// Base seed; run `i` uses seed `base_seed.wrapping_add(i)` (wrapping,
     /// so a base seed near `u64::MAX` is valid and cannot overflow).
     pub base_seed: u64,
@@ -158,6 +163,8 @@ impl EnsembleSpec {
             runs,
             max_slots: None,
             feedback: FeedbackModel::NoCollisionDetection,
+            channel: ChannelModel::ideal(),
+            churn: ChurnScript::none(),
             base_seed: 0,
             threads: std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -186,6 +193,18 @@ impl EnsembleSpec {
     /// Override the feedback model.
     pub fn with_feedback(mut self, fb: FeedbackModel) -> Self {
         self.feedback = fb;
+        self
+    }
+
+    /// Inject channel faults (erasure / false collision / capture).
+    pub fn with_channel(mut self, channel: ChannelModel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Inject station churn (crashes and re-wakes).
+    pub fn with_churn(mut self, churn: ChurnScript) -> Self {
+        self.churn = churn;
         self
     }
 
@@ -258,7 +277,9 @@ impl EnsembleSpec {
         let mut cfg = SimConfig::new(self.n)
             .with_feedback(self.feedback)
             .with_engine(self.engine)
-            .with_population(self.population);
+            .with_population(self.population)
+            .with_channel(self.channel)
+            .with_churn(self.churn.clone());
         if let Some(cap) = self.max_slots {
             cfg = cfg.with_max_slots(cap);
         }
@@ -470,6 +491,9 @@ pub struct EnsembleSummary {
     pub energy: EnergyStats,
     /// Engine-work counters over all runs.
     pub work: WorkStats,
+    /// Channel-fault and churn event totals over all runs (all zero for
+    /// an ideal channel without churn).
+    pub faults: FaultCounts,
     /// Execution statistics of the runner (throughput, steals, batches).
     pub exec: RunStats,
 }
@@ -486,6 +510,7 @@ impl EnsembleSummary {
             worst: 0,
             energy: EnergyStats::new(),
             work: WorkStats::default(),
+            faults: FaultCounts::default(),
             exec: RunStats::default(),
         }
     }
@@ -501,6 +526,7 @@ impl EnsembleSummary {
         self.worst = self.worst.max(p.worst);
         self.energy.merge(&p.energy);
         self.work.merge(&p.work);
+        self.faults.merge(&p.faults);
         for l in p.solved_latencies {
             let l = l as f64;
             self.latency.push(l);
@@ -747,6 +773,7 @@ struct StreamPartial {
     worst: u64,
     energy: EnergyStats,
     work: WorkStats,
+    faults: FaultCounts,
     solved_latencies: Vec<u64>,
     /// Run-tagged trace lines of this batch, in seed order (empty when the
     /// ensemble is untraced).
@@ -763,6 +790,7 @@ impl StreamPartial {
         self.worst = self.worst.max(d.sample.pessimistic());
         self.energy.absorb_digest(d);
         self.work.absorb_digest(d);
+        self.faults.merge(&d.faults);
         self.trace.extend_from_slice(trace);
     }
 }

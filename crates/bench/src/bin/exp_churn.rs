@@ -1,0 +1,6 @@
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::churn`; prefer `wakeup run exp_churn`.
+
+fn main() {
+    wakeup_bench::cli::shim("exp_churn")
+}

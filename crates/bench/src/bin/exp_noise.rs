@@ -1,0 +1,6 @@
+//! Shim: the experiment body lives in
+//! `wakeup_bench::experiments::noise`; prefer `wakeup run exp_noise`.
+
+fn main() {
+    wakeup_bench::cli::shim("exp_noise")
+}

@@ -676,9 +676,11 @@ mod tests {
         let Ok(Command::Run { names, .. }) = parse(&argv("run --all")) else {
             panic!("--all did not parse");
         };
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 17);
         assert!(names.contains(&"exp_full_resolution".to_string()));
         assert!(names.contains(&"exp_mega".to_string()));
+        assert!(names.contains(&"exp_noise".to_string()));
+        assert!(names.contains(&"exp_churn".to_string()));
     }
 
     #[test]

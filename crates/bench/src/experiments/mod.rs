@@ -1,4 +1,4 @@
-//! The experiment registry: all 15 experiments as data.
+//! The experiment registry: all 17 experiments as data.
 //!
 //! Each submodule holds one ported experiment body (the code that used to
 //! live in the corresponding `exp_*` binary) plus its [`Experiment`]
@@ -13,11 +13,13 @@ use crate::experiment::Experiment;
 pub mod ablations;
 pub mod balance;
 pub mod certify;
+pub mod churn;
 pub mod crossover;
 pub mod figures;
 pub mod full_resolution;
 pub mod lower_bound;
 pub mod mega;
+pub mod noise;
 pub mod randomized;
 pub mod scenario_a;
 pub mod scenario_b;
@@ -44,6 +46,8 @@ pub fn registry() -> Vec<Experiment> {
         full_resolution::EXP,
         certify::EXP,
         mega::EXP,
+        noise::EXP,
+        churn::EXP,
     ]
 }
 
@@ -59,9 +63,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.len(), 17);
         let names: std::collections::HashSet<&str> = reg.iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 15, "duplicate registry names");
+        assert_eq!(names.len(), 17, "duplicate registry names");
         for e in &reg {
             assert!(e.name.starts_with("exp_"), "{} not exp_-prefixed", e.name);
             assert!(!e.id.is_empty() && !e.title.is_empty() && !e.claim.is_empty());

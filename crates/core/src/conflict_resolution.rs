@@ -31,8 +31,8 @@
 use crate::family_provider::FamilyProvider;
 use crate::select_among_first::{DoublingSchedule, NextPositionCache};
 use mac_sim::{
-    Action, ClassStation, Feedback, Members, Protocol, Slot, Station, StationId, TxHint, TxTally,
-    Until,
+    Action, ClassStation, Feedback, MemberRemoval, Members, Protocol, Slot, Station, StationId,
+    TxHint, TxTally, Until,
 };
 use selectors::math::{log_n, next_congruent};
 use std::sync::Arc;
@@ -249,6 +249,18 @@ impl ClassStation for RetiringRoundRobinClass {
         match self.next_turn(after) {
             Some(slot) => TxHint::At(slot, Until::NextSuccess),
             None => TxHint::never(), // everyone resolved: silent forever
+        }
+    }
+
+    fn remove_member(&mut self, id: StationId) -> MemberRemoval {
+        // A churned member leaves the class exactly the way a retired one
+        // does: out of the RLE set, silent forever.
+        if self.members.remove(id.0) {
+            MemberRemoval::Removed {
+                emptied: self.members.is_empty(),
+            }
+        } else {
+            MemberRemoval::NotMember
         }
     }
 }

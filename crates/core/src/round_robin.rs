@@ -16,7 +16,8 @@
 //! stay optimal at large `k`.
 
 use mac_sim::{
-    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, TxWord,
+    Action, ClassStation, MemberRemoval, Members, Protocol, Slot, Station, StationId, TxHint,
+    TxTally, TxWord,
 };
 
 /// The round-robin protocol over `n` stations.
@@ -110,6 +111,18 @@ impl ClassStation for RoundRobinClass {
             }
         };
         TxHint::at(slot)
+    }
+
+    fn remove_member(&mut self, id: StationId) -> MemberRemoval {
+        // The schedule is oblivious, so dropping a member just shrinks the
+        // RLE set; the remaining members' turns are unchanged.
+        if self.members.remove(id.0) {
+            MemberRemoval::Removed {
+                emptied: self.members.is_empty(),
+            }
+        } else {
+            MemberRemoval::NotMember
+        }
     }
 }
 

@@ -21,8 +21,8 @@
 
 use crate::family_provider::{DynFamily, FamilyProvider};
 use mac_sim::{
-    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, TxWord,
-    Until,
+    Action, ClassStation, MemberRemoval, Members, Protocol, Slot, Station, StationId, TxHint,
+    TxTally, TxWord, Until,
 };
 use selectors::math::log_n;
 use std::sync::Arc;
@@ -478,6 +478,20 @@ impl ClassStation for SafClass {
             // Budget exhausted: silence proven strictly past `after`, so the
             // engine may skip to the bound and ask again.
             Scan::SilentBelow(b) => TxHint::Never(Until::Slot(self.s + b)),
+        }
+    }
+
+    fn remove_member(&mut self, id: StationId) -> MemberRemoval {
+        // The schedule is per-member and oblivious; removal shrinks the
+        // set. The scan memo may hold the departed member's hit, so
+        // restart it (proven silence only grows when members leave).
+        if self.members.remove(id.0) {
+            self.scan = AnyMemberScan::default();
+            MemberRemoval::Removed {
+                emptied: self.members.is_empty(),
+            }
+        } else {
+            MemberRemoval::NotMember
         }
     }
 }

@@ -30,8 +30,8 @@
 use crate::select_among_first::CLASS_SCAN_BUDGET;
 use crate::waking_matrix::{MatrixParams, WakingMatrix};
 use mac_sim::{
-    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, TxWord,
-    Until,
+    Action, ClassStation, MemberRemoval, Members, Protocol, Slot, Station, StationId, TxHint,
+    TxTally, TxWord, Until,
 };
 use selectors::prf::GapScanner;
 use std::sync::Arc;
@@ -345,6 +345,21 @@ impl ClassStation for WakeupNClass {
             TxHint::never()
         } else {
             TxHint::Never(Until::Slot(seg_end))
+        }
+    }
+
+    fn remove_member(&mut self, id: StationId) -> MemberRemoval {
+        // Walk geometry is batch-shared and unaffected; only the membership
+        // sweep shrinks. The proven-silent prefix stays valid (removal can
+        // only remove transmissions), but the memoized hit may be the
+        // departed member's, so drop it.
+        if self.members.remove(id.0) {
+            self.hit = None;
+            MemberRemoval::Removed {
+                emptied: self.members.is_empty(),
+            }
+        } else {
+            MemberRemoval::NotMember
         }
     }
 }

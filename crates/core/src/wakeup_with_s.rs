@@ -15,8 +15,8 @@ use crate::select_among_first::{
     AnyMemberScan, DoublingSchedule, NextPositionCache, Scan, CLASS_SCAN_BUDGET,
 };
 use mac_sim::{
-    Action, ClassStation, Members, Protocol, Slot, Station, StationId, TxHint, TxTally, TxWord,
-    Until,
+    Action, ClassStation, MemberRemoval, Members, Protocol, Slot, Station, StationId, TxHint,
+    TxTally, TxWord, Until,
 };
 use selectors::math::next_congruent;
 use std::sync::Arc;
@@ -234,6 +234,20 @@ impl ClassStation for WwsClass {
             // `after` (b > q0 ⇒ first_odd + 2b ≥ after + 2), and the bound
             // stays below rr_slot, so the round-robin turn is not skipped.
             Scan::SilentBelow(b) => TxHint::Never(Until::Slot(first_odd + 2 * b)),
+        }
+    }
+
+    fn remove_member(&mut self, id: StationId) -> MemberRemoval {
+        // Both sub-schedules are per-member, so removal only shrinks the
+        // set. The scan memo may describe the departed member's hits, so
+        // restart it — at worst a re-proved window, never a missed turn.
+        if self.members.remove(id.0) {
+            self.scan = AnyMemberScan::default();
+            MemberRemoval::Removed {
+                emptied: self.members.is_empty(),
+            }
+        } else {
+            MemberRemoval::NotMember
         }
     }
 }

@@ -15,20 +15,32 @@
 //! either strictly increases the first-success slot or is rejected. The
 //! pattern found is a certified *lower bound witness* on the protocol's
 //! worst-case latency — experiments report it alongside random patterns.
+//!
+//! With a non-zero [`SpoilerSearch::crash_budget`] the spoiler additionally
+//! exploits churn: instead of delaying the winner's wake-up it may **crash
+//! the winner** at its success slot (a [`ChurnEntry`] with no re-wake — the
+//! crash is processed before the station can transmit, voiding the
+//! success). This models an adversary controlling up to `crash_budget`
+//! fail-stop faults on top of the wake schedule; the witness then carries
+//! both the pattern *and* the churn script that realize the bound.
 
 use crate::engine::{Outcome, SimError, Simulator};
 use crate::ids::Slot;
-use crate::pattern::WakePattern;
+use crate::pattern::{ChurnEntry, ChurnScript, WakePattern};
 use crate::station::Protocol;
 
-/// Greedy delay-the-winner adversary.
+/// Greedy delay-the-winner adversary, optionally armed with fail-stop
+/// crash faults (crash-the-winner moves).
 #[derive(Clone, Debug)]
 pub struct SpoilerSearch {
-    /// Maximum number of reschedule moves to attempt.
+    /// Maximum number of moves (delays + crashes) to attempt.
     pub max_moves: usize,
     /// Never delay a wake-up beyond `s + horizon` (keeps the search inside
     /// the simulated window).
     pub horizon: Slot,
+    /// Maximum number of crash-the-winner moves (0 — the default — keeps
+    /// the classical churn-free adversary).
+    pub crash_budget: usize,
 }
 
 /// The result of a spoiler search.
@@ -36,16 +48,33 @@ pub struct SpoilerSearch {
 pub struct SpoiledPattern {
     /// The worst pattern found.
     pub pattern: WakePattern,
-    /// The outcome of the protocol under that pattern.
+    /// The churn script realizing the bound ([`ChurnScript::none`] when no
+    /// crash move was accepted). Replay with
+    /// `SimConfig::with_churn(script)` to reproduce the outcome.
+    pub churn: ChurnScript,
+    /// The outcome of the protocol under that pattern (and churn script).
     pub outcome: Outcome,
-    /// Number of accepted moves.
+    /// Number of accepted moves (delays + crashes).
     pub moves: usize,
+    /// Number of accepted crash-the-winner moves (≤ `crash_budget`).
+    pub crashes: usize,
 }
 
 impl SpoilerSearch {
     /// A search allowing `max_moves` moves within `horizon` slots of `s`.
     pub fn new(max_moves: usize, horizon: Slot) -> Self {
-        SpoilerSearch { max_moves, horizon }
+        SpoilerSearch {
+            max_moves,
+            horizon,
+            crash_budget: 0,
+        }
+    }
+
+    /// Arm the spoiler with up to `budget` fail-stop crash faults.
+    #[must_use]
+    pub fn with_crash_budget(mut self, budget: usize) -> Self {
+        self.crash_budget = budget;
+        self
     }
 
     /// Search for a bad pattern for `protocol`, starting from `start`
@@ -62,7 +91,8 @@ impl SpoilerSearch {
     ) -> Result<SpoiledPattern, SimError> {
         let s = start.s();
         let mut pattern = start;
-        let mut outcome = sim.run(protocol, &pattern, run_seed)?;
+        let mut crash_entries: Vec<ChurnEntry> = Vec::new();
+        let mut outcome = self.run_with(sim, protocol, &pattern, &crash_entries, run_seed)?;
         let mut moves = 0usize;
 
         while moves < self.max_moves {
@@ -70,38 +100,91 @@ impl SpoilerSearch {
                 // Already unsolved within the cap: cannot do better.
                 break;
             };
-            // Never move the last station anchored at `s`: some station must
-            // define `s` for the latency measure to stay comparable.
+
+            // Move 1 — delay the winner's wake-up to t + 1. Never move the
+            // last station anchored at `s`: some station must define `s`
+            // for the latency measure to stay comparable. Never delay past
+            // the horizon.
             let anchored = pattern.wakes().iter().filter(|&&(_, ts)| ts == s).count();
             let w_at_s = pattern.wake_of(w) == Some(s);
-            if w_at_s && anchored <= 1 {
-                break;
+            let mut delay: Option<(WakePattern, Outcome)> = None;
+            if !(w_at_s && anchored <= 1) && t < s + self.horizon {
+                let mut candidate = pattern.clone();
+                candidate.reschedule(w, t + 1);
+                let out = self.run_with(sim, protocol, &candidate, &crash_entries, run_seed)?;
+                delay = Some((candidate, out));
             }
-            if t + 1 > s + self.horizon {
-                break;
+
+            // Move 2 — crash the winner at its success slot (processed
+            // before it can transmit there, so the success is voided). One
+            // crash per station: the winner must not already be scripted.
+            let mut crash: Option<(Vec<ChurnEntry>, Outcome)> = None;
+            if crash_entries.len() < self.crash_budget && !crash_entries.iter().any(|e| e.id == w) {
+                let mut entries = crash_entries.clone();
+                entries.push(ChurnEntry {
+                    id: w,
+                    crash: t,
+                    rewake: None,
+                });
+                let out = self.run_with(sim, protocol, &pattern, &entries, run_seed)?;
+                crash = Some((entries, out));
             }
-            let mut candidate = pattern.clone();
-            candidate.reschedule(w, t + 1);
-            let cand_outcome = sim.run(protocol, &candidate, run_seed)?;
-            let improved = match (cand_outcome.first_success, outcome.first_success) {
-                (None, _) => true,
-                (Some(ct), Some(pt)) => ct > pt,
-                (Some(_), None) => false,
-            };
-            if improved {
-                pattern = candidate;
-                outcome = cand_outcome;
-                moves += 1;
-            } else {
-                break;
+
+            // Greedy accept: the move that pushes the first success
+            // furthest (censored counts as furthest); delay wins ties so
+            // the crash budget is spent only where scheduling alone cannot
+            // reach.
+            let gain = |o: &Outcome| o.first_success.unwrap_or(u64::MAX);
+            let delay_gain = delay.as_ref().map(|(_, o)| gain(o));
+            let crash_gain = crash.as_ref().map(|(_, o)| gain(o));
+            let best = delay_gain.max(crash_gain);
+            match best {
+                Some(g) if g > gain(&outcome) => {
+                    if delay_gain == best {
+                        let (candidate, out) = delay.expect("delay_gain == best");
+                        pattern = candidate;
+                        outcome = out;
+                    } else {
+                        let (entries, out) = crash.expect("crash_gain == best");
+                        crash_entries = entries;
+                        outcome = out;
+                    }
+                    moves += 1;
+                }
+                _ => break,
             }
         }
 
+        let crashes = crash_entries.len();
+        let churn =
+            ChurnScript::scripted(crash_entries).expect("crash entries are unique by construction");
         Ok(SpoiledPattern {
             pattern,
+            churn,
             outcome,
             moves,
+            crashes,
         })
+    }
+
+    /// One deterministic run of `pattern` under the crash entries collected
+    /// so far (the simulator's own churn config is replaced by the
+    /// spoiler's script; searches start from churn-free configs).
+    fn run_with(
+        &self,
+        sim: &Simulator,
+        protocol: &dyn Protocol,
+        pattern: &WakePattern,
+        crashes: &[ChurnEntry],
+        run_seed: u64,
+    ) -> Result<Outcome, SimError> {
+        if crashes.is_empty() {
+            return sim.run(protocol, pattern, run_seed);
+        }
+        let churn = ChurnScript::scripted(crashes.to_vec())
+            .expect("crash entries are unique by construction");
+        let spoofed = Simulator::new(sim.config().clone().with_churn(churn));
+        spoofed.run(protocol, pattern, run_seed)
     }
 }
 
@@ -174,5 +257,93 @@ mod tests {
             .unwrap();
         assert_eq!(spoiled.pattern, start);
         assert_eq!(spoiled.moves, 0);
+        assert!(spoiled.churn.is_empty());
+        assert_eq!(spoiled.crashes, 0);
+    }
+
+    #[test]
+    fn unarmed_spoiler_never_crashes_anyone() {
+        let sim = Simulator::new(SimConfig::new(8).with_max_slots(64));
+        let start = WakePattern::simultaneous(&ids(&[0, 1]), 0).unwrap();
+        let spoiled = SpoilerSearch::new(16, 64)
+            .search(&sim, &round_robin(8), start, 1)
+            .unwrap();
+        assert!(spoiled.churn.is_empty());
+        assert_eq!(spoiled.crashes, 0);
+    }
+
+    #[test]
+    fn crash_armed_spoiler_beats_the_anchor_limit() {
+        // A single station on round-robin: the delay move is blocked (the
+        // only station anchors `s`), so the unarmed spoiler cannot move at
+        // all. With a crash budget the spoiler kills the winner and the run
+        // censors — the worst possible outcome.
+        let sim = Simulator::new(SimConfig::new(4).with_max_slots(32));
+        let start = WakePattern::simultaneous(&ids(&[0]), 0).unwrap();
+        let unarmed = SpoilerSearch::new(8, 32)
+            .search(&sim, &round_robin(4), start.clone(), 0)
+            .unwrap();
+        assert_eq!(unarmed.moves, 0);
+        assert!(unarmed.outcome.solved());
+
+        let armed = SpoilerSearch::new(8, 32)
+            .with_crash_budget(1)
+            .search(&sim, &round_robin(4), start, 0)
+            .unwrap();
+        assert_eq!(armed.crashes, 1);
+        assert_eq!(
+            armed.outcome.first_success, None,
+            "winner crashed, run censors"
+        );
+        assert_eq!(armed.outcome.faults.churn_crashes, 1);
+        assert_eq!(armed.churn.entries().len(), 1);
+    }
+
+    #[test]
+    fn crash_budget_is_respected_and_script_replays() {
+        let sim = Simulator::new(SimConfig::new(8).with_max_slots(128));
+        let start = WakePattern::simultaneous(&ids(&[0, 1, 2, 3]), 0).unwrap();
+        let spoiled = SpoilerSearch::new(32, 128)
+            .with_crash_budget(2)
+            .search(&sim, &round_robin(8), start, 3)
+            .unwrap();
+        assert!(spoiled.crashes <= 2);
+        assert_eq!(spoiled.churn.entries().len(), spoiled.crashes);
+
+        // The witness replays: pattern + churn script reproduce the
+        // reported outcome bit-for-bit.
+        let replay_sim = Simulator::new(sim.config().clone().with_churn(spoiled.churn.clone()));
+        let replay = replay_sim
+            .run(&round_robin(8), &spoiled.pattern, 3)
+            .unwrap();
+        assert_eq!(replay.first_success, spoiled.outcome.first_success);
+        assert_eq!(replay.faults, spoiled.outcome.faults);
+    }
+
+    #[test]
+    fn spoiled_patterns_remain_valid_wake_patterns() {
+        // Whatever the spoiler does — delays, crashes, or both — the
+        // resulting pattern must survive WakePattern's own validation
+        // (sorted, duplicate-free, anchored at s).
+        let sim = Simulator::new(SimConfig::new(8).with_max_slots(128));
+        for seed in 0..4u64 {
+            let start = WakePattern::simultaneous(&ids(&[0, 2, 5, 7]), 3).unwrap();
+            let spoiled = SpoilerSearch::new(32, 128)
+                .with_crash_budget(2)
+                .search(&sim, &round_robin(8), start, seed)
+                .unwrap();
+            let rebuilt = WakePattern::new(spoiled.pattern.wakes().to_vec())
+                .expect("spoiled pattern must revalidate");
+            assert_eq!(rebuilt, spoiled.pattern);
+            assert_eq!(spoiled.pattern.s(), 3, "anchor at s preserved");
+            assert_eq!(spoiled.pattern.k(), 4, "no station lost or invented");
+            // Every crash entry targets a station that exists in the
+            // pattern and fires no earlier than its wake.
+            for e in spoiled.churn.entries() {
+                let wake = spoiled.pattern.wake_of(e.id).expect("crashed id exists");
+                assert!(e.crash >= wake);
+                assert_eq!(e.rewake, None, "spoiler crashes are permanent");
+            }
+        }
     }
 }

@@ -47,12 +47,16 @@
 //! number of time slots between the first spontaneous wakeup and the first
 //! successful transmission".
 
-use crate::channel::{FeedbackModel, SlotOutcome};
+use crate::channel::{
+    ChannelFault, ChannelModel, FaultCounts, Feedback, FeedbackModel, SlotOutcome,
+};
 use crate::ids::{Slot, StationId};
-use crate::pattern::WakePattern;
-use crate::population::{ClassPopulation, Population, PopulationMode, TxTally};
-use crate::rng::derive_seed;
-use crate::station::{Protocol, Station, TxHint, Until};
+use crate::pattern::{ChurnScript, WakePattern};
+use crate::population::{
+    ClassPopulation, DeadClass, MemberRemoval, Members, Population, PopulationMode, TxTally,
+};
+use crate::rng::{derive_seed, FAULT_STREAM, REWAKE_STREAM};
+use crate::station::{NeverTransmit, Protocol, Station, TxHint, Until};
 use crate::trace::{SlotRecord, Transcript};
 use crate::tracer::{BufferTracer, NoopTracer, TraceEvent, TraceKind, Tracer};
 use selectors::transpose64;
@@ -151,6 +155,21 @@ pub struct SimConfig {
     /// disables the guard. Outcomes are identical either way — the flip
     /// shows only in the work counters ([`Outcome::peak_units`] etc.).
     pub split_budget: Option<u64>,
+    /// Channel fault model ([`ChannelModel::ideal`] by default — every
+    /// ground-truth [`SlotOutcome`] is delivered verbatim). Faults are
+    /// drawn per slot from the run seed
+    /// (`derive_seed(run_seed, FAULT_STREAM)`), so the same
+    /// `(protocol, pattern, run_seed)` triple perturbs the same slots on
+    /// every engine path — outcomes and the deterministic trace tier stay
+    /// bit-identical across Dense/Sparse/Bitslab/Classes.
+    pub channel: ChannelModel,
+    /// Population churn ([`ChurnScript::none`] by default — the classical
+    /// model where the awake set only grows). Crash and re-wake slots are
+    /// a pure function of `(run_seed, id, wake)`, shared by every engine
+    /// path. A crashed station falls permanently silent (it is replaced by
+    /// an inert listener); a re-wake admits a **fresh** protocol instance
+    /// of the same ID, seeded from `derive_seed(run_seed, REWAKE_STREAM)`.
+    pub churn: ChurnScript,
 }
 
 impl SimConfig {
@@ -170,6 +189,8 @@ impl SimConfig {
             per_station_detail: true,
             policy: PolicyParams::default(),
             split_budget: None,
+            channel: ChannelModel::ideal(),
+            churn: ChurnScript::none(),
         }
     }
 
@@ -237,6 +258,18 @@ impl SimConfig {
     /// flip-to-concrete guard; see [`SimConfig::split_budget`]).
     pub fn with_split_budget(mut self, budget: Option<u64>) -> Self {
         self.split_budget = budget;
+        self
+    }
+
+    /// Set the channel fault model (see [`SimConfig::channel`]).
+    pub fn with_channel(mut self, channel: ChannelModel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Set the population churn script (see [`SimConfig::churn`]).
+    pub fn with_churn(mut self, churn: ChurnScript) -> Self {
+        self.churn = churn;
         self
     }
 }
@@ -340,6 +373,13 @@ pub struct Outcome {
     /// set only under [`StopRule::AllResolved`] when everyone resolved
     /// within the cap.
     pub all_resolved_at: Option<Slot>,
+    /// Channel-fault and churn event counts over the run (all zero under
+    /// the default ideal channel and empty churn script). Erasure, capture
+    /// and churn counts are engine-path-independent;
+    /// [`FaultCounts::false_collisions`] counts only *materialized* silent
+    /// slots and is therefore path-dependent, like
+    /// [`polls`](Outcome::polls).
+    pub faults: FaultCounts,
 }
 
 impl Outcome {
@@ -411,10 +451,13 @@ enum WordMemo {
 /// Result of one class-engine attempt under a live-unit budget (see
 /// [`SimConfig::split_budget`]).
 enum ClassRun {
-    /// The attempt ran to completion.
-    Done(Outcome),
-    /// Live units crossed the budget: abandon the attempt and re-run the
-    /// pattern on the concrete engine.
+    /// The attempt ran to completion (boxed: the variant would otherwise
+    /// dwarf `BudgetExceeded`).
+    Done(Box<Outcome>),
+    /// Live units crossed the budget — or a churn crash hit a class that
+    /// does not support member removal
+    /// ([`MemberRemoval::Unsupported`]): abandon the attempt and re-run
+    /// the pattern on the concrete engine, which handles churn natively.
     BudgetExceeded,
 }
 
@@ -766,6 +809,49 @@ impl<'a, T: Tracer + ?Sized> TraceCtx<'a, T> {
         }
     }
 
+    /// A success erased by the channel (deterministic tier: fault draws are
+    /// keyed by slot, so every engine path erases the same slots).
+    #[inline]
+    fn fault_erasure(&mut self, slot: Slot, winner: StationId) {
+        if self.tracer.wants(TraceKind::FaultErasure) {
+            self.flush_silence();
+            self.tracer
+                .record(&TraceEvent::FaultErasure { slot, winner });
+        }
+    }
+
+    /// A collision resolved by capture (deterministic tier).
+    #[inline]
+    fn fault_capture(&mut self, slot: Slot, winner: StationId, contenders: u64) {
+        if self.tracer.wants(TraceKind::FaultCapture) {
+            self.flush_silence();
+            self.tracer.record(&TraceEvent::FaultCapture {
+                slot,
+                winner,
+                contenders,
+            });
+        }
+    }
+
+    /// A station crashing out of the run (deterministic tier: crash slots
+    /// are materialized events on every engine path).
+    #[inline]
+    fn churn_crash(&mut self, slot: Slot, id: StationId) {
+        if self.tracer.wants(TraceKind::ChurnCrash) {
+            self.flush_silence();
+            self.tracer.record(&TraceEvent::ChurnCrash { slot, id });
+        }
+    }
+
+    /// A crashed station re-waking as a fresh instance (deterministic tier).
+    #[inline]
+    fn churn_rewake(&mut self, slot: Slot, id: StationId) {
+        if self.tracer.wants(TraceKind::ChurnRewake) {
+            self.flush_silence();
+            self.tracer.record(&TraceEvent::ChurnRewake { slot, id });
+        }
+    }
+
     /// Final event of every run; also flushes any trailing silence.
     fn run_end(&mut self, slots: u64, first_success: Option<Slot>) {
         self.flush_silence();
@@ -785,6 +871,36 @@ impl<'a, T: Tracer + ?Sized> TraceCtx<'a, T> {
             self.tracer.record(&ev);
         }
     }
+}
+
+/// Apply the configured channel-fault model to one resolved slot: returns
+/// the *effective* outcome heard on the channel, counting and tracing any
+/// fault. `truth` is the ground-truth resolution of the transmitter set;
+/// under the default ideal channel it passes through untouched (and no
+/// fault draw is made). Shared by every engine path — fault draws are a
+/// pure function of `(fault_seed, slot)`, so paths that materialize the
+/// same busy slots perturb them identically.
+fn apply_channel<T: Tracer + ?Sized>(
+    channel: &ChannelModel,
+    fault_seed: u64,
+    slot: Slot,
+    truth: SlotOutcome,
+    faults: &mut FaultCounts,
+    trace: &mut TraceCtx<'_, T>,
+) -> SlotOutcome {
+    let (effective, fault) = channel.apply(fault_seed, slot, truth);
+    match fault {
+        Some(ChannelFault::Erasure { winner }) => {
+            faults.erasures += 1;
+            trace.fault_erasure(slot, winner);
+        }
+        Some(ChannelFault::Capture { winner, contenders }) => {
+            faults.captures += 1;
+            trace.fault_capture(slot, winner, contenders.len() as u64);
+        }
+        None => {}
+    }
+    effective
 }
 
 /// Resolve one slot from the tally: exact IDs in the collecting regime
@@ -919,6 +1035,36 @@ impl Simulator {
         let mut resolved: Vec<(StationId, Slot)> = Vec::new();
         let mut all_resolved_at = None;
         let total_stations = wakes.len();
+
+        // Channel-fault plumbing. Draws are keyed by (fault_seed, slot) so
+        // every engine path perturbs the same slots; under the ideal
+        // channel apply_channel is the identity and no draw is made.
+        let fault_seed = derive_seed(run_seed, FAULT_STREAM);
+        let mishear_armed = self.cfg.channel.false_collision_ppm > 0
+            && self.cfg.feedback == FeedbackModel::CollisionDetection;
+        let mut faults = FaultCounts::default();
+
+        // Churn fates, materialized up front from the pattern (a pure
+        // function of (run_seed, id, wake) — engine-path-independent).
+        // Crash and re-wake slots become sparse events below so both
+        // engine paths process them at exactly their slot.
+        let mut crashes: Vec<(Slot, StationId)> = Vec::new();
+        let mut rewakes: Vec<(Slot, StationId)> = Vec::new();
+        if !self.cfg.churn.is_empty() {
+            for &(id, sigma) in wakes.iter() {
+                if let Some((crash, rewake)) = self.cfg.churn.fate(run_seed, id, sigma) {
+                    crashes.push((crash, id));
+                    if let Some(r) = rewake {
+                        rewakes.push((r, id));
+                    }
+                }
+            }
+            crashes.sort_unstable();
+            rewakes.sort_unstable();
+        }
+        let rewake_seed = derive_seed(run_seed, REWAKE_STREAM);
+        let mut next_crash = 0usize; // index into `crashes`
+        let mut next_rewake = 0usize; // index into `rewakes`
 
         // Sparse until any station answers TxHint::Dense (or a malformed
         // scope), which locks dense polling permanently, or until the
@@ -1072,6 +1218,68 @@ impl Simulator {
             if awake.len() > batch_start {
                 trace.wake(t, (awake.len() - batch_start) as u64);
             }
+            // Crash stations fated to die at or before t: the station is
+            // replaced by an inert listener (no dead-flag checks on the hot
+            // paths) and its live hint entry is superseded. A crash never
+            // shrinks `awake`, so indices stay stable.
+            while let Some(&(cslot, cid)) = crashes.get(next_crash) {
+                if cslot > t {
+                    break;
+                }
+                next_crash += 1;
+                if let Some(idx) = awake.iter().rposition(|(aid, _, _)| *aid == cid) {
+                    if let Some(entry) = awake.get_mut(idx) {
+                        entry.1 = Box::new(NeverTransmit);
+                    }
+                    if let Some(memo) = word_memos.get_mut(idx) {
+                        *memo = WordMemo::Stale;
+                    }
+                    // Supersede any live heap entry; an inert listener
+                    // needs no new one.
+                    if let Some(hs) = hint_states.get_mut(idx) {
+                        hs.epoch += 1;
+                        hs.success_scoped = false;
+                    }
+                    faults.churn_crashes += 1;
+                    trace.churn_crash(cslot, cid);
+                }
+            }
+            // Re-wake crashed stations fated to return at or before t, as
+            // fresh protocol instances under the re-wake seed stream (the
+            // old instance's state died with it).
+            while let Some(&(rslot, rid)) = rewakes.get(next_rewake) {
+                if rslot > t {
+                    break;
+                }
+                next_rewake += 1;
+                let mut station = protocol.station(rid, derive_seed(rewake_seed, u64::from(rid.0)));
+                station.wake(rslot);
+                hint_states.push(HintState::new());
+                if sparse {
+                    policy.win_cost += policy.p.hint_cost;
+                    if arm(
+                        station.as_mut(),
+                        awake.len(),
+                        t,
+                        &mut heap,
+                        &mut hint_states,
+                        &mut success_scoped,
+                    )
+                    .is_err()
+                    {
+                        sparse = false;
+                        locked = true;
+                        heap.clear();
+                        trace.engine_event(TraceEvent::ModeSwitch {
+                            slot: t,
+                            dense: true,
+                        });
+                    }
+                }
+                awake.push((rid, station, 0));
+                faults.churn_rewakes += 1;
+                trace.churn_rewake(rslot, rid);
+            }
             peak_units = peak_units.max(awake.len() as u64);
             if trace.wants(TraceKind::Watermark) {
                 let (h, u) = (heap.len() as u64, awake.len() as u64);
@@ -1147,18 +1355,30 @@ impl Simulator {
                     }
                     heap.pop();
                 }
-                // Next event: the earliest due entry or arrival.
+                // Next event: the earliest due entry, arrival, or churn
+                // event (crash/re-wake slots are processed at the loop top,
+                // so they must be landed on exactly — never skipped over).
                 let next_due = heap.peek().map(|&Reverse((slot, _, _))| slot);
                 let next_arrival = wakes.get(next_wake).map(|&(_, sigma)| sigma);
-                let event = match (next_due, next_arrival) {
-                    (Some(a), Some(b)) => a.min(b),
-                    (Some(a), None) => a,
-                    (None, Some(b)) => b,
-                    (None, None) => {
-                        // No due entries and nobody else wakes: no station
-                        // will transmit, so no event — not even a success
-                        // that could void a NextSuccess-scoped hint — can
-                        // occur. The rest of the run is provably silent.
+                let next_churn = crashes
+                    .get(next_crash)
+                    .map(|&(slot, _)| slot)
+                    .into_iter()
+                    .chain(rewakes.get(next_rewake).map(|&(slot, _)| slot))
+                    .min();
+                let event = match next_due
+                    .into_iter()
+                    .chain(next_arrival)
+                    .chain(next_churn)
+                    .min()
+                {
+                    Some(e) => e,
+                    None => {
+                        // No due entries, nobody else wakes, and no churn
+                        // pending: no station will transmit, so no event —
+                        // not even a success that could void a
+                        // NextSuccess-scoped hint — can occur. The rest of
+                        // the run is provably silent.
                         let remaining = self.cfg.max_slots - slots_simulated;
                         record_silence(&mut transcript, t, remaining);
                         trace.silence(t, remaining);
@@ -1277,7 +1497,20 @@ impl Simulator {
                     }
                 }
                 transmitters.sort_unstable();
-                let outcome = SlotOutcome::resolve(transmitters.clone());
+                let outcome = apply_channel(
+                    &self.cfg.channel,
+                    fault_seed,
+                    t,
+                    SlotOutcome::resolve(transmitters.clone()),
+                    &mut faults,
+                    &mut trace,
+                );
+                let mishear = mishear_armed
+                    && outcome == SlotOutcome::Silence
+                    && self.cfg.channel.mishears_silence(fault_seed, t);
+                if mishear {
+                    faults.false_collisions += 1;
+                }
 
                 if let Some(tr) = transcript.as_mut() {
                     tr.push(SlotRecord {
@@ -1380,7 +1613,11 @@ impl Simulator {
                 // Forever-scoped stations are oblivious, NextSuccess-scoped
                 // ones must ignore anything but a success, by contract.
                 for (&idx, &transmitted) in polled.iter().zip(transmitted_flags.iter()) {
-                    let fb = self.cfg.feedback.perceive(&outcome, transmitted);
+                    let fb = if mishear {
+                        Feedback::Noise
+                    } else {
+                        self.cfg.feedback.perceive(&outcome, transmitted)
+                    };
                     awake[idx].1.feedback(t, fb);
                 }
 
@@ -1457,6 +1694,14 @@ impl Simulator {
                 let mut tile_h = t + word_ramp;
                 if let Some(&(_, sigma)) = wakes.get(next_wake) {
                     tile_h = tile_h.min(sigma);
+                }
+                // Churn events are processed at the loop top: never tile
+                // past a pending crash or re-wake slot.
+                if let Some(&(crash, _)) = crashes.get(next_crash) {
+                    tile_h = tile_h.min(crash);
+                }
+                if let Some(&(rewake, _)) = rewakes.get(next_rewake) {
+                    tile_h = tile_h.min(rewake);
                 }
                 tile_h = tile_h.min(t + (self.cfg.max_slots - slots_simulated));
                 if self.cfg.engine == EngineMode::Auto {
@@ -1641,7 +1886,14 @@ impl Simulator {
                             transmissions += 1;
                         }
                         transmitters.sort_unstable();
-                        let outcome = SlotOutcome::resolve(transmitters.clone());
+                        let outcome = apply_channel(
+                            &self.cfg.channel,
+                            fault_seed,
+                            slot,
+                            SlotOutcome::resolve(transmitters.clone()),
+                            &mut faults,
+                            &mut trace,
+                        );
                         if let Some(tr) = transcript.as_mut() {
                             tr.push(SlotRecord {
                                 slot,
@@ -1703,7 +1955,28 @@ impl Simulator {
                                     awake[idx].1.feedback(slot, fb);
                                 }
                             }
-                            SlotOutcome::Silence => unreachable!("busy > 0"),
+                            SlotOutcome::Silence => {
+                                // busy > 0, yet silence: an erased success.
+                                // The slot is heard silent; the transmitter
+                                // gets silence feedback and the run goes on.
+                                silent_slots += 1;
+                                trace.silence(slot, 1);
+                                let mishear = mishear_armed
+                                    && self.cfg.channel.mishears_silence(fault_seed, slot);
+                                if mishear {
+                                    faults.false_collisions += 1;
+                                }
+                                for &idx in &word_tx_idx {
+                                    let fb = if mishear {
+                                        Feedback::Noise
+                                    } else {
+                                        self.cfg.feedback.perceive(&outcome, true)
+                                    };
+                                    if let Some(entry) = awake.get_mut(idx) {
+                                        entry.1.feedback(slot, fb);
+                                    }
+                                }
+                            }
                         }
                         j += 1;
                     }
@@ -1734,7 +2007,20 @@ impl Simulator {
                     }
                 }
                 transmitters.sort_unstable();
-                let outcome = SlotOutcome::resolve(transmitters.clone());
+                let outcome = apply_channel(
+                    &self.cfg.channel,
+                    fault_seed,
+                    t,
+                    SlotOutcome::resolve(transmitters.clone()),
+                    &mut faults,
+                    &mut trace,
+                );
+                let mishear = mishear_armed
+                    && outcome == SlotOutcome::Silence
+                    && self.cfg.channel.mishears_silence(fault_seed, t);
+                if mishear {
+                    faults.false_collisions += 1;
+                }
 
                 if let Some(tr) = transcript.as_mut() {
                     tr.push(SlotRecord {
@@ -1789,7 +2075,11 @@ impl Simulator {
                 for ((_, station, _), &transmitted) in
                     awake.iter_mut().zip(transmitted_flags.iter())
                 {
-                    let fb = self.cfg.feedback.perceive(&outcome, transmitted);
+                    let fb = if mishear {
+                        Feedback::Noise
+                    } else {
+                        self.cfg.feedback.perceive(&outcome, transmitted)
+                    };
                     station.feedback(t, fb);
                 }
 
@@ -1874,7 +2164,20 @@ impl Simulator {
             slots_simulated,
             transmissions,
             per_station_tx: if self.cfg.per_station_detail {
-                awake.iter().map(|(id, _, tx)| (*id, *tx)).collect()
+                if rewakes.is_empty() {
+                    awake.iter().map(|(id, _, tx)| (*id, *tx)).collect()
+                } else {
+                    // Re-wakes duplicate IDs in `awake`: merge each ID's
+                    // counts into its first occurrence (wake order).
+                    let mut merged: Vec<(StationId, u64)> = Vec::with_capacity(awake.len());
+                    for (id, _, tx) in awake.iter() {
+                        match merged.iter_mut().find(|(mid, _)| mid == id) {
+                            Some((_, count)) => *count += *tx,
+                            None => merged.push((*id, *tx)),
+                        }
+                    }
+                    merged
+                }
             } else {
                 Vec::new()
             },
@@ -1889,6 +2192,7 @@ impl Simulator {
             transcript,
             resolved,
             all_resolved_at,
+            faults,
         })
     }
 
@@ -1934,7 +2238,7 @@ impl Simulator {
         match self.run_classes(protocol, pattern, run_seed, population, &mut buffer, budget)? {
             ClassRun::Done(out) => {
                 buffer.flush();
-                Ok(out)
+                Ok(*out)
             }
             ClassRun::BudgetExceeded => {
                 buffer.discard();
@@ -1970,8 +2274,10 @@ impl Simulator {
         let mut transcript = self.cfg.record_transcript.then(Transcript::new);
         let detail = self.cfg.per_station_detail;
         // Transcripts and per-station detail need individual transmitter
-        // IDs; mega runs use weighted counts only.
-        let mut tally = TxTally::new(detail || self.cfg.record_transcript);
+        // IDs — as does capture, whose winner is drawn from the contender
+        // list; mega runs use weighted counts only.
+        let mut tally =
+            TxTally::new(detail || self.cfg.record_transcript || self.cfg.channel.capture_ppm > 0);
 
         let mut transmissions = 0u64;
         let mut collisions = 0u64;
@@ -1985,6 +2291,33 @@ impl Simulator {
         let mut peak_units = 0u64;
         let mut resolved: Vec<(StationId, Slot)> = Vec::new();
         let mut all_resolved_at = None;
+
+        // Channel-fault and churn plumbing — same derivations as the
+        // concrete engine, so both perturb identical slots and process
+        // identical crash/re-wake events.
+        let fault_seed = derive_seed(run_seed, FAULT_STREAM);
+        let mishear_armed = self.cfg.channel.false_collision_ppm > 0
+            && self.cfg.feedback == FeedbackModel::CollisionDetection;
+        let mut faults = FaultCounts::default();
+        let mut crashes: Vec<(Slot, StationId)> = Vec::new();
+        let mut rewakes: Vec<(Slot, StationId)> = Vec::new();
+        if !self.cfg.churn.is_empty() {
+            for (sigma, members) in batches.iter() {
+                for id in members.iter() {
+                    if let Some((crash, rewake)) = self.cfg.churn.fate(run_seed, id, *sigma) {
+                        crashes.push((crash, id));
+                        if let Some(r) = rewake {
+                            rewakes.push((r, id));
+                        }
+                    }
+                }
+            }
+            crashes.sort_unstable();
+            rewakes.sort_unstable();
+        }
+        let rewake_seed = derive_seed(run_seed, REWAKE_STREAM);
+        let mut next_crash = 0usize;
+        let mut next_rewake = 0usize;
 
         // Per-station transmission counts in wake order (detail mode only —
         // the table is O(k) by nature).
@@ -2054,6 +2387,108 @@ impl Simulator {
                 }
                 next_batch += 1;
             }
+            // Crash stations fated to die at or before t: remove the member
+            // from its class. Classes that cannot (protocol-owned
+            // aggregates answer [`MemberRemoval::Unsupported`]) abandon the
+            // attempt wholesale — the concrete engine handles churn
+            // natively. An emptied unit is replaced by an inert
+            // [`DeadClass`] so indices stay stable.
+            while let Some(&(cslot, cid)) = crashes.get(next_crash) {
+                if cslot > t {
+                    break;
+                }
+                next_crash += 1;
+                let mut hit = None;
+                for (idx, unit) in units.iter_mut().enumerate() {
+                    match unit.remove_member(cid) {
+                        MemberRemoval::NotMember => {}
+                        MemberRemoval::Removed { emptied } => {
+                            hit = Some((idx, emptied));
+                            break;
+                        }
+                        MemberRemoval::Unsupported => return Ok(ClassRun::BudgetExceeded),
+                    }
+                }
+                if let Some((idx, emptied)) = hit {
+                    if let Some(unit) = units.get_mut(idx) {
+                        if emptied {
+                            *unit = Box::new(DeadClass);
+                        }
+                        if sparse {
+                            // The unit's schedule changed: supersede its
+                            // hint and re-arm it from t.
+                            if install_hint(
+                                unit.next_transmission(t),
+                                idx,
+                                t,
+                                &mut heap,
+                                &mut hint_states,
+                                &mut success_scoped,
+                            )
+                            .is_err()
+                            {
+                                sparse = false;
+                                heap.clear();
+                                trace.engine_event(TraceEvent::ModeSwitch {
+                                    slot: t,
+                                    dense: true,
+                                });
+                            }
+                        } else if let Some(hs) = hint_states.get_mut(idx) {
+                            hs.epoch += 1;
+                            hs.success_scoped = false;
+                        }
+                    }
+                }
+                // Count and trace the crash even when no unit held the
+                // member (it already retired out of its class): the
+                // concrete engine keeps retired stations in `awake`, so it
+                // counts the crash — fault accounting is engine-path-
+                // independent.
+                faults.churn_crashes += 1;
+                trace.churn_crash(cslot, cid);
+            }
+            // Re-wake crashed stations as fresh single-member units under
+            // the re-wake seed stream (matching the concrete engine's
+            // re-wake instances). Transmission counts accumulate into the
+            // station's original detail row.
+            while let Some(&(rslot, rid)) = rewakes.get(next_rewake) {
+                if rslot > t {
+                    break;
+                }
+                next_rewake += 1;
+                if detail && !tx_index.contains_key(&rid) {
+                    tx_index.insert(rid, tx_counts.len());
+                    tx_counts.push((rid, 0));
+                }
+                let members = Members::from_sorted_ids(&[rid]);
+                for mut unit in population.admit(protocol, &members, rewake_seed) {
+                    unit.wake(rslot);
+                    let idx = units.len();
+                    hint_states.push(HintState::new());
+                    if sparse
+                        && install_hint(
+                            unit.next_transmission(t),
+                            idx,
+                            t,
+                            &mut heap,
+                            &mut hint_states,
+                            &mut success_scoped,
+                        )
+                        .is_err()
+                    {
+                        sparse = false;
+                        heap.clear();
+                        trace.engine_event(TraceEvent::ModeSwitch {
+                            slot: t,
+                            dense: true,
+                        });
+                    }
+                    units.push(unit);
+                }
+                faults.churn_rewakes += 1;
+                trace.churn_rewake(rslot, rid);
+            }
             if units.len() as u64 > budget {
                 return Ok(ClassRun::BudgetExceeded);
             }
@@ -2104,13 +2539,22 @@ impl Simulator {
                 }
                 let next_due = heap.peek().map(|&Reverse((slot, _, _))| slot);
                 let next_arrival = batches.get(next_batch).map(|&(sigma, _)| sigma);
-                let event = match (next_due, next_arrival) {
-                    (Some(a), Some(b)) => a.min(b),
-                    (Some(a), None) => a,
-                    (None, Some(b)) => b,
-                    (None, None) => {
-                        // No due entries and nobody else wakes: the rest of
-                        // the run is provably silent.
+                let next_churn = crashes
+                    .get(next_crash)
+                    .map(|&(slot, _)| slot)
+                    .into_iter()
+                    .chain(rewakes.get(next_rewake).map(|&(slot, _)| slot))
+                    .min();
+                let event = match next_due
+                    .into_iter()
+                    .chain(next_arrival)
+                    .chain(next_churn)
+                    .min()
+                {
+                    Some(e) => e,
+                    None => {
+                        // No due entries, nobody else wakes, no churn
+                        // pending: the rest of the run is provably silent.
                         let remaining = self.cfg.max_slots - slots_simulated;
                         record_silence(&mut transcript, t, remaining);
                         trace.silence(t, remaining);
@@ -2202,7 +2646,20 @@ impl Simulator {
                 }
                 let contenders = tally.total();
                 transmissions += contenders;
-                let outcome = slot_outcome(&mut tally);
+                let outcome = apply_channel(
+                    &self.cfg.channel,
+                    fault_seed,
+                    t,
+                    slot_outcome(&mut tally),
+                    &mut faults,
+                    &mut trace,
+                );
+                let mishear = mishear_armed
+                    && outcome == SlotOutcome::Silence
+                    && self.cfg.channel.mishears_silence(fault_seed, t);
+                if mishear {
+                    faults.false_collisions += 1;
+                }
 
                 if let Some(tr) = transcript.as_mut() {
                     tr.push(SlotRecord {
@@ -2316,7 +2773,11 @@ impl Simulator {
 
                 // Non-success feedback goes only to the polled units (the
                 // concrete sparse contract); splits are possible here too.
-                let fb = self.cfg.feedback.perceive(&outcome, false);
+                let fb = if mishear {
+                    Feedback::Noise
+                } else {
+                    self.cfg.feedback.perceive(&outcome, false)
+                };
                 let mut born: Vec<Box<dyn ClassStation>> = Vec::new();
                 for &idx in &polled {
                     born.append(&mut units[idx].feedback(t, fb));
@@ -2378,7 +2839,20 @@ impl Simulator {
             }
             let contenders = tally.total();
             transmissions += contenders;
-            let outcome = slot_outcome(&mut tally);
+            let outcome = apply_channel(
+                &self.cfg.channel,
+                fault_seed,
+                t,
+                slot_outcome(&mut tally),
+                &mut faults,
+                &mut trace,
+            );
+            let mishear = mishear_armed
+                && outcome == SlotOutcome::Silence
+                && self.cfg.channel.mishears_silence(fault_seed, t);
+            if mishear {
+                faults.false_collisions += 1;
+            }
 
             if let Some(tr) = transcript.as_mut() {
                 tr.push(SlotRecord {
@@ -2395,7 +2869,11 @@ impl Simulator {
 
             slots_simulated += 1;
             dense_steps += 1;
-            let fb = self.cfg.feedback.perceive(&outcome, false);
+            let fb = if mishear {
+                Feedback::Noise
+            } else {
+                self.cfg.feedback.perceive(&outcome, false)
+            };
             match &outcome {
                 SlotOutcome::Success(w) => {
                     trace.success(t, *w);
@@ -2458,7 +2936,7 @@ impl Simulator {
         }
 
         trace.run_end(slots_simulated, first_success);
-        Ok(ClassRun::Done(Outcome {
+        Ok(ClassRun::Done(Box::new(Outcome {
             s,
             first_success,
             winner,
@@ -2476,7 +2954,8 @@ impl Simulator {
             transcript,
             resolved,
             all_resolved_at,
-        }))
+            faults,
+        })))
     }
 }
 

@@ -89,13 +89,14 @@ pub mod station;
 pub mod trace;
 pub mod tracer;
 
-pub use channel::{Feedback, FeedbackModel, SlotOutcome};
+pub use adversary::{SpoiledPattern, SpoilerSearch};
+pub use channel::{ChannelFault, ChannelModel, FaultCounts, Feedback, FeedbackModel, SlotOutcome};
 pub use engine::{EngineMode, Outcome, PolicyParams, SimConfig, SimError, Simulator};
 pub use ids::{Slot, StationId};
-pub use pattern::{WakeBlock, WakePattern};
+pub use pattern::{ChurnEntry, ChurnError, ChurnScript, RandomChurn, WakeBlock, WakePattern};
 pub use population::{
-    ClassPopulation, ClassStation, ConcretePopulation, Members, Population, PopulationMode,
-    SingletonClass, TxTally,
+    ClassPopulation, ClassStation, ConcretePopulation, DeadClass, MemberRemoval, Members,
+    Population, PopulationMode, SingletonClass, TxTally,
 };
 pub use station::{Action, Protocol, Station, TxHint, TxWord, Until};
 pub use trace::Transcript;
@@ -106,15 +107,19 @@ pub use tracer::{
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
-    pub use crate::adversary::SpoilerSearch;
-    pub use crate::channel::{Feedback, FeedbackModel, SlotOutcome};
+    pub use crate::adversary::{SpoiledPattern, SpoilerSearch};
+    pub use crate::channel::{
+        ChannelFault, ChannelModel, FaultCounts, Feedback, FeedbackModel, SlotOutcome,
+    };
     pub use crate::engine::{EngineMode, Outcome, PolicyParams, SimConfig, SimError, Simulator};
     pub use crate::ids::{Slot, StationId};
     pub use crate::metrics::{EnergyStats, LatencySample, OutcomeDigest};
-    pub use crate::pattern::{IdChoice, WakeBlock, WakePattern};
+    pub use crate::pattern::{
+        ChurnEntry, ChurnError, ChurnScript, IdChoice, RandomChurn, WakeBlock, WakePattern,
+    };
     pub use crate::population::{
-        ClassPopulation, ClassStation, ConcretePopulation, Members, Population, PopulationMode,
-        SingletonClass, TxTally,
+        ClassPopulation, ClassStation, ConcretePopulation, DeadClass, MemberRemoval, Members,
+        Population, PopulationMode, SingletonClass, TxTally,
     };
     pub use crate::station::{Action, Protocol, Station, TxHint, TxWord, Until};
     pub use crate::trace::Transcript;

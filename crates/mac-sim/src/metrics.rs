@@ -6,6 +6,7 @@
 //! (transmission counts — the cost measure of the authors' power-sensitive
 //! line of work, implemented here as an extension metric).
 
+use crate::channel::FaultCounts;
 use crate::engine::Outcome;
 
 /// One latency observation, possibly censored by the slot cap.
@@ -76,6 +77,8 @@ pub struct OutcomeDigest {
     pub max_station_tx: u64,
     /// Collision slots.
     pub collisions: u64,
+    /// Channel-fault and churn event counters (`Outcome::faults`).
+    pub faults: FaultCounts,
 }
 
 impl OutcomeDigest {
@@ -98,6 +101,7 @@ impl OutcomeDigest {
                 .max()
                 .unwrap_or(0),
             collisions: out.collisions,
+            faults: out.faults,
         }
     }
 }
@@ -206,6 +210,7 @@ mod tests {
                 .into_iter()
                 .collect(),
             all_resolved_at: None,
+            faults: crate::channel::FaultCounts::default(),
         }
     }
 

@@ -22,6 +22,7 @@
 
 use crate::ids::{Slot, StationId};
 use crate::population::Members;
+use crate::rng::{derive_seed, CHURN_STREAM};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -429,6 +430,188 @@ impl IdChoice {
     }
 }
 
+/// One station's scripted fate: crash at a slot, optionally re-wake later.
+///
+/// A crash is processed at the top of the crashed slot — the station is
+/// replaced by an inert listener *before* it can transmit in that slot. A
+/// station that crashes in the same slot it wakes therefore never transmits
+/// at all. `rewake: None` is a permanent leave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEntry {
+    /// The station this entry applies to.
+    pub id: StationId,
+    /// The slot at which the station crashes (clamped to its wake slot if
+    /// earlier — a station cannot crash before it exists).
+    pub crash: Slot,
+    /// If `Some(t)`, the station re-wakes at slot `t` with a fresh protocol
+    /// state (it lost everything in the crash). Must be strictly after
+    /// `crash`.
+    pub rewake: Option<Slot>,
+}
+
+/// Seed-driven random churn: each waking station independently crashes with
+/// probability `crash_ppm` ppm, at a uniform slot within `lifetime` slots of
+/// waking, and (optionally) re-wakes a fixed delay later.
+///
+/// Fates are a pure function of `(run_seed, station id, wake slot)` — no
+/// engine-path or thread-count dependence — drawn from the dedicated
+/// [`CHURN_STREAM`] so they never correlate with protocol randomness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomChurn {
+    /// Per-station crash probability in parts-per-million.
+    pub crash_ppm: u32,
+    /// Crashes land uniformly in `wake + 1 ..= wake + lifetime`.
+    pub lifetime: Slot,
+    /// If `Some(d)`, every crashed station re-wakes `d` slots after its
+    /// crash; `None` makes every crash a permanent leave.
+    pub rewake_after: Option<u64>,
+}
+
+/// Errors constructing a [`ChurnScript`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnError {
+    /// The same station has two scripted fates.
+    DuplicateStation(StationId),
+    /// A scripted re-wake is not strictly after its crash.
+    RewakeNotAfterCrash(StationId),
+    /// Random churn with a zero crash window.
+    ZeroLifetime,
+    /// Random churn with a zero re-wake delay (a station cannot re-wake in
+    /// the slot it crashes).
+    ZeroRewakeDelay,
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::DuplicateStation(id) => {
+                write!(f, "station {id} has more than one churn entry")
+            }
+            ChurnError::RewakeNotAfterCrash(id) => {
+                write!(f, "station {id}: re-wake slot must be after the crash slot")
+            }
+            ChurnError::ZeroLifetime => write!(f, "random churn: lifetime must be ≥ 1"),
+            ChurnError::ZeroRewakeDelay => {
+                write!(f, "random churn: rewake_after must be ≥ 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
+/// The adversary's churn choice for a run: which stations crash when, and
+/// whether they come back. The default ([`ChurnScript::none`]) is completely
+/// inert and gated out of every engine hot path.
+///
+/// Explicit [`ChurnEntry`]s take precedence over the [`RandomChurn`] draw
+/// for their station.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnScript {
+    /// Explicit per-station fates, sorted by ID.
+    entries: Vec<ChurnEntry>,
+    /// Seed-driven fate for every station without an explicit entry.
+    random: Option<RandomChurn>,
+}
+
+impl ChurnScript {
+    /// No churn at all — identical to not threading a script through the
+    /// engine.
+    #[inline]
+    pub fn none() -> Self {
+        ChurnScript::default()
+    }
+
+    /// A script of explicit per-station fates.
+    pub fn scripted(mut entries: Vec<ChurnEntry>) -> Result<Self, ChurnError> {
+        entries.sort_by_key(|e| e.id);
+        for w in entries.windows(2) {
+            if w[0].id == w[1].id {
+                return Err(ChurnError::DuplicateStation(w[1].id));
+            }
+        }
+        for e in &entries {
+            if let Some(r) = e.rewake {
+                if r <= e.crash {
+                    return Err(ChurnError::RewakeNotAfterCrash(e.id));
+                }
+            }
+        }
+        Ok(ChurnScript {
+            entries,
+            random: None,
+        })
+    }
+
+    /// Seed-driven random churn for every waking station.
+    pub fn random(rc: RandomChurn) -> Result<Self, ChurnError> {
+        if rc.lifetime == 0 {
+            return Err(ChurnError::ZeroLifetime);
+        }
+        if rc.rewake_after == Some(0) {
+            return Err(ChurnError::ZeroRewakeDelay);
+        }
+        Ok(ChurnScript {
+            entries: Vec::new(),
+            random: Some(rc),
+        })
+    }
+
+    /// Add explicit entries on top of a random script (entries win for their
+    /// station).
+    pub fn with_entries(mut self, entries: Vec<ChurnEntry>) -> Result<Self, ChurnError> {
+        let random = self.random.take();
+        let mut s = ChurnScript::scripted(entries)?;
+        s.random = random;
+        Ok(s)
+    }
+
+    /// `true` iff this script can never crash anything.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.random.is_none_or(|rc| rc.crash_ppm == 0)
+    }
+
+    /// The explicit per-station entries, sorted by ID.
+    #[inline]
+    pub fn entries(&self) -> &[ChurnEntry] {
+        &self.entries
+    }
+
+    /// The random-churn component, if any.
+    #[inline]
+    pub fn random_churn(&self) -> Option<RandomChurn> {
+        self.random
+    }
+
+    /// The fate of station `id` waking at `wake`: `Some((crash, rewake))` if
+    /// it crashes, `None` if it lives out the run.
+    ///
+    /// Pure in `(run_seed, id, wake)` — identical across engine paths and
+    /// thread counts. Scripted crashes are clamped to the wake slot (a crash
+    /// cannot precede existence) with the re-wake pushed after the clamped
+    /// crash.
+    pub fn fate(&self, run_seed: u64, id: StationId, wake: Slot) -> Option<(Slot, Option<Slot>)> {
+        if let Ok(pos) = self.entries.binary_search_by_key(&id, |e| e.id) {
+            let e = self.entries[pos];
+            let crash = e.crash.max(wake);
+            let rewake = e.rewake.map(|r| r.max(crash + 1));
+            return Some((crash, rewake));
+        }
+        let rc = self.random?;
+        if rc.crash_ppm == 0 {
+            return None;
+        }
+        let h = derive_seed(derive_seed(run_seed, CHURN_STREAM), u64::from(id.0));
+        if h % 1_000_000 >= u64::from(rc.crash_ppm) {
+            return None;
+        }
+        let crash = wake + 1 + derive_seed(h, 1) % rc.lifetime;
+        let rewake = rc.rewake_after.map(|d| crash + d);
+        Some((crash, rewake))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -656,6 +839,140 @@ mod tests {
         assert_eq!(batches.len(), 2);
         assert_eq!(batches[0], (0, Members::range(0, 2)));
         assert_eq!(batches[1], (2, Members::range(5, 7)));
+    }
+
+    #[test]
+    fn churn_none_is_empty_and_fateless() {
+        let s = ChurnScript::none();
+        assert!(s.is_empty());
+        assert_eq!(s, ChurnScript::default());
+        for id in 0..64 {
+            assert_eq!(s.fate(42, StationId(id), 0), None);
+        }
+    }
+
+    #[test]
+    fn churn_scripted_validation() {
+        let dup = ChurnScript::scripted(vec![
+            ChurnEntry {
+                id: StationId(1),
+                crash: 5,
+                rewake: None,
+            },
+            ChurnEntry {
+                id: StationId(1),
+                crash: 9,
+                rewake: None,
+            },
+        ]);
+        assert_eq!(dup, Err(ChurnError::DuplicateStation(StationId(1))));
+        let bad_rewake = ChurnScript::scripted(vec![ChurnEntry {
+            id: StationId(2),
+            crash: 5,
+            rewake: Some(5),
+        }]);
+        assert_eq!(
+            bad_rewake,
+            Err(ChurnError::RewakeNotAfterCrash(StationId(2)))
+        );
+        assert_eq!(
+            ChurnScript::random(RandomChurn {
+                crash_ppm: 1,
+                lifetime: 0,
+                rewake_after: None,
+            }),
+            Err(ChurnError::ZeroLifetime)
+        );
+        assert_eq!(
+            ChurnScript::random(RandomChurn {
+                crash_ppm: 1,
+                lifetime: 10,
+                rewake_after: Some(0),
+            }),
+            Err(ChurnError::ZeroRewakeDelay)
+        );
+    }
+
+    #[test]
+    fn churn_scripted_fate_clamps_to_wake() {
+        let s = ChurnScript::scripted(vec![ChurnEntry {
+            id: StationId(3),
+            crash: 5,
+            rewake: Some(6),
+        }])
+        .unwrap();
+        assert!(!s.is_empty());
+        // Wake after the scripted crash: crash clamps to the wake slot and
+        // the re-wake is pushed past the clamped crash.
+        assert_eq!(s.fate(0, StationId(3), 10), Some((10, Some(11))));
+        // Wake before the crash: the script applies verbatim.
+        assert_eq!(s.fate(0, StationId(3), 0), Some((5, Some(6))));
+        // Other stations are untouched.
+        assert_eq!(s.fate(0, StationId(4), 0), None);
+    }
+
+    #[test]
+    fn churn_random_fate_is_pure_and_rate_bounded() {
+        let rc = RandomChurn {
+            crash_ppm: 500_000,
+            lifetime: 100,
+            rewake_after: Some(7),
+        };
+        let s = ChurnScript::random(rc).unwrap();
+        assert!(!s.is_empty());
+        let mut crashed = 0;
+        for id in 0..512 {
+            let a = s.fate(11, StationId(id), 20);
+            let b = s.fate(11, StationId(id), 20);
+            assert_eq!(a, b, "fate must be pure in (seed, id, wake)");
+            if let Some((crash, rewake)) = a {
+                crashed += 1;
+                assert!((21..=120).contains(&crash), "crash {crash} out of window");
+                assert_eq!(rewake, Some(crash + 7));
+            }
+        }
+        // ~50% rate: strictly between never and always.
+        assert!((100..412).contains(&crashed), "crashed {crashed}/512");
+        // A different seed crashes a different subset.
+        let other: Vec<_> = (0..512)
+            .map(|id| s.fate(12, StationId(id), 20).is_some())
+            .collect();
+        let this: Vec<_> = (0..512)
+            .map(|id| s.fate(11, StationId(id), 20).is_some())
+            .collect();
+        assert_ne!(this, other);
+    }
+
+    #[test]
+    fn churn_zero_ppm_random_is_empty() {
+        let s = ChurnScript::random(RandomChurn {
+            crash_ppm: 0,
+            lifetime: 10,
+            rewake_after: None,
+        })
+        .unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.fate(1, StationId(0), 0), None);
+    }
+
+    #[test]
+    fn churn_entries_override_random() {
+        let s = ChurnScript::random(RandomChurn {
+            crash_ppm: 1_000_000,
+            lifetime: 50,
+            rewake_after: None,
+        })
+        .unwrap()
+        .with_entries(vec![ChurnEntry {
+            id: StationId(7),
+            crash: 3,
+            rewake: Some(9),
+        }])
+        .unwrap();
+        // The explicit entry wins for station 7 ...
+        assert_eq!(s.fate(5, StationId(7), 0), Some((3, Some(9))));
+        // ... while everyone else still gets the certain random crash.
+        assert!(s.fate(5, StationId(8), 0).is_some());
     }
 
     #[test]

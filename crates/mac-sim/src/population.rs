@@ -366,6 +366,56 @@ pub trait ClassStation {
         let _ = after;
         TxHint::Dense
     }
+
+    /// Remove member `id` from the class (a churn crash: the member leaves
+    /// exactly like a retired one, without a success). Default:
+    /// [`MemberRemoval::Unsupported`] — the engine then falls back to a
+    /// concrete run for churned populations, preserving correctness for
+    /// class implementations that predate churn.
+    fn remove_member(&mut self, id: StationId) -> MemberRemoval {
+        let _ = id;
+        MemberRemoval::Unsupported
+    }
+}
+
+/// Result of [`ClassStation::remove_member`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemberRemoval {
+    /// `id` is not a member of this unit; try the next one.
+    NotMember,
+    /// `id` was removed; `emptied` is `true` when the unit's last member
+    /// left (the engine replaces it with an inert [`DeadClass`]).
+    Removed {
+        /// `true` iff the unit now has weight 0.
+        emptied: bool,
+    },
+    /// This class implementation cannot remove members mid-run.
+    Unsupported,
+}
+
+/// An inert unit standing in for crashed members: weight 0, never
+/// transmits, never splits. What a [`ClassStation`] becomes when churn
+/// empties it (the class-engine analogue of replacing a crashed concrete
+/// station with [`NeverTransmit`](crate::station::NeverTransmit)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeadClass;
+
+impl ClassStation for DeadClass {
+    fn weight(&self) -> u64 {
+        0
+    }
+
+    fn wake(&mut self, _sigma: Slot) {}
+
+    fn act(&mut self, _t: Slot, _tally: &mut TxTally) {}
+
+    fn next_transmission(&mut self, _after: Slot) -> TxHint {
+        TxHint::never()
+    }
+
+    fn remove_member(&mut self, _id: StationId) -> MemberRemoval {
+        MemberRemoval::NotMember
+    }
 }
 
 /// A weight-1 [`ClassStation`] wrapping one concrete [`Station`] — the
@@ -410,6 +460,14 @@ impl ClassStation for SingletonClass {
 
     fn next_transmission(&mut self, after: Slot) -> TxHint {
         self.inner.next_transmission(after)
+    }
+
+    fn remove_member(&mut self, id: StationId) -> MemberRemoval {
+        if id == self.id {
+            MemberRemoval::Removed { emptied: true }
+        } else {
+            MemberRemoval::NotMember
+        }
     }
 }
 
@@ -600,5 +658,29 @@ mod tests {
     fn tally_rejects_anonymous_singleton() {
         let mut t = TxTally::new(false);
         t.add_anonymous(1);
+    }
+
+    #[test]
+    fn singleton_remove_member_is_exact() {
+        use crate::station::AlwaysTransmit;
+        let mut s = SingletonClass::new(StationId(3), Box::new(AlwaysTransmit));
+        assert_eq!(s.remove_member(StationId(4)), MemberRemoval::NotMember);
+        assert_eq!(
+            s.remove_member(StationId(3)),
+            MemberRemoval::Removed { emptied: true }
+        );
+    }
+
+    #[test]
+    fn dead_class_is_inert() {
+        let mut d = DeadClass;
+        assert_eq!(d.weight(), 0);
+        d.wake(0);
+        let mut tally = TxTally::new(true);
+        d.act(5, &mut tally);
+        assert_eq!(tally.total(), 0);
+        assert_eq!(d.next_transmission(0), TxHint::never());
+        assert!(d.feedback(5, Feedback::Silence).is_empty());
+        assert_eq!(d.remove_member(StationId(0)), MemberRemoval::NotMember);
     }
 }

@@ -29,6 +29,22 @@ pub fn derive_seed(seed: u64, stream: u64) -> u64 {
     split_mix64(seed ^ split_mix64(stream.wrapping_add(0xA076_1D64_78BD_642F)))
 }
 
+/// Stream tag for the per-run channel-fault draw sequence: the fault layer
+/// draws from `derive_seed(derive_seed(run_seed, FAULT_STREAM), slot)`.
+/// All stream tags live far above `u32::MAX` so they can never collide with
+/// the per-station streams (`derive_seed(run_seed, id)` with `id < 2^32`).
+pub const FAULT_STREAM: u64 = 0x4641_554C_5400_0001;
+
+/// Stream tag for per-station random-churn fate draws
+/// (`derive_seed(derive_seed(run_seed, CHURN_STREAM), id)`).
+pub const CHURN_STREAM: u64 = 0x4348_5552_4E00_0001;
+
+/// Stream tag for re-woken stations: a station that crashes and re-wakes is
+/// re-instantiated with `derive_seed(derive_seed(run_seed, REWAKE_STREAM),
+/// id)` — a fresh seed decorrelated from its first life, identical across
+/// engine paths.
+pub const REWAKE_STREAM: u64 = 0x5245_5741_4B00_0001;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +81,16 @@ mod tests {
         let base = derive_seed(100, 5);
         assert_ne!(base, derive_seed(101, 5));
         assert_ne!(base, derive_seed(100, 6));
+    }
+
+    #[test]
+    fn stream_tags_are_distinct_and_above_station_ids() {
+        for s in [FAULT_STREAM, CHURN_STREAM, REWAKE_STREAM] {
+            assert!(s > u64::from(u32::MAX), "tag {s:#x} collides with IDs");
+        }
+        assert_ne!(FAULT_STREAM, CHURN_STREAM);
+        assert_ne!(CHURN_STREAM, REWAKE_STREAM);
+        assert_ne!(FAULT_STREAM, REWAKE_STREAM);
     }
 
     #[test]

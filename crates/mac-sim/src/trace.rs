@@ -140,6 +140,44 @@ impl Transcript {
         violations
     }
 
+    /// Channel-model invariants relaxed for runs under a faulty
+    /// [`ChannelModel`](crate::channel::ChannelModel).
+    ///
+    /// Transcripts record the *effective* outcome (post-fault) against the
+    /// ground-truth transmitter set, so the strict `resolve(tx) == outcome`
+    /// rule no longer holds. What still must hold per slot:
+    ///
+    /// * `Silence` with at most one transmitter (an erased success or true
+    ///   silence — a collision can never be erased to silence);
+    /// * `Success(w)` with `w` among ≥ 1 transmitters (true success or a
+    ///   capture winner drawn from the contenders);
+    /// * `Collision` only with *exactly* the recorded set, length ≥ 2
+    ///   (faults never invent transmitters);
+    /// * slots contiguous, transmitter lists sorted and duplicate-free.
+    ///
+    /// No success-is-terminal rule: under erasure a run may continue past a
+    /// ground-truth solo transmission.
+    pub fn check_invariants_faulty(&self) -> Vec<InvariantViolation> {
+        let mut violations = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 && r.slot != self.records[i - 1].slot + 1 {
+                violations.push(InvariantViolation::NonContiguousSlots { at: i });
+            }
+            if r.transmitters.windows(2).any(|w| w[0] >= w[1]) {
+                violations.push(InvariantViolation::MalformedTransmitters { slot: r.slot });
+            }
+            let ok = match &r.outcome {
+                SlotOutcome::Silence => r.transmitters.len() <= 1,
+                SlotOutcome::Success(w) => !r.transmitters.is_empty() && r.transmitters.contains(w),
+                SlotOutcome::Collision(set) => set.len() >= 2 && *set == r.transmitters,
+            };
+            if !ok {
+                violations.push(InvariantViolation::OutcomeMismatch { slot: r.slot });
+            }
+        }
+        violations
+    }
+
     /// Slots of all successful transmissions, with their winners.
     pub fn successes(&self) -> Vec<(Slot, StationId)> {
         self.records
@@ -239,6 +277,68 @@ mod tests {
         });
         let v = t.check_invariants();
         assert!(v.contains(&InvariantViolation::MalformedTransmitters { slot: 0 }));
+    }
+
+    #[test]
+    fn faulty_checker_permits_fault_shapes_only() {
+        let mut t = Transcript::new();
+        // Erased success: one transmitter, heard as silence.
+        t.push(SlotRecord {
+            slot: 0,
+            transmitters: vec![StationId(3)],
+            outcome: SlotOutcome::Silence,
+        });
+        // Capture: two transmitters, one wins.
+        t.push(SlotRecord {
+            slot: 1,
+            transmitters: vec![StationId(1), StationId(2)],
+            outcome: SlotOutcome::Success(StationId(2)),
+        });
+        // Ordinary slots still pass.
+        t.push(rec(2, &[]));
+        t.push(rec(3, &[4, 5, 6]));
+        t.push(rec(4, &[7]));
+        assert!(t.check_invariants_faulty().is_empty());
+        // The strict checker rejects the faulted slots (and only those).
+        let strict = t.check_invariants_multi_success();
+        assert_eq!(
+            strict,
+            vec![
+                InvariantViolation::OutcomeMismatch { slot: 0 },
+                InvariantViolation::OutcomeMismatch { slot: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn faulty_checker_still_rejects_impossible_slots() {
+        let mut t = Transcript::new();
+        // A collision can never be erased to silence.
+        t.push(SlotRecord {
+            slot: 0,
+            transmitters: vec![StationId(1), StationId(2)],
+            outcome: SlotOutcome::Silence,
+        });
+        // A capture winner must be a contender.
+        t.push(SlotRecord {
+            slot: 1,
+            transmitters: vec![StationId(1), StationId(2)],
+            outcome: SlotOutcome::Success(StationId(9)),
+        });
+        // Faults never invent transmitters.
+        t.push(SlotRecord {
+            slot: 2,
+            transmitters: vec![StationId(1)],
+            outcome: SlotOutcome::Collision(vec![StationId(1), StationId(2)]),
+        });
+        assert_eq!(
+            t.check_invariants_faulty(),
+            vec![
+                InvariantViolation::OutcomeMismatch { slot: 0 },
+                InvariantViolation::OutcomeMismatch { slot: 1 },
+                InvariantViolation::OutcomeMismatch { slot: 2 },
+            ]
+        );
     }
 
     #[test]

@@ -66,10 +66,21 @@ pub enum TraceKind {
     ClassMerge,
     /// Heap size / live-unit high-water advanced (engine-specific).
     Watermark,
+    /// The channel erased a successful transmission to silence
+    /// (deterministic: faults are pure in `(run_seed, slot)`).
+    FaultErasure,
+    /// The channel captured a collision as one contender's success
+    /// (deterministic).
+    FaultCapture,
+    /// A station crashed per the churn script (deterministic: fates are
+    /// pure in `(run_seed, id, wake slot)`).
+    ChurnCrash,
+    /// A crashed station re-woke with fresh state (deterministic).
+    ChurnRewake,
 }
 
 /// Number of distinct [`TraceKind`]s.
-pub const KIND_COUNT: usize = 12;
+pub const KIND_COUNT: usize = 16;
 
 impl TraceKind {
     /// Every kind, in index order.
@@ -86,6 +97,10 @@ impl TraceKind {
         TraceKind::ClassSplit,
         TraceKind::ClassMerge,
         TraceKind::Watermark,
+        TraceKind::FaultErasure,
+        TraceKind::FaultCapture,
+        TraceKind::ChurnCrash,
+        TraceKind::ChurnRewake,
     ];
 
     /// Dense index of this kind (for per-kind counters).
@@ -109,6 +124,10 @@ impl TraceKind {
             TraceKind::ClassSplit => "class_split",
             TraceKind::ClassMerge => "class_merge",
             TraceKind::Watermark => "watermark",
+            TraceKind::FaultErasure => "fault_erasure",
+            TraceKind::FaultCapture => "fault_capture",
+            TraceKind::ChurnCrash => "churn_crash",
+            TraceKind::ChurnRewake => "churn_rewake",
         }
     }
 
@@ -119,6 +138,9 @@ impl TraceKind {
 
     /// `true` for the channel-observable kinds whose streams are
     /// bit-identical across engines and population modes for a fixed seed.
+    /// Fault and churn events qualify: faults are pure functions of
+    /// `(run_seed, slot)` and churn fates of `(run_seed, id, wake)`, so
+    /// every engine path sees the same events at the same slots.
     #[inline]
     pub fn deterministic(self) -> bool {
         matches!(
@@ -128,6 +150,10 @@ impl TraceKind {
                 | TraceKind::Success
                 | TraceKind::Collision
                 | TraceKind::RunEnd
+                | TraceKind::FaultErasure
+                | TraceKind::FaultCapture
+                | TraceKind::ChurnCrash
+                | TraceKind::ChurnRewake
         )
     }
 }
@@ -223,6 +249,37 @@ pub enum TraceEvent {
         /// Live simulation units (stations or classes).
         units: u64,
     },
+    /// The channel erased `winner`'s solo transmission at `slot`.
+    FaultErasure {
+        /// The erased slot (recorded as silence).
+        slot: Slot,
+        /// The station whose success was lost.
+        winner: StationId,
+    },
+    /// The channel captured a `contenders`-way collision at `slot` as
+    /// `winner`'s success.
+    FaultCapture {
+        /// The captured slot (recorded as a success).
+        slot: Slot,
+        /// The surviving transmitter.
+        winner: StationId,
+        /// Ground-truth number of simultaneous transmitters.
+        contenders: u64,
+    },
+    /// Station `id` crashed at `slot` per the churn script.
+    ChurnCrash {
+        /// The crash slot (the station is inert from this slot on).
+        slot: Slot,
+        /// The crashed station.
+        id: StationId,
+    },
+    /// Station `id` re-woke at `slot` with fresh protocol state.
+    ChurnRewake {
+        /// The re-wake slot.
+        slot: Slot,
+        /// The re-woken station.
+        id: StationId,
+    },
 }
 
 impl TraceEvent {
@@ -242,6 +299,10 @@ impl TraceEvent {
             TraceEvent::ClassSplit { .. } => TraceKind::ClassSplit,
             TraceEvent::ClassMerge { .. } => TraceKind::ClassMerge,
             TraceEvent::Watermark { .. } => TraceKind::Watermark,
+            TraceEvent::FaultErasure { .. } => TraceKind::FaultErasure,
+            TraceEvent::FaultCapture { .. } => TraceKind::FaultCapture,
+            TraceEvent::ChurnCrash { .. } => TraceKind::ChurnCrash,
+            TraceEvent::ChurnRewake { .. } => TraceKind::ChurnRewake,
         }
     }
 
@@ -259,7 +320,11 @@ impl TraceEvent {
             | TraceEvent::BurstClose { slot }
             | TraceEvent::ClassSplit { slot, .. }
             | TraceEvent::ClassMerge { slot, .. }
-            | TraceEvent::Watermark { slot, .. } => slot,
+            | TraceEvent::Watermark { slot, .. }
+            | TraceEvent::FaultErasure { slot, .. }
+            | TraceEvent::FaultCapture { slot, .. }
+            | TraceEvent::ChurnCrash { slot, .. }
+            | TraceEvent::ChurnRewake { slot, .. } => slot,
             TraceEvent::RunEnd { slots, .. } => slots,
         }
     }
@@ -315,6 +380,26 @@ impl TraceEvent {
             TraceEvent::Watermark { slot, heap, units } => {
                 let _ = write!(s, ",\"slot\":{slot},\"heap\":{heap},\"units\":{units}");
             }
+            TraceEvent::FaultErasure { slot, winner } => {
+                let _ = write!(s, ",\"slot\":{slot},\"winner\":{}", winner.0);
+            }
+            TraceEvent::FaultCapture {
+                slot,
+                winner,
+                contenders,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"slot\":{slot},\"winner\":{},\"contenders\":{contenders}",
+                    winner.0
+                );
+            }
+            TraceEvent::ChurnCrash { slot, id } => {
+                let _ = write!(s, ",\"slot\":{slot},\"id\":{}", id.0);
+            }
+            TraceEvent::ChurnRewake { slot, id } => {
+                let _ = write!(s, ",\"slot\":{slot},\"id\":{}", id.0);
+            }
         }
         s
     }
@@ -328,7 +413,7 @@ impl TraceEvent {
 /// Kind mask + keep-every-Nth sampling configuration shared by all tracers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceFilter {
-    mask: u16,
+    mask: u32,
     every: u64,
 }
 
@@ -336,14 +421,14 @@ impl TraceFilter {
     /// Admit every kind, unsampled.
     pub fn all() -> Self {
         TraceFilter {
-            mask: (1 << KIND_COUNT as u16) - 1,
+            mask: (1u32 << KIND_COUNT) - 1,
             every: 1,
         }
     }
 
     /// Admit only the deterministic kinds (the diffable stream), unsampled.
     pub fn deterministic() -> Self {
-        let mut mask = 0u16;
+        let mut mask = 0u32;
         for k in TraceKind::ALL {
             if k.deterministic() {
                 mask |= 1 << k.index();
@@ -768,8 +853,49 @@ mod tests {
                 TraceKind::Silence,
                 TraceKind::Success,
                 TraceKind::Collision,
-                TraceKind::RunEnd
+                TraceKind::RunEnd,
+                TraceKind::FaultErasure,
+                TraceKind::FaultCapture,
+                TraceKind::ChurnCrash,
+                TraceKind::ChurnRewake,
             ]
+        );
+    }
+
+    #[test]
+    fn fault_and_churn_json_rendering() {
+        assert_eq!(
+            TraceEvent::FaultErasure {
+                slot: 9,
+                winner: StationId(4)
+            }
+            .to_json(),
+            "{\"ev\":\"fault_erasure\",\"slot\":9,\"winner\":4}"
+        );
+        assert_eq!(
+            TraceEvent::FaultCapture {
+                slot: 10,
+                winner: StationId(2),
+                contenders: 3
+            }
+            .to_json(),
+            "{\"ev\":\"fault_capture\",\"slot\":10,\"winner\":2,\"contenders\":3}"
+        );
+        assert_eq!(
+            TraceEvent::ChurnCrash {
+                slot: 11,
+                id: StationId(5)
+            }
+            .to_json(),
+            "{\"ev\":\"churn_crash\",\"slot\":11,\"id\":5}"
+        );
+        assert_eq!(
+            TraceEvent::ChurnRewake {
+                slot: 12,
+                id: StationId(5)
+            }
+            .to_json(),
+            "{\"ev\":\"churn_rewake\",\"slot\":12,\"id\":5}"
         );
     }
 

@@ -1,0 +1,621 @@
+//! Fault-injection and churn properties.
+//!
+//! Two families of guarantees:
+//!
+//! 1. **Zero-fault identity.** A config that *explicitly* carries the ideal
+//!    channel and the empty churn script must be bit-identical — full
+//!    `Outcome`, work counters included — to the plain config on the same
+//!    engine path, across Dense / sparse Auto / Bitslab / Classes × both
+//!    feedback models × both stop rules. The fault layer must be free when
+//!    unused.
+//!
+//! 2. **Faulty-run engine independence.** With nonzero erasure / capture
+//!    rates and churn scripts, every engine path must still agree on all
+//!    observables (winner, latency, transcript, per-station energy,
+//!    resolution order), on the deterministic-tier trace stream (fault and
+//!    churn events included), and on the path-independent fault counters
+//!    (`erasures`, `captures`, `churn_crashes`, `churn_rewakes`). Only
+//!    `false_collisions` may differ — mishearing is perception-only and,
+//!    like `polls`, exists only on slots a path materializes.
+//!
+//! Plus targeted robustness cases: full-rate erasure starves a run, capture
+//! resolves collisions, permanent crashes censor `AllResolved` runs without
+//! hanging, and crashing an already-retired station is still accounted.
+
+use mac_sim::engine::StopRule;
+use mac_wakeup::prelude::*;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+/// The four observably-equivalent engine paths.
+#[derive(Clone, Copy, Debug)]
+enum Path {
+    Dense,
+    Sparse,
+    Bitslab,
+    Classes,
+}
+
+const PATHS: [Path; 4] = [Path::Dense, Path::Sparse, Path::Bitslab, Path::Classes];
+
+fn base_cfg(n: u32, stop: StopRule, fb: FeedbackModel, cap: Option<u64>) -> SimConfig {
+    let mut cfg = SimConfig::new(n).with_transcript().with_feedback(fb);
+    if stop == StopRule::AllResolved {
+        cfg = cfg.until_all_resolved();
+    }
+    if let Some(cap) = cap {
+        cfg = cfg.with_max_slots(cap);
+    }
+    cfg
+}
+
+fn on_path(cfg: SimConfig, path: Path) -> SimConfig {
+    match path {
+        Path::Dense => cfg.with_engine(EngineMode::Dense),
+        Path::Sparse => cfg,
+        Path::Bitslab => cfg.with_engine(EngineMode::Bitslab),
+        Path::Classes => cfg.with_classes(),
+    }
+}
+
+/// Run once, recording the deterministic (channel-tier) trace stream.
+fn run_traced(
+    cfg: &SimConfig,
+    protocol: &dyn Protocol,
+    pattern: &WakePattern,
+    run_seed: u64,
+) -> (Outcome, Vec<TraceEvent>) {
+    let mut rec = RecordingTracer::with_filter(TraceFilter::deterministic());
+    let out = Simulator::new(cfg.clone())
+        .run_traced(protocol, pattern, run_seed, &mut rec)
+        .expect("run");
+    (out, rec.into_events())
+}
+
+/// Assert cross-path agreement on every observable and on the
+/// path-independent fault counters (`false_collisions` excepted).
+fn assert_observables_equal(a: &Outcome, b: &Outcome, label: &str, ctx: &str) {
+    assert_eq!(a.s, b.s, "s ({label}): {ctx}");
+    assert_eq!(
+        a.first_success, b.first_success,
+        "first_success ({label}): {ctx}"
+    );
+    assert_eq!(a.winner, b.winner, "winner ({label}): {ctx}");
+    assert_eq!(
+        a.slots_simulated, b.slots_simulated,
+        "slots_simulated ({label}): {ctx}"
+    );
+    assert_eq!(
+        a.transmissions, b.transmissions,
+        "transmissions ({label}): {ctx}"
+    );
+    assert_eq!(
+        a.per_station_tx, b.per_station_tx,
+        "per_station_tx ({label}): {ctx}"
+    );
+    assert_eq!(a.collisions, b.collisions, "collisions ({label}): {ctx}");
+    assert_eq!(
+        a.silent_slots, b.silent_slots,
+        "silent_slots ({label}): {ctx}"
+    );
+    assert_eq!(a.resolved, b.resolved, "resolved ({label}): {ctx}");
+    assert_eq!(
+        a.all_resolved_at, b.all_resolved_at,
+        "all_resolved_at ({label}): {ctx}"
+    );
+    assert_eq!(a.transcript, b.transcript, "transcript ({label}): {ctx}");
+    assert_eq!(
+        a.faults.erasures, b.faults.erasures,
+        "erasures ({label}): {ctx}"
+    );
+    assert_eq!(
+        a.faults.captures, b.faults.captures,
+        "captures ({label}): {ctx}"
+    );
+    assert_eq!(
+        a.faults.churn_crashes, b.faults.churn_crashes,
+        "churn_crashes ({label}): {ctx}"
+    );
+    assert_eq!(
+        a.faults.churn_rewakes, b.faults.churn_rewakes,
+        "churn_rewakes ({label}): {ctx}"
+    );
+}
+
+/// Run one `(cfg, protocol, pattern, seed)` case on all four engine paths
+/// and assert agreement against the scalar-dense reference — observables
+/// plus the deterministic trace stream.
+fn assert_paths_agree(cfg: &SimConfig, protocol: &dyn Protocol, pattern: &WakePattern, seed: u64) {
+    let (dense, dense_evs) =
+        run_traced(&on_path(cfg.clone(), Path::Dense), protocol, pattern, seed);
+    let ctx = format!(
+        "protocol={} pattern={:?} seed={seed} channel={:?} stop={:?} fb={:?}",
+        protocol.name(),
+        pattern.wakes(),
+        cfg.channel,
+        cfg.stop,
+        cfg.feedback,
+    );
+    for path in [Path::Sparse, Path::Bitslab, Path::Classes] {
+        let (out, evs) = run_traced(&on_path(cfg.clone(), path), protocol, pattern, seed);
+        assert_observables_equal(&out, &dense, &format!("{path:?} vs dense"), &ctx);
+        assert_eq!(evs, dense_evs, "deterministic trace ({path:?}): {ctx}");
+    }
+}
+
+/// The deterministic protocol zoo (mirrors `sparse_dense_equiv.rs`).
+fn protocols(n: u32, pattern: &WakePattern, seed: u64) -> Vec<Box<dyn Protocol>> {
+    vec![
+        Box::new(RoundRobin::new(n)),
+        Box::new(WakeupN::new(MatrixParams::new(n).with_seed(seed))),
+        Box::new(WakeupWithS::new(
+            n,
+            pattern.s(),
+            FamilyProvider::random_with_seed(seed),
+        )),
+        Box::new(SelectAmongFirst::new(
+            n,
+            pattern.s(),
+            FamilyProvider::random_with_seed(seed),
+        )),
+        Box::new(LocalDoubling::new(n).with_seed(seed)),
+        Box::new(EnergyCapped::new(RoundRobin::new(n), 1)),
+        // Randomized and hintless: forces the dense fallback everywhere.
+        Box::new(Rpd::new(n)),
+    ]
+}
+
+/// The feedback-reactive (retiring) zoo for `AllResolved` cases.
+fn retiring_protocols(n: u32, seed: u64) -> Vec<Box<dyn Protocol>> {
+    vec![
+        Box::new(FullResolution::new(
+            n,
+            (n / 4).max(1),
+            FamilyProvider::random_with_seed(seed),
+        )),
+        Box::new(RetiringRoundRobin::new(n)),
+    ]
+}
+
+fn arb_pattern(n: u32) -> impl Strategy<Value = WakePattern> {
+    btree_set(0..n, 1..=6usize).prop_flat_map(|ids| {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        let len = ids.len();
+        (Just(ids), proptest::collection::vec(0u64..200, len)).prop_map(|(ids, times)| {
+            WakePattern::new(ids.into_iter().map(StationId).zip(times).collect())
+                .expect("distinct ids")
+        })
+    })
+}
+
+// ---------------------------------------------------------------------
+// 1. Zero-fault identity: explicit ideal channel + empty churn script is
+//    byte-for-byte the run you get without them.
+// ---------------------------------------------------------------------
+
+/// Compare two outcomes for *bit identity* — every field, work counters
+/// included — via their exhaustive `Debug` rendering.
+fn assert_bit_identical(a: &Outcome, b: &Outcome, ctx: &str) {
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "outcome drifted: {ctx}");
+}
+
+fn assert_zero_fault_identity(
+    n: u32,
+    protocol: &dyn Protocol,
+    pattern: &WakePattern,
+    seed: u64,
+    stop: StopRule,
+    fb: FeedbackModel,
+    cap: Option<u64>,
+) {
+    let cfg = base_cfg(n, stop, fb, cap);
+    let pinned = cfg
+        .clone()
+        .with_channel(ChannelModel::ideal())
+        .with_churn(ChurnScript::none());
+    for path in PATHS {
+        let plain = Simulator::new(on_path(cfg.clone(), path))
+            .run(protocol, pattern, seed)
+            .unwrap();
+        let explicit = Simulator::new(on_path(pinned.clone(), path))
+            .run(protocol, pattern, seed)
+            .unwrap();
+        let ctx = format!(
+            "path={path:?} protocol={} pattern={:?} seed={seed} stop={stop:?} fb={fb:?}",
+            protocol.name(),
+            pattern.wakes(),
+        );
+        assert!(!explicit.faults.any(), "phantom faults: {ctx}");
+        assert_bit_identical(&explicit, &plain, &ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn zero_fault_configs_are_bit_identical_to_default(
+        pattern in arb_pattern(48),
+        seed in 0u64..1_000,
+    ) {
+        for fb in [FeedbackModel::NoCollisionDetection, FeedbackModel::CollisionDetection] {
+            for protocol in protocols(48, &pattern, seed) {
+                assert_zero_fault_identity(
+                    48, protocol.as_ref(), &pattern, seed,
+                    StopRule::FirstSuccess, fb, None,
+                );
+            }
+            for protocol in retiring_protocols(48, seed) {
+                assert_zero_fault_identity(
+                    48, protocol.as_ref(), &pattern, seed,
+                    StopRule::AllResolved, fb, Some(20_000),
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // 2. Faulty-run engine independence.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn faulty_runs_agree_across_engine_paths(
+        pattern in arb_pattern(48),
+        seed in 0u64..1_000,
+        erasure in 0u32..400_000,
+        capture in 0u32..900_000,
+    ) {
+        let channel = ChannelModel::ideal()
+            .with_erasure_ppm(erasure)
+            .with_capture_ppm(capture)
+            .with_false_collision_ppm(250_000);
+        let churn = ChurnScript::random(RandomChurn {
+            crash_ppm: 400_000,
+            lifetime: 64,
+            rewake_after: Some(40),
+        })
+        .unwrap();
+        for fb in [FeedbackModel::NoCollisionDetection, FeedbackModel::CollisionDetection] {
+            let cfg = base_cfg(48, StopRule::FirstSuccess, fb, Some(30_000))
+                .with_channel(channel)
+                .with_churn(churn.clone());
+            for protocol in protocols(48, &pattern, seed) {
+                assert_paths_agree(&cfg, protocol.as_ref(), &pattern, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_all_resolved_runs_agree_across_engine_paths(
+        pattern in arb_pattern(32),
+        seed in 0u64..1_000,
+        erasure in 0u32..300_000,
+    ) {
+        // Retirement + erasure: a lost success must delay resolution
+        // identically everywhere; churned members must leave classes the
+        // same way retired ones do.
+        let channel = ChannelModel::ideal().with_erasure_ppm(erasure);
+        let churn = ChurnScript::random(RandomChurn {
+            crash_ppm: 300_000,
+            lifetime: 80,
+            rewake_after: Some(60),
+        })
+        .unwrap();
+        for fb in [FeedbackModel::NoCollisionDetection, FeedbackModel::CollisionDetection] {
+            let cfg = base_cfg(32, StopRule::AllResolved, fb, Some(30_000))
+                .with_channel(channel)
+                .with_churn(churn.clone());
+            for protocol in retiring_protocols(32, seed) {
+                assert_paths_agree(&cfg, protocol.as_ref(), &pattern, seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn faulty_structured_batches_agree_across_engine_paths() {
+    // Simultaneous batches are where the class engine genuinely aggregates
+    // and where the word kernel engages: scripted churn must split classes
+    // mid-run identically to the concrete engines.
+    let n = 64u32;
+    let ids: Vec<StationId> = (0..8u32).map(|i| StationId(i * 7 + 2)).collect();
+    let pattern = WakePattern::simultaneous(&ids, 11).unwrap();
+    let churn = ChurnScript::scripted(vec![
+        ChurnEntry {
+            id: ids[1],
+            crash: 15,
+            rewake: Some(90),
+        },
+        ChurnEntry {
+            id: ids[4],
+            crash: 30,
+            rewake: None,
+        },
+    ])
+    .unwrap();
+    let channel = ChannelModel::ideal()
+        .with_erasure_ppm(150_000)
+        .with_capture_ppm(500_000);
+    for fb in [
+        FeedbackModel::NoCollisionDetection,
+        FeedbackModel::CollisionDetection,
+    ] {
+        for stop in [StopRule::FirstSuccess, StopRule::AllResolved] {
+            let cfg = base_cfg(n, stop, fb, Some(50_000))
+                .with_channel(channel)
+                .with_churn(churn.clone());
+            let zoo = match stop {
+                StopRule::FirstSuccess => protocols(n, &pattern, 7),
+                StopRule::AllResolved => retiring_protocols(n, 7),
+            };
+            for protocol in zoo {
+                assert_paths_agree(&cfg, protocol.as_ref(), &pattern, 7);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Targeted robustness cases.
+// ---------------------------------------------------------------------
+
+/// A certain-erasure channel starves the run: every ground-truth success is
+/// eaten, the run censors at the cap, and the energy ledger still charges
+/// the transmitter.
+#[test]
+fn full_erasure_starves_the_run() {
+    let n = 8u32;
+    let pattern = WakePattern::simultaneous(&[StationId(3)], 0).unwrap();
+    let channel = ChannelModel::ideal().with_erasure_ppm(1_000_000);
+    for path in PATHS {
+        let cfg = on_path(
+            base_cfg(
+                n,
+                StopRule::FirstSuccess,
+                FeedbackModel::NoCollisionDetection,
+                Some(200),
+            )
+            .with_channel(channel),
+            path,
+        );
+        let out = Simulator::new(cfg)
+            .run(&RoundRobin::new(n), &pattern, 1)
+            .unwrap();
+        assert!(!out.solved(), "erased run solved ({path:?})");
+        assert_eq!(out.latency(), None);
+        assert!(
+            out.transmissions > 0,
+            "station never transmitted ({path:?})"
+        );
+        // Solo transmitter: every transmission was a ground-truth success,
+        // and the channel erased each one.
+        assert_eq!(out.faults.erasures, out.transmissions, "({path:?})");
+        assert_eq!(out.collisions, 0);
+    }
+}
+
+/// A certain-capture channel resolves a two-way collision on the spot: the
+/// winner is one of the ground-truth contenders and the slot records a
+/// success.
+#[test]
+fn full_capture_resolves_collisions() {
+    struct JamStation;
+    impl Station for JamStation {
+        fn wake(&mut self, _s: Slot) {}
+        fn act(&mut self, _t: Slot) -> Action {
+            Action::Transmit
+        }
+        fn next_transmission(&mut self, after: Slot) -> TxHint {
+            TxHint::at(after)
+        }
+    }
+    struct Jam;
+    impl Protocol for Jam {
+        fn station(&self, _id: StationId, _seed: u64) -> Box<dyn Station> {
+            Box::new(JamStation)
+        }
+        fn name(&self) -> String {
+            "jam".into()
+        }
+    }
+    let ids = [StationId(1), StationId(5)];
+    let pattern = WakePattern::simultaneous(&ids, 4).unwrap();
+    let channel = ChannelModel::ideal().with_capture_ppm(1_000_000);
+    for path in [Path::Dense, Path::Sparse, Path::Bitslab] {
+        let cfg = on_path(
+            base_cfg(
+                8,
+                StopRule::FirstSuccess,
+                FeedbackModel::NoCollisionDetection,
+                Some(100),
+            )
+            .with_channel(channel),
+            path,
+        );
+        let out = Simulator::new(cfg).run(&Jam, &pattern, 9).unwrap();
+        assert_eq!(out.first_success, Some(4), "({path:?})");
+        let w = out.winner.expect("captured winner");
+        assert!(ids.contains(&w), "winner {w:?} not a contender ({path:?})");
+        assert_eq!(out.faults.captures, 1, "({path:?})");
+        // The capture rewrote the outcome: no collision reached the
+        // transcript.
+        assert_eq!(out.collisions, 0, "({path:?})");
+    }
+}
+
+/// Mishearing silence as noise only exists under collision detection, and
+/// never perturbs the transcript or the result.
+#[test]
+fn false_collisions_are_perception_only() {
+    let n = 16u32;
+    let pattern = WakePattern::simultaneous(&[StationId(9)], 0).unwrap();
+    let channel = ChannelModel::ideal().with_false_collision_ppm(1_000_000);
+    let protocol = RoundRobin::new(n);
+    let clean = Simulator::new(base_cfg(
+        n,
+        StopRule::FirstSuccess,
+        FeedbackModel::CollisionDetection,
+        None,
+    ))
+    .run(&protocol, &pattern, 2)
+    .unwrap();
+    for fb in [
+        FeedbackModel::NoCollisionDetection,
+        FeedbackModel::CollisionDetection,
+    ] {
+        let out = Simulator::new(
+            base_cfg(n, StopRule::FirstSuccess, fb, None)
+                .with_channel(channel)
+                .with_engine(EngineMode::Dense),
+        )
+        .run(&protocol, &pattern, 2)
+        .unwrap();
+        assert_eq!(out.first_success, clean.first_success, "fb={fb:?}");
+        assert_eq!(out.winner, clean.winner, "fb={fb:?}");
+        assert_eq!(out.transcript, clean.transcript, "fb={fb:?}");
+        match fb {
+            // Under NCD silence and noise are indistinguishable: the model
+            // is a no-op by construction.
+            FeedbackModel::NoCollisionDetection => {
+                assert_eq!(out.faults.false_collisions, 0, "fb={fb:?}")
+            }
+            // Dense materializes every slot: each effectively silent slot
+            // before the success is misheard at full rate.
+            FeedbackModel::CollisionDetection => {
+                assert_eq!(out.faults.false_collisions, out.silent_slots, "fb={fb:?}")
+            }
+        }
+    }
+}
+
+/// Crash before the first turn, re-wake later: the fresh instance solves on
+/// its own schedule, and every path tells the same story — counters and
+/// churn trace events included.
+#[test]
+fn churn_crash_and_rewake_round_trip() {
+    let n = 8u32;
+    let id = StationId(3);
+    let pattern = WakePattern::simultaneous(&[id], 0).unwrap();
+    // Round-robin's first turn is slot 3; the crash at slot 1 precedes it,
+    // the re-wake at slot 5 makes the next turn slot 11.
+    let churn = ChurnScript::scripted(vec![ChurnEntry {
+        id,
+        crash: 1,
+        rewake: Some(5),
+    }])
+    .unwrap();
+    for path in PATHS {
+        let cfg = on_path(
+            base_cfg(
+                n,
+                StopRule::FirstSuccess,
+                FeedbackModel::NoCollisionDetection,
+                Some(100),
+            )
+            .with_churn(churn.clone()),
+            path,
+        );
+        let (out, evs) = run_traced(&cfg, &RoundRobin::new(n), &pattern, 6);
+        assert_eq!(out.first_success, Some(11), "({path:?})");
+        assert_eq!(out.winner, Some(id), "({path:?})");
+        assert_eq!(out.faults.churn_crashes, 1, "({path:?})");
+        assert_eq!(out.faults.churn_rewakes, 1, "({path:?})");
+        assert!(
+            evs.iter()
+                .any(|ev| matches!(ev, TraceEvent::ChurnCrash { slot: 1, id: i } if *i == id)),
+            "missing churn_crash event ({path:?}): {evs:?}"
+        );
+        assert!(
+            evs.iter()
+                .any(|ev| matches!(ev, TraceEvent::ChurnRewake { slot: 5, id: i } if *i == id)),
+            "missing churn_rewake event ({path:?}): {evs:?}"
+        );
+    }
+}
+
+/// `StopRule::AllResolved` with a permanent crash before the victim's
+/// success: the run must *terminate* at the cap and report censoring
+/// (`all_resolved_at == None`, survivor resolved) on every path — never
+/// hang waiting for a dead station.
+#[test]
+fn all_resolved_censors_on_permanent_crash() {
+    let n = 16u32;
+    let victim = StationId(9);
+    let survivor = StationId(2);
+    let pattern = WakePattern::simultaneous(&[survivor, victim], 0).unwrap();
+    // Retiring round-robin: survivor's turn is slot 2, victim's slot 9; the
+    // crash at slot 5 kills the victim before it ever transmits.
+    let churn = ChurnScript::scripted(vec![ChurnEntry {
+        id: victim,
+        crash: 5,
+        rewake: None,
+    }])
+    .unwrap();
+    let cap = 5_000u64;
+    for fb in [
+        FeedbackModel::NoCollisionDetection,
+        FeedbackModel::CollisionDetection,
+    ] {
+        for path in PATHS {
+            let cfg = on_path(
+                base_cfg(n, StopRule::AllResolved, fb, Some(cap)).with_churn(churn.clone()),
+                path,
+            );
+            let out = Simulator::new(cfg)
+                .run(&RetiringRoundRobin::new(n), &pattern, 4)
+                .unwrap();
+            assert_eq!(out.all_resolved_at, None, "({path:?} fb={fb:?})");
+            assert_eq!(out.slots_simulated, cap, "({path:?} fb={fb:?})");
+            assert_eq!(
+                out.resolved.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                vec![survivor],
+                "({path:?} fb={fb:?})"
+            );
+            assert_eq!(out.faults.churn_crashes, 1, "({path:?} fb={fb:?})");
+            assert_eq!(out.faults.churn_rewakes, 0, "({path:?} fb={fb:?})");
+        }
+    }
+}
+
+/// Crashing a station that already retired out of its equivalence class is
+/// still a churn event — the concrete engine keeps retired stations in its
+/// roster, so the class engine must account the crash identically.
+#[test]
+fn crashing_a_retired_station_is_counted_on_every_path() {
+    let n = 16u32;
+    let ids = [StationId(2), StationId(9)];
+    let pattern = WakePattern::simultaneous(&ids, 0).unwrap();
+    // Station 2 resolves at slot 2 and retires; the crash at slot 5 —
+    // while station 9 is still unresolved, so the run is live — hits a
+    // member already gone from its class.
+    let churn = ChurnScript::scripted(vec![ChurnEntry {
+        id: ids[0],
+        crash: 5,
+        rewake: None,
+    }])
+    .unwrap();
+    let cfg = base_cfg(
+        n,
+        StopRule::AllResolved,
+        FeedbackModel::NoCollisionDetection,
+        Some(1_000),
+    )
+    .with_churn(churn);
+    let protocol = RetiringRoundRobin::new(n);
+    let (concrete, concrete_evs) =
+        run_traced(&on_path(cfg.clone(), Path::Dense), &protocol, &pattern, 3);
+    assert_eq!(concrete.faults.churn_crashes, 1);
+    for path in [Path::Sparse, Path::Bitslab, Path::Classes] {
+        let (out, evs) = run_traced(&on_path(cfg.clone(), path), &protocol, &pattern, 3);
+        assert_observables_equal(
+            &out,
+            &concrete,
+            &format!("{path:?} vs dense"),
+            "retired crash",
+        );
+        assert_eq!(evs, concrete_evs, "deterministic trace ({path:?})");
+    }
+    // Both stations resolved before the crash: the run still completes.
+    assert_eq!(concrete.resolved.len(), 2);
+    assert!(concrete.all_resolved_at.is_some());
+}
